@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the fuzzing substrate: program
+//! generation, encoding+execution throughput, and short campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kgpt_csrc::KernelCorpus;
+use kgpt_fuzzer::{execute, Campaign, CampaignConfig, Generator};
+use kgpt_syzlang::SpecDb;
+use kgpt_vkernel::VKernel;
+use std::hint::black_box;
+
+fn setup() -> (KernelCorpus, SpecDb, VKernel) {
+    let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+    let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+    let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+    (kc, db, kernel)
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let (kc, db, _) = setup();
+    c.bench_function("fuzzer/gen_program", |b| {
+        let mut g = Generator::new(&db, kc.consts(), 1);
+        b.iter(|| black_box(g.gen_program(8)))
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let (kc, db, kernel) = setup();
+    let mut g = Generator::new(&db, kc.consts(), 1);
+    let progs: Vec<_> = (0..64).map(|_| g.gen_program(8)).collect();
+    let mut group = c.benchmark_group("fuzzer");
+    group.throughput(Throughput::Elements(progs.len() as u64));
+    group.bench_function("execute_64_programs", |b| {
+        b.iter(|| {
+            for p in &progs {
+                black_box(execute(&kernel, &db, kc.consts(), p));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let (kc, _, kernel) = setup();
+    let suite = vec![kc.blueprints()[0].ground_truth_spec()];
+    c.bench_function("fuzzer/campaign_1000_execs", |b| {
+        b.iter(|| {
+            let cfg = CampaignConfig {
+                execs: 1000,
+                seed: 1,
+                max_prog_len: 8,
+                enabled: None,
+            };
+            Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_execution, bench_campaign
+}
+criterion_main!(benches);

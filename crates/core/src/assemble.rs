@@ -1,0 +1,500 @@
+//! Fact → syzlang assembly: turn the LLM's structured findings into a
+//! specification file.
+
+use kgpt_llm::oracle::prefix_of_ops_var;
+use kgpt_llm::protocol::{ArgSig, Fact};
+use kgpt_extractor::{HandlerKind, OpHandler};
+use kgpt_syzlang as syz;
+use syz::{ConstExpr, Dir, IntBits, Item, Param, Resource, SpecFile, Syscall, Type};
+
+/// Assemble a specification from the facts gathered for one handler.
+///
+/// Returns `None` when the facts cannot produce a usable spec (no
+/// producer could be derived and no commands were found).
+#[must_use]
+pub fn assemble_spec(handler: &OpHandler, facts: &[Fact]) -> Option<SpecFile> {
+    let prefix = prefix_of_ops_var(&handler.ops_var);
+    let fd_res = match handler.kind {
+        HandlerKind::Driver => format!("fd_{prefix}"),
+        HandlerKind::Socket => format!("sock_{prefix}"),
+    };
+    let mut items: Vec<Item> = Vec::new();
+    items.push(Item::Resource(Resource {
+        name: fd_res.clone(),
+        base: match handler.kind {
+            HandlerKind::Driver => "fd".into(),
+            HandlerKind::Socket => "sock".into(),
+        },
+        values: Vec::new(),
+    }));
+
+    let mut have_producer = false;
+    // Producer syscall.
+    match handler.kind {
+        HandlerKind::Driver => {
+            if let Some(path) = facts.iter().find_map(|f| match f {
+                Fact::DevPath(p) => Some(p.clone()),
+                _ => None,
+            }) {
+                items.push(Item::Syscall(Syscall {
+                    base: "openat".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        Param::new("dir", Type::sym_const("AT_FDCWD", IntBits::I64)),
+                        Param::new(
+                            "file",
+                            Type::ptr(Dir::In, Type::StringLit { values: vec![path] }),
+                        ),
+                        Param::new(
+                            "flags",
+                            Type::Const {
+                                value: ConstExpr::Num(2),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                        Param::new(
+                            "mode",
+                            Type::Const {
+                                value: ConstExpr::Num(0),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                    ],
+                    ret: Some(fd_res.clone()),
+                }));
+                have_producer = true;
+            }
+        }
+        HandlerKind::Socket => {
+            if let Some((family_name, sock_type, proto)) = facts.iter().find_map(|f| match f {
+                Fact::Socket {
+                    family_name: Some(n),
+                    sock_type,
+                    proto,
+                    ..
+                } => Some((n.clone(), sock_type.unwrap_or(1), proto.unwrap_or(0))),
+                _ => None,
+            }) {
+                items.push(Item::Syscall(Syscall {
+                    base: "socket".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        Param::new("domain", Type::sym_const(&family_name, IntBits::I64)),
+                        Param::new(
+                            "type",
+                            Type::Const {
+                                value: ConstExpr::Num(sock_type),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                        Param::new(
+                            "proto",
+                            Type::Const {
+                                value: ConstExpr::Num(proto),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                    ],
+                    ret: Some(fd_res.clone()),
+                }));
+                have_producer = true;
+            }
+        }
+    }
+
+    // Sub-handler fd resources created by commands.
+    let creates: Vec<(&str, String)> = facts
+        .iter()
+        .filter_map(|f| match f {
+            Fact::CreatesFd { fops_var, cmd } => {
+                Some((cmd.as_str(), format!("fd_{}", prefix_of_ops_var(fops_var))))
+            }
+            _ => None,
+        })
+        .collect();
+    for (_, res) in &creates {
+        if !items
+            .iter()
+            .any(|i| matches!(i, Item::Resource(r) if &r.name == res))
+        {
+            items.push(Item::Resource(Resource {
+                name: res.clone(),
+                base: "fd".into(),
+                values: Vec::new(),
+            }));
+        }
+    }
+    // Issued resources (queue ids etc.).
+    for f in facts {
+        if let Fact::ResourceDef { name } = f {
+            if !items
+                .iter()
+                .any(|i| matches!(i, Item::Resource(r) if &r.name == name))
+            {
+                items.push(Item::Resource(Resource {
+                    name: name.clone(),
+                    base: "int32".into(),
+                    values: Vec::new(),
+                }));
+            }
+        }
+    }
+
+    // Socket generic calls.
+    let level_name = facts.iter().find_map(|f| match f {
+        Fact::Socket {
+            level_name: Some(l),
+            ..
+        } => Some(l.clone()),
+        _ => None,
+    });
+    if handler.kind == HandlerKind::Socket {
+        let addr_ty = || Type::Named(format!("{prefix}_sockaddr_{prefix}"));
+        for f in facts {
+            let Fact::SockCallFn { call, .. } = f else {
+                continue;
+            };
+            let fd = || Param::new("fd", Type::Resource(fd_res.clone()));
+            let bytesize = |t: &str| Type::Bytesize {
+                target: t.into(),
+                bits: IntBits::I64,
+            };
+            let zero = || Type::Const {
+                value: ConstExpr::Num(0),
+                bits: IntBits::I64,
+            };
+            let call_sys = match call.as_str() {
+                "bind" => Syscall {
+                    base: "bind".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        fd(),
+                        Param::new("addr", Type::ptr(Dir::In, addr_ty())),
+                        Param::new("len", bytesize("addr")),
+                    ],
+                    ret: None,
+                },
+                "connect" => Syscall {
+                    base: "connect".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        fd(),
+                        Param::new("addr", Type::ptr(Dir::In, addr_ty())),
+                        Param::new("len", bytesize("addr")),
+                    ],
+                    ret: None,
+                },
+                "sendmsg" => Syscall {
+                    base: "sendto".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        fd(),
+                        Param::new("buf", Type::ptr(Dir::In, Type::buffer())),
+                        Param::new("len", bytesize("buf")),
+                        Param::new("flags", zero()),
+                        Param::new("addr", Type::ptr(Dir::In, addr_ty())),
+                        Param::new("addrlen", bytesize("addr")),
+                    ],
+                    ret: None,
+                },
+                "recvmsg" => Syscall {
+                    base: "recvfrom".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        fd(),
+                        Param::new("buf", Type::ptr(Dir::Out, Type::buffer())),
+                        Param::new("len", bytesize("buf")),
+                        Param::new("flags", zero()),
+                        Param::new("addr", Type::ptr(Dir::Out, addr_ty())),
+                        Param::new("addrlen", bytesize("addr")),
+                    ],
+                    ret: None,
+                },
+                "accept" => Syscall {
+                    base: "accept".into(),
+                    variant: Some(prefix.clone()),
+                    params: vec![
+                        fd(),
+                        Param::new("addr", Type::ptr(Dir::Out, addr_ty())),
+                        Param::new("len", Type::ptr(Dir::In, Type::int(IntBits::I32))),
+                    ],
+                    ret: Some(fd_res.clone()),
+                },
+                _ => continue,
+            };
+            push_unique_syscall(&mut items, call_sys);
+        }
+    }
+
+    // Commands.
+    let mut any_cmd = false;
+    for f in facts {
+        let Fact::Ident {
+            name, arg, dir, ..
+        } = f
+        else {
+            continue;
+        };
+        any_cmd = true;
+        let d = Dir::from_keyword(dir).unwrap_or(Dir::InOut);
+        let arg_ty = match arg {
+            ArgSig::None => Type::Const {
+                value: ConstExpr::Num(0),
+                bits: IntBits::I64,
+            },
+            ArgSig::Int => Type::int(IntBits::I64),
+            ArgSig::StructPtr(c) => Type::ptr(d, Type::Named(format!("{prefix}_{c}"))),
+            ArgSig::IdPtr(res) => Type::ptr(d, Type::Named(res.clone())),
+        };
+        let ret = creates
+            .iter()
+            .find(|(cmd, _)| cmd == name)
+            .map(|(_, res)| res.clone());
+        let sys = match handler.kind {
+            HandlerKind::Driver => Syscall {
+                base: "ioctl".into(),
+                variant: Some(name.clone()),
+                params: vec![
+                    Param::new("fd", Type::Resource(fd_res.clone())),
+                    Param::new("cmd", Type::sym_const(name, IntBits::I64)),
+                    Param::new("arg", arg_ty),
+                ],
+                ret,
+            },
+            HandlerKind::Socket => Syscall {
+                base: "setsockopt".into(),
+                variant: Some(name.clone()),
+                params: vec![
+                    Param::new("fd", Type::Resource(fd_res.clone())),
+                    Param::new(
+                        "level",
+                        match &level_name {
+                            Some(l) => Type::sym_const(l, IntBits::I64),
+                            None => Type::Const {
+                                value: ConstExpr::Num(0),
+                                bits: IntBits::I64,
+                            },
+                        },
+                    ),
+                    Param::new("opt", Type::sym_const(name, IntBits::I64)),
+                    Param::new("val", arg_ty),
+                    Param::new(
+                        "len",
+                        Type::Bytesize {
+                            target: "val".into(),
+                            bits: IntBits::I64,
+                        },
+                    ),
+                ],
+                ret,
+            },
+        };
+        push_unique_syscall(&mut items, sys);
+    }
+
+    // Types and flag sets.
+    for f in facts {
+        match f {
+            Fact::SyzType { text, .. } => {
+                if let Ok(parsed) = syz::parse("llm", text) {
+                    for item in parsed.items {
+                        let name = item.name();
+                        if !items.iter().any(|i| i.name() == name) {
+                            items.push(item);
+                        }
+                    }
+                }
+            }
+            Fact::FlagSet { name, values } => {
+                if !items.iter().any(|i| i.name() == *name) {
+                    items.push(Item::Flags(syz::FlagsDef {
+                        name: name.clone(),
+                        values: values.iter().map(|v| ConstExpr::Sym(v.clone())).collect(),
+                    }));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Anonymous sub-handlers have no producer of their own; their fd is
+    // produced by the parent's CreatesFd command. A spec with commands
+    // but no producer is still useful in a merged suite.
+    if !have_producer && !any_cmd {
+        return None;
+    }
+    Some(SpecFile {
+        name: format!("{prefix}_kgpt.txt"),
+        items,
+    })
+}
+
+fn push_unique_syscall(items: &mut Vec<Item>, sys: Syscall) {
+    let name = sys.name();
+    if !items
+        .iter()
+        .any(|i| matches!(i, Item::Syscall(s) if s.name() == name))
+    {
+        items.push(Item::Syscall(sys));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver_handler() -> OpHandler {
+        OpHandler {
+            kind: HandlerKind::Driver,
+            ops_var: "_dm_fops".into(),
+            file: "dm.c".into(),
+            ioctl_fn: Some("dm_ctl_ioctl".into()),
+            setsockopt_fn: None,
+            open_fn: None,
+            usage: vec![],
+        }
+    }
+
+    #[test]
+    fn assembles_driver_spec() {
+        let facts = vec![
+            Fact::DevPath("/dev/mapper/control".into()),
+            Fact::Ident {
+                name: "DM_VERSION".into(),
+                handler: Some("dm_dm_version".into()),
+                arg: ArgSig::StructPtr("dm_ioctl".into()),
+                dir: "inout".into(),
+            },
+            Fact::SyzType {
+                c_name: "dm_ioctl".into(),
+                text: "dm_dm_ioctl {\n\tversion array[int32, 3]\n\tdata_size int32\n}".into(),
+            },
+        ];
+        let spec = assemble_spec(&driver_handler(), &facts).unwrap();
+        let names: Vec<String> = spec.syscalls().map(Syscall::name).collect();
+        assert!(names.contains(&"openat$dm".to_string()));
+        assert!(names.contains(&"ioctl$DM_VERSION".to_string()));
+        assert_eq!(spec.structs().count(), 1);
+        // And it round-trips through the printer.
+        let text = syz::print_file(&spec);
+        assert!(syz::parse("x", &text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn no_facts_no_spec() {
+        assert!(assemble_spec(&driver_handler(), &[]).is_none());
+    }
+
+    #[test]
+    fn duplicate_idents_deduped() {
+        let facts = vec![
+            Fact::DevPath("/dev/x".into()),
+            Fact::Ident {
+                name: "A".into(),
+                handler: None,
+                arg: ArgSig::Int,
+                dir: "in".into(),
+            },
+            Fact::Ident {
+                name: "A".into(),
+                handler: None,
+                arg: ArgSig::Int,
+                dir: "in".into(),
+            },
+        ];
+        let spec = assemble_spec(&driver_handler(), &facts).unwrap();
+        assert_eq!(spec.syscalls().count(), 2); // openat + one ioctl
+    }
+
+    #[test]
+    fn creates_fd_sets_return_resource() {
+        let facts = vec![
+            Fact::DevPath("/dev/kvm".into()),
+            Fact::CreatesFd {
+                fops_var: "_kvm_vm_fops".into(),
+                cmd: "KVM_CREATE_VM".into(),
+            },
+            Fact::Ident {
+                name: "KVM_CREATE_VM".into(),
+                handler: None,
+                arg: ArgSig::Int,
+                dir: "in".into(),
+            },
+        ];
+        let mut h = driver_handler();
+        h.ops_var = "_kvm_fops".into();
+        let spec = assemble_spec(&h, &facts).unwrap();
+        let create = spec
+            .syscalls()
+            .find(|s| s.name() == "ioctl$KVM_CREATE_VM")
+            .unwrap();
+        assert_eq!(create.ret.as_deref(), Some("fd_kvm_vm"));
+        assert!(spec.resources().any(|r| r.name == "fd_kvm_vm"));
+    }
+
+    #[test]
+    fn socket_assembly() {
+        let h = OpHandler {
+            kind: HandlerKind::Socket,
+            ops_var: "rds_proto_ops".into(),
+            file: "rds.c".into(),
+            ioctl_fn: None,
+            setsockopt_fn: Some("rds_setsockopt".into()),
+            open_fn: None,
+            usage: vec![],
+        };
+        let facts = vec![
+            Fact::Socket {
+                family_name: Some("AF_RDS".into()),
+                sock_type: Some(5),
+                proto: Some(0),
+                level_name: Some("SOL_RDS".into()),
+            },
+            Fact::SockCallFn {
+                call: "bind".into(),
+                func: "rds_bind".into(),
+            },
+            Fact::SockCallFn {
+                call: "sendmsg".into(),
+                func: "rds_sendmsg".into(),
+            },
+            Fact::Ident {
+                name: "RDS_RECVERR".into(),
+                handler: None,
+                arg: ArgSig::Int,
+                dir: "in".into(),
+            },
+            Fact::SyzType {
+                c_name: "sockaddr_rds".into(),
+                text: "rds_sockaddr_rds {\n\tfamily const[0x15, int16]\n\tport int16\n\taddr int32\n}".into(),
+            },
+        ];
+        let spec = assemble_spec(&h, &facts).unwrap();
+        let names: Vec<String> = spec.syscalls().map(Syscall::name).collect();
+        assert!(names.contains(&"socket$rds".to_string()));
+        assert!(names.contains(&"bind$rds".to_string()));
+        assert!(names.contains(&"sendto$rds".to_string()));
+        assert!(names.contains(&"setsockopt$RDS_RECVERR".to_string()));
+    }
+
+    #[test]
+    fn opaque_family_yields_no_producer() {
+        let h = OpHandler {
+            kind: HandlerKind::Socket,
+            ops_var: "x_proto_ops".into(),
+            file: "x.c".into(),
+            ioctl_fn: None,
+            setsockopt_fn: Some("x_setsockopt".into()),
+            open_fn: None,
+            usage: vec![],
+        };
+        let facts = vec![Fact::Socket {
+            family_name: None,
+            sock_type: Some(1),
+            proto: Some(0),
+            level_name: Some("SOL_X".into()),
+        }];
+        // No commands and no producer → no spec.
+        assert!(assemble_spec(&h, &facts).is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # kgpt-core
+//!
+//! KernelGPT itself (paper §3): LLM-guided **iterative** syscall
+//! specification generation, followed by validation and repair.
+//!
+//! For each operation handler found by the extractor, the pipeline runs
+//! three staged analyses — identifier deduction, type recovery and
+//! dependency analysis — each following Algorithm 1: query the LLM with
+//! the currently-gathered source, collect `UNKNOWN` targets from the
+//! completion, fetch their code with `ExtractCode`, and re-query until
+//! nothing is missing or `MAX_ITER` is reached. The facts are then
+//! assembled into a syzlang [`SpecFile`], validated with the
+//! `kgpt-syzlang` validator (the syz-extract/syz-generate analogue),
+//! and — if errors are reported — sent back to the LLM for one repair
+//! round together with the error messages (§3.2).
+
+pub mod assemble;
+pub mod pipeline;
+
+pub use assemble::assemble_spec;
+pub use pipeline::{GenerationReport, HandlerOutcome, KernelGpt, Strategy, MAX_ITER};

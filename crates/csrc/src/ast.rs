@@ -1,0 +1,567 @@
+//! AST for the kernel-C subset.
+//!
+//! Every top-level item keeps its raw source text (`text`), which is
+//! what gets embedded into LLM prompts; the structured form is what the
+//! oracle model and the SyzDescribe baseline actually analyze.
+
+use std::fmt;
+
+/// A parsed C translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CFile {
+    /// File path within the synthetic tree (e.g. `drivers/md/dm-ioctl.c`).
+    pub name: String,
+    /// Top-level items in order.
+    pub items: Vec<CItem>,
+}
+
+/// A top-level item with its raw source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CItem {
+    /// Structured form.
+    pub kind: CItemKind,
+    /// Raw source text of the item (for prompts).
+    pub text: String,
+}
+
+impl CItem {
+    /// The name this item defines.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            CItemKind::Macro(m) => &m.name,
+            CItemKind::Struct(s) => &s.name,
+            CItemKind::Enum(e) => &e.name,
+            CItemKind::Var(v) => &v.name,
+            CItemKind::Function(f) => &f.name,
+            CItemKind::Typedef(t) => &t.name,
+        }
+    }
+}
+
+/// Kind of top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CItemKind {
+    /// `#define ...`.
+    Macro(MacroDef),
+    /// `struct`/`union` definition.
+    Struct(CStructDef),
+    /// `enum` definition.
+    Enum(CEnumDef),
+    /// Global variable (drivers' `file_operations`, `miscdevice`, tables).
+    Var(CVarDef),
+    /// Function definition.
+    Function(CFunction),
+    /// `typedef` (stored opaquely; only the name matters).
+    Typedef(CTypedef),
+}
+
+/// A `#define` macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroDef {
+    /// Macro name.
+    pub name: String,
+    /// Parameter names for function-like macros.
+    pub params: Option<Vec<String>>,
+    /// Raw body text.
+    pub body: String,
+}
+
+/// A struct or union definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CStructDef {
+    /// Tag name.
+    pub name: String,
+    /// `true` for `union`.
+    pub is_union: bool,
+    /// Member fields in order.
+    pub fields: Vec<CField>,
+}
+
+/// One struct/union member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CField {
+    /// Member name.
+    pub name: String,
+    /// Member type.
+    pub ty: CType,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CEnumDef {
+    /// Tag name (empty for anonymous enums).
+    pub name: String,
+    /// `(name, explicit value)` pairs; implicit values count up from the
+    /// previous variant.
+    pub variants: Vec<(String, Option<u64>)>,
+}
+
+impl CEnumDef {
+    /// Resolve the concrete value of every variant.
+    #[must_use]
+    pub fn values(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.variants.len());
+        let mut next = 0u64;
+        for (name, v) in &self.variants {
+            let val = v.unwrap_or(next);
+            out.push((name.clone(), val));
+            next = val.wrapping_add(1);
+        }
+        out
+    }
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CVarDef {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: CType,
+    /// Initializer, if any (designated initializer lists preserved).
+    pub init: Option<Expr>,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// `(name, type)` parameters.
+    pub params: Vec<(String, CType)>,
+    /// Body statements (empty for prototypes).
+    pub body: Vec<Stmt>,
+    /// Whether this was only a prototype (`;` body).
+    pub is_proto: bool,
+}
+
+/// A typedef, stored opaquely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTypedef {
+    /// Introduced type name.
+    pub name: String,
+}
+
+/// Array size in a declarator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CArraySize {
+    /// `[N]` with a literal size.
+    Fixed(u64),
+    /// `[NAME]` with a macro size.
+    Named(String),
+    /// `[]` flexible array member.
+    Flex,
+}
+
+/// A (simplified) C type: canonical base name, pointer depth, array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CType {
+    /// Canonical base (`"struct dm_ioctl"`, `"u32"`, `"uint"`, `"void"`).
+    pub base: String,
+    /// Number of `*`s.
+    pub ptr: u8,
+    /// Array declarator, if any.
+    pub array: Option<CArraySize>,
+}
+
+impl CType {
+    /// A plain named type with no pointer or array.
+    pub fn named(base: impl Into<String>) -> CType {
+        CType {
+            base: base.into(),
+            ptr: 0,
+            array: None,
+        }
+    }
+
+    /// Is this a pointer type?
+    #[must_use]
+    pub fn is_ptr(&self) -> bool {
+        self.ptr > 0
+    }
+
+    /// Struct tag, if the base is `struct X`.
+    #[must_use]
+    pub fn struct_tag(&self) -> Option<&str> {
+        self.base.strip_prefix("struct ").or_else(|| self.base.strip_prefix("union "))
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for _ in 0..self.ptr {
+            write!(f, " *")?;
+        }
+        match &self.array {
+            Some(CArraySize::Fixed(n)) => write!(f, "[{n}]"),
+            Some(CArraySize::Named(n)) => write!(f, "[{n}]"),
+            Some(CArraySize::Flex) => write!(f, "[]"),
+            None => Ok(()),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(u64),
+    /// String literal.
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Function or function-like-macro call. The callee is a name
+    /// (indirect calls through members are modelled as `MethodCall`).
+    Call {
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base.field` or `base->field`.
+    Member {
+        /// Receiver.
+        base: Box<Expr>,
+        /// Member name.
+        field: String,
+        /// `true` for `->`.
+        arrow: bool,
+    },
+    /// `base[index]`.
+    Index {
+        /// Array expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Prefix unary op (`-`, `!`, `~`, `*`, `&`).
+    Unary {
+        /// Operator spelling.
+        op: &'static str,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary op.
+    Binary {
+        /// Operator spelling.
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment `lhs = rhs` (compound assignments are desugared).
+    Assign {
+        /// Target.
+        lhs: Box<Expr>,
+        /// Source.
+        rhs: Box<Expr>,
+    },
+    /// `(type)expr` cast.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `cond ? then : els`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        els: Box<Expr>,
+    },
+    /// `{ .a = x, y, { ... } }` initializer list.
+    InitList {
+        /// `(designator, value)` entries; `None` designator = positional.
+        entries: Vec<(Option<String>, Expr)>,
+    },
+    /// `sizeof(type)`.
+    SizeofType(CType),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+}
+
+impl Expr {
+    /// If this is a designated-initializer list, get the expression
+    /// assigned to `field`.
+    #[must_use]
+    pub fn init_field(&self, field: &str) -> Option<&Expr> {
+        match self {
+            Expr::InitList { entries } => entries
+                .iter()
+                .find(|(d, _)| d.as_deref() == Some(field))
+                .map(|(_, e)| e),
+            _ => None,
+        }
+    }
+
+    /// Identifier name, if this is a bare identifier (possibly behind
+    /// `&`).
+    #[must_use]
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(s) => Some(s),
+            Expr::Unary { op: "&", expr } => expr.as_ident(),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string literal (or concatenation of
+    /// literals folded by the parser).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Expr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A `case` label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseLabel {
+    /// `case expr:`.
+    Expr(Expr),
+    /// `default:`.
+    Default,
+}
+
+/// One arm of a `switch` (labels share a body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchCase {
+    /// The labels attached to this body.
+    pub labels: Vec<CaseLabel>,
+    /// Statements up to (and including) the `break`/`return`.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `return expr;`.
+    Return(Option<Expr>),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        els: Vec<Stmt>,
+    },
+    /// `switch`.
+    Switch {
+        /// Scrutinee.
+        cond: Expr,
+        /// Case arms.
+        cases: Vec<SwitchCase>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for` loop (header folded into optional expressions).
+    For {
+        /// Init expression (decls are hoisted to a `Decl`-like expr).
+        init: Option<Box<Stmt>>,
+        /// Condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// `{ ... }` block.
+    Block(Vec<Stmt>),
+}
+
+/// Walk every statement in a body, depth-first, calling `f`.
+pub fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then, els, .. } => {
+                walk_stmts(then, f);
+                walk_stmts(els, f);
+            }
+            Stmt::Switch { cases, .. } => {
+                for c in cases {
+                    walk_stmts(&c.body, f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::Block(body) => walk_stmts(body, f),
+            Stmt::For { init, body, .. } => {
+                if let Some(i) = init {
+                    f(i);
+                }
+                walk_stmts(body, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walk every expression in a body, depth-first.
+pub fn walk_exprs<'a>(stmts: &'a [Stmt], f: &mut dyn FnMut(&'a Expr)) {
+    walk_stmts(stmts, &mut |s| {
+        let mut visit = |e: &'a Expr| walk_expr(e, f);
+        match s {
+            Stmt::Decl { init: Some(e), .. } => visit(e),
+            Stmt::Expr(e) => visit(e),
+            Stmt::Return(Some(e)) => visit(e),
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::Switch { cond, .. } => {
+                visit(cond);
+            }
+            Stmt::For { cond, step, .. } => {
+                if let Some(c) = cond {
+                    visit(c);
+                }
+                if let Some(st) = step {
+                    visit(st);
+                }
+            }
+            _ => {}
+        }
+        if let Stmt::Switch { cases, .. } = s {
+            for c in cases {
+                for l in &c.labels {
+                    if let CaseLabel::Expr(e) = l {
+                        walk_expr(e, f);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Walk a single expression tree depth-first.
+pub fn walk_expr<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, f)),
+        Expr::Member { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::SizeofExpr(expr) => {
+            walk_expr(expr, f);
+        }
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Ternary { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_expr(then, f);
+            walk_expr(els, f);
+        }
+        Expr::InitList { entries } => entries.iter().for_each(|(_, e)| walk_expr(e, f)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_values_count_up() {
+        let e = CEnumDef {
+            name: "e".into(),
+            variants: vec![
+                ("A".into(), None),
+                ("B".into(), Some(10)),
+                ("C".into(), None),
+            ],
+        };
+        assert_eq!(
+            e.values(),
+            vec![("A".into(), 0), ("B".into(), 10), ("C".into(), 11)]
+        );
+    }
+
+    #[test]
+    fn ctype_display_and_tag() {
+        let t = CType {
+            base: "struct dm_ioctl".into(),
+            ptr: 1,
+            array: None,
+        };
+        assert_eq!(t.to_string(), "struct dm_ioctl *");
+        assert_eq!(t.struct_tag(), Some("dm_ioctl"));
+        assert!(t.is_ptr());
+    }
+
+    #[test]
+    fn init_field_lookup() {
+        let e = Expr::InitList {
+            entries: vec![
+                (Some("name".into()), Expr::Str("dm".into())),
+                (None, Expr::Num(1)),
+            ],
+        };
+        assert_eq!(e.init_field("name").and_then(Expr::as_str), Some("dm"));
+        assert!(e.init_field("missing").is_none());
+    }
+
+    #[test]
+    fn as_ident_sees_through_addrof() {
+        let e = Expr::Unary {
+            op: "&",
+            expr: Box::new(Expr::Ident("fops".into())),
+        };
+        assert_eq!(e.as_ident(), Some("fops"));
+    }
+
+    #[test]
+    fn walkers_visit_nested() {
+        let body = vec![Stmt::If {
+            cond: Expr::Ident("c".into()),
+            then: vec![Stmt::Return(Some(Expr::Call {
+                func: "f".into(),
+                args: vec![Expr::Num(1)],
+            }))],
+            els: vec![],
+        }];
+        let mut idents = Vec::new();
+        walk_exprs(&body, &mut |e| {
+            if let Expr::Ident(n) = e {
+                idents.push(n.clone());
+            }
+        });
+        assert_eq!(idents, vec!["c".to_string()]);
+        let mut calls = 0;
+        walk_exprs(&body, &mut |e| {
+            if matches!(e, Expr::Call { .. }) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 1);
+    }
+}

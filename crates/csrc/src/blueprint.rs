@@ -1,0 +1,1330 @@
+//! Blueprints: the single source of truth for every synthetic driver
+//! and socket family.
+//!
+//! A [`Blueprint`] describes one *operation handler* (the unit the paper
+//! counts in Table 1): its registration style, dispatch style, command
+//! set, argument structures, injected bugs, and how much of it the
+//! pre-existing "Syzkaller" specs cover. From a blueprint we derive:
+//!
+//! * C source text ([`crate::emit`]) — the only thing analyzers see;
+//! * the ground-truth syzlang specification ([`Blueprint::ground_truth_spec`]);
+//! * the symbolic-constant table ([`Blueprint::const_entries`]);
+//! * the pre-existing partial spec ([`Blueprint::existing_spec_file`]);
+//! * the virtual kernel's runtime behaviour (`kgpt-vkernel` interprets
+//!   blueprints directly), including coverage-block layout and bug
+//!   triggers.
+//!
+//! Because all five views are derived from one structure, a *correct*
+//! generated spec provably unlocks the corresponding kernel coverage.
+
+use kgpt_syzlang as syz;
+use serde::{Deserialize, Serialize};
+use syz::{
+    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, Syscall,
+    Type,
+};
+
+/// How a driver registers its device node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegStyle {
+    /// `struct miscdevice { .name = "x" }` → `/dev/x` (the common case).
+    MiscName,
+    /// `struct miscdevice { .nodename = "a/b" }` → `/dev/a/b`. The rare
+    /// legitimate case SyzDescribe gets wrong (paper §1, Figure 2).
+    MiscNodename,
+    /// `cdev_init` + `device_create(class, NULL, dev, NULL, "name")`.
+    Cdev,
+    /// `device_create` with a printf-style name pattern
+    /// (`"controlC%i"`); static copying of the literal yields a wrong
+    /// path — the SyzDescribe `controlC#`/`timer` failure in Table 5.
+    CdevIndexed,
+    /// `proc_create("name", mode, parent, &fops)` under `/proc/`.
+    ProcOps,
+    /// Not registered directly: the fd is produced by another handler's
+    /// command (KVM's vm/vcpu fds).
+    Anon,
+}
+
+/// How the ioctl handler maps command values to sub-handlers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchStyle {
+    /// `switch (cmd) { case CMD: ... }`.
+    Switch,
+    /// `if (cmd == A) ... else if (cmd == B) ...`.
+    IfChain,
+    /// Static table `{cmd, fn}` scanned by a lookup function.
+    LookupTable,
+    /// The registered handler tail-calls through `n` wrapper functions
+    /// before the real `switch`. Exercises iterative UNKNOWN expansion.
+    Delegated(u8),
+}
+
+impl DispatchStyle {
+    /// Number of wrapper hops before command values become visible.
+    #[must_use]
+    pub fn delegation_depth(&self) -> u8 {
+        match self {
+            DispatchStyle::Delegated(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// Transformation the kernel applies to the user-supplied command value
+/// before dispatching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmdTransform {
+    /// Dispatch on the raw value.
+    None,
+    /// `cmd = _IOC_NR(command)` — dispatch on the low byte.
+    IocNr,
+    /// `cmd = command & mask`.
+    Masked(u64),
+}
+
+/// How a command's numeric value is defined in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmdEncoding {
+    /// Plain `#define NAME value`.
+    Raw(u64),
+    /// `_IO*`-encoded with this direction (see [`crate::cmacro`]);
+    /// magic comes from the blueprint, size from the arg struct.
+    Ioc {
+        /// `_IOC` direction bits.
+        dir: u64,
+    },
+}
+
+/// Argument carried by a command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgKind {
+    /// Argument ignored.
+    None,
+    /// Scalar integer argument.
+    Int,
+    /// Pointer to a named [`ArgStruct`].
+    Struct(String),
+    /// Pointer to an `int32` holding an id of the named resource
+    /// (the `ioctl$CLOSE(..., ptr[in, msm_submitqueue_id])` pattern).
+    IdPtr(String),
+}
+
+/// Data-flow direction of a command's argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgDir {
+    /// Kernel reads.
+    In,
+    /// Kernel writes.
+    Out,
+    /// Both.
+    InOut,
+}
+
+impl ArgDir {
+    /// Equivalent syzlang direction.
+    #[must_use]
+    pub fn to_dir(self) -> Dir {
+        match self {
+            ArgDir::In => Dir::In,
+            ArgDir::Out => Dir::Out,
+            ArgDir::InOut => Dir::InOut,
+        }
+    }
+}
+
+/// Side effect of a command beyond coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmdEffect {
+    /// No state change.
+    Pure,
+    /// Returns a fresh fd bound to another blueprint (KVM_CREATE_VM).
+    CreatesFd {
+        /// `Blueprint::id` of the sub-handler.
+        handler: String,
+    },
+    /// Advances the per-fd state machine to `sets` (only if the current
+    /// state is at least `requires`). Deep commands model setup chains.
+    StateStep {
+        /// State value after this command.
+        sets: u8,
+        /// Required current state (0 = always allowed).
+        requires: u8,
+    },
+    /// Emits a fresh id for the named resource (queue-create pattern);
+    /// the id is written to the struct's `OutId` field.
+    IssuesId {
+        /// Resource name.
+        resource: String,
+    },
+}
+
+/// One ioctl command or socket option.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmdBlueprint {
+    /// Macro name (`DM_DEV_CREATE`, `KVM_CREATE_VM`).
+    pub name: String,
+    /// Command number (pre-encoding) or raw option value.
+    pub nr: u64,
+    /// Value encoding in the C source.
+    pub encoding: CmdEncoding,
+    /// Argument shape.
+    pub arg: ArgKind,
+    /// Argument direction.
+    pub dir: ArgDir,
+    /// Side effect.
+    pub effect: CmdEffect,
+    /// Coverage blocks behind a *reachable* call (cmd matched).
+    pub blocks: u32,
+    /// Extra blocks unlocked when every field check passes.
+    pub deep_blocks: u32,
+    /// Dispatched through a runtime-registered indirect table instead of
+    /// the static switch — invisible to static analysis and to the
+    /// iterative LLM analysis (the paper's §5.1.3 "missing syscalls"
+    /// case). The virtual kernel still implements it, and human-written
+    /// existing specs may still describe it.
+    pub hidden: bool,
+}
+
+impl CmdBlueprint {
+    /// A pure `_IOWR` command with default block weights.
+    pub fn new(name: impl Into<String>, nr: u64, arg: ArgKind, dir: ArgDir) -> CmdBlueprint {
+        CmdBlueprint {
+            name: name.into(),
+            nr,
+            encoding: CmdEncoding::Ioc { dir: 3 },
+            arg,
+            dir,
+            effect: CmdEffect::Pure,
+            blocks: 6,
+            deep_blocks: 4,
+            hidden: false,
+        }
+    }
+}
+
+/// Scalar field type of an [`ArgStruct`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldTy {
+    /// 1 byte.
+    U8,
+    /// 2 bytes.
+    U16,
+    /// 4 bytes.
+    U32,
+    /// 8 bytes.
+    U64,
+    /// `char name[n]` buffer.
+    CharArray(u64),
+    /// Fixed array of a scalar.
+    Array(Box<FieldTy>, u64),
+    /// Flexible trailing array.
+    FlexArray(Box<FieldTy>),
+    /// Embedded struct by name.
+    Struct(String),
+}
+
+impl FieldTy {
+    /// C size/alignment of this field type (x86-64 rules), given the
+    /// sibling structs of the blueprint.
+    #[must_use]
+    pub fn size_align(&self, structs: &[ArgStruct]) -> (u64, u64) {
+        match self {
+            FieldTy::U8 => (1, 1),
+            FieldTy::U16 => (2, 2),
+            FieldTy::U32 => (4, 4),
+            FieldTy::U64 => (8, 8),
+            FieldTy::CharArray(n) => (*n, 1),
+            FieldTy::Array(e, n) => {
+                let (s, a) = e.size_align(structs);
+                (s * n, a)
+            }
+            FieldTy::FlexArray(e) => (0, e.size_align(structs).1),
+            FieldTy::Struct(name) => structs
+                .iter()
+                .find(|s| &s.name == name)
+                .map_or((0, 1), |s| s.size_align(structs)),
+        }
+    }
+}
+
+/// Semantic role of a field, driving kernel checks and spec types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldRole {
+    /// No special handling.
+    Plain,
+    /// Counts the *elements* of the sibling flexible array `target`.
+    LenOf(String),
+    /// Total payload size the kernel passes to its allocator
+    /// (`dm_ioctl.data_size`); huge values are the classic kmalloc bug.
+    SizeOfPayload,
+    /// Value must lie in `[lo, hi]` or the kernel returns `EINVAL`.
+    CheckedRange(u64, u64),
+    /// Value must equal the given magic or the kernel returns `EINVAL`.
+    MagicCheck(u64),
+    /// Must be zero (reserved).
+    Reserved,
+    /// Members of the named flag set (values in the blueprint).
+    Flags(String),
+    /// Kernel writes a fresh id of the named resource here.
+    OutId(String),
+    /// Kernel validates this as a previously issued id of the resource.
+    InId(String),
+}
+
+/// One field of an argument struct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArgField {
+    /// C field name.
+    pub name: String,
+    /// Scalar/array type.
+    pub ty: FieldTy,
+    /// Semantic role.
+    pub role: FieldRole,
+}
+
+impl ArgField {
+    /// A plain field.
+    pub fn plain(name: impl Into<String>, ty: FieldTy) -> ArgField {
+        ArgField {
+            name: name.into(),
+            ty,
+            role: FieldRole::Plain,
+        }
+    }
+
+    /// A field with a role.
+    pub fn with_role(name: impl Into<String>, ty: FieldTy, role: FieldRole) -> ArgField {
+        ArgField {
+            name: name.into(),
+            ty,
+            role,
+        }
+    }
+}
+
+/// A C argument struct (or union) used by one or more commands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArgStruct {
+    /// C tag name (`dm_ioctl`).
+    pub name: String,
+    /// Members in order.
+    pub fields: Vec<ArgField>,
+    /// `true` for unions.
+    pub is_union: bool,
+}
+
+impl ArgStruct {
+    /// C size/alignment under x86-64 rules.
+    #[must_use]
+    pub fn size_align(&self, structs: &[ArgStruct]) -> (u64, u64) {
+        let mut size = 0u64;
+        let mut align = 1u64;
+        for f in &self.fields {
+            let (s, a) = f.ty.size_align(structs);
+            align = align.max(a);
+            if self.is_union {
+                size = size.max(s);
+            } else {
+                size = round_up(size, a) + s;
+            }
+        }
+        (round_up(size, align), align)
+    }
+
+    /// Byte offset of a field (0 for unions).
+    #[must_use]
+    pub fn offset_of(&self, field: &str, structs: &[ArgStruct]) -> Option<u64> {
+        if self.is_union {
+            return self.fields.iter().any(|f| f.name == field).then_some(0);
+        }
+        let mut off = 0u64;
+        for f in &self.fields {
+            let (s, a) = f.ty.size_align(structs);
+            off = round_up(off, a);
+            if f.name == field {
+                return Some(off);
+            }
+            off += s;
+        }
+        None
+    }
+}
+
+fn round_up(v: u64, a: u64) -> u64 {
+    (v + a - 1) & !(a - 1)
+}
+
+/// An injected bug (Table 4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugBlueprint {
+    /// Crash title (`kmalloc bug in ctl_ioctl`).
+    pub title: String,
+    /// CVE id if assigned.
+    pub cve: Option<String>,
+    /// Trigger condition.
+    pub trigger: Trigger,
+}
+
+/// Condition under which an injected bug fires.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// `cmd` executed with struct field `field` above `min`.
+    FieldAbove {
+        /// Command macro name.
+        cmd: String,
+        /// Field of the command's arg struct.
+        field: String,
+        /// Exclusive lower bound.
+        min: u64,
+    },
+    /// `cmd` executed with `field == 0` (divide-by-zero style).
+    FieldZero {
+        /// Command macro name.
+        cmd: String,
+        /// Field name.
+        field: String,
+    },
+    /// `then` executed (validly) after `first` on the same fd.
+    Sequence {
+        /// First command.
+        first: String,
+        /// Second command.
+        then: String,
+    },
+    /// `cmd` executed validly `times` times on one fd (leak/ODEBUG).
+    Repeat {
+        /// Command macro name.
+        cmd: String,
+        /// Valid executions required.
+        times: u32,
+    },
+    /// Socket payload call (`sendto`) with at least `min_len` bytes.
+    PayloadLen {
+        /// Minimum payload length.
+        min_len: u64,
+    },
+}
+
+/// Socket calls a family implements beyond `socket()` + sockopts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SockCall {
+    /// `bind`.
+    Bind,
+    /// `connect`.
+    Connect,
+    /// `sendto`.
+    Sendto,
+    /// `recvfrom`.
+    Recvfrom,
+    /// `accept` (after bind).
+    Accept,
+}
+
+/// Driver-specific half of a blueprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriverBlueprint {
+    /// Registration style.
+    pub reg: RegStyle,
+    /// Ground-truth device path (`/dev/mapper/control`).
+    pub dev_path: String,
+    /// Dispatch style.
+    pub dispatch: DispatchStyle,
+    /// Command-value transform before dispatch.
+    pub transform: CmdTransform,
+    /// `_IOC` magic byte.
+    pub magic: u64,
+    /// Coverage blocks behind a successful `open`.
+    pub open_blocks: u32,
+}
+
+/// Socket-specific half of a blueprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketBlueprint {
+    /// Address family constant name (`AF_RDS`).
+    pub family_name: String,
+    /// Address family value.
+    pub family: u64,
+    /// Socket type (`SOCK_SEQPACKET` etc.).
+    pub sock_type: u64,
+    /// Protocol number.
+    pub proto: u64,
+    /// `setsockopt`/`getsockopt` level value.
+    pub level: u64,
+    /// Name of the level macro (`SOL_RDS`).
+    pub level_name: String,
+    /// Which generic socket calls are implemented (each worth blocks).
+    pub calls: Vec<SockCall>,
+    /// Coverage blocks behind a successful `socket()`.
+    pub socket_blocks: u32,
+    /// The family id is produced by a runtime helper instead of a macro
+    /// (`.family = get_family_id()`), making the domain value invisible
+    /// to source-level analysis — the handlers KernelGPT cannot
+    /// describe in Table 1.
+    pub opaque_family: bool,
+}
+
+/// Which portion of a handler the pre-existing Syzkaller specs cover.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExistingSpec {
+    /// No existing description at all.
+    None,
+    /// Only the listed commands are described; `imprecise_types`
+    /// replaces struct args with raw byte buffers (hurting depth).
+    Partial {
+        /// Command names covered.
+        cmds: Vec<String>,
+        /// Use `array[int8]` instead of the true struct type.
+        imprecise_types: bool,
+        /// For sockets: which generic calls the existing spec covers
+        /// (`None` in the sense of an empty list = cover all).
+        calls: Vec<SockCall>,
+    },
+    /// Everything described correctly.
+    Full,
+}
+
+/// Kind-specific half of a blueprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlueprintKind {
+    /// A device driver operation handler.
+    Driver(DriverBlueprint),
+    /// A socket family operation handler.
+    Socket(SocketBlueprint),
+}
+
+/// A complete description of one operation handler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blueprint {
+    /// Unique short id (`"dm"`, `"kvm_vm"`, `"rds"`).
+    pub id: String,
+    /// Driver or socket specifics.
+    pub kind: BlueprintKind,
+    /// Commands (ioctls or sockopts).
+    pub cmds: Vec<CmdBlueprint>,
+    /// Argument structs.
+    pub structs: Vec<ArgStruct>,
+    /// Flag sets `(set name, [(macro, value)])`.
+    pub flag_sets: Vec<(String, Vec<(String, u64)>)>,
+    /// Injected bugs.
+    pub bugs: Vec<BugBlueprint>,
+    /// Loaded under the syzbot configuration (Table 1 census).
+    pub loaded: bool,
+    /// Pre-existing Syzkaller spec coverage.
+    pub existing: ExistingSpec,
+    /// Synthetic source path (`drivers/md/dm-ioctl.c`).
+    pub source_file: String,
+    /// Optional comment emitted above the handler (textual hint for L-3).
+    pub comment: Option<String>,
+}
+
+impl Blueprint {
+    /// The driver half, if this is a driver.
+    #[must_use]
+    pub fn driver(&self) -> Option<&DriverBlueprint> {
+        match &self.kind {
+            BlueprintKind::Driver(d) => Some(d),
+            BlueprintKind::Socket(_) => None,
+        }
+    }
+
+    /// The socket half, if this is a socket family.
+    #[must_use]
+    pub fn socket(&self) -> Option<&SocketBlueprint> {
+        match &self.kind {
+            BlueprintKind::Socket(s) => Some(s),
+            BlueprintKind::Driver(_) => None,
+        }
+    }
+
+    /// Look up an argument struct by name.
+    #[must_use]
+    pub fn arg_struct(&self, name: &str) -> Option<&ArgStruct> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a command by macro name.
+    #[must_use]
+    pub fn cmd(&self, name: &str) -> Option<&CmdBlueprint> {
+        self.cmds.iter().find(|c| c.name == name)
+    }
+
+    /// The full encoded value the *user* must pass for a command.
+    #[must_use]
+    pub fn cmd_value(&self, cmd: &CmdBlueprint) -> u64 {
+        match cmd.encoding {
+            CmdEncoding::Raw(v) => v,
+            CmdEncoding::Ioc { dir } => {
+                let magic = self.driver().map_or(0, |d| d.magic);
+                let (dir, size) = match &cmd.arg {
+                    ArgKind::Struct(name) => {
+                        if dir == 0 {
+                            (0, 0)
+                        } else {
+                            (
+                                dir,
+                                self.arg_struct(name)
+                                    .map_or(0, |s| s.size_align(&self.structs).0),
+                            )
+                        }
+                    }
+                    ArgKind::IdPtr(_) => {
+                        if dir == 0 {
+                            (0, 0)
+                        } else {
+                            (dir, 4)
+                        }
+                    }
+                    // `int` arguments encode as `_IOR/_IOW(m, nr, int)`;
+                    // no-argument commands are always `_IO(m, nr)`.
+                    ArgKind::Int => {
+                        if dir == 0 {
+                            (0, 0)
+                        } else {
+                            (dir, 4)
+                        }
+                    }
+                    ArgKind::None => (0, 0),
+                };
+                crate::cmacro::ioc(dir, magic, cmd.nr, size)
+            }
+        }
+    }
+
+    /// The value the kernel's dispatcher compares against (post
+    /// transform): the `case` labels in the emitted C.
+    #[must_use]
+    pub fn dispatch_value(&self, cmd: &CmdBlueprint) -> u64 {
+        let full = self.cmd_value(cmd);
+        match self.driver().map_or(CmdTransform::None, |d| d.transform) {
+            CmdTransform::None => full,
+            CmdTransform::IocNr => crate::cmacro::ioc_nr(full),
+            CmdTransform::Masked(m) => full & m,
+        }
+    }
+
+    /// Resource name for this handler's fd (`fd_dm` / `sock_rds`).
+    #[must_use]
+    pub fn fd_resource(&self) -> String {
+        match &self.kind {
+            BlueprintKind::Driver(_) => format!("fd_{}", self.id),
+            BlueprintKind::Socket(_) => format!("sock_{}", self.id),
+        }
+    }
+
+    /// All resources issued by commands (`IssuesId` effects), deduped.
+    #[must_use]
+    pub fn issued_resources(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.cmds {
+            if let CmdEffect::IssuesId { resource } = &c.effect {
+                if !out.contains(resource) {
+                    out.push(resource.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Symbolic constants this handler contributes (cmd macros with
+    /// their *full* user-facing values, flag macros, family/level names).
+    #[must_use]
+    pub fn const_entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for c in &self.cmds {
+            out.push((c.name.clone(), self.cmd_value(c)));
+        }
+        for (_, values) in &self.flag_sets {
+            for (name, v) in values {
+                out.push((name.clone(), *v));
+            }
+        }
+        if let Some(s) = self.socket() {
+            out.push((s.family_name.clone(), s.family));
+            out.push((s.level_name.clone(), s.level));
+        }
+        out
+    }
+
+    // ---- spec derivation --------------------------------------------
+
+    /// The complete, correct syzlang specification for this handler.
+    ///
+    /// This is the ground truth used for §5.1.3 correctness accounting
+    /// and for deriving the partial "existing Syzkaller" specs.
+    #[must_use]
+    pub fn ground_truth_spec(&self) -> SpecFile {
+        self.spec_for_cmds(
+            &self.cmds.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+            false,
+            &format!("{}_truth", self.id),
+        )
+    }
+
+    /// The pre-existing Syzkaller spec file, if any.
+    #[must_use]
+    pub fn existing_spec_file(&self) -> Option<SpecFile> {
+        match &self.existing {
+            ExistingSpec::None => None,
+            ExistingSpec::Full => Some(self.spec_for_cmds(
+                &self.cmds.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+                false,
+                &format!("{}_existing", self.id),
+            )),
+            ExistingSpec::Partial {
+                cmds,
+                imprecise_types,
+                calls,
+            } => {
+                let call_filter = if calls.is_empty() { None } else { Some(calls.as_slice()) };
+                Some(self.spec_subset(
+                    cmds,
+                    *imprecise_types,
+                    call_filter,
+                    &format!("{}_existing", self.id),
+                ))
+            }
+        }
+    }
+
+    /// Build a spec covering a subset of commands. `imprecise` replaces
+    /// struct args with untyped buffers (the paper's "incomplete
+    /// existing description" failure mode).
+    #[must_use]
+    pub fn spec_for_cmds(&self, cmd_names: &[String], imprecise: bool, file: &str) -> SpecFile {
+        self.spec_subset(cmd_names, imprecise, None, file)
+    }
+
+    /// Like [`Blueprint::spec_for_cmds`] but also restricting which
+    /// generic socket calls are described.
+    #[must_use]
+    pub fn spec_subset(
+        &self,
+        cmd_names: &[String],
+        imprecise: bool,
+        call_filter: Option<&[SockCall]>,
+        file: &str,
+    ) -> SpecFile {
+        let mut items = Vec::new();
+        let fd_res = self.fd_resource();
+        items.push(Item::Resource(Resource {
+            name: fd_res.clone(),
+            base: match &self.kind {
+                BlueprintKind::Driver(_) => "fd".to_string(),
+                BlueprintKind::Socket(_) => "sock".to_string(),
+            },
+            values: Vec::new(),
+        }));
+        for r in self.issued_resources() {
+            items.push(Item::Resource(Resource {
+                name: r,
+                base: "int32".to_string(),
+                values: Vec::new(),
+            }));
+        }
+        match &self.kind {
+            BlueprintKind::Driver(d) => {
+                if !matches!(d.reg, RegStyle::Anon) {
+                    items.push(Item::Syscall(Syscall {
+                        base: "openat".into(),
+                        variant: Some(self.id.clone()),
+                        params: vec![
+                            Param::new("dir", Type::sym_const("AT_FDCWD", IntBits::I64)),
+                            Param::new(
+                                "file",
+                                Type::ptr(
+                                    Dir::In,
+                                    Type::StringLit {
+                                        values: vec![d.dev_path.clone()],
+                                    },
+                                ),
+                            ),
+                            Param::new(
+                                "flags",
+                                Type::Const {
+                                    value: ConstExpr::Num(2), // O_RDWR
+                                    bits: IntBits::I64,
+                                },
+                            ),
+                            Param::new(
+                                "mode",
+                                Type::Const {
+                                    value: ConstExpr::Num(0),
+                                    bits: IntBits::I64,
+                                },
+                            ),
+                        ],
+                        ret: Some(fd_res.clone()),
+                    }));
+                }
+            }
+            BlueprintKind::Socket(s) => {
+                items.push(Item::Syscall(Syscall {
+                    base: "socket".into(),
+                    variant: Some(self.id.clone()),
+                    params: vec![
+                        Param::new("domain", Type::sym_const(&s.family_name, IntBits::I64)),
+                        Param::new(
+                            "type",
+                            Type::Const {
+                                value: ConstExpr::Num(s.sock_type),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                        Param::new(
+                            "proto",
+                            Type::Const {
+                                value: ConstExpr::Num(s.proto),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                    ],
+                    ret: Some(fd_res.clone()),
+                }));
+                for call in &s.calls {
+                    if call_filter.is_some_and(|f| !f.contains(call)) {
+                        continue;
+                    }
+                    items.push(Item::Syscall(self.socket_call_syscall(*call, &fd_res)));
+                }
+            }
+        }
+        for name in cmd_names {
+            let Some(cmd) = self.cmd(name) else { continue };
+            // Resources produced by sub-handler-creating commands are
+            // declared here so the file is self-contained even when the
+            // sub-handler's own spec is absent from a suite.
+            if let CmdEffect::CreatesFd { handler } = &cmd.effect {
+                let res_name = format!("fd_{handler}");
+                let already = items.iter().any(|i| matches!(i, Item::Resource(r) if r.name == res_name));
+                if !already {
+                    items.push(Item::Resource(Resource {
+                        name: res_name,
+                        base: "fd".to_string(),
+                        values: Vec::new(),
+                    }));
+                }
+            }
+            items.push(Item::Syscall(self.cmd_syscall(cmd, &fd_res, imprecise)));
+        }
+        {
+            let mut needed: Vec<&str> = Vec::new();
+            let imprecise_skip = imprecise;
+            if !imprecise_skip {
+                for name in cmd_names {
+                    if let Some(CmdBlueprint {
+                        arg: ArgKind::Struct(s),
+                        ..
+                    }) = self.cmd(name)
+                    {
+                        collect_structs(self, s, &mut needed);
+                    }
+                }
+            }
+            // Socket address structs are always needed by bind/connect/….
+            if self.socket().is_some() {
+                let addr = format!("sockaddr_{}", self.id);
+                if self.arg_struct(&addr).is_some() && !needed.contains(&addr.as_str()) {
+                    collect_structs(self, self.arg_struct(&addr).map(|s| s.name.as_str()).unwrap_or(""), &mut needed);
+                }
+            }
+            for s in &self.structs {
+                if needed.contains(&s.name.as_str()) {
+                    items.push(Item::Struct(self.syz_struct(s)));
+                }
+            }
+            let used_sets: Vec<String> = items
+                .iter()
+                .filter_map(|i| match i {
+                    Item::Struct(s) => Some(s),
+                    _ => None,
+                })
+                .flat_map(|s| s.fields.iter())
+                .filter_map(|f| match &f.ty {
+                    Type::Flags { set, .. } => Some(set.clone()),
+                    _ => None,
+                })
+                .collect();
+            for (set, values) in &self.flag_sets {
+                if used_sets.contains(set) {
+                    items.push(Item::Flags(FlagsDef {
+                        name: set.clone(),
+                        values: values
+                            .iter()
+                            .map(|(n, _)| ConstExpr::Sym(n.clone()))
+                            .collect(),
+                    }));
+                }
+            }
+        }
+        SpecFile {
+            name: format!("{file}.txt"),
+            items,
+        }
+    }
+
+    fn cmd_syscall(&self, cmd: &CmdBlueprint, fd_res: &str, imprecise: bool) -> Syscall {
+        let (base, params) = match &self.kind {
+            BlueprintKind::Driver(_) => {
+                let arg_ty = self.cmd_arg_type(cmd, imprecise);
+                (
+                    "ioctl",
+                    vec![
+                        Param::new("fd", Type::Resource(fd_res.to_string())),
+                        Param::new("cmd", Type::sym_const(&cmd.name, IntBits::I64)),
+                        Param::new("arg", arg_ty),
+                    ],
+                )
+            }
+            BlueprintKind::Socket(s) => {
+                let arg_ty = self.cmd_arg_type(cmd, imprecise);
+                (
+                    "setsockopt",
+                    vec![
+                        Param::new("fd", Type::Resource(fd_res.to_string())),
+                        Param::new("level", Type::sym_const(&s.level_name, IntBits::I64)),
+                        Param::new("opt", Type::sym_const(&cmd.name, IntBits::I64)),
+                        Param::new("val", arg_ty),
+                        Param::new(
+                            "len",
+                            Type::Bytesize {
+                                target: "val".into(),
+                                bits: IntBits::I64,
+                            },
+                        ),
+                    ],
+                )
+            }
+        };
+        let ret = match &cmd.effect {
+            CmdEffect::CreatesFd { handler } => Some(format!("fd_{handler}")),
+            _ => None,
+        };
+        Syscall {
+            base: base.to_string(),
+            variant: Some(cmd.name.clone()),
+            params,
+            ret,
+        }
+    }
+
+    fn cmd_arg_type(&self, cmd: &CmdBlueprint, imprecise: bool) -> Type {
+        if imprecise {
+            return Type::ptr(Dir::In, Type::buffer());
+        }
+        match &cmd.arg {
+            ArgKind::None => Type::Const {
+                value: ConstExpr::Num(0),
+                bits: IntBits::I64,
+            },
+            ArgKind::Int => Type::int(IntBits::I64),
+            ArgKind::Struct(name) => {
+                Type::ptr(cmd.dir.to_dir(), Type::Named(format!("{}_{name}", self.id)))
+            }
+            ArgKind::IdPtr(resource) => Type::ptr(cmd.dir.to_dir(), Type::Named(resource.clone())),
+        }
+    }
+
+    fn socket_call_syscall(&self, call: SockCall, fd_res: &str) -> Syscall {
+        let addr_struct = format!("{}_sockaddr_{}", self.id, self.id);
+        let addr = |dir: Dir| Type::ptr(dir, Type::Named(addr_struct.clone()));
+        let fd = || Param::new("fd", Type::Resource(fd_res.to_string()));
+        let bytesize = |target: &str| Type::Bytesize {
+            target: target.into(),
+            bits: IntBits::I64,
+        };
+        let zero = || Type::Const {
+            value: ConstExpr::Num(0),
+            bits: IntBits::I64,
+        };
+        match call {
+            SockCall::Bind => Syscall {
+                base: "bind".into(),
+                variant: Some(self.id.clone()),
+                params: vec![
+                    fd(),
+                    Param::new("addr", addr(Dir::In)),
+                    Param::new("len", bytesize("addr")),
+                ],
+                ret: None,
+            },
+            SockCall::Connect => Syscall {
+                base: "connect".into(),
+                variant: Some(self.id.clone()),
+                params: vec![
+                    fd(),
+                    Param::new("addr", addr(Dir::In)),
+                    Param::new("len", bytesize("addr")),
+                ],
+                ret: None,
+            },
+            SockCall::Sendto => Syscall {
+                base: "sendto".into(),
+                variant: Some(self.id.clone()),
+                params: vec![
+                    fd(),
+                    Param::new("buf", Type::ptr(Dir::In, Type::buffer())),
+                    Param::new("len", bytesize("buf")),
+                    Param::new("flags", zero()),
+                    Param::new("addr", addr(Dir::In)),
+                    Param::new("addrlen", bytesize("addr")),
+                ],
+                ret: None,
+            },
+            SockCall::Recvfrom => Syscall {
+                base: "recvfrom".into(),
+                variant: Some(self.id.clone()),
+                params: vec![
+                    fd(),
+                    Param::new("buf", Type::ptr(Dir::Out, Type::buffer())),
+                    Param::new("len", bytesize("buf")),
+                    Param::new("flags", zero()),
+                    Param::new("addr", addr(Dir::Out)),
+                    Param::new("addrlen", bytesize("addr")),
+                ],
+                ret: None,
+            },
+            SockCall::Accept => Syscall {
+                base: "accept".into(),
+                variant: Some(self.id.clone()),
+                params: vec![
+                    fd(),
+                    Param::new("addr", addr(Dir::Out)),
+                    Param::new("len", Type::ptr(Dir::In, Type::int(IntBits::I32))),
+                ],
+                ret: Some(fd_res.to_string()),
+            },
+        }
+    }
+
+    /// Convert an [`ArgStruct`] into a namespaced syzlang struct
+    /// definition (`dm_dm_ioctl` for blueprint `dm`, struct `dm_ioctl`).
+    #[must_use]
+    pub fn syz_struct(&self, s: &ArgStruct) -> syz::StructDef {
+        let fields = s
+            .fields
+            .iter()
+            .map(|f| {
+                let (ty, dir) = self.syz_field_type(f);
+                Field {
+                    name: f.name.clone(),
+                    ty,
+                    dir,
+                }
+            })
+            .collect();
+        syz::StructDef {
+            name: format!("{}_{}", self.id, s.name),
+            fields,
+            is_union: s.is_union,
+            packed: false,
+        }
+    }
+
+    fn syz_field_type(&self, f: &ArgField) -> (Type, Option<Dir>) {
+        let bits = |ty: &FieldTy| match ty {
+            FieldTy::U8 => IntBits::I8,
+            FieldTy::U16 => IntBits::I16,
+            FieldTy::U32 => IntBits::I32,
+            _ => IntBits::I64,
+        };
+        match &f.role {
+            FieldRole::LenOf(target) => (
+                Type::Len {
+                    target: target.clone(),
+                    bits: bits(&f.ty),
+                },
+                None,
+            ),
+            FieldRole::CheckedRange(lo, hi) => (
+                Type::Int {
+                    bits: bits(&f.ty),
+                    range: Some((*lo, *hi)),
+                },
+                None,
+            ),
+            FieldRole::MagicCheck(v) => (
+                Type::Const {
+                    value: ConstExpr::Num(*v),
+                    bits: bits(&f.ty),
+                },
+                None,
+            ),
+            FieldRole::Reserved => (
+                Type::Const {
+                    value: ConstExpr::Num(0),
+                    bits: bits(&f.ty),
+                },
+                None,
+            ),
+            FieldRole::Flags(set) => (
+                Type::Flags {
+                    set: set.clone(),
+                    bits: bits(&f.ty),
+                },
+                None,
+            ),
+            FieldRole::OutId(res) => (Type::Resource(res.clone()), Some(Dir::Out)),
+            FieldRole::InId(res) => (Type::Resource(res.clone()), None),
+            FieldRole::SizeOfPayload | FieldRole::Plain => (self.plain_field_type(&f.ty), None),
+        }
+    }
+
+    fn plain_field_type(&self, ty: &FieldTy) -> Type {
+        match ty {
+            FieldTy::U8 => Type::int(IntBits::I8),
+            FieldTy::U16 => Type::int(IntBits::I16),
+            FieldTy::U32 => Type::int(IntBits::I32),
+            FieldTy::U64 => Type::int(IntBits::I64),
+            FieldTy::CharArray(n) => Type::Array {
+                elem: Box::new(Type::int(IntBits::I8)),
+                len: ArrayLen::Fixed(*n),
+            },
+            FieldTy::Array(e, n) => Type::Array {
+                elem: Box::new(self.plain_field_type(e)),
+                len: ArrayLen::Fixed(*n),
+            },
+            FieldTy::FlexArray(e) => Type::Array {
+                elem: Box::new(self.plain_field_type(e)),
+                len: ArrayLen::Unsized,
+            },
+            FieldTy::Struct(name) => Type::Named(format!("{}_{name}", self.id)),
+        }
+    }
+}
+
+fn collect_structs<'a>(bp: &'a Blueprint, name: &'a str, out: &mut Vec<&'a str>) {
+    if name.is_empty() || out.contains(&name) {
+        return;
+    }
+    out.push(name);
+    if let Some(s) = bp.arg_struct(name) {
+        for f in &s.fields {
+            let mut t = &f.ty;
+            loop {
+                match t {
+                    FieldTy::Struct(inner) => {
+                        collect_structs(bp, inner, out);
+                        break;
+                    }
+                    FieldTy::Array(e, _) | FieldTy::FlexArray(e) => t = e,
+                    _ => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_driver() -> Blueprint {
+        Blueprint {
+            id: "dm".into(),
+            kind: BlueprintKind::Driver(DriverBlueprint {
+                reg: RegStyle::MiscNodename,
+                dev_path: "/dev/mapper/control".into(),
+                dispatch: DispatchStyle::LookupTable,
+                transform: CmdTransform::IocNr,
+                magic: 0xfd,
+                open_blocks: 4,
+            }),
+            cmds: vec![
+                CmdBlueprint::new(
+                    "DM_VERSION",
+                    0,
+                    ArgKind::Struct("dm_ioctl".into()),
+                    ArgDir::InOut,
+                ),
+                CmdBlueprint::new(
+                    "DM_DEV_CREATE",
+                    3,
+                    ArgKind::Struct("dm_ioctl".into()),
+                    ArgDir::In,
+                ),
+            ],
+            structs: vec![ArgStruct {
+                name: "dm_ioctl".into(),
+                fields: vec![
+                    ArgField::plain("version", FieldTy::Array(Box::new(FieldTy::U32), 3)),
+                    ArgField::with_role("data_size", FieldTy::U32, FieldRole::SizeOfPayload),
+                    ArgField::plain("name", FieldTy::CharArray(16)),
+                ],
+                is_union: false,
+            }],
+            flag_sets: vec![],
+            bugs: vec![BugBlueprint {
+                title: "kmalloc bug in ctl_ioctl".into(),
+                cve: Some("CVE-2024-23851".into()),
+                trigger: Trigger::FieldAbove {
+                    cmd: "DM_DEV_CREATE".into(),
+                    field: "data_size".into(),
+                    min: 0x1000_0000,
+                },
+            }],
+            loaded: true,
+            existing: ExistingSpec::None,
+            source_file: "drivers/md/dm-ioctl.c".into(),
+            comment: None,
+        }
+    }
+
+    #[test]
+    fn struct_size_matches_c_rules() {
+        let bp = sample_driver();
+        let s = bp.arg_struct("dm_ioctl").unwrap();
+        // version 12 bytes, data_size 4, name 16 → 32, align 4.
+        assert_eq!(s.size_align(&bp.structs), (32, 4));
+        assert_eq!(s.offset_of("data_size", &bp.structs), Some(12));
+    }
+
+    #[test]
+    fn cmd_value_uses_ioc_encoding() {
+        let bp = sample_driver();
+        let cmd = bp.cmd("DM_DEV_CREATE").unwrap();
+        let v = bp.cmd_value(cmd);
+        assert_eq!(crate::cmacro::ioc_nr(v), 3);
+        assert_eq!(crate::cmacro::ioc_type(v), 0xfd);
+        assert_eq!(crate::cmacro::ioc_size(v), 32);
+    }
+
+    #[test]
+    fn dispatch_value_applies_transform() {
+        let bp = sample_driver();
+        let cmd = bp.cmd("DM_DEV_CREATE").unwrap();
+        assert_eq!(bp.dispatch_value(cmd), 3);
+    }
+
+    #[test]
+    fn ground_truth_spec_is_valid_syzlang() {
+        let bp = sample_driver();
+        let spec = bp.ground_truth_spec();
+        let mut consts = kgpt_syzlang::ConstDb::new();
+        consts.define("AT_FDCWD", 0xffff_ff9c);
+        for (k, v) in bp.const_entries() {
+            consts.define(k, v);
+        }
+        let db = kgpt_syzlang::SpecDb::from_files(vec![spec]);
+        let errors = kgpt_syzlang::validate::validate(&db, &consts);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(db.syscall_count(), 3); // openat + 2 ioctls
+    }
+
+    #[test]
+    fn spec_round_trips_through_printer() {
+        let bp = sample_driver();
+        let spec = bp.ground_truth_spec();
+        let printed = kgpt_syzlang::print_file(&spec);
+        let reparsed = kgpt_syzlang::parse("rt", &printed).unwrap();
+        assert_eq!(reparsed.items.len(), spec.items.len());
+    }
+
+    #[test]
+    fn existing_partial_spec_subsets_cmds() {
+        let mut bp = sample_driver();
+        bp.existing = ExistingSpec::Partial {
+            cmds: vec!["DM_VERSION".into()],
+            imprecise_types: true,
+            calls: vec![],
+        };
+        let f = bp.existing_spec_file().unwrap();
+        let calls: Vec<String> = f.syscalls().map(Syscall::name).collect();
+        assert!(calls.contains(&"ioctl$DM_VERSION".to_string()));
+        assert!(!calls.iter().any(|c| c.contains("DM_DEV_CREATE")));
+        assert_eq!(f.structs().count(), 0);
+    }
+
+    #[test]
+    fn const_entries_cover_cmds() {
+        let bp = sample_driver();
+        let names: Vec<String> = bp.const_entries().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"DM_VERSION".to_string()));
+        assert!(names.contains(&"DM_DEV_CREATE".to_string()));
+    }
+
+    #[test]
+    fn socket_blueprint_spec_shape() {
+        let bp = Blueprint {
+            id: "rds".into(),
+            kind: BlueprintKind::Socket(SocketBlueprint {
+                family_name: "AF_RDS".into(),
+                family: 21,
+                sock_type: 5,
+                proto: 0,
+                level: 276,
+                level_name: "SOL_RDS".into(),
+                calls: vec![SockCall::Bind, SockCall::Sendto, SockCall::Recvfrom],
+                socket_blocks: 4,
+                opaque_family: false,
+            }),
+            cmds: vec![CmdBlueprint {
+                name: "RDS_CANCEL_SENT_TO".into(),
+                nr: 1,
+                encoding: CmdEncoding::Raw(1),
+                arg: ArgKind::Struct("rds_opt".into()),
+                dir: ArgDir::In,
+                effect: CmdEffect::Pure,
+                blocks: 6,
+                deep_blocks: 4,
+                hidden: false,
+            }],
+            structs: vec![
+                ArgStruct {
+                    name: "rds_opt".into(),
+                    fields: vec![ArgField::plain("v", FieldTy::U64)],
+                    is_union: false,
+                },
+                ArgStruct {
+                    name: "sockaddr_rds".into(),
+                    fields: vec![
+                        ArgField::with_role("family", FieldTy::U16, FieldRole::MagicCheck(21)),
+                        ArgField::plain("port", FieldTy::U16),
+                        ArgField::plain("addr", FieldTy::U32),
+                    ],
+                    is_union: false,
+                },
+            ],
+            flag_sets: vec![],
+            bugs: vec![],
+            loaded: true,
+            existing: ExistingSpec::None,
+            source_file: "net/rds/af_rds.c".into(),
+            comment: None,
+        };
+        let spec = bp.ground_truth_spec();
+        let names: Vec<String> = spec.syscalls().map(Syscall::name).collect();
+        assert!(names.contains(&"socket$rds".to_string()));
+        assert!(names.contains(&"bind$rds".to_string()));
+        assert!(names.contains(&"sendto$rds".to_string()));
+        assert!(names.contains(&"setsockopt$RDS_CANCEL_SENT_TO".to_string()));
+        // Socket specs must validate too.
+        let mut consts = kgpt_syzlang::ConstDb::new();
+        for (k, v) in bp.const_entries() {
+            consts.define(k, v);
+        }
+        let db = kgpt_syzlang::SpecDb::from_files(vec![spec]);
+        let errors = kgpt_syzlang::validate::validate(&db, &consts);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn issued_resources_deduplicated() {
+        let mut bp = sample_driver();
+        for (name, nr) in [("DM_Q_NEW", 7), ("DM_Q_NEW2", 8)] {
+            bp.cmds.push(CmdBlueprint {
+                name: name.into(),
+                nr,
+                encoding: CmdEncoding::Ioc { dir: 3 },
+                arg: ArgKind::Struct("dm_ioctl".into()),
+                dir: ArgDir::InOut,
+                effect: CmdEffect::IssuesId {
+                    resource: "dm_qid".into(),
+                },
+                blocks: 6,
+                deep_blocks: 4,
+                hidden: false,
+            });
+        }
+        assert_eq!(bp.issued_resources(), vec!["dm_qid".to_string()]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Evaluation of C constant expressions and kernel `_IOC` macros.
+//!
+//! Syscall command values in the corpus are defined the way the kernel
+//! defines them — `#define DM_VERSION _IOWR(DM_IOCTL, 0, struct
+//! dm_ioctl)` — so both the analyzers and the virtual kernel need an
+//! evaluator that resolves macros transitively, folds arithmetic, and
+//! implements the `_IOC` encoding natively.
+
+use crate::ast::{CType, Expr};
+use crate::index::Corpus;
+use crate::parser::parse_expr_str;
+use std::collections::BTreeMap;
+
+/// `_IOC` direction bits (Linux asm-generic/ioctl.h).
+pub const IOC_NONE: u64 = 0;
+/// Userspace writes (kernel reads).
+pub const IOC_WRITE: u64 = 1;
+/// Userspace reads (kernel writes).
+pub const IOC_READ: u64 = 2;
+
+const IOC_NRBITS: u64 = 8;
+const IOC_TYPEBITS: u64 = 8;
+const IOC_SIZEBITS: u64 = 14;
+const IOC_NRSHIFT: u64 = 0;
+const IOC_TYPESHIFT: u64 = IOC_NRSHIFT + IOC_NRBITS;
+const IOC_SIZESHIFT: u64 = IOC_TYPESHIFT + IOC_TYPEBITS;
+const IOC_DIRSHIFT: u64 = IOC_SIZESHIFT + IOC_SIZEBITS;
+
+/// Compose an ioctl command value (`_IOC(dir, type, nr, size)`).
+#[must_use]
+pub fn ioc(dir: u64, ty: u64, nr: u64, size: u64) -> u64 {
+    (dir << IOC_DIRSHIFT) | (ty << IOC_TYPESHIFT) | (nr << IOC_NRSHIFT) | (size << IOC_SIZESHIFT)
+}
+
+/// `_IOC_NR(cmd)` — extract the command number.
+#[must_use]
+pub fn ioc_nr(cmd: u64) -> u64 {
+    (cmd >> IOC_NRSHIFT) & ((1 << IOC_NRBITS) - 1)
+}
+
+/// `_IOC_TYPE(cmd)` — extract the type (magic) byte.
+#[must_use]
+pub fn ioc_type(cmd: u64) -> u64 {
+    (cmd >> IOC_TYPESHIFT) & ((1 << IOC_TYPEBITS) - 1)
+}
+
+/// `_IOC_SIZE(cmd)` — extract the argument size.
+#[must_use]
+pub fn ioc_size(cmd: u64) -> u64 {
+    (cmd >> IOC_SIZESHIFT) & ((1 << IOC_SIZEBITS) - 1)
+}
+
+/// `_IOC_DIR(cmd)` — extract the direction bits.
+#[must_use]
+pub fn ioc_dir(cmd: u64) -> u64 {
+    (cmd >> IOC_DIRSHIFT) & 0x3
+}
+
+/// Resolve a named constant: `#define` macro (evaluated recursively) or
+/// enum variant.
+#[must_use]
+pub fn eval_const(corpus: &Corpus, name: &str) -> Option<u64> {
+    eval_const_depth(corpus, name, 0)
+}
+
+fn eval_const_depth(corpus: &Corpus, name: &str, depth: usize) -> Option<u64> {
+    if depth > 16 {
+        return None;
+    }
+    if let Some(v) = corpus.enum_value(name) {
+        return Some(v);
+    }
+    let m = corpus.macro_def(name)?;
+    if m.params.is_some() {
+        return None; // function-like macro is not a constant
+    }
+    let expr = parse_expr_str(&m.body).ok()?;
+    eval_expr_depth(corpus, &expr, &BTreeMap::new(), depth + 1)
+}
+
+/// Evaluate a constant expression with optional macro-parameter
+/// bindings. Returns `None` for anything non-constant.
+#[must_use]
+pub fn eval_expr(corpus: &Corpus, expr: &Expr, params: &BTreeMap<String, u64>) -> Option<u64> {
+    eval_expr_depth(corpus, expr, params, 0)
+}
+
+fn eval_expr_depth(
+    corpus: &Corpus,
+    expr: &Expr,
+    params: &BTreeMap<String, u64>,
+    depth: usize,
+) -> Option<u64> {
+    if depth > 32 {
+        return None;
+    }
+    let ev = |e: &Expr| eval_expr_depth(corpus, e, params, depth + 1);
+    match expr {
+        Expr::Num(n) => Some(*n),
+        Expr::Ident(name) => params
+            .get(name)
+            .copied()
+            .or_else(|| eval_const_depth(corpus, name, depth + 1)),
+        Expr::Unary { op, expr } => {
+            let v = ev(expr)?;
+            Some(match *op {
+                "-" => v.wrapping_neg(),
+                "~" => !v,
+                "!" => u64::from(v == 0),
+                _ => return None,
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = ev(lhs)?;
+            let b = ev(rhs)?;
+            Some(match *op {
+                "+" => a.wrapping_add(b),
+                "-" => a.wrapping_sub(b),
+                "*" => a.wrapping_mul(b),
+                "/" => a.checked_div(b)?,
+                "%" => a.checked_rem(b)?,
+                "&" => a & b,
+                "|" => a | b,
+                "^" => a ^ b,
+                "<<" => a.wrapping_shl(u32::try_from(b).ok()?),
+                ">>" => a.wrapping_shr(u32::try_from(b).ok()?),
+                "==" => u64::from(a == b),
+                "!=" => u64::from(a != b),
+                "<" => u64::from(a < b),
+                "<=" => u64::from(a <= b),
+                ">" => u64::from(a > b),
+                ">=" => u64::from(a >= b),
+                "&&" => u64::from(a != 0 && b != 0),
+                "||" => u64::from(a != 0 || b != 0),
+                _ => return None,
+            })
+        }
+        Expr::Ternary { cond, then, els } => {
+            if ev(cond)? != 0 {
+                ev(then)
+            } else {
+                ev(els)
+            }
+        }
+        Expr::Cast { expr, .. } => ev(expr),
+        Expr::SizeofType(ty) => sizeof_for_macro(corpus, ty),
+        Expr::SizeofExpr(_) => None,
+        Expr::Call { func, args } => eval_call(corpus, func, args, params, depth),
+        _ => None,
+    }
+}
+
+fn sizeof_for_macro(corpus: &Corpus, ty: &CType) -> Option<u64> {
+    corpus.sizeof_type(ty)
+}
+
+fn eval_call(
+    corpus: &Corpus,
+    func: &str,
+    args: &[Expr],
+    params: &BTreeMap<String, u64>,
+    depth: usize,
+) -> Option<u64> {
+    let ev = |e: &Expr| eval_expr_depth(corpus, e, params, depth + 1);
+    // Builtin _IOC family.
+    match func {
+        "_IO" => {
+            let (t, nr) = (ev(args.first()?)?, ev(args.get(1)?)?);
+            return Some(ioc(IOC_NONE, t, nr, 0));
+        }
+        "_IOR" | "_IOW" | "_IOWR" => {
+            let (t, nr) = (ev(args.first()?)?, ev(args.get(1)?)?);
+            let size = match args.get(2)? {
+                Expr::SizeofType(ty) => sizeof_for_macro(corpus, ty)?,
+                other => ev(other)?,
+            };
+            let dir = match func {
+                "_IOR" => IOC_READ,
+                "_IOW" => IOC_WRITE,
+                _ => IOC_READ | IOC_WRITE,
+            };
+            return Some(ioc(dir, t, nr, size));
+        }
+        "_IOC" => {
+            let dir = ev(args.first()?)?;
+            let t = ev(args.get(1)?)?;
+            let nr = ev(args.get(2)?)?;
+            let size = match args.get(3)? {
+                Expr::SizeofType(ty) => sizeof_for_macro(corpus, ty)?,
+                other => ev(other)?,
+            };
+            return Some(ioc(dir, t, nr, size));
+        }
+        "_IOC_NR" => return Some(ioc_nr(ev(args.first()?)?)),
+        "_IOC_TYPE" => return Some(ioc_type(ev(args.first()?)?)),
+        "_IOC_SIZE" => return Some(ioc_size(ev(args.first()?)?)),
+        "_IOC_DIR" => return Some(ioc_dir(ev(args.first()?)?)),
+        _ => {}
+    }
+    // User-defined function-like macro.
+    let m = corpus.macro_def(func)?;
+    let names = m.params.as_ref()?;
+    if names.len() != args.len() {
+        return None;
+    }
+    let mut bound = BTreeMap::new();
+    for (n, a) in names.iter().zip(args) {
+        bound.insert(n.clone(), ev(a)?);
+    }
+    let body = parse_expr_str(&m.body).ok()?;
+    eval_expr_depth(corpus, &body, &bound, depth + 1)
+}
+
+/// Resolve an expression to a string: literals, macros expanding to
+/// string literals, and `__concat` chains (`DM_DIR "/" DM_CONTROL_NODE`).
+#[must_use]
+pub fn eval_string(corpus: &Corpus, expr: &Expr) -> Option<String> {
+    eval_string_depth(corpus, expr, 0)
+}
+
+fn eval_string_depth(corpus: &Corpus, expr: &Expr, depth: usize) -> Option<String> {
+    if depth > 16 {
+        return None;
+    }
+    match expr {
+        Expr::Str(s) => Some(s.clone()),
+        Expr::Ident(name) => {
+            let m = corpus.macro_def(name)?;
+            if m.params.is_some() {
+                return None;
+            }
+            let body = parse_expr_str(&m.body).ok()?;
+            eval_string_depth(corpus, &body, depth + 1)
+        }
+        Expr::Call { func, args } if func == "__concat" => {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(&eval_string_depth(corpus, a, depth + 1)?);
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::cparse;
+
+    fn corpus(src: &str) -> Corpus {
+        Corpus::build(vec![cparse("t.c", src).unwrap()])
+    }
+
+    #[test]
+    fn ioc_encoding_matches_linux() {
+        // DM_VERSION on Linux: _IOWR(0xfd, 0, struct dm_ioctl) with
+        // sizeof(struct dm_ioctl)=312 → 0xc1387d00-ish shape. Verify
+        // field extraction round-trips.
+        let cmd = ioc(IOC_READ | IOC_WRITE, 0xfd, 3, 312);
+        assert_eq!(ioc_nr(cmd), 3);
+        assert_eq!(ioc_type(cmd), 0xfd);
+        assert_eq!(ioc_size(cmd), 312);
+        assert_eq!(ioc_dir(cmd), 3);
+    }
+
+    #[test]
+    fn evaluates_iowr_macro_with_struct_size() {
+        let c = corpus(
+            "struct dm_ioctl { u32 version[3]; u32 data_size; };\n#define DM_IOCTL 0xfd\n#define DM_DEV_CREATE _IOWR(DM_IOCTL, 3, struct dm_ioctl)\n",
+        );
+        let v = eval_const(&c, "DM_DEV_CREATE").unwrap();
+        assert_eq!(ioc_nr(v), 3);
+        assert_eq!(ioc_type(v), 0xfd);
+        assert_eq!(ioc_size(v), 16);
+        assert_eq!(ioc_dir(v), IOC_READ | IOC_WRITE);
+    }
+
+    #[test]
+    fn evaluates_transitive_macros() {
+        let c = corpus("#define A 2\n#define B (A << 4)\n#define C (B | 1)\n");
+        assert_eq!(eval_const(&c, "C"), Some(0x21));
+    }
+
+    #[test]
+    fn function_like_macro_with_params() {
+        let c = corpus("#define MK(x, y) (((x) << 8) | (y))\n#define V MK(2, 3)\n");
+        assert_eq!(eval_const(&c, "V"), Some(0x203));
+    }
+
+    #[test]
+    fn enum_variants_resolve() {
+        let c = corpus("enum cmds { CMD_A = 0x10, CMD_B };\n");
+        assert_eq!(eval_const(&c, "CMD_B"), Some(0x11));
+    }
+
+    #[test]
+    fn recursive_macro_does_not_hang() {
+        let c = corpus("#define A B\n#define B A\n");
+        assert_eq!(eval_const(&c, "A"), None);
+    }
+
+    #[test]
+    fn string_concat_resolves() {
+        let c = corpus("#define DM_DIR \"mapper\"\n#define NODE DM_DIR \"/\" \"control\"\n");
+        let m = c.macro_def("NODE").unwrap();
+        let e = parse_expr_str(&m.body).unwrap();
+        assert_eq!(eval_string(&c, &e), Some("mapper/control".to_string()));
+    }
+
+    #[test]
+    fn char_literal_magic() {
+        let c = corpus("#define HPET_INFO _IOR('h', 3, struct hpet_info)\nstruct hpet_info { u64 hi_ireqfreq; u32 hi_flags; u16 hi_hpet; u16 hi_timer; };\n");
+        let v = eval_const(&c, "HPET_INFO").unwrap();
+        assert_eq!(ioc_type(v), u64::from(b'h'));
+        assert_eq!(ioc_size(v), 16);
+        assert_eq!(ioc_dir(v), IOC_READ);
+    }
+
+    #[test]
+    fn non_constant_returns_none() {
+        let c = corpus("#define F(x) runtime_call(x)\n#define V F(1)\n");
+        assert_eq!(eval_const(&c, "V"), None);
+    }
+}

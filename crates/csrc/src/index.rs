@@ -1,0 +1,361 @@
+//! Symbol index over a set of parsed C files — the query surface behind
+//! `ExtractCode` in the paper's Algorithm 1.
+
+use crate::ast::{CArraySize, CEnumDef, CFile, CFunction, CItemKind, CStructDef, CType, CVarDef, MacroDef};
+use std::collections::BTreeMap;
+
+/// Indexed collection of C files.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    files: Vec<CFile>,
+    functions: BTreeMap<String, (usize, usize)>,
+    structs: BTreeMap<String, (usize, usize)>,
+    macros: BTreeMap<String, (usize, usize)>,
+    vars: BTreeMap<String, (usize, usize)>,
+    enums: BTreeMap<String, (usize, usize)>,
+    enum_variant_owner: BTreeMap<String, (usize, usize)>,
+}
+
+impl Corpus {
+    /// Build an index over parsed files. Later definitions shadow
+    /// earlier ones with the same name (like link order in the kernel).
+    #[must_use]
+    pub fn build(files: Vec<CFile>) -> Corpus {
+        let mut c = Corpus {
+            files,
+            ..Corpus::default()
+        };
+        for (fi, file) in c.files.iter().enumerate() {
+            for (ii, item) in file.items.iter().enumerate() {
+                let key = (fi, ii);
+                match &item.kind {
+                    CItemKind::Function(f) => {
+                        // Prototypes must not shadow definitions.
+                        if !f.is_proto || !c.functions.contains_key(&f.name) {
+                            c.functions.insert(f.name.clone(), key);
+                        }
+                    }
+                    CItemKind::Struct(s) => {
+                        c.structs.insert(s.name.clone(), key);
+                    }
+                    CItemKind::Macro(m) => {
+                        c.macros.insert(m.name.clone(), key);
+                    }
+                    CItemKind::Var(v) => {
+                        c.vars.insert(v.name.clone(), key);
+                    }
+                    CItemKind::Enum(e) => {
+                        if !e.name.is_empty() {
+                            c.enums.insert(e.name.clone(), key);
+                        }
+                        for (vn, _) in &e.variants {
+                            c.enum_variant_owner.insert(vn.clone(), key);
+                        }
+                    }
+                    CItemKind::Typedef(_) => {}
+                }
+            }
+        }
+        c
+    }
+
+    /// The indexed files.
+    #[must_use]
+    pub fn files(&self) -> &[CFile] {
+        &self.files
+    }
+
+    fn item(&self, key: (usize, usize)) -> &crate::ast::CItem {
+        &self.files[key.0].items[key.1]
+    }
+
+    /// Look up a function definition (prototypes only if no definition).
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&CFunction> {
+        self.functions.get(name).map(|k| match &self.item(*k).kind {
+            CItemKind::Function(f) => f,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Look up a struct/union definition.
+    #[must_use]
+    pub fn struct_def(&self, name: &str) -> Option<&CStructDef> {
+        self.structs.get(name).map(|k| match &self.item(*k).kind {
+            CItemKind::Struct(s) => s,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Look up a macro.
+    #[must_use]
+    pub fn macro_def(&self, name: &str) -> Option<&MacroDef> {
+        self.macros.get(name).map(|k| match &self.item(*k).kind {
+            CItemKind::Macro(m) => m,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Look up a global variable.
+    #[must_use]
+    pub fn var_def(&self, name: &str) -> Option<&CVarDef> {
+        self.vars.get(name).map(|k| match &self.item(*k).kind {
+            CItemKind::Var(v) => v,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Look up an enum by tag.
+    #[must_use]
+    pub fn enum_def(&self, name: &str) -> Option<&CEnumDef> {
+        self.enums.get(name).map(|k| match &self.item(*k).kind {
+            CItemKind::Enum(e) => e,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Find the enum that declares a variant.
+    #[must_use]
+    pub fn enum_of_variant(&self, variant: &str) -> Option<&CEnumDef> {
+        self.enum_variant_owner
+            .get(variant)
+            .map(|k| match &self.item(*k).kind {
+                CItemKind::Enum(e) => e,
+                _ => unreachable!(),
+            })
+    }
+
+    /// Value of an enum variant.
+    #[must_use]
+    pub fn enum_value(&self, variant: &str) -> Option<u64> {
+        self.enum_of_variant(variant)?
+            .values()
+            .into_iter()
+            .find(|(n, _)| n == variant)
+            .map(|(_, v)| v)
+    }
+
+    /// Raw source text of the definition of `name` in any namespace —
+    /// the `ExtractCode` primitive of Algorithm 1. Functions win over
+    /// other namespaces; otherwise structs, macros, vars, enums.
+    #[must_use]
+    pub fn source_of(&self, name: &str) -> Option<&str> {
+        let key = self
+            .functions
+            .get(name)
+            .or_else(|| self.structs.get(name))
+            .or_else(|| self.macros.get(name))
+            .or_else(|| self.vars.get(name))
+            .or_else(|| self.enums.get(name))
+            .or_else(|| self.enum_variant_owner.get(name))?;
+        Some(&self.item(*key).text)
+    }
+
+    /// All global variables, with their file names.
+    pub fn all_vars(&self) -> impl Iterator<Item = (&str, &CVarDef)> {
+        self.files.iter().flat_map(|f| {
+            f.items.iter().filter_map(move |i| match &i.kind {
+                CItemKind::Var(v) => Some((f.name.as_str(), v)),
+                _ => None,
+            })
+        })
+    }
+
+    /// Uses of an identifier: source texts of items (other than its own
+    /// definition) whose text mentions `name`. This backs the paper's
+    /// "usage information" in prompts.
+    #[must_use]
+    pub fn usages_of(&self, name: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for f in &self.files {
+            for item in &f.items {
+                if item.name() != name && item.text.contains(name) {
+                    out.push(item.text.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    // ---- C sizeof/alignof ------------------------------------------
+
+    /// Size in bytes of a C type under x86-64 rules, or `None` for
+    /// unknown named types.
+    #[must_use]
+    pub fn sizeof_type(&self, ty: &CType) -> Option<u64> {
+        let (size, _) = self.size_align(ty, 0)?;
+        Some(size)
+    }
+
+    /// Size of a named struct/union.
+    #[must_use]
+    pub fn sizeof_struct(&self, name: &str) -> Option<u64> {
+        let def = self.struct_def(name)?;
+        let (size, _) = self.struct_size_align(def, 0)?;
+        Some(size)
+    }
+
+    /// Byte offset of `field` within struct `name`.
+    #[must_use]
+    pub fn offset_of(&self, name: &str, field: &str) -> Option<u64> {
+        let def = self.struct_def(name)?;
+        if def.is_union {
+            return def.fields.iter().any(|f| f.name == field).then_some(0);
+        }
+        let mut off = 0u64;
+        for f in &def.fields {
+            let (size, align) = self.size_align(&f.ty, 0)?;
+            off = round_up(off, align);
+            if f.name == field {
+                return Some(off);
+            }
+            off += size;
+        }
+        None
+    }
+
+    fn size_align(&self, ty: &CType, depth: usize) -> Option<(u64, u64)> {
+        if depth > 16 {
+            return None;
+        }
+        if ty.ptr > 0 || ty.base.starts_with("fnptr:") {
+            return self.apply_array(ty, 8, 8);
+        }
+        let (size, align) = match ty.base.as_str() {
+            "void" => (0, 1),
+            "char" | "uchar" | "bool" | "u8" | "s8" | "__u8" | "__s8" => (1, 1),
+            "short" | "ushort" | "u16" | "s16" | "__u16" | "__s16" | "__le16" | "__be16" => (2, 2),
+            "int" | "uint" | "u32" | "s32" | "__u32" | "__s32" | "__le32" | "__be32" | "enum"
+            | "poll_t" | "__poll_t" | "dev_t" | "pid_t" | "uid_t" | "gid_t" | "float" => (4, 4),
+            "long" | "ulong" | "u64" | "s64" | "__u64" | "__s64" | "__le64" | "__be64"
+            | "size_t" | "ssize_t" | "loff_t" | "off_t" | "uintptr_t" | "intptr_t" | "double" => {
+                (8, 8)
+            }
+            other => {
+                if let Some(tag) = other.strip_prefix("struct ").or_else(|| other.strip_prefix("union ")) {
+                    let def = self.struct_def(tag)?;
+                    self.struct_size_align(def, depth + 1)?
+                } else if let Some(tag) = other.strip_prefix("enum ") {
+                    let _ = tag;
+                    (4, 4)
+                } else {
+                    return None;
+                }
+            }
+        };
+        self.apply_array(ty, size, align)
+    }
+
+    fn apply_array(&self, ty: &CType, size: u64, align: u64) -> Option<(u64, u64)> {
+        match &ty.array {
+            None => Some((size, align)),
+            Some(CArraySize::Fixed(n)) => Some((size * n, align)),
+            Some(CArraySize::Flex) => Some((0, align)),
+            Some(CArraySize::Named(n)) => {
+                let count = self
+                    .enum_value(n)
+                    .or_else(|| crate::cmacro::eval_const(self, n))?;
+                Some((size * count, align))
+            }
+        }
+    }
+
+    fn struct_size_align(&self, def: &CStructDef, depth: usize) -> Option<(u64, u64)> {
+        let mut size = 0u64;
+        let mut align = 1u64;
+        for f in &def.fields {
+            let (s, a) = self.size_align(&f.ty, depth)?;
+            align = align.max(a);
+            if def.is_union {
+                size = size.max(s);
+            } else {
+                size = round_up(size, a) + s;
+            }
+        }
+        Some((round_up(size, align), align))
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::cparse;
+
+    fn corpus(src: &str) -> Corpus {
+        Corpus::build(vec![cparse("t.c", src).unwrap()])
+    }
+
+    #[test]
+    fn indexes_all_namespaces() {
+        let c = corpus(
+            "#define M 7\nstruct s { int a; };\nenum e { E_A = 3 };\nstatic int v = 1;\nstatic int f(void) { return 0; }\n",
+        );
+        assert!(c.macro_def("M").is_some());
+        assert!(c.struct_def("s").is_some());
+        assert!(c.enum_def("e").is_some());
+        assert!(c.var_def("v").is_some());
+        assert!(c.function("f").is_some());
+        assert_eq!(c.enum_value("E_A"), Some(3));
+    }
+
+    #[test]
+    fn source_of_returns_exact_text() {
+        let c = corpus("struct s { int a; };\n");
+        assert_eq!(c.source_of("s"), Some("struct s { int a; };"));
+        assert_eq!(c.source_of("nope"), None);
+    }
+
+    #[test]
+    fn definition_beats_prototype() {
+        let c = corpus("int f(void);\nint f(void) { return 1; }\n");
+        assert!(!c.function("f").unwrap().is_proto);
+        // And the reverse order too.
+        let c = corpus("int g(void) { return 1; }\nint g(void);\n");
+        assert!(!c.function("g").unwrap().is_proto);
+    }
+
+    #[test]
+    fn sizeof_scalars_and_structs() {
+        let c = corpus(
+            "struct inner { u64 x; };\nstruct s { u8 a; u32 b; u16 c; struct inner i; };\n",
+        );
+        assert_eq!(c.sizeof_struct("inner"), Some(8));
+        // a@0, b@4, c@8, pad, i@16 → 24
+        assert_eq!(c.sizeof_struct("s"), Some(24));
+        assert_eq!(c.offset_of("s", "i"), Some(16));
+        assert_eq!(c.offset_of("s", "b"), Some(4));
+    }
+
+    #[test]
+    fn sizeof_union_and_arrays() {
+        let c = corpus("union u { u8 a[7]; u64 b; };\nstruct t { u32 v[3]; char tail[]; };\n");
+        assert_eq!(c.sizeof_struct("u"), Some(8));
+        assert_eq!(c.sizeof_struct("t"), Some(12));
+    }
+
+    #[test]
+    fn named_array_size_from_enum() {
+        let c = corpus("enum { DM_NAME_LEN = 128 };\nstruct d { char name[DM_NAME_LEN]; };\n");
+        assert_eq!(c.sizeof_struct("d"), Some(128));
+    }
+
+    #[test]
+    fn usages_found() {
+        let c = corpus(
+            "static long dm_ctl_ioctl(struct file *f, uint c, ulong u) { return 0; }\nstatic const struct file_operations _ctl_fops = { .unlocked_ioctl = dm_ctl_ioctl };\n",
+        );
+        let uses = c.usages_of("dm_ctl_ioctl");
+        assert_eq!(uses.len(), 1);
+        assert!(uses[0].contains("_ctl_fops"));
+    }
+
+    #[test]
+    fn pointer_fields_are_word_sized() {
+        let c = corpus("struct s { struct undefined_elsewhere *p; };\n");
+        assert_eq!(c.sizeof_struct("s"), Some(8));
+    }
+}

@@ -1,0 +1,1344 @@
+//! Recursive-descent parser for the kernel-C subset.
+//!
+//! Handles what synthetic Linux driver sources need: `#define` macros
+//! (including function-like `_IOWR(...)` bodies), struct/union/enum
+//! definitions with flexible array members, global variables with
+//! designated initializers (`.unlocked_ioctl = dm_ctl_ioctl`), lookup
+//! tables, and function bodies with `switch`/`if`/`for`/`while`
+//! statements and the usual expression grammar.
+
+use crate::ast::{
+    CArraySize, CaseLabel, CEnumDef, CField, CFile, CFunction, CItem, CItemKind, CStructDef,
+    CType, CTypedef, CVarDef, Expr, MacroDef, Stmt, SwitchCase,
+};
+use crate::token::{clex, CSpanned, CTok};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// File name.
+    pub file: String,
+}
+
+impl fmt::Display for CParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for CParseError {}
+
+const QUALIFIERS: &[&str] = &[
+    "static", "const", "volatile", "__user", "__iomem", "inline", "extern", "__init", "__exit",
+    "noinline",
+];
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "long", "unsigned", "signed", "float", "double", "bool",
+    "u8", "u16", "u32", "u64", "s8", "s16", "s32", "s64", "__u8", "__u16", "__u32", "__u64",
+    "__s8", "__s16", "__s32", "__s64", "__le16", "__le32", "__le64", "__be16", "__be32",
+    "__be64", "uint", "ulong", "ushort", "uchar", "size_t", "ssize_t", "loff_t", "off_t",
+    "poll_t", "__poll_t", "dev_t", "pid_t", "uid_t", "gid_t", "uintptr_t", "intptr_t",
+];
+
+const STMT_KEYWORDS: &[&str] = &[
+    "return", "if", "else", "switch", "case", "default", "while", "for", "break", "continue",
+];
+
+/// Parse a C translation unit.
+///
+/// # Errors
+///
+/// Returns [`CParseError`] on lexical or syntactic errors.
+pub fn cparse(file_name: &str, src: &str) -> Result<CFile, CParseError> {
+    let toks = clex(src).map_err(|e| CParseError {
+        message: e.message,
+        line: e.line,
+        file: file_name.to_string(),
+    })?;
+    let mut p = CParser {
+        toks,
+        pos: 0,
+        file: file_name.to_string(),
+        src: src.to_string(),
+        typedefs: BTreeSet::new(),
+    };
+    p.file()
+}
+
+struct CParser {
+    toks: Vec<CSpanned>,
+    pos: usize,
+    file: String,
+    src: String,
+    typedefs: BTreeSet<String>,
+}
+
+impl CParser {
+    fn peek(&self) -> Option<&CTok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&CTok> {
+        self.toks.get(self.pos + n).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<CTok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CParseError> {
+        Err(CParseError {
+            message: msg.into(),
+            line: self.line(),
+            file: self.file.clone(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(CTok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(t) => {
+                    let t = t.clone();
+                    self.err(format!("expected `{p}`, found {t}"))
+                }
+                None => self.err(format!("expected `{p}`, found end of file")),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CParseError> {
+        match self.peek() {
+            Some(CTok::Ident(_)) => match self.bump() {
+                Some(CTok::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected identifier, found {t}"))
+            }
+            None => self.err("expected identifier, found end of file"),
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(CTok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_punct(&self, n: usize, p: &str) -> bool {
+        matches!(self.peek_at(n), Some(CTok::Punct(q)) if *q == p)
+    }
+
+    // ---- top level -------------------------------------------------
+
+    fn file(&mut self) -> Result<CFile, CParseError> {
+        let mut items = Vec::new();
+        while self.pos < self.toks.len() {
+            let start = self.toks[self.pos].offset;
+            if let Some(CTok::Directive(d)) = self.peek() {
+                let d = d.clone();
+                self.pos += 1;
+                let end = self.toks[self.pos - 1].end;
+                if let Some(m) = parse_macro(&d) {
+                    items.push(CItem {
+                        kind: CItemKind::Macro(m),
+                        text: self.src[start..end].to_string(),
+                    });
+                }
+                continue;
+            }
+            let kind = self.top_item()?;
+            let end = self.toks[self.pos - 1].end;
+            if let CItemKind::Typedef(t) = &kind {
+                self.typedefs.insert(t.name.clone());
+            }
+            items.push(CItem {
+                kind,
+                text: self.src[start..end].to_string(),
+            });
+        }
+        Ok(CFile {
+            name: self.file.clone(),
+            items,
+        })
+    }
+
+    fn top_item(&mut self) -> Result<CItemKind, CParseError> {
+        if self.peek_ident() == Some("typedef") {
+            return self.typedef_item();
+        }
+        // struct/union/enum *definitions* (tag followed by `{`).
+        match self.peek_ident() {
+            Some("struct") | Some("union")
+                if matches!(self.peek_at(1), Some(CTok::Ident(_))) && self.is_punct(2, "{") =>
+            {
+                let is_union = self.peek_ident() == Some("union");
+                self.pos += 1;
+                let name = self.ident()?;
+                let fields = self.struct_body()?;
+                self.expect_punct(";")?;
+                return Ok(CItemKind::Struct(CStructDef {
+                    name,
+                    is_union,
+                    fields,
+                }));
+            }
+            Some("enum")
+                if matches!(self.peek_at(1), Some(CTok::Ident(_))) && self.is_punct(2, "{")
+                    || self.is_punct(1, "{") =>
+            {
+                self.pos += 1;
+                let name = match self.peek() {
+                    Some(CTok::Ident(_)) => self.ident()?,
+                    _ => String::new(),
+                };
+                let variants = self.enum_body()?;
+                self.expect_punct(";")?;
+                return Ok(CItemKind::Enum(CEnumDef { name, variants }));
+            }
+            _ => {}
+        }
+        // Otherwise: [qualifiers] type declarator.
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        if self.is_punct(0, "(") {
+            self.function_item(ty, name)
+        } else {
+            self.var_item(ty, name)
+        }
+    }
+
+    fn typedef_item(&mut self) -> Result<CItemKind, CParseError> {
+        // Consume `typedef`, then scan to `;` remembering a plausible
+        // introduced name: `(*name)` for fn-pointers, else the last
+        // identifier before the terminator.
+        self.pos += 1;
+        let mut name: Option<String> = None;
+        let mut last_ident: Option<String> = None;
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                CTok::Punct(";") if depth == 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                CTok::Punct("(") => {
+                    depth += 1;
+                    // `(*name)` pattern.
+                    if self.is_punct(1, "*") {
+                        if let Some(CTok::Ident(n)) = self.peek_at(2) {
+                            name = Some(n.clone());
+                        }
+                    }
+                    self.pos += 1;
+                }
+                CTok::Punct(")") => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                CTok::Ident(s) => {
+                    last_ident = Some(s.clone());
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let name = name
+            .or(last_ident)
+            .ok_or(())
+            .or_else(|()| self.err("typedef with no name"))?;
+        Ok(CItemKind::Typedef(CTypedef { name }))
+    }
+
+    fn struct_body(&mut self) -> Result<Vec<CField>, CParseError> {
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let ty = self.parse_type()?;
+            // Function-pointer member: `ret (*name)(params);`
+            if self.eat_punct("(") {
+                self.expect_punct("*")?;
+                let name = self.ident()?;
+                self.expect_punct(")")?;
+                self.skip_paren_group()?;
+                self.expect_punct(";")?;
+                fields.push(CField {
+                    name,
+                    ty: CType {
+                        base: format!("fnptr:{}", ty.base),
+                        ptr: 1,
+                        array: None,
+                    },
+                });
+                continue;
+            }
+            let name = self.ident()?;
+            let array = self.opt_array()?;
+            self.expect_punct(";")?;
+            fields.push(CField {
+                name,
+                ty: CType { array, ..ty },
+            });
+        }
+        Ok(fields)
+    }
+
+    fn enum_body(&mut self) -> Result<Vec<(String, Option<u64>)>, CParseError> {
+        self.expect_punct("{")?;
+        let mut variants = Vec::new();
+        while !self.eat_punct("}") {
+            let name = self.ident()?;
+            let value = if self.eat_punct("=") {
+                match self.parse_ternary()? {
+                    Expr::Num(n) => Some(n),
+                    // Non-literal enum values are rare in the corpus;
+                    // represent them as "unknown" (None) so values()
+                    // falls back to counting.
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            variants.push((name, value));
+            if !self.eat_punct(",") && !self.is_punct(0, "}") {
+                return self.err("expected `,` or `}` in enum");
+            }
+        }
+        Ok(variants)
+    }
+
+    fn skip_paren_group(&mut self) -> Result<(), CParseError> {
+        self.expect_punct("(")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some(CTok::Punct("(")) => depth += 1,
+                Some(CTok::Punct(")")) => depth -= 1,
+                Some(_) => {}
+                None => return self.err("unterminated parenthesis group"),
+            }
+        }
+        Ok(())
+    }
+
+    fn function_item(&mut self, ret: CType, name: String) -> Result<CItemKind, CParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.peek_ident() == Some("void") && self.is_punct(1, ")") {
+                self.pos += 2;
+            } else {
+                loop {
+                    if self.eat_punct("...") {
+                        params.push(("...".to_string(), CType::named("...")));
+                    } else {
+                        let ty = self.parse_type()?;
+                        let pname = match self.peek() {
+                            Some(CTok::Ident(_)) => self.ident()?,
+                            _ => format!("arg{}", params.len()),
+                        };
+                        let array = self.opt_array()?;
+                        params.push((pname, CType { array, ..ty }));
+                    }
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        if self.eat_punct(";") {
+            return Ok(CItemKind::Function(CFunction {
+                name,
+                ret,
+                params,
+                body: Vec::new(),
+                is_proto: true,
+            }));
+        }
+        let body = self.block()?;
+        Ok(CItemKind::Function(CFunction {
+            name,
+            ret,
+            params,
+            body,
+            is_proto: false,
+        }))
+    }
+
+    fn var_item(&mut self, ty: CType, name: String) -> Result<CItemKind, CParseError> {
+        let array = self.opt_array()?;
+        let init = if self.eat_punct("=") {
+            Some(self.parse_assign()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(CItemKind::Var(CVarDef {
+            name,
+            ty: CType { array, ..ty },
+            init,
+        }))
+    }
+
+    fn opt_array(&mut self) -> Result<Option<CArraySize>, CParseError> {
+        if !self.eat_punct("[") {
+            return Ok(None);
+        }
+        let size = match self.peek() {
+            Some(CTok::Punct("]")) => CArraySize::Flex,
+            Some(CTok::Num(n)) => {
+                let n = *n;
+                self.pos += 1;
+                CArraySize::Fixed(n)
+            }
+            Some(CTok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                CArraySize::Named(s)
+            }
+            other => {
+                let msg = format!("unexpected array size {other:?}");
+                return self.err(msg);
+            }
+        };
+        self.expect_punct("]")?;
+        Ok(Some(size))
+    }
+
+    // ---- types -----------------------------------------------------
+
+    fn at_type(&self) -> bool {
+        match self.peek_ident() {
+            Some(id) => {
+                QUALIFIERS.contains(&id)
+                    || TYPE_KEYWORDS.contains(&id)
+                    || id == "struct"
+                    || id == "union"
+                    || id == "enum"
+                    || self.typedefs.contains(id)
+            }
+            None => false,
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<CType, CParseError> {
+        let mut words: Vec<String> = Vec::new();
+        loop {
+            match self.peek_ident() {
+                Some(id) if QUALIFIERS.contains(&id) => {
+                    self.pos += 1;
+                }
+                Some(id) if id == "struct" || id == "union" || id == "enum" => {
+                    let kw = id.to_string();
+                    self.pos += 1;
+                    let tag = self.ident()?;
+                    words.push(format!("{kw} {tag}"));
+                    break;
+                }
+                Some(id) if TYPE_KEYWORDS.contains(&id) => {
+                    words.push(id.to_string());
+                    self.pos += 1;
+                    // multi-word types keep accumulating (unsigned long ...)
+                    if !matches!(
+                        words.last().map(String::as_str),
+                        Some("unsigned") | Some("signed") | Some("long") | Some("short")
+                    ) {
+                        break;
+                    }
+                }
+                Some(id) if words.is_empty() && self.typedefs.contains(id) => {
+                    words.push(id.to_string());
+                    self.pos += 1;
+                    break;
+                }
+                Some(id) if words.is_empty() => {
+                    // Unknown leading identifier used in type position
+                    // (custom typedef the parser has not seen). Accept it
+                    // only when followed by another identifier or `*`.
+                    if matches!(self.peek_at(1), Some(CTok::Ident(_)))
+                        || self.is_punct(1, "*")
+                    {
+                        words.push(id.to_string());
+                        self.pos += 1;
+                        break;
+                    }
+                    return self.err(format!("`{id}` does not start a type"));
+                }
+                _ => break,
+            }
+        }
+        if words.is_empty() {
+            return self.err("expected a type");
+        }
+        let mut ptr = 0u8;
+        loop {
+            if self.eat_punct("*") {
+                ptr += 1;
+            } else if matches!(self.peek_ident(), Some(q) if QUALIFIERS.contains(&q)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(CType {
+            base: canonical_base(&words),
+            ptr,
+            array: None,
+        })
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CParseError> {
+        if self.is_punct(0, "{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        match self.peek_ident() {
+            Some("return") => {
+                self.pos += 1;
+                if self.eat_punct(";") {
+                    return Ok(Stmt::Return(None));
+                }
+                let e = self.parse_assign()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Return(Some(e)));
+            }
+            Some("break") => {
+                self.pos += 1;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Break);
+            }
+            Some("continue") => {
+                self.pos += 1;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Continue);
+            }
+            Some("if") => return self.if_stmt(),
+            Some("switch") => return self.switch_stmt(),
+            Some("while") => {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let cond = self.parse_assign()?;
+                self.expect_punct(")")?;
+                let body = self.stmt_as_block()?;
+                return Ok(Stmt::While { cond, body });
+            }
+            Some("for") => return self.for_stmt(),
+            _ => {}
+        }
+        if self.at_decl() {
+            return self.decl_stmt();
+        }
+        let e = self.parse_assign()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn at_decl(&self) -> bool {
+        match self.peek_ident() {
+            Some(id) if STMT_KEYWORDS.contains(&id) => false,
+            Some(_) if self.at_type() => true,
+            Some(_) => {
+                // `ident ident` or `ident * ident ;/=` are declarations.
+                matches!(self.peek_at(1), Some(CTok::Ident(_)))
+                    || (self.is_punct(1, "*")
+                        && matches!(self.peek_at(2), Some(CTok::Ident(_)))
+                        && (self.is_punct(3, ";") || self.is_punct(3, "=")))
+            }
+            None => false,
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, CParseError> {
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        let array = self.opt_array()?;
+        let init = if self.eat_punct("=") {
+            Some(self.parse_assign()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl {
+            name,
+            ty: CType { array, ..ty },
+            init,
+        })
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CParseError> {
+        if self.is_punct(0, "{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CParseError> {
+        self.pos += 1; // `if`
+        self.expect_punct("(")?;
+        let cond = self.parse_assign()?;
+        self.expect_punct(")")?;
+        let then = self.stmt_as_block()?;
+        let els = if self.peek_ident() == Some("else") {
+            self.pos += 1;
+            self.stmt_as_block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then, els })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CParseError> {
+        self.pos += 1; // `for`
+        self.expect_punct("(")?;
+        let init = if self.eat_punct(";") {
+            None
+        } else if self.at_decl() {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            let e = self.parse_assign()?;
+            self.expect_punct(";")?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.is_punct(0, ";") {
+            None
+        } else {
+            Some(self.parse_assign()?)
+        };
+        self.expect_punct(";")?;
+        let step = if self.is_punct(0, ")") {
+            None
+        } else {
+            Some(self.parse_assign()?)
+        };
+        self.expect_punct(")")?;
+        let body = self.stmt_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    fn switch_stmt(&mut self) -> Result<Stmt, CParseError> {
+        self.pos += 1; // `switch`
+        self.expect_punct("(")?;
+        let cond = self.parse_assign()?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        while !self.eat_punct("}") {
+            let mut labels = Vec::new();
+            loop {
+                match self.peek_ident() {
+                    Some("case") => {
+                        self.pos += 1;
+                        let e = self.parse_ternary()?;
+                        self.expect_punct(":")?;
+                        labels.push(CaseLabel::Expr(e));
+                    }
+                    Some("default") => {
+                        self.pos += 1;
+                        self.expect_punct(":")?;
+                        labels.push(CaseLabel::Default);
+                    }
+                    _ => break,
+                }
+            }
+            if labels.is_empty() {
+                return self.err("expected `case` or `default` in switch");
+            }
+            let mut body = Vec::new();
+            loop {
+                match self.peek_ident() {
+                    Some("case") | Some("default") => break,
+                    _ => {}
+                }
+                if self.is_punct(0, "}") {
+                    break;
+                }
+                body.push(self.stmt()?);
+            }
+            cases.push(SwitchCase { labels, body });
+        }
+        Ok(Stmt::Switch { cond, cases })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn parse_assign(&mut self) -> Result<Expr, CParseError> {
+        let lhs = self.parse_ternary()?;
+        if self.eat_punct("=") {
+            let rhs = self.parse_assign()?;
+            return Ok(Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        for (compound, op) in [
+            ("+=", "+"),
+            ("-=", "-"),
+            ("*=", "*"),
+            ("/=", "/"),
+            ("%=", "%"),
+            ("&=", "&"),
+            ("|=", "|"),
+            ("^=", "^"),
+            ("<<=", "<<"),
+            (">>=", ">>"),
+        ] {
+            if self.eat_punct(compound) {
+                let rhs = self.parse_assign()?;
+                return Ok(Expr::Assign {
+                    lhs: Box::new(lhs.clone()),
+                    rhs: Box::new(Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    }),
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, CParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.parse_assign()?;
+            self.expect_punct(":")?;
+            let els = self.parse_ternary()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn parse_binary(&mut self, level: usize) -> Result<Expr, CParseError> {
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if level >= LEVELS.len() {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1)?;
+        loop {
+            let mut matched = None;
+            for op in LEVELS[level] {
+                if matches!(self.peek(), Some(CTok::Punct(q)) if q == op) {
+                    matched = Some(*op);
+                    break;
+                }
+            }
+            let Some(op) = matched else { break };
+            self.pos += 1;
+            let rhs = self.parse_binary(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn looks_like_cast(&self) -> bool {
+        // `(` followed by a type keyword / struct / typedef, scanning to
+        // a `)` that is followed by something an expression can start with.
+        if !self.is_punct(0, "(") {
+            return false;
+        }
+        match self.peek_at(1) {
+            Some(CTok::Ident(id)) => {
+                TYPE_KEYWORDS.contains(&id.as_str())
+                    || id == "struct"
+                    || id == "union"
+                    || id == "enum"
+                    || self.typedefs.contains(id)
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CParseError> {
+        for op in ["-", "!", "~", "*", "&"] {
+            if matches!(self.peek(), Some(CTok::Punct(q)) if *q == op) {
+                self.pos += 1;
+                let e = self.parse_unary()?;
+                return Ok(Expr::Unary {
+                    op,
+                    expr: Box::new(e),
+                });
+            }
+        }
+        if self.eat_punct("++") || self.eat_punct("--") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: "++",
+                expr: Box::new(e),
+            });
+        }
+        if self.peek_ident() == Some("sizeof") {
+            self.pos += 1;
+            if self.is_punct(0, "(") && self.looks_like_cast() {
+                self.pos += 1;
+                let ty = self.parse_type()?;
+                self.expect_punct(")")?;
+                return Ok(Expr::SizeofType(ty));
+            }
+            let e = self.parse_unary()?;
+            return Ok(Expr::SizeofExpr(Box::new(e)));
+        }
+        if self.looks_like_cast() {
+            self.pos += 1;
+            let ty = self.parse_type()?;
+            self.expect_punct(")")?;
+            let e = self.parse_unary()?;
+            return Ok(Expr::Cast {
+                ty,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.is_punct(0, "(") {
+                let func = match &e {
+                    Expr::Ident(n) => n.clone(),
+                    Expr::Member { field, .. } => format!("<indirect>{field}"),
+                    _ => "<indirect>".to_string(),
+                };
+                self.pos += 1;
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.call_arg()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                e = Expr::Call { func, args };
+            } else if self.eat_punct(".") {
+                let field = self.ident()?;
+                e = Expr::Member {
+                    base: Box::new(e),
+                    field,
+                    arrow: false,
+                };
+            } else if self.eat_punct("->") {
+                let field = self.ident()?;
+                e = Expr::Member {
+                    base: Box::new(e),
+                    field,
+                    arrow: true,
+                };
+            } else if self.eat_punct("[") {
+                let index = self.parse_assign()?;
+                self.expect_punct("]")?;
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                };
+            } else if self.eat_punct("++") || self.eat_punct("--") {
+                e = Expr::Unary {
+                    op: "p++",
+                    expr: Box::new(e),
+                };
+            } else {
+                break;
+            }
+        }
+        // String/macro concatenation chains: `DM_DIR "/" DM_CONTROL_NODE`.
+        if matches!(e, Expr::Str(_) | Expr::Ident(_)) {
+            let mut chain = vec![e];
+            loop {
+                match self.peek() {
+                    Some(CTok::Str(_)) => {
+                        if let Some(CTok::Str(s)) = self.bump() {
+                            chain.push(Expr::Str(s));
+                        }
+                    }
+                    Some(CTok::Ident(id))
+                        if chain.len() > 1
+                            && id.chars().all(|c| c.is_ascii_uppercase() || c == '_') =>
+                    {
+                        let id = id.clone();
+                        self.pos += 1;
+                        chain.push(Expr::Ident(id));
+                    }
+                    _ => break,
+                }
+            }
+            if chain.len() == 1 {
+                e = chain.pop().expect("non-empty chain");
+            } else {
+                e = Expr::Call {
+                    func: "__concat".into(),
+                    args: chain,
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    /// One call argument. `_IOWR('f', 0, struct dm_ioctl)`-style macros
+    /// take *types* as arguments; a bare type in argument position is
+    /// represented as `SizeofType` (the macro uses its size, and the
+    /// analyzers recover the struct name from it).
+    fn call_arg(&mut self) -> Result<Expr, CParseError> {
+        let type_arg = match self.peek_ident() {
+            Some("struct") | Some("union") => matches!(self.peek_at(1), Some(CTok::Ident(_))),
+            Some(id) if TYPE_KEYWORDS.contains(&id) => {
+                self.is_punct(1, ",") || self.is_punct(1, ")") || self.is_punct(1, "*")
+            }
+            _ => false,
+        };
+        if type_arg {
+            let ty = self.parse_type()?;
+            return Ok(Expr::SizeofType(ty));
+        }
+        self.parse_assign()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CParseError> {
+        match self.peek().cloned() {
+            Some(CTok::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Some(CTok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(CTok::Ident(s)) => {
+                self.pos += 1;
+                Ok(Expr::Ident(s))
+            }
+            Some(CTok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.parse_assign()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Some(CTok::Punct("{")) => self.init_list(),
+            Some(t) => self.err(format!("unexpected {t} in expression")),
+            None => self.err("unexpected end of file in expression"),
+        }
+    }
+
+    fn init_list(&mut self) -> Result<Expr, CParseError> {
+        self.expect_punct("{")?;
+        let mut entries = Vec::new();
+        while !self.eat_punct("}") {
+            if self.is_punct(0, ".") && matches!(self.peek_at(1), Some(CTok::Ident(_))) {
+                self.pos += 1;
+                let field = self.ident()?;
+                self.expect_punct("=")?;
+                let value = self.parse_assign()?;
+                entries.push((Some(field), value));
+            } else {
+                let value = self.parse_assign()?;
+                entries.push((None, value));
+            }
+            if !self.eat_punct(",") && !self.is_punct(0, "}") {
+                return self.err("expected `,` or `}` in initializer");
+            }
+        }
+        Ok(Expr::InitList { entries })
+    }
+}
+
+/// Parse a standalone C expression (used for `#define` macro bodies).
+///
+/// # Errors
+///
+/// Returns [`CParseError`] if the text is not a single valid expression.
+pub fn parse_expr_str(src: &str) -> Result<Expr, CParseError> {
+    let toks = clex(src).map_err(|e| CParseError {
+        message: e.message,
+        line: e.line,
+        file: "<expr>".to_string(),
+    })?;
+    let mut p = CParser {
+        toks,
+        pos: 0,
+        file: "<expr>".to_string(),
+        src: src.to_string(),
+        typedefs: BTreeSet::new(),
+    };
+    let e = p.parse_assign()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing tokens after expression");
+    }
+    Ok(e)
+}
+
+fn canonical_base(words: &[String]) -> String {
+    let joined = words.join(" ");
+    match joined.as_str() {
+        "unsigned" | "unsigned int" => "uint".to_string(),
+        "unsigned long" | "unsigned long long" => "ulong".to_string(),
+        "unsigned short" => "ushort".to_string(),
+        "unsigned char" => "uchar".to_string(),
+        "signed int" | "signed" => "int".to_string(),
+        "long long" => "long".to_string(),
+        _ => joined,
+    }
+}
+
+fn parse_macro(directive: &str) -> Option<MacroDef> {
+    let rest = directive.strip_prefix("define")?.trim_start();
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = rest[..name_end].to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let after = &rest[name_end..];
+    if let Some(stripped) = after.strip_prefix('(') {
+        let close = stripped.find(')')?;
+        let params: Vec<String> = stripped[..close]
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        Some(MacroDef {
+            name,
+            params: Some(params),
+            body: stripped[close + 1..].trim().to_string(),
+        })
+    } else {
+        Some(MacroDef {
+            name,
+            params: None,
+            body: after.trim().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> CFile {
+        cparse("test.c", src).unwrap()
+    }
+
+    #[test]
+    fn parses_file_operations_initializer() {
+        let f = parse_ok(
+            r#"
+static const struct file_operations _ctl_fops = {
+    .open = dm_open,
+    .unlocked_ioctl = dm_ctl_ioctl,
+    .compat_ioctl = dm_compat_ctl_ioctl,
+};
+"#,
+        );
+        let CItemKind::Var(v) = &f.items[0].kind else {
+            panic!("expected var")
+        };
+        assert_eq!(v.name, "_ctl_fops");
+        assert_eq!(v.ty.base, "struct file_operations");
+        let init = v.init.as_ref().unwrap();
+        assert_eq!(
+            init.init_field("unlocked_ioctl").and_then(Expr::as_ident),
+            Some("dm_ctl_ioctl")
+        );
+        assert!(f.items[0].text.contains(".open = dm_open"));
+    }
+
+    #[test]
+    fn parses_miscdevice_with_concat_nodename() {
+        let f = parse_ok(
+            r#"
+#define DM_DIR "mapper"
+static struct miscdevice _dm_misc = {
+    .minor = 252,
+    .name = "device-mapper",
+    .nodename = DM_DIR "/" "control",
+    .fops = &_ctl_fops,
+};
+"#,
+        );
+        let CItemKind::Var(v) = &f.items[1].kind else {
+            panic!("expected var")
+        };
+        let init = v.init.as_ref().unwrap();
+        let node = init.init_field("nodename").unwrap();
+        match node {
+            Expr::Call { func, args } => {
+                assert_eq!(func, "__concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+        assert_eq!(
+            init.init_field("fops").and_then(Expr::as_ident),
+            Some("_ctl_fops")
+        );
+    }
+
+    #[test]
+    fn parses_switch_dispatch() {
+        let f = parse_ok(
+            r#"
+static long vid_ioctl(struct file *file, unsigned int cmd, unsigned long arg) {
+    switch (cmd) {
+    case 0x1234:
+        return do_a(arg);
+    case VID_SET:
+    case VID_GET:
+        return do_b(arg);
+    default:
+        return -25;
+    }
+}
+"#,
+        );
+        let CItemKind::Function(func) = &f.items[0].kind else {
+            panic!("expected function")
+        };
+        assert_eq!(func.name, "vid_ioctl");
+        assert_eq!(func.params.len(), 3);
+        assert_eq!(func.params[1].1.base, "uint");
+        let Stmt::Switch { cases, .. } = &func.body[0] else {
+            panic!("expected switch")
+        };
+        assert_eq!(cases.len(), 3);
+        assert_eq!(cases[1].labels.len(), 2);
+    }
+
+    #[test]
+    fn parses_ioc_macros() {
+        let f = parse_ok(
+            "#define DM_VERSION _IOWR('f', 0, struct dm_ioctl)\n#define DM_DEV_CREATE _IOWR('f', 3, struct dm_ioctl)\n",
+        );
+        let CItemKind::Macro(m) = &f.items[0].kind else {
+            panic!("expected macro")
+        };
+        assert_eq!(m.name, "DM_VERSION");
+        assert!(m.params.is_none());
+        assert!(m.body.contains("_IOWR"));
+    }
+
+    #[test]
+    fn parses_function_like_macro() {
+        let f = parse_ok("#define _IOC_NR(nr) ((nr) & 0xff)\n");
+        let CItemKind::Macro(m) = &f.items[0].kind else {
+            panic!("expected macro")
+        };
+        assert_eq!(m.params.as_deref(), Some(&["nr".to_string()][..]));
+        assert_eq!(m.body, "((nr) & 0xff)");
+    }
+
+    #[test]
+    fn parses_struct_with_flex_array() {
+        let f = parse_ok(
+            "struct vfio_pci_hot_reset_info {\n    __u32 count;\n    struct vfio_pci_dependent_device devices[];\n};\n",
+        );
+        let CItemKind::Struct(s) = &f.items[0].kind else {
+            panic!("expected struct")
+        };
+        assert_eq!(s.fields[1].ty.array, Some(CArraySize::Flex));
+        assert_eq!(s.fields[1].ty.base, "struct vfio_pci_dependent_device");
+    }
+
+    #[test]
+    fn parses_lookup_table() {
+        let f = parse_ok(
+            r#"
+typedef int (*ioctl_fn)(struct file *file, unsigned long arg);
+struct dm_ioctl_entry {
+    unsigned int cmd;
+    ioctl_fn fn;
+};
+static struct dm_ioctl_entry _ioctls[] = {
+    { 0, dm_version },
+    { 3, dev_create },
+};
+"#,
+        );
+        let CItemKind::Var(v) = &f.items[2].kind else {
+            panic!("expected var")
+        };
+        assert_eq!(v.ty.array, Some(CArraySize::Flex));
+        let Expr::InitList { entries } = v.init.as_ref().unwrap() else {
+            panic!("expected list")
+        };
+        assert_eq!(entries.len(), 2);
+        let Expr::InitList { entries: row } = &entries[0].1 else {
+            panic!("expected nested list")
+        };
+        assert_eq!(row[1].1.as_ident(), Some("dm_version"));
+    }
+
+    #[test]
+    fn parses_cmd_transform_body() {
+        let f = parse_ok(
+            r#"
+static int ctl_ioctl(struct file *file, uint command, ulong u) {
+    uint cmd = _IOC_NR(command);
+    if (cmd == 0)
+        return 0;
+    cmd = cmd & 0xff;
+    return lookup_ioctl(cmd, (struct dm_ioctl *)u);
+}
+"#,
+        );
+        let CItemKind::Function(func) = &f.items[0].kind else {
+            panic!("expected fn")
+        };
+        let Stmt::Decl { name, init, .. } = &func.body[0] else {
+            panic!("expected decl")
+        };
+        assert_eq!(name, "cmd");
+        assert!(matches!(init, Some(Expr::Call { func, .. }) if func == "_IOC_NR"));
+        // Cast inside the call argument.
+        let Stmt::Return(Some(Expr::Call { args, .. })) = &func.body[3] else {
+            panic!("expected return call")
+        };
+        assert!(matches!(&args[1], Expr::Cast { ty, .. } if ty.base == "struct dm_ioctl"));
+    }
+
+    #[test]
+    fn parses_copy_from_user_and_sizeof() {
+        let f = parse_ok(
+            r#"
+static int handler(ulong arg) {
+    struct hpet_info info;
+    if (copy_from_user(&info, (void *)arg, sizeof(struct hpet_info)))
+        return -14;
+    for (int i = 0; i < 4; i++)
+        consume(i);
+    while (info.flags) {
+        info.flags--;
+    }
+    return 0;
+}
+"#,
+        );
+        let CItemKind::Function(func) = &f.items[0].kind else {
+            panic!("expected fn")
+        };
+        // decl, if, for, while, return
+        assert_eq!(func.body.len(), 5);
+    }
+
+    #[test]
+    fn parses_enum() {
+        let f = parse_ok("enum vid_cmds { VID_A = 5, VID_B, VID_C = 9 };\n");
+        let CItemKind::Enum(e) = &f.items[0].kind else {
+            panic!("expected enum")
+        };
+        assert_eq!(
+            e.values(),
+            vec![
+                ("VID_A".to_string(), 5),
+                ("VID_B".to_string(), 6),
+                ("VID_C".to_string(), 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_ternary_and_compound_assign() {
+        let f = parse_ok(
+            "static int f(int a) {\n    a += 2;\n    return a > 0 ? a : -a;\n}\n",
+        );
+        let CItemKind::Function(func) = &f.items[0].kind else {
+            panic!()
+        };
+        assert!(matches!(&func.body[0], Stmt::Expr(Expr::Assign { .. })));
+        assert!(matches!(&func.body[1], Stmt::Return(Some(Expr::Ternary { .. }))));
+    }
+
+    #[test]
+    fn prototype_parsed() {
+        let f = parse_ok("long dm_ctl_ioctl(struct file *file, uint command, ulong u);\n");
+        let CItemKind::Function(func) = &f.items[0].kind else {
+            panic!()
+        };
+        assert!(func.is_proto);
+    }
+
+    #[test]
+    fn item_text_is_exact_span() {
+        let src = "int a = 1;\nint b = 2;\n";
+        let f = parse_ok(src);
+        assert_eq!(f.items[0].text, "int a = 1;");
+        assert_eq!(f.items[1].text, "int b = 2;");
+    }
+
+    #[test]
+    fn function_pointer_struct_member() {
+        let f = parse_ok(
+            "struct proto_ops {\n    int family;\n    int (*bind)(struct socket *sock, int len);\n};\n",
+        );
+        let CItemKind::Struct(s) = &f.items[0].kind else {
+            panic!()
+        };
+        assert_eq!(s.fields[1].name, "bind");
+        assert!(s.fields[1].ty.base.starts_with("fnptr:"));
+    }
+}

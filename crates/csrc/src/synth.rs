@@ -1,0 +1,490 @@
+//! Procedural population generator.
+//!
+//! The paper's census (Table 1) covers 666 driver and 85 socket
+//! operation handlers under `allyesconfig`, of which 278 / 81 are loaded
+//! under the syzbot configuration, 75 / 66 of those are missing one or
+//! more syscall descriptions, and 45 / 22 have no (driver) or almost no
+//! (socket) descriptions at all. The flagship catalog provides the
+//! hand-authored head of that distribution; this module generates the
+//! remaining population from a seeded RNG so the census reproduces at
+//! full scale while every handler still has complete ground truth.
+//!
+//! Difficulty features are distributed deliberately:
+//!
+//! * a controlled number of loaded-incomplete drivers are "friendly"
+//!   (miscdevice-by-name + switch dispatch + no transform) — the subset
+//!   the SyzDescribe baseline can handle (paper: 20 of 75);
+//! * five loaded-incomplete drivers delegate through more hops than
+//!   `MAX_ITER`, so the iterative analysis gives up (paper: 70 of 75
+//!   valid for KernelGPT);
+//! * nine loaded-incomplete sockets hide their address family behind a
+//!   runtime helper (paper: 57 of 66 valid).
+
+use crate::blueprint::{
+    ArgDir, ArgField, ArgKind, ArgStruct, Blueprint, BlueprintKind, CmdBlueprint, CmdEncoding,
+    CmdTransform, DispatchStyle, DriverBlueprint, ExistingSpec, FieldRole, FieldTy, RegStyle,
+    SockCall, SocketBlueprint,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Census targets for the synthetic population (paper values minus the
+/// flagship contribution, computed by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthPlan {
+    /// Synthetic drivers that are loaded and fully described.
+    pub drivers_loaded_complete: usize,
+    /// Loaded drivers with partial existing specs (incomplete).
+    pub drivers_loaded_partial: usize,
+    /// Loaded drivers with no existing specs at all.
+    pub drivers_loaded_none: usize,
+    /// Drivers not loaded under the syzbot config.
+    pub drivers_unloaded: usize,
+    /// Of the loaded-incomplete drivers, how many are friendly to
+    /// rule-based static analysis.
+    pub drivers_friendly: usize,
+    /// Of the loaded-incomplete drivers, how many delegate deeper than
+    /// `MAX_ITER` (KernelGPT fails on these).
+    pub drivers_too_deep: usize,
+    /// Loaded sockets fully described.
+    pub sockets_loaded_complete: usize,
+    /// Loaded sockets with partial specs.
+    pub sockets_loaded_partial: usize,
+    /// Loaded sockets with (almost) no specs.
+    pub sockets_loaded_none: usize,
+    /// Sockets not loaded.
+    pub sockets_unloaded: usize,
+    /// Loaded-incomplete sockets whose family id is runtime-opaque
+    /// (KernelGPT fails on these).
+    pub sockets_opaque: usize,
+}
+
+impl SynthPlan {
+    /// The default plan: paper Table 1 totals minus the flagship head
+    /// (31 drivers: 22 incomplete of which 10 spec-less; 10 sockets:
+    /// 7 incomplete of which 1 nearly spec-less).
+    #[must_use]
+    pub fn paper_defaults() -> SynthPlan {
+        SynthPlan {
+            // 278 loaded drivers total − 38 flagships = 240.
+            // 75 incomplete − 26 flagship incomplete = 49, of which
+            // 45 spec-less − 10 flagship spec-less = 35.
+            drivers_loaded_complete: 191,
+            drivers_loaded_partial: 14,
+            drivers_loaded_none: 35,
+            // 666 total − 278 loaded = 388 unloaded.
+            drivers_unloaded: 388,
+            // SyzDescribe succeeds on 20 of 75 incomplete handlers;
+            // the flagship set contributes the rest, so only a few
+            // synthetic incomplete drivers are rule-friendly.
+            drivers_friendly: 5,
+            drivers_too_deep: 5,
+            // 81 loaded sockets − 10 flagships = 71;
+            // 66 incomplete − 7 flagship incomplete = 59, of which 22
+            // (all 22 of the paper's >80%-missing sockets) are spec-less.
+            sockets_loaded_complete: 12,
+            sockets_loaded_partial: 37,
+            sockets_loaded_none: 22,
+            // 85 total − 81 loaded = 4.
+            sockets_unloaded: 4,
+            sockets_opaque: 9,
+        }
+    }
+}
+
+/// Generate the synthetic population for a plan. Deterministic in
+/// `seed`.
+#[must_use]
+pub fn generate(plan: &SynthPlan, seed: u64) -> Vec<Blueprint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+
+    let push_driver = |out: &mut Vec<Blueprint>,
+                           rng: &mut StdRng,
+                           idx: &mut usize,
+                           loaded: bool,
+                           existing: Existing,
+                           friendly: bool,
+                           too_deep: bool| {
+        out.push(gen_driver(rng, *idx, loaded, existing, friendly, too_deep));
+        *idx += 1;
+    };
+
+    // Loaded-incomplete drivers first so difficulty features land there:
+    // the first `drivers_friendly` are rule-friendly, the next
+    // `drivers_too_deep` delegate past MAX_ITER, the rest are mixed.
+    let incomplete = plan.drivers_loaded_partial + plan.drivers_loaded_none;
+    for i in 0..incomplete {
+        let existing = if i < plan.drivers_loaded_none {
+            Existing::None
+        } else {
+            Existing::Partial
+        };
+        let friendly = i < plan.drivers_friendly.min(incomplete);
+        let too_deep = !friendly
+            && i < (plan.drivers_friendly + plan.drivers_too_deep).min(incomplete);
+        push_driver(&mut out, &mut rng, &mut idx, true, existing, friendly, too_deep);
+    }
+    for _ in 0..plan.drivers_loaded_complete {
+        push_driver(&mut out, &mut rng, &mut idx, true, Existing::Full, false, false);
+    }
+    for _ in 0..plan.drivers_unloaded {
+        push_driver(&mut out, &mut rng, &mut idx, false, Existing::None, false, false);
+    }
+
+    // Sockets: the first `sockets_opaque` incomplete ones hide their
+    // family id from source analysis.
+    let s_incomplete = plan.sockets_loaded_partial + plan.sockets_loaded_none;
+    let mut sidx = 0usize;
+    for i in 0..s_incomplete {
+        let existing = if i < plan.sockets_loaded_none {
+            Existing::None
+        } else {
+            Existing::Partial
+        };
+        let opaque = i < plan.sockets_opaque.min(s_incomplete);
+        out.push(gen_socket(&mut rng, sidx, true, existing, opaque));
+        sidx += 1;
+    }
+    for _ in 0..plan.sockets_loaded_complete {
+        out.push(gen_socket(&mut rng, sidx, true, Existing::Full, false));
+        sidx += 1;
+    }
+    for _ in 0..plan.sockets_unloaded {
+        out.push(gen_socket(&mut rng, sidx, false, Existing::None, false));
+        sidx += 1;
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Existing {
+    None,
+    Partial,
+    Full,
+}
+
+fn gen_driver(
+    rng: &mut StdRng,
+    idx: usize,
+    loaded: bool,
+    existing: Existing,
+    friendly: bool,
+    too_deep: bool,
+) -> Blueprint {
+    let id = format!("sdrv{idx}");
+    let upper = id.to_uppercase();
+    let (reg, dispatch, transform) = if friendly {
+        (RegStyle::MiscName, DispatchStyle::Switch, CmdTransform::None)
+    } else if too_deep {
+        (RegStyle::MiscName, DispatchStyle::Delegated(7), CmdTransform::None)
+    } else if loaded && existing != Existing::Full {
+        // Loaded-but-incomplete drivers are exactly the ones static
+        // rules historically failed on — bias them hostile (lookup
+        // tables, delegation, nodename registration, transforms).
+        let reg = match rng.random_range(0..10u32) {
+            0..=2 => RegStyle::MiscNodename,
+            3 | 4 => RegStyle::CdevIndexed,
+            5 => RegStyle::ProcOps,
+            _ => RegStyle::MiscName,
+        };
+        let dispatch = match rng.random_range(0..10u32) {
+            0..=4 => DispatchStyle::LookupTable,
+            5..=7 => DispatchStyle::Delegated(rng.random_range(2..=3)),
+            _ => DispatchStyle::Switch,
+        };
+        let transform = match rng.random_range(0..10u32) {
+            0..=4 => CmdTransform::IocNr,
+            5 => CmdTransform::Masked(0xff),
+            _ => CmdTransform::None,
+        };
+        (reg, dispatch, transform)
+    } else {
+        let reg = match rng.random_range(0..10u32) {
+            0 => RegStyle::MiscNodename,
+            1 | 2 => RegStyle::Cdev,
+            3 => RegStyle::ProcOps,
+            _ => RegStyle::MiscName,
+        };
+        let dispatch = match rng.random_range(0..10u32) {
+            0 | 1 => DispatchStyle::IfChain,
+            2 | 3 => DispatchStyle::LookupTable,
+            4 => DispatchStyle::Delegated(rng.random_range(1..=3)),
+            _ => DispatchStyle::Switch,
+        };
+        let transform = match rng.random_range(0..10u32) {
+            0 | 1 => CmdTransform::IocNr,
+            2 => CmdTransform::Masked(0xff),
+            _ => CmdTransform::None,
+        };
+        (reg, dispatch, transform)
+    };
+    let dev_path = match reg {
+        RegStyle::MiscNodename => format!("/dev/synth/{id}"),
+        RegStyle::ProcOps => format!("/proc/{id}"),
+        _ => format!("/dev/{id}"),
+    };
+    let magic = 0x20 + (idx as u64 % 0x5f);
+    let n_cmds = rng.random_range(2..=8usize);
+    let n_structs = rng.random_range(1..=2usize);
+    let mut structs = Vec::new();
+    for si in 0..n_structs {
+        structs.push(gen_struct(rng, &format!("{id}_args{si}"), si == 0));
+    }
+    let mut cmds = Vec::new();
+    for ci in 0..n_cmds {
+        let arg = match rng.random_range(0..10u32) {
+            0 | 1 => ArgKind::Int,
+            2 => ArgKind::None,
+            _ => ArgKind::Struct(structs[ci % structs.len()].name.clone()),
+        };
+        let dir = match rng.random_range(0..4u32) {
+            0 => ArgDir::In,
+            1 => ArgDir::Out,
+            _ => ArgDir::InOut,
+        };
+        let encoding = if rng.random_bool(0.85) {
+            let d = match dir {
+                ArgDir::In => 1,
+                ArgDir::Out => 2,
+                ArgDir::InOut => 3,
+            };
+            CmdEncoding::Ioc {
+                dir: if matches!(arg, ArgKind::None) { 0 } else { d },
+            }
+        } else {
+            CmdEncoding::Raw((magic << 8) | ci as u64)
+        };
+        cmds.push(CmdBlueprint {
+            encoding,
+            ..CmdBlueprint::new(format!("{upper}_CMD{ci}"), ci as u64, arg, dir)
+        });
+    }
+    let existing = match existing {
+        Existing::None => ExistingSpec::None,
+        Existing::Full => ExistingSpec::Full,
+        Existing::Partial => {
+            let keep = rng.random_range(1..n_cmds.max(2));
+            ExistingSpec::Partial {
+                cmds: cmds.iter().take(keep).map(|c| c.name.clone()).collect(),
+                imprecise_types: rng.random_bool(0.3),
+                calls: Vec::new(),
+            }
+        }
+    };
+    Blueprint {
+        id: id.clone(),
+        kind: BlueprintKind::Driver(DriverBlueprint {
+            reg,
+            dev_path,
+            dispatch,
+            transform,
+            magic,
+            open_blocks: 4,
+        }),
+        cmds,
+        structs,
+        flag_sets: Vec::new(),
+        bugs: Vec::new(),
+        loaded,
+        existing,
+        source_file: format!("drivers/synth/{id}.c"),
+        comment: None,
+    }
+}
+
+fn gen_struct(rng: &mut StdRng, name: &str, with_roles: bool) -> ArgStruct {
+    let n = rng.random_range(2..=6usize);
+    let mut fields = Vec::new();
+    for fi in 0..n {
+        let ty = match rng.random_range(0..6u32) {
+            0 => FieldTy::U8,
+            1 => FieldTy::U16,
+            2 => FieldTy::U64,
+            3 => FieldTy::CharArray(rng.random_range(1..=8) * 8),
+            _ => FieldTy::U32,
+        };
+        let role = if with_roles && fi == 1 && rng.random_bool(0.5) {
+            FieldRole::CheckedRange(0, rng.random_range(1..=64))
+        } else if with_roles && fi == 2 && rng.random_bool(0.3) {
+            FieldRole::Reserved
+        } else {
+            FieldRole::Plain
+        };
+        fields.push(ArgField::with_role(format!("f{fi}"), ty, role));
+    }
+    ArgStruct {
+        name: name.into(),
+        fields,
+        is_union: false,
+    }
+}
+
+fn gen_socket(
+    rng: &mut StdRng,
+    idx: usize,
+    loaded: bool,
+    existing: Existing,
+    opaque: bool,
+) -> Blueprint {
+    let id = format!("ssock{idx}");
+    let upper = id.to_uppercase();
+    let family = 40 + idx as u64; // synthetic family numbers
+    let n_opts = rng.random_range(2..=8usize);
+    let addr = ArgStruct {
+        name: format!("sockaddr_{id}"),
+        fields: vec![
+            ArgField::with_role("family", FieldTy::U16, FieldRole::MagicCheck(family)),
+            ArgField::plain("port", FieldTy::U16),
+            ArgField::plain("addr", FieldTy::U32),
+        ],
+        is_union: false,
+    };
+    let opt_struct = gen_struct(rng, &format!("{id}_opt"), true);
+    let mut cmds = Vec::new();
+    for oi in 0..n_opts {
+        let arg = if rng.random_bool(0.5) {
+            ArgKind::Struct(opt_struct.name.clone())
+        } else {
+            ArgKind::Int
+        };
+        cmds.push(CmdBlueprint {
+            encoding: CmdEncoding::Raw(oi as u64 + 1),
+            ..CmdBlueprint::new(format!("{upper}_OPT{oi}"), oi as u64 + 1, arg, ArgDir::In)
+        });
+    }
+    let all_calls = vec![
+        SockCall::Bind,
+        SockCall::Connect,
+        SockCall::Sendto,
+        SockCall::Recvfrom,
+    ];
+    let existing = match existing {
+        // "Missing >80%" in the census: nothing described at all.
+        Existing::None => ExistingSpec::None,
+        Existing::Full => ExistingSpec::Full,
+        Existing::Partial => {
+            let keep = rng.random_range(1..n_opts.max(2));
+            ExistingSpec::Partial {
+                cmds: cmds.iter().take(keep).map(|c| c.name.clone()).collect(),
+                imprecise_types: rng.random_bool(0.3),
+                calls: all_calls[..rng.random_range(1..=all_calls.len())].to_vec(),
+            }
+        }
+    };
+    Blueprint {
+        id: id.clone(),
+        kind: BlueprintKind::Socket(SocketBlueprint {
+            family_name: format!("AF_{upper}"),
+            family,
+            sock_type: rng.random_range(1..=5),
+            proto: 0,
+            level: 500 + idx as u64,
+            level_name: format!("SOL_{upper}"),
+            calls: all_calls,
+            socket_blocks: 4,
+            opaque_family: opaque,
+        }),
+        cmds,
+        structs: vec![addr, opt_struct],
+        flag_sets: Vec::new(),
+        bugs: Vec::new(),
+        loaded,
+        existing,
+        source_file: format!("net/synth/{id}.c"),
+        comment: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::emit_blueprint;
+    use crate::parser::cparse;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let plan = SynthPlan {
+            drivers_loaded_complete: 3,
+            drivers_loaded_partial: 3,
+            drivers_loaded_none: 2,
+            drivers_unloaded: 2,
+            drivers_friendly: 2,
+            drivers_too_deep: 1,
+            sockets_loaded_complete: 1,
+            sockets_loaded_partial: 2,
+            sockets_loaded_none: 1,
+            sockets_unloaded: 1,
+            sockets_opaque: 1,
+        };
+        let a = generate(&plan, 7);
+        let b = generate(&plan, 7);
+        assert_eq!(a, b);
+        let c = generate(&plan, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plan_counts_respected() {
+        let plan = SynthPlan::paper_defaults();
+        let all = generate(&plan, 0);
+        let drivers: Vec<_> = all.iter().filter(|b| b.driver().is_some()).collect();
+        let sockets: Vec<_> = all.iter().filter(|b| b.socket().is_some()).collect();
+        assert_eq!(drivers.len(), 191 + 14 + 35 + 388);
+        assert_eq!(sockets.len(), 12 + 37 + 22 + 4);
+        assert_eq!(drivers.iter().filter(|b| b.loaded).count(), 240);
+        assert_eq!(sockets.iter().filter(|b| b.loaded).count(), 71);
+        let deep = drivers
+            .iter()
+            .filter(|b| b.driver().unwrap().dispatch.delegation_depth() > 5)
+            .count();
+        assert_eq!(deep, 5);
+        let opaque = sockets
+            .iter()
+            .filter(|b| b.socket().unwrap().opaque_family)
+            .count();
+        assert_eq!(opaque, 9);
+    }
+
+    #[test]
+    fn sampled_synthetic_sources_parse_and_agree() {
+        let plan = SynthPlan::paper_defaults();
+        let all = generate(&plan, 0);
+        // Parsing all 700+ would be slow in debug; sample broadly.
+        for bp in all.iter().step_by(17) {
+            let src = emit_blueprint(bp);
+            let f = cparse(&bp.source_file, &src)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", bp.id));
+            assert!(!f.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn synthetic_ground_truth_validates() {
+        let plan = SynthPlan::paper_defaults();
+        let all = generate(&plan, 0);
+        let mut consts = kgpt_syzlang::ConstDb::new();
+        consts.define("AT_FDCWD", 0xffff_ff9c);
+        let mut files = Vec::new();
+        for bp in all.iter().step_by(23) {
+            for (k, v) in bp.const_entries() {
+                consts.define(k, v);
+            }
+            files.push(bp.ground_truth_spec());
+        }
+        let db = kgpt_syzlang::SpecDb::from_files(files);
+        let errors = kgpt_syzlang::validate::validate(&db, &consts);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn ids_unique_across_population() {
+        let plan = SynthPlan::paper_defaults();
+        let all = generate(&plan, 0);
+        let mut ids: Vec<&str> = all.iter().map(|b| b.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,406 @@
+//! Lexer for the kernel-C subset.
+//!
+//! Preprocessor lines (`#define`, `#include`, …) are captured whole as
+//! [`CTok::Directive`] tokens; comments (`//` and `/* */`) are skipped.
+
+use std::fmt;
+
+/// A C token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (char literals are folded to their value).
+    Num(u64),
+    /// String literal, unescaped.
+    Str(String),
+    /// Operator or punctuation (multi-char ops preserved, e.g. `->`).
+    Punct(&'static str),
+    /// A whole preprocessor line, without the leading `#`.
+    Directive(String),
+}
+
+impl fmt::Display for CTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTok::Ident(s) => write!(f, "`{s}`"),
+            CTok::Num(n) => write!(f, "number {n}"),
+            CTok::Str(s) => write!(f, "string {s:?}"),
+            CTok::Punct(p) => write!(f, "`{p}`"),
+            CTok::Directive(d) => write!(f, "directive #{d}"),
+        }
+    }
+}
+
+/// Token plus source position (1-based line, byte offset of token start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CSpanned {
+    /// The token.
+    pub tok: CTok,
+    /// 1-based source line.
+    pub line: u32,
+    /// Byte offset of the first character of this token.
+    pub offset: usize,
+    /// Byte offset one past the last character of this token.
+    pub end: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CLexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for CLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CLexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "++", "--", "{", "}", "(", ")", "[", "]", ";", ",", ".", "=",
+    "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?", ":",
+];
+
+/// Tokenize C source text.
+///
+/// # Errors
+///
+/// Returns [`CLexError`] on unterminated strings/comments or characters
+/// outside the supported alphabet.
+pub fn clex(src: &str) -> Result<Vec<CSpanned>, CLexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let mut at_line_start = true;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+                at_line_start = true;
+                continue;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                continue;
+            }
+            '#' if at_line_start => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[i + 1..j]).trim().to_string();
+                out.push(CSpanned {
+                    tok: CTok::Directive(text),
+                    line,
+                    offset: start,
+                    end: j,
+                });
+                i = j;
+                continue;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= bytes.len() {
+                        return Err(CLexError {
+                            message: "unterminated block comment".into(),
+                            line,
+                        });
+                    }
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[j] == b'*' && bytes[j + 1] == b'/' {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 2;
+                continue;
+            }
+            '"' => {
+                let start = i;
+                let s_start = i + 1;
+                let mut j = s_start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(CLexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                let raw = String::from_utf8_lossy(&bytes[s_start..j]).into_owned();
+                out.push(CSpanned {
+                    tok: CTok::Str(unescape(&raw)),
+                    line,
+                    offset: start,
+                    end: j + 1,
+                });
+                i = j + 1;
+            }
+            '\'' => {
+                let start = i;
+                let (value, next) = lex_char(bytes, i, line)?;
+                out.push(CSpanned {
+                    tok: CTok::Num(value),
+                    line,
+                    offset: start,
+                    end: next,
+                });
+                i = next;
+            }
+            '0'..='9' => {
+                let start = i;
+                let (n, next) = lex_c_number(bytes, i, line)?;
+                out.push(CSpanned {
+                    tok: CTok::Num(n),
+                    line,
+                    offset: start,
+                    end: next,
+                });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(CSpanned {
+                    tok: CTok::Ident(String::from_utf8_lossy(&bytes[start..j]).into_owned()),
+                    line,
+                    offset: start,
+                    end: j,
+                });
+                i = j;
+            }
+            _ => {
+                let rest = &src[i..];
+                let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+                    return Err(CLexError {
+                        message: format!("unexpected character {c:?}"),
+                        line,
+                    });
+                };
+                out.push(CSpanned {
+                    tok: CTok::Punct(p),
+                    line,
+                    offset: i,
+                    end: i + p.len(),
+                });
+                i += p.len();
+            }
+        }
+        at_line_start = false;
+    }
+    Ok(out)
+}
+
+fn unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn lex_char(bytes: &[u8], start: usize, line: u32) -> Result<(u64, usize), CLexError> {
+    // start points at the opening quote.
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return Err(CLexError {
+            message: "unterminated char literal".into(),
+            line,
+        });
+    }
+    let value = if bytes[i] == b'\\' {
+        i += 1;
+        let v = match bytes.get(i) {
+            Some(b'n') => b'\n',
+            Some(b't') => b'\t',
+            Some(b'0') => 0,
+            Some(&c) => c,
+            None => {
+                return Err(CLexError {
+                    message: "unterminated char literal".into(),
+                    line,
+                })
+            }
+        };
+        i += 1;
+        u64::from(v)
+    } else {
+        let v = u64::from(bytes[i]);
+        i += 1;
+        v
+    };
+    if bytes.get(i) != Some(&b'\'') {
+        return Err(CLexError {
+            message: "unterminated char literal".into(),
+            line,
+        });
+    }
+    Ok((value, i + 1))
+}
+
+fn lex_c_number(bytes: &[u8], start: usize, line: u32) -> Result<(u64, usize), CLexError> {
+    let mut i = start;
+    let (radix, digits_start) =
+        if i + 1 < bytes.len() && bytes[i] == b'0' && (bytes[i + 1] | 0x20) == b'x' {
+            (16u32, i + 2)
+        } else {
+            (10u32, i)
+        };
+    i = digits_start;
+    let mut value: u64 = 0;
+    let mut any = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let Some(d) = c.to_digit(radix) else { break };
+        value = value
+            .checked_mul(u64::from(radix))
+            .and_then(|v| v.checked_add(u64::from(d)))
+            .ok_or_else(|| CLexError {
+                message: "integer literal overflows u64".into(),
+                line,
+            })?;
+        any = true;
+        i += 1;
+    }
+    if !any {
+        return Err(CLexError {
+            message: "malformed integer literal".into(),
+            line,
+        });
+    }
+    // Swallow integer suffixes (UL, ULL, u, l, …).
+    while i < bytes.len() && matches!(bytes[i] | 0x20, b'u' | b'l') {
+        i += 1;
+    }
+    Ok((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<CTok> {
+        clex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_designated_initializer() {
+        let t = toks(".unlocked_ioctl = dm_ctl_ioctl,");
+        assert_eq!(
+            t,
+            vec![
+                CTok::Punct("."),
+                CTok::Ident("unlocked_ioctl".into()),
+                CTok::Punct("="),
+                CTok::Ident("dm_ctl_ioctl".into()),
+                CTok::Punct(","),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_directive_whole_line() {
+        let t = toks("#define DM_VERSION_CMD 0\nint x;");
+        assert_eq!(t[0], CTok::Directive("define DM_VERSION_CMD 0".into()));
+        assert_eq!(t[1], CTok::Ident("int".into()));
+    }
+
+    #[test]
+    fn hash_mid_line_is_error() {
+        assert!(clex("int x = #define").is_err());
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("a /* hidden */ b // tail\nc");
+        assert_eq!(
+            t,
+            vec![
+                CTok::Ident("a".into()),
+                CTok::Ident("b".into()),
+                CTok::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_fold_to_values() {
+        assert_eq!(toks("'x'"), vec![CTok::Num(120)]);
+        assert_eq!(toks(r"'\n'"), vec![CTok::Num(10)]);
+        assert_eq!(toks(r"'\0'"), vec![CTok::Num(0)]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes() {
+        assert_eq!(toks("10UL"), vec![CTok::Num(10)]);
+        assert_eq!(toks("0xffULL"), vec![CTok::Num(255)]);
+    }
+
+    #[test]
+    fn multichar_ops_preserved() {
+        let t = toks("a->b << 2 >= c");
+        assert!(t.contains(&CTok::Punct("->")));
+        assert!(t.contains(&CTok::Punct("<<")));
+        assert!(t.contains(&CTok::Punct(">=")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![CTok::Str("a\nb".into())]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(clex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn offsets_track_bytes() {
+        let spanned = clex("ab cd").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Program execution: lower to registers + memory, run on the kernel.
+
+use crate::program::Program;
+use kgpt_syzlang::value::{MemBuilder, ResRef};
+use kgpt_syzlang::{ConstDb, SpecDb};
+use kgpt_vkernel::{CrashReport, MemMap, VKernel, VmState};
+use std::collections::BTreeSet;
+
+/// Result of executing one program.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Blocks covered by this program.
+    pub coverage: BTreeSet<u64>,
+    /// Crash triggered, if any.
+    pub crash: Option<CrashReport>,
+    /// Per-call return values (calls after a crash are skipped and
+    /// recorded as `-EFAULT`).
+    pub rets: Vec<i64>,
+}
+
+/// Execute a program against a fresh VM state.
+#[must_use]
+pub fn execute(
+    kernel: &VKernel,
+    db: &SpecDb,
+    consts: &ConstDb,
+    prog: &Program,
+) -> ExecResult {
+    let mut state = VmState::new();
+    let mut rets: Vec<i64> = Vec::with_capacity(prog.calls.len());
+    for call in &prog.calls {
+        if state.crash.is_some() {
+            rets.push(-kgpt_vkernel::errno::EFAULT);
+            continue;
+        }
+        let resolve = |r: &ResRef| -> u64 {
+            match r.producer.and_then(|i| rets.get(i)) {
+                Some(v) if *v >= 0 => *v as u64,
+                _ => r.fallback,
+            }
+        };
+        let mut mb = MemBuilder::new(db, consts);
+        let mut regs = [0u64; 6];
+        let mut ok = true;
+        for (i, (param, value)) in call.syscall.params.iter().zip(&call.args).enumerate() {
+            if i >= 6 {
+                break;
+            }
+            match mb.encode_arg(&param.ty, value, &resolve) {
+                Ok(v) => regs[i] = v,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            rets.push(-kgpt_vkernel::errno::EINVAL);
+            continue;
+        }
+        // Auto-fill top-level len/bytesize parameters from the encoded
+        // sibling (`setsockopt(..., val, len)`): the encoder fills them
+        // inside structs, but register-level lens refer to the pointee
+        // segment size.
+        let segments = mb.into_segments();
+        for (i, param) in call.syscall.params.iter().enumerate().take(6) {
+            if let kgpt_syzlang::Type::Bytesize { target, .. }
+            | kgpt_syzlang::Type::Len { target, .. } = &param.ty
+            {
+                if let Some((ti, _)) = call
+                    .syscall
+                    .params
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| &p.name == target)
+                {
+                    let addr = regs[ti];
+                    if let Some((_, bytes)) = segments.iter().find(|(a, _)| *a == addr) {
+                        regs[i] = bytes.len() as u64;
+                    }
+                }
+            }
+        }
+        let mem = MemMap::from_segments(segments);
+        let ret = kernel.exec_call(&mut state, &call.syscall.base, &regs, &mem);
+        rets.push(ret);
+    }
+    ExecResult {
+        coverage: state.coverage,
+        crash: state.crash,
+        rets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Generator;
+    use kgpt_csrc::KernelCorpus;
+    use kgpt_vkernel::VKernel;
+
+    #[test]
+    fn generated_dm_programs_reach_coverage() {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let mut g = Generator::new(&db, kc.consts(), 11);
+        let mut total = BTreeSet::new();
+        for _ in 0..200 {
+            let p = g.gen_program(6);
+            let r = execute(&kernel, &db, kc.consts(), &p);
+            total.extend(r.coverage);
+        }
+        // Open blocks + several command bodies must be reachable.
+        assert!(total.len() > 30, "coverage too small: {}", total.len());
+    }
+
+    #[test]
+    fn truth_spec_triggers_dm_bugs_eventually() {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let mut g = Generator::new(&db, kc.consts(), 5);
+        let mut titles = BTreeSet::new();
+        for _ in 0..3000 {
+            let p = g.gen_program(8);
+            let r = execute(&kernel, &db, kc.consts(), &p);
+            if let Some(c) = r.crash {
+                titles.insert(c.title);
+            }
+        }
+        assert!(
+            titles.contains("kmalloc bug in ctl_ioctl"),
+            "found: {titles:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_device_name_spec_gets_no_driver_coverage() {
+        // A SyzDescribe-style spec with the wrong path opens nothing.
+        let spec = kgpt_syzlang::parse(
+            "wrong",
+            "resource fd_w[fd]\nopenat$w(dir const[0], file ptr[in, string[\"/dev/dm-controller\"]], flags const[2], mode const[0]) fd_w\nioctl$W(fd fd_w, cmd const[3], arg ptr[in, array[int8]])\n",
+        )
+        .unwrap();
+        let db = SpecDb::from_files(vec![spec]);
+        let consts = ConstDb::new();
+        let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let mut g = Generator::new(&db, &consts, 1);
+        let mut total = BTreeSet::new();
+        for _ in 0..100 {
+            let p = g.gen_program(4);
+            let r = execute(&kernel, &db, &consts, &p);
+            total.extend(r.coverage);
+        }
+        assert!(total.is_empty(), "unexpected coverage: {total:?}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Spec-driven program generation and mutation.
+
+use crate::program::{ProgCall, Program};
+use kgpt_syzlang::ast::{ArrayLen, Dir, Type};
+use kgpt_syzlang::value::ResRef;
+use kgpt_syzlang::{ConstDb, SpecDb, Syscall, Value};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Interesting scalar boundary values the generator favours.
+const INTERESTING: &[u64] = &[
+    0,
+    1,
+    2,
+    3,
+    7,
+    8,
+    16,
+    64,
+    127,
+    128,
+    255,
+    0x7fff,
+    0xffff,
+    0x7fff_ffff,
+    0xffff_ffff,
+    u64::MAX,
+];
+
+/// Generates and mutates programs from a specification database.
+pub struct Generator<'a> {
+    db: &'a SpecDb,
+    consts: &'a ConstDb,
+    rng: StdRng,
+    enabled: Vec<String>,
+}
+
+impl<'a> Generator<'a> {
+    /// Create a generator over all syscalls of the database.
+    #[must_use]
+    pub fn new(db: &'a SpecDb, consts: &'a ConstDb, seed: u64) -> Generator<'a> {
+        let enabled = db.syscalls().map(Syscall::name).collect();
+        Generator {
+            db,
+            consts,
+            rng: StdRng::seed_from_u64(seed),
+            enabled,
+        }
+    }
+
+    /// Restrict generation to the given syscalls (per-driver runs).
+    #[must_use]
+    pub fn with_enabled(mut self, enabled: Vec<String>) -> Generator<'a> {
+        self.enabled = enabled
+            .into_iter()
+            .filter(|n| self.db.syscall(n).is_some())
+            .collect();
+        self
+    }
+
+    /// Number of enabled syscalls.
+    #[must_use]
+    pub fn enabled_count(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Generate a fresh program of at most `max_len` calls.
+    pub fn gen_program(&mut self, max_len: usize) -> Program {
+        let mut prog = Program::default();
+        let want = self.rng.random_range(1..=max_len.max(1));
+        for _ in 0..want {
+            if self.enabled.is_empty() {
+                break;
+            }
+            let name = self.enabled[self.rng.random_range(0..self.enabled.len())].clone();
+            self.append_call(&mut prog, &name, 0);
+            if prog.len() >= max_len {
+                break;
+            }
+        }
+        prog
+    }
+
+    /// Append a call (prepending producers for its resources).
+    fn append_call(&mut self, prog: &mut Program, name: &str, depth: usize) -> Option<usize> {
+        if depth > 6 || prog.len() > 24 {
+            return None;
+        }
+        let sys = self.db.syscall(name)?.clone();
+        // Resource context: resource name → producing call index.
+        let mut ctx: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, c) in prog.calls.iter().enumerate() {
+            if let Some(r) = &c.syscall.ret {
+                ctx.insert(r.clone(), i);
+            }
+        }
+        // Satisfy consumed resources.
+        for p in &sys.params {
+            if let Type::Resource(r) = &p.ty {
+                if !ctx.contains_key(r) && self.db.resource(r).is_some() {
+                    let producers: Vec<String> =
+                        self.db.producers_of(r).map(Syscall::name).collect();
+                    if let Some(pn) = producers.choose(&mut self.rng).cloned() {
+                        if let Some(idx) = self.append_call(prog, &pn, depth + 1) {
+                            ctx.insert(r.clone(), idx);
+                        }
+                    }
+                }
+            }
+        }
+        let args = sys
+            .params
+            .iter()
+            .map(|p| self.gen_value(&p.ty, &ctx, 0))
+            .collect();
+        prog.calls.push(ProgCall { syscall: sys, args });
+        Some(prog.len() - 1)
+    }
+
+    /// Generate a value for a type.
+    fn gen_value(&mut self, ty: &Type, ctx: &BTreeMap<String, usize>, depth: usize) -> Value {
+        if depth > 12 {
+            return Value::Int(0);
+        }
+        match ty {
+            Type::Int { bits, range } => {
+                let v = match range {
+                    // Mostly respect declared ranges; occasionally probe
+                    // outside them (the kernel should EINVAL).
+                    Some((lo, hi)) if self.rng.random_bool(0.85) => {
+                        if hi > lo {
+                            lo + self.rng.random_range(0..=(hi - lo))
+                        } else {
+                            *lo
+                        }
+                    }
+                    _ => self.gen_int(),
+                };
+                Value::Int(bits.truncate(v))
+            }
+            Type::Const { .. } => Value::Int(0), // encoder substitutes
+            Type::Flags { set, bits } => {
+                let values: Vec<u64> = self
+                    .db
+                    .flags_def(set)
+                    .map(|fd| {
+                        fd.values
+                            .iter()
+                            .filter_map(|v| self.consts.resolve(v))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let mut acc = 0u64;
+                for v in &values {
+                    if self.rng.random_bool(0.4) {
+                        acc |= v;
+                    }
+                }
+                if values.is_empty() || self.rng.random_bool(0.05) {
+                    acc = self.gen_int();
+                }
+                Value::Int(bits.truncate(acc))
+            }
+            Type::StringLit { values } => {
+                let s = values
+                    .choose(&mut self.rng)
+                    .cloned()
+                    .unwrap_or_default();
+                Value::Bytes(s.into_bytes())
+            }
+            Type::Ptr { elem, .. } => {
+                if self.rng.random_bool(0.03) {
+                    Value::Ptr { pointee: None }
+                } else {
+                    Value::ptr_to(self.gen_value(elem, ctx, depth + 1))
+                }
+            }
+            Type::Array { elem, len } => {
+                let n = match len {
+                    ArrayLen::Fixed(n) => *n,
+                    ArrayLen::Range(lo, hi) => {
+                        if hi > lo {
+                            lo + self.rng.random_range(0..=(hi - lo).min(16))
+                        } else {
+                            *lo
+                        }
+                    }
+                    // Long-tailed sizes: mostly small, sometimes page-
+                    // scale (large payloads are how the sendmsg-path
+                    // bugs are reached).
+                    ArrayLen::Unsized => match self.rng.random_range(0..10u32) {
+                        0..=6 => self.rng.random_range(0..8),
+                        7 | 8 => self.rng.random_range(8..256),
+                        _ => self.rng.random_range(256..4096),
+                    },
+                };
+                // Byte arrays as raw buffers (cheaper, and what the
+                // kernel decodes anyway).
+                if matches!(
+                    elem.as_ref(),
+                    Type::Int {
+                        bits: kgpt_syzlang::IntBits::I8,
+                        ..
+                    }
+                ) {
+                    let mut bytes = vec![0u8; n as usize];
+                    for b in &mut bytes {
+                        *b = self.rng.random_range(0..=255u32) as u8;
+                    }
+                    return Value::Bytes(bytes);
+                }
+                let mut vs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    vs.push(self.gen_value(elem, ctx, depth + 1));
+                }
+                Value::Group(vs)
+            }
+            Type::Len { .. } | Type::Bytesize { .. } => Value::Int(0), // auto-filled
+            Type::Resource(r) => Value::Res(ResRef {
+                producer: ctx.get(r).copied(),
+                // Dangling references land on small fds/ids sometimes.
+                fallback: if self.rng.random_bool(0.5) {
+                    self.rng.random_range(0..6)
+                } else {
+                    u64::MAX
+                },
+            }),
+            Type::Named(n) => {
+                let Some(def) = self.db.struct_def(n) else {
+                    return Value::Int(0);
+                };
+                let def = def.clone();
+                if def.is_union {
+                    let arm = self.rng.random_range(0..def.fields.len().max(1));
+                    let v = def
+                        .fields
+                        .get(arm)
+                        .map(|f| self.gen_value(&f.ty, ctx, depth + 1))
+                        .unwrap_or(Value::Int(0));
+                    Value::Union {
+                        arm,
+                        value: Box::new(v),
+                    }
+                } else {
+                    let vs = def
+                        .fields
+                        .iter()
+                        .map(|f| self.gen_value(&f.ty, ctx, depth + 1))
+                        .collect();
+                    Value::Group(vs)
+                }
+            }
+            Type::Proc { start, per, .. } => Value::Int(start + per),
+            Type::Void => Value::Group(Vec::new()),
+        }
+    }
+
+    fn gen_int(&mut self) -> u64 {
+        if self.rng.random_bool(0.7) {
+            *INTERESTING.choose(&mut self.rng).expect("non-empty")
+        } else {
+            self.rng.random()
+        }
+    }
+
+    /// Mutate a program: regenerate an argument, append a call, or
+    /// truncate. Returns a fresh program (input untouched).
+    pub fn mutate(&mut self, prog: &Program, max_len: usize) -> Program {
+        let mut p = prog.clone();
+        if p.is_empty() {
+            return self.gen_program(max_len);
+        }
+        match self.rng.random_range(0..10u32) {
+            // Regenerate one argument of one call.
+            0..=5 => {
+                let ci = self.rng.random_range(0..p.calls.len());
+                let ctx: BTreeMap<String, usize> = p.calls[..ci]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.syscall.ret.clone().map(|r| (r, i)))
+                    .collect();
+                let call = &mut p.calls[ci];
+                if !call.args.is_empty() {
+                    let ai = self.rng.random_range(0..call.args.len());
+                    let ty = call.syscall.params[ai].ty.clone();
+                    call.args[ai] = self.gen_value(&ty, &ctx, 0);
+                }
+            }
+            // Append a random enabled call.
+            6..=8 => {
+                if !self.enabled.is_empty() && p.len() < max_len {
+                    let name =
+                        self.enabled[self.rng.random_range(0..self.enabled.len())].clone();
+                    self.append_call(&mut p, &name, 0);
+                }
+            }
+            // Truncate.
+            _ => {
+                let keep = self.rng.random_range(1..=p.calls.len());
+                p.truncate(keep);
+            }
+        }
+        p
+    }
+}
+
+/// Direction of the pointer a value sits behind (needed by tests).
+#[must_use]
+pub fn top_dir(ty: &Type) -> Dir {
+    match ty {
+        Type::Ptr { dir, .. } => *dir,
+        _ => Dir::In,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpt_csrc::KernelCorpus;
+
+    fn dm_db() -> (SpecDb, ConstDb) {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        (db, kc.consts().clone())
+    }
+
+    #[test]
+    fn generates_programs_with_producers() {
+        let (db, consts) = dm_db();
+        let mut g = Generator::new(&db, &consts, 7);
+        let mut saw_dependent = false;
+        for _ in 0..50 {
+            let p = g.gen_program(5);
+            assert!(!p.is_empty());
+            // Any ioctl must be preceded by its openat producer.
+            for (i, c) in p.calls.iter().enumerate() {
+                if c.syscall.base == "ioctl" {
+                    for r in c.args.iter().flat_map(Value::res_refs) {
+                        if let Some(pi) = r.producer {
+                            assert!(pi < i, "producer after consumer");
+                            assert_eq!(p.calls[pi].syscall.base, "openat");
+                            saw_dependent = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_dependent, "no dependent calls generated in 50 programs");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (db, consts) = dm_db();
+        let a: Vec<Program> = {
+            let mut g = Generator::new(&db, &consts, 42);
+            (0..10).map(|_| g.gen_program(4)).collect()
+        };
+        let b: Vec<Program> = {
+            let mut g = Generator::new(&db, &consts, 42);
+            (0..10).map(|_| g.gen_program(4)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn enabled_filter_restricts() {
+        let (db, consts) = dm_db();
+        let mut g = Generator::new(&db, &consts, 1)
+            .with_enabled(vec!["openat$dm".into(), "bogus$x".into()]);
+        assert_eq!(g.enabled_count(), 1);
+        for _ in 0..10 {
+            let p = g.gen_program(3);
+            for c in &p.calls {
+                assert_eq!(c.syscall.name(), "openat$dm");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_program_well_formed() {
+        let (db, consts) = dm_db();
+        let mut g = Generator::new(&db, &consts, 3);
+        let mut p = g.gen_program(4);
+        for _ in 0..100 {
+            p = g.mutate(&p, 8);
+            assert!(p.len() <= 25);
+            for c in &p.calls {
+                assert_eq!(c.args.len(), c.syscall.params.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # kgpt-fuzzer
+//!
+//! The spec-guided, coverage-directed syscall fuzzer — the Syzkaller
+//! substitute that consumes syzlang suites and drives the virtual
+//! kernel.
+//!
+//! * [`program`] — syscall sequences with resource-threading;
+//! * [`gen`] — generation from a [`kgpt_syzlang::SpecDb`]: producers are
+//!   prepended to satisfy resource dependencies, values follow the
+//!   declared types (ranges, flags, strings, lengths auto-filled by the
+//!   encoder) with a small rate of deliberate violations;
+//! * [`exec`] — lowers a program to registers + memory segments and
+//!   runs it against a [`kgpt_vkernel::VKernel`];
+//! * [`campaign`] — the coverage-guided loop: mutate/generate, keep
+//!   inputs that reach new blocks, deduplicate crashes by title.
+
+pub mod campaign;
+pub mod exec;
+pub mod gen;
+pub mod program;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignResult};
+pub use exec::{execute, ExecResult};
+pub use gen::Generator;
+pub use program::{Program, ProgCall};

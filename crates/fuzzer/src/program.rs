@@ -1,0 +1,82 @@
+//! Program representation: an ordered list of syscalls with concrete
+//! argument values and resource references into earlier calls.
+
+use kgpt_syzlang::{Syscall, Value};
+use serde::{Deserialize, Serialize};
+
+/// One call in a program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgCall {
+    /// The syscall description this call instantiates.
+    pub syscall: Syscall,
+    /// One value per parameter.
+    pub args: Vec<Value>,
+}
+
+/// A syscall sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Calls in execution order.
+    pub calls: Vec<ProgCall>,
+}
+
+impl Program {
+    /// Number of calls.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Drop trailing calls, keeping resource references valid (they
+    /// only ever point backwards).
+    pub fn truncate(&mut self, len: usize) {
+        self.calls.truncate(len);
+    }
+
+    /// Human-readable one-line-per-call rendering (for crash reports).
+    #[must_use]
+    pub fn display(&self) -> String {
+        self.calls
+            .iter()
+            .map(|c| c.syscall.name())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_and_display() {
+        let sys = Syscall {
+            base: "close".into(),
+            variant: None,
+            params: vec![],
+            ret: None,
+        };
+        let mut p = Program {
+            calls: vec![
+                ProgCall {
+                    syscall: sys.clone(),
+                    args: vec![],
+                },
+                ProgCall {
+                    syscall: sys,
+                    args: vec![],
+                },
+            ],
+        };
+        assert_eq!(p.len(), 2);
+        p.truncate(1);
+        assert_eq!(p.display(), "close");
+        assert!(!p.is_empty());
+    }
+}

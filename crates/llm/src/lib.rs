@@ -1,0 +1,106 @@
+//! # kgpt-llm
+//!
+//! The *analysis LLM* substrate of the KernelGPT reproduction.
+//!
+//! The paper drives GPT-4 through the OpenAI API. Offline, we keep the
+//! client architecture — a [`LanguageModel`] trait taking a textual
+//! prompt and returning a textual completion plus token usage — and
+//! substitute the network model with a deterministic **oracle**
+//! ([`oracle::OracleModel`]) that *re-parses the C code embedded in the
+//! prompt* and answers in the structured format the paper's few-shot
+//! examples elicit (`IDENT`/`UNKNOWN`/`SYZTYPE`/`DEP` lines; see
+//! [`protocol`]).
+//!
+//! Crucially, the oracle only knows what the prompt contains: if a
+//! handler delegates to a function whose source is absent, it must
+//! answer `UNKNOWN FUNC=...` exactly like a real LLM that cannot see
+//! the callee — which keeps Algorithm 1's iterative loop, the
+//! all-in-one ablation (context-window overflow) and the model-choice
+//! ablation (capability [`profile`]s) faithful.
+//!
+//! Token usage and dollar cost are metered per request ([`usage`]),
+//! reproducing the §5.1.1 cost accounting.
+
+pub mod oracle;
+pub mod profile;
+pub mod protocol;
+pub mod usage;
+
+pub use oracle::OracleModel;
+pub use profile::{Capability, ModelKind};
+pub use usage::{Usage, UsageMeter};
+
+/// A chat request: one prompt, one completion (the paper's pipeline is
+/// single-turn per step; iteration happens at the KernelGPT layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatRequest {
+    /// Full prompt text (instructions + few-shot + sections).
+    pub prompt: String,
+    /// Sampling temperature ×1000 (paper: 0.1 → 100). The oracle is
+    /// deterministic; the field is kept for API fidelity.
+    pub temperature_milli: u32,
+    /// Repair/retry attempt index (0 = first pass). The oracle's seeded
+    /// defect injection only fires on the first pass, so repair prompts
+    /// converge — mirroring how a real LLM fixes its own output when
+    /// shown validator errors.
+    pub attempt: u32,
+}
+
+impl ChatRequest {
+    /// First-pass request with the paper's default temperature.
+    #[must_use]
+    pub fn new(prompt: String) -> ChatRequest {
+        ChatRequest {
+            prompt,
+            temperature_milli: 100,
+            attempt: 0,
+        }
+    }
+}
+
+/// A completion plus usage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatResponse {
+    /// Completion text.
+    pub text: String,
+    /// Tokens consumed/produced by this call.
+    pub usage: Usage,
+}
+
+/// Abstraction over the analysis LLM.
+pub trait LanguageModel: Send + Sync {
+    /// Model identifier (for reports).
+    fn name(&self) -> &str;
+
+    /// Complete a request.
+    fn chat(&self, request: &ChatRequest) -> ChatResponse;
+
+    /// Cumulative usage across all calls.
+    fn total_usage(&self) -> Usage;
+}
+
+/// Approximate token count of a text (chars/4, the usual heuristic).
+#[must_use]
+pub fn approx_tokens(text: &str) -> u64 {
+    (text.len() as u64).div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_tokens_rounds_up() {
+        assert_eq!(approx_tokens(""), 0);
+        assert_eq!(approx_tokens("abc"), 1);
+        assert_eq!(approx_tokens("abcd"), 1);
+        assert_eq!(approx_tokens("abcde"), 2);
+    }
+
+    #[test]
+    fn chat_request_defaults() {
+        let r = ChatRequest::new("hi".into());
+        assert_eq!(r.temperature_milli, 100);
+        assert_eq!(r.attempt, 0);
+    }
+}

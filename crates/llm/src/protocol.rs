@@ -1,0 +1,661 @@
+//! The textual protocol between KernelGPT and the analysis LLM.
+//!
+//! Prompts are plain text with `##`-delimited sections (mirroring the
+//! paper's Figure 6 template); completions are line-oriented facts —
+//! the shape a few-shot-prompted LLM is instructed to produce. Both
+//! sides round-trip through text: KernelGPT renders a [`Prompt`] and
+//! parses [`Fact`]s back; the oracle parses the prompt text (it never
+//! sees internal structures) and renders facts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Which analysis stage a prompt requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Task {
+    /// §3.1.1 identifier deduction.
+    Identifier,
+    /// §3.1.2 type recovery.
+    Types,
+    /// §3.1.3 dependency analysis.
+    Dependency,
+    /// §3.2 specification repair.
+    Repair,
+    /// All-in-one (the §5.2.3 ablation).
+    AllInOne,
+}
+
+impl Task {
+    fn keyword(self) -> &'static str {
+        match self {
+            Task::Identifier => "identifier",
+            Task::Types => "types",
+            Task::Dependency => "dependency",
+            Task::Repair => "repair",
+            Task::AllInOne => "all",
+        }
+    }
+
+    fn from_keyword(s: &str) -> Option<Task> {
+        Some(match s {
+            "identifier" => Task::Identifier,
+            "types" => Task::Types,
+            "dependency" => Task::Dependency,
+            "repair" => Task::Repair,
+            "all" => Task::AllInOne,
+            _ => return None,
+        })
+    }
+}
+
+/// Argument signature of a command, as communicated by the LLM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArgSig {
+    /// No argument.
+    None,
+    /// Plain integer.
+    Int,
+    /// Pointer to a named C struct.
+    StructPtr(String),
+    /// Pointer to an id of the named resource.
+    IdPtr(String),
+}
+
+impl ArgSig {
+    fn render(&self) -> String {
+        match self {
+            ArgSig::None => "none".into(),
+            ArgSig::Int => "int".into(),
+            ArgSig::StructPtr(s) => format!("struct:{s}"),
+            ArgSig::IdPtr(r) => format!("idptr:{r}"),
+        }
+    }
+
+    fn parse(s: &str) -> Option<ArgSig> {
+        Some(match s {
+            "none" => ArgSig::None,
+            "int" => ArgSig::Int,
+            other => {
+                if let Some(st) = other.strip_prefix("struct:") {
+                    ArgSig::StructPtr(st.to_string())
+                } else if let Some(r) = other.strip_prefix("idptr:") {
+                    ArgSig::IdPtr(r.to_string())
+                } else {
+                    return None;
+                }
+            }
+        })
+    }
+}
+
+/// One fact in a completion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fact {
+    /// Device node path.
+    DevPath(String),
+    /// Socket registration facts (fields may be unknown).
+    Socket {
+        /// `AF_*` macro name, if determinable.
+        family_name: Option<String>,
+        /// `SOCK_*` numeric type.
+        sock_type: Option<u64>,
+        /// Protocol number.
+        proto: Option<u64>,
+        /// `SOL_*` level macro name.
+        level_name: Option<String>,
+    },
+    /// A generic socket call implementation (`bind` → `rds_bind`).
+    SockCallFn {
+        /// Call name (`bind`, `connect`, `sendmsg`, `recvmsg`, `accept`).
+        call: String,
+        /// Implementing function.
+        func: String,
+    },
+    /// Command-value transform observed in the dispatcher.
+    Transform {
+        /// `"none"`, `"iocnr"` or `"mask:0x.."`.
+        kind: String,
+    },
+    /// A discovered command.
+    Ident {
+        /// Macro name (the identifier value, symbolically).
+        name: String,
+        /// Sub-handler function, if dispatched to one.
+        handler: Option<String>,
+        /// Argument signature.
+        arg: ArgSig,
+        /// Direction keyword (`in`/`out`/`inout`).
+        dir: String,
+    },
+    /// A function whose source is needed next round.
+    UnknownFunc {
+        /// Function name.
+        name: String,
+        /// Invocation context (free text).
+        usage: String,
+    },
+    /// A struct whose definition is needed next round.
+    UnknownStruct(String),
+    /// A global variable (lookup table) needed next round.
+    UnknownVar {
+        /// Variable name.
+        name: String,
+        /// Usage context.
+        usage: String,
+    },
+    /// A recovered type, as syzlang text (possibly several items).
+    SyzType {
+        /// The C struct name it corresponds to.
+        c_name: String,
+        /// syzlang item text.
+        text: String,
+    },
+    /// A flag set recovered from a mask check.
+    FlagSet {
+        /// Set name.
+        name: String,
+        /// Member macro names.
+        values: Vec<String>,
+    },
+    /// A resource the handler issues (queue ids etc.).
+    ResourceDef {
+        /// Resource name.
+        name: String,
+    },
+    /// A command creates a new fd served by another ops variable.
+    CreatesFd {
+        /// The `file_operations` variable of the sub-handler.
+        fops_var: String,
+        /// The creating command's macro name.
+        cmd: String,
+    },
+    /// Free-text commentary (readability; ignored by the pipeline).
+    Note(String),
+}
+
+/// A rendered prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Prompt {
+    /// Requested stage.
+    pub task: Option<Task>,
+    /// Entry function to analyze (dispatcher or sub-handler).
+    pub target_func: Option<String>,
+    /// The ops variable (handler identity), for context.
+    pub handler_var: Option<String>,
+    /// Structs whose syzlang form is wanted (type stage).
+    pub want_structs: Vec<String>,
+    /// Raw C item texts.
+    pub source: Vec<String>,
+    /// Raw usage-site texts.
+    pub usage: Vec<String>,
+    /// Facts established in earlier rounds.
+    pub known: Vec<Fact>,
+    /// Validator errors (repair stage).
+    pub errors: Vec<String>,
+}
+
+const INSTRUCTIONS: &str = "You are analyzing Linux kernel source code to produce Syzkaller \
+(syzlang) specifications. Answer ONLY with fact lines: IDENT/DEVPATH/SOCKET/SOCKCALL/TRANSFORM/\
+UNKNOWN/SYZTYPE/FLAGSET/RESOURCE/DEP/NOTE. If the logic you need lives in a function, struct or \
+table that is not shown, list it in an UNKNOWN line instead of guessing.";
+
+impl Prompt {
+    /// Render to the textual form sent to the model.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# INSTRUCTIONS\n{INSTRUCTIONS}\n");
+        if let Some(t) = self.task {
+            let _ = writeln!(out, "## TASK\n{}\n", t.keyword());
+        }
+        if let Some(f) = &self.target_func {
+            let _ = writeln!(out, "## TARGET-FUNC\n{f}\n");
+        }
+        if let Some(v) = &self.handler_var {
+            let _ = writeln!(out, "## HANDLER-VAR\n{v}\n");
+        }
+        if !self.want_structs.is_empty() {
+            let _ = writeln!(out, "## WANT-STRUCTS\n{}\n", self.want_structs.join("\n"));
+        }
+        if !self.known.is_empty() {
+            let _ = writeln!(out, "## KNOWN\n{}", render_facts(&self.known));
+        }
+        if !self.errors.is_empty() {
+            let _ = writeln!(out, "## ERRORS\n{}\n", self.errors.join("\n"));
+        }
+        if !self.usage.is_empty() {
+            let _ = writeln!(out, "## USAGE\n{}\n", self.usage.join("\n\n"));
+        }
+        if !self.source.is_empty() {
+            let _ = writeln!(out, "## SOURCE\n{}\n", self.source.join("\n\n"));
+        }
+        out
+    }
+
+    /// Parse a rendered prompt (oracle side).
+    #[must_use]
+    pub fn parse(text: &str) -> Prompt {
+        let mut p = Prompt::default();
+        let mut section = String::new();
+        let mut buf: Vec<String> = Vec::new();
+        let flush = |p: &mut Prompt, section: &str, buf: &mut Vec<String>| {
+            let body = buf.join("\n").trim().to_string();
+            match section {
+                "TASK" => p.task = Task::from_keyword(body.trim()),
+                "TARGET-FUNC" => {
+                    if !body.is_empty() {
+                        p.target_func = Some(body);
+                    }
+                }
+                "HANDLER-VAR" => {
+                    if !body.is_empty() {
+                        p.handler_var = Some(body);
+                    }
+                }
+                "WANT-STRUCTS" => {
+                    p.want_structs = body.lines().map(str::to_string).collect();
+                }
+                "KNOWN" => p.known = parse_facts(&body),
+                "ERRORS" => p.errors = body.lines().map(str::to_string).collect(),
+                "USAGE" => {
+                    p.usage = body
+                        .split("\n\n")
+                        .filter(|s| !s.trim().is_empty())
+                        .map(str::to_string)
+                        .collect();
+                }
+                "SOURCE" => {
+                    p.source = body
+                        .split("\n\n")
+                        .filter(|s| !s.trim().is_empty())
+                        .map(str::to_string)
+                        .collect();
+                }
+                _ => {}
+            }
+            buf.clear();
+        };
+        for line in text.lines() {
+            if let Some(h) = line.strip_prefix("## ") {
+                let prev = std::mem::replace(&mut section, h.trim().to_string());
+                flush(&mut p, &prev, &mut buf);
+            } else if !line.starts_with("# ") {
+                buf.push(line.to_string());
+            }
+        }
+        let last = section.clone();
+        flush(&mut p, &last, &mut buf);
+        p
+    }
+
+    /// The concatenated source text (what the oracle re-parses as C).
+    #[must_use]
+    pub fn source_text(&self) -> String {
+        self.source.join("\n\n")
+    }
+
+    /// The concatenated usage text.
+    #[must_use]
+    pub fn usage_text(&self) -> String {
+        self.usage.join("\n\n")
+    }
+}
+
+/// Render facts to completion text.
+#[must_use]
+pub fn render_facts(facts: &[Fact]) -> String {
+    let mut out = String::new();
+    for f in facts {
+        match f {
+            Fact::DevPath(p) => {
+                let _ = writeln!(out, "DEVPATH {p}");
+            }
+            Fact::Socket {
+                family_name,
+                sock_type,
+                proto,
+                level_name,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "SOCKET family={} type={} proto={} level={}",
+                    family_name.as_deref().unwrap_or("?"),
+                    sock_type.map_or("?".to_string(), |v| v.to_string()),
+                    proto.map_or("?".to_string(), |v| v.to_string()),
+                    level_name.as_deref().unwrap_or("?"),
+                );
+            }
+            Fact::SockCallFn { call, func } => {
+                let _ = writeln!(out, "SOCKCALL {call}={func}");
+            }
+            Fact::Transform { kind } => {
+                let _ = writeln!(out, "TRANSFORM {kind}");
+            }
+            Fact::Ident {
+                name,
+                handler,
+                arg,
+                dir,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "IDENT name={name} handler={} arg={} dir={dir}",
+                    handler.as_deref().unwrap_or("-"),
+                    arg.render(),
+                );
+            }
+            Fact::UnknownFunc { name, usage } => {
+                let _ = writeln!(out, "UNKNOWN FUNC={name} USAGE={usage}");
+            }
+            Fact::UnknownStruct(n) => {
+                let _ = writeln!(out, "UNKNOWN STRUCT={n}");
+            }
+            Fact::UnknownVar { name, usage } => {
+                let _ = writeln!(out, "UNKNOWN VAR={name} USAGE={usage}");
+            }
+            Fact::SyzType { c_name, text } => {
+                let _ = writeln!(out, "SYZTYPE c={c_name}");
+                let _ = writeln!(out, "{}", text.trim_end());
+                let _ = writeln!(out, "ENDTYPE");
+            }
+            Fact::FlagSet { name, values } => {
+                let _ = writeln!(out, "FLAGSET name={name} values={}", values.join(","));
+            }
+            Fact::ResourceDef { name } => {
+                let _ = writeln!(out, "RESOURCE name={name}");
+            }
+            Fact::CreatesFd { fops_var, cmd } => {
+                let _ = writeln!(out, "DEP creates_fd fops={fops_var} cmd={cmd}");
+            }
+            Fact::Note(n) => {
+                let _ = writeln!(out, "NOTE {n}");
+            }
+        }
+    }
+    out
+}
+
+fn kv<'a>(token: &'a str, key: &str) -> Option<&'a str> {
+    token.strip_prefix(key)?.strip_prefix('=')
+}
+
+/// Parse completion text back into facts. Unparseable lines become
+/// [`Fact::Note`]s (a real LLM occasionally chats; the pipeline must
+/// not choke).
+#[must_use]
+pub fn parse_facts(text: &str) -> Vec<Fact> {
+    let mut out = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap_or_default();
+        let rest: Vec<&str> = toks.collect();
+        match head {
+            "DEVPATH" => {
+                if let Some(p) = rest.first() {
+                    out.push(Fact::DevPath((*p).to_string()));
+                }
+            }
+            "SOCKET" => {
+                let mut family_name = None;
+                let mut sock_type = None;
+                let mut proto = None;
+                let mut level_name = None;
+                for t in &rest {
+                    if let Some(v) = kv(t, "family") {
+                        if v != "?" {
+                            family_name = Some(v.to_string());
+                        }
+                    } else if let Some(v) = kv(t, "type") {
+                        sock_type = v.parse().ok();
+                    } else if let Some(v) = kv(t, "proto") {
+                        proto = v.parse().ok();
+                    } else if let Some(v) = kv(t, "level") {
+                        if v != "?" {
+                            level_name = Some(v.to_string());
+                        }
+                    }
+                }
+                out.push(Fact::Socket {
+                    family_name,
+                    sock_type,
+                    proto,
+                    level_name,
+                });
+            }
+            "SOCKCALL" => {
+                if let Some((call, func)) = rest.first().and_then(|t| t.split_once('=')) {
+                    out.push(Fact::SockCallFn {
+                        call: call.to_string(),
+                        func: func.to_string(),
+                    });
+                }
+            }
+            "TRANSFORM" => {
+                if let Some(k) = rest.first() {
+                    out.push(Fact::Transform {
+                        kind: (*k).to_string(),
+                    });
+                }
+            }
+            "IDENT" => {
+                let mut name = None;
+                let mut handler = None;
+                let mut arg = ArgSig::None;
+                let mut dir = "inout".to_string();
+                for t in &rest {
+                    if let Some(v) = kv(t, "name") {
+                        name = Some(v.to_string());
+                    } else if let Some(v) = kv(t, "handler") {
+                        if v != "-" {
+                            handler = Some(v.to_string());
+                        }
+                    } else if let Some(v) = kv(t, "arg") {
+                        if let Some(a) = ArgSig::parse(v) {
+                            arg = a;
+                        }
+                    } else if let Some(v) = kv(t, "dir") {
+                        dir = v.to_string();
+                    }
+                }
+                if let Some(name) = name {
+                    out.push(Fact::Ident {
+                        name,
+                        handler,
+                        arg,
+                        dir,
+                    });
+                }
+            }
+            "UNKNOWN" => {
+                if let Some(first) = rest.first() {
+                    if let Some(n) = kv(first, "FUNC") {
+                        let usage = line.split_once("USAGE=").map(|(_, u)| u).unwrap_or("");
+                        out.push(Fact::UnknownFunc {
+                            name: n.to_string(),
+                            usage: usage.to_string(),
+                        });
+                    } else if let Some(n) = kv(first, "STRUCT") {
+                        out.push(Fact::UnknownStruct(n.to_string()));
+                    } else if let Some(n) = kv(first, "VAR") {
+                        let usage = line.split_once("USAGE=").map(|(_, u)| u).unwrap_or("");
+                        out.push(Fact::UnknownVar {
+                            name: n.to_string(),
+                            usage: usage.to_string(),
+                        });
+                    }
+                }
+            }
+            "SYZTYPE" => {
+                let c_name = rest
+                    .first()
+                    .and_then(|t| kv(t, "c"))
+                    .unwrap_or("")
+                    .to_string();
+                let mut body = Vec::new();
+                for l in lines.by_ref() {
+                    if l.trim() == "ENDTYPE" {
+                        break;
+                    }
+                    body.push(l.to_string());
+                }
+                out.push(Fact::SyzType {
+                    c_name,
+                    text: body.join("\n"),
+                });
+            }
+            "FLAGSET" => {
+                let mut name = None;
+                let mut values = Vec::new();
+                for t in &rest {
+                    if let Some(v) = kv(t, "name") {
+                        name = Some(v.to_string());
+                    } else if let Some(v) = kv(t, "values") {
+                        values = v.split(',').map(str::to_string).collect();
+                    }
+                }
+                if let Some(name) = name {
+                    out.push(Fact::FlagSet { name, values });
+                }
+            }
+            "RESOURCE" => {
+                if let Some(n) = rest.first().and_then(|t| kv(t, "name")) {
+                    out.push(Fact::ResourceDef {
+                        name: n.to_string(),
+                    });
+                }
+            }
+            "DEP" => {
+                let mut fops = None;
+                let mut cmd = None;
+                for t in &rest {
+                    if let Some(v) = kv(t, "fops") {
+                        fops = Some(v.to_string());
+                    } else if let Some(v) = kv(t, "cmd") {
+                        cmd = Some(v.to_string());
+                    }
+                }
+                if let (Some(fops_var), Some(cmd)) = (fops, cmd) {
+                    out.push(Fact::CreatesFd { fops_var, cmd });
+                }
+            }
+            "NOTE" => out.push(Fact::Note(rest.join(" "))),
+            _ => out.push(Fact::Note(line.to_string())),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_round_trip() {
+        let facts = vec![
+            Fact::DevPath("/dev/mapper/control".into()),
+            Fact::Transform {
+                kind: "iocnr".into(),
+            },
+            Fact::Ident {
+                name: "DM_VERSION".into(),
+                handler: Some("dm_version".into()),
+                arg: ArgSig::StructPtr("dm_ioctl".into()),
+                dir: "inout".into(),
+            },
+            Fact::UnknownFunc {
+                name: "lookup_ioctl".into(),
+                usage: "fn = lookup_ioctl(cmd, &flags);".into(),
+            },
+            Fact::UnknownStruct("dm_target_spec".into()),
+            Fact::SyzType {
+                c_name: "dm_ioctl".into(),
+                text: "dm_dm_ioctl {\n\tversion array[int32, 3]\n}".into(),
+            },
+            Fact::FlagSet {
+                name: "dm_flags".into(),
+                values: vec!["A".into(), "B".into()],
+            },
+            Fact::ResourceDef {
+                name: "dm_qid".into(),
+            },
+            Fact::CreatesFd {
+                fops_var: "_kvm_vm_fops".into(),
+                cmd: "KVM_CREATE_VM".into(),
+            },
+            Fact::Socket {
+                family_name: Some("AF_RDS".into()),
+                sock_type: Some(5),
+                proto: Some(0),
+                level_name: Some("SOL_RDS".into()),
+            },
+            Fact::SockCallFn {
+                call: "bind".into(),
+                func: "rds_bind".into(),
+            },
+            Fact::Note("the nodename field overrides name".into()),
+        ];
+        let text = render_facts(&facts);
+        let parsed = parse_facts(&text);
+        assert_eq!(parsed, facts, "text was:\n{text}");
+    }
+
+    #[test]
+    fn prompt_round_trips() {
+        let p = Prompt {
+            task: Some(Task::Identifier),
+            target_func: Some("dm_ctl_ioctl".into()),
+            handler_var: Some("_ctl_fops".into()),
+            want_structs: vec!["dm_ioctl".into()],
+            source: vec![
+                "static long dm_ctl_ioctl(struct file *f, uint c, ulong u) {\n\treturn 0;\n}".into(),
+                "struct dm_ioctl {\n\t__u32 v;\n};".into(),
+            ],
+            usage: vec!["static struct miscdevice _dm = { .fops = &_ctl_fops };".into()],
+            known: vec![Fact::Transform {
+                kind: "iocnr".into(),
+            }],
+            errors: vec!["in `ioctl$X`: type `y` is not defined".into()],
+        };
+        let text = p.render();
+        let q = Prompt::parse(&text);
+        assert_eq!(q, p, "rendered:\n{text}");
+    }
+
+    #[test]
+    fn unparseable_lines_become_notes() {
+        let facts = parse_facts("Sure! Here is the specification you asked for:\nDEVPATH /dev/x");
+        assert_eq!(facts.len(), 2);
+        assert!(matches!(&facts[0], Fact::Note(_)));
+        assert!(matches!(&facts[1], Fact::DevPath(p) if p == "/dev/x"));
+    }
+
+    #[test]
+    fn socket_with_unknown_family() {
+        let facts = parse_facts("SOCKET family=? type=5 proto=0 level=SOL_X");
+        assert_eq!(
+            facts[0],
+            Fact::Socket {
+                family_name: None,
+                sock_type: Some(5),
+                proto: Some(0),
+                level_name: Some("SOL_X".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn source_with_blank_lines_splits_items() {
+        let p = Prompt {
+            source: vec!["int a;".into(), "int b;".into()],
+            ..Prompt::default()
+        };
+        let q = Prompt::parse(&p.render());
+        assert_eq!(q.source.len(), 2);
+        assert_eq!(q.source_text(), "int a;\n\nint b;");
+    }
+}

@@ -1,0 +1,127 @@
+//! Symbolic-constant database (the analogue of `syz-extract` output).
+//!
+//! Specifications refer to kernel macros by name (`DM_VERSION`,
+//! `O_RDONLY`). Before a spec can be compiled for fuzzing, every symbol
+//! must resolve to a concrete value. The virtual kernel publishes its
+//! macro table into a [`ConstDb`]; the validator reports any unresolved
+//! symbol as [`crate::SpecErrorKind::UnknownConst`].
+
+use crate::ast::ConstExpr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Map from symbolic constant name to value.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstDb {
+    values: BTreeMap<String, u64>,
+}
+
+impl ConstDb {
+    /// Create an empty database.
+    #[must_use]
+    pub fn new() -> ConstDb {
+        ConstDb::default()
+    }
+
+    /// Define (or overwrite) a constant.
+    pub fn define(&mut self, name: impl Into<String>, value: u64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Look up a constant by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Resolve a [`ConstExpr`] to its numeric value.
+    #[must_use]
+    pub fn resolve(&self, expr: &ConstExpr) -> Option<u64> {
+        match expr {
+            ConstExpr::Num(n) => Some(*n),
+            ConstExpr::Sym(s) => self.get(s),
+        }
+    }
+
+    /// Whether a symbol is defined.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Number of constants defined.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merge another database into this one (other wins on conflict).
+    pub fn merge(&mut self, other: &ConstDb) {
+        for (k, v) in &other.values {
+            self.values.insert(k.clone(), *v);
+        }
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl FromIterator<(String, u64)> for ConstDb {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> ConstDb {
+        ConstDb {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, u64)> for ConstDb {
+    fn extend<T: IntoIterator<Item = (String, u64)>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_resolve() {
+        let mut db = ConstDb::new();
+        db.define("DM_VERSION", 0xc138_fd00);
+        assert_eq!(db.get("DM_VERSION"), Some(0xc138_fd00));
+        assert_eq!(db.resolve(&ConstExpr::Sym("DM_VERSION".into())), Some(0xc138_fd00));
+        assert_eq!(db.resolve(&ConstExpr::Num(7)), Some(7));
+        assert_eq!(db.resolve(&ConstExpr::Sym("MISSING".into())), None);
+    }
+
+    #[test]
+    fn merge_prefers_other() {
+        let mut a = ConstDb::new();
+        a.define("X", 1);
+        let mut b = ConstDb::new();
+        b.define("X", 2);
+        b.define("Y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("X"), Some(2));
+        assert_eq!(a.get("Y"), Some(3));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let db: ConstDb = vec![("A".to_string(), 1u64), ("B".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.iter().count(), 2);
+    }
+}

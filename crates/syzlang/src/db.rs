@@ -1,0 +1,304 @@
+//! Merged specification database.
+//!
+//! A [`SpecDb`] merges one or more [`SpecFile`]s, indexes every named
+//! definition, seeds the builtin resources (`fd`, `pid`, `uid`, `gid`,
+//! `sock`), and rewrites parser-produced [`Type::Named`] references that
+//! name a resource into [`Type::Resource`] so downstream passes never
+//! need to disambiguate.
+
+use crate::ast::{Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef, Syscall, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Builtin resources available without declaration, with their
+/// underlying integer width.
+pub const BUILTIN_RESOURCES: &[(&str, IntBits)] = &[
+    ("fd", IntBits::I32),
+    ("sock", IntBits::I32),
+    ("pid", IntBits::I32),
+    ("uid", IntBits::I32),
+    ("gid", IntBits::I32),
+];
+
+/// A merged, indexed set of specification files.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpecDb {
+    files: Vec<SpecFile>,
+    structs: BTreeMap<String, StructDef>,
+    resources: BTreeMap<String, Resource>,
+    flags: BTreeMap<String, FlagsDef>,
+    syscalls: BTreeMap<String, Syscall>,
+}
+
+impl SpecDb {
+    /// Build a database from parsed files, resolving resource references.
+    #[must_use]
+    pub fn from_files(files: Vec<SpecFile>) -> SpecDb {
+        let mut db = SpecDb::default();
+        for (name, bits) in BUILTIN_RESOURCES {
+            db.resources.insert(
+                (*name).to_string(),
+                Resource {
+                    name: (*name).to_string(),
+                    base: bits.keyword().to_string(),
+                    values: Vec::new(),
+                },
+            );
+        }
+        // First pass: index declarations.
+        for f in &files {
+            for item in &f.items {
+                match item {
+                    Item::Resource(r) => {
+                        db.resources.insert(r.name.clone(), r.clone());
+                    }
+                    Item::Struct(s) => {
+                        db.structs.insert(s.name.clone(), s.clone());
+                    }
+                    Item::Flags(fl) => {
+                        db.flags.insert(fl.name.clone(), fl.clone());
+                    }
+                    Item::Syscall(_) => {}
+                }
+            }
+        }
+        // Second pass: rewrite Named → Resource and index syscalls.
+        let resource_names: Vec<String> = db.resources.keys().cloned().collect();
+        let rewrite = |ty: &mut Type| rewrite_resources(ty, &resource_names);
+        let mut files = files;
+        for f in &mut files {
+            for item in &mut f.items {
+                match item {
+                    Item::Syscall(s) => {
+                        for Param { ty, .. } in &mut s.params {
+                            rewrite(ty);
+                        }
+                    }
+                    Item::Struct(s) => {
+                        for Field { ty, .. } in &mut s.fields {
+                            rewrite(ty);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Re-index rewritten structs and syscalls.
+        for f in &files {
+            for item in &f.items {
+                match item {
+                    Item::Struct(s) => {
+                        db.structs.insert(s.name.clone(), s.clone());
+                    }
+                    Item::Syscall(s) => {
+                        db.syscalls.insert(s.name(), s.clone());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        db.files = files;
+        db
+    }
+
+    /// The merged source files (post resource-rewrite).
+    #[must_use]
+    pub fn files(&self) -> &[SpecFile] {
+        &self.files
+    }
+
+    /// Look up a struct or union by name.
+    #[must_use]
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.get(name)
+    }
+
+    /// Look up a resource by name (includes builtins).
+    #[must_use]
+    pub fn resource(&self, name: &str) -> Option<&Resource> {
+        self.resources.get(name)
+    }
+
+    /// Look up a flag set by name.
+    #[must_use]
+    pub fn flags_def(&self, name: &str) -> Option<&FlagsDef> {
+        self.flags.get(name)
+    }
+
+    /// Look up a syscall by full name (`ioctl$DM_VERSION`).
+    #[must_use]
+    pub fn syscall(&self, full_name: &str) -> Option<&Syscall> {
+        self.syscalls.get(full_name)
+    }
+
+    /// All syscalls, in name order.
+    pub fn syscalls(&self) -> impl Iterator<Item = &Syscall> {
+        self.syscalls.values()
+    }
+
+    /// All declared (non-builtin) resources, in name order.
+    pub fn resources(&self) -> impl Iterator<Item = &Resource> {
+        self.resources
+            .values()
+            .filter(|r| !BUILTIN_RESOURCES.iter().any(|(b, _)| *b == r.name))
+    }
+
+    /// All struct/union definitions, in name order.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
+        self.structs.values()
+    }
+
+    /// All flag sets, in name order.
+    pub fn flag_sets(&self) -> impl Iterator<Item = &FlagsDef> {
+        self.flags.values()
+    }
+
+    /// Number of syscall descriptions.
+    #[must_use]
+    pub fn syscall_count(&self) -> usize {
+        self.syscalls.len()
+    }
+
+    /// Number of struct/union type definitions.
+    #[must_use]
+    pub fn type_count(&self) -> usize {
+        self.structs.len()
+    }
+
+    /// Resolve the underlying integer width of a resource, chasing
+    /// resource-to-resource chains (`fd_dm` → `fd` → `int32`).
+    ///
+    /// Returns `None` on unknown or cyclic chains.
+    #[must_use]
+    pub fn resource_bits(&self, name: &str) -> Option<IntBits> {
+        let mut cur = name;
+        for _ in 0..32 {
+            if let Some(bits) = IntBits::from_keyword(cur) {
+                return Some(bits);
+            }
+            cur = &self.resources.get(cur)?.base;
+        }
+        None
+    }
+
+    /// Syscalls that *produce* the given resource (via return value or
+    /// an `out`-directed resource-typed field).
+    pub fn producers_of<'a>(&'a self, resource: &'a str) -> impl Iterator<Item = &'a Syscall> {
+        self.syscalls.values().filter(move |s| {
+            if s.ret.as_deref() == Some(resource) {
+                return true;
+            }
+            s.params
+                .iter()
+                .any(|p| type_produces_resource(&p.ty, resource, self))
+        })
+    }
+}
+
+fn type_produces_resource(ty: &Type, resource: &str, db: &SpecDb) -> bool {
+    match ty {
+        Type::Ptr { dir, elem } => {
+            if matches!(dir, crate::ast::Dir::Out | crate::ast::Dir::InOut) {
+                pointee_produces(elem, resource, db, 0)
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+fn pointee_produces(ty: &Type, resource: &str, db: &SpecDb, depth: usize) -> bool {
+    if depth > 8 {
+        return false;
+    }
+    match ty {
+        Type::Resource(n) => n == resource,
+        Type::Named(n) => db.struct_def(n).is_some_and(|s| {
+            s.fields
+                .iter()
+                .any(|f| pointee_produces(&f.ty, resource, db, depth + 1))
+        }),
+        Type::Array { elem, .. } => pointee_produces(elem, resource, db, depth + 1),
+        Type::Ptr { elem, .. } => pointee_produces(elem, resource, db, depth + 1),
+        _ => false,
+    }
+}
+
+fn rewrite_resources(ty: &mut Type, resources: &[String]) {
+    match ty {
+        Type::Named(n) => {
+            if resources.iter().any(|r| r == n) {
+                let name = n.clone();
+                *ty = Type::Resource(name);
+            }
+        }
+        Type::Ptr { elem, .. } => rewrite_resources(elem, resources),
+        Type::Array { elem, .. } => rewrite_resources(elem, resources),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn db(src: &str) -> SpecDb {
+        SpecDb::from_files(vec![parse("t", src).unwrap()])
+    }
+
+    #[test]
+    fn rewrites_resource_references() {
+        let db = db("resource fd_dm[fd]\nioctl$X(fd fd_dm, cmd const[1], arg ptr[in, array[int8]])\n");
+        let s = db.syscall("ioctl$X").unwrap();
+        assert_eq!(s.params[0].ty, Type::Resource("fd_dm".into()));
+    }
+
+    #[test]
+    fn builtin_fd_available() {
+        let db = db("dup$x(old fd) fd\n");
+        assert!(db.resource("fd").is_some());
+        assert_eq!(db.resource_bits("fd"), Some(IntBits::I32));
+    }
+
+    #[test]
+    fn resource_bits_chases_chain() {
+        let db = db("resource fd_a[fd]\nresource fd_b[fd_a]\n");
+        assert_eq!(db.resource_bits("fd_b"), Some(IntBits::I32));
+        assert_eq!(db.resource_bits("nope"), None);
+    }
+
+    #[test]
+    fn resource_bits_rejects_cycle() {
+        let db = db("resource a[b]\nresource b[a]\n");
+        assert_eq!(db.resource_bits("a"), None);
+    }
+
+    #[test]
+    fn producers_by_return_and_out_field() {
+        let src = r#"
+resource fd_v[fd]
+resource qid[int32]
+openat$v(dir const[0], file ptr[in, string["/dev/v"]], flags const[2], mode const[0]) fd_v
+ioctl$NEW(fd fd_v, cmd const[1], arg ptr[inout, q_new])
+q_new {
+    id qid (out)
+}
+"#;
+        let db = db(src);
+        let produced: Vec<String> = db.producers_of("qid").map(Syscall::name).collect();
+        assert_eq!(produced, vec!["ioctl$NEW".to_string()]);
+        let produced: Vec<String> = db.producers_of("fd_v").map(Syscall::name).collect();
+        assert_eq!(produced, vec!["openat$v".to_string()]);
+    }
+
+    #[test]
+    fn counts() {
+        let db = db("resource r[int32]\ns {\n\ta int8\n}\nu [\n\ta int8\n]\ncall$a(x int32)\n");
+        assert_eq!(db.syscall_count(), 1);
+        assert_eq!(db.type_count(), 2);
+        assert_eq!(db.resources().count(), 1);
+        assert_eq!(db.flag_sets().count(), 0);
+    }
+}

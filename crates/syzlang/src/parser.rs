@@ -1,0 +1,536 @@
+//! Recursive-descent parser for syzlang specification files.
+//!
+//! Bare identifier types (struct/union/resource references) are parsed
+//! as [`Type::Named`]; [`crate::SpecDb`] later rewrites references that
+//! name a declared (or builtin) resource into [`Type::Resource`].
+
+use crate::ast::{
+    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile,
+    StructDef, Syscall, Type,
+};
+use crate::token::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// File name the error occurred in.
+    pub file: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a syzlang specification file.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic errors; the error
+/// carries the file name and 1-based line.
+pub fn parse(file_name: &str, src: &str) -> Result<SpecFile, ParseError> {
+    let toks = lex(src).map_err(|e: LexError| ParseError {
+        message: e.message,
+        line: e.line,
+        file: file_name.to_string(),
+    })?;
+    Parser {
+        toks,
+        pos: 0,
+        file: file_name.to_string(),
+    }
+    .file()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    file: String,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+            file: self.file.clone(),
+        })
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {tok}, found {t}"))
+            }
+            None => self.err(format!("expected {tok}, found end of file")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.bump() {
+                Some(Tok::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected identifier, found {t}"))
+            }
+            None => self.err("expected identifier, found end of file"),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&Tok::Newline) {}
+    }
+
+    fn file(mut self) -> Result<SpecFile, ParseError> {
+        let mut items = Vec::new();
+        self.skip_newlines();
+        while self.peek().is_some() {
+            items.push(self.item()?);
+            self.skip_newlines();
+        }
+        Ok(SpecFile {
+            name: self.file,
+            items,
+        })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let name = self.ident()?;
+        if name == "resource" {
+            return self.resource();
+        }
+        match self.peek() {
+            Some(Tok::Eq) => self.flags_def(name),
+            Some(Tok::LBrace) => self.struct_def(name, false),
+            Some(Tok::LBrack) if self.peek2() == Some(&Tok::Newline) => {
+                self.struct_def(name, true)
+            }
+            Some(Tok::LParen) | Some(Tok::Dollar) => self.syscall(name),
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("unexpected {t} after `{name}`"))
+            }
+            None => self.err("unexpected end of file"),
+        }
+    }
+
+    fn resource(&mut self) -> Result<Item, ParseError> {
+        let name = self.ident()?;
+        self.expect(&Tok::LBrack)?;
+        let base = self.ident()?;
+        self.expect(&Tok::RBrack)?;
+        let mut values = Vec::new();
+        if self.eat(&Tok::Colon) {
+            loop {
+                values.push(self.const_expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Newline)?;
+        Ok(Item::Resource(Resource { name, base, values }))
+    }
+
+    fn flags_def(&mut self, name: String) -> Result<Item, ParseError> {
+        self.expect(&Tok::Eq)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.const_expr()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::Newline)?;
+        Ok(Item::Flags(FlagsDef { name, values }))
+    }
+
+    fn struct_def(&mut self, name: String, is_union: bool) -> Result<Item, ParseError> {
+        let (open, close) = if is_union {
+            (Tok::LBrack, Tok::RBrack)
+        } else {
+            (Tok::LBrace, Tok::RBrace)
+        };
+        self.expect(&open)?;
+        self.skip_newlines();
+        let mut fields = Vec::new();
+        while self.peek() != Some(&close) {
+            let fname = self.ident()?;
+            let ty = self.ty()?;
+            let mut dir = None;
+            if self.eat(&Tok::LParen) {
+                let kw = self.ident()?;
+                dir = Dir::from_keyword(&kw);
+                if dir.is_none() {
+                    return self.err(format!("unknown field attribute `{kw}`"));
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            fields.push(Field {
+                name: fname,
+                ty,
+                dir,
+            });
+            self.expect(&Tok::Newline)?;
+            self.skip_newlines();
+        }
+        self.expect(&close)?;
+        // Optional `[packed]` attribute after the closing brace.
+        let mut packed = false;
+        if self.eat(&Tok::LBrack) {
+            let attr = self.ident()?;
+            if attr != "packed" {
+                return self.err(format!("unknown struct attribute `{attr}`"));
+            }
+            packed = true;
+            self.expect(&Tok::RBrack)?;
+        }
+        self.expect(&Tok::Newline)?;
+        Ok(Item::Struct(StructDef {
+            name,
+            fields,
+            is_union,
+            packed,
+        }))
+    }
+
+    fn syscall(&mut self, base: String) -> Result<Item, ParseError> {
+        let variant = if self.eat(&Tok::Dollar) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let pname = self.ident()?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let ret = match self.peek() {
+            Some(Tok::Ident(_)) => Some(self.ident()?),
+            _ => None,
+        };
+        self.expect(&Tok::Newline)?;
+        Ok(Item::Syscall(Syscall {
+            base,
+            variant,
+            params,
+            ret,
+        }))
+    }
+
+    fn const_expr(&mut self) -> Result<ConstExpr, ParseError> {
+        match self.peek() {
+            Some(Tok::Num(_)) => match self.bump() {
+                Some(Tok::Num(n)) => Ok(ConstExpr::Num(n)),
+                _ => unreachable!(),
+            },
+            Some(Tok::Ident(_)) => Ok(ConstExpr::Sym(self.ident()?)),
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected constant, found {t}"))
+            }
+            None => self.err("expected constant, found end of file"),
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(n),
+            Some(t) => self.err(format!("expected number, found {t}")),
+            None => self.err("expected number, found end of file"),
+        }
+    }
+
+    fn opt_bits(&mut self, default: IntBits) -> Result<IntBits, ParseError> {
+        if self.eat(&Tok::Comma) {
+            let kw = self.ident()?;
+            IntBits::from_keyword(&kw)
+                .ok_or(())
+                .or_else(|()| self.err(format!("expected integer width, found `{kw}`")))
+        } else {
+            Ok(default)
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let head = self.ident()?;
+        if let Some(bits) = IntBits::from_keyword(&head) {
+            // intN or intN[lo:hi]
+            let mut range = None;
+            if self.eat(&Tok::LBrack) {
+                let lo = self.num()?;
+                self.expect(&Tok::Colon)?;
+                let hi = self.num()?;
+                self.expect(&Tok::RBrack)?;
+                range = Some((lo, hi));
+            }
+            return Ok(Type::Int { bits, range });
+        }
+        match head.as_str() {
+            "void" => Ok(Type::Void),
+            "const" => {
+                self.expect(&Tok::LBrack)?;
+                let value = self.const_expr()?;
+                let bits = self.opt_bits(IntBits::I64)?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::Const { value, bits })
+            }
+            "flags" => {
+                self.expect(&Tok::LBrack)?;
+                let set = self.ident()?;
+                let bits = self.opt_bits(IntBits::I64)?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::Flags { set, bits })
+            }
+            "ptr" => {
+                self.expect(&Tok::LBrack)?;
+                let dkw = self.ident()?;
+                let dir = Dir::from_keyword(&dkw)
+                    .ok_or(())
+                    .or_else(|()| self.err(format!("expected direction, found `{dkw}`")))?;
+                self.expect(&Tok::Comma)?;
+                let elem = self.ty()?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::Ptr {
+                    dir,
+                    elem: Box::new(elem),
+                })
+            }
+            "array" => {
+                self.expect(&Tok::LBrack)?;
+                let elem = self.ty()?;
+                let len = if self.eat(&Tok::Comma) {
+                    let lo = self.num()?;
+                    if self.eat(&Tok::Colon) {
+                        let hi = self.num()?;
+                        ArrayLen::Range(lo, hi)
+                    } else {
+                        ArrayLen::Fixed(lo)
+                    }
+                } else {
+                    ArrayLen::Unsized
+                };
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::Array {
+                    elem: Box::new(elem),
+                    len,
+                })
+            }
+            "string" => {
+                self.expect(&Tok::LBrack)?;
+                let mut values = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Str(s)) => values.push(s),
+                        Some(Tok::Ident(s)) => values.push(s),
+                        Some(t) => return self.err(format!("expected string, found {t}")),
+                        None => return self.err("expected string, found end of file"),
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::StringLit { values })
+            }
+            "len" | "bytesize" => {
+                self.expect(&Tok::LBrack)?;
+                let target = self.ident()?;
+                let bits = self.opt_bits(IntBits::I64)?;
+                self.expect(&Tok::RBrack)?;
+                if head == "len" {
+                    Ok(Type::Len { target, bits })
+                } else {
+                    Ok(Type::Bytesize { target, bits })
+                }
+            }
+            "proc" => {
+                self.expect(&Tok::LBrack)?;
+                let start = self.num()?;
+                self.expect(&Tok::Comma)?;
+                let per = self.num()?;
+                let bits = self.opt_bits(IntBits::I64)?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Type::Proc { start, per, bits })
+            }
+            _ => Ok(Type::Named(head)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_resource_with_values() {
+        let f = parse("t", "resource fd_dm[fd] : -1, 0\n").unwrap();
+        match &f.items[0] {
+            Item::Resource(r) => {
+                assert_eq!(r.name, "fd_dm");
+                assert_eq!(r.base, "fd");
+                assert_eq!(r.values, vec![ConstExpr::Num(u64::MAX), ConstExpr::Num(0)]);
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_msm_example_from_paper() {
+        let src = r#"
+resource fd_msm[fd]
+resource msm_submitqueue_id[int32]
+openat$msm(dir const[0], file ptr[in, string["/dev/msm"]], flags const[2], mode const[0]) fd_msm
+ioctl$NEW(fd fd_msm, cmd const[DRM_IOCTL_MSM_SUBMITQUEUE_NEW], arg ptr[inout, drm_msm_submitqueue])
+ioctl$CLOSE(fd fd_msm, cmd const[DRM_IOCTL_MSM_SUBMITQUEUE_CLOSE], arg ptr[in, msm_submitqueue_id])
+drm_msm_submitqueue {
+    flags flags[msm_submitqueue_flags, int32]
+    prio int32[0:3]
+    id msm_submitqueue_id (out)
+}
+msm_submitqueue_flags = MSM_F_A, MSM_F_B
+"#;
+        let f = parse("msm", src).unwrap();
+        assert_eq!(f.items.len(), 7);
+        let s: Vec<_> = f.syscalls().collect();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].name(), "openat$msm");
+        assert_eq!(s[0].ret.as_deref(), Some("fd_msm"));
+        let st: Vec<_> = f.structs().collect();
+        assert_eq!(st[0].fields.len(), 3);
+        assert_eq!(st[0].fields[2].dir, Some(Dir::Out));
+        assert!(matches!(
+            st[0].fields[1].ty,
+            Type::Int {
+                bits: IntBits::I32,
+                range: Some((0, 3))
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_union() {
+        let src = "u [\n    a int32\n    b array[int8, 16]\n]\n";
+        let f = parse("t", src).unwrap();
+        match &f.items[0] {
+            Item::Struct(s) => {
+                assert!(s.is_union);
+                assert_eq!(s.fields.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_packed_struct() {
+        let src = "p {\n    a int8\n    b int32\n} [packed]\n";
+        let f = parse("t", src).unwrap();
+        match &f.items[0] {
+            Item::Struct(s) => assert!(s.packed && !s.is_union),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_proc_and_bytesize() {
+        let src = "call$x(a proc[100, 4, int16], b bytesize[c, int32], c ptr[in, array[int8]])\n";
+        let f = parse("t", src).unwrap();
+        let s: Vec<_> = f.syscalls().collect();
+        assert!(matches!(
+            s[0].params[0].ty,
+            Type::Proc {
+                start: 100,
+                per: 4,
+                bits: IntBits::I16
+            }
+        ));
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse("bad.txt", "ioctl$(fd fd)\n").unwrap_err();
+        assert_eq!(err.file, "bad.txt");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        assert!(parse("t", "s {\n    a int8 (sideways)\n}\n").is_err());
+        assert!(parse("t", "s {\n    a int8\n} [aligned]\n").is_err());
+    }
+
+    #[test]
+    fn empty_file_ok() {
+        let f = parse("t", "\n# only a comment\n").unwrap();
+        assert!(f.items.is_empty());
+    }
+
+    #[test]
+    fn multi_string_set() {
+        let src = "open$x(file ptr[in, string[\"/dev/a\", \"/dev/b\"]])\n";
+        let f = parse("t", src).unwrap();
+        let s: Vec<_> = f.syscalls().collect();
+        match &s[0].params[0].ty {
+            Type::Ptr { elem, .. } => match elem.as_ref() {
+                Type::StringLit { values } => assert_eq!(values.len(), 2),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Pretty-printer producing canonical syzlang text from an AST.
+//!
+//! `parse(print_file(f))` round-trips modulo whitespace; this is tested
+//! by unit tests here and by property tests in `tests/`.
+
+use crate::ast::{
+    ArrayLen, ConstExpr, Field, FlagsDef, IntBits, Item, Resource, SpecFile, StructDef,
+    Syscall, Type,
+};
+use std::fmt::Write as _;
+
+/// Render a whole specification file as syzlang text.
+#[must_use]
+pub fn print_file(file: &SpecFile) -> String {
+    let mut out = String::new();
+    for item in &file.items {
+        out.push_str(&print_item(item));
+    }
+    out
+}
+
+/// Render a single item (with trailing newline).
+#[must_use]
+pub fn print_item(item: &Item) -> String {
+    match item {
+        Item::Resource(r) => print_resource(r),
+        Item::Syscall(s) => print_syscall(s),
+        Item::Struct(s) => print_struct(s),
+        Item::Flags(f) => print_flags(f),
+    }
+}
+
+fn print_resource(r: &Resource) -> String {
+    let mut s = format!("resource {}[{}]", r.name, r.base);
+    if !r.values.is_empty() {
+        s.push_str(" : ");
+        s.push_str(&join_consts(&r.values));
+    }
+    s.push('\n');
+    s
+}
+
+fn print_flags(f: &FlagsDef) -> String {
+    format!("{} = {}\n", f.name, join_consts(&f.values))
+}
+
+fn join_consts(values: &[ConstExpr]) -> String {
+    values
+        .iter()
+        .map(ConstExpr::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render a syscall description line.
+#[must_use]
+pub fn print_syscall(s: &Syscall) -> String {
+    let mut out = s.name();
+    out.push('(');
+    let params: Vec<String> = s
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.name, print_type(&p.ty)))
+        .collect();
+    out.push_str(&params.join(", "));
+    out.push(')');
+    if let Some(ret) = &s.ret {
+        let _ = write!(out, " {ret}");
+    }
+    out.push('\n');
+    out
+}
+
+fn print_struct(s: &StructDef) -> String {
+    let (open, close) = if s.is_union { ('[', ']') } else { ('{', '}') };
+    let mut out = format!("{} {open}\n", s.name);
+    for f in &s.fields {
+        out.push_str(&print_field(f));
+    }
+    out.push(close);
+    if s.packed {
+        out.push_str(" [packed]");
+    }
+    out.push('\n');
+    out
+}
+
+fn print_field(f: &Field) -> String {
+    let mut line = format!("\t{} {}", f.name, print_type(&f.ty));
+    if let Some(d) = f.dir {
+        let _ = write!(line, " ({})", d.keyword());
+    }
+    line.push('\n');
+    line
+}
+
+/// Render a type expression.
+#[must_use]
+pub fn print_type(ty: &Type) -> String {
+    match ty {
+        Type::Int { bits, range: None } => bits.keyword().to_string(),
+        Type::Int {
+            bits,
+            range: Some((lo, hi)),
+        } => format!("{}[{}:{}]", bits.keyword(), lo, hi),
+        Type::Const { value, bits } => {
+            if *bits == IntBits::I64 {
+                format!("const[{value}]")
+            } else {
+                format!("const[{value}, {}]", bits.keyword())
+            }
+        }
+        Type::Flags { set, bits } => {
+            if *bits == IntBits::I64 {
+                format!("flags[{set}]")
+            } else {
+                format!("flags[{set}, {}]", bits.keyword())
+            }
+        }
+        Type::StringLit { values } => {
+            let inner: Vec<String> = values.iter().map(|v| format!("{v:?}")).collect();
+            format!("string[{}]", inner.join(", "))
+        }
+        Type::Ptr { dir, elem } => format!("ptr[{}, {}]", dir.keyword(), print_type(elem)),
+        Type::Array { elem, len } => match len {
+            ArrayLen::Unsized => format!("array[{}]", print_type(elem)),
+            ArrayLen::Fixed(n) => format!("array[{}, {n}]", print_type(elem)),
+            ArrayLen::Range(a, b) => format!("array[{}, {a}:{b}]", print_type(elem)),
+        },
+        Type::Len { target, bits } => {
+            if *bits == IntBits::I64 {
+                format!("len[{target}]")
+            } else {
+                format!("len[{target}, {}]", bits.keyword())
+            }
+        }
+        Type::Bytesize { target, bits } => {
+            if *bits == IntBits::I64 {
+                format!("bytesize[{target}]")
+            } else {
+                format!("bytesize[{target}, {}]", bits.keyword())
+            }
+        }
+        Type::Resource(n) | Type::Named(n) => n.clone(),
+        Type::Proc { start, per, bits } => {
+            if *bits == IntBits::I64 {
+                format!("proc[{start}, {per}]")
+            } else {
+                format!("proc[{start}, {per}, {}]", bits.keyword())
+            }
+        }
+        Type::Void => "void".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let f1 = parse("t", src).unwrap();
+        let printed = print_file(&f1);
+        let f2 = parse("t", &printed).unwrap();
+        // Resource/Named distinction is applied by SpecDb, not the parser,
+        // so the re-parse must match item-for-item.
+        assert_eq!(f1.items, f2.items, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_syscalls() {
+        round_trip(
+            "ioctl$DM_VERSION(fd fd_dm, cmd const[DM_VERSION], arg ptr[inout, dm_ioctl]) fd_out\n",
+        );
+    }
+
+    #[test]
+    fn round_trips_structs_and_unions() {
+        round_trip(
+            "dm_ioctl {\n\tversion array[int32, 3]\n\tdata_size int32\n\tname string[\"x\"]\n}\n\
+             u [\n\ta int32\n\tb array[int8, 0:16]\n]\n",
+        );
+    }
+
+    #[test]
+    fn round_trips_resources_and_flags() {
+        round_trip("resource fd_dm[fd] : -1\nopen_flags = O_RDONLY, O_WRONLY, 0x2\n");
+    }
+
+    #[test]
+    fn round_trips_packed_and_proc() {
+        round_trip("p {\n\ta int8\n\tb proc[100, 4, int16]\n} [packed]\n");
+    }
+
+    #[test]
+    fn const_width_elided_only_for_default() {
+        assert_eq!(
+            print_type(&Type::Const {
+                value: ConstExpr::Num(2),
+                bits: IntBits::I32
+            }),
+            "const[0x2, int32]"
+        );
+        assert_eq!(
+            print_type(&Type::Const {
+                value: ConstExpr::Sym("X".into()),
+                bits: IntBits::I64
+            }),
+            "const[X]"
+        );
+    }
+}

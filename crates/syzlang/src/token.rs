@@ -1,0 +1,344 @@
+//! Lexer for syzlang source text.
+//!
+//! syzlang is line-oriented: newlines terminate declarations, `#` starts
+//! a comment running to end of line. The lexer therefore emits explicit
+//! [`Tok::Newline`] tokens (collapsing blank runs) that the parser uses
+//! as item/field separators.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`ioctl`, `ptr`, `in`, `int32`, …).
+    Ident(String),
+    /// Integer literal (decimal, `0x` hex, or `-1` negative mapped to two's complement).
+    Num(u64),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `$`
+    Dollar,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// End of line (one token per run of newlines).
+    Newline,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBrack => f.write_str("`[`"),
+            Tok::RBrack => f.write_str("`]`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dollar => f.write_str("`$`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Newline => f.write_str("end of line"),
+        }
+    }
+}
+
+/// A token with its 1-based source line, for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize syzlang source text.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, malformed numbers, or
+/// characters outside the syzlang alphabet.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let push = |out: &mut Vec<Spanned>, tok: Tok, line: u32| out.push(Spanned { tok, line });
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                if !matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
+                    push(&mut out, Tok::Newline, line);
+                }
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(&mut out, Tok::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Tok::RParen, line);
+                i += 1;
+            }
+            '[' => {
+                push(&mut out, Tok::LBrack, line);
+                i += 1;
+            }
+            ']' => {
+                push(&mut out, Tok::RBrack, line);
+                i += 1;
+            }
+            '{' => {
+                push(&mut out, Tok::LBrace, line);
+                i += 1;
+            }
+            '}' => {
+                push(&mut out, Tok::RBrace, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Tok::Comma, line);
+                i += 1;
+            }
+            '$' => {
+                push(&mut out, Tok::Dollar, line);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Tok::Eq, line);
+                i += 1;
+            }
+            ':' => {
+                push(&mut out, Tok::Colon, line);
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if j >= bytes.len() || bytes[j] != b'"' {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        line,
+                    });
+                }
+                push(
+                    &mut out,
+                    Tok::Str(String::from_utf8_lossy(&bytes[start..j]).into_owned()),
+                    line,
+                );
+                i = j + 1;
+            }
+            '-' => {
+                // Negative literal: two's-complement u64 (syzlang `: -1`).
+                let (n, next) = lex_number(bytes, i + 1, line)?;
+                push(&mut out, Tok::Num((n as i64).wrapping_neg() as u64), line);
+                i = next;
+            }
+            '0'..='9' => {
+                let (n, next) = lex_number(bytes, i, line)?;
+                push(&mut out, Tok::Num(n), line);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '/' || c == '.' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '/' || b == '.' || b == '-' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(
+                    &mut out,
+                    Tok::Ident(String::from_utf8_lossy(&bytes[start..j]).into_owned()),
+                    line,
+                );
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                });
+            }
+        }
+    }
+    if !matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
+        out.push(Spanned {
+            tok: Tok::Newline,
+            line,
+        });
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[u8], start: usize, line: u32) -> Result<(u64, usize), LexError> {
+    let mut i = start;
+    let (radix, digits_start) =
+        if i + 1 < bytes.len() && bytes[i] == b'0' && (bytes[i + 1] | 0x20) == b'x' {
+            (16, i + 2)
+        } else {
+            (10, i)
+        };
+    i = digits_start;
+    let mut value: u64 = 0;
+    let mut any = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let d = match c.to_digit(radix) {
+            Some(d) => d,
+            None => break,
+        };
+        value = value
+            .checked_mul(u64::from(radix))
+            .and_then(|v| v.checked_add(u64::from(d)))
+            .ok_or_else(|| LexError {
+                message: "integer literal overflows u64".into(),
+                line,
+            })?;
+        any = true;
+        i += 1;
+    }
+    if !any {
+        return Err(LexError {
+            message: "malformed integer literal".into(),
+            line,
+        });
+    }
+    Ok((value, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_syscall_line() {
+        let t = toks("ioctl$DM(fd fd_dm, cmd const[0x10])");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("ioctl".into()),
+                Tok::Dollar,
+                Tok::Ident("DM".into()),
+                Tok::LParen,
+                Tok::Ident("fd".into()),
+                Tok::Ident("fd_dm".into()),
+                Tok::Comma,
+                Tok::Ident("cmd".into()),
+                Tok::Ident("const".into()),
+                Tok::LBrack,
+                Tok::Num(16),
+                Tok::RBrack,
+                Tok::RParen,
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn collapses_blank_lines_and_comments() {
+        let t = toks("a\n\n# comment only\n\nb");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Newline,
+                Tok::Ident("b".into()),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_paths() {
+        let t = toks(r#"file ptr[in, string["/dev/mapper/control"]]"#);
+        assert!(t.contains(&Tok::Str("/dev/mapper/control".into())));
+    }
+
+    #[test]
+    fn lexes_negative_and_hex() {
+        assert_eq!(toks("-1")[0], Tok::Num(u64::MAX));
+        assert_eq!(toks("0xff")[0], Tok::Num(255));
+        assert_eq!(toks("0XFF")[0], Tok::Num(255));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a ^ b").is_err());
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a\nb\nc").unwrap();
+        let c = spanned
+            .iter()
+            .find(|s| s.tok == Tok::Ident("c".into()))
+            .unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        assert!(lex("0xffffffffffffffffff").is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Specification validation — the analogue of `syz-extract` +
+//! `syz-generate` error reporting used by KernelGPT's repair phase
+//! (§3.2 of the paper).
+//!
+//! The validator reports the same error classes the paper lists:
+//! undefined types, wrong macro (constant) names, unmatched resource
+//! dependencies, plus structural problems (bad `len` targets, wrong
+//! arity for known syscalls, non-scalar register arguments, recursive
+//! types, empty structs, duplicate definitions).
+
+use crate::ast::{ConstExpr, Field, Item, Param, StructDef, Syscall, Type};
+use crate::consts::ConstDb;
+use crate::db::SpecDb;
+use crate::layout::{struct_layout, LayoutError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Category of a specification error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecErrorKind {
+    /// A named struct/union/resource is not defined anywhere.
+    UndefinedType(String),
+    /// A symbolic constant (kernel macro) is not in the const database.
+    UnknownConst(String),
+    /// The same name is defined more than once.
+    DuplicateDefinition(String),
+    /// `len[target]`/`bytesize[target]` names no sibling field/param.
+    BadLenTarget(String),
+    /// A consumed resource has no producing syscall.
+    UnproducedResource(String),
+    /// A flags type references an undefined flag set.
+    UnknownFlagSet(String),
+    /// Type recursion without indirection.
+    RecursiveType(String),
+    /// A struct or union with no fields.
+    EmptyStruct(String),
+    /// A known syscall has the wrong number of parameters.
+    BadArgCount {
+        /// Parameters the base syscall requires.
+        expected: usize,
+        /// Parameters found in the description.
+        found: usize,
+    },
+    /// A register argument has a non-scalar type (must be int-like or ptr).
+    NonScalarArg(String),
+}
+
+impl fmt::Display for SpecErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecErrorKind::UndefinedType(n) => write!(f, "type `{n}` is not defined"),
+            SpecErrorKind::UnknownConst(n) => write!(f, "constant `{n}` is not defined"),
+            SpecErrorKind::DuplicateDefinition(n) => write!(f, "`{n}` is defined multiple times"),
+            SpecErrorKind::BadLenTarget(t) => {
+                write!(f, "len target `{t}` does not name a sibling")
+            }
+            SpecErrorKind::UnproducedResource(r) => {
+                write!(f, "resource `{r}` is consumed but never produced")
+            }
+            SpecErrorKind::UnknownFlagSet(n) => write!(f, "flag set `{n}` is not defined"),
+            SpecErrorKind::RecursiveType(n) => {
+                write!(f, "type `{n}` is recursive without a pointer")
+            }
+            SpecErrorKind::EmptyStruct(n) => write!(f, "struct `{n}` has no fields"),
+            SpecErrorKind::BadArgCount { expected, found } => {
+                write!(f, "expected {expected} arguments, found {found}")
+            }
+            SpecErrorKind::NonScalarArg(p) => {
+                write!(f, "argument `{p}` must be an integer, resource or pointer")
+            }
+        }
+    }
+}
+
+/// A validation error attached to the item it occurred in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecError {
+    /// Error category.
+    pub kind: SpecErrorKind,
+    /// Name of the item (syscall, struct, resource) the error belongs to.
+    pub item: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`: {}", self.item, self.kind)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Required parameter counts for the syscall bases the virtual kernel
+/// implements. Descriptions of unknown bases skip the arity check.
+pub const ARITY: &[(&str, usize)] = &[
+    ("openat", 4),
+    ("open", 3),
+    ("ioctl", 3),
+    ("read", 3),
+    ("write", 3),
+    ("close", 1),
+    ("mmap", 6),
+    ("dup", 1),
+    ("socket", 3),
+    ("bind", 3),
+    ("connect", 3),
+    ("accept", 3),
+    ("setsockopt", 5),
+    ("getsockopt", 5),
+    ("sendto", 6),
+    ("recvfrom", 6),
+    ("sendmsg", 3),
+    ("recvmsg", 3),
+    ("poll", 3),
+];
+
+/// Validate a database against a constant table.
+///
+/// Returns all errors found (empty when the specification is valid).
+#[must_use]
+pub fn validate(db: &SpecDb, consts: &ConstDb) -> Vec<SpecError> {
+    let mut errors = Vec::new();
+    check_duplicates(db, &mut errors);
+    for s in db.syscalls() {
+        check_syscall(s, db, consts, &mut errors);
+    }
+    for def in db.structs() {
+        check_struct(def, db, consts, &mut errors);
+    }
+    for r in db.resources() {
+        if db.resource_bits(&r.name).is_none() {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UndefinedType(r.base.clone()),
+                item: r.name.clone(),
+            });
+        }
+    }
+    for fl in db.flag_sets() {
+        for v in &fl.values {
+            check_const(v, consts, &fl.name, &mut errors);
+        }
+    }
+    check_resource_production(db, &mut errors);
+    errors
+}
+
+fn check_duplicates(db: &SpecDb, errors: &mut Vec<SpecError>) {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut seen_resources: Vec<&crate::ast::Resource> = Vec::new();
+    for f in db.files() {
+        for item in &f.items {
+            let name = item.name();
+            // Identical resource redeclarations are tolerated: suite
+            // files each declare the shared resources they produce.
+            if let Item::Resource(r) = item {
+                if let Some(prev) = seen_resources.iter().find(|p| p.name == r.name) {
+                    if *prev != r {
+                        errors.push(SpecError {
+                            kind: SpecErrorKind::DuplicateDefinition(name.clone()),
+                            item: name,
+                        });
+                    }
+                    continue;
+                }
+                seen_resources.push(r);
+                continue;
+            }
+            // Syscalls and types live in different namespaces.
+            let key = match item {
+                Item::Syscall(_) => format!("call:{name}"),
+                _ => format!("type:{name}"),
+            };
+            if !seen.insert(key) {
+                errors.push(SpecError {
+                    kind: SpecErrorKind::DuplicateDefinition(name.clone()),
+                    item: name,
+                });
+            }
+        }
+    }
+}
+
+fn check_syscall(s: &Syscall, db: &SpecDb, consts: &ConstDb, errors: &mut Vec<SpecError>) {
+    let item = s.name();
+    if let Some((_, expected)) = ARITY.iter().find(|(b, _)| *b == s.base) {
+        if s.params.len() != *expected {
+            errors.push(SpecError {
+                kind: SpecErrorKind::BadArgCount {
+                    expected: *expected,
+                    found: s.params.len(),
+                },
+                item: item.clone(),
+            });
+        }
+    }
+    let siblings: Vec<&str> = s.params.iter().map(|p| p.name.as_str()).collect();
+    for Param { name, ty } in &s.params {
+        if !is_register_type(ty) {
+            errors.push(SpecError {
+                kind: SpecErrorKind::NonScalarArg(name.clone()),
+                item: item.clone(),
+            });
+        }
+        check_type(ty, db, consts, &item, &siblings, errors);
+    }
+    if let Some(ret) = &s.ret {
+        if db.resource(ret).is_none() {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UndefinedType(ret.clone()),
+                item: item.clone(),
+            });
+        }
+    }
+}
+
+fn is_register_type(ty: &Type) -> bool {
+    matches!(
+        ty,
+        Type::Int { .. }
+            | Type::Const { .. }
+            | Type::Flags { .. }
+            | Type::Len { .. }
+            | Type::Bytesize { .. }
+            | Type::Proc { .. }
+            | Type::Resource(_)
+            | Type::Ptr { .. }
+    )
+}
+
+fn check_struct(def: &StructDef, db: &SpecDb, consts: &ConstDb, errors: &mut Vec<SpecError>) {
+    if def.fields.is_empty() {
+        errors.push(SpecError {
+            kind: SpecErrorKind::EmptyStruct(def.name.clone()),
+            item: def.name.clone(),
+        });
+        return;
+    }
+    match struct_layout(def, db) {
+        Err(LayoutError::Recursive(n)) => errors.push(SpecError {
+            kind: SpecErrorKind::RecursiveType(n),
+            item: def.name.clone(),
+        }),
+        // Unknown types are reported with precise context below.
+        Err(LayoutError::UnknownType(_)) | Ok(_) => {}
+    }
+    let siblings: Vec<&str> = def.fields.iter().map(|f| f.name.as_str()).collect();
+    for Field { ty, .. } in &def.fields {
+        check_type(ty, db, consts, &def.name, &siblings, errors);
+    }
+}
+
+fn check_type(
+    ty: &Type,
+    db: &SpecDb,
+    consts: &ConstDb,
+    item: &str,
+    siblings: &[&str],
+    errors: &mut Vec<SpecError>,
+) {
+    match ty {
+        Type::Const { value, .. } => check_const(value, consts, item, errors),
+        Type::Flags { set, .. } => {
+            if db.flags_def(set).is_none() {
+                errors.push(SpecError {
+                    kind: SpecErrorKind::UnknownFlagSet(set.clone()),
+                    item: item.to_string(),
+                });
+            }
+        }
+        Type::Len { target, .. } | Type::Bytesize { target, .. } => {
+            if !siblings.contains(&target.as_str()) {
+                errors.push(SpecError {
+                    kind: SpecErrorKind::BadLenTarget(target.clone()),
+                    item: item.to_string(),
+                });
+            }
+        }
+        Type::Resource(name) => {
+            if db.resource(name).is_none() {
+                errors.push(SpecError {
+                    kind: SpecErrorKind::UndefinedType(name.clone()),
+                    item: item.to_string(),
+                });
+            }
+        }
+        Type::Named(name) => {
+            if db.struct_def(name).is_none() && db.resource(name).is_none() {
+                errors.push(SpecError {
+                    kind: SpecErrorKind::UndefinedType(name.clone()),
+                    item: item.to_string(),
+                });
+            }
+        }
+        Type::Ptr { elem, .. } => check_type(elem, db, consts, item, siblings, errors),
+        Type::Array { elem, .. } => check_type(elem, db, consts, item, siblings, errors),
+        _ => {}
+    }
+}
+
+fn check_const(value: &ConstExpr, consts: &ConstDb, item: &str, errors: &mut Vec<SpecError>) {
+    if let ConstExpr::Sym(name) = value {
+        if !consts.contains(name) {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UnknownConst(name.clone()),
+                item: item.to_string(),
+            });
+        }
+    }
+}
+
+fn check_resource_production(db: &SpecDb, errors: &mut Vec<SpecError>) {
+    // A resource consumed by some syscall must be produced by some
+    // syscall; builtins (plain `fd`, `sock`, …) are exempt because the
+    // kernel provides generic producers.
+    let mut consumed: BTreeSet<&str> = BTreeSet::new();
+    for s in db.syscalls() {
+        for p in &s.params {
+            collect_consumed(&p.ty, &mut consumed);
+        }
+    }
+    for r in db.resources() {
+        if consumed.contains(r.name.as_str()) && db.producers_of(&r.name).next().is_none() {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UnproducedResource(r.name.clone()),
+                item: r.name.clone(),
+            });
+        }
+    }
+}
+
+fn collect_consumed<'a>(ty: &'a Type, out: &mut BTreeSet<&'a str>) {
+    match ty {
+        Type::Resource(n) => {
+            out.insert(n);
+        }
+        Type::Ptr { elem, dir } => {
+            // Out-pointers *produce* the resource; only in/inout consume.
+            if matches!(dir, crate::ast::Dir::In | crate::ast::Dir::InOut) {
+                collect_consumed(elem, out);
+            }
+        }
+        Type::Array { elem, .. } => collect_consumed(elem, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str, consts: &[(&str, u64)]) -> Vec<SpecError> {
+        let db = SpecDb::from_files(vec![parse("t", src).unwrap()]);
+        let mut cdb = ConstDb::new();
+        for (k, v) in consts {
+            cdb.define(*k, *v);
+        }
+        validate(&db, &cdb)
+    }
+
+    fn kinds(errors: &[SpecError]) -> Vec<&SpecErrorKind> {
+        errors.iter().map(|e| &e.kind).collect()
+    }
+
+    #[test]
+    fn valid_spec_has_no_errors() {
+        let src = r#"
+resource fd_dm[fd]
+openat$dm(dir const[AT_FDCWD], file ptr[in, string["/dev/mapper/control"]], flags const[2], mode const[0]) fd_dm
+ioctl$DM_VERSION(fd fd_dm, cmd const[DM_VERSION], arg ptr[inout, dm_ioctl])
+dm_ioctl {
+    version array[int32, 3]
+    data_size int32
+}
+"#;
+        let errs = check(src, &[("AT_FDCWD", 0xffff_ff9c), ("DM_VERSION", 0xc138_fd00)]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn undefined_type_detected() {
+        let errs = check("ioctl$X(fd fd, cmd const[1], arg ptr[in, mystery])\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::UndefinedType("mystery".into())));
+    }
+
+    #[test]
+    fn unknown_const_detected() {
+        let errs = check("ioctl$X(fd fd, cmd const[NOT_A_MACRO], arg ptr[in, array[int8]])\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::UnknownConst("NOT_A_MACRO".into())));
+    }
+
+    #[test]
+    fn bad_len_target_detected() {
+        let errs = check("s {\n\tn len[nothing, int32]\n\ta int8\n}\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::BadLenTarget("nothing".into())));
+    }
+
+    #[test]
+    fn len_target_on_params_ok() {
+        let errs = check("write$x(fd fd, buf ptr[in, array[int8]], count len[buf])\n", &[]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn unproduced_resource_detected() {
+        let errs = check(
+            "resource fd_x[fd]\nioctl$A(fd fd_x, cmd const[1], arg ptr[in, array[int8]])\n",
+            &[],
+        );
+        assert!(kinds(&errs).contains(&&SpecErrorKind::UnproducedResource("fd_x".into())));
+    }
+
+    #[test]
+    fn produced_resource_ok() {
+        let src = r#"
+resource fd_x[fd]
+openat$x(dir const[0], file ptr[in, string["/dev/x"]], flags const[2], mode const[0]) fd_x
+ioctl$A(fd fd_x, cmd const[1], arg ptr[in, array[int8]])
+"#;
+        assert!(check(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn builtin_fd_needs_no_producer() {
+        assert!(check("read$x(fd fd, buf ptr[out, array[int8]], count len[buf])\n", &[]).is_empty());
+    }
+
+    #[test]
+    fn wrong_arity_detected() {
+        let errs = check("ioctl$X(fd fd, cmd const[1])\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::BadArgCount {
+            expected: 3,
+            found: 2
+        }));
+    }
+
+    #[test]
+    fn non_scalar_arg_detected() {
+        let errs = check("ioctl$X(fd fd, cmd const[1], arg array[int8])\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::NonScalarArg("arg".into())));
+    }
+
+    #[test]
+    fn unknown_flag_set_detected() {
+        let errs = check("open$x(f flags[nope], m const[0], z const[0])\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::UnknownFlagSet("nope".into())));
+    }
+
+    #[test]
+    fn duplicate_definitions_detected() {
+        let errs = check("s {\n\ta int8\n}\ns {\n\tb int8\n}\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::DuplicateDefinition("s".into())));
+    }
+
+    #[test]
+    fn empty_struct_detected() {
+        let errs = check("s {\n}\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::EmptyStruct("s".into())));
+    }
+
+    #[test]
+    fn recursive_type_detected() {
+        let errs = check("a {\n\tnext a\n}\n", &[]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::RecursiveType("a".into())));
+    }
+
+    #[test]
+    fn flag_values_must_resolve() {
+        let errs = check("myflags = KNOWN, UNKNOWN_MACRO\n", &[("KNOWN", 1)]);
+        assert!(kinds(&errs).contains(&&SpecErrorKind::UnknownConst("UNKNOWN_MACRO".into())));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SpecError {
+            kind: SpecErrorKind::UndefinedType("dm_ioctl".into()),
+            item: "ioctl$DM".into(),
+        };
+        assert_eq!(e.to_string(), "in `ioctl$DM`: type `dm_ioctl` is not defined");
+    }
+}

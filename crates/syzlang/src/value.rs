@@ -1,0 +1,755 @@
+//! Runtime values for syzlang types and the byte-level encoder.
+//!
+//! The fuzzer materialises each syscall argument as a [`Value`] tree and
+//! the [`MemBuilder`] lowers it to the register value plus a set of
+//! memory segments (address → bytes) handed to the virtual kernel.
+//! `len[...]`/`bytesize[...]` fields are filled automatically from their
+//! sibling values, mirroring Syzkaller's executor.
+
+use crate::ast::{ArrayLen, IntBits, StructDef, Type};
+use crate::consts::ConstDb;
+use crate::db::SpecDb;
+use crate::layout::{field_offsets, struct_layout, type_layout, LayoutError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base virtual address for fuzzer-allocated argument memory.
+pub const ARG_BASE_ADDR: u64 = 0x1000_0000;
+
+/// Reference to a resource produced earlier in a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResRef {
+    /// Index of the producing call within the program, if any.
+    pub producer: Option<usize>,
+    /// Value to use when no producer exists (or it failed), e.g. `-1`.
+    pub fallback: u64,
+}
+
+impl ResRef {
+    /// A dangling reference with the conventional `-1` fallback.
+    #[must_use]
+    pub fn dangling() -> ResRef {
+        ResRef {
+            producer: None,
+            fallback: u64::MAX,
+        }
+    }
+}
+
+/// A runtime value conforming to some [`Type`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// Scalar integer (ints, consts, flags, proc values; len placeholders).
+    Int(u64),
+    /// Resource reference resolved at execution time.
+    Res(ResRef),
+    /// Raw bytes (strings, opaque buffers).
+    Bytes(Vec<u8>),
+    /// Struct fields or array elements, in order.
+    Group(Vec<Value>),
+    /// One arm of a union.
+    Union {
+        /// Index of the active arm.
+        arm: usize,
+        /// Value of that arm.
+        value: Box<Value>,
+    },
+    /// Pointer; `None` encodes NULL.
+    Ptr {
+        /// Pointee value, if non-null.
+        pointee: Option<Box<Value>>,
+    },
+}
+
+impl Value {
+    /// Shorthand for a non-null pointer value.
+    #[must_use]
+    pub fn ptr_to(v: Value) -> Value {
+        Value::Ptr {
+            pointee: Some(Box::new(v)),
+        }
+    }
+
+    /// Iterate over all [`ResRef`]s contained in this value tree.
+    pub fn res_refs(&self) -> Vec<&ResRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a ResRef>) {
+        match self {
+            Value::Res(r) => out.push(r),
+            Value::Group(vs) => vs.iter().for_each(|v| v.collect_refs(out)),
+            Value::Union { value, .. } => value.collect_refs(out),
+            Value::Ptr {
+                pointee: Some(p), ..
+            } => p.collect_refs(out),
+            _ => {}
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Value {
+        Value::Int(0)
+    }
+}
+
+/// Error produced by the encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Value shape does not match the type.
+    Mismatch {
+        /// Expected type, printed.
+        expected: String,
+        /// Found value kind.
+        found: &'static str,
+    },
+    /// A symbolic constant could not be resolved.
+    UnresolvedConst(String),
+    /// Layout failure (unknown type, recursion).
+    Layout(LayoutError),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Mismatch { expected, found } => {
+                write!(f, "value kind `{found}` does not fit type `{expected}`")
+            }
+            EncodeError::UnresolvedConst(n) => write!(f, "unresolved constant `{n}`"),
+            EncodeError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl From<LayoutError> for EncodeError {
+    fn from(e: LayoutError) -> EncodeError {
+        EncodeError::Layout(e)
+    }
+}
+
+fn mismatch(ty: &Type, found: &'static str) -> EncodeError {
+    EncodeError::Mismatch {
+        expected: crate::printer::print_type(ty),
+        found,
+    }
+}
+
+fn value_kind(v: &Value) -> &'static str {
+    match v {
+        Value::Int(_) => "int",
+        Value::Res(_) => "resource",
+        Value::Bytes(_) => "bytes",
+        Value::Group(_) => "group",
+        Value::Union { .. } => "union",
+        Value::Ptr { .. } => "ptr",
+    }
+}
+
+/// Builds the memory image for one syscall's arguments.
+#[derive(Debug)]
+pub struct MemBuilder<'a> {
+    db: &'a SpecDb,
+    consts: &'a ConstDb,
+    next_addr: u64,
+    segments: Vec<(u64, Vec<u8>)>,
+}
+
+impl<'a> MemBuilder<'a> {
+    /// Create a builder allocating from [`ARG_BASE_ADDR`].
+    #[must_use]
+    pub fn new(db: &'a SpecDb, consts: &'a ConstDb) -> MemBuilder<'a> {
+        MemBuilder {
+            db,
+            consts,
+            next_addr: ARG_BASE_ADDR,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Finished memory segments `(address, bytes)`.
+    #[must_use]
+    pub fn into_segments(self) -> Vec<(u64, Vec<u8>)> {
+        self.segments
+    }
+
+    /// Encode one top-level syscall argument, returning the register
+    /// value (either the scalar itself or the address of an allocated
+    /// buffer).
+    ///
+    /// `resolve` maps resource references to their runtime values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if the value does not fit the type or a
+    /// symbolic constant is unresolved.
+    pub fn encode_arg(
+        &mut self,
+        ty: &Type,
+        val: &Value,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<u64, EncodeError> {
+        match ty {
+            Type::Ptr { elem, .. } => match val {
+                Value::Ptr { pointee: None } => Ok(0),
+                Value::Ptr {
+                    pointee: Some(inner),
+                } => self.alloc_pointee(elem, inner, resolve),
+                other => Err(mismatch(ty, value_kind(other))),
+            },
+            _ => self.scalar(ty, val, resolve),
+        }
+    }
+
+    fn alloc_pointee(
+        &mut self,
+        ty: &Type,
+        val: &Value,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<u64, EncodeError> {
+        let mut buf = Vec::new();
+        self.encode_into(ty, val, &mut buf, resolve)?;
+        let layout = type_layout(ty, self.db)?;
+        if (buf.len() as u64) < layout.size {
+            buf.resize(layout.size as usize, 0);
+        }
+        let addr = self.next_addr;
+        // Keep allocations 16-byte aligned and non-adjacent so that
+        // out-of-bounds reads in the kernel are detectable.
+        let advance = ((buf.len() as u64).max(1) + 0x3f) & !0xf;
+        self.next_addr += advance + 16;
+        self.segments.push((addr, buf));
+        Ok(addr)
+    }
+
+    fn scalar(
+        &mut self,
+        ty: &Type,
+        val: &Value,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<u64, EncodeError> {
+        let bits = scalar_bits(ty, self.db).ok_or_else(|| mismatch(ty, value_kind(val)))?;
+        let raw = match (ty, val) {
+            (Type::Const { value, .. }, _) => self
+                .consts
+                .resolve(value)
+                .ok_or_else(|| EncodeError::UnresolvedConst(value.to_string()))?,
+            (_, Value::Int(n)) => *n,
+            (_, Value::Res(r)) => resolve(r),
+            (_, other) => return Err(mismatch(ty, value_kind(other))),
+        };
+        Ok(bits.truncate(raw))
+    }
+
+    /// Encode a value into `buf` at its natural position (append).
+    fn encode_into(
+        &mut self,
+        ty: &Type,
+        val: &Value,
+        buf: &mut Vec<u8>,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<(), EncodeError> {
+        match ty {
+            Type::Int { bits, .. }
+            | Type::Const { bits, .. }
+            | Type::Flags { bits, .. }
+            | Type::Len { bits, .. }
+            | Type::Bytesize { bits, .. }
+            | Type::Proc { bits, .. } => {
+                let v = self.scalar(ty, val, resolve)?;
+                push_int(buf, v, *bits);
+                Ok(())
+            }
+            Type::Resource(name) => {
+                let bits = self
+                    .db
+                    .resource_bits(name)
+                    .ok_or_else(|| EncodeError::Layout(LayoutError::UnknownType(name.clone())))?;
+                let v = match val {
+                    Value::Int(n) => *n,
+                    Value::Res(r) => resolve(r),
+                    other => return Err(mismatch(ty, value_kind(other))),
+                };
+                push_int(buf, bits.truncate(v), bits);
+                Ok(())
+            }
+            Type::Void => Ok(()),
+            Type::StringLit { .. } => match val {
+                Value::Bytes(b) => {
+                    buf.extend_from_slice(b);
+                    buf.push(0);
+                    Ok(())
+                }
+                other => Err(mismatch(ty, value_kind(other))),
+            },
+            Type::Ptr { elem, .. } => {
+                let addr = match val {
+                    Value::Ptr { pointee: None } => 0,
+                    Value::Ptr {
+                        pointee: Some(inner),
+                    } => self.alloc_pointee(elem, inner, resolve)?,
+                    other => return Err(mismatch(ty, value_kind(other))),
+                };
+                push_int(buf, addr, IntBits::I64);
+                Ok(())
+            }
+            Type::Array { elem, len } => {
+                let values: Vec<&Value> = match val {
+                    Value::Group(vs) => vs.iter().collect(),
+                    Value::Bytes(bytes) => {
+                        // Byte buffers encode directly when the element is int8.
+                        if matches!(**elem, Type::Int { bits: IntBits::I8, .. }) {
+                            let mut data = bytes.clone();
+                            if let ArrayLen::Fixed(n) = len {
+                                data.resize(*n as usize, 0);
+                            }
+                            buf.extend_from_slice(&data);
+                            return Ok(());
+                        }
+                        return Err(mismatch(ty, "bytes"));
+                    }
+                    other => return Err(mismatch(ty, value_kind(other))),
+                };
+                let elem_layout = type_layout(elem, self.db)?;
+                let mut count = values.len() as u64;
+                if let ArrayLen::Fixed(n) = len {
+                    count = *n;
+                }
+                for i in 0..count {
+                    match values.get(i as usize) {
+                        Some(v) => self.encode_into(elem, v, buf, resolve)?,
+                        None => buf.extend(std::iter::repeat(0).take(elem_layout.size as usize)),
+                    }
+                }
+                Ok(())
+            }
+            Type::Named(name) => {
+                let def = self
+                    .db
+                    .struct_def(name)
+                    .ok_or_else(|| EncodeError::Layout(LayoutError::UnknownType(name.clone())))?
+                    .clone();
+                if def.is_union {
+                    self.encode_union(&def, ty, val, buf, resolve)
+                } else {
+                    self.encode_struct(&def, ty, val, buf, resolve)
+                }
+            }
+        }
+    }
+
+    fn encode_union(
+        &mut self,
+        def: &StructDef,
+        ty: &Type,
+        val: &Value,
+        buf: &mut Vec<u8>,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<(), EncodeError> {
+        let (arm, inner) = match val {
+            Value::Union { arm, value } => (*arm, value.as_ref()),
+            other => return Err(mismatch(ty, value_kind(other))),
+        };
+        let field = def
+            .fields
+            .get(arm)
+            .ok_or_else(|| mismatch(ty, "union (arm out of range)"))?;
+        let start = buf.len();
+        self.encode_into(&field.ty, inner, buf, resolve)?;
+        let total = struct_layout(def, self.db)?.size as usize;
+        if buf.len() - start < total {
+            buf.resize(start + total, 0);
+        }
+        Ok(())
+    }
+
+    fn encode_struct(
+        &mut self,
+        def: &StructDef,
+        ty: &Type,
+        val: &Value,
+        buf: &mut Vec<u8>,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<(), EncodeError> {
+        let values = match val {
+            Value::Group(vs) => vs,
+            other => return Err(mismatch(ty, value_kind(other))),
+        };
+        if values.len() != def.fields.len() {
+            return Err(mismatch(ty, "group (wrong field count)"));
+        }
+        let (offsets, total) = field_offsets(def, self.db)?;
+        let start = buf.len();
+        for (i, field) in def.fields.iter().enumerate() {
+            // Align to this field's offset (dynamic earlier fields may
+            // have shifted us; offsets are a lower bound then).
+            let want = start + offsets[i] as usize;
+            if buf.len() < want {
+                buf.resize(want, 0);
+            }
+            let fv = &values[i];
+            // Auto-fill len/bytesize from the sibling target.
+            match &field.ty {
+                Type::Len { target, bits } => {
+                    let n = sibling_count(def, values, target, self.db);
+                    push_int(buf, bits.truncate(n), *bits);
+                }
+                Type::Bytesize { target, bits } => {
+                    let n = self.sibling_bytesize(def, values, target, resolve)?;
+                    push_int(buf, bits.truncate(n), *bits);
+                }
+                other_ty => self.encode_into(other_ty, fv, buf, resolve)?,
+            }
+        }
+        if buf.len() - start < total as usize {
+            buf.resize(start + total as usize, 0);
+        }
+        Ok(())
+    }
+
+    fn sibling_bytesize(
+        &mut self,
+        def: &StructDef,
+        values: &[Value],
+        target: &str,
+        resolve: &dyn Fn(&ResRef) -> u64,
+    ) -> Result<u64, EncodeError> {
+        let Some(idx) = def.fields.iter().position(|f| f.name == target) else {
+            return Ok(0);
+        };
+        let mut scratch = Vec::new();
+        let tty = deref_for_len(&def.fields[idx].ty);
+        let tval = deref_value_for_len(&values[idx]);
+        match (tty, tval) {
+            (Some(ty), Some(v)) => {
+                self.encode_into(ty, v, &mut scratch, resolve)?;
+                Ok(scratch.len() as u64)
+            }
+            _ => Ok(0),
+        }
+    }
+}
+
+/// Element count used for `len[target]`: bytes → byte length, groups →
+/// element count, pointers → their pointee's count, NULL/other → 0.
+fn sibling_count(def: &StructDef, values: &[Value], target: &str, _db: &SpecDb) -> u64 {
+    let Some(idx) = def.fields.iter().position(|f| f.name == target) else {
+        return 0;
+    };
+    match deref_value_for_len(&values[idx]) {
+        Some(Value::Bytes(b)) => b.len() as u64,
+        Some(Value::Group(g)) => g.len() as u64,
+        Some(_) => 1,
+        None => 0,
+    }
+}
+
+fn deref_for_len(ty: &Type) -> Option<&Type> {
+    match ty {
+        Type::Ptr { elem, .. } => Some(elem),
+        other => Some(other),
+    }
+}
+
+fn deref_value_for_len(v: &Value) -> Option<&Value> {
+    match v {
+        Value::Ptr { pointee } => pointee.as_deref(),
+        other => Some(other),
+    }
+}
+
+fn scalar_bits(ty: &Type, db: &SpecDb) -> Option<IntBits> {
+    match ty {
+        Type::Int { bits, .. }
+        | Type::Const { bits, .. }
+        | Type::Flags { bits, .. }
+        | Type::Len { bits, .. }
+        | Type::Bytesize { bits, .. }
+        | Type::Proc { bits, .. } => Some(*bits),
+        Type::Resource(name) => db.resource_bits(name),
+        _ => None,
+    }
+}
+
+fn push_int(buf: &mut Vec<u8>, v: u64, bits: IntBits) {
+    buf.extend_from_slice(&v.to_le_bytes()[..bits.size() as usize]);
+}
+
+/// Construct the minimal "zero" value conforming to a type: zero
+/// integers, first string candidate, empty/min arrays, first union arm,
+/// non-null pointers to zero pointees.
+///
+/// # Errors
+///
+/// Returns [`LayoutError`] for unknown named types.
+pub fn zero_value(ty: &Type, db: &SpecDb) -> Result<Value, LayoutError> {
+    Ok(match ty {
+        Type::Int { range, .. } => Value::Int(range.map_or(0, |(lo, _)| lo)),
+        Type::Const { .. } => Value::Int(0), // encoder substitutes the const
+        Type::Flags { .. } | Type::Len { .. } | Type::Bytesize { .. } => Value::Int(0),
+        Type::Proc { start, .. } => Value::Int(*start),
+        Type::Resource(_) => Value::Res(ResRef::dangling()),
+        Type::Void => Value::Group(Vec::new()),
+        Type::StringLit { values } => {
+            Value::Bytes(values.first().map(|s| s.as_bytes().to_vec()).unwrap_or_default())
+        }
+        Type::Ptr { elem, .. } => Value::ptr_to(zero_value(elem, db)?),
+        Type::Array { elem, len } => {
+            let n = match len {
+                ArrayLen::Fixed(n) => *n,
+                ArrayLen::Range(lo, _) => *lo,
+                ArrayLen::Unsized => 0,
+            };
+            let mut vs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                vs.push(zero_value(elem, db)?);
+            }
+            Value::Group(vs)
+        }
+        Type::Named(name) => {
+            let def = db
+                .struct_def(name)
+                .ok_or_else(|| LayoutError::UnknownType(name.clone()))?
+                .clone();
+            if def.is_union {
+                let first = def
+                    .fields
+                    .first()
+                    .map(|f| zero_value(&f.ty, db))
+                    .transpose()?
+                    .unwrap_or(Value::Int(0));
+                Value::Union {
+                    arm: 0,
+                    value: Box::new(first),
+                }
+            } else {
+                let mut vs = Vec::with_capacity(def.fields.len());
+                for f in &def.fields {
+                    vs.push(zero_value(&f.ty, db)?);
+                }
+                Value::Group(vs)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::Dir;
+
+    fn db(src: &str) -> SpecDb {
+        SpecDb::from_files(vec![parse("t", src).unwrap()])
+    }
+
+    fn no_res(_: &ResRef) -> u64 {
+        unreachable!("no resources expected")
+    }
+
+    #[test]
+    fn encodes_scalar_arg() {
+        let db = SpecDb::from_files(vec![]);
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let reg = mb
+            .encode_arg(&Type::int(IntBits::I32), &Value::Int(0x1_2345_6789), &no_res)
+            .unwrap();
+        assert_eq!(reg, 0x2345_6789); // truncated to 32 bits
+        assert!(mb.into_segments().is_empty());
+    }
+
+    #[test]
+    fn encodes_symbolic_const() {
+        let db = SpecDb::from_files(vec![]);
+        let mut consts = ConstDb::new();
+        consts.define("CMD", 0xc0de);
+        let mut mb = MemBuilder::new(&db, &consts);
+        let reg = mb
+            .encode_arg(&Type::sym_const("CMD", IntBits::I64), &Value::Int(0), &no_res)
+            .unwrap();
+        assert_eq!(reg, 0xc0de);
+    }
+
+    #[test]
+    fn unresolved_const_is_error() {
+        let db = SpecDb::from_files(vec![]);
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let err = mb
+            .encode_arg(&Type::sym_const("NOPE", IntBits::I64), &Value::Int(0), &no_res)
+            .unwrap_err();
+        assert_eq!(err, EncodeError::UnresolvedConst("NOPE".into()));
+    }
+
+    #[test]
+    fn encodes_string_pointer() {
+        let db = SpecDb::from_files(vec![]);
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let ty = Type::ptr(
+            Dir::In,
+            Type::StringLit {
+                values: vec!["/dev/x".into()],
+            },
+        );
+        let reg = mb
+            .encode_arg(&ty, &Value::ptr_to(Value::Bytes(b"/dev/x".to_vec())), &no_res)
+            .unwrap();
+        assert_eq!(reg, ARG_BASE_ADDR);
+        let segs = mb.into_segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(&segs[0].1[..7], b"/dev/x\0");
+    }
+
+    #[test]
+    fn struct_encoding_matches_c_layout() {
+        let db = db("s {\n\ta int8\n\tb int32\n\tc int16\n}\n");
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let v = Value::Group(vec![Value::Int(0xAA), Value::Int(0x11223344), Value::Int(0x5566)]);
+        let _ = mb
+            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .unwrap();
+        let segs = mb.into_segments();
+        let bytes = &segs[0].1;
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(bytes[0], 0xAA);
+        assert_eq!(&bytes[4..8], &0x1122_3344u32.to_le_bytes());
+        assert_eq!(&bytes[8..10], &0x5566u16.to_le_bytes());
+    }
+
+    #[test]
+    fn len_field_autofilled_from_sibling() {
+        let db = db("s {\n\tcount len[data, int32]\n\tdata ptr[in, array[int8]]\n}\n");
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let v = Value::Group(vec![
+            Value::Int(0), // placeholder; auto-filled
+            Value::ptr_to(Value::Bytes(vec![1, 2, 3, 4, 5])),
+        ]);
+        let _ = mb
+            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .unwrap();
+        let segs = mb.into_segments();
+        // Pointees are allocated before their parent, so the outer
+        // struct is the last segment.
+        let outer = segs.last().unwrap();
+        assert_eq!(&outer.1[0..4], &5u32.to_le_bytes());
+    }
+
+    #[test]
+    fn bytesize_field_autofilled() {
+        let db = db("s {\n\tsz bytesize[payload, int32]\n\tpayload ptr[in, inner]\n}\ninner {\n\ta int64\n\tb int64\n}\n");
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let inner = Value::Group(vec![Value::Int(1), Value::Int(2)]);
+        let v = Value::Group(vec![Value::Int(0), Value::ptr_to(inner)]);
+        let _ = mb
+            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .unwrap();
+        let segs = mb.into_segments();
+        // Pointees are allocated before their parent, so the outer
+        // struct is the last segment.
+        let outer = segs.last().unwrap();
+        assert_eq!(&outer.1[0..4], &16u32.to_le_bytes());
+    }
+
+    #[test]
+    fn union_pads_to_largest_arm() {
+        let db = db("u [\n\ta int8\n\tb int64\n]\n");
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let v = Value::Union {
+            arm: 0,
+            value: Box::new(Value::Int(7)),
+        };
+        let _ = mb
+            .encode_arg(&Type::ptr(Dir::In, Type::Named("u".into())), &Value::ptr_to(v), &no_res)
+            .unwrap();
+        let segs = mb.into_segments();
+        assert_eq!(segs[0].1.len(), 8);
+        assert_eq!(segs[0].1[0], 7);
+    }
+
+    #[test]
+    fn resource_ref_resolved_via_callback() {
+        let db = db("resource fd_x[fd]\n");
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let resolve = |r: &ResRef| if r.producer == Some(3) { 42 } else { r.fallback };
+        let reg = mb
+            .encode_arg(
+                &Type::Resource("fd_x".into()),
+                &Value::Res(ResRef {
+                    producer: Some(3),
+                    fallback: u64::MAX,
+                }),
+                &resolve,
+            )
+            .unwrap();
+        assert_eq!(reg, 42);
+    }
+
+    #[test]
+    fn fixed_array_pads_and_truncates() {
+        let db = SpecDb::from_files(vec![]);
+        let consts = ConstDb::new();
+        let ty = Type::Array {
+            elem: Box::new(Type::int(IntBits::I16)),
+            len: ArrayLen::Fixed(3),
+        };
+        let mut mb = MemBuilder::new(&db, &consts);
+        let mut buf = Vec::new();
+        mb.encode_into(&ty, &Value::Group(vec![Value::Int(1)]), &mut buf, &no_res)
+            .unwrap();
+        assert_eq!(buf, vec![1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_value_round_trips_nested() {
+        let db = db("inner {\n\tn int32\n}\nouter {\n\ti inner\n\tp ptr[in, array[int8, 4]]\n}\n");
+        let consts = ConstDb::new();
+        let v = zero_value(&Type::Named("outer".into()), &db).unwrap();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let reg = mb
+            .encode_arg(&Type::ptr(Dir::In, Type::Named("outer".into())), &Value::ptr_to(v), &no_res)
+            .unwrap();
+        assert_eq!(reg % 16, 0);
+        assert_eq!(mb.into_segments().len(), 2);
+    }
+
+    #[test]
+    fn null_pointer_encodes_zero() {
+        let db = SpecDb::from_files(vec![]);
+        let consts = ConstDb::new();
+        let mut mb = MemBuilder::new(&db, &consts);
+        let reg = mb
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::buffer()),
+                &Value::Ptr { pointee: None },
+                &no_res,
+            )
+            .unwrap();
+        assert_eq!(reg, 0);
+    }
+
+    #[test]
+    fn res_refs_collected_from_nested_values() {
+        let v = Value::Group(vec![
+            Value::Res(ResRef::dangling()),
+            Value::ptr_to(Value::Union {
+                arm: 1,
+                value: Box::new(Value::Res(ResRef {
+                    producer: Some(1),
+                    fallback: 0,
+                })),
+            }),
+        ]);
+        assert_eq!(v.res_refs().len(), 2);
+    }
+}

@@ -1,0 +1,951 @@
+//! # kgpt-vkernel
+//!
+//! The virtual kernel under test — the substitute for the paper's
+//! Linux 6.7 + QEMU testbed.
+//!
+//! [`VKernel`] interprets the same [`Blueprint`]s the synthetic source
+//! corpus was emitted from, so the kernel's runtime behaviour matches
+//! the C text the analyzers read, byte for byte:
+//!
+//! * `openat` succeeds only on the registered device path;
+//! * `ioctl` matches the full encoded command value (with `_IOC_NR`
+//!   transforms validating the magic byte, so "wrong CMD value" specs
+//!   fail exactly as SyzDescribe's do in the paper);
+//! * struct arguments are decoded at their true C offsets and every
+//!   semantic field role is enforced (`EINVAL` on range/magic/flag
+//!   violations, resource-id validation, state-machine ordering);
+//! * coverage is recorded as basic-block ids, deeper blocks gated on
+//!   semantic validity — so better specs measurably reach more blocks;
+//! * the 24 injected bugs of Table 4 fire on their trigger conditions
+//!   and produce crash reports with the paper's titles.
+
+pub mod mem;
+
+pub use mem::MemMap;
+
+use kgpt_csrc::blueprint::{
+    ArgKind, Blueprint, BlueprintKind, CmdBlueprint, CmdEffect, CmdTransform, FieldRole, SockCall,
+    Trigger,
+};
+use kgpt_csrc::cmacro;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Linux errno values used by the virtual kernel.
+pub mod errno {
+    /// No such file or directory.
+    pub const ENOENT: i64 = 2;
+    /// Bad file descriptor.
+    pub const EBADF: i64 = 9;
+    /// Bad address.
+    pub const EFAULT: i64 = 14;
+    /// Device or resource busy.
+    pub const EBUSY: i64 = 16;
+    /// Invalid argument.
+    pub const EINVAL: i64 = 22;
+    /// Inappropriate ioctl for device.
+    pub const ENOTTY: i64 = 25;
+    /// Protocol not available.
+    pub const ENOPROTOOPT: i64 = 92;
+    /// Protocol not supported.
+    pub const EPROTONOSUPPORT: i64 = 93;
+    /// Socket type not supported.
+    pub const ESOCKTNOSUPPORT: i64 = 94;
+    /// Address family not supported.
+    pub const EAFNOSUPPORT: i64 = 97;
+}
+
+/// A crash detected by the sanitizers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashReport {
+    /// Crash title (Table 4 wording).
+    pub title: String,
+    /// CVE, if assigned.
+    pub cve: Option<String>,
+    /// Blueprint that crashed.
+    pub handler: String,
+}
+
+/// Per-fd kernel object state.
+#[derive(Debug, Clone)]
+struct FdState {
+    bp: String,
+    state: u8,
+    last_cmd: Option<String>,
+    cmd_counts: BTreeMap<String, u32>,
+    issued_ids: BTreeSet<u32>,
+    next_id: u32,
+    closed: bool,
+}
+
+/// Per-program ("per-VM") execution state: fd table, coverage, crash.
+#[derive(Debug, Clone, Default)]
+pub struct VmState {
+    fds: Vec<Option<FdState>>,
+    /// Basic blocks covered so far.
+    pub coverage: BTreeSet<u64>,
+    /// First crash, if any (execution should stop).
+    pub crash: Option<CrashReport>,
+}
+
+impl VmState {
+    /// Fresh state (fd numbering starts at 3, like a real process).
+    #[must_use]
+    pub fn new() -> VmState {
+        VmState::default()
+    }
+
+    fn alloc_fd(&mut self, st: FdState) -> i64 {
+        self.fds.push(Some(st));
+        self.fds.len() as i64 + 2
+    }
+
+    fn fd_mut(&mut self, fd: u64) -> Option<&mut FdState> {
+        let idx = (fd as i64).checked_sub(3)?;
+        let slot = self.fds.get_mut(usize::try_from(idx).ok()?)?;
+        slot.as_mut().filter(|f| !f.closed)
+    }
+}
+
+/// Per-blueprint precomputed dispatch data.
+#[derive(Debug, Clone)]
+struct Target {
+    bp: Blueprint,
+    block_base: u64,
+}
+
+/// The virtual kernel.
+#[derive(Debug)]
+pub struct VKernel {
+    targets: BTreeMap<String, Target>,
+    dev_index: BTreeMap<String, String>,
+    sock_index: BTreeMap<(u64, u64, u64), String>,
+}
+
+/// Coverage block namespace stride per handler.
+const BLOCK_STRIDE: u64 = 4096;
+
+impl VKernel {
+    /// Boot a kernel with the given handlers loaded.
+    #[must_use]
+    pub fn boot(blueprints: Vec<Blueprint>) -> VKernel {
+        let mut targets = BTreeMap::new();
+        let mut dev_index = BTreeMap::new();
+        let mut sock_index = BTreeMap::new();
+        for (i, bp) in blueprints.into_iter().enumerate() {
+            match &bp.kind {
+                BlueprintKind::Driver(d) => {
+                    if !d.dev_path.is_empty() {
+                        dev_index.insert(d.dev_path.clone(), bp.id.clone());
+                    }
+                }
+                BlueprintKind::Socket(s) => {
+                    sock_index.insert((s.family, s.sock_type, s.proto), bp.id.clone());
+                }
+            }
+            targets.insert(
+                bp.id.clone(),
+                Target {
+                    block_base: (i as u64 + 1) * BLOCK_STRIDE,
+                    bp,
+                },
+            );
+        }
+        VKernel {
+            targets,
+            dev_index,
+            sock_index,
+        }
+    }
+
+    /// Total number of distinct basic blocks the kernel could report
+    /// (upper bound; used for sanity checks in tests).
+    #[must_use]
+    pub fn handler_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Execute one syscall. Returns the (Linux-convention) result:
+    /// ≥ 0 on success, `-errno` on failure. Updates coverage and may
+    /// set `state.crash`.
+    pub fn exec_call(
+        &self,
+        state: &mut VmState,
+        base: &str,
+        args: &[u64; 6],
+        mem: &MemMap,
+    ) -> i64 {
+        if state.crash.is_some() {
+            return -errno::EFAULT; // kernel already paniced
+        }
+        match base {
+            "openat" => self.sys_open(state, args[1], mem),
+            "open" => self.sys_open(state, args[0], mem),
+            "socket" => self.sys_socket(state, args[0], args[1], args[2]),
+            "ioctl" => self.sys_ioctl(state, args[0], args[1], args[2], mem),
+            "setsockopt" | "getsockopt" => {
+                self.sys_sockopt(state, args[0], args[1], args[2], args[3], args[4], mem)
+            }
+            "bind" => self.sys_addr_call(state, SockCall::Bind, args[0], args[1], args[2], mem),
+            "connect" => {
+                self.sys_addr_call(state, SockCall::Connect, args[0], args[1], args[2], mem)
+            }
+            "accept" => self.sys_accept(state, args[0]),
+            "sendto" => self.sys_sendto(state, args, mem),
+            "recvfrom" => self.sys_recvfrom(state, args[0]),
+            "read" | "write" => self.sys_rw(state, args[0]),
+            "close" => self.sys_close(state, args[0]),
+            "mmap" => 0x7f00_0000_0000,
+            _ => -errno::EINVAL,
+        }
+    }
+
+    fn target(&self, id: &str) -> &Target {
+        &self.targets[id]
+    }
+
+    fn cover(&self, state: &mut VmState, base: u64, offset: u64, count: u32) {
+        for i in 0..u64::from(count) {
+            state.coverage.insert(base + offset + i);
+        }
+    }
+
+    fn sys_open(&self, state: &mut VmState, path_ptr: u64, mem: &MemMap) -> i64 {
+        let Some(path) = mem.read_cstring(path_ptr, 256) else {
+            return -errno::EFAULT;
+        };
+        let Some(id) = self.dev_index.get(&path) else {
+            return -errno::ENOENT;
+        };
+        let t = self.target(id);
+        let open_blocks = t.bp.driver().map_or(2, |d| d.open_blocks);
+        self.cover(state, t.block_base, 0, open_blocks);
+        state.alloc_fd(FdState {
+            bp: id.clone(),
+            state: 0,
+            last_cmd: None,
+            cmd_counts: BTreeMap::new(),
+            issued_ids: BTreeSet::new(),
+            next_id: 1,
+            closed: false,
+        })
+    }
+
+    fn sys_socket(&self, state: &mut VmState, family: u64, ty: u64, proto: u64) -> i64 {
+        let Some(id) = self.sock_index.get(&(family, ty, proto)) else {
+            // Distinguish errors like the kernel does.
+            if !self.sock_index.keys().any(|(f, _, _)| *f == family) {
+                return -errno::EAFNOSUPPORT;
+            }
+            if !self
+                .sock_index
+                .keys()
+                .any(|(f, t, _)| *f == family && *t == ty)
+            {
+                return -errno::ESOCKTNOSUPPORT;
+            }
+            return -errno::EPROTONOSUPPORT;
+        };
+        let t = self.target(id);
+        let blocks = t.bp.socket().map_or(2, |s| s.socket_blocks);
+        self.cover(state, t.block_base, 0, blocks);
+        state.alloc_fd(FdState {
+            bp: id.clone(),
+            state: 0,
+            last_cmd: None,
+            cmd_counts: BTreeMap::new(),
+            issued_ids: BTreeSet::new(),
+            next_id: 1,
+            closed: false,
+        })
+    }
+
+    fn sys_ioctl(&self, state: &mut VmState, fd: u64, cmd: u64, arg: u64, mem: &MemMap) -> i64 {
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        if t.bp.socket().is_some() {
+            return -errno::ENOTTY;
+        }
+        let transform = t.bp.driver().map_or(CmdTransform::None, |d| d.transform);
+        let magic = t.bp.driver().map_or(0, |d| d.magic);
+        // Match the command the way the emitted C dispatches it.
+        let matched = t.bp.cmds.iter().enumerate().find(|(_, c)| {
+            let full = t.bp.cmd_value(c);
+            match transform {
+                CmdTransform::None => cmd == full,
+                CmdTransform::IocNr => {
+                    // ctl_ioctl-style: validate the magic byte, then
+                    // dispatch on the nr.
+                    cmacro::ioc_type(cmd) == magic && cmacro::ioc_nr(cmd) == cmacro::ioc_nr(full)
+                }
+                CmdTransform::Masked(m) => (cmd & m) == (full & m) && cmacro::ioc_type(cmd) == cmacro::ioc_type(full),
+            }
+        });
+        let Some((idx, cb)) = matched else {
+            return -errno::ENOTTY;
+        };
+        self.run_cmd(state, &t, idx, cb, fd, arg, None, mem)
+    }
+
+    fn sys_sockopt(
+        &self,
+        state: &mut VmState,
+        fd: u64,
+        level: u64,
+        opt: u64,
+        valp: u64,
+        len: u64,
+        mem: &MemMap,
+    ) -> i64 {
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        let Some(s) = t.bp.socket() else {
+            return -errno::ENOPROTOOPT;
+        };
+        if level != s.level {
+            return -errno::ENOPROTOOPT;
+        }
+        let Some((idx, cb)) = t
+            .bp
+            .cmds
+            .iter()
+            .enumerate()
+            .find(|(_, c)| t.bp.cmd_value(c) == opt)
+        else {
+            return -errno::ENOPROTOOPT;
+        };
+        self.run_cmd(state, &t, idx, cb, fd, valp, Some(len), mem)
+    }
+
+    /// Common command execution: coverage, argument decoding, field
+    /// checks, effects, bug triggers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cmd(
+        &self,
+        state: &mut VmState,
+        t: &Target,
+        idx: usize,
+        cb: &CmdBlueprint,
+        fd: u64,
+        arg: u64,
+        optlen: Option<u64>,
+        mem: &MemMap,
+    ) -> i64 {
+        let cmd_base = 100 + (idx as u64) * 64;
+        // Entry block: the dispatcher reached this command.
+        self.cover(state, t.block_base, cmd_base, 1);
+        // Decode the argument.
+        let mut fields: BTreeMap<String, u64> = BTreeMap::new();
+        match &cb.arg {
+            ArgKind::Struct(sname) => {
+                let Some(sdef) = t.bp.arg_struct(sname) else {
+                    return -errno::EINVAL;
+                };
+                let (size, _) = sdef.size_align(&t.bp.structs);
+                if let Some(l) = optlen {
+                    if l < size {
+                        return -errno::EINVAL;
+                    }
+                }
+                let Some(bytes) = mem.read(arg, size as usize) else {
+                    return -errno::EFAULT;
+                };
+                for f in &sdef.fields {
+                    if let Some(off) = sdef.offset_of(&f.name, &t.bp.structs) {
+                        let (fsize, _) = f.ty.size_align(&t.bp.structs);
+                        let w = fsize.min(8) as usize;
+                        if off as usize + w <= bytes.len() && w > 0 {
+                            let mut buf = [0u8; 8];
+                            buf[..w].copy_from_slice(&bytes[off as usize..off as usize + w]);
+                            fields.insert(f.name.clone(), u64::from_le_bytes(buf));
+                        }
+                    }
+                }
+            }
+            ArgKind::IdPtr(_) => {
+                let Some(bytes) = mem.read(arg, 4) else {
+                    return -errno::EFAULT;
+                };
+                let mut buf = [0u8; 8];
+                buf[..4].copy_from_slice(&bytes);
+                fields.insert("__id".into(), u64::from_le_bytes(buf));
+            }
+            ArgKind::Int | ArgKind::None => {}
+        }
+        // Copy succeeded: the body blocks.
+        self.cover(state, t.block_base, cmd_base + 1, cb.blocks.saturating_sub(1));
+        let reached_state = state.fd_mut(fd).expect("fd checked").state;
+        // Semantic field checks (EINVAL on violation).
+        let mut valid = true;
+        if let ArgKind::Struct(sname) = &cb.arg {
+            let sdef = t.bp.arg_struct(sname).expect("checked");
+            for f in &sdef.fields {
+                let v = fields.get(&f.name).copied().unwrap_or(0);
+                match &f.role {
+                    FieldRole::CheckedRange(lo, hi) => {
+                        if v < *lo || v > *hi {
+                            valid = false;
+                        }
+                    }
+                    FieldRole::MagicCheck(m) => {
+                        if v != *m {
+                            valid = false;
+                        }
+                    }
+                    FieldRole::Reserved => {
+                        if v != 0 {
+                            valid = false;
+                        }
+                    }
+                    FieldRole::Flags(set) => {
+                        let mask: u64 = t
+                            .bp
+                            .flag_sets
+                            .iter()
+                            .find(|(n, _)| n == set)
+                            .map_or(0, |(_, vs)| vs.iter().fold(0, |a, (_, x)| a | x));
+                        if v & !mask != 0 {
+                            valid = false;
+                        }
+                    }
+                    FieldRole::InId(_) => {
+                        let f = state.fd_mut(fd).expect("fd");
+                        if !f.issued_ids.contains(&(v as u32)) {
+                            valid = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let ArgKind::IdPtr(_) = &cb.arg {
+            let id = fields.get("__id").copied().unwrap_or(0) as u32;
+            let f = state.fd_mut(fd).expect("fd");
+            if !f.issued_ids.contains(&id) {
+                valid = false;
+            }
+        }
+        // State machine gating.
+        let state_ok = match &cb.effect {
+            CmdEffect::StateStep { requires, .. } => reached_state >= *requires,
+            _ => true,
+        };
+        // Valid operations advance the per-fd history (used by
+        // sequence/repeat triggers).
+        let counts_hit = {
+            let f = state.fd_mut(fd).expect("fd checked");
+            if valid && state_ok {
+                *f.cmd_counts.entry(cb.name.clone()).or_insert(0) += 1;
+            }
+            f.cmd_counts.get(&cb.name).copied().unwrap_or(0)
+        };
+        // Bug triggers. Allocation-size bugs (`FieldAbove`) fire right
+        // after copy_from_user, before validation — like the real
+        // kmalloc bugs. The deeper bugs (sequences, leaks, divide
+        // errors) sit behind the semantic checks and state machine, so
+        // they require a *valid* call — this is what makes them
+        // unreachable for imprecise specs.
+        let deep_ok = valid && state_ok;
+        let mut crashed = false;
+        for (bug_idx, bug) in t.bp.bugs.iter().enumerate() {
+            let fire = match &bug.trigger {
+                Trigger::FieldAbove { cmd, field, min } => {
+                    *cmd == cb.name && fields.get(field).copied().unwrap_or(0) > *min
+                }
+                Trigger::FieldZero { cmd, field } => {
+                    *cmd == cb.name
+                        && fields.contains_key(field)
+                        && fields.get(field) == Some(&0)
+                        && deep_ok
+                }
+                Trigger::Sequence { first, then } => {
+                    deep_ok
+                        && *then == cb.name
+                        && state
+                            .fd_mut(fd)
+                            .and_then(|f| f.last_cmd.clone())
+                            .is_some_and(|l| l == *first)
+                }
+                Trigger::Repeat { cmd, times } => {
+                    deep_ok && *cmd == cb.name && counts_hit >= *times
+                }
+                Trigger::PayloadLen { .. } => false, // sendto-path only
+            };
+            if fire {
+                self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
+                state.crash = Some(CrashReport {
+                    title: bug.title.clone(),
+                    cve: bug.cve.clone(),
+                    handler: t.bp.id.clone(),
+                });
+                crashed = true;
+                break;
+            }
+        }
+        if deep_ok {
+            let f = state.fd_mut(fd).expect("fd");
+            f.last_cmd = Some(cb.name.clone());
+        }
+        if crashed {
+            return -errno::EFAULT;
+        }
+        if !state_ok {
+            return -errno::EBUSY;
+        }
+        if !valid {
+            return -errno::EINVAL;
+        }
+        // Deep blocks: everything semantically valid.
+        self.cover(
+            state,
+            t.block_base,
+            cmd_base + 32,
+            cb.deep_blocks,
+        );
+        // Effects.
+        match &cb.effect {
+            CmdEffect::CreatesFd { handler } => {
+                if self.targets.contains_key(handler) {
+                    let sub_base = self.target(handler).block_base;
+                    // Creating the sub-object covers its init path.
+                    self.cover(state, sub_base, 0, 2);
+                    return state.alloc_fd(FdState {
+                        bp: handler.clone(),
+                        state: 0,
+                        last_cmd: None,
+                        cmd_counts: BTreeMap::new(),
+                        issued_ids: BTreeSet::new(),
+                        next_id: 1,
+                        closed: false,
+                    });
+                }
+            }
+            CmdEffect::StateStep { sets, .. } => {
+                let f = state.fd_mut(fd).expect("fd");
+                f.state = *sets;
+            }
+            CmdEffect::IssuesId { .. } => {
+                let f = state.fd_mut(fd).expect("fd");
+                let id = f.next_id;
+                f.next_id += 1;
+                f.issued_ids.insert(id);
+                return i64::from(id);
+            }
+            CmdEffect::Pure => {}
+        }
+        0
+    }
+
+    fn sock_call_offset(call: SockCall) -> u64 {
+        match call {
+            SockCall::Bind => 40,
+            SockCall::Connect => 44,
+            SockCall::Sendto => 48,
+            SockCall::Recvfrom => 54,
+            SockCall::Accept => 58,
+        }
+    }
+
+    fn sys_addr_call(
+        &self,
+        state: &mut VmState,
+        call: SockCall,
+        fd: u64,
+        addr: u64,
+        len: u64,
+        mem: &MemMap,
+    ) -> i64 {
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        let Some(s) = t.bp.socket() else {
+            return -errno::ENOTTY;
+        };
+        if !s.calls.contains(&call) {
+            return -errno::EINVAL;
+        }
+        let off = Self::sock_call_offset(call);
+        self.cover(state, t.block_base, off, 1);
+        // Address validation: size + family magic.
+        let addr_struct = format!("sockaddr_{}", t.bp.id);
+        if let Some(sdef) = t.bp.arg_struct(&addr_struct) {
+            let (size, _) = sdef.size_align(&t.bp.structs);
+            if len < size {
+                return -errno::EINVAL;
+            }
+            let Some(bytes) = mem.read(addr, 2) else {
+                return -errno::EFAULT;
+            };
+            let family = u64::from(u16::from_le_bytes([bytes[0], bytes[1]]));
+            if family != s.family {
+                return -errno::EAFNOSUPPORT;
+            }
+        }
+        self.cover(state, t.block_base, off + 1, 3);
+        if call == SockCall::Bind {
+            let f = state.fd_mut(fd).expect("fd");
+            f.state = f.state.max(1);
+        }
+        0
+    }
+
+    fn sys_sendto(&self, state: &mut VmState, args: &[u64; 6], mem: &MemMap) -> i64 {
+        let (fd, _buf, len) = (args[0], args[1], args[2]);
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        let Some(s) = t.bp.socket() else {
+            return -errno::ENOTTY;
+        };
+        if !s.calls.contains(&SockCall::Sendto) {
+            return -errno::EINVAL;
+        }
+        if len == 0 {
+            return -errno::EINVAL;
+        }
+        let off = Self::sock_call_offset(SockCall::Sendto);
+        self.cover(state, t.block_base, off, 2);
+        // Payload must be readable.
+        if mem.read(args[1], (len as usize).min(4096)).is_none() {
+            return -errno::EFAULT;
+        }
+        self.cover(state, t.block_base, off + 2, 3);
+        // PayloadLen bug triggers.
+        for (bug_idx, bug) in t.bp.bugs.iter().enumerate() {
+            if let Trigger::PayloadLen { min_len } = &bug.trigger {
+                if len >= *min_len {
+                    self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
+                    state.crash = Some(CrashReport {
+                        title: bug.title.clone(),
+                        cve: bug.cve.clone(),
+                        handler: t.bp.id.clone(),
+                    });
+                    return -errno::EFAULT;
+                }
+            }
+        }
+        len as i64
+    }
+
+    fn sys_recvfrom(&self, state: &mut VmState, fd: u64) -> i64 {
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        let Some(s) = t.bp.socket() else {
+            return -errno::ENOTTY;
+        };
+        if !s.calls.contains(&SockCall::Recvfrom) {
+            return -errno::EINVAL;
+        }
+        self.cover(state, t.block_base, Self::sock_call_offset(SockCall::Recvfrom), 2);
+        0
+    }
+
+    fn sys_accept(&self, state: &mut VmState, fd: u64) -> i64 {
+        let Some(f) = state.fd_mut(fd) else {
+            return -errno::EBADF;
+        };
+        let bp_id = f.bp.clone();
+        let bound = f.state >= 1;
+        let t = self.target(&bp_id).clone_light();
+        let Some(s) = t.bp.socket() else {
+            return -errno::ENOTTY;
+        };
+        if !s.calls.contains(&SockCall::Accept) || !bound {
+            return -errno::EINVAL;
+        }
+        self.cover(state, t.block_base, Self::sock_call_offset(SockCall::Accept), 2);
+        state.alloc_fd(FdState {
+            bp: bp_id,
+            state: 0,
+            last_cmd: None,
+            cmd_counts: BTreeMap::new(),
+            issued_ids: BTreeSet::new(),
+            next_id: 1,
+            closed: false,
+        })
+    }
+
+    fn sys_rw(&self, state: &mut VmState, fd: u64) -> i64 {
+        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+            return -errno::EBADF;
+        };
+        let t = self.target(&bp_id).clone_light();
+        self.cover(state, t.block_base, 60, 2);
+        0
+    }
+
+    fn sys_close(&self, state: &mut VmState, fd: u64) -> i64 {
+        match state.fd_mut(fd) {
+            Some(f) => {
+                f.closed = true;
+                0
+            }
+            None => -errno::EBADF,
+        }
+    }
+}
+
+impl Target {
+    // Cheap borrow workaround: blueprints are read-only; cloning the
+    // (small) header keeps borrowck simple without Rc gymnastics.
+    fn clone_light(&self) -> Target {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpt_csrc::flagship;
+    use kgpt_syzlang::value::ARG_BASE_ADDR;
+
+    fn boot_dm() -> VKernel {
+        VKernel::boot(vec![flagship::dm()])
+    }
+
+    fn mem_with(path: &str) -> MemMap {
+        let mut m = MemMap::new();
+        m.write(ARG_BASE_ADDR, path.as_bytes().to_vec());
+        m.write(ARG_BASE_ADDR + 255, vec![0]);
+        m
+    }
+
+    fn open_dm(k: &VKernel, st: &mut VmState) -> u64 {
+        let mut m = mem_with("/dev/mapper/control");
+        m.write(ARG_BASE_ADDR + 20, vec![0]);
+        let fd = k.exec_call(st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        assert!(fd >= 3, "open failed: {fd}");
+        fd as u64
+    }
+
+    #[test]
+    fn open_wrong_path_enoent() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        let m = mem_with("/dev/device-mapper\0");
+        let r = k.exec_call(&mut st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        assert_eq!(r, -errno::ENOENT);
+        assert!(st.coverage.is_empty());
+    }
+
+    #[test]
+    fn open_right_path_covers_blocks() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        assert_eq!(fd, 3);
+        assert_eq!(st.coverage.len(), 4); // dm open_blocks
+    }
+
+    #[test]
+    fn ioctl_needs_magic_byte_with_iocnr_transform() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        // SyzDescribe-style raw nr: _IOC_NR only, magic missing.
+        let r = k.exec_call(&mut st, "ioctl", &[fd, 3, 0, 0, 0, 0], &MemMap::new());
+        assert_eq!(r, -errno::ENOTTY);
+        // Correct full value.
+        let bp = flagship::dm();
+        let cmd = bp.cmd_value(bp.cmd("DM_VERSION").unwrap());
+        let mut m = mem_with("/dev/mapper/control");
+        // 300-byte zeroed dm_ioctl at a fresh address.
+        let (size, _) = bp.arg_struct("dm_ioctl").unwrap().size_align(&bp.structs);
+        m.write(0x2000_0000, vec![0u8; size as usize]);
+        let before = st.coverage.len();
+        let r = k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
+        assert_eq!(r, 0, "valid DM_VERSION should succeed");
+        assert!(st.coverage.len() > before);
+    }
+
+    #[test]
+    fn invalid_fields_einval_and_fewer_blocks() {
+        let k = boot_dm();
+        let bp = flagship::dm();
+        let cmd = bp.cmd_value(bp.cmd("DM_VERSION").unwrap());
+        let (size, _) = bp.arg_struct("dm_ioctl").unwrap().size_align(&bp.structs);
+        let padding_off = bp
+            .arg_struct("dm_ioctl")
+            .unwrap()
+            .offset_of("padding", &bp.structs)
+            .unwrap() as usize;
+
+        // Valid run.
+        let mut st_ok = VmState::new();
+        let fd = open_dm(&k, &mut st_ok);
+        let mut m = mem_with("/dev/mapper/control");
+        m.write(0x2000_0000, vec![0u8; size as usize]);
+        assert_eq!(k.exec_call(&mut st_ok, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m), 0);
+
+        // Reserved-field violation.
+        let mut st_bad = VmState::new();
+        let fd = open_dm(&k, &mut st_bad);
+        let mut bytes = vec![0u8; size as usize];
+        bytes[padding_off] = 1;
+        let mut m2 = mem_with("/dev/mapper/control");
+        m2.write(0x2000_0000, bytes);
+        assert_eq!(
+            k.exec_call(&mut st_bad, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m2),
+            -errno::EINVAL
+        );
+        assert!(st_bad.coverage.len() < st_ok.coverage.len());
+    }
+
+    #[test]
+    fn kmalloc_bug_fires_on_huge_data_size() {
+        let k = boot_dm();
+        let bp = flagship::dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        let cmd = bp.cmd_value(bp.cmd("DM_DEV_CREATE").unwrap());
+        let sdef = bp.arg_struct("dm_ioctl").unwrap();
+        let (size, _) = sdef.size_align(&bp.structs);
+        let off = sdef.offset_of("data_size", &bp.structs).unwrap() as usize;
+        let mut bytes = vec![0u8; size as usize];
+        bytes[off..off + 4].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
+        let mut m = mem_with("/dev/mapper/control");
+        m.write(0x2000_0000, bytes);
+        let r = k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
+        assert!(r < 0);
+        let crash = st.crash.clone().expect("crash");
+        assert_eq!(crash.title, "kmalloc bug in ctl_ioctl");
+        assert_eq!(crash.cve.as_deref(), Some("CVE-2024-23851"));
+        // Further calls are dead.
+        assert_eq!(
+            k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
+            -errno::EFAULT
+        );
+    }
+
+    #[test]
+    fn sequence_bug_requires_order() {
+        let k = boot_dm();
+        let bp = flagship::dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        let sdef = bp.arg_struct("dm_ioctl").unwrap();
+        let (size, _) = sdef.size_align(&bp.structs);
+        let mut m = mem_with("/dev/mapper/control");
+        m.write(0x2000_0000, vec![0u8; size as usize]);
+        let create = bp.cmd_value(bp.cmd("DM_DEV_CREATE").unwrap());
+        let remove_all = bp.cmd_value(bp.cmd("DM_REMOVE_ALL").unwrap());
+        // REMOVE_ALL alone: no crash.
+        assert_eq!(k.exec_call(&mut st, "ioctl", &[fd, remove_all, 0x2000_0000, 0, 0, 0], &m), 0);
+        assert!(st.crash.is_none());
+        // CREATE then REMOVE_ALL: CVE-2024-50277.
+        assert_eq!(k.exec_call(&mut st, "ioctl", &[fd, create, 0x2000_0000, 0, 0, 0], &m), 0);
+        let _ = k.exec_call(&mut st, "ioctl", &[fd, remove_all, 0x2000_0000, 0, 0, 0], &m);
+        assert_eq!(
+            st.crash.clone().map(|c| c.title),
+            Some("general protection fault in cleanup_mapped_device".into())
+        );
+    }
+
+    #[test]
+    fn kvm_fd_chain_executes() {
+        let k = VKernel::boot(vec![
+            flagship::kvm(),
+            flagship::kvm_vm(),
+            flagship::kvm_vcpu(),
+        ]);
+        let mut st = VmState::new();
+        let mut m = MemMap::new();
+        m.write(ARG_BASE_ADDR, b"/dev/kvm\0".to_vec());
+        let kvm_fd = k.exec_call(&mut st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        assert!(kvm_fd >= 3);
+        let kvm_bp = flagship::kvm();
+        let create_vm = kvm_bp.cmd_value(kvm_bp.cmd("KVM_CREATE_VM").unwrap());
+        let vm_fd = k.exec_call(&mut st, "ioctl", &[kvm_fd as u64, create_vm, 0, 0, 0, 0], &m);
+        assert!(vm_fd > kvm_fd, "vm fd: {vm_fd}");
+        let vm_bp = flagship::kvm_vm();
+        let create_vcpu = vm_bp.cmd_value(vm_bp.cmd("KVM_CREATE_VCPU").unwrap());
+        let vcpu_fd = k.exec_call(&mut st, "ioctl", &[vm_fd as u64, create_vcpu, 0, 0, 0, 0], &m);
+        assert!(vcpu_fd > vm_fd, "vcpu fd: {vcpu_fd}");
+        // KVM_RUN requires SET_REGS first (state machine).
+        let vcpu_bp = flagship::kvm_vcpu();
+        let run = vcpu_bp.cmd_value(vcpu_bp.cmd("KVM_RUN").unwrap());
+        assert_eq!(
+            k.exec_call(&mut st, "ioctl", &[vcpu_fd as u64, run, 0, 0, 0, 0], &m),
+            -errno::EBUSY
+        );
+    }
+
+    #[test]
+    fn socket_family_and_sendto_bug() {
+        let k = VKernel::boot(vec![flagship::rds()]);
+        let mut st = VmState::new();
+        // Wrong family.
+        assert_eq!(
+            k.exec_call(&mut st, "socket", &[9, 5, 0, 0, 0, 0], &MemMap::new()),
+            -errno::EAFNOSUPPORT
+        );
+        // Right triple.
+        let fd = k.exec_call(&mut st, "socket", &[21, 5, 0, 0, 0, 0], &MemMap::new());
+        assert!(fd >= 3);
+        // sendto with a big payload triggers CVE-2024-23849.
+        let mut m = MemMap::new();
+        m.write(0x3000_0000, vec![0u8; 128]);
+        let r = k.exec_call(
+            &mut st,
+            "sendto",
+            &[fd as u64, 0x3000_0000, 128, 0, 0, 0],
+            &m,
+        );
+        assert!(r < 0);
+        assert_eq!(
+            st.crash.clone().map(|c| c.title),
+            Some("UBSAN: array-index-out-of-bounds in rds_cmsg_recv".into())
+        );
+    }
+
+    #[test]
+    fn sockopt_level_checked() {
+        let k = VKernel::boot(vec![flagship::rds()]);
+        let mut st = VmState::new();
+        let fd = k.exec_call(&mut st, "socket", &[21, 5, 0, 0, 0, 0], &MemMap::new()) as u64;
+        let mut m = MemMap::new();
+        m.write(0x3000_0000, vec![0u8; 64]);
+        // Wrong level.
+        assert_eq!(
+            k.exec_call(&mut st, "setsockopt", &[fd, 1, 5, 0x3000_0000, 8, 0], &m),
+            -errno::ENOPROTOOPT
+        );
+        // Right level, RDS_RECVERR (int arg).
+        let r = k.exec_call(&mut st, "setsockopt", &[fd, 276, 5, 0x3000_0000, 8, 0], &m);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn close_invalidates_fd() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        assert_eq!(k.exec_call(&mut st, "close", &[fd, 0, 0, 0, 0, 0], &MemMap::new()), 0);
+        assert_eq!(
+            k.exec_call(&mut st, "ioctl", &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
+            -errno::EBADF
+        );
+    }
+
+    #[test]
+    fn coverage_blocks_disjoint_across_handlers() {
+        let k = VKernel::boot(vec![flagship::dm(), flagship::cec()]);
+        let mut st1 = VmState::new();
+        let _ = open_dm(&k, &mut st1);
+        let mut st2 = VmState::new();
+        let mut m = MemMap::new();
+        m.write(ARG_BASE_ADDR, b"/dev/cec0\0".to_vec());
+        let r = k.exec_call(&mut st2, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        assert!(r >= 3);
+        assert!(st1.coverage.is_disjoint(&st2.coverage));
+    }
+}

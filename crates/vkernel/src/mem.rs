@@ -1,0 +1,119 @@
+//! Userspace memory image passed to the virtual kernel.
+
+use std::collections::BTreeMap;
+
+/// Sparse byte map: the fuzzer's encoder allocates segments, the kernel
+/// reads them (`copy_from_user`).
+#[derive(Debug, Clone, Default)]
+pub struct MemMap {
+    segments: BTreeMap<u64, Vec<u8>>,
+}
+
+impl MemMap {
+    /// Empty map.
+    #[must_use]
+    pub fn new() -> MemMap {
+        MemMap::default()
+    }
+
+    /// Build from `(address, bytes)` segments (encoder output).
+    #[must_use]
+    pub fn from_segments(segments: Vec<(u64, Vec<u8>)>) -> MemMap {
+        let mut m = MemMap::new();
+        for (addr, bytes) in segments {
+            m.write(addr, bytes);
+        }
+        m
+    }
+
+    /// Install bytes at an address (overwrites overlaps segment-wise).
+    pub fn write(&mut self, addr: u64, bytes: Vec<u8>) {
+        self.segments.insert(addr, bytes);
+    }
+
+    /// Read `len` bytes at `addr`, possibly spanning adjacent segments.
+    /// Returns `None` (an `EFAULT`) if any byte is unmapped.
+    #[must_use]
+    pub fn read(&self, addr: u64, len: usize) -> Option<Vec<u8>> {
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr;
+        let end = addr.checked_add(len as u64)?;
+        while cur < end {
+            let (seg_start, seg) = self.segments.range(..=cur).next_back()?;
+            let off = usize::try_from(cur - seg_start).ok()?;
+            if off >= seg.len() {
+                return None;
+            }
+            let take = (seg.len() - off).min((end - cur) as usize);
+            out.extend_from_slice(&seg[off..off + take]);
+            cur += take as u64;
+        }
+        Some(out)
+    }
+
+    /// Read a NUL-terminated string of at most `max` bytes.
+    #[must_use]
+    pub fn read_cstring(&self, addr: u64, max: usize) -> Option<String> {
+        // Strings may be shorter than their segment; scan byte-wise.
+        let mut out = Vec::new();
+        for i in 0..max {
+            match self.read(addr + i as u64, 1) {
+                Some(b) if b[0] == 0 => return String::from_utf8(out).ok(),
+                Some(b) => out.push(b[0]),
+                // Segment ended without a NUL: exact-size allocations
+                // terminate at the mapping boundary.
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            return None; // truly unmapped pointer → EFAULT
+        }
+        String::from_utf8(out).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_within_segment() {
+        let mut m = MemMap::new();
+        m.write(0x1000, vec![1, 2, 3, 4]);
+        assert_eq!(m.read(0x1000, 4), Some(vec![1, 2, 3, 4]));
+        assert_eq!(m.read(0x1001, 2), Some(vec![2, 3]));
+        assert_eq!(m.read(0x1003, 2), None); // runs past the end
+        assert_eq!(m.read(0x2000, 1), None);
+    }
+
+    #[test]
+    fn read_spans_adjacent_segments() {
+        let mut m = MemMap::new();
+        m.write(0x1000, vec![1, 2]);
+        m.write(0x1002, vec![3, 4]);
+        assert_eq!(m.read(0x1000, 4), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn cstring_reads_to_nul() {
+        let mut m = MemMap::new();
+        m.write(0x1000, b"/dev/x\0garbage".to_vec());
+        assert_eq!(m.read_cstring(0x1000, 64), Some("/dev/x".to_string()));
+    }
+
+    #[test]
+    fn cstring_unterminated_at_segment_end() {
+        let mut m = MemMap::new();
+        m.write(0x1000, b"/dev/x".to_vec());
+        assert_eq!(m.read_cstring(0x1000, 64), Some("/dev/x".to_string()));
+    }
+
+    #[test]
+    fn zero_len_read_ok() {
+        let m = MemMap::new();
+        assert_eq!(m.read(0x1000, 0), Some(vec![]));
+    }
+}

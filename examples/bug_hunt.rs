@@ -1,0 +1,60 @@
+//! Bug hunt: reproduce the paper's headline result on a small scale —
+//! the Table 4 bugs are only reachable through KernelGPT-generated
+//! specifications, not through the pre-existing or SyzDescribe suites.
+//!
+//! Run with: `cargo run --release --example bug_hunt`
+
+use kernelgpt::core::KernelGpt;
+use kernelgpt::csrc::{flagship, KernelCorpus};
+use kernelgpt::extractor::find_handlers;
+use kernelgpt::fuzzer::{Campaign, CampaignConfig};
+use kernelgpt::llm::{ModelKind, OracleModel};
+use kernelgpt::vkernel::VKernel;
+use std::collections::BTreeSet;
+
+fn main() {
+    // Three bug-hosting targets: device-mapper (2 CVEs + 1 GPF), the
+    // CEC driver (5 bugs), and the RDS socket (1 CVE via sendto).
+    let blueprints = vec![flagship::dm(), flagship::cec(), flagship::rds()];
+    let expected: usize = blueprints.iter().map(|b| b.bugs.len()).sum();
+    let kc = KernelCorpus::from_blueprints(blueprints.clone());
+    let kernel = VKernel::boot(blueprints);
+    let handlers = find_handlers(kc.corpus());
+
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    let report = KernelGpt::new(&model, kc.corpus()).generate_all(&handlers, kc.consts());
+
+    let suites = [
+        ("Syzkaller (existing)", kc.existing_suite()),
+        (
+            "SyzDescribe",
+            kernelgpt::syzdescribe::describe_all(kc.corpus(), &handlers, kc.consts())
+                .into_iter()
+                .filter(|o| o.valid)
+                .filter_map(|o| o.spec)
+                .collect(),
+        ),
+        ("KernelGPT", report.specs()),
+    ];
+
+    println!("{expected} injected bugs across dm + cec + rds\n");
+    for (name, suite) in suites {
+        let mut titles: BTreeSet<String> = BTreeSet::new();
+        if !suite.is_empty() {
+            for seed in 0..3u64 {
+                let cfg = CampaignConfig {
+                    execs: 15_000,
+                    seed,
+                    max_prog_len: 8,
+                    enabled: None,
+                };
+                let r = Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run();
+                titles.extend(r.crashes.keys().cloned());
+            }
+        }
+        println!("{name:<22}: found {}/{expected} bugs", titles.len());
+        for t in &titles {
+            println!("    {t}");
+        }
+    }
+}

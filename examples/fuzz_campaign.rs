@@ -1,0 +1,57 @@
+//! A complete fuzzing campaign: generate specifications for three
+//! flagship drivers, boot the virtual kernel, and run a
+//! coverage-guided campaign comparing the generated suite against the
+//! pre-existing (partial) Syzkaller specs.
+//!
+//! Run with: `cargo run --release --example fuzz_campaign`
+
+use kernelgpt::core::KernelGpt;
+use kernelgpt::csrc::{flagship, KernelCorpus};
+use kernelgpt::extractor::find_handlers;
+use kernelgpt::fuzzer::{Campaign, CampaignConfig};
+use kernelgpt::llm::{ModelKind, OracleModel};
+use kernelgpt::vkernel::VKernel;
+
+fn main() {
+    let blueprints = vec![flagship::dm(), flagship::cec(), flagship::sg()];
+    let kc = KernelCorpus::from_blueprints(blueprints.clone());
+    let kernel = VKernel::boot(blueprints);
+    let handlers = find_handlers(kc.corpus());
+
+    // Suite A: whatever already exists in "Syzkaller".
+    let existing = kc.existing_suite();
+    // Suite B: existing + KernelGPT-generated specs.
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    let report = KernelGpt::new(&model, kc.corpus()).generate_all(&handlers, kc.consts());
+    let mut augmented = existing.clone();
+    augmented.extend(report.specs());
+
+    for (name, suite) in [("existing", existing), ("existing+KernelGPT", augmented)] {
+        if suite.is_empty() {
+            println!("{name:<20}: no specs, skipping");
+            continue;
+        }
+        let cfg = CampaignConfig {
+            execs: 20_000,
+            seed: 1,
+            max_prog_len: 8,
+            enabled: None,
+        };
+        let result = Campaign::new(&kernel, suite, kc.consts(), cfg).run();
+        println!(
+            "{name:<20}: {:>5} blocks, {} unique crashes over {} execs (corpus {})",
+            result.blocks(),
+            result.unique_crashes(),
+            result.execs,
+            result.corpus_size,
+        );
+        for (title, (count, cve)) in &result.crashes {
+            println!(
+                "    crash: {title} x{count}{}",
+                cve.as_deref()
+                    .map(|c| format!(" ({c})"))
+                    .unwrap_or_default()
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate a syzlang specification for the device-mapper
+//! driver with KernelGPT, print it, and validate it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use kernelgpt::core::{KernelGpt, Strategy};
+use kernelgpt::csrc::KernelCorpus;
+use kernelgpt::extractor::find_handlers;
+use kernelgpt::llm::{LanguageModel, ModelKind, OracleModel};
+
+fn main() {
+    // 1. Build the synthetic kernel corpus for the device-mapper
+    //    flagship (the paper's running example: `.nodename`
+    //    registration, lookup-table dispatch, `_IOC_NR` transform).
+    let kc = KernelCorpus::from_blueprints(vec![kernelgpt::csrc::flagship::dm()]);
+
+    // 2. Find its operation handler, exactly like the paper's extractor.
+    let handlers = find_handlers(kc.corpus());
+    println!(
+        "found {} operation handler(s): {}",
+        handlers.len(),
+        handlers
+            .iter()
+            .map(|h| h.ops_var.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // 3. Run the KernelGPT pipeline with the GPT-4 oracle profile.
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    let engine = KernelGpt::new(&model, kc.corpus()).with_strategy(Strategy::Iterative);
+    let report = engine.generate_all(&handlers, kc.consts());
+
+    for outcome in &report.outcomes {
+        println!(
+            "\nhandler {}: {} syscalls, {} types, valid={}, repaired={}, {} LLM queries",
+            outcome.ops_var,
+            outcome.syscall_count(),
+            outcome.type_count(),
+            outcome.valid,
+            outcome.repaired,
+            outcome.queries,
+        );
+        if let Some(spec) = &outcome.spec {
+            println!("--- generated syzlang ---");
+            print!("{}", kernelgpt::syzlang::print_file(spec));
+        }
+    }
+
+    let usage = model.total_usage();
+    println!(
+        "\nLLM usage: {} requests, {} input / {} output tokens",
+        usage.requests, usage.input_tokens, usage.output_tokens
+    );
+}

@@ -1,0 +1,26 @@
+//! # kernelgpt
+//!
+//! Facade over the KernelGPT-reproduction workspace. See the
+//! individual crates for the real APIs:
+//!
+//! * [`syzlang`] — the specification language (parser, validator,
+//!   layout engine, encoder);
+//! * [`csrc`] — mini-C frontend + the synthetic kernel corpus
+//!   (blueprints, flagship drivers, procedural population);
+//! * [`extractor`] — operation-handler discovery / `ExtractCode`;
+//! * [`llm`] — the analysis-LLM abstraction and the deterministic
+//!   oracle with GPT-4/-4o/-3.5 capability profiles;
+//! * [`core`] — KernelGPT itself (Algorithm 1, staged analysis,
+//!   validation + repair);
+//! * [`syzdescribe`] — the rule-based static baseline;
+//! * [`vkernel`] — the virtual kernel under test (coverage, bugs);
+//! * [`fuzzer`] — the spec-guided coverage-directed fuzzer.
+
+pub use kgpt_core as core;
+pub use kgpt_csrc as csrc;
+pub use kgpt_extractor as extractor;
+pub use kgpt_fuzzer as fuzzer;
+pub use kgpt_llm as llm;
+pub use kgpt_syzdescribe as syzdescribe;
+pub use kgpt_syzlang as syzlang;
+pub use kgpt_vkernel as vkernel;

@@ -1,0 +1,242 @@
+//! Property-based tests over the core data structures and invariants.
+
+use kernelgpt::csrc::cmacro;
+use kernelgpt::syzlang::ast::{
+    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile,
+    StructDef, Syscall, Type,
+};
+use kernelgpt::syzlang::{parse, print_file, SpecDb};
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}".prop_map(|s| s)
+}
+
+fn upper_ident() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9_]{0,12}".prop_map(|s| s)
+}
+
+fn bits_strategy() -> impl Strategy<Value = IntBits> {
+    prop_oneof![
+        Just(IntBits::I8),
+        Just(IntBits::I16),
+        Just(IntBits::I32),
+        Just(IntBits::I64),
+    ]
+}
+
+fn dir_strategy() -> impl Strategy<Value = Dir> {
+    prop_oneof![Just(Dir::In), Just(Dir::Out), Just(Dir::InOut)]
+}
+
+/// Scalar-ish type strategy (no unbounded recursion).
+fn type_strategy() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        (bits_strategy(), proptest::option::of((0u64..100, 100u64..200)))
+            .prop_map(|(bits, range)| Type::Int { bits, range }),
+        (any::<u64>(), bits_strategy())
+            .prop_map(|(v, bits)| Type::Const { value: ConstExpr::Num(v), bits }),
+        upper_ident().prop_map(|s| Type::Const {
+            value: ConstExpr::Sym(s),
+            bits: IntBits::I64
+        }),
+        "[a-z/]{1,12}".prop_map(|s| Type::StringLit { values: vec![s] }),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (dir_strategy(), inner.clone()).prop_map(|(dir, t)| Type::Ptr {
+                dir,
+                elem: Box::new(t)
+            }),
+            (inner, prop_oneof![
+                Just(ArrayLen::Unsized),
+                (1u64..8).prop_map(ArrayLen::Fixed),
+                (1u64..4, 4u64..10).prop_map(|(a, b)| ArrayLen::Range(a, b)),
+            ])
+            .prop_map(|(t, len)| Type::Array {
+                elem: Box::new(t),
+                len
+            }),
+        ]
+    })
+}
+
+fn field_strategy(i: usize) -> impl Strategy<Value = Field> {
+    type_strategy().prop_map(move |ty| Field {
+        name: format!("f{i}"),
+        ty,
+        dir: None,
+    })
+}
+
+fn struct_strategy() -> impl Strategy<Value = StructDef> {
+    (ident_strategy(), 1usize..6, any::<bool>()).prop_flat_map(|(name, n, is_union)| {
+        let fields: Vec<_> = (0..n).map(field_strategy).collect();
+        (Just(name), fields, Just(is_union)).prop_map(|(name, fields, is_union)| StructDef {
+            name: format!("st_{name}"),
+            fields,
+            is_union,
+            packed: false,
+        })
+    })
+}
+
+fn syscall_strategy() -> impl Strategy<Value = Syscall> {
+    (upper_ident(), proptest::collection::vec(type_strategy(), 0..5)).prop_map(
+        |(variant, tys)| Syscall {
+            base: "fake".into(),
+            variant: Some(variant),
+            params: tys
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| Param::new(format!("a{i}"), ty))
+                .collect(),
+            ret: None,
+        },
+    )
+}
+
+fn spec_file_strategy() -> impl Strategy<Value = SpecFile> {
+    (
+        proptest::collection::vec(struct_strategy(), 0..4),
+        proptest::collection::vec(syscall_strategy(), 0..4),
+        proptest::collection::vec((ident_strategy(), 1u64..64), 0..3),
+    )
+        .prop_map(|(mut structs, calls, flags)| {
+            // Deduplicate names so the file is well-formed.
+            structs.sort_by(|a, b| a.name.cmp(&b.name));
+            structs.dedup_by(|a, b| a.name == b.name);
+            let mut items: Vec<Item> = Vec::new();
+            items.push(Item::Resource(Resource {
+                name: "res_x".into(),
+                base: "int32".into(),
+                values: vec![],
+            }));
+            for s in structs {
+                items.push(Item::Struct(s));
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for c in calls {
+                if seen.insert(c.name()) {
+                    items.push(Item::Syscall(c));
+                }
+            }
+            let mut fseen = std::collections::BTreeSet::new();
+            for (name, v) in flags {
+                let fname = format!("fl_{name}");
+                if fseen.insert(fname.clone()) {
+                    items.push(Item::Flags(FlagsDef {
+                        name: fname,
+                        values: vec![ConstExpr::Num(v)],
+                    }));
+                }
+            }
+            SpecFile {
+                name: "prop.txt".into(),
+                items,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on well-formed spec files.
+    #[test]
+    fn printer_parser_round_trip(file in spec_file_strategy()) {
+        let printed = print_file(&file);
+        let reparsed = parse("prop.txt", &printed)
+            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert_eq!(reparsed.items, file.items);
+    }
+
+    /// The _IOC encoding round-trips through its field extractors.
+    #[test]
+    fn ioc_encoding_round_trips(dir in 0u64..4, ty in 0u64..256, nr in 0u64..256, size in 0u64..16384) {
+        let cmd = cmacro::ioc(dir, ty, nr, size);
+        prop_assert_eq!(cmacro::ioc_dir(cmd), dir);
+        prop_assert_eq!(cmacro::ioc_type(cmd), ty);
+        prop_assert_eq!(cmacro::ioc_nr(cmd), nr);
+        prop_assert_eq!(cmacro::ioc_size(cmd), size);
+    }
+
+    /// Struct layout sizes are always a multiple of alignment and
+    /// fields never overlap (non-union).
+    #[test]
+    fn layout_invariants(def in struct_strategy()) {
+        let db = SpecDb::from_files(vec![SpecFile {
+            name: "t".into(),
+            items: vec![Item::Struct(def.clone())],
+        }]);
+        if let Ok(l) = kernelgpt::syzlang::layout::struct_layout(&def, &db) {
+            prop_assert!(l.align.is_power_of_two());
+            prop_assert_eq!(l.size % l.align, 0);
+            if !def.is_union {
+                if let Ok((offsets, total)) = kernelgpt::syzlang::layout::field_offsets(&def, &db) {
+                    let mut prev_end = 0u64;
+                    for (f, off) in def.fields.iter().zip(&offsets) {
+                        prop_assert!(*off >= prev_end, "field overlap");
+                        if let Ok(fl) = kernelgpt::syzlang::layout::type_layout(&f.ty, &db) {
+                            prev_end = off + fl.size;
+                        }
+                    }
+                    prop_assert!(prev_end <= total);
+                }
+            }
+        }
+    }
+
+    /// The encoder never panics on generator-produced values, and the
+    /// memory image decodes to the encoded scalar for int fields.
+    #[test]
+    fn encode_zero_value_never_panics(def in struct_strategy()) {
+        let db = SpecDb::from_files(vec![SpecFile {
+            name: "t".into(),
+            items: vec![Item::Struct(def.clone())],
+        }]);
+        let consts = kernelgpt::syzlang::ConstDb::new();
+        let ty = Type::Named(def.name.clone());
+        if let Ok(v) = kernelgpt::syzlang::value::zero_value(&ty, &db) {
+            let mut mb = kernelgpt::syzlang::value::MemBuilder::new(&db, &consts);
+            let _ = mb.encode_arg(
+                &Type::Ptr { dir: Dir::In, elem: Box::new(ty) },
+                &kernelgpt::syzlang::Value::ptr_to(v),
+                &|r| r.fallback,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Synthetic blueprints always emit parseable C whose macros agree
+    /// with the blueprint's command values.
+    #[test]
+    fn synthetic_blueprints_are_coherent(seed in 0u64..500) {
+        let plan = kernelgpt::csrc::synth::SynthPlan {
+            drivers_loaded_complete: 1,
+            drivers_loaded_partial: 1,
+            drivers_loaded_none: 1,
+            drivers_unloaded: 0,
+            drivers_friendly: 1,
+            drivers_too_deep: 0,
+            sockets_loaded_complete: 1,
+            sockets_loaded_partial: 1,
+            sockets_loaded_none: 0,
+            sockets_unloaded: 0,
+            sockets_opaque: 0,
+        };
+        let bps = kernelgpt::csrc::synth::generate(&plan, seed);
+        for bp in &bps {
+            let src = kernelgpt::csrc::emit::emit_blueprint(bp);
+            let file = kernelgpt::csrc::parser::cparse("p.c", &src)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", bp.id));
+            let corpus = kernelgpt::csrc::Corpus::build(vec![file]);
+            for cmd in &bp.cmds {
+                let v = cmacro::eval_const(&corpus, &cmd.name);
+                prop_assert_eq!(v, Some(bp.cmd_value(cmd)));
+            }
+        }
+    }
+}
