@@ -1,12 +1,32 @@
-//! Criterion micro-benchmarks for the fuzzing substrate: program
-//! generation, encoding+execution throughput, and short campaigns.
+//! Micro-benchmarks for the fuzzing substrate: program generation,
+//! encoding+execution throughput, and short campaigns.
+//!
+//! Plain `harness = false` timing loops (the offline build cannot
+//! fetch criterion): each benchmark reports ns/iter over a fixed
+//! iteration count. Run with `cargo bench -p kgpt-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kgpt_csrc::KernelCorpus;
-use kgpt_fuzzer::{execute, Campaign, CampaignConfig, Generator};
+use kgpt_fuzzer::{
+    execute_with, Campaign, CampaignConfig, ExecScratch, Generator, ShardedCampaign,
+};
 use kgpt_syzlang::SpecDb;
 use kgpt_vkernel::VKernel;
 use std::hint::black_box;
+use std::time::Instant;
+
+fn report(name: &str, iters: u64, f: impl FnMut()) {
+    let mut f = f;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<40} {:>12.0} ns/iter ({iters} iters, {:.3}s total)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64(),
+    );
+}
 
 fn setup() -> (KernelCorpus, SpecDb, VKernel) {
     let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
@@ -15,49 +35,49 @@ fn setup() -> (KernelCorpus, SpecDb, VKernel) {
     (kc, db, kernel)
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let (kc, db, _) = setup();
-    c.bench_function("fuzzer/gen_program", |b| {
-        let mut g = Generator::new(&db, kc.consts(), 1);
-        b.iter(|| black_box(g.gen_program(8)))
-    });
-}
-
-fn bench_execution(c: &mut Criterion) {
+fn main() {
     let (kc, db, kernel) = setup();
-    let mut g = Generator::new(&db, kc.consts(), 1);
-    let progs: Vec<_> = (0..64).map(|_| g.gen_program(8)).collect();
-    let mut group = c.benchmark_group("fuzzer");
-    group.throughput(Throughput::Elements(progs.len() as u64));
-    group.bench_function("execute_64_programs", |b| {
-        b.iter(|| {
-            for p in &progs {
-                black_box(execute(&kernel, &db, kc.consts(), p));
-            }
-        })
-    });
-    group.finish();
-}
 
-fn bench_campaign(c: &mut Criterion) {
-    let (kc, _, kernel) = setup();
-    let suite = vec![kc.blueprints()[0].ground_truth_spec()];
-    c.bench_function("fuzzer/campaign_1000_execs", |b| {
-        b.iter(|| {
+    {
+        let mut g = Generator::new(&db, kc.consts(), 1);
+        report("fuzzer/gen_program", 2_000, || {
+            black_box(g.gen_program(8));
+        });
+    }
+
+    {
+        let mut g = Generator::new(&db, kc.consts(), 1);
+        let progs: Vec<_> = (0..64).map(|_| g.gen_program(8)).collect();
+        let mut scratch = ExecScratch::new(&db, kc.consts());
+        report("fuzzer/execute_64_programs", 200, || {
+            for p in &progs {
+                execute_with(&kernel, p, &mut scratch);
+                black_box(scratch.state.coverage.len());
+            }
+        });
+    }
+
+    {
+        let suite = vec![kc.blueprints()[0].ground_truth_spec()];
+        report("fuzzer/campaign_1000_execs", 10, || {
             let cfg = CampaignConfig {
                 execs: 1000,
                 seed: 1,
-                max_prog_len: 8,
-                enabled: None,
+                ..CampaignConfig::default()
             };
-            Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run()
-        })
-    });
+            black_box(Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run());
+        });
+        report("fuzzer/sharded_campaign_8x1000_execs", 10, || {
+            let cfg = CampaignConfig {
+                execs: 8000,
+                seed: 1,
+                ..CampaignConfig::default()
+            };
+            black_box(
+                ShardedCampaign::new(&kernel, suite.clone(), kc.consts(), cfg)
+                    .with_shards(8)
+                    .run(),
+            );
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_generation, bench_execution, bench_campaign
-}
-criterion_main!(benches);

@@ -1,70 +1,82 @@
-//! Criterion micro-benchmarks for the specification pipeline: parsing,
+//! Micro-benchmarks for the specification pipeline: parsing,
 //! validation, oracle queries, and full per-driver generation.
+//!
+//! Plain `harness = false` timing loops (the offline build cannot
+//! fetch criterion). Run with `cargo bench -p kgpt-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kgpt_bench::Env;
 use kgpt_core::{KernelGpt, Strategy};
 use kgpt_csrc::KernelCorpus;
-use kgpt_llm::{ChatRequest, LanguageModel, ModelKind, OracleModel};
 use kgpt_llm::protocol::{Prompt, Task};
+use kgpt_llm::{ChatRequest, LanguageModel, ModelKind, OracleModel};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_syzlang(c: &mut Criterion) {
-    let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
-    let truth = kc.blueprints()[0].ground_truth_spec();
-    let text = kgpt_syzlang::print_file(&truth);
-    c.bench_function("syzlang/parse_dm_spec", |b| {
-        b.iter(|| kgpt_syzlang::parse("dm", black_box(&text)).unwrap())
-    });
-    let db = kgpt_syzlang::SpecDb::from_files(vec![truth]);
-    c.bench_function("syzlang/validate_dm_spec", |b| {
-        b.iter(|| kgpt_syzlang::validate::validate(black_box(&db), kc.consts()))
-    });
-}
-
-fn bench_csrc(c: &mut Criterion) {
-    let bp = kgpt_csrc::flagship::dm();
-    let src = kgpt_csrc::emit::emit_blueprint(&bp);
-    c.bench_function("csrc/parse_dm_source", |b| {
-        b.iter(|| kgpt_csrc::parser::cparse("dm.c", black_box(&src)).unwrap())
-    });
-}
-
-fn bench_oracle(c: &mut Criterion) {
-    let bp = kgpt_csrc::flagship::dm();
-    let src = kgpt_csrc::emit::emit_blueprint(&bp);
-    let file = kgpt_csrc::parser::cparse("dm.c", &src).unwrap();
-    let source: Vec<String> = file.items.iter().map(|i| i.text.clone()).collect();
-    let prompt = Prompt {
-        task: Some(Task::Identifier),
-        target_func: Some("dm_ctl_ioctl".into()),
-        handler_var: Some("_dm_fops".into()),
-        source,
-        ..Prompt::default()
+fn report(name: &str, iters: u64, f: impl FnMut()) {
+    let mut f = f;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    .render();
-    let model = OracleModel::new(ModelKind::Gpt4, 0);
-    c.bench_function("oracle/identifier_query_dm", |b| {
-        b.iter(|| model.chat(black_box(&ChatRequest::new(prompt.clone()))))
-    });
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<40} {:>12.0} ns/iter ({iters} iters, {:.3}s total)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64(),
+    );
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let env = Env::flagship();
-    let handler = env.handler_for("dm").unwrap().clone();
-    c.bench_function("kernelgpt/generate_dm", |b| {
-        b.iter(|| {
+fn main() {
+    {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let truth = kc.blueprints()[0].ground_truth_spec();
+        let text = kgpt_syzlang::print_file(&truth);
+        report("syzlang/parse_dm_spec", 500, || {
+            black_box(kgpt_syzlang::parse("dm", black_box(&text)).unwrap());
+        });
+        let db = kgpt_syzlang::SpecDb::from_files(vec![truth]);
+        report("syzlang/validate_dm_spec", 500, || {
+            black_box(kgpt_syzlang::validate::validate(
+                black_box(&db),
+                kc.consts(),
+            ));
+        });
+    }
+
+    {
+        let bp = kgpt_csrc::flagship::dm();
+        let src = kgpt_csrc::emit::emit_blueprint(&bp);
+        report("csrc/parse_dm_source", 200, || {
+            black_box(kgpt_csrc::parser::cparse("dm.c", black_box(&src)).unwrap());
+        });
+    }
+
+    {
+        let bp = kgpt_csrc::flagship::dm();
+        let src = kgpt_csrc::emit::emit_blueprint(&bp);
+        let file = kgpt_csrc::parser::cparse("dm.c", &src).unwrap();
+        let source: Vec<String> = file.items.iter().map(|i| i.text.clone()).collect();
+        let prompt = Prompt {
+            task: Some(Task::Identifier),
+            target_func: Some("dm_ctl_ioctl".into()),
+            handler_var: Some("_dm_fops".into()),
+            source,
+            ..Prompt::default()
+        }
+        .render();
+        let model = OracleModel::new(ModelKind::Gpt4, 0);
+        report("oracle/identifier_query_dm", 200, || {
+            black_box(model.chat(black_box(&ChatRequest::new(prompt.clone()))));
+        });
+    }
+
+    {
+        let env = Env::flagship();
+        let handler = env.handler_for("dm").unwrap().clone();
+        report("kernelgpt/generate_dm", 20, || {
             let model = OracleModel::new(ModelKind::Gpt4, 0);
-            let engine = KernelGpt::new(&model, env.kc.corpus())
-                .with_strategy(Strategy::Iterative);
-            engine.generate_all(std::slice::from_ref(&handler), env.kc.consts())
-        })
-    });
+            let engine = KernelGpt::new(&model, env.kc.corpus()).with_strategy(Strategy::Iterative);
+            black_box(engine.generate_all(std::slice::from_ref(&handler), env.kc.consts()));
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_syzlang, bench_csrc, bench_oracle, bench_pipeline
-}
-criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Fuzzing-throughput harness.
+//!
+//! Measures execs/sec of the dm-driver campaign, sequentially and
+//! under [`ShardedCampaign`] at 1, 2, 4 and 8 worker threads over the
+//! default 8-shard decomposition, verifies that the thread count does
+//! not change `coverage`/`crashes` (the merge-invariance contract),
+//! and writes the scaling curve to `BENCH_fuzzing.json` so future
+//! changes have a recorded perf trajectory (see EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p kgpt-bench --bin fuzz_bench --
+//! [--execs N] [--out PATH]`
+
+use kgpt_csrc::KernelCorpus;
+use kgpt_fuzzer::{Campaign, CampaignConfig, CampaignResult, ShardedCampaign};
+use kgpt_vkernel::VKernel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_POINTS: &[usize] = &[1, 2, 4, 8];
+
+struct Point {
+    threads: usize,
+    secs: f64,
+    execs_per_sec: f64,
+}
+
+fn main() {
+    let mut execs: u64 = 100_000;
+    let mut out = String::from("BENCH_fuzzing.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--execs" => {
+                execs = args.next().and_then(|v| v.parse().ok()).expect("--execs N");
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+    let suite = vec![kc.blueprints()[0].ground_truth_spec()];
+    let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+    let cfg = CampaignConfig {
+        execs,
+        seed: 1,
+        ..CampaignConfig::default()
+    };
+
+    // Warm up caches / page tables off the record.
+    let warm = CampaignConfig {
+        execs: (execs / 20).max(500),
+        ..cfg.clone()
+    };
+    let _ = Campaign::new(&kernel, suite.clone(), kc.consts(), warm).run();
+
+    // Sequential baseline (the pre-sharding code path).
+    let t0 = Instant::now();
+    let seq = Campaign::new(&kernel, suite.clone(), kc.consts(), cfg.clone()).run();
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_rate = execs as f64 / seq_secs;
+    println!(
+        "sequential       : {execs} execs in {seq_secs:.3}s = {seq_rate:>10.0} execs/sec ({} blocks, {} crashes)",
+        seq.blocks(),
+        seq.unique_crashes()
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut reference: Option<CampaignResult> = None;
+    let mut merge_invariant = true;
+    for &threads in THREAD_POINTS {
+        let t0 = Instant::now();
+        let r = ShardedCampaign::new(&kernel, suite.clone(), kc.consts(), cfg.clone())
+            .with_shards(8)
+            .with_threads(threads)
+            .run();
+        let secs = t0.elapsed().as_secs_f64();
+        let rate = execs as f64 / secs;
+        println!(
+            "sharded x{threads:<7} : {execs} execs in {secs:.3}s = {rate:>10.0} execs/sec ({} blocks, {} crashes)",
+            r.blocks(),
+            r.unique_crashes()
+        );
+        if let Some(reference) = &reference {
+            if reference.coverage != r.coverage || reference.crashes != r.crashes {
+                merge_invariant = false;
+                eprintln!("MERGE INVARIANCE VIOLATED at threads={threads}");
+            }
+        } else {
+            reference = Some(r.clone());
+        }
+        points.push(Point {
+            threads,
+            secs,
+            execs_per_sec: rate,
+        });
+    }
+    let reference = reference.expect("at least one point");
+    assert!(merge_invariant, "thread count changed campaign results");
+
+    let speedup = points.last().expect("points").execs_per_sec / points[0].execs_per_sec;
+    println!(
+        "scaling 1->8 threads: {speedup:.2}x on {} available cores; merge invariant: {merge_invariant}",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
+    let _ = writeln!(json, "  \"workload\": \"dm ground-truth suite\",");
+    let _ = writeln!(json, "  \"execs\": {execs},");
+    let _ = writeln!(json, "  \"shards\": 8,");
+    let _ = writeln!(
+        json,
+        "  \"available_cores\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(
+        json,
+        "  \"sequential\": {{ \"secs\": {seq_secs:.6}, \"execs_per_sec\": {seq_rate:.1} }},"
+    );
+    let _ = writeln!(json, "  \"sharded\": [");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {}, \"secs\": {:.6}, \"execs_per_sec\": {:.1} }}{}",
+            p.threads,
+            p.secs,
+            p.execs_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_1_to_8_threads\": {speedup:.3},");
+    let _ = writeln!(json, "  \"merge_invariant\": {merge_invariant},");
+    let _ = writeln!(json, "  \"blocks\": {},", reference.blocks());
+    let _ = writeln!(json, "  \"unique_crashes\": {}", reference.unique_crashes());
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -61,7 +61,10 @@ fn census_run() -> CensusRun {
     eprintln!("[census] building full corpus (666 drivers + 85 sockets)...");
     let env = Env::full(0);
     let incomplete = env.incomplete_handlers();
-    eprintln!("[census] {} incomplete loaded handlers; running KernelGPT...", incomplete.len());
+    eprintln!(
+        "[census] {} incomplete loaded handlers; running KernelGPT...",
+        incomplete.len()
+    );
     let model = OracleModel::new(ModelKind::Gpt4, 0);
     let report = env.run_kernelgpt(&model, &incomplete, Strategy::Iterative);
     eprintln!("[census] running SyzDescribe...");
@@ -113,7 +116,12 @@ fn table1() {
     );
     println!(
         "socket  {:>6}  {:>7}  {:>11}  {:>17}  {:>10} ({})",
-        census.sockets_total, census.sockets_loaded, census.sockets_incomplete, "N/A", s_valid, s_fixed
+        census.sockets_total,
+        census.sockets_loaded,
+        census.sockets_incomplete,
+        "N/A",
+        s_valid,
+        s_fixed
     );
 }
 
@@ -200,20 +208,29 @@ fn table2() {
     println!("SyzDescribe  socket         N/A     N/A");
     println!("KernelGPT    driver   {d_sys:>9}  {d_ty:>6}");
     println!("KernelGPT    socket   {s_sys:>9}  {s_ty:>6}");
-    println!("KernelGPT    total    {:>9}  {:>6}", d_sys + s_sys, d_ty + s_ty);
+    println!(
+        "KernelGPT    total    {:>9}  {:>6}",
+        d_sys + s_sys,
+        d_ty + s_ty
+    );
 }
 
 fn cost() {
     let run = census_run();
     let usage = run.model.total_usage();
     let cap = ModelKind::Gpt4.capability();
-    println!("\n# §5.1.1: Generation cost (paper: 5.56M in / 400K out tokens, $34, 2630/189 per prompt)");
+    println!(
+        "\n# §5.1.1: Generation cost (paper: 5.56M in / 400K out tokens, $34, 2630/189 per prompt)"
+    );
     println!("requests        : {}", usage.requests);
     println!("input tokens    : {}", usage.input_tokens);
     println!("output tokens   : {}", usage.output_tokens);
     println!("per-prompt in   : {}", usage.mean_input());
     println!("per-prompt out  : {}", usage.mean_output());
-    println!("cost            : ${:.2}", usage.cost_cents(&cap) as f64 / 100.0);
+    println!(
+        "cost            : ${:.2}",
+        usage.cost_cents(&cap) as f64 / 100.0
+    );
 }
 
 fn correctness_exp() {
@@ -417,7 +434,10 @@ fn table6() {
     for id in TABLE6_SOCKETS {
         let kernel = VKernel::boot(kgpt_bench::blueprints_for(&env, id));
         let mut cells = Vec::new();
-        for suite in [existing_suite_for(&env, id), kgpt_suite_for(&env, &model, id)] {
+        for suite in [
+            existing_suite_for(&env, id),
+            kgpt_suite_for(&env, &model, id),
+        ] {
             if suite.is_empty() {
                 cells.push((0usize, 0u64, 0.0));
                 continue;
@@ -473,7 +493,8 @@ fn ablation_iter() {
             let cov = if suite.is_empty() {
                 0
             } else {
-                env.campaign_mean(&kernel, &suite, EXECS, 2, None).mean_blocks
+                env.campaign_mean(&kernel, &suite, EXECS, 2, None)
+                    .mean_blocks
             };
             totals[si][0] += n_sys as u64;
             totals[si][1] += n_ty as u64;
@@ -509,7 +530,10 @@ fn ablation_model() {
     let env = Env::flagship();
     const EXECS: u64 = 5_000;
     println!("\n# §5.2.3 ablation: model choice (paper: GPT-3.5 85 syscalls vs GPT-4 143; GPT-4o ≈ GPT-4)");
-    println!("{:<14} {:>9} {:>7} {:>9}", "model", "#syscalls", "#types", "coverage");
+    println!(
+        "{:<14} {:>9} {:>7} {:>9}",
+        "model", "#syscalls", "#types", "coverage"
+    );
     for kind in [ModelKind::Gpt35, ModelKind::Gpt4, ModelKind::Gpt4o] {
         let model = OracleModel::new(kind, 0);
         let mut n_sys = 0usize;
@@ -526,7 +550,9 @@ fn ablation_model() {
             n_ty += report.total_types();
             let suite = report.specs();
             if !suite.is_empty() {
-                cov += env.campaign_mean(&kernel, &suite, EXECS, 2, None).mean_blocks;
+                cov += env
+                    .campaign_mean(&kernel, &suite, EXECS, 2, None)
+                    .mean_blocks;
             }
         }
         println!("{:<14} {:>9} {:>7} {:>9}", model.name(), n_sys, n_ty, cov);

@@ -9,7 +9,7 @@ use kgpt_core::{GenerationReport, KernelGpt, Strategy};
 use kgpt_csrc::blueprint::Blueprint;
 use kgpt_csrc::KernelCorpus;
 use kgpt_extractor::{find_handlers, OpHandler};
-use kgpt_fuzzer::{Campaign, CampaignConfig, CampaignResult};
+use kgpt_fuzzer::{Campaign, CampaignConfig, CampaignResult, ShardedCampaign};
 use kgpt_llm::{LanguageModel, ModelKind, OracleModel};
 use kgpt_syzlang::{SpecDb, SpecFile, Syscall};
 use kgpt_vkernel::VKernel;
@@ -60,9 +60,9 @@ impl Env {
             .iter()
             .filter(|h| {
                 let id = bp_id_of_handler(h);
-                self.kc.blueprint(&id).is_some_and(|bp| {
-                    bp.loaded && self.kc.missing_fraction(bp) > 0.0
-                })
+                self.kc
+                    .blueprint(&id)
+                    .is_some_and(|bp| bp.loaded && self.kc.missing_fraction(bp) > 0.0)
             })
             .cloned()
             .collect()
@@ -96,6 +96,24 @@ impl Env {
         cfg: CampaignConfig,
     ) -> CampaignResult {
         Campaign::new(kernel, suite, self.kc.consts(), cfg).run()
+    }
+
+    /// Run a campaign split over `shards` logical shards on `threads`
+    /// worker threads (0 = one per CPU). The result is independent of
+    /// `threads`; see [`ShardedCampaign`].
+    #[must_use]
+    pub fn sharded_campaign(
+        &self,
+        kernel: &VKernel,
+        suite: Vec<SpecFile>,
+        cfg: CampaignConfig,
+        shards: u32,
+        threads: usize,
+    ) -> CampaignResult {
+        ShardedCampaign::new(kernel, suite, self.kc.consts(), cfg)
+            .with_shards(shards)
+            .with_threads(threads)
+            .run()
     }
 
     /// Mean coverage over repetitions with seeds `0..reps`.
@@ -232,16 +250,7 @@ pub const TABLE5_DRIVERS: &[&str] = &[
 
 /// The Table 6 socket rows.
 pub const TABLE6_SOCKETS: &[&str] = &[
-    "caif",
-    "l2tp_ip6",
-    "llc",
-    "mptcp",
-    "packet",
-    "phonet",
-    "pppol2tp",
-    "rds",
-    "rfcomm",
-    "sco",
+    "caif", "l2tp_ip6", "llc", "mptcp", "packet", "phonet", "pppol2tp", "rds", "rfcomm", "sco",
 ];
 
 /// Sub-handlers that ride along with a Table 5 driver (enabled
@@ -275,7 +284,8 @@ pub fn kgpt_suite_for(env: &Env, model: &dyn LanguageModel, id: &str) -> Vec<Spe
         .chain(companions(id))
         .filter_map(|bid| env.handler_for(bid).cloned())
         .collect();
-    env.run_kernelgpt(model, &handlers, Strategy::Iterative).specs()
+    env.run_kernelgpt(model, &handlers, Strategy::Iterative)
+        .specs()
 }
 
 /// SyzDescribe suite for one driver (+ companions).
@@ -313,7 +323,9 @@ pub struct CorrectnessStats {
 pub fn correctness(env: &Env, bp_ids: &[String], report: &GenerationReport) -> CorrectnessStats {
     let mut stats = CorrectnessStats::default();
     for id in bp_ids {
-        let Some(bp) = env.kc.blueprint(id) else { continue };
+        let Some(bp) = env.kc.blueprint(id) else {
+            continue;
+        };
         let Some(outcome) = report
             .outcomes
             .iter()

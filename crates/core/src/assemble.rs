@@ -1,9 +1,9 @@
 //! Fact → syzlang assembly: turn the LLM's structured findings into a
 //! specification file.
 
+use kgpt_extractor::{HandlerKind, OpHandler};
 use kgpt_llm::oracle::prefix_of_ops_var;
 use kgpt_llm::protocol::{ArgSig, Fact};
-use kgpt_extractor::{HandlerKind, OpHandler};
 use kgpt_syzlang as syz;
 use syz::{ConstExpr, Dir, IntBits, Item, Param, Resource, SpecFile, Syscall, Type};
 
@@ -229,10 +229,7 @@ pub fn assemble_spec(handler: &OpHandler, facts: &[Fact]) -> Option<SpecFile> {
     // Commands.
     let mut any_cmd = false;
     for f in facts {
-        let Fact::Ident {
-            name, arg, dir, ..
-        } = f
-        else {
+        let Fact::Ident { name, arg, dir, .. } = f else {
             continue;
         };
         any_cmd = true;
@@ -305,13 +302,11 @@ pub fn assemble_spec(handler: &OpHandler, facts: &[Fact]) -> Option<SpecFile> {
                     }
                 }
             }
-            Fact::FlagSet { name, values } => {
-                if !items.iter().any(|i| i.name() == *name) {
-                    items.push(Item::Flags(syz::FlagsDef {
-                        name: name.clone(),
-                        values: values.iter().map(|v| ConstExpr::Sym(v.clone())).collect(),
-                    }));
-                }
+            Fact::FlagSet { name, values } if !items.iter().any(|i| i.name() == *name) => {
+                items.push(Item::Flags(syz::FlagsDef {
+                    name: name.clone(),
+                    values: values.iter().map(|v| ConstExpr::Sym(v.clone())).collect(),
+                }));
             }
             _ => {}
         }
@@ -466,7 +461,9 @@ mod tests {
             },
             Fact::SyzType {
                 c_name: "sockaddr_rds".into(),
-                text: "rds_sockaddr_rds {\n\tfamily const[0x15, int16]\n\tport int16\n\taddr int32\n}".into(),
+                text:
+                    "rds_sockaddr_rds {\n\tfamily const[0x15, int16]\n\tport int16\n\taddr int32\n}"
+                        .into(),
             },
         ];
         let spec = assemble_spec(&h, &facts).unwrap();

@@ -86,7 +86,10 @@ impl GenerationReport {
     /// (Table 1's parenthesised "Fixed").
     #[must_use]
     pub fn repaired_count(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.valid && o.repaired).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.valid && o.repaired)
+            .count()
     }
 
     /// Total syscalls described by valid specs (Table 2).
@@ -147,10 +150,8 @@ impl<'a> KernelGpt<'a> {
     /// Generate specs for a set of handlers, validate the merged suite,
     /// and repair invalid ones once.
     pub fn generate_all(&self, handlers: &[OpHandler], consts: &ConstDb) -> GenerationReport {
-        let mut outcomes: Vec<HandlerOutcome> = handlers
-            .iter()
-            .map(|h| self.generate_one(h, 0))
-            .collect();
+        let mut outcomes: Vec<HandlerOutcome> =
+            handlers.iter().map(|h| self.generate_one(h, 0)).collect();
         // Merged validation (sub-handler fds are produced cross-file).
         self.validate_merged(&mut outcomes, consts);
         // Repair round for invalid handlers that did produce something.
@@ -179,10 +180,7 @@ impl<'a> KernelGpt<'a> {
     }
 
     fn validate_merged(&self, outcomes: &mut [HandlerOutcome], consts: &ConstDb) {
-        let files: Vec<SpecFile> = outcomes
-            .iter()
-            .filter_map(|o| o.spec.clone())
-            .collect();
+        let files: Vec<SpecFile> = outcomes.iter().filter_map(|o| o.spec.clone()).collect();
         let db = SpecDb::from_files(files);
         let errors = kgpt_syzlang::validate::validate(&db, consts);
         for o in outcomes.iter_mut() {
@@ -346,7 +344,11 @@ impl<'a> KernelGpt<'a> {
                 }
             }
             merge_facts(&mut facts, new_facts);
-            next.retain(|n| !facts.iter().any(|f| matches!(f, Fact::SyzType { c_name, .. } if c_name == n)));
+            next.retain(|n| {
+                !facts
+                    .iter()
+                    .any(|f| matches!(f, Fact::SyzType { c_name, .. } if c_name == n))
+            });
             wants = next;
         }
 
@@ -382,12 +384,7 @@ impl<'a> KernelGpt<'a> {
         // Stuff *everything* related into one prompt: the entire source
         // file of the handler. Big drivers overflow the context window.
         let mut sources = Vec::new();
-        if let Some(file) = self
-            .corpus
-            .files()
-            .iter()
-            .find(|f| f.name == handler.file)
-        {
+        if let Some(file) = self.corpus.files().iter().find(|f| f.name == handler.file) {
             sources.extend(file.items.iter().map(|i| i.text.clone()));
         }
         let target = match handler.kind {
@@ -446,12 +443,7 @@ impl<'a> KernelGpt<'a> {
     }
 
     fn add_file_macros(&self, handler: &OpHandler, sources: &mut Vec<String>) {
-        if let Some(file) = self
-            .corpus
-            .files()
-            .iter()
-            .find(|f| f.name == handler.file)
-        {
+        if let Some(file) = self.corpus.files().iter().find(|f| f.name == handler.file) {
             for item in &file.items {
                 if matches!(item.kind, kgpt_csrc::ast::CItemKind::Macro(_))
                     && !sources.contains(&item.text)
@@ -486,8 +478,9 @@ impl<'a> KernelGpt<'a> {
         let mut added = 0;
         for f in facts {
             let name = match f {
-                Fact::UnknownFunc { name, .. }
-                | Fact::UnknownVar { name, .. } => Some(name.as_str()),
+                Fact::UnknownFunc { name, .. } | Fact::UnknownVar { name, .. } => {
+                    Some(name.as_str())
+                }
                 Fact::UnknownStruct(n) => Some(n.as_str()),
                 _ => None,
             };
@@ -512,7 +505,10 @@ fn fact_key(f: &Fact) -> Option<String> {
         Fact::FlagSet { name, .. } => format!("flags:{name}"),
         Fact::ResourceDef { name } => format!("res:{name}"),
         Fact::CreatesFd { cmd, .. } => format!("dep:{cmd}"),
-        Fact::UnknownFunc { .. } | Fact::UnknownVar { .. } | Fact::UnknownStruct(_) | Fact::Note(_) => {
+        Fact::UnknownFunc { .. }
+        | Fact::UnknownVar { .. }
+        | Fact::UnknownStruct(_)
+        | Fact::Note(_) => {
             return None;
         }
     })
@@ -608,7 +604,16 @@ mod tests {
         let model = OracleModel::new(ModelKind::Gpt4, 2);
         let engine = KernelGpt::new(&model, kc.corpus());
         let report = engine.generate_all(&handlers, kc.consts());
-        assert_eq!(report.valid_count(), 3, "{:?}", report.outcomes.iter().map(|o| (&o.ops_var, &o.errors)).collect::<Vec<_>>());
+        assert_eq!(
+            report.valid_count(),
+            3,
+            "{:?}",
+            report
+                .outcomes
+                .iter()
+                .map(|o| (&o.ops_var, &o.errors))
+                .collect::<Vec<_>>()
+        );
         let merged = report.specs();
         let db = SpecDb::from_files(merged);
         // The chain: openat$kvm → ioctl$KVM_CREATE_VM → fd_kvm_vm →
@@ -626,8 +631,7 @@ mod tests {
         // A small context window makes the difference visible even on
         // one driver: use GPT-3.5 for the window, same seeds.
         let model = OracleModel::new(ModelKind::Gpt35, 0);
-        let iter = KernelGpt::new(&model, kc.corpus())
-            .generate_all(&handlers, kc.consts());
+        let iter = KernelGpt::new(&model, kc.corpus()).generate_all(&handlers, kc.consts());
         let one = KernelGpt::new(&model, kc.corpus())
             .with_strategy(Strategy::AllInOne)
             .generate_all(&handlers, kc.consts());

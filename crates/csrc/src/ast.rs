@@ -186,7 +186,9 @@ impl CType {
     /// Struct tag, if the base is `struct X`.
     #[must_use]
     pub fn struct_tag(&self) -> Option<&str> {
-        self.base.strip_prefix("struct ").or_else(|| self.base.strip_prefix("union "))
+        self.base
+            .strip_prefix("struct ")
+            .or_else(|| self.base.strip_prefix("union "))
     }
 }
 

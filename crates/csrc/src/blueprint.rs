@@ -675,7 +675,11 @@ impl Blueprint {
                 imprecise_types,
                 calls,
             } => {
-                let call_filter = if calls.is_empty() { None } else { Some(calls.as_slice()) };
+                let call_filter = if calls.is_empty() {
+                    None
+                } else {
+                    Some(calls.as_slice())
+                };
                 Some(self.spec_subset(
                     cmds,
                     *imprecise_types,
@@ -795,7 +799,9 @@ impl Blueprint {
             // sub-handler's own spec is absent from a suite.
             if let CmdEffect::CreatesFd { handler } = &cmd.effect {
                 let res_name = format!("fd_{handler}");
-                let already = items.iter().any(|i| matches!(i, Item::Resource(r) if r.name == res_name));
+                let already = items
+                    .iter()
+                    .any(|i| matches!(i, Item::Resource(r) if r.name == res_name));
                 if !already {
                     items.push(Item::Resource(Resource {
                         name: res_name,
@@ -824,7 +830,13 @@ impl Blueprint {
             if self.socket().is_some() {
                 let addr = format!("sockaddr_{}", self.id);
                 if self.arg_struct(&addr).is_some() && !needed.contains(&addr.as_str()) {
-                    collect_structs(self, self.arg_struct(&addr).map(|s| s.name.as_str()).unwrap_or(""), &mut needed);
+                    collect_structs(
+                        self,
+                        self.arg_struct(&addr)
+                            .map(|s| s.name.as_str())
+                            .unwrap_or(""),
+                        &mut needed,
+                    );
                 }
             }
             for s in &self.structs {

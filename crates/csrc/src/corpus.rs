@@ -149,9 +149,7 @@ impl KernelCorpus {
         if total == 0 {
             return 0.0;
         }
-        let described = bp
-            .existing_spec_file()
-            .map_or(0, |f| f.syscalls().count());
+        let described = bp.existing_spec_file().map_or(0, |f| f.syscalls().count());
         1.0 - (described.min(total) as f64 / total as f64)
     }
 
@@ -246,7 +244,11 @@ mod tests {
         assert_eq!(c.drivers_incomplete, 75, "paper: 75 incomplete drivers");
         assert_eq!(c.sockets_incomplete, 66, "paper: 66 incomplete sockets");
         assert_eq!(c.drivers_none, 45, "paper: 45 drivers without specs");
-        assert!(c.sockets_mostly_missing >= 15, "paper: 22 sockets >80% missing; got {}", c.sockets_mostly_missing);
+        assert!(
+            c.sockets_mostly_missing >= 15,
+            "paper: 22 sockets >80% missing; got {}",
+            c.sockets_mostly_missing
+        );
     }
 
     #[test]

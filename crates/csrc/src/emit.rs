@@ -53,7 +53,12 @@ fn c_field_ty(ty: &FieldTy, name: &str) -> String {
 
 fn emit_macros(bp: &Blueprint, out: &mut String) {
     if let Some(d) = bp.driver() {
-        let _ = writeln!(out, "#define {}_IOCTL_MAGIC {:#x}", bp.id.to_uppercase(), d.magic);
+        let _ = writeln!(
+            out,
+            "#define {}_IOCTL_MAGIC {:#x}",
+            bp.id.to_uppercase(),
+            d.magic
+        );
     }
     for cmd in &bp.cmds {
         match cmd.encoding {
@@ -214,14 +219,23 @@ fn emit_cmd_handler(bp: &Blueprint, cmd: &CmdBlueprint, out: &mut String) {
             let _ = writeln!(out, "\treturn 0;\n}}\n");
         }
         ArgKind::IdPtr(res) => {
-            let _ = writeln!(out, "static int {fname}(struct file *file, __u32 __user *u) {{");
+            let _ = writeln!(
+                out,
+                "static int {fname}(struct file *file, __u32 __user *u) {{"
+            );
             let _ = writeln!(out, "\t__u32 id;");
-            let _ = writeln!(out, "\tif (copy_from_user(&id, u, sizeof(__u32)))\n\t\treturn -14;");
+            let _ = writeln!(
+                out,
+                "\tif (copy_from_user(&id, u, sizeof(__u32)))\n\t\treturn -14;"
+            );
             let _ = writeln!(out, "\tif (!{}_lookup_{res}(id))\n\t\treturn -2;", bp.id);
             let _ = writeln!(out, "\treturn 0;\n}}\n");
         }
         ArgKind::Int => {
-            let _ = writeln!(out, "static int {fname}(struct file *file, unsigned long arg) {{");
+            let _ = writeln!(
+                out,
+                "static int {fname}(struct file *file, unsigned long arg) {{"
+            );
             let _ = writeln!(out, "\treturn do_{fname}(arg);\n}}\n");
         }
         ArgKind::None => {
@@ -324,7 +338,10 @@ fn emit_driver(bp: &Blueprint, out: &mut String) {
     if has_hidden(bp) {
         // Runtime-registered dispatch: the handler table is filled in at
         // module load time, so no static mapping exists in the text.
-        let _ = writeln!(out, "long invoke_registered_handler(void *table, unsigned int cmd, unsigned long arg);\n");
+        let _ = writeln!(
+            out,
+            "long invoke_registered_handler(void *table, unsigned int cmd, unsigned long arg);\n"
+        );
         let _ = writeln!(out, "static void *_{id}_dyn_table[16];\n");
         let _ = writeln!(
             out,
@@ -357,7 +374,11 @@ fn emit_driver(bp: &Blueprint, out: &mut String) {
                 let _ = writeln!(out, "\tcase {label}:");
                 let _ = writeln!(out, "\t\treturn {};", cmd_dispatch_call(bp, cmd));
             }
-            let _ = writeln!(out, "\tdefault:\n\t\treturn {};\n\t}}\n}}\n", dynamic_tail(bp));
+            let _ = writeln!(
+                out,
+                "\tdefault:\n\t\treturn {};\n\t}}\n}}\n",
+                dynamic_tail(bp)
+            );
         }
         DispatchStyle::IfChain => {
             let _ = writeln!(
@@ -473,10 +494,7 @@ fn emit_driver(bp: &Blueprint, out: &mut String) {
             );
         }
         RegStyle::ProcOps => {
-            let name = d
-                .dev_path
-                .strip_prefix("/proc/")
-                .unwrap_or(&d.dev_path);
+            let name = d.dev_path.strip_prefix("/proc/").unwrap_or(&d.dev_path);
             let _ = writeln!(
                 out,
                 "static int __init {id}_init(void) {{\n\tproc_create(\"{name}\", 0, 0, &_{id}_fops);\n\treturn 0;\n}}\n"
@@ -661,8 +679,18 @@ mod tests {
                 open_blocks: 4,
             }),
             cmds: vec![
-                CmdBlueprint::new("DM_VERSION", 0, ArgKind::Struct("dm_ioctl".into()), ArgDir::InOut),
-                CmdBlueprint::new("DM_DEV_CREATE", 3, ArgKind::Struct("dm_ioctl".into()), ArgDir::In),
+                CmdBlueprint::new(
+                    "DM_VERSION",
+                    0,
+                    ArgKind::Struct("dm_ioctl".into()),
+                    ArgDir::InOut,
+                ),
+                CmdBlueprint::new(
+                    "DM_DEV_CREATE",
+                    3,
+                    ArgKind::Struct("dm_ioctl".into()),
+                    ArgDir::In,
+                ),
             ],
             structs: vec![ArgStruct {
                 name: "dm_ioctl".into(),

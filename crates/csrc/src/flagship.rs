@@ -64,7 +64,12 @@ fn sock(
             proto,
             level,
             level_name: format!("SOL_{}", id.to_uppercase()),
-            calls: vec![SockCall::Bind, SockCall::Connect, SockCall::Sendto, SockCall::Recvfrom],
+            calls: vec![
+                SockCall::Bind,
+                SockCall::Connect,
+                SockCall::Sendto,
+                SockCall::Recvfrom,
+            ],
             socket_blocks: 4,
             opaque_family: false,
         }),
@@ -152,8 +157,7 @@ pub fn dm() -> Blueprint {
         "drivers/md/dm-ioctl.c",
     );
     bp.comment = Some(
-        "Device-mapper userspace control interface; commands carry a struct dm_ioctl header"
-            .into(),
+        "Device-mapper userspace control interface; commands carry a struct dm_ioctl header".into(),
     );
     bp.structs = vec![
         st(
@@ -172,16 +176,27 @@ pub fn dm() -> Blueprint {
                 p("version", FieldTy::Array(Box::new(FieldTy::U32), 3)),
                 r("data_size", FieldTy::U32, FieldRole::SizeOfPayload),
                 p("data_start", FieldTy::U32),
-                r("target_count", FieldTy::U32, FieldRole::LenOf("targets".into())),
+                r(
+                    "target_count",
+                    FieldTy::U32,
+                    FieldRole::LenOf("targets".into()),
+                ),
                 p("open_count", FieldTy::U32),
-                r("flags", FieldTy::U32, FieldRole::Flags("dm_ioctl_flags".into())),
+                r(
+                    "flags",
+                    FieldTy::U32,
+                    FieldRole::Flags("dm_ioctl_flags".into()),
+                ),
                 p("event_nr", FieldTy::U32),
                 r("padding", FieldTy::U32, FieldRole::Reserved),
                 p("dev", FieldTy::U64),
                 p("name", FieldTy::CharArray(128)),
                 p("uuid", FieldTy::CharArray(129)),
                 p("data", FieldTy::CharArray(7)),
-                p("targets", FieldTy::FlexArray(Box::new(FieldTy::Struct("dm_target_spec".into())))),
+                p(
+                    "targets",
+                    FieldTy::FlexArray(Box::new(FieldTy::Struct("dm_target_spec".into()))),
+                ),
             ],
         ),
     ];
@@ -199,11 +214,17 @@ pub fn dm() -> Blueprint {
         c("DM_REMOVE_ALL", 1, arg(), ArgDir::In),
         c("DM_LIST_DEVICES", 2, arg(), ArgDir::InOut),
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("DM_DEV_CREATE", 3, arg(), ArgDir::InOut)
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 0, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 0,
+                requires: 1,
+            },
             ..c("DM_DEV_REMOVE", 4, arg(), ArgDir::In)
         },
         c("DM_DEV_RENAME", 5, arg(), ArgDir::In),
@@ -211,7 +232,10 @@ pub fn dm() -> Blueprint {
         c("DM_DEV_STATUS", 7, arg(), ArgDir::InOut),
         c("DM_DEV_WAIT", 8, arg(), ArgDir::InOut),
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("DM_TABLE_LOAD", 9, arg(), ArgDir::In)
         },
         c("DM_TABLE_CLEAR", 10, arg(), ArgDir::In),
@@ -267,7 +291,8 @@ pub fn cec() -> Blueprint {
         0x61, // 'a'
         "drivers/media/cec/core/cec-api.c",
     );
-    bp.comment = Some("HDMI CEC adapter control: logical addresses, message transmit/receive".into());
+    bp.comment =
+        Some("HDMI CEC adapter control: logical addresses, message transmit/receive".into());
     bp.structs = vec![
         st(
             "cec_caps",
@@ -287,9 +312,16 @@ pub fn cec() -> Blueprint {
                 p("cec_version", FieldTy::U8),
                 r("num_log_addrs", FieldTy::U8, FieldRole::CheckedRange(0, 4)),
                 p("vendor_id", FieldTy::U32),
-                r("flags", FieldTy::U32, FieldRole::Flags("cec_log_addrs_flags".into())),
+                r(
+                    "flags",
+                    FieldTy::U32,
+                    FieldRole::Flags("cec_log_addrs_flags".into()),
+                ),
                 p("osd_name", FieldTy::CharArray(15)),
-                p("primary_device_type", FieldTy::Array(Box::new(FieldTy::U8), 4)),
+                p(
+                    "primary_device_type",
+                    FieldTy::Array(Box::new(FieldTy::U8), 4),
+                ),
                 p("log_addr_type", FieldTy::Array(Box::new(FieldTy::U8), 4)),
             ],
         ),
@@ -330,15 +362,33 @@ pub fn cec() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CEC_ADAP_G_CAPS", 0, ArgKind::Struct("cec_caps".into()), ArgDir::Out)
+            ..c(
+                "CEC_ADAP_G_CAPS",
+                0,
+                ArgKind::Struct("cec_caps".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CEC_ADAP_G_LOG_ADDRS", 1, ArgKind::Struct("cec_log_addrs".into()), ArgDir::Out)
+            ..c(
+                "CEC_ADAP_G_LOG_ADDRS",
+                1,
+                ArgKind::Struct("cec_log_addrs".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("CEC_ADAP_S_LOG_ADDRS", 2, ArgKind::Struct("cec_log_addrs".into()), ArgDir::InOut)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "CEC_ADAP_S_LOG_ADDRS",
+                2,
+                ArgKind::Struct("cec_log_addrs".into()),
+                ArgDir::InOut,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
@@ -357,17 +407,40 @@ pub fn cec() -> Blueprint {
             ..c("CEC_S_MODE", 9, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
-            ..c("CEC_TRANSMIT", 5, ArgKind::Struct("cec_msg".into()), ArgDir::InOut)
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            ..c(
+                "CEC_TRANSMIT",
+                5,
+                ArgKind::Struct("cec_msg".into()),
+                ArgDir::InOut,
+            )
         },
-        c("CEC_RECEIVE", 6, ArgKind::Struct("cec_msg".into()), ArgDir::InOut),
+        c(
+            "CEC_RECEIVE",
+            6,
+            ArgKind::Struct("cec_msg".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CEC_DQEVENT", 7, ArgKind::Struct("cec_event".into()), ArgDir::InOut)
+            ..c(
+                "CEC_DQEVENT",
+                7,
+                ArgKind::Struct("cec_event".into()),
+                ArgDir::InOut,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CEC_ADAP_G_CONNECTOR_INFO", 10, ArgKind::Struct("cec_caps".into()), ArgDir::Out)
+            ..c(
+                "CEC_ADAP_G_CONNECTOR_INFO",
+                10,
+                ArgKind::Struct("cec_caps".into()),
+                ArgDir::Out,
+            )
         },
         c("CEC_S_RC_PASSTHRU", 11, ArgKind::Int, ArgDir::In),
     ];
@@ -430,15 +503,15 @@ pub fn btrfs_control() -> Blueprint {
     );
     bp.structs = vec![st(
         "btrfs_ioctl_vol_args",
-        vec![
-            p("fd", FieldTy::U64),
-            p("name", FieldTy::CharArray(4088)),
-        ],
+        vec![p("fd", FieldTy::U64), p("name", FieldTy::CharArray(4088))],
     )];
     let arg = || ArgKind::Struct("btrfs_ioctl_vol_args".into());
     bp.cmds = vec![
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("BTRFS_IOC_SCAN_DEV", 1, arg(), ArgDir::In)
         },
         c("BTRFS_IOC_FORGET_DEV", 5, arg(), ArgDir::In),
@@ -451,7 +524,10 @@ pub fn btrfs_control() -> Blueprint {
             ..c("BTRFS_IOC_GET_SUPPORTED_FEATURES", 57, arg(), ArgDir::Out)
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("BTRFS_IOC_SNAP_CREATE", 50, arg(), ArgDir::In)
         },
     ];
@@ -506,14 +582,27 @@ pub fn ubi_ctrl() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("UBI_IOCATT", 64, ArgKind::Struct("ubi_attach_req".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "UBI_IOCATT",
+                64,
+                ArgKind::Struct("ubi_attach_req".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
             ..c("UBI_IOCDET", 65, ArgKind::Int, ArgDir::In)
         },
-        c("UBI_IOCVOLCR", 66, ArgKind::Struct("ubi_attach_req".into()), ArgDir::In),
+        c(
+            "UBI_IOCVOLCR",
+            66,
+            ArgKind::Struct("ubi_attach_req".into()),
+            ArgDir::In,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
             ..c("UBI_IOCRMVOL", 67, ArgKind::Int, ArgDir::In)
@@ -569,7 +658,12 @@ pub fn ptp() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("PTP_CLOCK_GETCAPS", 1, ArgKind::Struct("ptp_clock_caps".into()), ArgDir::Out)
+            ..c(
+                "PTP_CLOCK_GETCAPS",
+                1,
+                ArgKind::Struct("ptp_clock_caps".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
@@ -581,12 +675,20 @@ pub fn ptp() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("PTP_ENABLE_PPS", 4, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("PTP_SYS_OFFSET", 5, ArgKind::Struct("ptp_clock_caps".into()), ArgDir::InOut)
+            ..c(
+                "PTP_SYS_OFFSET",
+                5,
+                ArgKind::Struct("ptp_clock_caps".into()),
+                ArgDir::InOut,
+            )
         },
     ];
     bp.bugs = vec![bug(
@@ -659,7 +761,10 @@ pub fn dvb() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("DMX_START", 41, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -668,13 +773,29 @@ pub fn dvb() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("DMX_SET_FILTER", 43, ArgKind::Struct("dmx_sct_filter_params".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "DMX_SET_FILTER",
+                43,
+                ArgKind::Struct("dmx_sct_filter_params".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("DMX_SET_PES_FILTER", 44, ArgKind::Struct("dmx_pes_filter_params".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "DMX_SET_PES_FILTER",
+                44,
+                ArgKind::Struct("dmx_pes_filter_params".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
@@ -688,8 +809,18 @@ pub fn dvb() -> Blueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
             ..c("DMX_REMOVE_PID", 52, ArgKind::Int, ArgDir::In)
         },
-        c("DMX_REQBUFS", 60, ArgKind::Struct("dmx_requestbuffers".into()), ArgDir::InOut),
-        c("DMX_EXPBUF", 62, ArgKind::Struct("dmx_exportbuffer".into()), ArgDir::InOut),
+        c(
+            "DMX_REQBUFS",
+            60,
+            ArgKind::Struct("dmx_requestbuffers".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "DMX_EXPBUF",
+            62,
+            ArgKind::Struct("dmx_exportbuffer".into()),
+            ArgDir::InOut,
+        ),
     ];
     bp.bugs = vec![
         bug(
@@ -753,14 +884,30 @@ pub fn vep() -> Blueprint {
     )];
     bp.cmds = vec![
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("VEP_ENABLE", 1, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
-            ..c("VEP_QUEUE", 2, ArgKind::Struct("vep_request".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            ..c(
+                "VEP_QUEUE",
+                2,
+                ArgKind::Struct("vep_request".into()),
+                ArgDir::In,
+            )
         },
-        c("VEP_DEQUEUE", 3, ArgKind::Struct("vep_request".into()), ArgDir::In),
+        c(
+            "VEP_DEQUEUE",
+            3,
+            ArgKind::Struct("vep_request".into()),
+            ArgDir::In,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
             ..c("VEP_DISABLE", 4, ArgKind::None, ArgDir::In)
@@ -824,16 +971,39 @@ pub fn uvc() -> Blueprint {
         ),
     ];
     bp.cmds = vec![
-        c("VIDIOC_REQBUFS", 8, ArgKind::Struct("v4l2_requestbuffers".into()), ArgDir::InOut),
-        c("VIDIOC_QUERYBUF", 9, ArgKind::Struct("v4l2_requestbuffers".into()), ArgDir::InOut),
-        c("VIDIOC_S_FMT", 5, ArgKind::Struct("v4l2_format".into()), ArgDir::InOut),
+        c(
+            "VIDIOC_REQBUFS",
+            8,
+            ArgKind::Struct("v4l2_requestbuffers".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "VIDIOC_QUERYBUF",
+            9,
+            ArgKind::Struct("v4l2_requestbuffers".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "VIDIOC_S_FMT",
+            5,
+            ArgKind::Struct("v4l2_format".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("VIDIOC_G_FMT", 4, ArgKind::Struct("v4l2_format".into()), ArgDir::Out)
+            ..c(
+                "VIDIOC_G_FMT",
+                4,
+                ArgKind::Struct("v4l2_format".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("VIDIOC_STREAMON", 18, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
@@ -885,16 +1055,37 @@ pub fn blk_qos() -> Blueprint {
     )];
     bp.cmds = vec![
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("RQ_QOS_SET", 1, ArgKind::Struct("rq_qos_params".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "RQ_QOS_SET",
+                1,
+                ArgKind::Struct("rq_qos_params".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
-            ..c("RQ_QOS_THROTTLE", 2, ArgKind::Struct("rq_qos_params".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            ..c(
+                "RQ_QOS_THROTTLE",
+                2,
+                ArgKind::Struct("rq_qos_params".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("RQ_QOS_STAT", 3, ArgKind::Struct("rq_qos_params".into()), ArgDir::Out)
+            ..c(
+                "RQ_QOS_STAT",
+                3,
+                ArgKind::Struct("rq_qos_params".into()),
+                ArgDir::Out,
+            )
         },
     ];
     bp.bugs = vec![bug(
@@ -941,33 +1132,70 @@ pub fn capi20() -> Blueprint {
             vec![
                 p("level3cnt", FieldTy::U32),
                 r("datablkcnt", FieldTy::U32, FieldRole::CheckedRange(0, 441)),
-                r("datablklen", FieldTy::U32, FieldRole::CheckedRange(128, 2048)),
+                r(
+                    "datablklen",
+                    FieldTy::U32,
+                    FieldRole::CheckedRange(128, 2048),
+                ),
             ],
         ),
         small_cfg("capi_cfg"),
     ];
     bp.cmds = vec![
         CmdBlueprint {
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("CAPI_REGISTER", 1, ArgKind::Struct("capi_register_params".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "CAPI_REGISTER",
+                1,
+                ArgKind::Struct("capi_register_params".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CAPI_GET_MANUFACTURER", 6, ArgKind::Struct("capi_cfg".into()), ArgDir::InOut)
+            ..c(
+                "CAPI_GET_MANUFACTURER",
+                6,
+                ArgKind::Struct("capi_cfg".into()),
+                ArgDir::InOut,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CAPI_GET_VERSION", 7, ArgKind::Struct("capi_cfg".into()), ArgDir::InOut)
+            ..c(
+                "CAPI_GET_VERSION",
+                7,
+                ArgKind::Struct("capi_cfg".into()),
+                ArgDir::InOut,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CAPI_GET_SERIAL", 8, ArgKind::Struct("capi_cfg".into()), ArgDir::InOut)
+            ..c(
+                "CAPI_GET_SERIAL",
+                8,
+                ArgKind::Struct("capi_cfg".into()),
+                ArgDir::InOut,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("CAPI_GET_PROFILE", 9, ArgKind::Struct("capi_cfg".into()), ArgDir::InOut)
+            ..c(
+                "CAPI_GET_PROFILE",
+                9,
+                ArgKind::Struct("capi_cfg".into()),
+                ArgDir::InOut,
+            )
         },
-        c("CAPI_MANUFACTURER_CMD", 32, ArgKind::Struct("capi_cfg".into()), ArgDir::InOut),
+        c(
+            "CAPI_MANUFACTURER_CMD",
+            32,
+            ArgKind::Struct("capi_cfg".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
             ..c("CAPI_GET_ERRCODE", 33, ArgKind::Int, ArgDir::Out)
@@ -1031,15 +1259,45 @@ pub fn controlc() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("SNDRV_CTL_IOCTL_CARD_INFO", 1, ArgKind::Struct("snd_ctl_card_info".into()), ArgDir::Out)
+            ..c(
+                "SNDRV_CTL_IOCTL_CARD_INFO",
+                1,
+                ArgKind::Struct("snd_ctl_card_info".into()),
+                ArgDir::Out,
+            )
         },
-        c("SNDRV_CTL_IOCTL_ELEM_LIST", 16, ArgKind::Struct("snd_ctl_elem_list".into()), ArgDir::InOut),
-        c("SNDRV_CTL_IOCTL_ELEM_INFO", 17, ArgKind::Struct("snd_ctl_elem_list".into()), ArgDir::InOut),
-        c("SNDRV_CTL_IOCTL_ELEM_READ", 18, ArgKind::Struct("snd_ctl_elem_list".into()), ArgDir::InOut),
-        c("SNDRV_CTL_IOCTL_ELEM_WRITE", 19, ArgKind::Struct("snd_ctl_elem_list".into()), ArgDir::InOut),
+        c(
+            "SNDRV_CTL_IOCTL_ELEM_LIST",
+            16,
+            ArgKind::Struct("snd_ctl_elem_list".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "SNDRV_CTL_IOCTL_ELEM_INFO",
+            17,
+            ArgKind::Struct("snd_ctl_elem_list".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "SNDRV_CTL_IOCTL_ELEM_READ",
+            18,
+            ArgKind::Struct("snd_ctl_elem_list".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "SNDRV_CTL_IOCTL_ELEM_WRITE",
+            19,
+            ArgKind::Struct("snd_ctl_elem_list".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS", 22, ArgKind::Int, ArgDir::In)
+            ..c(
+                "SNDRV_CTL_IOCTL_SUBSCRIBE_EVENTS",
+                22,
+                ArgKind::Int,
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
@@ -1074,7 +1332,11 @@ pub fn fuse() -> Blueprint {
         "fuse_dev_clone_arg",
         vec![
             p("fd", FieldTy::U32),
-            r("flags", FieldTy::U32, FieldRole::Flags("fuse_clone_flags".into())),
+            r(
+                "flags",
+                FieldTy::U32,
+                FieldRole::Flags("fuse_clone_flags".into()),
+            ),
         ],
     )];
     bp.flag_sets = vec![(
@@ -1084,11 +1346,21 @@ pub fn fuse() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("FUSE_DEV_IOC_CLONE", 0, ArgKind::Struct("fuse_dev_clone_arg".into()), ArgDir::In)
+            ..c(
+                "FUSE_DEV_IOC_CLONE",
+                0,
+                ArgKind::Struct("fuse_dev_clone_arg".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("FUSE_DEV_IOC_BACKING_OPEN", 1, ArgKind::Struct("fuse_dev_clone_arg".into()), ArgDir::In)
+            ..c(
+                "FUSE_DEV_IOC_BACKING_OPEN",
+                1,
+                ArgKind::Struct("fuse_dev_clone_arg".into()),
+                ArgDir::In,
+            )
         },
     ];
     bp.existing = partial_imprecise(&["FUSE_DEV_IOC_CLONE", "FUSE_DEV_IOC_BACKING_OPEN"]);
@@ -1120,7 +1392,10 @@ pub fn hpet() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("HPET_IE_ON", 1, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -1129,7 +1404,12 @@ pub fn hpet() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("HPET_INFO", 3, ArgKind::Struct("hpet_info".into()), ArgDir::Out)
+            ..c(
+                "HPET_INFO",
+                3,
+                ArgKind::Struct("hpet_info".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
@@ -1141,7 +1421,10 @@ pub fn hpet() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("HPET_IRQFREQ", 6, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
@@ -1180,9 +1463,19 @@ pub fn i2c() -> Blueprint {
         craw("I2C_SLAVE_FORCE", 0x706, ArgKind::Int, ArgDir::In),
         craw("I2C_TENBIT", 0x704, ArgKind::Int, ArgDir::In),
         craw("I2C_FUNCS", 0x705, ArgKind::Int, ArgDir::Out),
-        craw("I2C_RDWR", 0x707, ArgKind::Struct("i2c_rdwr_ioctl_data".into()), ArgDir::In),
+        craw(
+            "I2C_RDWR",
+            0x707,
+            ArgKind::Struct("i2c_rdwr_ioctl_data".into()),
+            ArgDir::In,
+        ),
         craw("I2C_PEC", 0x708, ArgKind::Int, ArgDir::In),
-        craw("I2C_SMBUS", 0x720, ArgKind::Struct("i2c_rdwr_ioctl_data".into()), ArgDir::In),
+        craw(
+            "I2C_SMBUS",
+            0x720,
+            ArgKind::Struct("i2c_rdwr_ioctl_data".into()),
+            ArgDir::In,
+        ),
         craw("I2C_STAT", 0x721, ArgKind::Int, ArgDir::Out),
     ];
     bp.existing = ExistingSpec::Full;
@@ -1218,11 +1511,18 @@ pub fn kvm() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::CreatesFd { handler: "kvm_vm".into() },
+            effect: CmdEffect::CreatesFd {
+                handler: "kvm_vm".into(),
+            },
             blocks: 10,
             ..c("KVM_CREATE_VM", 1, ArgKind::Int, ArgDir::In)
         },
-        c("KVM_GET_MSR_INDEX_LIST", 2, ArgKind::Struct("kvm_msr_list".into()), ArgDir::InOut),
+        c(
+            "KVM_GET_MSR_INDEX_LIST",
+            2,
+            ArgKind::Struct("kvm_msr_list".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
             ..c("KVM_CHECK_EXTENSION", 3, ArgKind::Int, ArgDir::In)
@@ -1231,9 +1531,24 @@ pub fn kvm() -> Blueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
             ..c("KVM_GET_VCPU_MMAP_SIZE", 4, ArgKind::None, ArgDir::In)
         },
-        c("KVM_GET_SUPPORTED_CPUID", 5, ArgKind::Struct("kvm_msr_list".into()), ArgDir::InOut),
-        c("KVM_GET_EMULATED_CPUID", 9, ArgKind::Struct("kvm_msr_list".into()), ArgDir::InOut),
-        c("KVM_GET_MSR_FEATURE_INDEX_LIST", 10, ArgKind::Struct("kvm_msr_list".into()), ArgDir::InOut),
+        c(
+            "KVM_GET_SUPPORTED_CPUID",
+            5,
+            ArgKind::Struct("kvm_msr_list".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "KVM_GET_EMULATED_CPUID",
+            9,
+            ArgKind::Struct("kvm_msr_list".into()),
+            ArgDir::InOut,
+        ),
+        c(
+            "KVM_GET_MSR_FEATURE_INDEX_LIST",
+            10,
+            ArgKind::Struct("kvm_msr_list".into()),
+            ArgDir::InOut,
+        ),
     ];
     bp.existing = partial(&[
         "KVM_GET_API_VERSION",
@@ -1262,7 +1577,11 @@ pub fn kvm_vm() -> Blueprint {
         "kvm_userspace_memory_region",
         vec![
             r("slot", FieldTy::U32, FieldRole::CheckedRange(0, 32)),
-            r("flags", FieldTy::U32, FieldRole::Flags("kvm_mem_flags".into())),
+            r(
+                "flags",
+                FieldTy::U32,
+                FieldRole::Flags("kvm_mem_flags".into()),
+            ),
             p("guest_phys_addr", FieldTy::U64),
             p("memory_size", FieldTy::U64),
             p("userspace_addr", FieldTy::U64),
@@ -1279,14 +1598,24 @@ pub fn kvm_vm() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::CreatesFd { handler: "kvm_vcpu".into() },
+            effect: CmdEffect::CreatesFd {
+                handler: "kvm_vcpu".into(),
+            },
             blocks: 10,
             ..c("KVM_CREATE_VCPU", 0x41, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("KVM_SET_USER_MEMORY_REGION", 0x46, ArgKind::Struct("kvm_userspace_memory_region".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "KVM_SET_USER_MEMORY_REGION",
+                0x46,
+                ArgKind::Struct("kvm_userspace_memory_region".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
@@ -1296,7 +1625,12 @@ pub fn kvm_vm() -> Blueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
             ..c("KVM_IRQ_LINE", 0x61, ArgKind::Int, ArgDir::In)
         },
-        c("KVM_IOEVENTFD", 0x79, ArgKind::Struct("kvm_userspace_memory_region".into()), ArgDir::In),
+        c(
+            "KVM_IOEVENTFD",
+            0x79,
+            ArgKind::Struct("kvm_userspace_memory_region".into()),
+            ArgDir::In,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
             ..c("KVM_SET_TSS_ADDR", 0x47, ArgKind::Int, ArgDir::In)
@@ -1307,7 +1641,10 @@ pub fn kvm_vm() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("KVM_CREATE_PIT2", 0x77, ArgKind::Int, ArgDir::In)
         },
     ];
@@ -1342,34 +1679,70 @@ pub fn kvm_vcpu() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             blocks: 12,
             ..c("KVM_RUN", 0x80, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("KVM_GET_REGS", 0x81, ArgKind::Struct("kvm_regs".into()), ArgDir::Out)
+            ..c(
+                "KVM_GET_REGS",
+                0x81,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("KVM_SET_REGS", 0x82, ArgKind::Struct("kvm_regs".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "KVM_SET_REGS",
+                0x82,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("KVM_GET_SREGS", 0x83, ArgKind::Struct("kvm_regs".into()), ArgDir::Out)
+            ..c(
+                "KVM_GET_SREGS",
+                0x83,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("KVM_SET_SREGS", 0x84, ArgKind::Struct("kvm_regs".into()), ArgDir::In)
+            ..c(
+                "KVM_SET_SREGS",
+                0x84,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("KVM_GET_FPU", 0x8c, ArgKind::Struct("kvm_regs".into()), ArgDir::Out)
+            ..c(
+                "KVM_GET_FPU",
+                0x8c,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("KVM_SET_FPU", 0x8d, ArgKind::Struct("kvm_regs".into()), ArgDir::In)
+            ..c(
+                "KVM_SET_FPU",
+                0x8d,
+                ArgKind::Struct("kvm_regs".into()),
+                ArgDir::In,
+            )
         },
     ];
     bp
@@ -1419,8 +1792,16 @@ pub fn loop_dev() -> Blueprint {
             p("lo_offset", FieldTy::U64),
             p("lo_sizelimit", FieldTy::U64),
             p("lo_number", FieldTy::U32),
-            r("lo_encrypt_type", FieldTy::U32, FieldRole::CheckedRange(0, 32)),
-            r("lo_flags", FieldTy::U32, FieldRole::Flags("loop_flags".into())),
+            r(
+                "lo_encrypt_type",
+                FieldTy::U32,
+                FieldRole::CheckedRange(0, 32),
+            ),
+            r(
+                "lo_flags",
+                FieldTy::U32,
+                FieldRole::Flags("loop_flags".into()),
+            ),
             r("pad", FieldTy::U32, FieldRole::Reserved),
             p("lo_file_name", FieldTy::CharArray(64)),
         ],
@@ -1437,16 +1818,46 @@ pub fn loop_dev() -> Blueprint {
     bp.cmds = vec![
         craw("LOOP_SET_FD", 0x4c00, ArgKind::Int, ArgDir::In),
         craw("LOOP_CLR_FD", 0x4c01, ArgKind::None, ArgDir::In),
-        craw("LOOP_SET_STATUS64", 0x4c04, ArgKind::Struct("loop_info64".into()), ArgDir::In),
-        craw("LOOP_GET_STATUS64", 0x4c05, ArgKind::Struct("loop_info64".into()), ArgDir::Out),
+        craw(
+            "LOOP_SET_STATUS64",
+            0x4c04,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "LOOP_GET_STATUS64",
+            0x4c05,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::Out,
+        ),
         craw("LOOP_CHANGE_FD", 0x4c06, ArgKind::Int, ArgDir::In),
         craw("LOOP_SET_CAPACITY", 0x4c07, ArgKind::None, ArgDir::In),
         craw("LOOP_SET_DIRECT_IO", 0x4c08, ArgKind::Int, ArgDir::In),
         craw("LOOP_SET_BLOCK_SIZE", 0x4c09, ArgKind::Int, ArgDir::In),
-        craw("LOOP_CONFIGURE", 0x4c0a, ArgKind::Struct("loop_info64".into()), ArgDir::In),
-        craw("LOOP_SET_STATUS", 0x4c02, ArgKind::Struct("loop_info64".into()), ArgDir::In),
-        craw("LOOP_GET_STATUS", 0x4c03, ArgKind::Struct("loop_info64".into()), ArgDir::Out),
-        craw("LOOP_QUERY", 0x4c0b, ArgKind::Struct("loop_info64".into()), ArgDir::Out),
+        craw(
+            "LOOP_CONFIGURE",
+            0x4c0a,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "LOOP_SET_STATUS",
+            0x4c02,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "LOOP_GET_STATUS",
+            0x4c03,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "LOOP_QUERY",
+            0x4c0b,
+            ArgKind::Struct("loop_info64".into()),
+            ArgDir::Out,
+        ),
     ];
     bp.existing = ExistingSpec::Full;
     bp
@@ -1589,7 +2000,10 @@ pub fn ppp() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("PPPIOCNEWUNIT", 62, ArgKind::Int, ArgDir::InOut)
         },
         CmdBlueprint {
@@ -1616,7 +2030,12 @@ pub fn ppp() -> Blueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
             ..c("PPPIOCSFLAGS", 89, ArgKind::Int, ArgDir::In)
         },
-        c("PPPIOCSCOMPRESS", 77, ArgKind::Struct("ppp_option_data".into()), ArgDir::In),
+        c(
+            "PPPIOCSCOMPRESS",
+            77,
+            ArgKind::Struct("ppp_option_data".into()),
+            ArgDir::In,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
             ..c("PPPIOCGMRU", 83, ArgKind::Int, ArgDir::Out)
@@ -1631,7 +2050,12 @@ pub fn ppp() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("PPPIOCGIDLE", 63, ArgKind::Struct("ppp_option_data".into()), ArgDir::Out)
+            ..c(
+                "PPPIOCGIDLE",
+                63,
+                ArgKind::Struct("ppp_option_data".into()),
+                ArgDir::Out,
+            )
         },
     ];
     bp.existing = partial_imprecise(&[
@@ -1674,10 +2098,30 @@ pub fn ptmx() -> Blueprint {
         craw("TIOCSPTLCK", 0x40045431, ArgKind::Int, ArgDir::In),
         craw("TIOCGPTLCK", 0x80045439, ArgKind::Int, ArgDir::Out),
         craw("TIOCPKT", 0x5420, ArgKind::Int, ArgDir::In),
-        craw("TIOCGWINSZ", 0x5413, ArgKind::Struct("winsize".into()), ArgDir::Out),
-        craw("TIOCSWINSZ", 0x5414, ArgKind::Struct("winsize".into()), ArgDir::In),
-        craw("TCGETS", 0x5401, ArgKind::Struct("winsize".into()), ArgDir::Out),
-        craw("TCSETS", 0x5402, ArgKind::Struct("winsize".into()), ArgDir::In),
+        craw(
+            "TIOCGWINSZ",
+            0x5413,
+            ArgKind::Struct("winsize".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "TIOCSWINSZ",
+            0x5414,
+            ArgKind::Struct("winsize".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "TCGETS",
+            0x5401,
+            ArgKind::Struct("winsize".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "TCSETS",
+            0x5402,
+            ArgKind::Struct("winsize".into()),
+            ArgDir::In,
+        ),
         craw("TCFLSH", 0x540b, ArgKind::Int, ArgDir::In),
         craw("TIOCSIG", 0x40045436, ArgKind::Int, ArgDir::In),
         hidden(craw("TIOCLINUX", 0x541c, ArgKind::Int, ArgDir::In)),
@@ -1712,12 +2156,18 @@ pub fn qat_adf_ctl() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("IOCTL_CONFIG_SYS_RESOURCE_PARAMETERS", 0, arg(), ArgDir::In)
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("IOCTL_START_ACCEL_DEV", 1, arg(), ArgDir::In)
         },
         CmdBlueprint {
@@ -1767,7 +2217,11 @@ pub fn rfkill() -> Blueprint {
             ..c("RFKILL_IOCTL_GET_STATE", 3, ArgKind::Int, ArgDir::Out)
         },
     ];
-    bp.existing = partial(&["RFKILL_IOCTL_NOINPUT", "RFKILL_IOCTL_MAX_SIZE", "RFKILL_IOCTL_GET_STATE"]);
+    bp.existing = partial(&[
+        "RFKILL_IOCTL_NOINPUT",
+        "RFKILL_IOCTL_MAX_SIZE",
+        "RFKILL_IOCTL_GET_STATE",
+    ]);
     bp
 }
 
@@ -1816,19 +2270,39 @@ pub fn rtc() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("RTC_RD_TIME", 9, ArgKind::Struct("rtc_time".into()), ArgDir::Out)
+            ..c(
+                "RTC_RD_TIME",
+                9,
+                ArgKind::Struct("rtc_time".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("RTC_SET_TIME", 10, ArgKind::Struct("rtc_time".into()), ArgDir::In)
+            ..c(
+                "RTC_SET_TIME",
+                10,
+                ArgKind::Struct("rtc_time".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("RTC_ALM_READ", 8, ArgKind::Struct("rtc_time".into()), ArgDir::Out)
+            ..c(
+                "RTC_ALM_READ",
+                8,
+                ArgKind::Struct("rtc_time".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("RTC_ALM_SET", 7, ArgKind::Struct("rtc_time".into()), ArgDir::In)
+            ..c(
+                "RTC_ALM_SET",
+                7,
+                ArgKind::Struct("rtc_time".into()),
+                ArgDir::In,
+            )
         },
         hidden(CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
@@ -1859,7 +2333,11 @@ pub fn sg() -> Blueprint {
         "sg_io_hdr",
         vec![
             r("interface_id", FieldTy::U32, FieldRole::MagicCheck(0x53)),
-            r("dxfer_direction", FieldTy::U32, FieldRole::CheckedRange(0, 5)),
+            r(
+                "dxfer_direction",
+                FieldTy::U32,
+                FieldRole::CheckedRange(0, 5),
+            ),
             p("cmd_len", FieldTy::U8),
             p("mx_sb_len", FieldTy::U8),
             p("iovec_count", FieldTy::U16),
@@ -1880,14 +2358,24 @@ pub fn sg() -> Blueprint {
         ],
     )];
     bp.cmds = vec![
-        craw("SG_IO", 0x2285, ArgKind::Struct("sg_io_hdr".into()), ArgDir::InOut),
+        craw(
+            "SG_IO",
+            0x2285,
+            ArgKind::Struct("sg_io_hdr".into()),
+            ArgDir::InOut,
+        ),
         craw("SG_GET_VERSION_NUM", 0x2282, ArgKind::Int, ArgDir::Out),
         craw("SG_SET_TIMEOUT", 0x2201, ArgKind::Int, ArgDir::In),
         craw("SG_GET_TIMEOUT", 0x2202, ArgKind::None, ArgDir::In),
         craw("SG_EMULATED_HOST", 0x2203, ArgKind::Int, ArgDir::Out),
         craw("SG_SET_RESERVED_SIZE", 0x2275, ArgKind::Int, ArgDir::In),
         craw("SG_GET_RESERVED_SIZE", 0x2272, ArgKind::Int, ArgDir::Out),
-        craw("SG_GET_SCSI_ID", 0x2276, ArgKind::Struct("sg_io_hdr".into()), ArgDir::Out),
+        craw(
+            "SG_GET_SCSI_ID",
+            0x2276,
+            ArgKind::Struct("sg_io_hdr".into()),
+            ArgDir::Out,
+        ),
         craw("SG_SET_FORCE_PACK_ID", 0x227b, ArgKind::Int, ArgDir::In),
         craw("SG_GET_PACK_ID", 0x227c, ArgKind::Int, ArgDir::Out),
         craw("SG_GET_NUM_WAITING", 0x227d, ArgKind::Int, ArgDir::Out),
@@ -1927,7 +2415,10 @@ pub fn snapshot() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("SNAPSHOT_FREEZE", 1, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -1936,7 +2427,10 @@ pub fn snapshot() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("SNAPSHOT_CREATE_IMAGE", 17, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
@@ -1998,20 +2492,65 @@ pub fn sr() -> Blueprint {
     bp.cmds = vec![
         craw("CDROMPAUSE", 0x5301, ArgKind::None, ArgDir::In),
         craw("CDROMRESUME", 0x5302, ArgKind::None, ArgDir::In),
-        craw("CDROMPLAYMSF", 0x5303, ArgKind::Struct("cdrom_msf".into()), ArgDir::In),
-        craw("CDROMPLAYTRKIND", 0x5304, ArgKind::Struct("cdrom_msf".into()), ArgDir::In),
-        craw("CDROMREADTOCHDR", 0x5305, ArgKind::Struct("cdrom_msf".into()), ArgDir::Out),
-        craw("CDROMREADTOCENTRY", 0x5306, ArgKind::Struct("cdrom_msf".into()), ArgDir::InOut),
+        craw(
+            "CDROMPLAYMSF",
+            0x5303,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "CDROMPLAYTRKIND",
+            0x5304,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "CDROMREADTOCHDR",
+            0x5305,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "CDROMREADTOCENTRY",
+            0x5306,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::InOut,
+        ),
         craw("CDROMSTOP", 0x5307, ArgKind::None, ArgDir::In),
         craw("CDROMSTART", 0x5308, ArgKind::None, ArgDir::In),
         craw("CDROMEJECT", 0x5309, ArgKind::None, ArgDir::In),
-        craw("CDROMVOLCTRL", 0x530a, ArgKind::Struct("cdrom_msf".into()), ArgDir::In),
-        craw("CDROMSUBCHNL", 0x530b, ArgKind::Struct("cdrom_msf".into()), ArgDir::InOut),
+        craw(
+            "CDROMVOLCTRL",
+            0x530a,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "CDROMSUBCHNL",
+            0x530b,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::InOut,
+        ),
         craw("CDROMEJECT_SW", 0x530f, ArgKind::Int, ArgDir::In),
-        craw("CDROMMULTISESSION", 0x5310, ArgKind::Struct("cdrom_msf".into()), ArgDir::InOut),
-        craw("CDROM_GET_MCN", 0x5311, ArgKind::Struct("cdrom_msf".into()), ArgDir::Out),
+        craw(
+            "CDROMMULTISESSION",
+            0x5310,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::InOut,
+        ),
+        craw(
+            "CDROM_GET_MCN",
+            0x5311,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::Out,
+        ),
         craw("CDROMRESET", 0x5312, ArgKind::None, ArgDir::In),
-        craw("CDROMVOLREAD", 0x5313, ArgKind::Struct("cdrom_msf".into()), ArgDir::Out),
+        craw(
+            "CDROMVOLREAD",
+            0x5313,
+            ArgKind::Struct("cdrom_msf".into()),
+            ArgDir::Out,
+        ),
     ];
     bp.existing = partial(&["CDROMPAUSE"]);
     bp
@@ -2044,19 +2583,40 @@ pub fn sndtimer() -> Blueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
             ..c("SNDRV_TIMER_IOCTL_PVERSION", 0, ArgKind::Int, ArgDir::Out)
         },
-        c("SNDRV_TIMER_IOCTL_NEXT_DEVICE", 1, ArgKind::Struct("snd_timer_id".into()), ArgDir::InOut),
+        c(
+            "SNDRV_TIMER_IOCTL_NEXT_DEVICE",
+            1,
+            ArgKind::Struct("snd_timer_id".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("SNDRV_TIMER_IOCTL_SELECT", 16, ArgKind::Struct("snd_timer_id".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "SNDRV_TIMER_IOCTL_SELECT",
+                16,
+                ArgKind::Struct("snd_timer_id".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
-            ..c("SNDRV_TIMER_IOCTL_INFO", 17, ArgKind::Struct("snd_timer_id".into()), ArgDir::Out)
+            ..c(
+                "SNDRV_TIMER_IOCTL_INFO",
+                17,
+                ArgKind::Struct("snd_timer_id".into()),
+                ArgDir::Out,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("SNDRV_TIMER_IOCTL_START", 0xa0, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -2065,7 +2625,12 @@ pub fn sndtimer() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            ..c("SNDRV_TIMER_IOCTL_CONTINUE", 0xa2, ArgKind::None, ArgDir::In)
+            ..c(
+                "SNDRV_TIMER_IOCTL_CONTINUE",
+                0xa2,
+                ArgKind::None,
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
@@ -2097,7 +2662,11 @@ pub fn udmabuf() -> Blueprint {
             "udmabuf_create",
             vec![
                 p("memfd", FieldTy::U32),
-                r("flags", FieldTy::U32, FieldRole::Flags("udmabuf_flags".into())),
+                r(
+                    "flags",
+                    FieldTy::U32,
+                    FieldRole::Flags("udmabuf_flags".into()),
+                ),
                 p("offset", FieldTy::U64),
                 p("size", FieldTy::U64),
             ],
@@ -2105,9 +2674,16 @@ pub fn udmabuf() -> Blueprint {
         st(
             "udmabuf_create_list",
             vec![
-                r("flags", FieldTy::U32, FieldRole::Flags("udmabuf_flags".into())),
+                r(
+                    "flags",
+                    FieldTy::U32,
+                    FieldRole::Flags("udmabuf_flags".into()),
+                ),
                 r("count", FieldTy::U32, FieldRole::LenOf("list".into())),
-                p("list", FieldTy::FlexArray(Box::new(FieldTy::Struct("udmabuf_create".into())))),
+                p(
+                    "list",
+                    FieldTy::FlexArray(Box::new(FieldTy::Struct("udmabuf_create".into()))),
+                ),
             ],
         ),
     ];
@@ -2118,11 +2694,21 @@ pub fn udmabuf() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("UDMABUF_CREATE", 0x42, ArgKind::Struct("udmabuf_create".into()), ArgDir::In)
+            ..c(
+                "UDMABUF_CREATE",
+                0x42,
+                ArgKind::Struct("udmabuf_create".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("UDMABUF_CREATE_LIST", 0x43, ArgKind::Struct("udmabuf_create_list".into()), ArgDir::In)
+            ..c(
+                "UDMABUF_CREATE_LIST",
+                0x43,
+                ArgKind::Struct("udmabuf_create_list".into()),
+                ArgDir::In,
+            )
         },
     ];
     bp.existing = partial(&["UDMABUF_CREATE", "UDMABUF_CREATE_LIST"]);
@@ -2155,12 +2741,23 @@ pub fn uinput() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
-            ..c("UI_DEV_SETUP", 3, ArgKind::Struct("uinput_setup".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            ..c(
+                "UI_DEV_SETUP",
+                3,
+                ArgKind::Struct("uinput_setup".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("UI_DEV_CREATE", 1, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -2245,11 +2842,21 @@ pub fn usbmon() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("MON_IOCX_GET", 6, ArgKind::Struct("mon_bin_get".into()), ArgDir::In)
+            ..c(
+                "MON_IOCX_GET",
+                6,
+                ArgKind::Struct("mon_bin_get".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("MON_IOCX_GETX", 10, ArgKind::Struct("mon_bin_get".into()), ArgDir::In)
+            ..c(
+                "MON_IOCX_GETX",
+                10,
+                ArgKind::Struct("mon_bin_get".into()),
+                ArgDir::In,
+            )
         },
     ];
     bp.existing = partial(&[
@@ -2284,7 +2891,10 @@ pub fn vhost_net() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("VHOST_SET_OWNER", 1, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
@@ -2301,17 +2911,40 @@ pub fn vhost_net() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
-            ..c("VHOST_SET_VRING_NUM", 0x10, ArgKind::Struct("vhost_vring_state".into()), ArgDir::In)
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            ..c(
+                "VHOST_SET_VRING_NUM",
+                0x10,
+                ArgKind::Struct("vhost_vring_state".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("VHOST_SET_VRING_BASE", 0x12, ArgKind::Struct("vhost_vring_state".into()), ArgDir::In)
+            ..c(
+                "VHOST_SET_VRING_BASE",
+                0x12,
+                ArgKind::Struct("vhost_vring_state".into()),
+                ArgDir::In,
+            )
         },
-        c("VHOST_GET_VRING_BASE", 0x12, ArgKind::Struct("vhost_vring_state".into()), ArgDir::InOut),
+        c(
+            "VHOST_GET_VRING_BASE",
+            0x12,
+            ArgKind::Struct("vhost_vring_state".into()),
+            ArgDir::InOut,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("VHOST_NET_SET_BACKEND", 0x30, ArgKind::Struct("vhost_vring_state".into()), ArgDir::In)
+            ..c(
+                "VHOST_NET_SET_BACKEND",
+                0x30,
+                ArgKind::Struct("vhost_vring_state".into()),
+                ArgDir::In,
+            )
         },
         hidden(CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
@@ -2342,7 +2975,11 @@ pub fn vhost_vsock() -> Blueprint {
         "vhost_vring_addr",
         vec![
             r("index", FieldTy::U32, FieldRole::CheckedRange(0, 2)),
-            r("flags", FieldTy::U32, FieldRole::Flags("vring_addr_flags".into())),
+            r(
+                "flags",
+                FieldTy::U32,
+                FieldRole::Flags("vring_addr_flags".into()),
+            ),
             p("desc_user_addr", FieldTy::U64),
             p("used_user_addr", FieldTy::U64),
             p("avail_user_addr", FieldTy::U64),
@@ -2356,12 +2993,18 @@ pub fn vhost_vsock() -> Blueprint {
     bp.cmds = vec![
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 0 },
-            effect: CmdEffect::StateStep { sets: 1, requires: 0 },
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
             ..c("VHOST_VSOCK_SET_OWNER", 1, ArgKind::None, ArgDir::In)
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            effect: CmdEffect::StateStep { sets: 2, requires: 1 },
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
             ..c("VHOST_VSOCK_SET_GUEST_CID", 0x60, ArgKind::Int, ArgDir::In)
         },
         CmdBlueprint {
@@ -2370,7 +3013,12 @@ pub fn vhost_vsock() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("VHOST_VSOCK_SET_VRING_ADDR", 0x11, ArgKind::Struct("vhost_vring_addr".into()), ArgDir::In)
+            ..c(
+                "VHOST_VSOCK_SET_VRING_ADDR",
+                0x11,
+                ArgKind::Struct("vhost_vring_addr".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
@@ -2382,11 +3030,21 @@ pub fn vhost_vsock() -> Blueprint {
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("VHOST_VSOCK_SET_VRING_KICK", 0x20, ArgKind::Struct("vhost_vring_addr".into()), ArgDir::In)
+            ..c(
+                "VHOST_VSOCK_SET_VRING_KICK",
+                0x20,
+                ArgKind::Struct("vhost_vring_addr".into()),
+                ArgDir::In,
+            )
         },
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 1 },
-            ..c("VHOST_VSOCK_SET_VRING_CALL", 0x21, ArgKind::Struct("vhost_vring_addr".into()), ArgDir::In)
+            ..c(
+                "VHOST_VSOCK_SET_VRING_CALL",
+                0x21,
+                ArgKind::Struct("vhost_vring_addr".into()),
+                ArgDir::In,
+            )
         },
     ];
     bp.existing = partial(&["VHOST_VSOCK_SET_OWNER", "VHOST_VSOCK_SET_GUEST_CID"]);
@@ -2417,13 +3075,48 @@ pub fn vmci() -> Blueprint {
         vec![("VMCI_PRIVILEGED".into(), 1), ("VMCI_RESTRICTED".into(), 2)],
     )];
     bp.cmds = vec![
-        craw("IOCTL_VMCI_INIT_CONTEXT", 0x7a0, ArgKind::Struct("vmci_init_blk".into()), ArgDir::In),
-        craw("IOCTL_VMCI_DATAGRAM_SEND", 0x7a7, ArgKind::Struct("vmci_init_blk".into()), ArgDir::In),
-        craw("IOCTL_VMCI_DATAGRAM_RECEIVE", 0x7a8, ArgKind::Struct("vmci_init_blk".into()), ArgDir::Out),
-        craw("IOCTL_VMCI_CTX_ADD_NOTIFICATION", 0x7ab, ArgKind::Int, ArgDir::In),
-        craw("IOCTL_VMCI_CTX_REMOVE_NOTIFICATION", 0x7ac, ArgKind::Int, ArgDir::In),
-        craw("IOCTL_VMCI_CTX_GET_CPT_STATE", 0x7ad, ArgKind::Struct("vmci_init_blk".into()), ArgDir::Out),
-        craw("IOCTL_VMCI_GET_CONTEXT_ID", 0x7b4, ArgKind::Int, ArgDir::Out),
+        craw(
+            "IOCTL_VMCI_INIT_CONTEXT",
+            0x7a0,
+            ArgKind::Struct("vmci_init_blk".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "IOCTL_VMCI_DATAGRAM_SEND",
+            0x7a7,
+            ArgKind::Struct("vmci_init_blk".into()),
+            ArgDir::In,
+        ),
+        craw(
+            "IOCTL_VMCI_DATAGRAM_RECEIVE",
+            0x7a8,
+            ArgKind::Struct("vmci_init_blk".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "IOCTL_VMCI_CTX_ADD_NOTIFICATION",
+            0x7ab,
+            ArgKind::Int,
+            ArgDir::In,
+        ),
+        craw(
+            "IOCTL_VMCI_CTX_REMOVE_NOTIFICATION",
+            0x7ac,
+            ArgKind::Int,
+            ArgDir::In,
+        ),
+        craw(
+            "IOCTL_VMCI_CTX_GET_CPT_STATE",
+            0x7ad,
+            ArgKind::Struct("vmci_init_blk".into()),
+            ArgDir::Out,
+        ),
+        craw(
+            "IOCTL_VMCI_GET_CONTEXT_ID",
+            0x7b4,
+            ArgKind::Int,
+            ArgDir::Out,
+        ),
         craw("IOCTL_VMCI_VERSION2", 0x7a4, ArgKind::Int, ArgDir::In),
     ];
     bp.existing = partial(&[
@@ -2450,7 +3143,12 @@ pub fn vsock_dev() -> Blueprint {
         "net/vmw_vsock/af_vsock.c",
     );
     bp.cmds = vec![
-        craw("IOCTL_VM_SOCKETS_GET_LOCAL_CID", 0x7b9, ArgKind::Int, ArgDir::Out),
+        craw(
+            "IOCTL_VM_SOCKETS_GET_LOCAL_CID",
+            0x7b9,
+            ArgKind::Int,
+            ArgDir::Out,
+        ),
         CmdBlueprint {
             encoding: CmdEncoding::Ioc { dir: 2 },
             ..c("IOCTL_VM_SOCKETS_GET_VERSION", 0, ArgKind::Int, ArgDir::Out)
@@ -2488,7 +3186,11 @@ pub fn caif_stream() -> Blueprint {
     bp.structs = vec![sockaddr_of("caif", 37)];
     bp.cmds = vec![
         sockopt("CAIFSO_LINK_SELECT", 0x7f, ArgKind::Int),
-        sockopt("CAIFSO_REQ_PARAM", 0x80, ArgKind::Struct("sockaddr_caif".into())),
+        sockopt(
+            "CAIFSO_REQ_PARAM",
+            0x80,
+            ArgKind::Struct("sockaddr_caif".into()),
+        ),
     ];
     bp.existing = ExistingSpec::Partial {
         cmds: vec![],
@@ -2502,7 +3204,15 @@ pub fn caif_stream() -> Blueprint {
 /// case, plus a Table 4 leak via repeated sendto.
 #[must_use]
 pub fn l2tp_ip6() -> Blueprint {
-    let mut bp = sock("l2tp_ip6", "AF_INET6", 10, 2, 115, 273, "net/l2tp/l2tp_ip6.c");
+    let mut bp = sock(
+        "l2tp_ip6",
+        "AF_INET6",
+        10,
+        2,
+        115,
+        273,
+        "net/l2tp/l2tp_ip6.c",
+    );
     bp.structs = vec![
         sockaddr_of("l2tp_ip6", 10),
         st(
@@ -2578,19 +3288,44 @@ pub fn mptcp() -> Blueprint {
         ),
     ];
     bp.cmds = vec![
-        sockopt("MPTCP_INFO", 1, ArgKind::Struct("mptcp_subflow_addrs".into())),
-        sockopt("MPTCP_TCPINFO", 2, ArgKind::Struct("mptcp_subflow_addrs".into())),
-        sockopt("MPTCP_SUBFLOW_ADDRS", 3, ArgKind::Struct("mptcp_subflow_addrs".into())),
-        sockopt("MPTCP_FULL_INFO", 4, ArgKind::Struct("mptcp_subflow_addrs".into())),
+        sockopt(
+            "MPTCP_INFO",
+            1,
+            ArgKind::Struct("mptcp_subflow_addrs".into()),
+        ),
+        sockopt(
+            "MPTCP_TCPINFO",
+            2,
+            ArgKind::Struct("mptcp_subflow_addrs".into()),
+        ),
+        sockopt(
+            "MPTCP_SUBFLOW_ADDRS",
+            3,
+            ArgKind::Struct("mptcp_subflow_addrs".into()),
+        ),
+        sockopt(
+            "MPTCP_FULL_INFO",
+            4,
+            ArgKind::Struct("mptcp_subflow_addrs".into()),
+        ),
         sockopt("MPTCP_SCHEDULER", 5, ArgKind::Int),
         sockopt("MPTCP_ENABLED", 42, ArgKind::Int),
         sockopt("MPTCP_ADD_ADDR_TIMEOUT", 43, ArgKind::Int),
         sockopt("MPTCP_PM_TYPE", 44, ArgKind::Int),
     ];
     bp.existing = ExistingSpec::Partial {
-        cmds: vec!["MPTCP_INFO".into(), "MPTCP_ENABLED".into(), "MPTCP_PM_TYPE".into()],
+        cmds: vec![
+            "MPTCP_INFO".into(),
+            "MPTCP_ENABLED".into(),
+            "MPTCP_PM_TYPE".into(),
+        ],
         imprecise_types: false,
-        calls: vec![SockCall::Bind, SockCall::Connect, SockCall::Sendto, SockCall::Recvfrom],
+        calls: vec![
+            SockCall::Bind,
+            SockCall::Connect,
+            SockCall::Sendto,
+            SockCall::Recvfrom,
+        ],
     };
     bp
 }
@@ -2598,7 +3333,15 @@ pub fn mptcp() -> Blueprint {
 /// AF_PACKET socket — fully described by humans already (parity case).
 #[must_use]
 pub fn packet() -> Blueprint {
-    let mut bp = sock("packet", "AF_PACKET", 17, 3, 0x300, 263, "net/packet/af_packet.c");
+    let mut bp = sock(
+        "packet",
+        "AF_PACKET",
+        17,
+        3,
+        0x300,
+        263,
+        "net/packet/af_packet.c",
+    );
     bp.structs = vec![
         sockaddr_of("packet", 17),
         st(
@@ -2607,13 +3350,25 @@ pub fn packet() -> Blueprint {
                 p("tp_block_size", FieldTy::U32),
                 p("tp_block_nr", FieldTy::U32),
                 p("tp_frame_size", FieldTy::U32),
-                r("tp_frame_nr", FieldTy::U32, FieldRole::CheckedRange(0, 65536)),
+                r(
+                    "tp_frame_nr",
+                    FieldTy::U32,
+                    FieldRole::CheckedRange(0, 65536),
+                ),
             ],
         ),
     ];
     bp.cmds = vec![
-        sockopt("PACKET_ADD_MEMBERSHIP", 1, ArgKind::Struct("sockaddr_packet".into())),
-        sockopt("PACKET_DROP_MEMBERSHIP", 2, ArgKind::Struct("sockaddr_packet".into())),
+        sockopt(
+            "PACKET_ADD_MEMBERSHIP",
+            1,
+            ArgKind::Struct("sockaddr_packet".into()),
+        ),
+        sockopt(
+            "PACKET_DROP_MEMBERSHIP",
+            2,
+            ArgKind::Struct("sockaddr_packet".into()),
+        ),
         sockopt("PACKET_RX_RING", 5, ArgKind::Struct("tpacket_req".into())),
         sockopt("PACKET_TX_RING", 13, ArgKind::Struct("tpacket_req".into())),
         sockopt("PACKET_VERSION", 10, ArgKind::Int),
@@ -2626,7 +3381,15 @@ pub fn packet() -> Blueprint {
 /// Phonet datagram socket.
 #[must_use]
 pub fn phonet_dgram() -> Blueprint {
-    let mut bp = sock("phonet", "AF_PHONET", 35, 2, 0, 275, "net/phonet/datagram.c");
+    let mut bp = sock(
+        "phonet",
+        "AF_PHONET",
+        35,
+        2,
+        0,
+        275,
+        "net/phonet/datagram.c",
+    );
     bp.structs = vec![sockaddr_of("phonet", 35)];
     bp.cmds = vec![
         sockopt("PNPIPE_ENCAP", 1, ArgKind::Int),
@@ -2680,7 +3443,11 @@ pub fn rds() -> Blueprint {
                 p("vec_addr", FieldTy::U64),
                 p("vec_bytes", FieldTy::U64),
                 p("cookie_addr", FieldTy::U64),
-                r("flags", FieldTy::U64, FieldRole::Flags("rds_mr_flags".into())),
+                r(
+                    "flags",
+                    FieldTy::U64,
+                    FieldRole::Flags("rds_mr_flags".into()),
+                ),
             ],
         ),
     ];
@@ -2692,7 +3459,11 @@ pub fn rds() -> Blueprint {
         ],
     )];
     bp.cmds = vec![
-        sockopt("RDS_CANCEL_SENT_TO", 1, ArgKind::Struct("sockaddr_rds".into())),
+        sockopt(
+            "RDS_CANCEL_SENT_TO",
+            1,
+            ArgKind::Struct("sockaddr_rds".into()),
+        ),
         sockopt("RDS_GET_MR", 2, ArgKind::Struct("rds_get_mr_args".into())),
         sockopt("RDS_FREE_MR", 3, ArgKind::Struct("rds_get_mr_args".into())),
         sockopt("RDS_RECVERR", 5, ArgKind::Int),
@@ -2714,7 +3485,15 @@ pub fn rds() -> Blueprint {
 /// Bluetooth RFCOMM socket.
 #[must_use]
 pub fn rfcomm_sock() -> Blueprint {
-    let mut bp = sock("rfcomm", "AF_BLUETOOTH", 31, 1, 3, 18, "net/bluetooth/rfcomm/sock.c");
+    let mut bp = sock(
+        "rfcomm",
+        "AF_BLUETOOTH",
+        31,
+        1,
+        3,
+        18,
+        "net/bluetooth/rfcomm/sock.c",
+    );
     bp.structs = vec![sockaddr_of("rfcomm", 31)];
     bp.cmds = vec![
         sockopt("RFCOMM_LM", 3, ArgKind::Int),
@@ -2903,7 +3682,11 @@ mod tests {
                 .map(String::as_str)
                 .collect();
                 for name in cmd_names {
-                    assert!(bp.cmd(name).is_some(), "{}: trigger references {name}", bp.id);
+                    assert!(
+                        bp.cmd(name).is_some(),
+                        "{}: trigger references {name}",
+                        bp.id
+                    );
                 }
                 // Field triggers must reference real fields of the cmd's struct.
                 if let Trigger::FieldAbove { cmd, field, .. } | Trigger::FieldZero { cmd, field } =
@@ -2930,7 +3713,9 @@ mod tests {
         let create = kvm.cmd("KVM_CREATE_VM").unwrap();
         assert_eq!(
             create.effect,
-            CmdEffect::CreatesFd { handler: "kvm_vm".into() }
+            CmdEffect::CreatesFd {
+                handler: "kvm_vm".into()
+            }
         );
         assert!(all.iter().any(|b| b.id == "kvm_vm"));
         assert!(all.iter().any(|b| b.id == "kvm_vcpu"));

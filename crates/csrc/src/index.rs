@@ -1,7 +1,9 @@
 //! Symbol index over a set of parsed C files — the query surface behind
 //! `ExtractCode` in the paper's Algorithm 1.
 
-use crate::ast::{CArraySize, CEnumDef, CFile, CFunction, CItemKind, CStructDef, CType, CVarDef, MacroDef};
+use crate::ast::{
+    CArraySize, CEnumDef, CFile, CFunction, CItemKind, CStructDef, CType, CVarDef, MacroDef,
+};
 use std::collections::BTreeMap;
 
 /// Indexed collection of C files.
@@ -232,7 +234,10 @@ impl Corpus {
                 (8, 8)
             }
             other => {
-                if let Some(tag) = other.strip_prefix("struct ").or_else(|| other.strip_prefix("union ")) {
+                if let Some(tag) = other
+                    .strip_prefix("struct ")
+                    .or_else(|| other.strip_prefix("union "))
+                {
                     let def = self.struct_def(tag)?;
                     self.struct_size_align(def, depth + 1)?
                 } else if let Some(tag) = other.strip_prefix("enum ") {
@@ -320,9 +325,8 @@ mod tests {
 
     #[test]
     fn sizeof_scalars_and_structs() {
-        let c = corpus(
-            "struct inner { u64 x; };\nstruct s { u8 a; u32 b; u16 c; struct inner i; };\n",
-        );
+        let c =
+            corpus("struct inner { u64 x; };\nstruct s { u8 a; u32 b; u16 c; struct inner i; };\n");
         assert_eq!(c.sizeof_struct("inner"), Some(8));
         // a@0, b@4, c@8, pad, i@16 → 24
         assert_eq!(c.sizeof_struct("s"), Some(24));

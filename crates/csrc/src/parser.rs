@@ -8,8 +8,8 @@
 //! statements and the usual expression grammar.
 
 use crate::ast::{
-    CArraySize, CaseLabel, CEnumDef, CField, CFile, CFunction, CItem, CItemKind, CStructDef,
-    CType, CTypedef, CVarDef, Expr, MacroDef, Stmt, SwitchCase,
+    CArraySize, CEnumDef, CField, CFile, CFunction, CItem, CItemKind, CStructDef, CType, CTypedef,
+    CVarDef, CaseLabel, Expr, MacroDef, Stmt, SwitchCase,
 };
 use crate::token::{clex, CSpanned, CTok};
 use std::collections::BTreeSet;
@@ -40,11 +40,54 @@ const QUALIFIERS: &[&str] = &[
 ];
 
 const TYPE_KEYWORDS: &[&str] = &[
-    "void", "char", "short", "int", "long", "unsigned", "signed", "float", "double", "bool",
-    "u8", "u16", "u32", "u64", "s8", "s16", "s32", "s64", "__u8", "__u16", "__u32", "__u64",
-    "__s8", "__s16", "__s32", "__s64", "__le16", "__le32", "__le64", "__be16", "__be32",
-    "__be64", "uint", "ulong", "ushort", "uchar", "size_t", "ssize_t", "loff_t", "off_t",
-    "poll_t", "__poll_t", "dev_t", "pid_t", "uid_t", "gid_t", "uintptr_t", "intptr_t",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "unsigned",
+    "signed",
+    "float",
+    "double",
+    "bool",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "s8",
+    "s16",
+    "s32",
+    "s64",
+    "__u8",
+    "__u16",
+    "__u32",
+    "__u64",
+    "__s8",
+    "__s16",
+    "__s32",
+    "__s64",
+    "__le16",
+    "__le32",
+    "__le64",
+    "__be16",
+    "__be32",
+    "__be64",
+    "uint",
+    "ulong",
+    "ushort",
+    "uchar",
+    "size_t",
+    "ssize_t",
+    "loff_t",
+    "off_t",
+    "poll_t",
+    "__poll_t",
+    "dev_t",
+    "pid_t",
+    "uid_t",
+    "gid_t",
+    "uintptr_t",
+    "intptr_t",
 ];
 
 const STMT_KEYWORDS: &[&str] = &[
@@ -486,9 +529,7 @@ impl CParser {
                     // Unknown leading identifier used in type position
                     // (custom typedef the parser has not seen). Accept it
                     // only when followed by another identifier or `*`.
-                    if matches!(self.peek_at(1), Some(CTok::Ident(_)))
-                        || self.is_punct(1, "*")
-                    {
+                    if matches!(self.peek_at(1), Some(CTok::Ident(_))) || self.is_punct(1, "*") {
                         words.push(id.to_string());
                         self.pos += 1;
                         break;
@@ -1303,14 +1344,15 @@ static int handler(ulong arg) {
 
     #[test]
     fn parses_ternary_and_compound_assign() {
-        let f = parse_ok(
-            "static int f(int a) {\n    a += 2;\n    return a > 0 ? a : -a;\n}\n",
-        );
+        let f = parse_ok("static int f(int a) {\n    a += 2;\n    return a > 0 ? a : -a;\n}\n");
         let CItemKind::Function(func) = &f.items[0].kind else {
             panic!()
         };
         assert!(matches!(&func.body[0], Stmt::Expr(Expr::Assign { .. })));
-        assert!(matches!(&func.body[1], Stmt::Return(Some(Expr::Ternary { .. }))));
+        assert!(matches!(
+            &func.body[1],
+            Stmt::Return(Some(Expr::Ternary { .. }))
+        ));
     }
 
     #[test]

@@ -101,12 +101,12 @@ pub fn generate(plan: &SynthPlan, seed: u64) -> Vec<Blueprint> {
     let mut idx = 0usize;
 
     let push_driver = |out: &mut Vec<Blueprint>,
-                           rng: &mut StdRng,
-                           idx: &mut usize,
-                           loaded: bool,
-                           existing: Existing,
-                           friendly: bool,
-                           too_deep: bool| {
+                       rng: &mut StdRng,
+                       idx: &mut usize,
+                       loaded: bool,
+                       existing: Existing,
+                       friendly: bool,
+                       too_deep: bool| {
         out.push(gen_driver(rng, *idx, loaded, existing, friendly, too_deep));
         *idx += 1;
     };
@@ -122,15 +122,33 @@ pub fn generate(plan: &SynthPlan, seed: u64) -> Vec<Blueprint> {
             Existing::Partial
         };
         let friendly = i < plan.drivers_friendly.min(incomplete);
-        let too_deep = !friendly
-            && i < (plan.drivers_friendly + plan.drivers_too_deep).min(incomplete);
-        push_driver(&mut out, &mut rng, &mut idx, true, existing, friendly, too_deep);
+        let too_deep =
+            !friendly && i < (plan.drivers_friendly + plan.drivers_too_deep).min(incomplete);
+        push_driver(
+            &mut out, &mut rng, &mut idx, true, existing, friendly, too_deep,
+        );
     }
     for _ in 0..plan.drivers_loaded_complete {
-        push_driver(&mut out, &mut rng, &mut idx, true, Existing::Full, false, false);
+        push_driver(
+            &mut out,
+            &mut rng,
+            &mut idx,
+            true,
+            Existing::Full,
+            false,
+            false,
+        );
     }
     for _ in 0..plan.drivers_unloaded {
-        push_driver(&mut out, &mut rng, &mut idx, false, Existing::None, false, false);
+        push_driver(
+            &mut out,
+            &mut rng,
+            &mut idx,
+            false,
+            Existing::None,
+            false,
+            false,
+        );
     }
 
     // Sockets: the first `sockets_opaque` incomplete ones hide their
@@ -176,9 +194,17 @@ fn gen_driver(
     let id = format!("sdrv{idx}");
     let upper = id.to_uppercase();
     let (reg, dispatch, transform) = if friendly {
-        (RegStyle::MiscName, DispatchStyle::Switch, CmdTransform::None)
+        (
+            RegStyle::MiscName,
+            DispatchStyle::Switch,
+            CmdTransform::None,
+        )
     } else if too_deep {
-        (RegStyle::MiscName, DispatchStyle::Delegated(7), CmdTransform::None)
+        (
+            RegStyle::MiscName,
+            DispatchStyle::Delegated(7),
+            CmdTransform::None,
+        )
     } else if loaded && existing != Existing::Full {
         // Loaded-but-incomplete drivers are exactly the ones static
         // rules historically failed on — bias them hostile (lookup
@@ -454,8 +480,8 @@ mod tests {
         // Parsing all 700+ would be slow in debug; sample broadly.
         for bp in all.iter().step_by(17) {
             let src = emit_blueprint(bp);
-            let f = cparse(&bp.source_file, &src)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", bp.id));
+            let f =
+                cparse(&bp.source_file, &src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", bp.id));
             assert!(!f.items.is_empty());
         }
     }

@@ -1,12 +1,12 @@
 //! The coverage-guided fuzzing loop and campaign statistics.
 
-use crate::exec::execute;
+use crate::exec::{execute_with, ExecScratch};
 use crate::gen::Generator;
 use crate::program::Program;
 use kgpt_syzlang::{ConstDb, SpecDb, SpecFile};
-use kgpt_vkernel::VKernel;
+use kgpt_vkernel::{CoverageMap, VKernel};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Campaign parameters. Wall-clock budgets from the paper are scaled
 /// to execution counts (documented in EXPERIMENTS.md).
@@ -33,16 +33,20 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Crash title → (count, CVE).
+pub type CrashTally = BTreeMap<String, (u64, Option<String>)>;
+
 /// Outcome of a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
-    /// Union of covered blocks.
-    pub coverage: BTreeSet<u64>,
+    /// Union of covered blocks (dense bitmap; use
+    /// [`CoverageMap::to_btree_set`] for a sorted-set report view).
+    pub coverage: CoverageMap,
     /// Crash title → (count, CVE).
-    pub crashes: BTreeMap<String, (u64, Option<String>)>,
+    pub crashes: CrashTally,
     /// Programs executed.
     pub execs: u64,
-    /// Corpus size at the end.
+    /// Corpus size at the end (summed across shards when sharded).
     pub corpus_size: usize,
 }
 
@@ -58,6 +62,76 @@ impl CampaignResult {
     pub fn blocks(&self) -> usize {
         self.coverage.len()
     }
+}
+
+/// Cap on retained corpus entries; older entries are evicted
+/// first-in-first-out to bound memory on long campaigns.
+pub(crate) const CORPUS_CAP: usize = 2048;
+
+/// One worker's share of a campaign: the coverage-guided loop over
+/// `execs` executions seeded with `seed`. This is the single code
+/// path behind both [`Campaign`] and
+/// [`crate::shard::ShardedCampaign`], so a sharded run with one shard
+/// is bit-identical to a sequential run.
+pub(crate) fn run_worker(
+    kernel: &VKernel,
+    db: &SpecDb,
+    consts: &ConstDb,
+    config: &CampaignConfig,
+    execs: u64,
+    seed: u64,
+) -> WorkerResult {
+    let mut generator = Generator::new(db, consts, seed);
+    if let Some(enabled) = &config.enabled {
+        generator = generator.with_enabled(enabled.clone());
+    }
+    let mut coverage = CoverageMap::new();
+    let mut crashes: CrashTally = BTreeMap::new();
+    // Ring buffer: eviction drops the oldest entry in O(1) instead of
+    // the former `Vec::remove(0)` shift.
+    let mut corpus: VecDeque<Program> = VecDeque::new();
+    let mut scratch = ExecScratch::new(db, consts);
+    let mut rng_pick = seed;
+    for _ in 0..execs {
+        // 1-in-4 fresh generation; otherwise mutate a corpus entry.
+        rng_pick = rng_pick
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        let fresh = corpus.is_empty() || rng_pick.is_multiple_of(4);
+        let prog = if fresh {
+            generator.gen_program(config.max_prog_len)
+        } else {
+            let idx = (rng_pick >> 33) as usize % corpus.len();
+            generator.mutate(&corpus[idx], config.max_prog_len)
+        };
+        execute_with(kernel, &prog, &mut scratch);
+        if let Some(c) = &scratch.state.crash {
+            let e = crashes
+                .entry(c.title.clone())
+                .or_insert_with(|| (0, c.cve.clone()));
+            e.0 += 1;
+        }
+        let new_blocks = coverage.merge(&scratch.state.coverage);
+        if new_blocks > 0 {
+            corpus.push_back(prog);
+            if corpus.len() > CORPUS_CAP {
+                corpus.pop_front();
+            }
+        }
+    }
+    WorkerResult {
+        coverage,
+        crashes,
+        corpus_size: corpus.len(),
+    }
+}
+
+/// Mergeable result of one worker loop.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerResult {
+    pub(crate) coverage: CoverageMap,
+    pub(crate) crashes: CrashTally,
+    pub(crate) corpus_size: usize,
 }
 
 /// A configured campaign over one spec suite and one kernel.
@@ -94,47 +168,19 @@ impl<'a> Campaign<'a> {
     /// Run the coverage-guided loop.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
-        let mut generator = Generator::new(&self.db, self.consts, self.config.seed);
-        if let Some(enabled) = &self.config.enabled {
-            generator = generator.with_enabled(enabled.clone());
-        }
-        let mut coverage: BTreeSet<u64> = BTreeSet::new();
-        let mut crashes: BTreeMap<String, (u64, Option<String>)> = BTreeMap::new();
-        let mut corpus: Vec<Program> = Vec::new();
-        let mut rng_pick = self.config.seed;
-        for i in 0..self.config.execs {
-            // 1-in-4 fresh generation; otherwise mutate a corpus entry.
-            rng_pick = rng_pick
-                .wrapping_mul(6_364_136_223_846_793_005)
-                .wrapping_add(1);
-            let fresh = corpus.is_empty() || rng_pick % 4 == 0;
-            let prog = if fresh {
-                generator.gen_program(self.config.max_prog_len)
-            } else {
-                let idx = (rng_pick >> 33) as usize % corpus.len();
-                generator.mutate(&corpus[idx], self.config.max_prog_len)
-            };
-            let result = execute(self.kernel, &self.db, self.consts, &prog);
-            if let Some(c) = result.crash {
-                let e = crashes.entry(c.title).or_insert((0, c.cve));
-                e.0 += 1;
-            }
-            let new_blocks = result.coverage.difference(&coverage).count();
-            if new_blocks > 0 {
-                coverage.extend(result.coverage);
-                corpus.push(prog);
-                // Light corpus cap to bound memory on long campaigns.
-                if corpus.len() > 2048 {
-                    corpus.remove(0);
-                }
-            }
-            let _ = i;
-        }
+        let w = run_worker(
+            self.kernel,
+            &self.db,
+            self.consts,
+            &self.config,
+            self.config.execs,
+            self.config.seed,
+        );
         CampaignResult {
-            coverage,
-            crashes,
+            coverage: w.coverage,
+            crashes: w.crashes,
             execs: self.config.execs,
-            corpus_size: corpus.len(),
+            corpus_size: w.corpus_size,
         }
     }
 }

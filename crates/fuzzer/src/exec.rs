@@ -1,16 +1,23 @@
 //! Program execution: lower to registers + memory, run on the kernel.
+//!
+//! The hot entry point is [`execute_with`], which runs a program
+//! against caller-owned [`ExecScratch`] — VM state, encoder, memory
+//! image and return-value buffer are all reused across executions, so
+//! a campaign's steady-state loop performs no per-program heap
+//! allocation beyond what the generated values themselves own. The
+//! [`execute`] convenience wrapper allocates a one-shot scratch and
+//! returns an owned [`ExecResult`].
 
 use crate::program::Program;
 use kgpt_syzlang::value::{MemBuilder, ResRef};
 use kgpt_syzlang::{ConstDb, SpecDb};
-use kgpt_vkernel::{CrashReport, MemMap, VKernel, VmState};
-use std::collections::BTreeSet;
+use kgpt_vkernel::{CoverageMap, CrashReport, MemMap, VKernel, VmState};
 
 /// Result of executing one program.
 #[derive(Debug, Clone)]
 pub struct ExecResult {
     /// Blocks covered by this program.
-    pub coverage: BTreeSet<u64>,
+    pub coverage: CoverageMap,
     /// Crash triggered, if any.
     pub crash: Option<CrashReport>,
     /// Per-call return values (calls after a crash are skipped and
@@ -18,77 +25,123 @@ pub struct ExecResult {
     pub rets: Vec<i64>,
 }
 
-/// Execute a program against a fresh VM state.
+/// Reusable per-worker execution state. Create once per fuzzing
+/// thread; every [`execute_with`] call resets and reuses it.
+pub struct ExecScratch<'a> {
+    db: &'a SpecDb,
+    /// Per-program VM state; readable after `execute_with` returns.
+    pub state: VmState,
+    /// Per-call return values of the last executed program.
+    pub rets: Vec<i64>,
+    mb: MemBuilder<'a>,
+    mem: MemMap,
+    /// Segment vector shuttling between encoder and memory image so
+    /// retired buffers flow back into the encoder's pool.
+    shuttle: Vec<(u64, Vec<u8>)>,
+}
+
+impl<'a> ExecScratch<'a> {
+    /// Fresh scratch over a spec database and constant table.
+    #[must_use]
+    pub fn new(db: &'a SpecDb, consts: &'a ConstDb) -> ExecScratch<'a> {
+        ExecScratch {
+            db,
+            state: VmState::new(),
+            rets: Vec::new(),
+            mb: MemBuilder::new(db, consts),
+            mem: MemMap::new(),
+            shuttle: Vec::new(),
+        }
+    }
+}
+
+/// Execute a program against a fresh VM state (one-shot convenience
+/// wrapper over [`execute_with`]).
 #[must_use]
-pub fn execute(
-    kernel: &VKernel,
-    db: &SpecDb,
-    consts: &ConstDb,
-    prog: &Program,
-) -> ExecResult {
-    let mut state = VmState::new();
-    let mut rets: Vec<i64> = Vec::with_capacity(prog.calls.len());
+pub fn execute(kernel: &VKernel, db: &SpecDb, consts: &ConstDb, prog: &Program) -> ExecResult {
+    let mut scratch = ExecScratch::new(db, consts);
+    execute_with(kernel, prog, &mut scratch);
+    ExecResult {
+        coverage: std::mem::take(&mut scratch.state.coverage),
+        crash: scratch.state.crash.take(),
+        rets: std::mem::take(&mut scratch.rets),
+    }
+}
+
+/// Execute a program, reusing `scratch` across calls. Afterwards,
+/// `scratch.state.coverage`, `scratch.state.crash` and `scratch.rets`
+/// hold the program's outcome until the next invocation.
+pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch<'_>) {
+    scratch.state.reset();
+    scratch.rets.clear();
+    let db = scratch.db;
     for call in &prog.calls {
-        if state.crash.is_some() {
-            rets.push(-kgpt_vkernel::errno::EFAULT);
+        if scratch.state.crash.is_some() {
+            scratch.rets.push(-kgpt_vkernel::errno::EFAULT);
             continue;
         }
-        let resolve = |r: &ResRef| -> u64 {
-            match r.producer.and_then(|i| rets.get(i)) {
-                Some(v) if *v >= 0 => *v as u64,
-                _ => r.fallback,
-            }
-        };
-        let mut mb = MemBuilder::new(db, consts);
+        let sys = call.syscall(db);
+        // Restart the encoder's address space; any segments still in
+        // it (from an aborted encode) are recycled into its pool.
+        scratch.mb.reset();
         let mut regs = [0u64; 6];
         let mut ok = true;
-        for (i, (param, value)) in call.syscall.params.iter().zip(&call.args).enumerate() {
-            if i >= 6 {
-                break;
-            }
-            match mb.encode_arg(&param.ty, value, &resolve) {
-                Ok(v) => regs[i] = v,
-                Err(_) => {
-                    ok = false;
+        {
+            let rets = &scratch.rets;
+            let resolve = |r: &ResRef| -> u64 {
+                match r.producer.and_then(|i| rets.get(i)) {
+                    Some(v) if *v >= 0 => *v as u64,
+                    _ => r.fallback,
+                }
+            };
+            for (i, (param, value)) in sys.params.iter().zip(&call.args).enumerate() {
+                if i >= 6 {
                     break;
+                }
+                match scratch.mb.encode_arg(&param.ty, value, &resolve) {
+                    Ok(v) => regs[i] = v,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
                 }
             }
         }
         if !ok {
-            rets.push(-kgpt_vkernel::errno::EINVAL);
+            scratch.rets.push(-kgpt_vkernel::errno::EINVAL);
             continue;
         }
         // Auto-fill top-level len/bytesize parameters from the encoded
         // sibling (`setsockopt(..., val, len)`): the encoder fills them
         // inside structs, but register-level lens refer to the pointee
-        // segment size.
-        let segments = mb.into_segments();
-        for (i, param) in call.syscall.params.iter().enumerate().take(6) {
+        // segment size. Segments are address-sorted, so the lookup is
+        // a binary search.
+        let segments = scratch.mb.segments();
+        for (i, param) in sys.params.iter().enumerate().take(6) {
             if let kgpt_syzlang::Type::Bytesize { target, .. }
             | kgpt_syzlang::Type::Len { target, .. } = &param.ty
             {
-                if let Some((ti, _)) = call
-                    .syscall
+                if let Some((ti, _)) = sys
                     .params
                     .iter()
                     .enumerate()
                     .find(|(_, p)| &p.name == target)
                 {
                     let addr = regs[ti];
-                    if let Some((_, bytes)) = segments.iter().find(|(a, _)| *a == addr) {
-                        regs[i] = bytes.len() as u64;
+                    if let Ok(si) = segments.binary_search_by_key(&addr, |s| s.0) {
+                        regs[i] = segments[si].1.len() as u64;
                     }
                 }
             }
         }
-        let mem = MemMap::from_segments(segments);
-        let ret = kernel.exec_call(&mut state, &call.syscall.base, &regs, &mem);
-        rets.push(ret);
-    }
-    ExecResult {
-        coverage: state.coverage,
-        crash: state.crash,
-        rets,
+        // Move the encoded segments into the memory image; the image's
+        // previous segments land back in the encoder for recycling on
+        // the next `reset`.
+        scratch.mb.swap_segments(&mut scratch.shuttle);
+        scratch.mem.load(&mut scratch.shuttle);
+        scratch.mb.recycle(&mut scratch.shuttle);
+        let ret = kernel.exec_call(&mut scratch.state, &sys.base, &regs, &scratch.mem);
+        scratch.rets.push(ret);
     }
 }
 
@@ -98,6 +151,7 @@ mod tests {
     use crate::gen::Generator;
     use kgpt_csrc::KernelCorpus;
     use kgpt_vkernel::VKernel;
+    use std::collections::BTreeSet;
 
     #[test]
     fn generated_dm_programs_reach_coverage() {
@@ -116,17 +170,35 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_one_shot_execution() {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let mut g = Generator::new(&db, kc.consts(), 23);
+        let progs: Vec<Program> = (0..100).map(|_| g.gen_program(8)).collect();
+        let mut scratch = ExecScratch::new(&db, kc.consts());
+        for p in &progs {
+            let one_shot = execute(&kernel, &db, kc.consts(), p);
+            execute_with(&kernel, p, &mut scratch);
+            assert_eq!(scratch.state.coverage, one_shot.coverage);
+            assert_eq!(scratch.state.crash, one_shot.crash);
+            assert_eq!(scratch.rets, one_shot.rets);
+        }
+    }
+
+    #[test]
     fn truth_spec_triggers_dm_bugs_eventually() {
         let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
         let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
         let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
         let mut g = Generator::new(&db, kc.consts(), 5);
         let mut titles = BTreeSet::new();
+        let mut scratch = ExecScratch::new(&db, kc.consts());
         for _ in 0..3000 {
             let p = g.gen_program(8);
-            let r = execute(&kernel, &db, kc.consts(), &p);
-            if let Some(c) = r.crash {
-                titles.insert(c.title);
+            execute_with(&kernel, &p, &mut scratch);
+            if let Some(c) = &scratch.state.crash {
+                titles.insert(c.title.clone());
             }
         }
         assert!(

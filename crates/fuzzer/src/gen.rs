@@ -1,9 +1,15 @@
 //! Spec-driven program generation and mutation.
+//!
+//! The generator is interning-based: syscalls are picked as dense
+//! [`SpecDb`] indices (no name `String` clone per pick), producer
+//! lists per resource are precomputed once at construction, and
+//! resource contexts are resolved by scanning the program under
+//! construction — the per-call path clones no specification AST.
 
 use crate::program::{ProgCall, Program};
 use kgpt_syzlang::ast::{ArrayLen, Dir, Type};
 use kgpt_syzlang::value::ResRef;
-use kgpt_syzlang::{ConstDb, SpecDb, Syscall, Value};
+use kgpt_syzlang::{ConstDb, SpecDb, Value};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
@@ -34,19 +40,39 @@ pub struct Generator<'a> {
     db: &'a SpecDb,
     consts: &'a ConstDb,
     rng: StdRng,
-    enabled: Vec<String>,
+    /// Enabled syscalls as dense database indices.
+    enabled: Vec<u32>,
+    /// Resource name → producing syscall indices, precomputed once.
+    producers: BTreeMap<String, Vec<u32>>,
 }
 
 impl<'a> Generator<'a> {
     /// Create a generator over all syscalls of the database.
     #[must_use]
     pub fn new(db: &'a SpecDb, consts: &'a ConstDb, seed: u64) -> Generator<'a> {
-        let enabled = db.syscalls().map(Syscall::name).collect();
+        // Precompute producer index lists for every resource consumed
+        // by a top-level parameter — the only lookups generation does.
+        let mut producers: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for sys in db.syscalls() {
+            for p in &sys.params {
+                if let Type::Resource(r) = &p.ty {
+                    if !producers.contains_key(r) && db.resource(r).is_some() {
+                        let list = db
+                            .producers_of(r)
+                            .filter_map(|s| db.syscall_index(&s.name()))
+                            .map(|i| i as u32)
+                            .collect();
+                        producers.insert(r.clone(), list);
+                    }
+                }
+            }
+        }
         Generator {
             db,
             consts,
             rng: StdRng::seed_from_u64(seed),
-            enabled,
+            enabled: (0..db.syscall_count() as u32).collect(),
+            producers,
         }
     }
 
@@ -54,8 +80,9 @@ impl<'a> Generator<'a> {
     #[must_use]
     pub fn with_enabled(mut self, enabled: Vec<String>) -> Generator<'a> {
         self.enabled = enabled
-            .into_iter()
-            .filter(|n| self.db.syscall(n).is_some())
+            .iter()
+            .filter_map(|n| self.db.syscall_index(n))
+            .map(|i| i as u32)
             .collect();
         self
     }
@@ -74,8 +101,8 @@ impl<'a> Generator<'a> {
             if self.enabled.is_empty() {
                 break;
             }
-            let name = self.enabled[self.rng.random_range(0..self.enabled.len())].clone();
-            self.append_call(&mut prog, &name, 0);
+            let pick = self.enabled[self.rng.random_range(0..self.enabled.len())];
+            self.append_call(&mut prog, pick, 0);
             if prog.len() >= max_len {
                 break;
             }
@@ -83,29 +110,36 @@ impl<'a> Generator<'a> {
         prog
     }
 
+    /// Index of the most recent call in `prog.calls[..upto]` whose
+    /// return value produces `resource`.
+    fn find_producer(&self, prog: &Program, upto: usize, resource: &str) -> Option<usize> {
+        let db = self.db;
+        prog.calls[..upto.min(prog.len())]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| c.syscall(db).ret.as_deref() == Some(resource))
+            .map(|(i, _)| i)
+    }
+
     /// Append a call (prepending producers for its resources).
-    fn append_call(&mut self, prog: &mut Program, name: &str, depth: usize) -> Option<usize> {
+    fn append_call(&mut self, prog: &mut Program, sys_idx: u32, depth: usize) -> Option<usize> {
         if depth > 6 || prog.len() > 24 {
             return None;
         }
-        let sys = self.db.syscall(name)?.clone();
-        // Resource context: resource name → producing call index.
-        let mut ctx: BTreeMap<String, usize> = BTreeMap::new();
-        for (i, c) in prog.calls.iter().enumerate() {
-            if let Some(r) = &c.syscall.ret {
-                ctx.insert(r.clone(), i);
-            }
-        }
+        let db = self.db;
+        let sys = db.syscall_at(sys_idx as usize);
         // Satisfy consumed resources.
         for p in &sys.params {
             if let Type::Resource(r) = &p.ty {
-                if !ctx.contains_key(r) && self.db.resource(r).is_some() {
-                    let producers: Vec<String> =
-                        self.db.producers_of(r).map(Syscall::name).collect();
-                    if let Some(pn) = producers.choose(&mut self.rng).cloned() {
-                        if let Some(idx) = self.append_call(prog, &pn, depth + 1) {
-                            ctx.insert(r.clone(), idx);
-                        }
+                if self.find_producer(prog, prog.len(), r).is_none() {
+                    if let Some(pick) = self
+                        .producers
+                        .get(r)
+                        .and_then(|list| list.choose(&mut self.rng))
+                        .copied()
+                    {
+                        self.append_call(prog, pick, depth + 1);
                     }
                 }
             }
@@ -113,14 +147,15 @@ impl<'a> Generator<'a> {
         let args = sys
             .params
             .iter()
-            .map(|p| self.gen_value(&p.ty, &ctx, 0))
+            .map(|p| self.gen_value(&p.ty, prog, prog.len(), 0))
             .collect();
-        prog.calls.push(ProgCall { syscall: sys, args });
+        prog.calls.push(ProgCall { sys: sys_idx, args });
         Some(prog.len() - 1)
     }
 
-    /// Generate a value for a type.
-    fn gen_value(&mut self, ty: &Type, ctx: &BTreeMap<String, usize>, depth: usize) -> Value {
+    /// Generate a value for a type, resolving resource references
+    /// against the first `upto` calls of `prog`.
+    fn gen_value(&mut self, ty: &Type, prog: &Program, upto: usize, depth: usize) -> Value {
         if depth > 12 {
             return Value::Int(0);
         }
@@ -164,17 +199,14 @@ impl<'a> Generator<'a> {
                 Value::Int(bits.truncate(acc))
             }
             Type::StringLit { values } => {
-                let s = values
-                    .choose(&mut self.rng)
-                    .cloned()
-                    .unwrap_or_default();
+                let s = values.choose(&mut self.rng).cloned().unwrap_or_default();
                 Value::Bytes(s.into_bytes())
             }
             Type::Ptr { elem, .. } => {
                 if self.rng.random_bool(0.03) {
                     Value::Ptr { pointee: None }
                 } else {
-                    Value::ptr_to(self.gen_value(elem, ctx, depth + 1))
+                    Value::ptr_to(self.gen_value(elem, prog, upto, depth + 1))
                 }
             }
             Type::Array { elem, len } => {
@@ -213,13 +245,13 @@ impl<'a> Generator<'a> {
                 }
                 let mut vs = Vec::with_capacity(n as usize);
                 for _ in 0..n {
-                    vs.push(self.gen_value(elem, ctx, depth + 1));
+                    vs.push(self.gen_value(elem, prog, upto, depth + 1));
                 }
                 Value::Group(vs)
             }
             Type::Len { .. } | Type::Bytesize { .. } => Value::Int(0), // auto-filled
             Type::Resource(r) => Value::Res(ResRef {
-                producer: ctx.get(r).copied(),
+                producer: self.find_producer(prog, upto, r),
                 // Dangling references land on small fds/ids sometimes.
                 fallback: if self.rng.random_bool(0.5) {
                     self.rng.random_range(0..6)
@@ -228,16 +260,16 @@ impl<'a> Generator<'a> {
                 },
             }),
             Type::Named(n) => {
-                let Some(def) = self.db.struct_def(n) else {
+                let db = self.db;
+                let Some(def) = db.struct_def(n) else {
                     return Value::Int(0);
                 };
-                let def = def.clone();
                 if def.is_union {
                     let arm = self.rng.random_range(0..def.fields.len().max(1));
                     let v = def
                         .fields
                         .get(arm)
-                        .map(|f| self.gen_value(&f.ty, ctx, depth + 1))
+                        .map(|f| self.gen_value(&f.ty, prog, upto, depth + 1))
                         .unwrap_or(Value::Int(0));
                     Value::Union {
                         arm,
@@ -247,7 +279,7 @@ impl<'a> Generator<'a> {
                     let vs = def
                         .fields
                         .iter()
-                        .map(|f| self.gen_value(&f.ty, ctx, depth + 1))
+                        .map(|f| self.gen_value(&f.ty, prog, upto, depth + 1))
                         .collect();
                     Value::Group(vs)
                 }
@@ -276,24 +308,19 @@ impl<'a> Generator<'a> {
             // Regenerate one argument of one call.
             0..=5 => {
                 let ci = self.rng.random_range(0..p.calls.len());
-                let ctx: BTreeMap<String, usize> = p.calls[..ci]
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, c)| c.syscall.ret.clone().map(|r| (r, i)))
-                    .collect();
-                let call = &mut p.calls[ci];
-                if !call.args.is_empty() {
-                    let ai = self.rng.random_range(0..call.args.len());
-                    let ty = call.syscall.params[ai].ty.clone();
-                    call.args[ai] = self.gen_value(&ty, &ctx, 0);
+                let n_args = p.calls[ci].args.len();
+                if n_args > 0 {
+                    let ai = self.rng.random_range(0..n_args);
+                    let ty = &self.db.syscall_at(p.calls[ci].sys as usize).params[ai].ty;
+                    let v = self.gen_value(ty, &p, ci, 0);
+                    p.calls[ci].args[ai] = v;
                 }
             }
             // Append a random enabled call.
             6..=8 => {
                 if !self.enabled.is_empty() && p.len() < max_len {
-                    let name =
-                        self.enabled[self.rng.random_range(0..self.enabled.len())].clone();
-                    self.append_call(&mut p, &name, 0);
+                    let pick = self.enabled[self.rng.random_range(0..self.enabled.len())];
+                    self.append_call(&mut p, pick, 0);
                 }
             }
             // Truncate.
@@ -336,11 +363,11 @@ mod tests {
             assert!(!p.is_empty());
             // Any ioctl must be preceded by its openat producer.
             for (i, c) in p.calls.iter().enumerate() {
-                if c.syscall.base == "ioctl" {
+                if c.syscall(&db).base == "ioctl" {
                     for r in c.args.iter().flat_map(Value::res_refs) {
                         if let Some(pi) = r.producer {
                             assert!(pi < i, "producer after consumer");
-                            assert_eq!(p.calls[pi].syscall.base, "openat");
+                            assert_eq!(p.calls[pi].syscall(&db).base, "openat");
                             saw_dependent = true;
                         }
                     }
@@ -373,7 +400,7 @@ mod tests {
         for _ in 0..10 {
             let p = g.gen_program(3);
             for c in &p.calls {
-                assert_eq!(c.syscall.name(), "openat$dm");
+                assert_eq!(c.syscall(&db).name(), "openat$dm");
             }
         }
     }
@@ -387,7 +414,7 @@ mod tests {
             p = g.mutate(&p, 8);
             assert!(p.len() <= 25);
             for c in &p.calls {
-                assert_eq!(c.args.len(), c.syscall.params.len());
+                assert_eq!(c.args.len(), c.syscall(&db).params.len());
             }
         }
     }

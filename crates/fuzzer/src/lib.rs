@@ -10,16 +10,22 @@
 //!   declared types (ranges, flags, strings, lengths auto-filled by the
 //!   encoder) with a small rate of deliberate violations;
 //! * [`exec`] — lowers a program to registers + memory segments and
-//!   runs it against a [`kgpt_vkernel::VKernel`];
+//!   runs it against a [`kgpt_vkernel::VKernel`], reusing per-worker
+//!   [`exec::ExecScratch`] so the hot loop is allocation-free;
 //! * [`campaign`] — the coverage-guided loop: mutate/generate, keep
-//!   inputs that reach new blocks, deduplicate crashes by title.
+//!   inputs that reach new blocks, deduplicate crashes by title;
+//! * [`shard`] — parallel campaigns: a fixed logical-shard
+//!   decomposition executed by N threads sharing the kernel by
+//!   reference, with a merge that is independent of thread count.
 
 pub mod campaign;
 pub mod exec;
 pub mod gen;
 pub mod program;
+pub mod shard;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult};
-pub use exec::{execute, ExecResult};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
+pub use exec::{execute, execute_with, ExecResult, ExecScratch};
 pub use gen::Generator;
-pub use program::{Program, ProgCall};
+pub use program::{ProgCall, Program};
+pub use shard::ShardedCampaign;

@@ -1,16 +1,30 @@
 //! Program representation: an ordered list of syscalls with concrete
 //! argument values and resource references into earlier calls.
+//!
+//! Calls reference their syscall description by dense [`SpecDb`]
+//! index (see [`SpecDb::syscall_index`]) instead of owning a cloned
+//! AST — a program is just indices plus argument values, so cloning
+//! and mutating corpus entries never copies specification text.
 
-use kgpt_syzlang::{Syscall, Value};
+use kgpt_syzlang::{SpecDb, Syscall, Value};
 use serde::{Deserialize, Serialize};
 
 /// One call in a program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProgCall {
-    /// The syscall description this call instantiates.
-    pub syscall: Syscall,
+    /// Dense index of the syscall description in the [`SpecDb`] the
+    /// program was generated from.
+    pub sys: u32,
     /// One value per parameter.
     pub args: Vec<Value>,
+}
+
+impl ProgCall {
+    /// Resolve the syscall description against its database.
+    #[must_use]
+    pub fn syscall<'a>(&self, db: &'a SpecDb) -> &'a Syscall {
+        db.syscall_at(self.sys as usize)
+    }
 }
 
 /// A syscall sequence.
@@ -41,10 +55,10 @@ impl Program {
 
     /// Human-readable one-line-per-call rendering (for crash reports).
     #[must_use]
-    pub fn display(&self) -> String {
+    pub fn display(&self, db: &SpecDb) -> String {
         self.calls
             .iter()
-            .map(|c| c.syscall.name())
+            .map(|c| c.syscall(db).name())
             .collect::<Vec<_>>()
             .join("\n")
     }
@@ -56,27 +70,29 @@ mod tests {
 
     #[test]
     fn truncate_and_display() {
-        let sys = Syscall {
-            base: "close".into(),
-            variant: None,
-            params: vec![],
-            ret: None,
-        };
+        let db = SpecDb::from_files(vec![kgpt_syzlang::parse(
+            "t",
+            "close$a(fd fd)\nclose$b(fd fd)\n",
+        )
+        .unwrap()]);
+        let a = db.syscall_index("close$a").unwrap() as u32;
+        let b = db.syscall_index("close$b").unwrap() as u32;
         let mut p = Program {
             calls: vec![
                 ProgCall {
-                    syscall: sys.clone(),
-                    args: vec![],
+                    sys: b,
+                    args: vec![Value::Int(0)],
                 },
                 ProgCall {
-                    syscall: sys,
-                    args: vec![],
+                    sys: a,
+                    args: vec![Value::Int(0)],
                 },
             ],
         };
         assert_eq!(p.len(), 2);
+        assert_eq!(p.calls[0].syscall(&db).name(), "close$b");
         p.truncate(1);
-        assert_eq!(p.display(), "close");
+        assert_eq!(p.display(&db), "close$b");
         assert!(!p.is_empty());
     }
 }

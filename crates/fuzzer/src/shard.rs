@@ -1,0 +1,270 @@
+//! Sharded parallel campaigns.
+//!
+//! A [`ShardedCampaign`] decomposes a campaign into a fixed number of
+//! **logical shards**. Shard `i` runs the standard coverage-guided
+//! worker loop over its slice of the execution budget, seeded
+//! `seed.wrapping_add(i)` with its own generator, corpus, and
+//! execution scratch;
+//! the booted [`VKernel`] and the compiled [`SpecDb`] are shared by
+//! reference (`VKernel: Sync` is asserted at compile time in
+//! `kgpt-vkernel`).
+//!
+//! Determinism contract: the result is a pure function of
+//! `(config, shards)`. The **thread count is a pure throughput knob**
+//! — shards are distributed over `threads` OS threads, and because
+//! every shard is independent and the merge runs in shard-id order,
+//! `coverage`/`crashes` are identical for any thread count (and the
+//! merge itself is commutative, so merge order could not change the
+//! set either way). A one-shard campaign is bit-identical to
+//! [`Campaign::run`](crate::Campaign::run) with the same config.
+
+use crate::campaign::{run_worker, CampaignConfig, CampaignResult, CrashTally, WorkerResult};
+use kgpt_syzlang::{ConstDb, SpecDb, SpecFile};
+use kgpt_vkernel::{CoverageMap, VKernel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default logical shard count (the paper-benchmark scaling curve is
+/// measured at 1–8 worker threads over this decomposition).
+pub const DEFAULT_SHARDS: u32 = 8;
+
+/// A campaign split across logical shards and executed by a pool of
+/// worker threads.
+pub struct ShardedCampaign<'a> {
+    kernel: &'a VKernel,
+    db: SpecDb,
+    consts: &'a ConstDb,
+    config: CampaignConfig,
+    shards: u32,
+    /// 0 = one thread per available CPU (capped at the shard count).
+    threads: usize,
+}
+
+impl<'a> ShardedCampaign<'a> {
+    /// Build a sharded campaign from spec files. Defaults to
+    /// [`DEFAULT_SHARDS`] logical shards and one thread per available
+    /// CPU.
+    #[must_use]
+    pub fn new(
+        kernel: &'a VKernel,
+        suite: Vec<SpecFile>,
+        consts: &'a ConstDb,
+        config: CampaignConfig,
+    ) -> ShardedCampaign<'a> {
+        ShardedCampaign {
+            kernel,
+            db: SpecDb::from_files(suite),
+            consts,
+            config,
+            shards: DEFAULT_SHARDS,
+            threads: 0,
+        }
+    }
+
+    /// Set the logical shard count (≥ 1). Changes the work
+    /// decomposition and therefore the result — it is part of the
+    /// campaign's deterministic identity.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> ShardedCampaign<'a> {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the worker thread count (0 = auto). Pure parallelism knob:
+    /// never changes `coverage`/`crashes`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ShardedCampaign<'a> {
+        self.threads = threads;
+        self
+    }
+
+    /// The compiled spec database.
+    #[must_use]
+    pub fn db(&self) -> &SpecDb {
+        &self.db
+    }
+
+    /// Execution budget of shard `i`: `execs` split as evenly as
+    /// possible, earlier shards taking the remainder.
+    fn shard_execs(&self, i: u32) -> u64 {
+        let n = u64::from(self.shards);
+        self.config.execs / n + u64::from(u64::from(i) < self.config.execs % n)
+    }
+
+    /// Run all shards and merge. See the module docs for the
+    /// determinism contract.
+    #[must_use]
+    pub fn run(&self) -> CampaignResult {
+        let shards = self.shards as usize;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+        .clamp(1, shards);
+
+        let mut results: Vec<Option<WorkerResult>> = Vec::with_capacity(shards);
+        if threads <= 1 {
+            for i in 0..self.shards {
+                results.push(Some(self.run_shard(i)));
+            }
+        } else {
+            let slots: Vec<Mutex<Option<WorkerResult>>> =
+                (0..shards).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= shards {
+                            break;
+                        }
+                        let r = self.run_shard(i as u32);
+                        *slots[i].lock().expect("shard slot poisoned") = Some(r);
+                    });
+                }
+            });
+            results.extend(
+                slots
+                    .into_iter()
+                    .map(|m| m.into_inner().expect("shard slot poisoned")),
+            );
+        }
+
+        // Merge in shard-id order (deterministic; the merge is also
+        // commutative, so any order would produce the same result).
+        let mut coverage = CoverageMap::new();
+        let mut crashes: CrashTally = CrashTally::new();
+        let mut corpus_size = 0usize;
+        for r in results.into_iter().map(|r| r.expect("shard ran")) {
+            coverage.merge(&r.coverage);
+            for (title, (count, cve)) in r.crashes {
+                let e = crashes.entry(title).or_insert((0, cve));
+                e.0 += count;
+            }
+            corpus_size += r.corpus_size;
+        }
+        CampaignResult {
+            coverage,
+            crashes,
+            execs: self.config.execs,
+            corpus_size,
+        }
+    }
+
+    fn run_shard(&self, i: u32) -> WorkerResult {
+        run_worker(
+            self.kernel,
+            &self.db,
+            self.consts,
+            &self.config,
+            self.shard_execs(i),
+            self.config.seed.wrapping_add(u64::from(i)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+    use kgpt_csrc::KernelCorpus;
+
+    fn dm_setup() -> (VKernel, Vec<SpecFile>, ConstDb) {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let suite = vec![kc.blueprints()[0].ground_truth_spec()];
+        (
+            VKernel::boot(vec![kgpt_csrc::flagship::dm()]),
+            suite,
+            kc.consts().clone(),
+        )
+    }
+
+    fn cfg(execs: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            execs,
+            seed,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_sequential_campaign() {
+        let (kernel, suite, consts) = dm_setup();
+        let sequential = Campaign::new(&kernel, suite.clone(), &consts, cfg(1500, 4)).run();
+        let sharded = ShardedCampaign::new(&kernel, suite, &consts, cfg(1500, 4))
+            .with_shards(1)
+            .run();
+        assert_eq!(sequential.coverage, sharded.coverage);
+        assert_eq!(sequential.crashes, sharded.crashes);
+        assert_eq!(sequential.corpus_size, sharded.corpus_size);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_result() {
+        let (kernel, suite, consts) = dm_setup();
+        let run = |threads: usize| {
+            ShardedCampaign::new(&kernel, suite.clone(), &consts, cfg(2000, 11))
+                .with_shards(8)
+                .with_threads(threads)
+                .run()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(base.coverage, r.coverage, "threads={threads}");
+            assert_eq!(base.crashes, r.crashes, "threads={threads}");
+            assert_eq!(base.corpus_size, r.corpus_size, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merged_result_equals_manual_shard_union() {
+        let (kernel, suite, consts) = dm_setup();
+        let sharded = ShardedCampaign::new(&kernel, suite.clone(), &consts, cfg(2100, 5))
+            .with_shards(4)
+            .run();
+        // Reconstruct by running each shard as its own sequential
+        // campaign and merging by hand: 2100 = 525 * 4.
+        let mut coverage = CoverageMap::new();
+        let mut crashes = CrashTally::new();
+        for i in 0..4u64 {
+            let r = Campaign::new(&kernel, suite.clone(), &consts, cfg(525, 5 + i)).run();
+            coverage.merge(&r.coverage);
+            for (title, (count, cve)) in r.crashes {
+                let e = crashes.entry(title).or_insert((0, cve));
+                e.0 += count;
+            }
+        }
+        assert_eq!(sharded.coverage, coverage);
+        assert_eq!(sharded.crashes, crashes);
+        assert_eq!(sharded.execs, 2100);
+    }
+
+    #[test]
+    fn sharded_campaign_finds_dm_coverage_and_crashes() {
+        let (kernel, suite, consts) = dm_setup();
+        let r = ShardedCampaign::new(&kernel, suite, &consts, cfg(4000, 1)).run();
+        assert!(r.blocks() > 50, "blocks={}", r.blocks());
+        assert!(r.unique_crashes() >= 1, "crashes={:?}", r.crashes);
+        assert!(r.corpus_size > 3);
+    }
+
+    #[test]
+    fn seed_near_u64_max_wraps_instead_of_overflowing() {
+        let (kernel, suite, consts) = dm_setup();
+        let r = ShardedCampaign::new(&kernel, suite, &consts, cfg(400, u64::MAX - 2))
+            .with_shards(8)
+            .run();
+        assert_eq!(r.execs, 400);
+        assert!(r.blocks() > 0);
+    }
+
+    #[test]
+    fn uneven_exec_budgets_split_without_loss() {
+        let (kernel, suite, consts) = dm_setup();
+        let c = ShardedCampaign::new(&kernel, suite, &consts, cfg(1003, 0)).with_shards(8);
+        let total: u64 = (0..8).map(|i| c.shard_execs(i)).sum();
+        assert_eq!(total, 1003);
+        assert!((0..8).all(|i| [125, 126].contains(&c.shard_execs(i))));
+    }
+}

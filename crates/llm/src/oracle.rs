@@ -14,14 +14,12 @@
 //! and the §5.2.3 degradation for GPT-3.5.
 
 use crate::profile::{Capability, ModelKind};
-use crate::protocol::{render_facts, ArgSig, Fact, Prompt, Task};
 #[cfg(test)]
 use crate::protocol::parse_facts;
+use crate::protocol::{render_facts, ArgSig, Fact, Prompt, Task};
 use crate::usage::{Usage, UsageMeter};
 use crate::{approx_tokens, ChatRequest, ChatResponse, LanguageModel};
-use kgpt_csrc::ast::{
-    CaseLabel, CField, CItemKind, CStructDef, CType, Expr, Stmt,
-};
+use kgpt_csrc::ast::{CField, CItemKind, CStructDef, CType, CaseLabel, Expr, Stmt};
 use kgpt_csrc::cmacro;
 use kgpt_csrc::parser::cparse;
 use kgpt_csrc::Corpus;
@@ -155,7 +153,12 @@ impl<'a> Analysis<'a> {
     }
 
     fn draw(&self, what: &str, bp: u32) -> bool {
-        let key = format!("{}:{}:{}", self.prefix, what, self.prompt.handler_var.as_deref().unwrap_or(""));
+        let key = format!(
+            "{}:{}:{}",
+            self.prefix,
+            what,
+            self.prompt.handler_var.as_deref().unwrap_or("")
+        );
         Capability::draw(bp, &key, self.seed)
     }
 
@@ -191,9 +194,8 @@ impl<'a> Analysis<'a> {
                 if let CItemKind::Var(v) = &item.kind {
                     if v.ty.base == "struct miscdevice" {
                         if let Some(init) = &v.init {
-                            let nodename = init
-                                .init_field("nodename")
-                                .and_then(|e| self.string_of(e));
+                            let nodename =
+                                init.init_field("nodename").and_then(|e| self.string_of(e));
                             let name = init.init_field("name").and_then(|e| self.string_of(e));
                             let chosen = if self.cap.nodename_aware {
                                 nodename.or(name)
@@ -314,9 +316,7 @@ impl<'a> Analysis<'a> {
                     if v.ty.base == "struct proto_ops" {
                         if let Some(init) = &v.init {
                             for call in ["bind", "connect", "sendmsg", "recvmsg", "accept"] {
-                                if let Some(f) =
-                                    init.init_field(call).and_then(Expr::as_ident)
-                                {
+                                if let Some(f) = init.init_field(call).and_then(Expr::as_ident) {
                                     facts.push(Fact::SockCallFn {
                                         call: call.to_string(),
                                         func: f.to_string(),
@@ -334,8 +334,7 @@ impl<'a> Analysis<'a> {
         if let Some(s) = e.as_str() {
             return Some(s.to_string());
         }
-        cmacro::eval_string(&self.corpus, e)
-            .or_else(|| cmacro::eval_string(&self.usage_corpus, e))
+        cmacro::eval_string(&self.corpus, e).or_else(|| cmacro::eval_string(&self.usage_corpus, e))
     }
 
     fn find_fn(&self, name: &str) -> Option<&kgpt_csrc::ast::CFunction> {
@@ -361,7 +360,7 @@ impl<'a> Analysis<'a> {
     /// the model occasionally swaps two command identifiers. The result
     /// still *validates* (both macros exist) but is semantically wrong —
     /// the kind of error only the ground-truth diff catches.
-    fn inject_wrong_identifier(&self, facts: &mut Vec<Fact>) {
+    fn inject_wrong_identifier(&self, facts: &mut [Fact]) {
         let transformed = facts
             .iter()
             .any(|f| matches!(f, Fact::Transform { kind } if kind != "none"));
@@ -430,7 +429,12 @@ impl<'a> Analysis<'a> {
         // Transform detection.
         let mut transform: Option<String> = None;
         kgpt_csrc::ast::walk_stmts(&f.body, &mut |s| {
-            if let Stmt::Decl { name, init: Some(e), .. } = s {
+            if let Stmt::Decl {
+                name,
+                init: Some(e),
+                ..
+            } = s
+            {
                 if name == "cmd" {
                     match e {
                         Expr::Call { func, .. } if func == "_IOC_NR" => {
@@ -469,12 +473,14 @@ impl<'a> Analysis<'a> {
                     }
                 }
             }
-            Stmt::If { cond, then, .. } => {
-                if let Expr::Binary { op: "==", lhs, rhs } = cond {
-                    if matches!(lhs.as_ref(), Expr::Ident(id) if id == "cmd") {
-                        case_count += 1;
-                        self.emit_case(rhs, then, facts);
-                    }
+            Stmt::If {
+                cond: Expr::Binary { op: "==", lhs, rhs },
+                then,
+                ..
+            } => {
+                if matches!(lhs.as_ref(), Expr::Ident(id) if id == "cmd") {
+                    case_count += 1;
+                    self.emit_case(rhs, then, facts);
                 }
             }
             _ => {}
@@ -544,9 +550,10 @@ impl<'a> Analysis<'a> {
         for (_, row) in entries {
             if let Expr::InitList { entries: cols } = row {
                 let label = cols.first().map(|(_, e)| e.clone())?;
-                let handler = cols.get(1).map(|(_, e)| strip_casts(e)).and_then(|e| {
-                    e.as_ident().map(str::to_string)
-                });
+                let handler = cols
+                    .get(1)
+                    .map(|(_, e)| strip_casts(e))
+                    .and_then(|e| e.as_ident().map(str::to_string));
                 rows.push((label, handler));
             }
         }
@@ -596,12 +603,12 @@ impl<'a> Analysis<'a> {
                     if let Some(tag) = ty.struct_tag() {
                         arg = ArgSig::StructPtr(tag.to_string());
                     } else if ty.ptr > 0 && (ty.base.contains("u32") || ty.base == "uint") {
-                        arg = ArgSig::IdPtr(self.idptr_resource(&func).unwrap_or_else(|| "id".into()));
+                        arg = ArgSig::IdPtr(
+                            self.idptr_resource(&func).unwrap_or_else(|| "id".into()),
+                        );
                     }
-                } else if matches!(a, Expr::Ident(i) if i == "arg") {
-                    if arg == ArgSig::None {
-                        arg = ArgSig::Int;
-                    }
+                } else if matches!(a, Expr::Ident(i) if i == "arg") && arg == ArgSig::None {
+                    arg = ArgSig::Int;
                 }
             }
             // Refine via the handler signature if its source is present.
@@ -623,28 +630,29 @@ impl<'a> Analysis<'a> {
             }
             handler = Some(func);
         }
-        let dir = handler
-            .as_deref()
-            .and_then(|h| self.find_fn(h))
-            .map_or("inout".to_string(), |hf| {
-                let mut has_to = false;
-                let mut has_from = false;
-                kgpt_csrc::ast::walk_exprs(&hf.body, &mut |e| {
-                    if let Expr::Call { func, .. } = e {
-                        if func == "copy_to_user" {
-                            has_to = true;
+        let dir =
+            handler
+                .as_deref()
+                .and_then(|h| self.find_fn(h))
+                .map_or("inout".to_string(), |hf| {
+                    let mut has_to = false;
+                    let mut has_from = false;
+                    kgpt_csrc::ast::walk_exprs(&hf.body, &mut |e| {
+                        if let Expr::Call { func, .. } = e {
+                            if func == "copy_to_user" {
+                                has_to = true;
+                            }
+                            if func == "copy_from_user" {
+                                has_from = true;
+                            }
                         }
-                        if func == "copy_from_user" {
-                            has_from = true;
-                        }
+                    });
+                    match (has_from, has_to) {
+                        (true, true) => "inout".into(),
+                        (false, true) => "out".into(),
+                        _ => "in".into(),
                     }
                 });
-                match (has_from, has_to) {
-                    (true, true) => "inout".into(),
-                    (false, true) => "out".into(),
-                    _ => "in".into(),
-                }
-            });
         facts.push(Fact::Ident {
             name,
             handler,
@@ -691,13 +699,12 @@ impl<'a> Analysis<'a> {
     /// Seeded repairable defect: misspell the first command macro on the
     /// first attempt (caught as `UnknownConst` by the validator, fixed
     /// on the repair pass).
-    fn inject_ident_defect(&self, facts: &mut Vec<Fact>) {
+    fn inject_ident_defect(&self, facts: &mut [Fact]) {
         if self.attempt > 0 || !self.draw("defect", self.cap.defect_bp) {
             return;
         }
-        if let Some(Fact::Ident { name, .. }) = facts
-            .iter_mut()
-            .find(|f| matches!(f, Fact::Ident { .. }))
+        if let Some(Fact::Ident { name, .. }) =
+            facts.iter_mut().find(|f| matches!(f, Fact::Ident { .. }))
         {
             name.push_str("_REQ");
         }
@@ -751,7 +758,9 @@ impl<'a> Analysis<'a> {
             if err_type && i == 0 {
                 // Wrong-width defect (§5.1.3's "incorrect types"): not a
                 // validation error, only a semantic one.
-                ty = ty.replacen("int32", "int64", 1).replacen("int16", "int32", 1);
+                ty = ty
+                    .replacen("int32", "int64", 1)
+                    .replacen("int16", "int32", 1);
             }
             let dir_attr = if matches!(role, RoleHint::OutId(_)) {
                 " (out)"
@@ -828,9 +837,7 @@ impl<'a> Analysis<'a> {
         match &ty.array {
             Some(CArraySize::Fixed(n)) => format!("array[{base}, {n}]"),
             Some(CArraySize::Named(name)) => {
-                let n = self
-                    .resolve_const(name)
-                    .unwrap_or(1);
+                let n = self.resolve_const(name).unwrap_or(1);
                 format!("array[{base}, {n}]")
             }
             Some(CArraySize::Flex) => format!("array[{base}]"),
@@ -874,20 +881,22 @@ impl<'a> Analysis<'a> {
         match s {
             Stmt::If { cond, .. } => self.role_from_cond(cond, fields, roles),
             // `for (i = 0; i < p.count; i++) process(&p.items[i]);`
-            Stmt::For { cond: Some(c), body, .. } => {
-                if let Expr::Binary { op: "<", rhs, .. } = c {
-                    if let Some(count_field) = member_field(rhs, fields) {
-                        let mut target = None;
-                        kgpt_csrc::ast::walk_exprs(body, &mut |e| {
-                            if let Expr::Index { base, .. } = e {
-                                if let Some(t) = member_field(base, fields) {
-                                    target = Some(t);
-                                }
+            Stmt::For {
+                cond: Some(Expr::Binary { op: "<", rhs, .. }),
+                body,
+                ..
+            } => {
+                if let Some(count_field) = member_field(rhs, fields) {
+                    let mut target = None;
+                    kgpt_csrc::ast::walk_exprs(body, &mut |e| {
+                        if let Expr::Index { base, .. } = e {
+                            if let Some(t) = member_field(base, fields) {
+                                target = Some(t);
                             }
-                        });
-                        if let Some(t) = target {
-                            roles.insert(count_field, RoleHint::LenOf(t));
                         }
+                    });
+                    if let Some(t) = target {
+                        roles.insert(count_field, RoleHint::LenOf(t));
                     }
                 }
             }
@@ -978,7 +987,8 @@ impl<'a> Analysis<'a> {
         kgpt_csrc::ast::walk_expr(e, &mut |x| match x {
             // `p.id = X_alloc_res(...)` → out resource
             Expr::Assign { lhs, rhs } => {
-                if let (Some(f), Expr::Call { func, .. }) = (member_field(lhs, fields), rhs.as_ref())
+                if let (Some(f), Expr::Call { func, .. }) =
+                    (member_field(lhs, fields), rhs.as_ref())
                 {
                     if let Some(idx) = func.find("_alloc_") {
                         roles.insert(f, RoleHint::OutId(func[idx + 7..].to_string()));
@@ -1110,6 +1120,22 @@ fn int_bits_of(ty: &CType) -> &'static str {
     }
 }
 
+fn parse_lenient(items: &[String]) -> Corpus {
+    // Try the concatenation first (cheapest); fall back to per-item
+    // parsing, dropping any item the (possibly truncated) prompt broke.
+    let joined = items.join("\n\n");
+    if let Ok(file) = cparse("prompt.c", &joined) {
+        return Corpus::build(vec![file]);
+    }
+    let mut files = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        if let Ok(f) = cparse(&format!("prompt{i}.c"), item) {
+            files.push(f);
+        }
+    }
+    Corpus::build(files)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1125,9 +1151,7 @@ mod tests {
         let mut source: Vec<String> = file
             .items
             .iter()
-            .filter(|i| {
-                i.name() == "dm_ctl_ioctl" || extra.contains(&i.name())
-            })
+            .filter(|i| i.name() == "dm_ctl_ioctl" || extra.contains(&i.name()))
             .map(|i| i.text.clone())
             .collect();
         source.sort();
@@ -1242,7 +1266,10 @@ mod tests {
             })
             .expect("dm_ioctl type");
         assert!(ty.contains("target_count len[targets"), "{ty}");
-        assert!(ty.contains("flags flags[dm_flags_flags") || ty.contains("flags["), "{ty}");
+        assert!(
+            ty.contains("flags flags[dm_flags_flags") || ty.contains("flags["),
+            "{ty}"
+        );
         // Nested struct is requested or resolved.
         assert!(
             ty.contains("dm_dm_target_spec")
@@ -1327,7 +1354,10 @@ mod tests {
             .iter()
             .filter(|f| matches!(f, Fact::Ident { .. }))
             .count();
-        assert!(weak_idents < strong_idents, "{weak_idents} vs {strong_idents}");
+        assert!(
+            weak_idents < strong_idents,
+            "{weak_idents} vs {strong_idents}"
+        );
     }
 
     #[test]
@@ -1348,20 +1378,4 @@ mod tests {
         assert_eq!(prefix_of_ops_var("rds_proto_ops"), "rds");
         assert_eq!(prefix_of_ops_var("_kvm_vm_fops"), "kvm_vm");
     }
-}
-
-fn parse_lenient(items: &[String]) -> Corpus {
-    // Try the concatenation first (cheapest); fall back to per-item
-    // parsing, dropping any item the (possibly truncated) prompt broke.
-    let joined = items.join("\n\n");
-    if let Ok(file) = cparse("prompt.c", &joined) {
-        return Corpus::build(vec![file]);
-    }
-    let mut files = Vec::new();
-    for (i, item) in items.iter().enumerate() {
-        if let Ok(f) = cparse(&format!("prompt{i}.c"), item) {
-            files.push(f);
-        }
-    }
-    Corpus::build(files)
 }

@@ -36,9 +36,9 @@ impl ModelKind {
                 nodename_aware: true,
                 flags_inference: true,
                 cmd_recall_bp: 10_000,
-                err_ident_bp: 90,   // ≈0.9% wrong identifiers (§5.1.3)
-                err_type_bp: 290,   // ≈2.9% wrong types (9 of 313)
-                defect_bp: 4_000,   // ≈40% of handlers need one repair
+                err_ident_bp: 90, // ≈0.9% wrong identifiers (§5.1.3)
+                err_type_bp: 290, // ≈2.9% wrong types (9 of 313)
+                defect_bp: 4_000, // ≈40% of handlers need one repair
                 cost_in_per_mtok_cents: 3_000,
                 cost_out_per_mtok_cents: 6_000,
             },

@@ -242,16 +242,10 @@ impl Prompt {
             let body = buf.join("\n").trim().to_string();
             match section {
                 "TASK" => p.task = Task::from_keyword(body.trim()),
-                "TARGET-FUNC" => {
-                    if !body.is_empty() {
-                        p.target_func = Some(body);
-                    }
-                }
-                "HANDLER-VAR" => {
-                    if !body.is_empty() {
-                        p.handler_var = Some(body);
-                    }
-                }
+                "TARGET-FUNC" if !body.is_empty() => p.target_func = Some(body),
+                "TARGET-FUNC" => {}
+                "HANDLER-VAR" if !body.is_empty() => p.handler_var = Some(body),
+                "HANDLER-VAR" => {}
                 "WANT-STRUCTS" => {
                     p.want_structs = body.lines().map(str::to_string).collect();
                 }
@@ -612,7 +606,8 @@ mod tests {
             handler_var: Some("_ctl_fops".into()),
             want_structs: vec!["dm_ioctl".into()],
             source: vec![
-                "static long dm_ctl_ioctl(struct file *f, uint c, ulong u) {\n\treturn 0;\n}".into(),
+                "static long dm_ctl_ioctl(struct file *f, uint c, ulong u) {\n\treturn 0;\n}"
+                    .into(),
                 "struct dm_ioctl {\n\t__u32 v;\n};".into(),
             ],
             usage: vec!["static struct miscdevice _dm = { .fops = &_ctl_fops };".into()],

@@ -2,9 +2,8 @@
 //! 400 K output tokens, $34 total, 2630/189 tokens per prompt).
 
 use crate::profile::Capability;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Token usage of one or many requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,21 +45,13 @@ impl Usage {
     /// Mean input tokens per request.
     #[must_use]
     pub fn mean_input(&self) -> u64 {
-        if self.requests == 0 {
-            0
-        } else {
-            self.input_tokens / self.requests
-        }
+        self.input_tokens.checked_div(self.requests).unwrap_or(0)
     }
 
     /// Mean output tokens per request.
     #[must_use]
     pub fn mean_output(&self) -> u64 {
-        if self.requests == 0 {
-            0
-        } else {
-            self.output_tokens / self.requests
-        }
+        self.output_tokens.checked_div(self.requests).unwrap_or(0)
     }
 }
 
@@ -79,18 +70,18 @@ impl UsageMeter {
 
     /// Record one request's usage.
     pub fn record(&self, usage: Usage) {
-        self.inner.lock().add(usage);
+        self.inner.lock().expect("usage meter poisoned").add(usage);
     }
 
     /// Snapshot the cumulative usage.
     #[must_use]
     pub fn snapshot(&self) -> Usage {
-        *self.inner.lock()
+        *self.inner.lock().expect("usage meter poisoned")
     }
 
     /// Reset to zero (between experiments).
     pub fn reset(&self) {
-        *self.inner.lock() = Usage::default();
+        *self.inner.lock().expect("usage meter poisoned") = Usage::default();
     }
 }
 

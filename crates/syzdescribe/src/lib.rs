@@ -22,7 +22,7 @@
 //! * lookup-table dispatch and runtime-registered tables are not
 //!   followed (only `switch`/`if` chains, plus direct delegation).
 
-use kgpt_csrc::ast::{CaseLabel, CItemKind, CStructDef, CType, Expr, Stmt};
+use kgpt_csrc::ast::{CItemKind, CStructDef, CType, CaseLabel, Expr, Stmt};
 use kgpt_csrc::Corpus;
 use kgpt_extractor::{HandlerKind, OpHandler};
 use kgpt_syzlang as syz;
@@ -313,13 +313,15 @@ fn collect_cases(
                 }
             }
         }
-        Stmt::If { cond, then, .. } => {
-            if let Expr::Binary { op: "==", lhs, rhs } = cond {
-                if matches!(lhs.as_ref(), Expr::Ident(i) if i == "cmd") {
-                    found_cases = true;
-                    if let Some(row) = case_row(rhs, then) {
-                        out.push(row);
-                    }
+        Stmt::If {
+            cond: Expr::Binary { op: "==", lhs, rhs },
+            then,
+            ..
+        } => {
+            if matches!(lhs.as_ref(), Expr::Ident(i) if i == "cmd") {
+                found_cases = true;
+                if let Some(row) = case_row(rhs, then) {
+                    out.push(row);
                 }
             }
         }

@@ -518,6 +518,9 @@ mod tests {
     #[test]
     fn const_expr_display() {
         assert_eq!(ConstExpr::Num(16).to_string(), "0x10");
-        assert_eq!(ConstExpr::Sym("DM_VERSION".into()).to_string(), "DM_VERSION");
+        assert_eq!(
+            ConstExpr::Sym("DM_VERSION".into()).to_string(),
+            "DM_VERSION"
+        );
     }
 }

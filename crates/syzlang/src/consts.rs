@@ -97,7 +97,10 @@ mod tests {
         let mut db = ConstDb::new();
         db.define("DM_VERSION", 0xc138_fd00);
         assert_eq!(db.get("DM_VERSION"), Some(0xc138_fd00));
-        assert_eq!(db.resolve(&ConstExpr::Sym("DM_VERSION".into())), Some(0xc138_fd00));
+        assert_eq!(
+            db.resolve(&ConstExpr::Sym("DM_VERSION".into())),
+            Some(0xc138_fd00)
+        );
         assert_eq!(db.resolve(&ConstExpr::Num(7)), Some(7));
         assert_eq!(db.resolve(&ConstExpr::Sym("MISSING".into())), None);
     }

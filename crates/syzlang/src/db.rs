@@ -6,7 +6,9 @@
 //! name a resource into [`Type::Resource`] so downstream passes never
 //! need to disambiguate.
 
-use crate::ast::{Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef, Syscall, Type};
+use crate::ast::{
+    Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef, Syscall, Type,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -21,6 +23,11 @@ pub const BUILTIN_RESOURCES: &[(&str, IntBits)] = &[
 ];
 
 /// A merged, indexed set of specification files.
+///
+/// Syscalls are additionally interned: every syscall has a stable
+/// dense index (its rank in name order) so hot paths — the generator
+/// and executor — can refer to calls by `u32` instead of cloning
+/// names or whole `Syscall` ASTs per generated call.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SpecDb {
     files: Vec<SpecFile>,
@@ -28,6 +35,9 @@ pub struct SpecDb {
     resources: BTreeMap<String, Resource>,
     flags: BTreeMap<String, FlagsDef>,
     syscalls: BTreeMap<String, Syscall>,
+    /// Syscalls in name order; `interned[i]` is the syscall with
+    /// index `i`. Rebuilt by [`SpecDb::from_files`].
+    interned: Vec<Syscall>,
 }
 
 impl SpecDb {
@@ -98,7 +108,28 @@ impl SpecDb {
             }
         }
         db.files = files;
+        db.interned = db.syscalls.values().cloned().collect();
         db
+    }
+
+    /// Dense index of a syscall by full name (`ioctl$DM_VERSION`).
+    /// Indices are stable for the lifetime of the database and rank
+    /// syscalls in name order.
+    #[must_use]
+    pub fn syscall_index(&self, full_name: &str) -> Option<usize> {
+        self.interned
+            .binary_search_by(|s| s.name().as_str().cmp(full_name))
+            .ok()
+    }
+
+    /// The syscall at a dense index (see [`SpecDb::syscall_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.syscall_count()`.
+    #[must_use]
+    pub fn syscall_at(&self, idx: usize) -> &Syscall {
+        &self.interned[idx]
     }
 
     /// The merged source files (post resource-rewrite).
@@ -227,11 +258,9 @@ fn pointee_produces(ty: &Type, resource: &str, db: &SpecDb, depth: usize) -> boo
 
 fn rewrite_resources(ty: &mut Type, resources: &[String]) {
     match ty {
-        Type::Named(n) => {
-            if resources.iter().any(|r| r == n) {
-                let name = n.clone();
-                *ty = Type::Resource(name);
-            }
+        Type::Named(n) if resources.iter().any(|r| r == n) => {
+            let name = n.clone();
+            *ty = Type::Resource(name);
         }
         Type::Ptr { elem, .. } => rewrite_resources(elem, resources),
         Type::Array { elem, .. } => rewrite_resources(elem, resources),
@@ -250,7 +279,8 @@ mod tests {
 
     #[test]
     fn rewrites_resource_references() {
-        let db = db("resource fd_dm[fd]\nioctl$X(fd fd_dm, cmd const[1], arg ptr[in, array[int8]])\n");
+        let db =
+            db("resource fd_dm[fd]\nioctl$X(fd fd_dm, cmd const[1], arg ptr[in, array[int8]])\n");
         let s = db.syscall("ioctl$X").unwrap();
         assert_eq!(s.params[0].ty, Type::Resource("fd_dm".into()));
     }
@@ -291,6 +321,18 @@ q_new {
         assert_eq!(produced, vec!["ioctl$NEW".to_string()]);
         let produced: Vec<String> = db.producers_of("fd_v").map(Syscall::name).collect();
         assert_eq!(produced, vec!["openat$v".to_string()]);
+    }
+
+    #[test]
+    fn syscall_interning_round_trips() {
+        let db = db("resource fd_v[fd]\nopenat$v(dir const[0], file ptr[in, string[\"/dev/v\"]], flags const[2], mode const[0]) fd_v\nioctl$A(fd fd_v, cmd const[1], arg ptr[in, array[int8]])\nioctl$B(fd fd_v, cmd const[2], arg ptr[in, array[int8]])\n");
+        assert_eq!(db.syscall_count(), 3);
+        for (i, s) in db.syscalls().enumerate() {
+            let name = s.name();
+            assert_eq!(db.syscall_index(&name), Some(i));
+            assert_eq!(db.syscall_at(i).name(), name);
+        }
+        assert_eq!(db.syscall_index("ioctl$NOPE"), None);
     }
 
     #[test]

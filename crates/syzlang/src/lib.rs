@@ -59,8 +59,8 @@ pub mod validate;
 pub mod value;
 
 pub use ast::{
-    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile,
-    StructDef, Syscall, Type,
+    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef,
+    Syscall, Type,
 };
 pub use consts::ConstDb;
 pub use db::SpecDb;

@@ -5,8 +5,8 @@
 //! name a declared (or builtin) resource into [`Type::Resource`].
 
 use crate::ast::{
-    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile,
-    StructDef, Syscall, Type,
+    ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef,
+    Syscall, Type,
 };
 use crate::token::{lex, LexError, Spanned, Tok};
 use std::fmt;
@@ -149,9 +149,7 @@ impl Parser {
         match self.peek() {
             Some(Tok::Eq) => self.flags_def(name),
             Some(Tok::LBrace) => self.struct_def(name, false),
-            Some(Tok::LBrack) if self.peek2() == Some(&Tok::Newline) => {
-                self.struct_def(name, true)
-            }
+            Some(Tok::LBrack) if self.peek2() == Some(&Tok::Newline) => self.struct_def(name, true),
             Some(Tok::LParen) | Some(Tok::Dollar) => self.syscall(name),
             Some(t) => {
                 let t = t.clone();

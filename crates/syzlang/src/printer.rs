@@ -4,8 +4,8 @@
 //! by unit tests here and by property tests in `tests/`.
 
 use crate::ast::{
-    ArrayLen, ConstExpr, Field, FlagsDef, IntBits, Item, Resource, SpecFile, StructDef,
-    Syscall, Type,
+    ArrayLen, ConstExpr, Field, FlagsDef, IntBits, Item, Resource, SpecFile, StructDef, Syscall,
+    Type,
 };
 use std::fmt::Write as _;
 

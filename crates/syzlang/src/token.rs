@@ -104,7 +104,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         let c = bytes[i] as char;
         match c {
             '\n' => {
-                if !matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
+                if !matches!(
+                    out.last(),
+                    None | Some(Spanned {
+                        tok: Tok::Newline,
+                        ..
+                    })
+                ) {
                     push(&mut out, Tok::Newline, line);
                 }
                 line += 1;
@@ -212,7 +218,13 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    if !matches!(out.last(), None | Some(Spanned { tok: Tok::Newline, .. })) {
+    if !matches!(
+        out.last(),
+        None | Some(Spanned {
+            tok: Tok::Newline,
+            ..
+        })
+    ) {
         out.push(Spanned {
             tok: Tok::Newline,
             line,

@@ -259,37 +259,31 @@ fn check_type(
 ) {
     match ty {
         Type::Const { value, .. } => check_const(value, consts, item, errors),
-        Type::Flags { set, .. } => {
-            if db.flags_def(set).is_none() {
-                errors.push(SpecError {
-                    kind: SpecErrorKind::UnknownFlagSet(set.clone()),
-                    item: item.to_string(),
-                });
-            }
+        Type::Flags { set, .. } if db.flags_def(set).is_none() => {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UnknownFlagSet(set.clone()),
+                item: item.to_string(),
+            });
         }
-        Type::Len { target, .. } | Type::Bytesize { target, .. } => {
-            if !siblings.contains(&target.as_str()) {
-                errors.push(SpecError {
-                    kind: SpecErrorKind::BadLenTarget(target.clone()),
-                    item: item.to_string(),
-                });
-            }
+        Type::Len { target, .. } | Type::Bytesize { target, .. }
+            if !siblings.contains(&target.as_str()) =>
+        {
+            errors.push(SpecError {
+                kind: SpecErrorKind::BadLenTarget(target.clone()),
+                item: item.to_string(),
+            });
         }
-        Type::Resource(name) => {
-            if db.resource(name).is_none() {
-                errors.push(SpecError {
-                    kind: SpecErrorKind::UndefinedType(name.clone()),
-                    item: item.to_string(),
-                });
-            }
+        Type::Resource(name) if db.resource(name).is_none() => {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UndefinedType(name.clone()),
+                item: item.to_string(),
+            });
         }
-        Type::Named(name) => {
-            if db.struct_def(name).is_none() && db.resource(name).is_none() {
-                errors.push(SpecError {
-                    kind: SpecErrorKind::UndefinedType(name.clone()),
-                    item: item.to_string(),
-                });
-            }
+        Type::Named(name) if db.struct_def(name).is_none() && db.resource(name).is_none() => {
+            errors.push(SpecError {
+                kind: SpecErrorKind::UndefinedType(name.clone()),
+                item: item.to_string(),
+            });
         }
         Type::Ptr { elem, .. } => check_type(elem, db, consts, item, siblings, errors),
         Type::Array { elem, .. } => check_type(elem, db, consts, item, siblings, errors),
@@ -373,7 +367,10 @@ dm_ioctl {
     data_size int32
 }
 "#;
-        let errs = check(src, &[("AT_FDCWD", 0xffff_ff9c), ("DM_VERSION", 0xc138_fd00)]);
+        let errs = check(
+            src,
+            &[("AT_FDCWD", 0xffff_ff9c), ("DM_VERSION", 0xc138_fd00)],
+        );
         assert!(errs.is_empty(), "{errs:?}");
     }
 
@@ -385,7 +382,10 @@ dm_ioctl {
 
     #[test]
     fn unknown_const_detected() {
-        let errs = check("ioctl$X(fd fd, cmd const[NOT_A_MACRO], arg ptr[in, array[int8]])\n", &[]);
+        let errs = check(
+            "ioctl$X(fd fd, cmd const[NOT_A_MACRO], arg ptr[in, array[int8]])\n",
+            &[],
+        );
         assert!(kinds(&errs).contains(&&SpecErrorKind::UnknownConst("NOT_A_MACRO".into())));
     }
 
@@ -397,7 +397,10 @@ dm_ioctl {
 
     #[test]
     fn len_target_on_params_ok() {
-        let errs = check("write$x(fd fd, buf ptr[in, array[int8]], count len[buf])\n", &[]);
+        let errs = check(
+            "write$x(fd fd, buf ptr[in, array[int8]], count len[buf])\n",
+            &[],
+        );
         assert!(errs.is_empty(), "{errs:?}");
     }
 
@@ -422,7 +425,11 @@ ioctl$A(fd fd_x, cmd const[1], arg ptr[in, array[int8]])
 
     #[test]
     fn builtin_fd_needs_no_producer() {
-        assert!(check("read$x(fd fd, buf ptr[out, array[int8]], count len[buf])\n", &[]).is_empty());
+        assert!(check(
+            "read$x(fd fd, buf ptr[out, array[int8]], count len[buf])\n",
+            &[]
+        )
+        .is_empty());
     }
 
     #[test]
@@ -476,6 +483,9 @@ ioctl$A(fd fd_x, cmd const[1], arg ptr[in, array[int8]])
             kind: SpecErrorKind::UndefinedType("dm_ioctl".into()),
             item: "ioctl$DM".into(),
         };
-        assert_eq!(e.to_string(), "in `ioctl$DM`: type `dm_ioctl` is not defined");
+        assert_eq!(
+            e.to_string(),
+            "in `ioctl$DM`: type `dm_ioctl` is not defined"
+        );
     }
 }

@@ -151,12 +151,21 @@ fn value_kind(v: &Value) -> &'static str {
 }
 
 /// Builds the memory image for one syscall's arguments.
+///
+/// Designed for reuse across calls: [`MemBuilder::reset`] recycles
+/// every finished segment's byte buffer into an internal pool that
+/// the next encoding pass draws from, so a fuzzer's steady-state
+/// encode loop stops allocating once buffers reach their high-water
+/// mark. Segment addresses are handed out in strictly ascending
+/// order, which consumers exploit for binary-search lookup.
 #[derive(Debug)]
 pub struct MemBuilder<'a> {
     db: &'a SpecDb,
     consts: &'a ConstDb,
     next_addr: u64,
     segments: Vec<(u64, Vec<u8>)>,
+    /// Cleared byte buffers recycled from previous encodings.
+    pool: Vec<Vec<u8>>,
 }
 
 impl<'a> MemBuilder<'a> {
@@ -168,6 +177,7 @@ impl<'a> MemBuilder<'a> {
             consts,
             next_addr: ARG_BASE_ADDR,
             segments: Vec::new(),
+            pool: Vec::new(),
         }
     }
 
@@ -175,6 +185,43 @@ impl<'a> MemBuilder<'a> {
     #[must_use]
     pub fn into_segments(self) -> Vec<(u64, Vec<u8>)> {
         self.segments
+    }
+
+    /// Finished memory segments, borrowed (ascending addresses).
+    #[must_use]
+    pub fn segments(&self) -> &[(u64, Vec<u8>)] {
+        &self.segments
+    }
+
+    /// Prepare for encoding the next call: restart the address space
+    /// and recycle current segment buffers into the pool.
+    pub fn reset(&mut self) {
+        self.next_addr = ARG_BASE_ADDR;
+        for (_, mut bytes) in self.segments.drain(..) {
+            bytes.clear();
+            self.pool.push(bytes);
+        }
+    }
+
+    /// Swap the finished segment vector with `other` (used by the
+    /// executor to move segments into a `MemMap` and, next call,
+    /// route the retired ones back through [`MemBuilder::reset`]).
+    pub fn swap_segments(&mut self, other: &mut Vec<(u64, Vec<u8>)>) {
+        std::mem::swap(&mut self.segments, other);
+    }
+
+    /// Return retired segments to the buffer pool (counterpart of
+    /// [`MemBuilder::swap_segments`] for vectors that never came back
+    /// through `self.segments`).
+    pub fn recycle(&mut self, retired: &mut Vec<(u64, Vec<u8>)>) {
+        for (_, mut bytes) in retired.drain(..) {
+            bytes.clear();
+            self.pool.push(bytes);
+        }
+    }
+
+    fn pooled_buf(&mut self) -> Vec<u8> {
+        self.pool.pop().unwrap_or_default()
     }
 
     /// Encode one top-level syscall argument, returning the register
@@ -211,7 +258,7 @@ impl<'a> MemBuilder<'a> {
         val: &Value,
         resolve: &dyn Fn(&ResRef) -> u64,
     ) -> Result<u64, EncodeError> {
-        let mut buf = Vec::new();
+        let mut buf = self.pooled_buf();
         self.encode_into(ty, val, &mut buf, resolve)?;
         let layout = type_layout(ty, self.db)?;
         if (buf.len() as u64) < layout.size {
@@ -302,7 +349,13 @@ impl<'a> MemBuilder<'a> {
                     Value::Group(vs) => vs.iter().collect(),
                     Value::Bytes(bytes) => {
                         // Byte buffers encode directly when the element is int8.
-                        if matches!(**elem, Type::Int { bits: IntBits::I8, .. }) {
+                        if matches!(
+                            **elem,
+                            Type::Int {
+                                bits: IntBits::I8,
+                                ..
+                            }
+                        ) {
                             let mut data = bytes.clone();
                             if let ArrayLen::Fixed(n) = len {
                                 data.resize(*n as usize, 0);
@@ -322,7 +375,7 @@ impl<'a> MemBuilder<'a> {
                 for i in 0..count {
                     match values.get(i as usize) {
                         Some(v) => self.encode_into(elem, v, buf, resolve)?,
-                        None => buf.extend(std::iter::repeat(0).take(elem_layout.size as usize)),
+                        None => buf.extend(std::iter::repeat_n(0u8, elem_layout.size as usize)),
                     }
                 }
                 Ok(())
@@ -421,16 +474,19 @@ impl<'a> MemBuilder<'a> {
         let Some(idx) = def.fields.iter().position(|f| f.name == target) else {
             return Ok(0);
         };
-        let mut scratch = Vec::new();
+        let mut scratch = self.pooled_buf();
         let tty = deref_for_len(&def.fields[idx].ty);
         let tval = deref_value_for_len(&values[idx]);
-        match (tty, tval) {
+        let n = match (tty, tval) {
             (Some(ty), Some(v)) => {
                 self.encode_into(ty, v, &mut scratch, resolve)?;
-                Ok(scratch.len() as u64)
+                scratch.len() as u64
             }
-            _ => Ok(0),
-        }
+            _ => 0,
+        };
+        scratch.clear();
+        self.pool.push(scratch);
+        Ok(n)
     }
 }
 
@@ -494,9 +550,12 @@ pub fn zero_value(ty: &Type, db: &SpecDb) -> Result<Value, LayoutError> {
         Type::Proc { start, .. } => Value::Int(*start),
         Type::Resource(_) => Value::Res(ResRef::dangling()),
         Type::Void => Value::Group(Vec::new()),
-        Type::StringLit { values } => {
-            Value::Bytes(values.first().map(|s| s.as_bytes().to_vec()).unwrap_or_default())
-        }
+        Type::StringLit { values } => Value::Bytes(
+            values
+                .first()
+                .map(|s| s.as_bytes().to_vec())
+                .unwrap_or_default(),
+        ),
         Type::Ptr { elem, .. } => Value::ptr_to(zero_value(elem, db)?),
         Type::Array { elem, len } => {
             let n = match len {
@@ -540,8 +599,8 @@ pub fn zero_value(ty: &Type, db: &SpecDb) -> Result<Value, LayoutError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Dir;
+    use crate::parser::parse;
 
     fn db(src: &str) -> SpecDb {
         SpecDb::from_files(vec![parse("t", src).unwrap()])
@@ -557,7 +616,11 @@ mod tests {
         let consts = ConstDb::new();
         let mut mb = MemBuilder::new(&db, &consts);
         let reg = mb
-            .encode_arg(&Type::int(IntBits::I32), &Value::Int(0x1_2345_6789), &no_res)
+            .encode_arg(
+                &Type::int(IntBits::I32),
+                &Value::Int(0x1_2345_6789),
+                &no_res,
+            )
             .unwrap();
         assert_eq!(reg, 0x2345_6789); // truncated to 32 bits
         assert!(mb.into_segments().is_empty());
@@ -570,7 +633,11 @@ mod tests {
         consts.define("CMD", 0xc0de);
         let mut mb = MemBuilder::new(&db, &consts);
         let reg = mb
-            .encode_arg(&Type::sym_const("CMD", IntBits::I64), &Value::Int(0), &no_res)
+            .encode_arg(
+                &Type::sym_const("CMD", IntBits::I64),
+                &Value::Int(0),
+                &no_res,
+            )
             .unwrap();
         assert_eq!(reg, 0xc0de);
     }
@@ -581,7 +648,11 @@ mod tests {
         let consts = ConstDb::new();
         let mut mb = MemBuilder::new(&db, &consts);
         let err = mb
-            .encode_arg(&Type::sym_const("NOPE", IntBits::I64), &Value::Int(0), &no_res)
+            .encode_arg(
+                &Type::sym_const("NOPE", IntBits::I64),
+                &Value::Int(0),
+                &no_res,
+            )
             .unwrap_err();
         assert_eq!(err, EncodeError::UnresolvedConst("NOPE".into()));
     }
@@ -598,7 +669,11 @@ mod tests {
             },
         );
         let reg = mb
-            .encode_arg(&ty, &Value::ptr_to(Value::Bytes(b"/dev/x".to_vec())), &no_res)
+            .encode_arg(
+                &ty,
+                &Value::ptr_to(Value::Bytes(b"/dev/x".to_vec())),
+                &no_res,
+            )
             .unwrap();
         assert_eq!(reg, ARG_BASE_ADDR);
         let segs = mb.into_segments();
@@ -611,9 +686,17 @@ mod tests {
         let db = db("s {\n\ta int8\n\tb int32\n\tc int16\n}\n");
         let consts = ConstDb::new();
         let mut mb = MemBuilder::new(&db, &consts);
-        let v = Value::Group(vec![Value::Int(0xAA), Value::Int(0x11223344), Value::Int(0x5566)]);
+        let v = Value::Group(vec![
+            Value::Int(0xAA),
+            Value::Int(0x11223344),
+            Value::Int(0x5566),
+        ]);
         let _ = mb
-            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("s".into())),
+                &Value::ptr_to(v),
+                &no_res,
+            )
             .unwrap();
         let segs = mb.into_segments();
         let bytes = &segs[0].1;
@@ -633,7 +716,11 @@ mod tests {
             Value::ptr_to(Value::Bytes(vec![1, 2, 3, 4, 5])),
         ]);
         let _ = mb
-            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("s".into())),
+                &Value::ptr_to(v),
+                &no_res,
+            )
             .unwrap();
         let segs = mb.into_segments();
         // Pointees are allocated before their parent, so the outer
@@ -650,7 +737,11 @@ mod tests {
         let inner = Value::Group(vec![Value::Int(1), Value::Int(2)]);
         let v = Value::Group(vec![Value::Int(0), Value::ptr_to(inner)]);
         let _ = mb
-            .encode_arg(&Type::ptr(Dir::In, Type::Named("s".into())), &Value::ptr_to(v), &no_res)
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("s".into())),
+                &Value::ptr_to(v),
+                &no_res,
+            )
             .unwrap();
         let segs = mb.into_segments();
         // Pointees are allocated before their parent, so the outer
@@ -669,7 +760,11 @@ mod tests {
             value: Box::new(Value::Int(7)),
         };
         let _ = mb
-            .encode_arg(&Type::ptr(Dir::In, Type::Named("u".into())), &Value::ptr_to(v), &no_res)
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("u".into())),
+                &Value::ptr_to(v),
+                &no_res,
+            )
             .unwrap();
         let segs = mb.into_segments();
         assert_eq!(segs[0].1.len(), 8);
@@ -681,7 +776,13 @@ mod tests {
         let db = db("resource fd_x[fd]\n");
         let consts = ConstDb::new();
         let mut mb = MemBuilder::new(&db, &consts);
-        let resolve = |r: &ResRef| if r.producer == Some(3) { 42 } else { r.fallback };
+        let resolve = |r: &ResRef| {
+            if r.producer == Some(3) {
+                42
+            } else {
+                r.fallback
+            }
+        };
         let reg = mb
             .encode_arg(
                 &Type::Resource("fd_x".into()),
@@ -717,7 +818,11 @@ mod tests {
         let v = zero_value(&Type::Named("outer".into()), &db).unwrap();
         let mut mb = MemBuilder::new(&db, &consts);
         let reg = mb
-            .encode_arg(&Type::ptr(Dir::In, Type::Named("outer".into())), &Value::ptr_to(v), &no_res)
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("outer".into())),
+                &Value::ptr_to(v),
+                &no_res,
+            )
             .unwrap();
         assert_eq!(reg % 16, 0);
         assert_eq!(mb.into_segments().len(), 2);
@@ -736,6 +841,49 @@ mod tests {
             )
             .unwrap();
         assert_eq!(reg, 0);
+    }
+
+    #[test]
+    fn reset_recycles_and_reproduces_identical_segments() {
+        let db = db("s {\n\ta int8\n\tb int32\n\tc int16\n}\n");
+        let consts = ConstDb::new();
+        let ty = Type::ptr(Dir::In, Type::Named("s".into()));
+        let v = Value::ptr_to(Value::Group(vec![
+            Value::Int(0xAA),
+            Value::Int(0x11223344),
+            Value::Int(0x5566),
+        ]));
+        let mut mb = MemBuilder::new(&db, &consts);
+        let reg1 = mb.encode_arg(&ty, &v, &no_res).unwrap();
+        let first: Vec<(u64, Vec<u8>)> = mb.segments().to_vec();
+        mb.reset();
+        assert!(mb.segments().is_empty());
+        // Same encoding after reset: same addresses, same bytes.
+        let reg2 = mb.encode_arg(&ty, &v, &no_res).unwrap();
+        assert_eq!(reg1, reg2);
+        assert_eq!(mb.segments(), &first[..]);
+        // Addresses come out strictly ascending (binary-search
+        // contract of MemMap::load).
+        let db2 = db_multi();
+        let consts2 = ConstDb::new();
+        let mut mb2 = MemBuilder::new(&db2, &consts2);
+        let nested = Value::ptr_to(Value::Group(vec![
+            Value::Int(0),
+            Value::ptr_to(Value::Bytes(vec![1, 2, 3])),
+        ]));
+        let _ = mb2
+            .encode_arg(
+                &Type::ptr(Dir::In, Type::Named("s".into())),
+                &nested,
+                &no_res,
+            )
+            .unwrap();
+        let addrs: Vec<u64> = mb2.segments().iter().map(|s| s.0).collect();
+        assert!(addrs.windows(2).all(|w| w[0] < w[1]), "{addrs:?}");
+    }
+
+    fn db_multi() -> SpecDb {
+        db("s {\n\tcount len[data, int32]\n\tdata ptr[in, array[int8]]\n}\n")
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Dense coverage bitmap.
+//!
+//! Basic-block ids are small dense integers by construction — handler
+//! `i` owns the stratum `[(i+1)·4096, (i+2)·4096)` — so a word-array
+//! bitmap beats a `BTreeSet<u64>` on every hot operation: insert is
+//! one or-and-test, union is a word-wise `|` over `O(words)`, and the
+//! distinct-block count is maintained incrementally instead of being
+//! recomputed. The set view ([`CoverageMap::to_btree_set`]) is kept
+//! for reports and serialization compatibility; iteration is lazy and
+//! ascending, so existing `BTreeSet`-shaped consumers keep working
+//! through [`Extend`]/[`FromIterator`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of covered basic-block ids, stored as a dense bitmap.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct CoverageMap {
+    /// Bit `b` of `words[w]` set ⇔ block `w * 64 + b` covered.
+    words: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    count: usize,
+}
+
+impl CoverageMap {
+    /// Empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Empty map with room for block ids below `max_block` without
+    /// reallocation.
+    #[must_use]
+    pub fn with_capacity(max_block: u64) -> CoverageMap {
+        CoverageMap {
+            words: Vec::with_capacity((max_block / 64 + 1) as usize),
+            count: 0,
+        }
+    }
+
+    /// Insert a block id. Returns `true` if it was newly covered.
+    pub fn insert(&mut self, block: u64) -> bool {
+        let (w, bit) = (block as usize / 64, 1u64 << (block % 64));
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.count += usize::from(newly);
+        newly
+    }
+
+    /// Whether a block is covered.
+    #[must_use]
+    pub fn contains(&self, block: u64) -> bool {
+        self.words
+            .get(block as usize / 64)
+            .is_some_and(|w| w & (1 << (block % 64)) != 0)
+    }
+
+    /// Number of distinct covered blocks. O(1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no block is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Remove every block, retaining the allocation (hot-loop reuse).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.count = 0;
+    }
+
+    /// Union `other` into `self`, word-wise. Returns the number of
+    /// newly covered blocks. Commutative in effect: merge order never
+    /// changes the resulting set.
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut newly = 0usize;
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            let add = *src & !*dst;
+            newly += add.count_ones() as usize;
+            *dst |= add;
+        }
+        self.count += newly;
+        newly
+    }
+
+    /// Number of blocks in `other` not covered by `self`, without
+    /// modifying either (the coverage-guided "is this input
+    /// interesting" test).
+    #[must_use]
+    pub fn new_blocks_in(&self, other: &CoverageMap) -> usize {
+        let mut n = 0usize;
+        for (i, src) in other.words.iter().enumerate() {
+            let dst = self.words.get(i).copied().unwrap_or(0);
+            n += (src & !dst).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Whether the two maps share no block.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &CoverageMap) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Lazy ascending iteration over covered block ids.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Sorted-set view, for reports and serialized artifacts that
+    /// predate the bitmap representation.
+    #[must_use]
+    pub fn to_btree_set(&self) -> BTreeSet<u64> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq for CoverageMap {
+    fn eq(&self, other: &CoverageMap) -> bool {
+        if self.count != other.count {
+            return false;
+        }
+        // Trailing zero words are representation noise, not content.
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|w| *w == 0)
+            && other.words[common..].iter().all(|w| *w == 0)
+    }
+}
+
+impl Eq for CoverageMap {}
+
+impl fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Lazy iterator over set bits, ascending.
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u64 * 64 + u64::from(bit))
+    }
+}
+
+impl<'a> IntoIterator for &'a CoverageMap {
+    type Item = u64;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Owning iteration (drains nothing; blocks are `Copy`).
+pub struct IntoIter {
+    words: Vec<u64>,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IntoIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u64 * 64 + u64::from(bit))
+    }
+}
+
+impl IntoIterator for CoverageMap {
+    type Item = u64;
+    type IntoIter = IntoIter;
+
+    fn into_iter(self) -> IntoIter {
+        let current = self.words.first().copied().unwrap_or(0);
+        IntoIter {
+            words: self.words,
+            word_idx: 0,
+            current,
+        }
+    }
+}
+
+impl Extend<u64> for CoverageMap {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl FromIterator<u64> for CoverageMap {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> CoverageMap {
+        let mut m = CoverageMap::new();
+        m.extend(iter);
+        m
+    }
+}
+
+impl From<&BTreeSet<u64>> for CoverageMap {
+    fn from(set: &BTreeSet<u64>) -> CoverageMap {
+        set.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut m = CoverageMap::new();
+        assert!(m.is_empty());
+        assert!(m.insert(4096));
+        assert!(!m.insert(4096));
+        assert!(m.insert(0));
+        assert!(m.insert(63));
+        assert!(m.insert(64));
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(63));
+        assert!(!m.contains(62));
+        assert!(!m.contains(1 << 20));
+    }
+
+    #[test]
+    fn merge_counts_new_blocks_only() {
+        let a: CoverageMap = [1u64, 2, 3].into_iter().collect();
+        let b: CoverageMap = [3u64, 4, 200].into_iter().collect();
+        let mut m = a.clone();
+        assert_eq!(m.new_blocks_in(&b), 2);
+        assert_eq!(m.merge(&b), 2);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.merge(&b), 0);
+        // Merge in the opposite order gives the same set.
+        let mut n = b.clone();
+        n.merge(&a);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut a = CoverageMap::new();
+        a.insert(5);
+        let mut b = CoverageMap::new();
+        b.insert(5);
+        b.insert(100_000);
+        // Force trailing zeros by a merge that adds nothing new there.
+        let mut c = a.clone();
+        c.merge(&b);
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+        // a vs a-with-capacity.
+        let mut big = CoverageMap::with_capacity(1 << 16);
+        big.insert(5);
+        assert_eq!(a, big);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_lazy_views_match() {
+        let blocks = [4096u64, 4097, 8192, 64, 0, 12345];
+        let m: CoverageMap = blocks.into_iter().collect();
+        let got: Vec<u64> = m.iter().collect();
+        let mut want = blocks.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(m.to_btree_set(), want.iter().copied().collect());
+        let owned: Vec<u64> = m.clone().into_iter().collect();
+        assert_eq!(owned, want);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a: CoverageMap = [4096u64, 4097].into_iter().collect();
+        let b: CoverageMap = [8192u64].into_iter().collect();
+        let c: CoverageMap = [4097u64].into_iter().collect();
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(a.is_disjoint(&CoverageMap::new()));
+    }
+
+    #[test]
+    fn clear_retains_nothing_logically() {
+        let mut m: CoverageMap = [1u64, 2, 3].into_iter().collect();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m, CoverageMap::new());
+        assert!(m.insert(2));
+    }
+}

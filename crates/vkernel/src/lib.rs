@@ -14,13 +14,25 @@
 //! * struct arguments are decoded at their true C offsets and every
 //!   semantic field role is enforced (`EINVAL` on range/magic/flag
 //!   violations, resource-id validation, state-machine ordering);
-//! * coverage is recorded as basic-block ids, deeper blocks gated on
-//!   semantic validity — so better specs measurably reach more blocks;
+//! * coverage is recorded as basic-block ids in a dense
+//!   [`CoverageMap`], deeper blocks gated on semantic validity — so
+//!   better specs measurably reach more blocks;
 //! * the 24 injected bugs of Table 4 fire on their trigger conditions
 //!   and produce crash reports with the paper's titles.
+//!
+//! The kernel itself is immutable after [`VKernel::boot`] and carries
+//! no interior mutability, so one booted instance can be shared by
+//! reference across any number of fuzzing worker threads (`VKernel:
+//! Sync` is asserted at compile time); all mutable execution state
+//! lives in the per-worker [`VmState`]. The dispatch path is
+//! allocation-free: targets are pre-indexed by integer id, fd records
+//! reference their handler by index, and per-command history is kept
+//! in interned counters rather than string maps.
 
+pub mod coverage;
 pub mod mem;
 
+pub use coverage::CoverageMap;
 pub use mem::MemMap;
 
 use kgpt_csrc::blueprint::{
@@ -30,7 +42,13 @@ use kgpt_csrc::blueprint::{
 use kgpt_csrc::cmacro;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
+
+/// Compile-time proof that a booted kernel can be shared across
+/// fuzzing threads by reference.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<VKernel>();
+};
 
 /// Linux errno values used by the virtual kernel.
 pub mod errno {
@@ -67,26 +85,54 @@ pub struct CrashReport {
     pub handler: String,
 }
 
-/// Per-fd kernel object state.
+/// Per-fd kernel object state. Handler and command history are kept
+/// as interned indices so the dispatch path never clones a string.
 #[derive(Debug, Clone)]
 struct FdState {
-    bp: String,
+    /// Index into `VKernel::targets`.
+    target: u32,
     state: u8,
-    last_cmd: Option<String>,
-    cmd_counts: BTreeMap<String, u32>,
-    issued_ids: BTreeSet<u32>,
+    /// Index into the target's `cmds` of the last *valid* command.
+    last_cmd: Option<u32>,
+    /// Per-command valid-invocation counts, indexed like `cmds`.
+    cmd_counts: Vec<u32>,
+    /// Ids are issued sequentially starting at 1 and never revoked,
+    /// so `id` is valid ⇔ `1 <= id < next_id`.
     next_id: u32,
     closed: bool,
 }
 
+impl FdState {
+    fn fresh(target: u32, n_cmds: usize) -> FdState {
+        FdState {
+            target,
+            state: 0,
+            last_cmd: None,
+            cmd_counts: vec![0; n_cmds],
+            next_id: 1,
+            closed: false,
+        }
+    }
+}
+
 /// Per-program ("per-VM") execution state: fd table, coverage, crash.
+///
+/// Designed for reuse across executions: [`VmState::reset`] clears
+/// the logical state while retaining every allocation (fd table,
+/// coverage words, decode scratch), so a fuzzing worker touches the
+/// allocator only while a program grows past its high-water mark.
 #[derive(Debug, Clone, Default)]
 pub struct VmState {
     fds: Vec<Option<FdState>>,
     /// Basic blocks covered so far.
-    pub coverage: BTreeSet<u64>,
+    pub coverage: CoverageMap,
     /// First crash, if any (execution should stop).
     pub crash: Option<CrashReport>,
+    /// Reusable argument-decode buffer (`copy_from_user` target).
+    decode_buf: Vec<u8>,
+    /// Reusable decoded-field scratch, aligned with the argument
+    /// struct's fields (`None` = field not decodable at its offset).
+    field_buf: Vec<Option<u64>>,
 }
 
 impl VmState {
@@ -94,6 +140,14 @@ impl VmState {
     #[must_use]
     pub fn new() -> VmState {
         VmState::default()
+    }
+
+    /// Clear fd table, coverage and crash for the next program while
+    /// keeping allocations.
+    pub fn reset(&mut self) {
+        self.fds.clear();
+        self.coverage.clear();
+        self.crash = None;
     }
 
     fn alloc_fd(&mut self, st: FdState) -> i64 {
@@ -106,21 +160,32 @@ impl VmState {
         let slot = self.fds.get_mut(usize::try_from(idx).ok()?)?;
         slot.as_mut().filter(|f| !f.closed)
     }
+
+    /// Target index of a live fd, without holding a borrow.
+    fn fd_target(&mut self, fd: u64) -> Option<u32> {
+        self.fd_mut(fd).map(|f| f.target)
+    }
 }
 
 /// Per-blueprint precomputed dispatch data.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Target {
     bp: Blueprint,
     block_base: u64,
+    /// Full encoded command value per entry of `bp.cmds`.
+    cmd_values: Vec<u64>,
+    /// Size of the blueprint's `sockaddr_<id>` struct, if declared.
+    sockaddr_size: Option<u64>,
 }
 
 /// The virtual kernel.
 #[derive(Debug)]
 pub struct VKernel {
-    targets: BTreeMap<String, Target>,
-    dev_index: BTreeMap<String, String>,
-    sock_index: BTreeMap<(u64, u64, u64), String>,
+    targets: Vec<Target>,
+    /// Blueprint id → target index.
+    by_id: BTreeMap<String, u32>,
+    dev_index: BTreeMap<String, u32>,
+    sock_index: BTreeMap<(u64, u64, u64), u32>,
 }
 
 /// Coverage block namespace stride per handler.
@@ -130,37 +195,44 @@ impl VKernel {
     /// Boot a kernel with the given handlers loaded.
     #[must_use]
     pub fn boot(blueprints: Vec<Blueprint>) -> VKernel {
-        let mut targets = BTreeMap::new();
+        let mut targets = Vec::with_capacity(blueprints.len());
+        let mut by_id = BTreeMap::new();
         let mut dev_index = BTreeMap::new();
         let mut sock_index = BTreeMap::new();
         for (i, bp) in blueprints.into_iter().enumerate() {
+            let idx = i as u32;
             match &bp.kind {
                 BlueprintKind::Driver(d) => {
                     if !d.dev_path.is_empty() {
-                        dev_index.insert(d.dev_path.clone(), bp.id.clone());
+                        dev_index.insert(d.dev_path.clone(), idx);
                     }
                 }
                 BlueprintKind::Socket(s) => {
-                    sock_index.insert((s.family, s.sock_type, s.proto), bp.id.clone());
+                    sock_index.insert((s.family, s.sock_type, s.proto), idx);
                 }
             }
-            targets.insert(
-                bp.id.clone(),
-                Target {
-                    block_base: (i as u64 + 1) * BLOCK_STRIDE,
-                    bp,
-                },
-            );
+            by_id.insert(bp.id.clone(), idx);
+            let cmd_values = bp.cmds.iter().map(|c| bp.cmd_value(c)).collect();
+            let sockaddr_size = bp
+                .arg_struct(&format!("sockaddr_{}", bp.id))
+                .map(|sdef| sdef.size_align(&bp.structs).0);
+            targets.push(Target {
+                block_base: (i as u64 + 1) * BLOCK_STRIDE,
+                cmd_values,
+                sockaddr_size,
+                bp,
+            });
         }
         VKernel {
             targets,
+            by_id,
             dev_index,
             sock_index,
         }
     }
 
-    /// Total number of distinct basic blocks the kernel could report
-    /// (upper bound; used for sanity checks in tests).
+    /// Total number of distinct handlers loaded (each owns a disjoint
+    /// 4096-block coverage stratum; used for sanity checks in tests).
     #[must_use]
     pub fn handler_count(&self) -> usize {
         self.targets.len()
@@ -169,13 +241,7 @@ impl VKernel {
     /// Execute one syscall. Returns the (Linux-convention) result:
     /// ≥ 0 on success, `-errno` on failure. Updates coverage and may
     /// set `state.crash`.
-    pub fn exec_call(
-        &self,
-        state: &mut VmState,
-        base: &str,
-        args: &[u64; 6],
-        mem: &MemMap,
-    ) -> i64 {
+    pub fn exec_call(&self, state: &mut VmState, base: &str, args: &[u64; 6], mem: &MemMap) -> i64 {
         if state.crash.is_some() {
             return -errno::EFAULT; // kernel already paniced
         }
@@ -201,8 +267,8 @@ impl VKernel {
         }
     }
 
-    fn target(&self, id: &str) -> &Target {
-        &self.targets[id]
+    fn target(&self, idx: u32) -> &Target {
+        &self.targets[idx as usize]
     }
 
     fn cover(&self, state: &mut VmState, base: u64, offset: u64, count: u32) {
@@ -215,25 +281,17 @@ impl VKernel {
         let Some(path) = mem.read_cstring(path_ptr, 256) else {
             return -errno::EFAULT;
         };
-        let Some(id) = self.dev_index.get(&path) else {
+        let Some(&tidx) = self.dev_index.get(&path) else {
             return -errno::ENOENT;
         };
-        let t = self.target(id);
+        let t = self.target(tidx);
         let open_blocks = t.bp.driver().map_or(2, |d| d.open_blocks);
         self.cover(state, t.block_base, 0, open_blocks);
-        state.alloc_fd(FdState {
-            bp: id.clone(),
-            state: 0,
-            last_cmd: None,
-            cmd_counts: BTreeMap::new(),
-            issued_ids: BTreeSet::new(),
-            next_id: 1,
-            closed: false,
-        })
+        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
     }
 
     fn sys_socket(&self, state: &mut VmState, family: u64, ty: u64, proto: u64) -> i64 {
-        let Some(id) = self.sock_index.get(&(family, ty, proto)) else {
+        let Some(&tidx) = self.sock_index.get(&(family, ty, proto)) else {
             // Distinguish errors like the kernel does.
             if !self.sock_index.keys().any(|(f, _, _)| *f == family) {
                 return -errno::EAFNOSUPPORT;
@@ -247,33 +305,25 @@ impl VKernel {
             }
             return -errno::EPROTONOSUPPORT;
         };
-        let t = self.target(id);
+        let t = self.target(tidx);
         let blocks = t.bp.socket().map_or(2, |s| s.socket_blocks);
         self.cover(state, t.block_base, 0, blocks);
-        state.alloc_fd(FdState {
-            bp: id.clone(),
-            state: 0,
-            last_cmd: None,
-            cmd_counts: BTreeMap::new(),
-            issued_ids: BTreeSet::new(),
-            next_id: 1,
-            closed: false,
-        })
+        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
     }
 
     fn sys_ioctl(&self, state: &mut VmState, fd: u64, cmd: u64, arg: u64, mem: &MemMap) -> i64 {
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         if t.bp.socket().is_some() {
             return -errno::ENOTTY;
         }
         let transform = t.bp.driver().map_or(CmdTransform::None, |d| d.transform);
         let magic = t.bp.driver().map_or(0, |d| d.magic);
         // Match the command the way the emitted C dispatches it.
-        let matched = t.bp.cmds.iter().enumerate().find(|(_, c)| {
-            let full = t.bp.cmd_value(c);
+        let matched = t.bp.cmds.iter().enumerate().find(|(i, _)| {
+            let full = t.cmd_values[*i];
             match transform {
                 CmdTransform::None => cmd == full,
                 CmdTransform::IocNr => {
@@ -281,15 +331,18 @@ impl VKernel {
                     // dispatch on the nr.
                     cmacro::ioc_type(cmd) == magic && cmacro::ioc_nr(cmd) == cmacro::ioc_nr(full)
                 }
-                CmdTransform::Masked(m) => (cmd & m) == (full & m) && cmacro::ioc_type(cmd) == cmacro::ioc_type(full),
+                CmdTransform::Masked(m) => {
+                    (cmd & m) == (full & m) && cmacro::ioc_type(cmd) == cmacro::ioc_type(full)
+                }
             }
         });
         let Some((idx, cb)) = matched else {
             return -errno::ENOTTY;
         };
-        self.run_cmd(state, &t, idx, cb, fd, arg, None, mem)
+        self.run_cmd(state, t, idx, cb, fd, arg, None, mem)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sys_sockopt(
         &self,
         state: &mut VmState,
@@ -300,30 +353,30 @@ impl VKernel {
         len: u64,
         mem: &MemMap,
     ) -> i64 {
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOPROTOOPT;
         };
         if level != s.level {
             return -errno::ENOPROTOOPT;
         }
-        let Some((idx, cb)) = t
-            .bp
-            .cmds
-            .iter()
-            .enumerate()
-            .find(|(_, c)| t.bp.cmd_value(c) == opt)
+        let Some((idx, cb)) =
+            t.bp.cmds
+                .iter()
+                .enumerate()
+                .find(|(i, _)| t.cmd_values[*i] == opt)
         else {
             return -errno::ENOPROTOOPT;
         };
-        self.run_cmd(state, &t, idx, cb, fd, valp, Some(len), mem)
+        self.run_cmd(state, t, idx, cb, fd, valp, Some(len), mem)
     }
 
     /// Common command execution: coverage, argument decoding, field
-    /// checks, effects, bug triggers.
+    /// checks, effects, bug triggers. The decode scratch lives in
+    /// `VmState`, so steady-state execution performs no allocation.
     #[allow(clippy::too_many_arguments)]
     fn run_cmd(
         &self,
@@ -336,11 +389,32 @@ impl VKernel {
         optlen: Option<u64>,
         mem: &MemMap,
     ) -> i64 {
+        let mut fields = std::mem::take(&mut state.field_buf);
+        let ret = self.run_cmd_inner(state, t, idx, cb, fd, arg, optlen, mem, &mut fields);
+        state.field_buf = fields;
+        ret
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_cmd_inner(
+        &self,
+        state: &mut VmState,
+        t: &Target,
+        idx: usize,
+        cb: &CmdBlueprint,
+        fd: u64,
+        arg: u64,
+        optlen: Option<u64>,
+        mem: &MemMap,
+        fields: &mut Vec<Option<u64>>,
+    ) -> i64 {
         let cmd_base = 100 + (idx as u64) * 64;
         // Entry block: the dispatcher reached this command.
         self.cover(state, t.block_base, cmd_base, 1);
-        // Decode the argument.
-        let mut fields: BTreeMap<String, u64> = BTreeMap::new();
+        // Decode the argument into the reusable field scratch. For
+        // `Struct` arguments `fields[i]` mirrors `sdef.fields[i]`; for
+        // `IdPtr` the single decoded id sits in `fields[0]`.
+        fields.clear();
         match &cb.arg {
             ArgKind::Struct(sname) => {
                 let Some(sdef) = t.bp.arg_struct(sname) else {
@@ -352,70 +426,86 @@ impl VKernel {
                         return -errno::EINVAL;
                     }
                 }
-                let Some(bytes) = mem.read(arg, size as usize) else {
+                let mut bytes = std::mem::take(&mut state.decode_buf);
+                if !mem.read_into(arg, size as usize, &mut bytes) {
+                    state.decode_buf = bytes;
                     return -errno::EFAULT;
-                };
-                for f in &sdef.fields {
+                }
+                fields.resize(sdef.fields.len(), None);
+                for (i, f) in sdef.fields.iter().enumerate() {
                     if let Some(off) = sdef.offset_of(&f.name, &t.bp.structs) {
                         let (fsize, _) = f.ty.size_align(&t.bp.structs);
                         let w = fsize.min(8) as usize;
                         if off as usize + w <= bytes.len() && w > 0 {
                             let mut buf = [0u8; 8];
                             buf[..w].copy_from_slice(&bytes[off as usize..off as usize + w]);
-                            fields.insert(f.name.clone(), u64::from_le_bytes(buf));
+                            fields[i] = Some(u64::from_le_bytes(buf));
                         }
                     }
                 }
+                state.decode_buf = bytes;
             }
             ArgKind::IdPtr(_) => {
-                let Some(bytes) = mem.read(arg, 4) else {
+                let mut bytes = std::mem::take(&mut state.decode_buf);
+                if !mem.read_into(arg, 4, &mut bytes) {
+                    state.decode_buf = bytes;
                     return -errno::EFAULT;
-                };
+                }
                 let mut buf = [0u8; 8];
-                buf[..4].copy_from_slice(&bytes);
-                fields.insert("__id".into(), u64::from_le_bytes(buf));
+                buf[..4].copy_from_slice(&bytes[..4]);
+                fields.push(Some(u64::from_le_bytes(buf)));
+                state.decode_buf = bytes;
             }
             ArgKind::Int | ArgKind::None => {}
         }
+        // Resolve a trigger's field reference against the decoded
+        // scratch (struct field by name; `__id` for IdPtr arguments).
+        let sdef = match &cb.arg {
+            ArgKind::Struct(sname) => t.bp.arg_struct(sname),
+            _ => None,
+        };
+        let field_value = |name: &str| -> Option<u64> {
+            if let ArgKind::IdPtr(_) = &cb.arg {
+                if name == "__id" {
+                    return fields.first().copied().flatten();
+                }
+                return None;
+            }
+            let sdef = sdef?;
+            let pos = sdef.fields.iter().position(|f| f.name == name)?;
+            fields.get(pos).copied().flatten()
+        };
         // Copy succeeded: the body blocks.
-        self.cover(state, t.block_base, cmd_base + 1, cb.blocks.saturating_sub(1));
+        self.cover(
+            state,
+            t.block_base,
+            cmd_base + 1,
+            cb.blocks.saturating_sub(1),
+        );
         let reached_state = state.fd_mut(fd).expect("fd checked").state;
         // Semantic field checks (EINVAL on violation).
         let mut valid = true;
-        if let ArgKind::Struct(sname) = &cb.arg {
-            let sdef = t.bp.arg_struct(sname).expect("checked");
-            for f in &sdef.fields {
-                let v = fields.get(&f.name).copied().unwrap_or(0);
+        if let Some(sdef) = sdef {
+            for (i, f) in sdef.fields.iter().enumerate() {
+                let v = fields.get(i).copied().flatten().unwrap_or(0);
                 match &f.role {
-                    FieldRole::CheckedRange(lo, hi) => {
-                        if v < *lo || v > *hi {
-                            valid = false;
-                        }
-                    }
-                    FieldRole::MagicCheck(m) => {
-                        if v != *m {
-                            valid = false;
-                        }
-                    }
-                    FieldRole::Reserved => {
-                        if v != 0 {
-                            valid = false;
-                        }
-                    }
+                    FieldRole::CheckedRange(lo, hi) if v < *lo || v > *hi => valid = false,
+                    FieldRole::MagicCheck(m) if v != *m => valid = false,
+                    FieldRole::Reserved if v != 0 => valid = false,
                     FieldRole::Flags(set) => {
-                        let mask: u64 = t
-                            .bp
-                            .flag_sets
-                            .iter()
-                            .find(|(n, _)| n == set)
-                            .map_or(0, |(_, vs)| vs.iter().fold(0, |a, (_, x)| a | x));
+                        let mask: u64 =
+                            t.bp.flag_sets
+                                .iter()
+                                .find(|(n, _)| n == set)
+                                .map_or(0, |(_, vs)| vs.iter().fold(0, |a, (_, x)| a | x));
                         if v & !mask != 0 {
                             valid = false;
                         }
                     }
                     FieldRole::InId(_) => {
                         let f = state.fd_mut(fd).expect("fd");
-                        if !f.issued_ids.contains(&(v as u32)) {
+                        let id = v as u32;
+                        if !(1..f.next_id).contains(&id) {
                             valid = false;
                         }
                     }
@@ -424,9 +514,9 @@ impl VKernel {
             }
         }
         if let ArgKind::IdPtr(_) = &cb.arg {
-            let id = fields.get("__id").copied().unwrap_or(0) as u32;
+            let id = fields.first().copied().flatten().unwrap_or(0) as u32;
             let f = state.fd_mut(fd).expect("fd");
-            if !f.issued_ids.contains(&id) {
+            if !(1..f.next_id).contains(&id) {
                 valid = false;
             }
         }
@@ -440,9 +530,9 @@ impl VKernel {
         let counts_hit = {
             let f = state.fd_mut(fd).expect("fd checked");
             if valid && state_ok {
-                *f.cmd_counts.entry(cb.name.clone()).or_insert(0) += 1;
+                f.cmd_counts[idx] += 1;
             }
-            f.cmd_counts.get(&cb.name).copied().unwrap_or(0)
+            f.cmd_counts[idx]
         };
         // Bug triggers. Allocation-size bugs (`FieldAbove`) fire right
         // after copy_from_user, before validation — like the real
@@ -455,21 +545,18 @@ impl VKernel {
         for (bug_idx, bug) in t.bp.bugs.iter().enumerate() {
             let fire = match &bug.trigger {
                 Trigger::FieldAbove { cmd, field, min } => {
-                    *cmd == cb.name && fields.get(field).copied().unwrap_or(0) > *min
+                    *cmd == cb.name && field_value(field).unwrap_or(0) > *min
                 }
                 Trigger::FieldZero { cmd, field } => {
-                    *cmd == cb.name
-                        && fields.contains_key(field)
-                        && fields.get(field) == Some(&0)
-                        && deep_ok
+                    *cmd == cb.name && field_value(field) == Some(0) && deep_ok
                 }
                 Trigger::Sequence { first, then } => {
                     deep_ok
                         && *then == cb.name
                         && state
                             .fd_mut(fd)
-                            .and_then(|f| f.last_cmd.clone())
-                            .is_some_and(|l| l == *first)
+                            .and_then(|f| f.last_cmd)
+                            .is_some_and(|li| t.bp.cmds[li as usize].name == *first)
                 }
                 Trigger::Repeat { cmd, times } => {
                     deep_ok && *cmd == cb.name && counts_hit >= *times
@@ -489,7 +576,7 @@ impl VKernel {
         }
         if deep_ok {
             let f = state.fd_mut(fd).expect("fd");
-            f.last_cmd = Some(cb.name.clone());
+            f.last_cmd = Some(idx as u32);
         }
         if crashed {
             return -errno::EFAULT;
@@ -501,28 +588,15 @@ impl VKernel {
             return -errno::EINVAL;
         }
         // Deep blocks: everything semantically valid.
-        self.cover(
-            state,
-            t.block_base,
-            cmd_base + 32,
-            cb.deep_blocks,
-        );
+        self.cover(state, t.block_base, cmd_base + 32, cb.deep_blocks);
         // Effects.
         match &cb.effect {
             CmdEffect::CreatesFd { handler } => {
-                if self.targets.contains_key(handler) {
-                    let sub_base = self.target(handler).block_base;
+                if let Some(&sub) = self.by_id.get(handler) {
+                    let sub_t = self.target(sub);
                     // Creating the sub-object covers its init path.
-                    self.cover(state, sub_base, 0, 2);
-                    return state.alloc_fd(FdState {
-                        bp: handler.clone(),
-                        state: 0,
-                        last_cmd: None,
-                        cmd_counts: BTreeMap::new(),
-                        issued_ids: BTreeSet::new(),
-                        next_id: 1,
-                        closed: false,
-                    });
+                    self.cover(state, sub_t.block_base, 0, 2);
+                    return state.alloc_fd(FdState::fresh(sub, sub_t.bp.cmds.len()));
                 }
             }
             CmdEffect::StateStep { sets, .. } => {
@@ -533,7 +607,6 @@ impl VKernel {
                 let f = state.fd_mut(fd).expect("fd");
                 let id = f.next_id;
                 f.next_id += 1;
-                f.issued_ids.insert(id);
                 return i64::from(id);
             }
             CmdEffect::Pure => {}
@@ -560,10 +633,10 @@ impl VKernel {
         len: u64,
         mem: &MemMap,
     ) -> i64 {
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOTTY;
         };
@@ -573,16 +646,15 @@ impl VKernel {
         let off = Self::sock_call_offset(call);
         self.cover(state, t.block_base, off, 1);
         // Address validation: size + family magic.
-        let addr_struct = format!("sockaddr_{}", t.bp.id);
-        if let Some(sdef) = t.bp.arg_struct(&addr_struct) {
-            let (size, _) = sdef.size_align(&t.bp.structs);
+        if let Some(size) = t.sockaddr_size {
             if len < size {
                 return -errno::EINVAL;
             }
-            let Some(bytes) = mem.read(addr, 2) else {
+            let second = addr.checked_add(1).and_then(|a| mem.byte_at(a));
+            let (Some(b0), Some(b1)) = (mem.byte_at(addr), second) else {
                 return -errno::EFAULT;
             };
-            let family = u64::from(u16::from_le_bytes([bytes[0], bytes[1]]));
+            let family = u64::from(u16::from_le_bytes([b0, b1]));
             if family != s.family {
                 return -errno::EAFNOSUPPORT;
             }
@@ -597,10 +669,10 @@ impl VKernel {
 
     fn sys_sendto(&self, state: &mut VmState, args: &[u64; 6], mem: &MemMap) -> i64 {
         let (fd, _buf, len) = (args[0], args[1], args[2]);
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOTTY;
         };
@@ -613,7 +685,7 @@ impl VKernel {
         let off = Self::sock_call_offset(SockCall::Sendto);
         self.cover(state, t.block_base, off, 2);
         // Payload must be readable.
-        if mem.read(args[1], (len as usize).min(4096)).is_none() {
+        if !mem.is_mapped(args[1], (len as usize).min(4096)) {
             return -errno::EFAULT;
         }
         self.cover(state, t.block_base, off + 2, 3);
@@ -635,17 +707,22 @@ impl VKernel {
     }
 
     fn sys_recvfrom(&self, state: &mut VmState, fd: u64) -> i64 {
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOTTY;
         };
         if !s.calls.contains(&SockCall::Recvfrom) {
             return -errno::EINVAL;
         }
-        self.cover(state, t.block_base, Self::sock_call_offset(SockCall::Recvfrom), 2);
+        self.cover(
+            state,
+            t.block_base,
+            Self::sock_call_offset(SockCall::Recvfrom),
+            2,
+        );
         0
     }
 
@@ -653,32 +730,29 @@ impl VKernel {
         let Some(f) = state.fd_mut(fd) else {
             return -errno::EBADF;
         };
-        let bp_id = f.bp.clone();
+        let tidx = f.target;
         let bound = f.state >= 1;
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOTTY;
         };
         if !s.calls.contains(&SockCall::Accept) || !bound {
             return -errno::EINVAL;
         }
-        self.cover(state, t.block_base, Self::sock_call_offset(SockCall::Accept), 2);
-        state.alloc_fd(FdState {
-            bp: bp_id,
-            state: 0,
-            last_cmd: None,
-            cmd_counts: BTreeMap::new(),
-            issued_ids: BTreeSet::new(),
-            next_id: 1,
-            closed: false,
-        })
+        self.cover(
+            state,
+            t.block_base,
+            Self::sock_call_offset(SockCall::Accept),
+            2,
+        );
+        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
     }
 
     fn sys_rw(&self, state: &mut VmState, fd: u64) -> i64 {
-        let Some(bp_id) = state.fd_mut(fd).map(|f| f.bp.clone()) else {
+        let Some(tidx) = state.fd_target(fd) else {
             return -errno::EBADF;
         };
-        let t = self.target(&bp_id).clone_light();
+        let t = self.target(tidx);
         self.cover(state, t.block_base, 60, 2);
         0
     }
@@ -691,14 +765,6 @@ impl VKernel {
             }
             None => -errno::EBADF,
         }
-    }
-}
-
-impl Target {
-    // Cheap borrow workaround: blueprints are read-only; cloning the
-    // (small) header keeps borrowck simple without Rc gymnastics.
-    fn clone_light(&self) -> Target {
-        self.clone()
     }
 }
 
@@ -747,6 +813,20 @@ mod tests {
     }
 
     #[test]
+    fn state_reset_reuses_cleanly() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        let _ = open_dm(&k, &mut st);
+        assert!(!st.coverage.is_empty());
+        st.reset();
+        assert!(st.coverage.is_empty());
+        assert!(st.crash.is_none());
+        // fd table restarts at 3 after reset.
+        let fd = open_dm(&k, &mut st);
+        assert_eq!(fd, 3);
+    }
+
+    #[test]
     fn ioctl_needs_magic_byte_with_iocnr_transform() {
         let k = boot_dm();
         let mut st = VmState::new();
@@ -784,7 +864,10 @@ mod tests {
         let fd = open_dm(&k, &mut st_ok);
         let mut m = mem_with("/dev/mapper/control");
         m.write(0x2000_0000, vec![0u8; size as usize]);
-        assert_eq!(k.exec_call(&mut st_ok, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m), 0);
+        assert_eq!(
+            k.exec_call(&mut st_ok, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
+            0
+        );
 
         // Reserved-field violation.
         let mut st_bad = VmState::new();
@@ -839,11 +922,27 @@ mod tests {
         let create = bp.cmd_value(bp.cmd("DM_DEV_CREATE").unwrap());
         let remove_all = bp.cmd_value(bp.cmd("DM_REMOVE_ALL").unwrap());
         // REMOVE_ALL alone: no crash.
-        assert_eq!(k.exec_call(&mut st, "ioctl", &[fd, remove_all, 0x2000_0000, 0, 0, 0], &m), 0);
+        assert_eq!(
+            k.exec_call(
+                &mut st,
+                "ioctl",
+                &[fd, remove_all, 0x2000_0000, 0, 0, 0],
+                &m
+            ),
+            0
+        );
         assert!(st.crash.is_none());
         // CREATE then REMOVE_ALL: CVE-2024-50277.
-        assert_eq!(k.exec_call(&mut st, "ioctl", &[fd, create, 0x2000_0000, 0, 0, 0], &m), 0);
-        let _ = k.exec_call(&mut st, "ioctl", &[fd, remove_all, 0x2000_0000, 0, 0, 0], &m);
+        assert_eq!(
+            k.exec_call(&mut st, "ioctl", &[fd, create, 0x2000_0000, 0, 0, 0], &m),
+            0
+        );
+        let _ = k.exec_call(
+            &mut st,
+            "ioctl",
+            &[fd, remove_all, 0x2000_0000, 0, 0, 0],
+            &m,
+        );
         assert_eq!(
             st.crash.clone().map(|c| c.title),
             Some("general protection fault in cleanup_mapped_device".into())
@@ -864,11 +963,21 @@ mod tests {
         assert!(kvm_fd >= 3);
         let kvm_bp = flagship::kvm();
         let create_vm = kvm_bp.cmd_value(kvm_bp.cmd("KVM_CREATE_VM").unwrap());
-        let vm_fd = k.exec_call(&mut st, "ioctl", &[kvm_fd as u64, create_vm, 0, 0, 0, 0], &m);
+        let vm_fd = k.exec_call(
+            &mut st,
+            "ioctl",
+            &[kvm_fd as u64, create_vm, 0, 0, 0, 0],
+            &m,
+        );
         assert!(vm_fd > kvm_fd, "vm fd: {vm_fd}");
         let vm_bp = flagship::kvm_vm();
         let create_vcpu = vm_bp.cmd_value(vm_bp.cmd("KVM_CREATE_VCPU").unwrap());
-        let vcpu_fd = k.exec_call(&mut st, "ioctl", &[vm_fd as u64, create_vcpu, 0, 0, 0, 0], &m);
+        let vcpu_fd = k.exec_call(
+            &mut st,
+            "ioctl",
+            &[vm_fd as u64, create_vcpu, 0, 0, 0, 0],
+            &m,
+        );
         assert!(vcpu_fd > vm_fd, "vcpu fd: {vcpu_fd}");
         // KVM_RUN requires SET_REGS first (state machine).
         let vcpu_bp = flagship::kvm_vcpu();
@@ -877,6 +986,24 @@ mod tests {
             k.exec_call(&mut st, "ioctl", &[vcpu_fd as u64, run, 0, 0, 0, 0], &m),
             -errno::EBUSY
         );
+    }
+
+    #[test]
+    fn bind_with_address_at_u64_max_is_efault_not_overflow() {
+        // The generator's dangling-resource fallback is u64::MAX, so
+        // the address-validation path must treat pointer arithmetic
+        // overflow as EFAULT rather than panicking.
+        let k = VKernel::boot(vec![flagship::caif_stream()]);
+        let mut st = VmState::new();
+        let fd = k.exec_call(&mut st, "socket", &[37, 1, 0, 0, 0, 0], &MemMap::new());
+        assert!(fd >= 3);
+        let r = k.exec_call(
+            &mut st,
+            "bind",
+            &[fd as u64, u64::MAX, 64, 0, 0, 0],
+            &MemMap::new(),
+        );
+        assert_eq!(r, -errno::EFAULT);
     }
 
     #[test]
@@ -929,7 +1056,10 @@ mod tests {
         let k = boot_dm();
         let mut st = VmState::new();
         let fd = open_dm(&k, &mut st);
-        assert_eq!(k.exec_call(&mut st, "close", &[fd, 0, 0, 0, 0, 0], &MemMap::new()), 0);
+        assert_eq!(
+            k.exec_call(&mut st, "close", &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
+            0
+        );
         assert_eq!(
             k.exec_call(&mut st, "ioctl", &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
             -errno::EBADF

@@ -1,12 +1,17 @@
 //! Userspace memory image passed to the virtual kernel.
 
-use std::collections::BTreeMap;
-
 /// Sparse byte map: the fuzzer's encoder allocates segments, the kernel
 /// reads them (`copy_from_user`).
+///
+/// Segments are kept in a flat vector sorted by start address, so the
+/// hot lookup ("greatest segment start ≤ addr") is a binary search
+/// with no per-call allocation — the encoder already emits segments in
+/// ascending address order, which [`MemMap::load`] exploits to rebuild
+/// an image from a finished encoder without sorting or copying bytes.
 #[derive(Debug, Clone, Default)]
 pub struct MemMap {
-    segments: BTreeMap<u64, Vec<u8>>,
+    /// `(start, bytes)`, sorted ascending by start, unique starts.
+    segments: Vec<(u64, Vec<u8>)>,
 }
 
 impl MemMap {
@@ -16,7 +21,8 @@ impl MemMap {
         MemMap::default()
     }
 
-    /// Build from `(address, bytes)` segments (encoder output).
+    /// Build from `(address, bytes)` segments (encoder output). Later
+    /// entries replace earlier ones with the same start address.
     #[must_use]
     pub fn from_segments(segments: Vec<(u64, Vec<u8>)>) -> MemMap {
         let mut m = MemMap::new();
@@ -28,30 +34,113 @@ impl MemMap {
 
     /// Install bytes at an address (overwrites overlaps segment-wise).
     pub fn write(&mut self, addr: u64, bytes: Vec<u8>) {
-        self.segments.insert(addr, bytes);
+        match self.segments.binary_search_by_key(&addr, |s| s.0) {
+            Ok(i) => self.segments[i].1 = bytes,
+            Err(i) => self.segments.insert(i, (addr, bytes)),
+        }
+    }
+
+    /// Replace the whole image with already-sorted segments, swapping
+    /// vectors so the previous storage flows back to the caller for
+    /// recycling. Falls back to sorting if the input is unordered.
+    pub fn load(&mut self, segments: &mut Vec<(u64, Vec<u8>)>) {
+        std::mem::swap(&mut self.segments, segments);
+        if !self.segments.windows(2).all(|w| w[0].0 < w[1].0) {
+            self.segments.sort_by_key(|s| s.0);
+            self.segments.dedup_by(|later, kept| {
+                if later.0 == kept.0 {
+                    // Last write wins, as with repeated `write`s.
+                    std::mem::swap(&mut kept.1, &mut later.1);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+
+    /// Drop every segment, retaining storage.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// Index of the segment with the greatest start ≤ `addr`.
+    fn seg_at_or_before(&self, addr: u64) -> Option<usize> {
+        let i = self.segments.partition_point(|s| s.0 <= addr);
+        i.checked_sub(1)
+    }
+
+    /// Read `len` bytes at `addr` into `out` (cleared first), possibly
+    /// spanning adjacent segments. Returns `false` (an `EFAULT`) if
+    /// any byte is unmapped; `out` contents are unspecified then.
+    pub fn read_into(&self, addr: u64, len: usize, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        if len == 0 {
+            return true;
+        }
+        let mut cur = addr;
+        let Some(end) = addr.checked_add(len as u64) else {
+            return false;
+        };
+        while cur < end {
+            let Some(i) = self.seg_at_or_before(cur) else {
+                return false;
+            };
+            let (seg_start, seg) = &self.segments[i];
+            let Ok(off) = usize::try_from(cur - seg_start) else {
+                return false;
+            };
+            if off >= seg.len() {
+                return false;
+            }
+            let take = (seg.len() - off).min((end - cur) as usize);
+            out.extend_from_slice(&seg[off..off + take]);
+            cur += take as u64;
+        }
+        true
     }
 
     /// Read `len` bytes at `addr`, possibly spanning adjacent segments.
     /// Returns `None` (an `EFAULT`) if any byte is unmapped.
     #[must_use]
     pub fn read(&self, addr: u64, len: usize) -> Option<Vec<u8>> {
-        if len == 0 {
-            return Some(Vec::new());
-        }
         let mut out = Vec::with_capacity(len);
-        let mut cur = addr;
-        let end = addr.checked_add(len as u64)?;
-        while cur < end {
-            let (seg_start, seg) = self.segments.range(..=cur).next_back()?;
-            let off = usize::try_from(cur - seg_start).ok()?;
-            if off >= seg.len() {
-                return None;
-            }
-            let take = (seg.len() - off).min((end - cur) as usize);
-            out.extend_from_slice(&seg[off..off + take]);
-            cur += take as u64;
+        self.read_into(addr, len, &mut out).then_some(out)
+    }
+
+    /// Whether `len` bytes at `addr` are fully mapped (readability
+    /// probe without materializing the bytes).
+    #[must_use]
+    pub fn is_mapped(&self, addr: u64, len: usize) -> bool {
+        if len == 0 {
+            return true;
         }
-        Some(out)
+        let mut cur = addr;
+        let Some(end) = addr.checked_add(len as u64) else {
+            return false;
+        };
+        while cur < end {
+            let Some(i) = self.seg_at_or_before(cur) else {
+                return false;
+            };
+            let (seg_start, seg) = &self.segments[i];
+            let Ok(off) = usize::try_from(cur - seg_start) else {
+                return false;
+            };
+            if off >= seg.len() {
+                return false;
+            }
+            cur += (seg.len() - off).min((end - cur) as usize) as u64;
+        }
+        true
+    }
+
+    /// The single byte at `addr`, if mapped.
+    #[must_use]
+    pub fn byte_at(&self, addr: u64) -> Option<u8> {
+        let i = self.seg_at_or_before(addr)?;
+        let (seg_start, seg) = &self.segments[i];
+        seg.get(usize::try_from(addr - seg_start).ok()?).copied()
     }
 
     /// Read a NUL-terminated string of at most `max` bytes.
@@ -60,9 +149,9 @@ impl MemMap {
         // Strings may be shorter than their segment; scan byte-wise.
         let mut out = Vec::new();
         for i in 0..max {
-            match self.read(addr + i as u64, 1) {
-                Some(b) if b[0] == 0 => return String::from_utf8(out).ok(),
-                Some(b) => out.push(b[0]),
+            match self.byte_at(addr + i as u64) {
+                Some(0) => return String::from_utf8(out).ok(),
+                Some(b) => out.push(b),
                 // Segment ended without a NUL: exact-size allocations
                 // terminate at the mapping boundary.
                 None => break,
@@ -87,6 +176,10 @@ mod tests {
         assert_eq!(m.read(0x1001, 2), Some(vec![2, 3]));
         assert_eq!(m.read(0x1003, 2), None); // runs past the end
         assert_eq!(m.read(0x2000, 1), None);
+        assert!(m.is_mapped(0x1000, 4));
+        assert!(!m.is_mapped(0x1003, 2));
+        assert_eq!(m.byte_at(0x1002), Some(3));
+        assert_eq!(m.byte_at(0x0fff), None);
     }
 
     #[test]
@@ -95,6 +188,31 @@ mod tests {
         m.write(0x1000, vec![1, 2]);
         m.write(0x1002, vec![3, 4]);
         assert_eq!(m.read(0x1000, 4), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn write_same_addr_replaces() {
+        let mut m = MemMap::new();
+        m.write(0x1000, vec![1, 2]);
+        m.write(0x1000, vec![9]);
+        assert_eq!(m.read(0x1000, 1), Some(vec![9]));
+        assert_eq!(m.read(0x1001, 1), None);
+    }
+
+    #[test]
+    fn load_swaps_storage_and_sorts_if_needed() {
+        let mut m = MemMap::new();
+        let mut segs = vec![(0x2000u64, vec![3u8]), (0x1000, vec![1, 2])];
+        m.load(&mut segs);
+        assert!(segs.is_empty());
+        assert_eq!(m.read(0x1000, 2), Some(vec![1, 2]));
+        assert_eq!(m.read(0x2000, 1), Some(vec![3]));
+        // Ascending input takes the no-sort path.
+        let mut sorted = vec![(0x10u64, vec![7u8]), (0x20, vec![8u8])];
+        m.load(&mut sorted);
+        assert_eq!(m.byte_at(0x20), Some(8));
+        // Previous storage flowed back for reuse.
+        assert_eq!(sorted.len(), 2);
     }
 
     #[test]
@@ -115,5 +233,6 @@ mod tests {
     fn zero_len_read_ok() {
         let m = MemMap::new();
         assert_eq!(m.read(0x1000, 0), Some(vec![]));
+        assert!(m.is_mapped(0x1000, 0));
     }
 }

@@ -8,7 +8,7 @@
 use kernelgpt::core::KernelGpt;
 use kernelgpt::csrc::{flagship, KernelCorpus};
 use kernelgpt::extractor::find_handlers;
-use kernelgpt::fuzzer::{Campaign, CampaignConfig};
+use kernelgpt::fuzzer::{CampaignConfig, ShardedCampaign};
 use kernelgpt::llm::{ModelKind, OracleModel};
 use kernelgpt::vkernel::VKernel;
 
@@ -37,7 +37,9 @@ fn main() {
             max_prog_len: 8,
             enabled: None,
         };
-        let result = Campaign::new(&kernel, suite, kc.consts(), cfg).run();
+        // Sharded over all cores; the result is identical to a
+        // sequential 8-shard run, just faster.
+        let result = ShardedCampaign::new(&kernel, suite, kc.consts(), cfg).run();
         println!(
             "{name:<20}: {:>5} blocks, {} unique crashes over {} execs (corpus {})",
             result.blocks(),

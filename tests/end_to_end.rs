@@ -4,7 +4,7 @@
 use kernelgpt::core::{KernelGpt, Strategy};
 use kernelgpt::csrc::{flagship, KernelCorpus};
 use kernelgpt::extractor::find_handlers;
-use kernelgpt::fuzzer::{Campaign, CampaignConfig};
+use kernelgpt::fuzzer::{Campaign, CampaignConfig, ShardedCampaign};
 use kernelgpt::llm::{ModelKind, OracleModel};
 use kernelgpt::syzlang::{validate::validate, SpecDb};
 use kernelgpt::vkernel::VKernel;
@@ -35,6 +35,39 @@ fn kernelgpt_spec_finds_dm_cve() {
     );
     let (_, cve) = &result.crashes["kmalloc bug in ctl_ioctl"];
     assert_eq!(cve.as_deref(), Some("CVE-2024-23851"));
+}
+
+/// The sharded engine drives the same full pipeline: KernelGPT specs,
+/// parallel workers sharing one booted kernel, and the dm CVE found —
+/// with a result that is independent of the worker thread count.
+#[test]
+fn sharded_kernelgpt_campaign_finds_dm_cve_thread_invariantly() {
+    let kc = KernelCorpus::from_blueprints(vec![flagship::dm()]);
+    let handlers = find_handlers(kc.corpus());
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    let report = KernelGpt::new(&model, kc.corpus()).generate_all(&handlers, kc.consts());
+    let kernel = VKernel::boot(vec![flagship::dm()]);
+    let cfg = CampaignConfig {
+        execs: 8_000,
+        seed: 0,
+        max_prog_len: 8,
+        enabled: None,
+    };
+    let run = |threads: usize| {
+        ShardedCampaign::new(&kernel, report.specs(), kc.consts(), cfg.clone())
+            .with_shards(8)
+            .with_threads(threads)
+            .run()
+    };
+    let parallel = run(8);
+    assert!(
+        parallel.crashes.contains_key("kmalloc bug in ctl_ioctl"),
+        "crashes: {:?}",
+        parallel.crashes
+    );
+    let serial = run(1);
+    assert_eq!(serial.coverage, parallel.coverage);
+    assert_eq!(serial.crashes, parallel.crashes);
 }
 
 /// The same campaign under the SyzDescribe spec finds nothing: wrong

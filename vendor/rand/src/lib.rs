@@ -1,0 +1,269 @@
+//! Deterministic, dependency-free stand-in for the subset of the
+//! `rand` crate API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! real `rand` cannot be fetched. This vendored crate implements the
+//! exact call surface the workspace needs — [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], the [`RngExt`] convenience methods
+//! (`random`, `random_range`, `random_bool`) and
+//! [`seq::IndexedRandom::choose`] — on top of a fixed, documented
+//! generator (xoshiro256** seeded through SplitMix64).
+//!
+//! Determinism is load-bearing: fuzzing campaigns, the synthetic
+//! corpus, and the shard merge-invariance tests all assume that the
+//! same seed yields the same stream on every platform, forever. Do not
+//! change the generator without updating every recorded experiment.
+
+/// Source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// xoshiro256** — small, fast, and statistically strong enough for
+    /// fuzzing workloads. State is seeded via SplitMix64 so that
+    /// nearby seeds produce uncorrelated streams.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut x = seed;
+            let mut split = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [split(), split(), split(), split()],
+            }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Map 64 uniform bits onto `Self`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn from_bits(bits: u64) -> $t {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[allow(clippy::cast_precision_loss)]
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`random_range`](RngExt::random_range)
+/// bounds. Ranges with negative bounds are not supported (the
+/// workspace never uses them).
+pub trait SampleUniform: Copy {
+    /// Widen to u64.
+    fn to_u64(self) -> u64;
+    /// Narrow from u64 (the value is always in range by construction).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_lossless, clippy::cast_sign_loss)]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn from_u64(v: u64) -> $t { v as $t }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(hi > lo, "cannot sample empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(hi >= lo, "cannot sample empty range");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 domain.
+            T::from_u64(rng.next_u64())
+        } else {
+            T::from_u64(lo + rng.next_u64() % span)
+        }
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] (mirrors the `rand` 0.9 `Rng` extension trait).
+pub trait RngExt: RngCore {
+    /// A uniform value of `T`'s full domain.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform value within `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::from_bits_standard(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+// Small shim so random_bool doesn't collide with std's f64::from_bits.
+trait F64Uniform {
+    fn from_bits_standard(bits: u64) -> f64;
+}
+impl F64Uniform for f64 {
+    fn from_bits_standard(bits: u64) -> f64 {
+        <f64 as Standard>::from_bits(bits)
+    }
+}
+
+/// Slice sampling.
+pub mod seq {
+    use crate::RngCore;
+
+    /// Random element selection from indexable collections.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        #[allow(clippy::cast_possible_truncation)]
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3..10u32);
+            assert!((3..10).contains(&v));
+            let w = r.random_range(1..=8usize);
+            assert!((1..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3, 4];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(*xs.choose(&mut r).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types
+//! to keep them serialization-ready, but never actually produces a
+//! wire format (no `serde_json` etc. in the tree). Since the build
+//! environment cannot fetch crates.io, this crate supplies the two
+//! trait names as blanket-satisfied markers and re-exports no-op
+//! derive macros, so `#[derive(Serialize, Deserialize)]` compiles
+//! unchanged. Swap back to real serde the day an actual wire format
+//! is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type is serialization-ready. Blanket-satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: the type is deserialization-ready. Blanket-satisfied.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The traits in the sibling `serde` crate are blanket-implemented,
+//! so the derives only need to exist (and accept any input) — they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
