@@ -65,7 +65,7 @@ fn main() {
                 seed: 1,
                 ..CampaignConfig::default()
             };
-            black_box(Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run());
+            black_box(Campaign::new(&kernel, &suite, kc.consts(), cfg).run());
         });
         report("fuzzer/sharded_campaign_8x1000_execs", 10, || {
             let cfg = CampaignConfig {
@@ -74,7 +74,7 @@ fn main() {
                 ..CampaignConfig::default()
             };
             black_box(
-                ShardedCampaign::new(&kernel, suite.clone(), kc.consts(), cfg)
+                ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg)
                     .with_shards(8)
                     .run(),
             );

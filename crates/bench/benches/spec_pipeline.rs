@@ -34,13 +34,23 @@ fn main() {
         report("syzlang/parse_dm_spec", 500, || {
             black_box(kgpt_syzlang::parse("dm", black_box(&text)).unwrap());
         });
-        let db = kgpt_syzlang::SpecDb::from_files(vec![truth]);
+        let db = kgpt_syzlang::SpecDb::from_files(vec![truth.clone()]);
         report("syzlang/validate_dm_spec", 500, || {
             black_box(kgpt_syzlang::validate::validate(
                 black_box(&db),
                 kc.consts(),
             ));
         });
+        let suite = vec![truth];
+        report("syzlang/specdb_cold_build", 500, || {
+            black_box(kgpt_syzlang::SpecDb::from_files(black_box(suite.clone())));
+        });
+        let cache = kgpt_syzlang::SpecCache::new();
+        let _ = cache.get_or_build(&suite);
+        report("syzlang/specdb_warm_lookup", 20_000, || {
+            black_box(cache.get_or_build(black_box(&suite)));
+        });
+        assert_eq!(cache.misses(), 1, "warm lookups must not recompile");
     }
 
     {

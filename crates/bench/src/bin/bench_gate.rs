@@ -1,0 +1,73 @@
+//! CI bench-regression gate.
+//!
+//! Compares a freshly measured bench file against the committed
+//! baseline, hard-failing on determinism/coverage mismatches and
+//! failing on throughput regressions beyond the allowed percentage
+//! (default 25%, override with `BENCH_GATE_MAX_REGRESSION` on noisy
+//! runners). See `kgpt_bench::gate` for the exact rules.
+//!
+//! Usage: `cargo run --release -p kgpt-bench --bin bench_gate --
+//! [--fresh BENCH_fuzzing.json] [--baseline BENCH_baseline.json]
+//! [--max-regression PCT]`
+
+use kgpt_bench::gate;
+use kgpt_bench::json::parse_json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<kgpt_bench::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut fresh_path = String::from("BENCH_fuzzing.json");
+    let mut baseline_path = String::from("BENCH_baseline.json");
+    let mut max_regression = gate::max_regression_pct();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fresh" => fresh_path = args.next().expect("--fresh PATH"),
+            "--baseline" => baseline_path = args.next().expect("--baseline PATH"),
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regression PCT");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for e in [f.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = gate::check(&fresh, &baseline, max_regression);
+    println!(
+        "bench_gate: {fresh_path} vs {baseline_path} (allowed regression {max_regression:.0}%)"
+    );
+    for n in &outcome.notes {
+        println!("  note: {n}");
+    }
+    for f in &outcome.failures {
+        eprintln!("  FAIL: {f}");
+    }
+    if outcome.passed() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAILED ({} finding(s)); raise {} only for known-noisy runners — \
+             coverage/determinism failures are never noise",
+            outcome.failures.len(),
+            gate::MAX_REGRESSION_ENV
+        );
+        ExitCode::FAILURE
+    }
+}

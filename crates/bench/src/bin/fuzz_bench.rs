@@ -1,17 +1,30 @@
-//! Fuzzing-throughput harness.
+//! Fuzzing + generation throughput harness.
 //!
-//! Measures execs/sec of the dm-driver campaign, sequentially and
-//! under [`ShardedCampaign`] at 1, 2, 4 and 8 worker threads over the
-//! default 8-shard decomposition, verifies that the thread count does
-//! not change `coverage`/`crashes` (the merge-invariance contract),
-//! and writes the scaling curve to `BENCH_fuzzing.json` so future
-//! changes have a recorded perf trajectory (see EXPERIMENTS.md).
+//! Measures, and writes to `BENCH_fuzzing.json` (see EXPERIMENTS.md):
+//!
+//! * execs/sec of the dm-driver campaign, sequentially and under
+//!   [`ShardedCampaign`] at 1, 2, 4 and 8 worker threads over the
+//!   default 8-shard decomposition, verifying that the thread count
+//!   does not change `coverage`/`crashes` (merge invariance);
+//! * handlers/sec of parallel [`KernelGpt::generate_all`] over the
+//!   flagship corpus at 1, 2, 4 and 8 worker threads, verifying the
+//!   reports are bit-identical at every thread count;
+//! * cold-vs-warm compiled-spec construction time through
+//!   [`SpecCache`] (the warm path is an `Arc` clone).
+//!
+//! The committed `BENCH_baseline.json` is this file's output at the
+//! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
+//! run against it.
 //!
 //! Usage: `cargo run --release -p kgpt-bench --bin fuzz_bench --
-//! [--execs N] [--out PATH]`
+//! [--execs N] [--gen-reps N] [--out PATH]`
 
+use kgpt_core::KernelGpt;
 use kgpt_csrc::KernelCorpus;
+use kgpt_extractor::find_handlers;
 use kgpt_fuzzer::{Campaign, CampaignConfig, CampaignResult, ShardedCampaign};
+use kgpt_llm::{ModelKind, OracleModel};
+use kgpt_syzlang::{SpecCache, SpecDb};
 use kgpt_vkernel::VKernel;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,17 +34,24 @@ const THREAD_POINTS: &[usize] = &[1, 2, 4, 8];
 struct Point {
     threads: usize,
     secs: f64,
-    execs_per_sec: f64,
+    rate: f64,
 }
 
 fn main() {
     let mut execs: u64 = 100_000;
+    let mut gen_reps: u32 = 1;
     let mut out = String::from("BENCH_fuzzing.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--execs" => {
                 execs = args.next().and_then(|v| v.parse().ok()).expect("--execs N");
+            }
+            "--gen-reps" => {
+                gen_reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--gen-reps N");
             }
             "--out" => out = args.next().expect("--out PATH"),
             other => panic!("unknown argument {other}"),
@@ -52,11 +72,11 @@ fn main() {
         execs: (execs / 20).max(500),
         ..cfg.clone()
     };
-    let _ = Campaign::new(&kernel, suite.clone(), kc.consts(), warm).run();
+    let _ = Campaign::new(&kernel, &suite, kc.consts(), warm).run();
 
     // Sequential baseline (the pre-sharding code path).
     let t0 = Instant::now();
-    let seq = Campaign::new(&kernel, suite.clone(), kc.consts(), cfg.clone()).run();
+    let seq = Campaign::new(&kernel, &suite, kc.consts(), cfg.clone()).run();
     let seq_secs = t0.elapsed().as_secs_f64();
     let seq_rate = execs as f64 / seq_secs;
     println!(
@@ -70,7 +90,7 @@ fn main() {
     let mut merge_invariant = true;
     for &threads in THREAD_POINTS {
         let t0 = Instant::now();
-        let r = ShardedCampaign::new(&kernel, suite.clone(), kc.consts(), cfg.clone())
+        let r = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg.clone())
             .with_shards(8)
             .with_threads(threads)
             .run();
@@ -92,17 +112,85 @@ fn main() {
         points.push(Point {
             threads,
             secs,
-            execs_per_sec: rate,
+            rate,
         });
     }
     let reference = reference.expect("at least one point");
     assert!(merge_invariant, "thread count changed campaign results");
 
-    let speedup = points.last().expect("points").execs_per_sec / points[0].execs_per_sec;
+    let speedup = points.last().expect("points").rate / points[0].rate;
     println!(
         "scaling 1->8 threads: {speedup:.2}x on {} available cores; merge invariant: {merge_invariant}",
         std::thread::available_parallelism().map_or(0, usize::from)
     );
+
+    // ---- Generation throughput (parallel generate_all) ----
+    let gen_kc = KernelCorpus::flagship_only();
+    let gen_handlers = find_handlers(gen_kc.corpus());
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    // Untimed warm-up so one-time costs (cold global-SpecCache
+    // compiles of the merged suite inside validate_merged) are not
+    // charged to the first thread point.
+    let _ = KernelGpt::new(&model, gen_kc.corpus())
+        .with_threads(1)
+        .generate_all(&gen_handlers, gen_kc.consts());
+    let mut gen_points: Vec<Point> = Vec::new();
+    let mut gen_reference = None;
+    let mut bit_identical = true;
+    for &threads in THREAD_POINTS {
+        let engine = KernelGpt::new(&model, gen_kc.corpus()).with_threads(threads);
+        let t0 = Instant::now();
+        let mut report = engine.generate_all(&gen_handlers, gen_kc.consts());
+        for _ in 1..gen_reps {
+            report = engine.generate_all(&gen_handlers, gen_kc.consts());
+        }
+        let secs = t0.elapsed().as_secs_f64() / f64::from(gen_reps.max(1));
+        let rate = gen_handlers.len() as f64 / secs;
+        println!(
+            "generate x{threads:<6} : {} handlers in {secs:.3}s = {rate:>8.1} handlers/sec ({} valid)",
+            gen_handlers.len(),
+            report.valid_count()
+        );
+        match &gen_reference {
+            Some(reference) => {
+                if *reference != report {
+                    bit_identical = false;
+                    eprintln!("GENERATION REPORT DIVERGED at threads={threads}");
+                }
+            }
+            None => gen_reference = Some(report),
+        }
+        gen_points.push(Point {
+            threads,
+            secs,
+            rate,
+        });
+    }
+    let gen_reference = gen_reference.expect("at least one generation point");
+    assert!(bit_identical, "thread count changed the generation report");
+
+    // ---- Compiled-spec cache: cold build vs warm lookup ----
+    const COLD_ITERS: u32 = 50;
+    const WARM_ITERS: u32 = 20_000;
+    let t0 = Instant::now();
+    for _ in 0..COLD_ITERS {
+        std::hint::black_box(SpecDb::from_files(suite.clone()));
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(COLD_ITERS);
+    let cache = SpecCache::new();
+    let _ = cache.get_or_build(&suite);
+    let t0 = Instant::now();
+    for _ in 0..WARM_ITERS {
+        std::hint::black_box(cache.get_or_build(&suite));
+    }
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(WARM_ITERS);
+    let warm_speedup = cold_ms / warm_ms.max(1e-9);
+    println!(
+        "spec cache       : cold build {cold_ms:.4}ms vs warm lookup {warm_ms:.4}ms = {warm_speedup:.0}x ({} hits, {} misses)",
+        cache.hits(),
+        cache.misses()
+    );
+    assert_eq!(cache.misses(), 1, "warm lookups must not recompile");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -126,7 +214,7 @@ fn main() {
             "    {{ \"threads\": {}, \"secs\": {:.6}, \"execs_per_sec\": {:.1} }}{}",
             p.threads,
             p.secs,
-            p.execs_per_sec,
+            p.rate,
             if i + 1 < points.len() { "," } else { "" }
         );
     }
@@ -134,7 +222,42 @@ fn main() {
     let _ = writeln!(json, "  \"speedup_1_to_8_threads\": {speedup:.3},");
     let _ = writeln!(json, "  \"merge_invariant\": {merge_invariant},");
     let _ = writeln!(json, "  \"blocks\": {},", reference.blocks());
-    let _ = writeln!(json, "  \"unique_crashes\": {}", reference.unique_crashes());
+    let _ = writeln!(
+        json,
+        "  \"unique_crashes\": {},",
+        reference.unique_crashes()
+    );
+    let _ = writeln!(json, "  \"generation\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"flagship corpus, oracle gpt-4, seed 0\","
+    );
+    let _ = writeln!(json, "    \"handlers\": {},", gen_handlers.len());
+    let _ = writeln!(
+        json,
+        "    \"valid_count\": {},",
+        gen_reference.valid_count()
+    );
+    let _ = writeln!(json, "    \"bit_identical\": {bit_identical},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in gen_points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"threads\": {}, \"secs\": {:.6}, \"handlers_per_sec\": {:.2} }}{}",
+            p.threads,
+            p.secs,
+            p.rate,
+            if i + 1 < gen_points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"spec_cache\": {{");
+    let _ = writeln!(json, "    \"suite\": \"dm ground-truth\",");
+    let _ = writeln!(json, "    \"cold_build_ms\": {cold_ms:.6},");
+    let _ = writeln!(json, "    \"warm_lookup_ms\": {warm_ms:.6},");
+    let _ = writeln!(json, "    \"warm_speedup\": {warm_speedup:.1}");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");
     println!("wrote {out}");

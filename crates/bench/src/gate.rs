@@ -1,0 +1,306 @@
+//! Bench-regression gate.
+//!
+//! Compares a freshly measured `BENCH_fuzzing.json` against the
+//! committed `BENCH_baseline.json` and classifies the differences:
+//!
+//! * **determinism** — `merge_invariant` and the generation
+//!   `bit_identical` flag must hold in the fresh run, full stop;
+//! * **coverage** — with an identical workload (`execs`, `shards`),
+//!   the campaign is a pure function of its config, so `blocks` and
+//!   `unique_crashes` must match the baseline *exactly* on any
+//!   machine — a mismatch means the fuzzer's behaviour changed, not
+//!   that a runner was slow;
+//! * **throughput** — rate metrics (execs/sec, handlers/sec, the
+//!   warm-cache speedup) may regress by at most a threshold
+//!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
+//!   `BENCH_GATE_MAX_REGRESSION` environment variable for noisy
+//!   runners).
+//!
+//! The `bench_gate` binary is a thin CLI over [`check`].
+
+use crate::json::Json;
+
+/// Default allowed throughput regression, percent.
+pub const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+/// Environment variable overriding the allowed regression percentage.
+pub const MAX_REGRESSION_ENV: &str = "BENCH_GATE_MAX_REGRESSION";
+
+/// Outcome of a gate run.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Informational lines (improvements, skipped comparisons).
+    pub notes: Vec<String>,
+    /// Gate-failing findings; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The allowed regression percentage: the env override when set and
+/// parseable, the default otherwise.
+#[must_use]
+pub fn max_regression_pct() -> f64 {
+    std::env::var(MAX_REGRESSION_ENV)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT)
+}
+
+/// Run every check of the gate (see the module docs).
+#[must_use]
+pub fn check(fresh: &Json, baseline: &Json, max_regression_pct: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    check_determinism(fresh, &mut out);
+    let same_workload = check_workload(fresh, baseline, &mut out);
+    if same_workload {
+        check_exact(fresh, baseline, "blocks", &mut out);
+        check_exact(fresh, baseline, "unique_crashes", &mut out);
+        check_exact(fresh, baseline, "generation.valid_count", &mut out);
+    }
+    for metric in rate_metrics(fresh, baseline) {
+        compare_rate(&metric, max_regression_pct, &mut out);
+    }
+    out
+}
+
+fn check_determinism(fresh: &Json, out: &mut GateOutcome) {
+    match fresh.path("merge_invariant").and_then(Json::as_bool) {
+        Some(true) => {}
+        Some(false) => out
+            .failures
+            .push("determinism: merge_invariant is false in the fresh run".into()),
+        None => out
+            .failures
+            .push("determinism: fresh run is missing `merge_invariant`".into()),
+    }
+    // The generation section is newer than some baselines; only its
+    // *presence with a falsy flag* is a failure.
+    if let Some(flag) = fresh
+        .path("generation.bit_identical")
+        .and_then(Json::as_bool)
+    {
+        if !flag {
+            out.failures.push(
+                "determinism: generation reports differ across thread counts (bit_identical=false)"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// `true` when fresh and baseline measured the same campaign workload,
+/// making coverage numbers directly comparable.
+fn check_workload(fresh: &Json, baseline: &Json, out: &mut GateOutcome) -> bool {
+    for key in ["execs", "shards"] {
+        let f = fresh.path(key).and_then(Json::as_f64);
+        let b = baseline.path(key).and_then(Json::as_f64);
+        if f != b {
+            out.notes.push(format!(
+                "coverage comparison skipped: `{key}` differs (fresh {f:?} vs baseline {b:?})"
+            ));
+            return false;
+        }
+    }
+    true
+}
+
+fn check_exact(fresh: &Json, baseline: &Json, path: &str, out: &mut GateOutcome) {
+    let (Some(f), Some(b)) = (
+        fresh.path(path).and_then(Json::as_f64),
+        baseline.path(path).and_then(Json::as_f64),
+    ) else {
+        return; // section absent on one side — nothing to compare
+    };
+    if (f - b).abs() > f64::EPSILON {
+        out.failures.push(format!(
+            "coverage/determinism: `{path}` diverged from baseline ({f} vs {b}) — \
+             the campaign is deterministic, so this is a behaviour change, not noise"
+        ));
+    }
+}
+
+/// One comparable higher-is-better rate.
+struct RateMetric {
+    name: String,
+    fresh: f64,
+    baseline: f64,
+}
+
+fn rate_metrics(fresh: &Json, baseline: &Json) -> Vec<RateMetric> {
+    let mut out = Vec::new();
+    let mut push = |name: String, f: Option<f64>, b: Option<f64>| {
+        if let (Some(fresh), Some(baseline)) = (f, b) {
+            if baseline > 0.0 {
+                out.push(RateMetric {
+                    name,
+                    fresh,
+                    baseline,
+                });
+            }
+        }
+    };
+    push(
+        "sequential execs/sec".into(),
+        fresh
+            .path("sequential.execs_per_sec")
+            .and_then(Json::as_f64),
+        baseline
+            .path("sequential.execs_per_sec")
+            .and_then(Json::as_f64),
+    );
+    for (section, rate_key, unit) in [
+        ("sharded", "execs_per_sec", "execs/sec"),
+        ("generation.points", "handlers_per_sec", "handlers/sec"),
+    ] {
+        let fresh_points = fresh.path(section).and_then(Json::as_arr).unwrap_or(&[]);
+        let base_points = baseline.path(section).and_then(Json::as_arr).unwrap_or(&[]);
+        for fp in fresh_points {
+            let threads = fp.get("threads").and_then(Json::as_f64);
+            let bp = base_points
+                .iter()
+                .find(|p| p.get("threads").and_then(Json::as_f64) == threads);
+            push(
+                format!(
+                    "{section} x{} {unit}",
+                    threads.map_or_else(|| "?".into(), |t| format!("{t:.0}"))
+                ),
+                fp.get(rate_key).and_then(Json::as_f64),
+                bp.and_then(|p| p.get(rate_key).and_then(Json::as_f64)),
+            );
+        }
+    }
+    push(
+        "spec-cache warm speedup".into(),
+        fresh.path("spec_cache.warm_speedup").and_then(Json::as_f64),
+        baseline
+            .path("spec_cache.warm_speedup")
+            .and_then(Json::as_f64),
+    );
+    out
+}
+
+fn compare_rate(m: &RateMetric, max_regression_pct: f64, out: &mut GateOutcome) {
+    let change_pct = (m.fresh / m.baseline - 1.0) * 100.0;
+    if change_pct < -max_regression_pct {
+        out.failures.push(format!(
+            "throughput: {} regressed {:.1}% ({:.1} vs baseline {:.1}, allowed {:.0}%)",
+            m.name, -change_pct, m.fresh, m.baseline, max_regression_pct
+        ));
+    } else {
+        out.notes.push(format!(
+            "throughput: {} {}{:.1}% ({:.1} vs baseline {:.1})",
+            m.name,
+            if change_pct >= 0.0 { "+" } else { "" },
+            change_pct,
+            m.fresh,
+            m.baseline
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    fn bench_doc(seq_rate: f64, blocks: u64, invariant: bool) -> Json {
+        parse_json(&format!(
+            r#"{{
+  "execs": 20000, "shards": 8,
+  "sequential": {{ "secs": 1.0, "execs_per_sec": {seq_rate} }},
+  "sharded": [ {{ "threads": 2, "secs": 1.0, "execs_per_sec": {seq_rate} }} ],
+  "merge_invariant": {invariant},
+  "blocks": {blocks},
+  "unique_crashes": 3,
+  "generation": {{
+    "bit_identical": true, "valid_count": 30,
+    "points": [ {{ "threads": 1, "handlers_per_sec": 10.0 }} ]
+  }},
+  "spec_cache": {{ "warm_speedup": 50.0 }}
+}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let doc = bench_doc(1000.0, 187, true);
+        let r = check(&doc, &doc, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn small_regression_within_threshold_passes() {
+        let r = check(
+            &bench_doc(800.0, 187, true),
+            &bench_doc(1000.0, 187, true),
+            25.0,
+        );
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn large_regression_fails_and_threshold_is_tunable() {
+        let fresh = bench_doc(700.0, 187, true);
+        let base = bench_doc(1000.0, 187, true);
+        let r = check(&fresh, &base, 25.0);
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("sequential")),
+            "{:?}",
+            r.failures
+        );
+        // A looser (noisy-runner) threshold lets the same delta pass.
+        assert!(check(&fresh, &base, 40.0).passed());
+    }
+
+    #[test]
+    fn coverage_mismatch_is_a_hard_failure_at_any_threshold() {
+        let r = check(
+            &bench_doc(1000.0, 150, true),
+            &bench_doc(1000.0, 187, true),
+            1e9,
+        );
+        assert!(!r.passed());
+        assert!(r.failures.iter().any(|f| f.contains("blocks")));
+    }
+
+    #[test]
+    fn coverage_not_compared_across_different_workloads() {
+        let mut fresh = bench_doc(1000.0, 150, true);
+        if let Json::Obj(members) = &mut fresh {
+            members[0].1 = Json::Num(40000.0); // execs differ
+        }
+        let r = check(&fresh, &bench_doc(1000.0, 187, true), 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(r.notes.iter().any(|n| n.contains("skipped")));
+    }
+
+    #[test]
+    fn broken_merge_invariance_fails() {
+        let doc = bench_doc(1000.0, 187, false);
+        let r = check(&doc, &doc, 25.0);
+        assert!(r.failures.iter().any(|f| f.contains("merge_invariant")));
+    }
+
+    #[test]
+    fn missing_generation_section_in_baseline_is_tolerated() {
+        let fresh = bench_doc(1000.0, 187, true);
+        let base = parse_json(
+            r#"{ "execs": 20000, "shards": 8, "merge_invariant": true,
+                 "sequential": { "execs_per_sec": 1000.0 }, "blocks": 187, "unique_crashes": 3 }"#,
+        )
+        .unwrap();
+        let r = check(&fresh, &base, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+}

@@ -5,6 +5,9 @@
 //! <experiment>` prints paper-formatted rows; see EXPERIMENTS.md for
 //! the recorded paper-vs-measured comparison.
 
+pub mod gate;
+pub mod json;
+
 use kgpt_core::{GenerationReport, KernelGpt, Strategy};
 use kgpt_csrc::blueprint::Blueprint;
 use kgpt_csrc::KernelCorpus;
@@ -92,7 +95,7 @@ impl Env {
     pub fn campaign(
         &self,
         kernel: &VKernel,
-        suite: Vec<SpecFile>,
+        suite: &[SpecFile],
         cfg: CampaignConfig,
     ) -> CampaignResult {
         Campaign::new(kernel, suite, self.kc.consts(), cfg).run()
@@ -105,7 +108,7 @@ impl Env {
     pub fn sharded_campaign(
         &self,
         kernel: &VKernel,
-        suite: Vec<SpecFile>,
+        suite: &[SpecFile],
         cfg: CampaignConfig,
         shards: u32,
         threads: usize,
@@ -137,7 +140,7 @@ impl Env {
                 max_prog_len: 8,
                 enabled: enabled.clone(),
             };
-            let r = self.campaign(kernel, suite.to_vec(), cfg);
+            let r = self.campaign(kernel, suite, cfg);
             blocks.push(r.blocks() as u64);
             crashes.push(r.unique_crashes() as u64);
             titles.extend(r.crashes.keys().cloned());
@@ -152,10 +155,12 @@ impl Env {
     }
 
     /// Per-driver syscall names of a suite (the `enabled` filter of
-    /// Tables 5/6): every syscall in the given files.
+    /// Tables 5/6): every syscall in the given files. Compiles through
+    /// the global [`kgpt_syzlang::SpecCache`], so the campaign built
+    /// over the same suite right after reuses the database.
     #[must_use]
     pub fn suite_syscalls(suite: &[SpecFile]) -> Vec<String> {
-        let db = SpecDb::from_files(suite.to_vec());
+        let db = kgpt_syzlang::SpecCache::global().get_or_build(suite);
         db.syscalls().map(Syscall::name).collect()
     }
 }

@@ -6,9 +6,11 @@ use kgpt_extractor::{extract_code, HandlerKind, OpHandler};
 use kgpt_llm::oracle::prefix_of_ops_var;
 use kgpt_llm::protocol::{Fact, Prompt, Task};
 use kgpt_llm::{ChatRequest, LanguageModel};
-use kgpt_syzlang::{ConstDb, SpecDb, SpecFile};
+use kgpt_syzlang::{ConstDb, SpecCache, SpecFile};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Iteration cap of Algorithm 1 (paper default: 5).
 pub const MAX_ITER: usize = 5;
@@ -24,7 +26,7 @@ pub enum Strategy {
 }
 
 /// Outcome of generating a spec for one handler.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HandlerOutcome {
     /// The ops-variable name of the handler.
     pub ops_var: String,
@@ -59,7 +61,7 @@ impl HandlerOutcome {
 }
 
 /// A full generation run over many handlers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GenerationReport {
     /// Per-handler outcomes, in input order.
     pub outcomes: Vec<HandlerOutcome>,
@@ -119,7 +121,17 @@ pub struct KernelGpt<'a> {
     corpus: &'a Corpus,
     strategy: Strategy,
     max_iter: usize,
+    /// Worker threads for `generate_all` (0 = one per available CPU).
+    threads: usize,
 }
+
+/// Compile-time proof that an engine can be shared by reference
+/// across generation worker threads ([`LanguageModel`] is `Sync`, the
+/// corpus is immutable).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<KernelGpt<'_>>();
+};
 
 impl<'a> KernelGpt<'a> {
     /// Create an engine over a source corpus with a model.
@@ -130,6 +142,7 @@ impl<'a> KernelGpt<'a> {
             corpus,
             strategy: Strategy::Iterative,
             max_iter: MAX_ITER,
+            threads: 0,
         }
     }
 
@@ -147,11 +160,27 @@ impl<'a> KernelGpt<'a> {
         self
     }
 
+    /// Set the worker thread count for [`KernelGpt::generate_all`]
+    /// (0 = one per available CPU). Pure throughput knob: every
+    /// handler's outcome is a deterministic function of the handler
+    /// alone and results are merged in handler order, so the report
+    /// is bit-identical at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> KernelGpt<'a> {
+        self.threads = threads;
+        self
+    }
+
     /// Generate specs for a set of handlers, validate the merged suite,
     /// and repair invalid ones once.
+    ///
+    /// Handlers are partitioned into logical shards (one per handler)
+    /// executed by the configured worker threads; the model and corpus
+    /// are shared by reference. Mirrors `ShardedCampaign` in
+    /// `kgpt-fuzzer`: the thread count never changes the report.
     pub fn generate_all(&self, handlers: &[OpHandler], consts: &ConstDb) -> GenerationReport {
         let mut outcomes: Vec<HandlerOutcome> =
-            handlers.iter().map(|h| self.generate_one(h, 0)).collect();
+            self.run_indexed(handlers.len(), |i| self.generate_one(&handlers[i], 0));
         // Merged validation (sub-handler fds are produced cross-file).
         self.validate_merged(&mut outcomes, consts);
         // Repair round for invalid handlers that did produce something.
@@ -161,10 +190,12 @@ impl<'a> KernelGpt<'a> {
             .filter(|(_, o)| !o.valid && o.spec.is_some())
             .map(|(i, _)| i)
             .collect();
-        for idx in to_repair {
-            let errors = outcomes[idx].errors.clone();
-            let repaired = self.repair_one(&handlers[idx], &errors);
-            if let Some(new) = repaired {
+        let repairs: Vec<Option<HandlerOutcome>> = self.run_indexed(to_repair.len(), |k| {
+            let idx = to_repair[k];
+            self.repair_one(&handlers[idx], &outcomes[idx].errors)
+        });
+        for (idx, new) in to_repair.into_iter().zip(repairs) {
+            if let Some(new) = new {
                 let queries = outcomes[idx].queries + new.queries;
                 outcomes[idx] = HandlerOutcome {
                     queries,
@@ -179,9 +210,53 @@ impl<'a> KernelGpt<'a> {
         GenerationReport { outcomes }
     }
 
+    /// Run `f` over indices `0..n` on the configured worker threads
+    /// and return the results in index order. Each index is one
+    /// logical shard pulled from a shared atomic counter; slot `i`
+    /// only ever receives result `i`, so the merge is deterministic
+    /// regardless of which thread computed what.
+    fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+        .clamp(1, n.max(1));
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().expect("generation slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("generation slot poisoned")
+                    .expect("shard ran")
+            })
+            .collect()
+    }
+
     fn validate_merged(&self, outcomes: &mut [HandlerOutcome], consts: &ConstDb) {
         let files: Vec<SpecFile> = outcomes.iter().filter_map(|o| o.spec.clone()).collect();
-        let db = SpecDb::from_files(files);
+        // Cached compile: when the repair round changed nothing (the
+        // common case), the post-repair validation is a pure hit.
+        let db = SpecCache::global().get_or_build(&files);
         let errors = kgpt_syzlang::validate::validate(&db, consts);
         for o in outcomes.iter_mut() {
             let Some(spec) = &o.spec else {
@@ -615,7 +690,7 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         let merged = report.specs();
-        let db = SpecDb::from_files(merged);
+        let db = kgpt_syzlang::SpecDb::from_files(merged);
         // The chain: openat$kvm → ioctl$KVM_CREATE_VM → fd_kvm_vm →
         // ioctl$KVM_CREATE_VCPU → fd_kvm_vcpu.
         let create_vm = db.syscall("ioctl$KVM_CREATE_VM").expect("create vm");
@@ -677,6 +752,60 @@ mod tests {
             0,
             "deep delegation should yield no commands"
         );
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_count_invariant() {
+        // Mixed workload: dm (repairable driver), the kvm chain
+        // (cross-file sub-handler fds), rds (socket). The report must
+        // be bit-identical at every thread count.
+        let kc = KernelCorpus::from_blueprints(vec![
+            kgpt_csrc::flagship::dm(),
+            kgpt_csrc::flagship::kvm(),
+            kgpt_csrc::flagship::kvm_vm(),
+            kgpt_csrc::flagship::kvm_vcpu(),
+            kgpt_csrc::flagship::rds(),
+        ]);
+        let handlers = find_handlers(kc.corpus());
+        assert_eq!(handlers.len(), 5);
+        let model = OracleModel::new(ModelKind::Gpt4, 0);
+        let run = |threads: usize| {
+            KernelGpt::new(&model, kc.corpus())
+                .with_threads(threads)
+                .generate_all(&handlers, kc.consts())
+        };
+        let base = run(1);
+        assert!(
+            base.valid_count() >= 4,
+            "base valid: {}",
+            base.valid_count()
+        );
+        for threads in [2, 4, 8] {
+            assert_eq!(base, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_repair_round_matches_sequential() {
+        // A seed that injects a first-pass defect exercises the repair
+        // round; the parallel repair merge must keep the sequential
+        // outcome (queries accumulate, repaired flag set).
+        let (kc, handlers) = dm_only();
+        for seed in 0..40 {
+            let model = OracleModel::new(ModelKind::Gpt4, seed);
+            let engine = KernelGpt::new(&model, kc.corpus()).with_threads(1);
+            let sequential = engine.generate_all(&handlers, kc.consts());
+            if !sequential.outcomes[0].repaired {
+                continue;
+            }
+            let model = OracleModel::new(ModelKind::Gpt4, seed);
+            let parallel = KernelGpt::new(&model, kc.corpus())
+                .with_threads(4)
+                .generate_all(&handlers, kc.consts());
+            assert_eq!(sequential, parallel, "seed {seed}");
+            return;
+        }
+        panic!("no seed triggered the repair path");
     }
 
     #[test]

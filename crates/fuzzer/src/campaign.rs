@@ -3,10 +3,11 @@
 use crate::exec::{execute_with, ExecScratch};
 use crate::gen::Generator;
 use crate::program::Program;
-use kgpt_syzlang::{ConstDb, SpecDb, SpecFile};
+use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Campaign parameters. Wall-clock budgets from the paper are scaled
 /// to execution counts (documented in EXPERIMENTS.md).
@@ -137,23 +138,43 @@ pub(crate) struct WorkerResult {
 /// A configured campaign over one spec suite and one kernel.
 pub struct Campaign<'a> {
     kernel: &'a VKernel,
-    db: SpecDb,
+    db: Arc<SpecDb>,
     consts: &'a ConstDb,
     config: CampaignConfig,
 }
 
 impl<'a> Campaign<'a> {
-    /// Build a campaign from spec files.
+    /// Build a campaign from spec files. Compilation goes through the
+    /// global [`SpecCache`], so constructing repeated campaigns over
+    /// an identical suite (sweeps, repetitions over seeds) compiles
+    /// it exactly once — and the suite is only borrowed, so warm
+    /// construction does not even clone the input ASTs.
     #[must_use]
     pub fn new(
         kernel: &'a VKernel,
-        suite: Vec<SpecFile>,
+        suite: &[SpecFile],
+        consts: &'a ConstDb,
+        config: CampaignConfig,
+    ) -> Campaign<'a> {
+        Campaign::with_db(
+            kernel,
+            SpecCache::global().get_or_build(suite),
+            consts,
+            config,
+        )
+    }
+
+    /// Build a campaign over an already-compiled (shared) database.
+    #[must_use]
+    pub fn with_db(
+        kernel: &'a VKernel,
+        db: Arc<SpecDb>,
         consts: &'a ConstDb,
         config: CampaignConfig,
     ) -> Campaign<'a> {
         Campaign {
             kernel,
-            db: SpecDb::from_files(suite),
+            db,
             consts,
             config,
         }
@@ -163,6 +184,14 @@ impl<'a> Campaign<'a> {
     #[must_use]
     pub fn db(&self) -> &SpecDb {
         &self.db
+    }
+
+    /// The shared handle to the compiled database (an `Arc` clone; a
+    /// warm [`SpecCache`] hands the same pointer to every campaign
+    /// over the same suite).
+    #[must_use]
+    pub fn db_shared(&self) -> Arc<SpecDb> {
+        Arc::clone(&self.db)
     }
 
     /// Run the coverage-guided loop.
@@ -200,6 +229,14 @@ mod tests {
         )
     }
 
+    fn cfg(execs: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            execs,
+            seed,
+            ..CampaignConfig::default()
+        }
+    }
+
     #[test]
     fn campaign_accumulates_coverage_and_crashes() {
         let (kernel, suite, consts) = dm_setup();
@@ -208,7 +245,7 @@ mod tests {
             seed: 1,
             ..CampaignConfig::default()
         };
-        let r = Campaign::new(&kernel, suite, &consts, cfg).run();
+        let r = Campaign::new(&kernel, &suite, &consts, cfg).run();
         assert!(r.blocks() > 50, "blocks={}", r.blocks());
         assert!(r.unique_crashes() >= 1, "crashes={:?}", r.crashes);
         assert!(r.corpus_size > 3);
@@ -227,16 +264,11 @@ mod tests {
             ..CampaignConfig::default()
         };
         let all_cmds: Vec<String> = bp.cmds.iter().map(|c| c.name.clone()).collect();
-        let truth = Campaign::new(
-            &kernel,
-            vec![bp.ground_truth_spec()],
-            kc.consts(),
-            cfg.clone(),
-        )
-        .run();
+        let truth =
+            Campaign::new(&kernel, &[bp.ground_truth_spec()], kc.consts(), cfg.clone()).run();
         let imprecise = Campaign::new(
             &kernel,
-            vec![bp.spec_for_cmds(&all_cmds, true, "dm_imprecise")],
+            &[bp.spec_for_cmds(&all_cmds, true, "dm_imprecise")],
             kc.consts(),
             cfg,
         )
@@ -257,10 +289,32 @@ mod tests {
             seed: 9,
             ..CampaignConfig::default()
         };
-        let a = Campaign::new(&kernel, suite.clone(), &consts, cfg.clone()).run();
-        let b = Campaign::new(&kernel, suite, &consts, cfg).run();
+        let a = Campaign::new(&kernel, &suite, &consts, cfg.clone()).run();
+        let b = Campaign::new(&kernel, &suite, &consts, cfg).run();
         assert_eq!(a.coverage, b.coverage);
         assert_eq!(a.crashes, b.crashes);
+    }
+
+    #[test]
+    fn repeated_construction_shares_one_compiled_db() {
+        // Two campaigns over the same suite (different configs) get
+        // the *same* compiled database from the global SpecCache —
+        // warm construction is an Arc clone, not a re-parse.
+        let (kernel, suite, consts) = dm_setup();
+        let a = Campaign::new(&kernel, &suite, &consts, cfg(10, 0));
+        let b = Campaign::new(&kernel, &suite, &consts, cfg(999, 7));
+        assert!(std::sync::Arc::ptr_eq(&a.db_shared(), &b.db_shared()));
+    }
+
+    #[test]
+    fn precompiled_db_runs_identically() {
+        let (kernel, suite, consts) = dm_setup();
+        let by_files = Campaign::new(&kernel, &suite, &consts, cfg(600, 4)).run();
+        let db = kgpt_syzlang::SpecCache::global().get_or_build(&suite);
+        let by_db = Campaign::with_db(&kernel, db, &consts, cfg(600, 4)).run();
+        assert_eq!(by_files.coverage, by_db.coverage);
+        assert_eq!(by_files.crashes, by_db.crashes);
+        assert_eq!(by_files.corpus_size, by_db.corpus_size);
     }
 
     #[test]
@@ -272,7 +326,7 @@ mod tests {
             enabled: Some(vec!["openat$dm".into()]),
             ..CampaignConfig::default()
         };
-        let r = Campaign::new(&kernel, suite, &consts, cfg).run();
+        let r = Campaign::new(&kernel, &suite, &consts, cfg).run();
         // Open blocks only.
         assert!(r.blocks() <= 8, "blocks={}", r.blocks());
     }

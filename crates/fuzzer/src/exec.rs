@@ -7,6 +7,12 @@
 //! allocation beyond what the generated values themselves own. The
 //! [`execute`] convenience wrapper allocates a one-shot scratch and
 //! returns an owned [`ExecResult`].
+//!
+//! Both entry points take the compiled database by plain reference,
+//! so they compose with either an owned [`SpecDb`] or a shared
+//! [`kgpt_syzlang::SpecCache`] handle (`&Arc<SpecDb>` derefs to
+//! `&SpecDb`); campaigns hold the latter and pay compilation once per
+//! distinct suite.
 
 use crate::program::Program;
 use kgpt_syzlang::value::{MemBuilder, ResRef};
@@ -171,14 +177,18 @@ mod tests {
 
     #[test]
     fn scratch_reuse_matches_one_shot_execution() {
+        // The db arrives through the shared cache here: execution is
+        // oblivious to whether the database is owned or cached.
         let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
-        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let db = kgpt_syzlang::SpecCache::global()
+            .get_or_build(&[kc.blueprints()[0].ground_truth_spec()]);
+        let db = &*db;
         let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
-        let mut g = Generator::new(&db, kc.consts(), 23);
+        let mut g = Generator::new(db, kc.consts(), 23);
         let progs: Vec<Program> = (0..100).map(|_| g.gen_program(8)).collect();
-        let mut scratch = ExecScratch::new(&db, kc.consts());
+        let mut scratch = ExecScratch::new(db, kc.consts());
         for p in &progs {
-            let one_shot = execute(&kernel, &db, kc.consts(), p);
+            let one_shot = execute(&kernel, db, kc.consts(), p);
             execute_with(&kernel, p, &mut scratch);
             assert_eq!(scratch.state.coverage, one_shot.coverage);
             assert_eq!(scratch.state.crash, one_shot.crash);

@@ -19,10 +19,10 @@
 //! [`Campaign::run`](crate::Campaign::run) with the same config.
 
 use crate::campaign::{run_worker, CampaignConfig, CampaignResult, CrashTally, WorkerResult};
-use kgpt_syzlang::{ConstDb, SpecDb, SpecFile};
+use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default logical shard count (the paper-benchmark scaling curve is
 /// measured at 1–8 worker threads over this decomposition).
@@ -32,7 +32,7 @@ pub const DEFAULT_SHARDS: u32 = 8;
 /// worker threads.
 pub struct ShardedCampaign<'a> {
     kernel: &'a VKernel,
-    db: SpecDb,
+    db: Arc<SpecDb>,
     consts: &'a ConstDb,
     config: CampaignConfig,
     shards: u32,
@@ -43,17 +43,36 @@ pub struct ShardedCampaign<'a> {
 impl<'a> ShardedCampaign<'a> {
     /// Build a sharded campaign from spec files. Defaults to
     /// [`DEFAULT_SHARDS`] logical shards and one thread per available
-    /// CPU.
+    /// CPU. Compilation goes through the global [`SpecCache`]; the
+    /// thread-scaling sweep in `fuzz_bench` compiles its suite once,
+    /// not once per thread point.
     #[must_use]
     pub fn new(
         kernel: &'a VKernel,
-        suite: Vec<SpecFile>,
+        suite: &[SpecFile],
+        consts: &'a ConstDb,
+        config: CampaignConfig,
+    ) -> ShardedCampaign<'a> {
+        ShardedCampaign::with_db(
+            kernel,
+            SpecCache::global().get_or_build(suite),
+            consts,
+            config,
+        )
+    }
+
+    /// Build a sharded campaign over an already-compiled (shared)
+    /// database.
+    #[must_use]
+    pub fn with_db(
+        kernel: &'a VKernel,
+        db: Arc<SpecDb>,
         consts: &'a ConstDb,
         config: CampaignConfig,
     ) -> ShardedCampaign<'a> {
         ShardedCampaign {
             kernel,
-            db: SpecDb::from_files(suite),
+            db,
             consts,
             config,
             shards: DEFAULT_SHARDS,
@@ -82,6 +101,12 @@ impl<'a> ShardedCampaign<'a> {
     #[must_use]
     pub fn db(&self) -> &SpecDb {
         &self.db
+    }
+
+    /// The shared handle to the compiled database.
+    #[must_use]
+    pub fn db_shared(&self) -> Arc<SpecDb> {
+        Arc::clone(&self.db)
     }
 
     /// Execution budget of shard `i`: `execs` split as evenly as
@@ -190,8 +215,8 @@ mod tests {
     #[test]
     fn one_shard_is_bit_identical_to_sequential_campaign() {
         let (kernel, suite, consts) = dm_setup();
-        let sequential = Campaign::new(&kernel, suite.clone(), &consts, cfg(1500, 4)).run();
-        let sharded = ShardedCampaign::new(&kernel, suite, &consts, cfg(1500, 4))
+        let sequential = Campaign::new(&kernel, &suite, &consts, cfg(1500, 4)).run();
+        let sharded = ShardedCampaign::new(&kernel, &suite, &consts, cfg(1500, 4))
             .with_shards(1)
             .run();
         assert_eq!(sequential.coverage, sharded.coverage);
@@ -203,7 +228,7 @@ mod tests {
     fn thread_count_never_changes_the_result() {
         let (kernel, suite, consts) = dm_setup();
         let run = |threads: usize| {
-            ShardedCampaign::new(&kernel, suite.clone(), &consts, cfg(2000, 11))
+            ShardedCampaign::new(&kernel, &suite, &consts, cfg(2000, 11))
                 .with_shards(8)
                 .with_threads(threads)
                 .run()
@@ -220,7 +245,7 @@ mod tests {
     #[test]
     fn merged_result_equals_manual_shard_union() {
         let (kernel, suite, consts) = dm_setup();
-        let sharded = ShardedCampaign::new(&kernel, suite.clone(), &consts, cfg(2100, 5))
+        let sharded = ShardedCampaign::new(&kernel, &suite, &consts, cfg(2100, 5))
             .with_shards(4)
             .run();
         // Reconstruct by running each shard as its own sequential
@@ -228,7 +253,7 @@ mod tests {
         let mut coverage = CoverageMap::new();
         let mut crashes = CrashTally::new();
         for i in 0..4u64 {
-            let r = Campaign::new(&kernel, suite.clone(), &consts, cfg(525, 5 + i)).run();
+            let r = Campaign::new(&kernel, &suite, &consts, cfg(525, 5 + i)).run();
             coverage.merge(&r.coverage);
             for (title, (count, cve)) in r.crashes {
                 let e = crashes.entry(title).or_insert((0, cve));
@@ -243,16 +268,27 @@ mod tests {
     #[test]
     fn sharded_campaign_finds_dm_coverage_and_crashes() {
         let (kernel, suite, consts) = dm_setup();
-        let r = ShardedCampaign::new(&kernel, suite, &consts, cfg(4000, 1)).run();
+        let r = ShardedCampaign::new(&kernel, &suite, &consts, cfg(4000, 1)).run();
         assert!(r.blocks() > 50, "blocks={}", r.blocks());
         assert!(r.unique_crashes() >= 1, "crashes={:?}", r.crashes);
         assert!(r.corpus_size > 3);
     }
 
     #[test]
+    fn sharded_and_sequential_campaigns_share_the_cached_db() {
+        let (kernel, suite, consts) = dm_setup();
+        let sequential = Campaign::new(&kernel, &suite, &consts, cfg(10, 0));
+        let sharded = ShardedCampaign::new(&kernel, &suite, &consts, cfg(10, 0));
+        assert!(std::sync::Arc::ptr_eq(
+            &sequential.db_shared(),
+            &sharded.db_shared()
+        ));
+    }
+
+    #[test]
     fn seed_near_u64_max_wraps_instead_of_overflowing() {
         let (kernel, suite, consts) = dm_setup();
-        let r = ShardedCampaign::new(&kernel, suite, &consts, cfg(400, u64::MAX - 2))
+        let r = ShardedCampaign::new(&kernel, &suite, &consts, cfg(400, u64::MAX - 2))
             .with_shards(8)
             .run();
         assert_eq!(r.execs, 400);
@@ -262,7 +298,7 @@ mod tests {
     #[test]
     fn uneven_exec_budgets_split_without_loss() {
         let (kernel, suite, consts) = dm_setup();
-        let c = ShardedCampaign::new(&kernel, suite, &consts, cfg(1003, 0)).with_shards(8);
+        let c = ShardedCampaign::new(&kernel, &suite, &consts, cfg(1003, 0)).with_shards(8);
         let total: u64 = (0..8).map(|i| c.shard_execs(i)).sum();
         assert_eq!(total, 1003);
         assert!((0..8).all(|i| [125, 126].contains(&c.shard_execs(i))));

@@ -61,7 +61,10 @@ impl StaticOutcome {
 }
 
 /// Run SyzDescribe over a set of handlers and validate the merged
-/// output.
+/// output. The rules are deterministic, so merged validation compiles
+/// through the global [`syz::SpecCache`] — sweeps that re-describe
+/// the same handlers (Table 5/6 harnesses) validate against a cached
+/// database instead of re-parsing the suite per call.
 #[must_use]
 pub fn describe_all(
     corpus: &Corpus,
@@ -78,7 +81,8 @@ pub fn describe_all(
             errors: Vec::new(),
         })
         .collect();
-    let db = syz::SpecDb::from_files(outcomes.iter().filter_map(|o| o.spec.clone()).collect());
+    let files: Vec<SpecFile> = outcomes.iter().filter_map(|o| o.spec.clone()).collect();
+    let db = syz::SpecCache::global().get_or_build(&files);
     let errors = syz::validate::validate(&db, consts);
     for o in &mut outcomes {
         let Some(spec) = &o.spec else { continue };

@@ -411,7 +411,7 @@ impl Item {
 }
 
 /// A parsed specification file.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct SpecFile {
     /// File name, for diagnostics.
     pub name: String,

@@ -1,0 +1,267 @@
+//! Compiled-spec cache.
+//!
+//! [`SpecDb::from_files`] re-parses resource references and re-indexes
+//! every definition each time it runs, and campaign constructors call
+//! it once per construction — so a Table 5/6-style sweep that builds
+//! dozens of campaigns over the *same* suite recompiles it dozens of
+//! times. A [`SpecCache`] memoizes compiled databases behind `Arc`s:
+//! the key is a structural content fingerprint of the input suite
+//! (FNV-1a over the `Hash` of every file — names and full ASTs,
+//! no allocation), a hit is an `Arc` clone, and the stored suite is
+//! compared for full equality on every hit so two distinct suites can
+//! never alias even if their 64-bit fingerprints collide.
+//!
+//! The databases are immutable once built, so sharing one compiled
+//! [`SpecDb`] across campaigns — including across threads; the cache
+//! is `Sync` — is safe by construction. [`SpecCache::global`] is the
+//! process-wide instance used by the `Campaign`/`ShardedCampaign`
+//! constructors and the merged-validation paths.
+
+use crate::ast::SpecFile;
+use crate::db::SpecDb;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One cached compilation.
+struct CacheEntry {
+    /// The exact input suite; compared on every lookup so fingerprint
+    /// collisions degrade to misses, not wrong databases.
+    files: Vec<SpecFile>,
+    db: Arc<SpecDb>,
+}
+
+/// A memoizing wrapper over [`SpecDb::from_files`], keyed by suite
+/// content. Cheap to share by reference across threads.
+#[derive(Default)]
+pub struct SpecCache {
+    entries: Mutex<BTreeMap<u64, Vec<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SpecCache {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> SpecCache {
+        SpecCache::default()
+    }
+
+    /// The process-wide cache used by campaign constructors and
+    /// merged-validation paths.
+    #[must_use]
+    pub fn global() -> &'static SpecCache {
+        static GLOBAL: OnceLock<SpecCache> = OnceLock::new();
+        GLOBAL.get_or_init(SpecCache::new)
+    }
+
+    /// Structural content fingerprint of a suite: FNV-1a over the
+    /// [`Hash`] of every file (names and full ASTs), allocation-free.
+    /// Equal suites always fingerprint equally; the cache never trusts
+    /// the converse — see [`CacheEntry::files`].
+    #[must_use]
+    pub fn fingerprint(files: &[SpecFile]) -> u64 {
+        let mut h = Fnv1a::default();
+        files.hash(&mut h);
+        h.finish()
+    }
+
+    /// The compiled database for a suite: an `Arc` clone on a hit, a
+    /// fresh [`SpecDb::from_files`] compilation on a miss. Two calls
+    /// with equal suites return the *same* `Arc` (pointer-equal). The
+    /// warm path is a fingerprint plus one equality check — no
+    /// parsing, no indexing, no allocation.
+    #[must_use]
+    pub fn get_or_build(&self, files: &[SpecFile]) -> Arc<SpecDb> {
+        let key = SpecCache::fingerprint(files);
+        {
+            let entries = self.entries.lock().expect("spec cache poisoned");
+            if let Some(bucket) = entries.get(&key) {
+                if let Some(e) = bucket.iter().find(|e| e.files == files) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&e.db);
+                }
+            }
+        }
+        // Compile outside the lock; on a race, the first insertion
+        // wins so repeated lookups keep returning one pointer.
+        let db = Arc::new(SpecDb::from_files(files.to_vec()));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("spec cache poisoned");
+        let bucket = entries.entry(key).or_default();
+        if let Some(e) = bucket.iter().find(|e| e.files == files) {
+            return Arc::clone(&e.db);
+        }
+        bucket.push(CacheEntry {
+            files: files.to_vec(),
+            db: Arc::clone(&db),
+        });
+        db
+    }
+
+    /// Lookups served without compiling.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled a new database.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct suites currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("spec cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the cache holds no compiled suites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached database (outstanding `Arc`s stay alive) and
+    /// reset the hit/miss counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("spec cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// FNV-1a as a [`Hasher`], so suite fingerprints come straight from
+/// the derived structural `Hash` of the AST with no intermediate
+/// serialization.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn suite(src: &str) -> Vec<SpecFile> {
+        vec![parse("t", src).unwrap()]
+    }
+
+    #[test]
+    fn warm_lookup_returns_the_same_arc() {
+        let cache = SpecCache::new();
+        let files =
+            suite("resource fd_x[fd]\nioctl$A(fd fd_x, cmd const[1], arg ptr[in, array[int8]])\n");
+        let cold = cache.get_or_build(&files);
+        let warm = cache.get_or_build(&files);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn equal_content_different_vectors_still_hit() {
+        let cache = SpecCache::new();
+        let a = suite("resource fd_y[fd]\n");
+        let b = suite("resource fd_y[fd]\n");
+        assert!(Arc::ptr_eq(
+            &cache.get_or_build(&a),
+            &cache.get_or_build(&b)
+        ));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn different_suites_never_collide() {
+        let cache = SpecCache::new();
+        let a = cache.get_or_build(&suite("resource fd_a[fd]\n"));
+        let b = cache.get_or_build(&suite("resource fd_b[fd]\n"));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(a.resource("fd_a").is_some());
+        assert!(a.resource("fd_b").is_none());
+        assert!(b.resource("fd_b").is_some());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn file_name_is_part_of_the_key() {
+        let cache = SpecCache::new();
+        let a = vec![parse("a", "resource fd_z[fd]\n").unwrap()];
+        let b = vec![parse("b", "resource fd_z[fd]\n").unwrap()];
+        assert!(!Arc::ptr_eq(
+            &cache.get_or_build(&a),
+            &cache.get_or_build(&b)
+        ));
+        assert_ne!(SpecCache::fingerprint(&a), SpecCache::fingerprint(&b));
+    }
+
+    #[test]
+    fn multi_file_order_matters_for_identity() {
+        // A merged database indexes later files over earlier ones, so
+        // suite order is part of the content identity.
+        let f1 = parse("one", "resource fd_m[fd]\n").unwrap();
+        let f2 = parse("two", "resource fd_n[fd]\n").unwrap();
+        let cache = SpecCache::new();
+        let ab = cache.get_or_build(&[f1.clone(), f2.clone()]);
+        let ba = cache.get_or_build(&[f2, f1]);
+        assert!(!Arc::ptr_eq(&ab, &ba));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn empty_suite_is_cacheable() {
+        let cache = SpecCache::new();
+        let a = cache.get_or_build(&[]);
+        let b = cache.get_or_build(&[]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.syscall_count(), 0);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_counters() {
+        let cache = SpecCache::new();
+        let files = suite("resource fd_c[fd]\n");
+        let before = cache.get_or_build(&files);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        let after = cache.get_or_build(&files);
+        // The evicted Arc stays usable; the rebuild is a new pointer.
+        assert!(!Arc::ptr_eq(&before, &after));
+        assert!(before.resource("fd_c").is_some());
+    }
+
+    #[test]
+    fn global_cache_is_shared_and_warm() {
+        let files = suite("resource fd_g[fd]\n");
+        let a = SpecCache::global().get_or_build(&files);
+        let b = SpecCache::global().get_or_build(&files);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -19,7 +19,10 @@
 //! * a [`validate`] pass reproducing the error classes of
 //!   `syz-extract`/`syz-generate` (undefined types, unknown constants,
 //!   broken `len` targets, unproduced resources, …) that feeds the
-//!   KernelGPT *specification repair* loop.
+//!   KernelGPT *specification repair* loop;
+//! * a [`cache`] module memoizing compiled [`SpecDb`]s behind `Arc`s,
+//!   keyed by suite content, so repeated campaign constructions and
+//!   sweep harnesses stop re-parsing identical suites.
 //!
 //! ## Example
 //!
@@ -49,6 +52,7 @@
 //! [Syzkaller]: https://github.com/google/syzkaller
 
 pub mod ast;
+pub mod cache;
 pub mod consts;
 pub mod db;
 pub mod layout;
@@ -62,6 +66,7 @@ pub use ast::{
     ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef,
     Syscall, Type,
 };
+pub use cache::SpecCache;
 pub use consts::ConstDb;
 pub use db::SpecDb;
 pub use parser::parse;

@@ -27,7 +27,10 @@
 //! lives in the per-worker [`VmState`]. The dispatch path is
 //! allocation-free: targets are pre-indexed by integer id, fd records
 //! reference their handler by index, and per-command history is kept
-//! in interned counters rather than string maps.
+//! in interned counters rather than string maps. Struct-argument
+//! decode (`copy_from_user`) borrows the bytes directly from the
+//! memory image when the read stays inside one segment, copying into
+//! the amortized decode buffer only for segment-crossing reads.
 
 pub mod coverage;
 pub mod mem;
@@ -426,11 +429,22 @@ impl VKernel {
                         return -errno::EINVAL;
                     }
                 }
-                let mut bytes = std::mem::take(&mut state.decode_buf);
-                if !mem.read_into(arg, size as usize, &mut bytes) {
-                    state.decode_buf = bytes;
-                    return -errno::EFAULT;
-                }
+                // Borrow the argument bytes straight out of the memory
+                // image when they sit in one segment (the encoder's
+                // normal layout) — the per-ioctl `copy_from_user` copy
+                // only happens for reads crossing segment boundaries,
+                // which fall back to the amortized decode buffer.
+                let mut owned = std::mem::take(&mut state.decode_buf);
+                let bytes: &[u8] = match mem.slice_at(arg, size as usize) {
+                    Some(s) => s,
+                    None => {
+                        if !mem.read_into(arg, size as usize, &mut owned) {
+                            state.decode_buf = owned;
+                            return -errno::EFAULT;
+                        }
+                        &owned
+                    }
+                };
                 fields.resize(sdef.fields.len(), None);
                 for (i, f) in sdef.fields.iter().enumerate() {
                     if let Some(off) = sdef.offset_of(&f.name, &t.bp.structs) {
@@ -443,18 +457,24 @@ impl VKernel {
                         }
                     }
                 }
-                state.decode_buf = bytes;
+                state.decode_buf = owned;
             }
             ArgKind::IdPtr(_) => {
-                let mut bytes = std::mem::take(&mut state.decode_buf);
-                if !mem.read_into(arg, 4, &mut bytes) {
-                    state.decode_buf = bytes;
-                    return -errno::EFAULT;
-                }
+                let mut owned = std::mem::take(&mut state.decode_buf);
+                let bytes: &[u8] = match mem.slice_at(arg, 4) {
+                    Some(s) => s,
+                    None => {
+                        if !mem.read_into(arg, 4, &mut owned) {
+                            state.decode_buf = owned;
+                            return -errno::EFAULT;
+                        }
+                        &owned
+                    }
+                };
                 let mut buf = [0u8; 8];
                 buf[..4].copy_from_slice(&bytes[..4]);
                 fields.push(Some(u64::from_le_bytes(buf)));
-                state.decode_buf = bytes;
+                state.decode_buf = owned;
             }
             ArgKind::Int | ArgKind::None => {}
         }
@@ -845,6 +865,64 @@ mod tests {
         let r = k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
         assert_eq!(r, 0, "valid DM_VERSION should succeed");
         assert!(st.coverage.len() > before);
+    }
+
+    #[test]
+    fn struct_decode_spanning_segments_matches_contiguous() {
+        // The zero-copy decode borrows single-segment arguments; a
+        // struct split across two adjacent segments must take the
+        // copying fallback and decode identically.
+        let k = boot_dm();
+        let bp = flagship::dm();
+        let cmd = bp.cmd_value(bp.cmd("DM_VERSION").unwrap());
+        let (size, _) = bp.arg_struct("dm_ioctl").unwrap().size_align(&bp.structs);
+        let size = size as usize;
+
+        let mut st_one = VmState::new();
+        let fd = open_dm(&k, &mut st_one);
+        let mut contiguous = mem_with("/dev/mapper/control");
+        contiguous.write(0x2000_0000, vec![0u8; size]);
+        assert_eq!(
+            k.exec_call(
+                &mut st_one,
+                "ioctl",
+                &[fd, cmd, 0x2000_0000, 0, 0, 0],
+                &contiguous
+            ),
+            0
+        );
+
+        let mut st_two = VmState::new();
+        let fd = open_dm(&k, &mut st_two);
+        let mut split = mem_with("/dev/mapper/control");
+        split.write(0x2000_0000, vec![0u8; 16]);
+        split.write(0x2000_0010, vec![0u8; size - 16]);
+        assert_eq!(split.slice_at(0x2000_0000, size), None, "must span");
+        assert_eq!(
+            k.exec_call(
+                &mut st_two,
+                "ioctl",
+                &[fd, cmd, 0x2000_0000, 0, 0, 0],
+                &split
+            ),
+            0
+        );
+        assert_eq!(st_one.coverage, st_two.coverage);
+
+        // A short final segment is an EFAULT on both paths.
+        let mut st_short = VmState::new();
+        let fd = open_dm(&k, &mut st_short);
+        let mut short = mem_with("/dev/mapper/control");
+        short.write(0x2000_0000, vec![0u8; size - 1]);
+        assert_eq!(
+            k.exec_call(
+                &mut st_short,
+                "ioctl",
+                &[fd, cmd, 0x2000_0000, 0, 0, 0],
+                &short
+            ),
+            -errno::EFAULT
+        );
     }
 
     #[test]

@@ -100,6 +100,24 @@ impl MemMap {
         true
     }
 
+    /// Borrow `len` bytes at `addr` without copying, when the whole
+    /// range lies inside one segment (the common case: the encoder
+    /// emits each struct argument as a single segment). Returns `None`
+    /// when the range crosses a segment boundary or is unmapped —
+    /// callers fall back to the copying [`MemMap::read_into`], which
+    /// also distinguishes those two cases.
+    #[must_use]
+    pub fn slice_at(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        if len == 0 {
+            return Some(&[]);
+        }
+        let i = self.seg_at_or_before(addr)?;
+        let (seg_start, seg) = &self.segments[i];
+        let off = usize::try_from(addr - seg_start).ok()?;
+        let end = off.checked_add(len)?;
+        seg.get(off..end)
+    }
+
     /// Read `len` bytes at `addr`, possibly spanning adjacent segments.
     /// Returns `None` (an `EFAULT`) if any byte is unmapped.
     #[must_use]
@@ -188,6 +206,24 @@ mod tests {
         m.write(0x1000, vec![1, 2]);
         m.write(0x1002, vec![3, 4]);
         assert_eq!(m.read(0x1000, 4), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn slice_at_borrows_within_one_segment_only() {
+        let mut m = MemMap::new();
+        m.write(0x1000, vec![1, 2, 3, 4]);
+        m.write(0x1004, vec![5, 6]);
+        assert_eq!(m.slice_at(0x1000, 4), Some(&[1, 2, 3, 4][..]));
+        assert_eq!(m.slice_at(0x1001, 2), Some(&[2, 3][..]));
+        assert_eq!(m.slice_at(0x1000, 0), Some(&[][..]));
+        // Crossing the boundary is readable (read spans) but not
+        // borrowable — the caller must take the copy path.
+        assert_eq!(m.read(0x1002, 4), Some(vec![3, 4, 5, 6]));
+        assert_eq!(m.slice_at(0x1002, 4), None);
+        // Unmapped or overflowing ranges are never borrowable.
+        assert_eq!(m.slice_at(0x2000, 1), None);
+        assert_eq!(m.slice_at(u64::MAX, 2), None);
+        assert_eq!(m.slice_at(0x1000, usize::MAX), None);
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() {
                     max_prog_len: 8,
                     enabled: None,
                 };
-                let r = Campaign::new(&kernel, suite.clone(), kc.consts(), cfg).run();
+                let r = Campaign::new(&kernel, &suite, kc.consts(), cfg).run();
                 titles.extend(r.crashes.keys().cloned());
             }
         }

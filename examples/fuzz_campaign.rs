@@ -39,7 +39,7 @@ fn main() {
         };
         // Sharded over all cores; the result is identical to a
         // sequential 8-shard run, just faster.
-        let result = ShardedCampaign::new(&kernel, suite, kc.consts(), cfg).run();
+        let result = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg).run();
         println!(
             "{name:<20}: {:>5} blocks, {} unique crashes over {} execs (corpus {})",
             result.blocks(),

@@ -27,7 +27,7 @@ fn kernelgpt_spec_finds_dm_cve() {
         max_prog_len: 8,
         enabled: None,
     };
-    let result = Campaign::new(&kernel, report.specs(), kc.consts(), cfg).run();
+    let result = Campaign::new(&kernel, &report.specs(), kc.consts(), cfg).run();
     assert!(
         result.crashes.contains_key("kmalloc bug in ctl_ioctl"),
         "crashes: {:?}",
@@ -54,7 +54,7 @@ fn sharded_kernelgpt_campaign_finds_dm_cve_thread_invariantly() {
         enabled: None,
     };
     let run = |threads: usize| {
-        ShardedCampaign::new(&kernel, report.specs(), kc.consts(), cfg.clone())
+        ShardedCampaign::new(&kernel, &report.specs(), kc.consts(), cfg.clone())
             .with_shards(8)
             .with_threads(threads)
             .run()
@@ -89,7 +89,7 @@ fn syzdescribe_spec_finds_nothing_on_dm() {
         max_prog_len: 8,
         enabled: None,
     };
-    let result = Campaign::new(&kernel, suite, kc.consts(), cfg).run();
+    let result = Campaign::new(&kernel, &suite, kc.consts(), cfg).run();
     assert_eq!(result.blocks(), 0, "SyzDescribe should reach nothing on dm");
     assert_eq!(result.unique_crashes(), 0);
 }
@@ -115,7 +115,7 @@ fn ground_truth_specs_cover_every_flagship() {
             max_prog_len: 6,
             enabled: None,
         };
-        let r = Campaign::new(&kernel, vec![bp.ground_truth_spec()], kc.consts(), cfg).run();
+        let r = Campaign::new(&kernel, &[bp.ground_truth_spec()], kc.consts(), cfg).run();
         assert!(
             r.blocks() >= 4,
             "{}: ground truth reaches only {} blocks",
@@ -166,7 +166,7 @@ fn kvm_chain_coverage_spans_subhandlers() {
         max_prog_len: 10,
         enabled: None,
     };
-    let r = Campaign::new(&kernel, report.specs(), kc.consts(), cfg).run();
+    let r = Campaign::new(&kernel, &report.specs(), kc.consts(), cfg).run();
     // Handlers get disjoint 4096-block strata; seeing blocks in three
     // strata proves the fd chain was exercised.
     let strata: std::collections::BTreeSet<u64> = r.coverage.iter().map(|b| b / 4096).collect();
