@@ -3,13 +3,18 @@
 //! Compares a freshly measured `BENCH_fuzzing.json` against the
 //! committed `BENCH_baseline.json` and classifies the differences:
 //!
-//! * **determinism** — `merge_invariant` and the generation
-//!   `bit_identical` flag must hold in the fresh run, full stop;
+//! * **determinism** — `merge_invariant`, the generation
+//!   `bit_identical` flag, and the seed-hub `thread_invariant` flag
+//!   must hold in the fresh run, full stop;
 //! * **coverage** — with an identical workload (`execs`, `shards`),
 //!   the campaign is a pure function of its config, so `blocks` and
-//!   `unique_crashes` must match the baseline *exactly* on any
-//!   machine — a mismatch means the fuzzer's behaviour changed, not
-//!   that a runner was slow;
+//!   `unique_crashes` (hub ablation sides included) must match the
+//!   baseline *exactly* on any machine — a mismatch means the
+//!   fuzzer's behaviour changed, not that a runner was slow;
+//! * **hub yield** — the exchange-on coverage-per-exec of the fresh
+//!   run must not drop below exchange-off: the seed hub exists to
+//!   lift per-exec coverage yield, so a regression there is a hard
+//!   failure at any threshold;
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -59,11 +64,23 @@ pub fn max_regression_pct() -> f64 {
 pub fn check(fresh: &Json, baseline: &Json, max_regression_pct: f64) -> GateOutcome {
     let mut out = GateOutcome::default();
     check_determinism(fresh, &mut out);
+    check_hub_yield(fresh, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
         check_exact(fresh, baseline, "blocks", &mut out);
         check_exact(fresh, baseline, "unique_crashes", &mut out);
         check_exact(fresh, baseline, "generation.valid_count", &mut out);
+        if check_hub_workload(fresh, baseline, &mut out) {
+            check_exact(fresh, baseline, "hub.off.blocks", &mut out);
+            check_exact(fresh, baseline, "hub.off.corpus_size", &mut out);
+            check_exact(fresh, baseline, "hub.on.blocks", &mut out);
+            check_exact(fresh, baseline, "hub.on.unique_crashes", &mut out);
+            check_exact(fresh, baseline, "hub.on.corpus_size", &mut out);
+            check_exact(fresh, baseline, "hub.early.off_blocks", &mut out);
+            check_exact(fresh, baseline, "hub.early.on_blocks", &mut out);
+            check_exact(fresh, baseline, "hub.early.on_corpus_size", &mut out);
+            check_exact(fresh, baseline, "hub.early.off_corpus_size", &mut out);
+        }
     }
     for metric in rate_metrics(fresh, baseline) {
         compare_rate(&metric, max_regression_pct, &mut out);
@@ -94,6 +111,67 @@ fn check_determinism(fresh: &Json, out: &mut GateOutcome) {
             );
         }
     }
+    // Same convention for the hub section: a hub section without a
+    // truthy invariance flag is a failure, an absent section is not.
+    if fresh.get("hub").is_some()
+        && fresh.path("hub.thread_invariant").and_then(Json::as_bool) != Some(true)
+    {
+        out.failures.push(
+            "determinism: exchange-on campaign results differ across thread counts \
+             (hub.thread_invariant is not true)"
+                .into(),
+        );
+    }
+}
+
+/// Hard-fail when the fresh run's exchange-on coverage-per-exec is
+/// below exchange-off: the hub must never make the fuzzer worse at
+/// the measured workload.
+fn check_hub_yield(fresh: &Json, out: &mut GateOutcome) {
+    let (Some(on), Some(off)) = (
+        fresh
+            .path("hub.on.coverage_per_exec")
+            .and_then(Json::as_f64),
+        fresh
+            .path("hub.off.coverage_per_exec")
+            .and_then(Json::as_f64),
+    ) else {
+        return; // hub section absent (older bench) — nothing to check
+    };
+    if on < off {
+        out.failures.push(format!(
+            "hub yield: exchange-on coverage-per-exec dropped below exchange-off \
+             ({on:.8} vs {off:.8}) — the seed hub must not lose coverage"
+        ));
+    } else {
+        out.notes.push(format!(
+            "hub yield: exchange on {on:.8} vs off {off:.8} blocks/exec"
+        ));
+    }
+}
+
+/// `true` when the hub ablations of both sides used the same
+/// exchange knobs (or at least one side has no hub section), making
+/// the hub coverage numbers directly comparable. A deliberate
+/// `epoch`/`top_k` retune therefore skips the hub comparison with a
+/// note — the same convention `execs`/`shards` changes get — instead
+/// of a misleading hard determinism failure.
+fn check_hub_workload(fresh: &Json, baseline: &Json, out: &mut GateOutcome) -> bool {
+    if fresh.get("hub").is_none() || baseline.get("hub").is_none() {
+        return true; // exact checks no-op on the missing side anyway
+    }
+    for key in ["hub.epoch", "hub.top_k"] {
+        let f = fresh.path(key).and_then(Json::as_f64);
+        let b = baseline.path(key).and_then(Json::as_f64);
+        if f != b {
+            out.notes.push(format!(
+                "hub comparison skipped: `{key}` differs (fresh {f:?} vs baseline {b:?}) — \
+                 regenerate the baseline for the new hub knobs"
+            ));
+            return false;
+        }
+    }
+    true
 }
 
 /// `true` when fresh and baseline measured the same campaign workload,
@@ -178,6 +256,11 @@ fn rate_metrics(fresh: &Json, baseline: &Json) -> Vec<RateMetric> {
         }
     }
     push(
+        "hub exchange-on execs/sec".into(),
+        fresh.path("hub.on.execs_per_sec").and_then(Json::as_f64),
+        baseline.path("hub.on.execs_per_sec").and_then(Json::as_f64),
+    );
+    push(
         "spec-cache warm speedup".into(),
         fresh.path("spec_cache.warm_speedup").and_then(Json::as_f64),
         baseline
@@ -212,6 +295,18 @@ mod tests {
     use crate::json::parse_json;
 
     fn bench_doc(seq_rate: f64, blocks: u64, invariant: bool) -> Json {
+        hub_doc(seq_rate, blocks, invariant, blocks, true)
+    }
+
+    fn hub_doc(
+        seq_rate: f64,
+        blocks: u64,
+        invariant: bool,
+        hub_on_blocks: u64,
+        hub_invariant: bool,
+    ) -> Json {
+        let off_cpe = blocks as f64 / 20000.0;
+        let on_cpe = hub_on_blocks as f64 / 20000.0;
         parse_json(&format!(
             r#"{{
   "execs": 20000, "shards": 8,
@@ -220,6 +315,11 @@ mod tests {
   "merge_invariant": {invariant},
   "blocks": {blocks},
   "unique_crashes": 3,
+  "hub": {{
+    "epoch": 2048, "top_k": 4, "thread_invariant": {hub_invariant},
+    "off": {{ "blocks": {blocks}, "unique_crashes": 3, "coverage_per_exec": {off_cpe} }},
+    "on": {{ "blocks": {hub_on_blocks}, "unique_crashes": 3, "coverage_per_exec": {on_cpe}, "execs_per_sec": {seq_rate} }}
+  }},
   "generation": {{
     "bit_identical": true, "valid_count": 30,
     "points": [ {{ "threads": 1, "handlers_per_sec": 10.0 }} ]
@@ -290,6 +390,94 @@ mod tests {
         let doc = bench_doc(1000.0, 187, false);
         let r = check(&doc, &doc, 25.0);
         assert!(r.failures.iter().any(|f| f.contains("merge_invariant")));
+    }
+
+    #[test]
+    fn hub_coverage_drop_is_a_hard_failure_at_any_threshold() {
+        // Exchange-on found fewer blocks than exchange-off in the
+        // fresh run: the hub gate fails regardless of the baseline.
+        let fresh = hub_doc(1000.0, 187, true, 150, true);
+        let r = check(&fresh, &fresh, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("hub yield")),
+            "{:?}",
+            r.failures
+        );
+        // Equal on/off yield passes (saturated workloads).
+        let even = hub_doc(1000.0, 187, true, 187, true);
+        assert!(check(&even, &even, 25.0).passed());
+        // Better-on passes and is noted.
+        let better = hub_doc(1000.0, 187, true, 190, true);
+        let r = check(&better, &better, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(r.notes.iter().any(|n| n.contains("hub yield")));
+    }
+
+    #[test]
+    fn hub_thread_variance_is_a_determinism_failure() {
+        let doc = hub_doc(1000.0, 187, true, 187, false);
+        let r = check(&doc, &doc, 25.0);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("hub.thread_invariant")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn hub_blocks_are_compared_exactly_against_the_baseline() {
+        let fresh = hub_doc(1000.0, 187, true, 190, true);
+        let base = hub_doc(1000.0, 187, true, 191, true);
+        let r = check(&fresh, &base, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("hub.on.blocks")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn retuned_hub_knobs_skip_hub_comparison_instead_of_failing() {
+        let mut fresh = hub_doc(1000.0, 187, true, 190, true);
+        // Same campaign workload, different hub epoch: the hub
+        // numbers are not comparable, so they are skipped with a
+        // note while the campaign-level checks still run.
+        if let Json::Obj(members) = &mut fresh {
+            let hub = members
+                .iter_mut()
+                .find(|(k, _)| k == "hub")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Obj(hub_members) = hub {
+                hub_members[0].1 = Json::Num(4096.0); // epoch differs
+            }
+        }
+        let base = hub_doc(1000.0, 187, true, 191, true);
+        let r = check(&fresh, &base, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.notes.iter().any(|n| n.contains("hub comparison skipped")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn missing_hub_section_is_tolerated_on_either_side() {
+        // Old baseline without a hub section vs a fresh run with one.
+        let fresh = hub_doc(1000.0, 187, true, 187, true);
+        let base = parse_json(
+            r#"{ "execs": 20000, "shards": 8, "merge_invariant": true,
+                 "sequential": { "execs_per_sec": 1000.0 }, "blocks": 187, "unique_crashes": 3 }"#,
+        )
+        .unwrap();
+        assert!(check(&fresh, &base, 25.0).passed());
+        // Old fresh run without a hub section: no hub checks fire.
+        assert!(check(&base, &fresh, 25.0).passed());
     }
 
     #[test]

@@ -137,8 +137,8 @@ impl Env {
             let cfg = CampaignConfig {
                 execs,
                 seed,
-                max_prog_len: 8,
                 enabled: enabled.clone(),
+                ..CampaignConfig::default()
             };
             let r = self.campaign(kernel, suite, cfg);
             blocks.push(r.blocks() as u64);

@@ -1,12 +1,18 @@
 //! The coverage-guided fuzzing loop and campaign statistics.
+//!
+//! The loop itself lives in [`ShardState`]: one worker's generator,
+//! [`crate::corpus::Corpus`], and execution scratch, advanced in
+//! epochs so the sharded driver can interleave execution with
+//! cross-shard seed exchange (see [`crate::hub::SeedHub`]). A
+//! sequential [`Campaign`] is a single shard run in one epoch.
 
+use crate::corpus::Corpus;
 use crate::exec::{execute_with, ExecScratch};
 use crate::gen::Generator;
-use crate::program::Program;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Campaign parameters. Wall-clock budgets from the paper are scaled
@@ -21,6 +27,15 @@ pub struct CampaignConfig {
     pub max_prog_len: usize,
     /// Restrict to these syscalls (`None` = all in the suite).
     pub enabled: Option<Vec<String>>,
+    /// Executions each shard runs between cross-shard seed exchanges
+    /// (0 = shards fuzz in isolation). Like the shard count, this is
+    /// part of the campaign's deterministic identity; the worker
+    /// thread count still never changes the result. Sequential
+    /// campaigns have a single shard, for which exchange is a no-op.
+    pub hub_epoch: u64,
+    /// Seeds each shard publishes to the hub per exchange
+    /// (0 = publish nothing, making every exchange a no-op).
+    pub hub_top_k: usize,
 }
 
 impl Default for CampaignConfig {
@@ -30,6 +45,8 @@ impl Default for CampaignConfig {
             seed: 0,
             max_prog_len: 8,
             enabled: None,
+            hub_epoch: 0,
+            hub_top_k: 4,
         }
     }
 }
@@ -65,13 +82,104 @@ impl CampaignResult {
     }
 }
 
-/// Cap on retained corpus entries; older entries are evicted
-/// first-in-first-out to bound memory on long campaigns.
+/// Cap on retained corpus entries; the least-productive entry is
+/// evicted (see [`Corpus`]) to bound memory on long campaigns.
 pub(crate) const CORPUS_CAP: usize = 2048;
 
+/// One worker's live state: generator, coverage-keyed corpus, crash
+/// tally, and execution scratch. The loop is advanced in epochs
+/// ([`ShardState::run_epoch`]) so the sharded driver can pause every
+/// shard at the same exec boundary for hub exchange; running the
+/// whole budget as one epoch is bit-identical to the epoch-chunked
+/// run with no-op exchanges.
+pub(crate) struct ShardState<'a> {
+    pub(crate) id: u32,
+    generator: Generator<'a>,
+    scratch: ExecScratch<'a>,
+    pub(crate) corpus: Corpus,
+    pub(crate) crashes: CrashTally,
+    max_prog_len: usize,
+    rng_pick: u64,
+    pub(crate) remaining: u64,
+}
+
+impl<'a> ShardState<'a> {
+    /// Fresh shard `id` with an execution budget of `execs`, seeded
+    /// with `seed` (generator and corpus scheduler share it).
+    pub(crate) fn new(
+        db: &'a SpecDb,
+        consts: &'a ConstDb,
+        config: &CampaignConfig,
+        id: u32,
+        execs: u64,
+        seed: u64,
+    ) -> ShardState<'a> {
+        let mut generator = Generator::new(db, consts, seed);
+        if let Some(enabled) = &config.enabled {
+            generator = generator.with_enabled(enabled.clone());
+        }
+        ShardState {
+            id,
+            generator,
+            scratch: ExecScratch::new(db, consts),
+            corpus: Corpus::new(CORPUS_CAP, seed),
+            crashes: BTreeMap::new(),
+            max_prog_len: config.max_prog_len,
+            rng_pick: seed,
+            remaining: execs,
+        }
+    }
+
+    /// Run up to `budget` executions (less if the shard's remaining
+    /// budget is smaller) of the coverage-guided loop: 1-in-4 fresh
+    /// generation, otherwise mutate a corpus seed picked by the
+    /// weighted scheduler; admit whatever contributes new coverage.
+    pub(crate) fn run_epoch(&mut self, kernel: &VKernel, budget: u64) {
+        let n = budget.min(self.remaining);
+        for _ in 0..n {
+            self.rng_pick = self
+                .rng_pick
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let fresh = self.corpus.is_empty() || self.rng_pick.is_multiple_of(4);
+            let (prog, parent) = if fresh {
+                (self.generator.gen_program(self.max_prog_len), None)
+            } else {
+                let idx = self.corpus.select().expect("non-empty corpus");
+                (
+                    self.generator
+                        .mutate(self.corpus.program(idx), self.max_prog_len),
+                    Some(idx),
+                )
+            };
+            execute_with(kernel, &prog, &mut self.scratch);
+            if let Some(c) = self.scratch.crash() {
+                let e = self
+                    .crashes
+                    .entry(c.title.clone())
+                    .or_insert_with(|| (0, c.cve.clone()));
+                e.0 += 1;
+            }
+            self.corpus.observe(prog, self.scratch.coverage(), parent);
+        }
+        self.remaining -= n;
+    }
+
+    /// Fold the finished shard into a mergeable result.
+    pub(crate) fn finish(self) -> WorkerResult {
+        let crashes = self.crashes;
+        let (coverage, corpus_size) = self.corpus.into_coverage();
+        WorkerResult {
+            coverage,
+            crashes,
+            corpus_size,
+        }
+    }
+}
+
 /// One worker's share of a campaign: the coverage-guided loop over
-/// `execs` executions seeded with `seed`. This is the single code
-/// path behind both [`Campaign`] and
+/// `execs` executions seeded with `seed`, run as a single epoch.
+/// This is the single code path behind both [`Campaign`] and
 /// [`crate::shard::ShardedCampaign`], so a sharded run with one shard
 /// is bit-identical to a sequential run.
 pub(crate) fn run_worker(
@@ -82,49 +190,9 @@ pub(crate) fn run_worker(
     execs: u64,
     seed: u64,
 ) -> WorkerResult {
-    let mut generator = Generator::new(db, consts, seed);
-    if let Some(enabled) = &config.enabled {
-        generator = generator.with_enabled(enabled.clone());
-    }
-    let mut coverage = CoverageMap::new();
-    let mut crashes: CrashTally = BTreeMap::new();
-    // Ring buffer: eviction drops the oldest entry in O(1) instead of
-    // the former `Vec::remove(0)` shift.
-    let mut corpus: VecDeque<Program> = VecDeque::new();
-    let mut scratch = ExecScratch::new(db, consts);
-    let mut rng_pick = seed;
-    for _ in 0..execs {
-        // 1-in-4 fresh generation; otherwise mutate a corpus entry.
-        rng_pick = rng_pick
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1);
-        let fresh = corpus.is_empty() || rng_pick.is_multiple_of(4);
-        let prog = if fresh {
-            generator.gen_program(config.max_prog_len)
-        } else {
-            let idx = (rng_pick >> 33) as usize % corpus.len();
-            generator.mutate(&corpus[idx], config.max_prog_len)
-        };
-        execute_with(kernel, &prog, &mut scratch);
-        if let Some(c) = &scratch.state.crash {
-            let e = crashes
-                .entry(c.title.clone())
-                .or_insert_with(|| (0, c.cve.clone()));
-            e.0 += 1;
-        }
-        let new_blocks = coverage.merge(&scratch.state.coverage);
-        if new_blocks > 0 {
-            corpus.push_back(prog);
-            if corpus.len() > CORPUS_CAP {
-                corpus.pop_front();
-            }
-        }
-    }
-    WorkerResult {
-        coverage,
-        crashes,
-        corpus_size: corpus.len(),
-    }
+    let mut state = ShardState::new(db, consts, config, 0, execs, seed);
+    state.run_epoch(kernel, u64::MAX);
+    state.finish()
 }
 
 /// Mergeable result of one worker loop.

@@ -1,0 +1,430 @@
+//! The coverage-keyed seed corpus.
+//!
+//! A [`Corpus`] is the campaign's memory: every retained program is
+//! keyed by the coverage it *contributed* when it was admitted (the
+//! bitmap diff against everything the corpus had seen before), and
+//! carries per-entry productivity statistics — how often it was
+//! picked as a mutation seed and how often one of its mutants was
+//! itself admitted. Those statistics drive both scheduling and
+//! eviction:
+//!
+//! * **selection** is weighted by productivity (contributed blocks
+//!   and mutation hits, decayed by how often the entry has already
+//!   been fuzzed), replacing the old uniform-and-biased
+//!   `rng % corpus.len()` pick — the underlying bounded sampler is
+//!   rejection-based and exactly unbiased (see [`SplitMix64`]);
+//! * **eviction** under the size cap drops the *least productive*
+//!   entry (minimum weight, oldest first on ties) instead of the
+//!   oldest, so a long campaign keeps the seeds that still earn
+//!   coverage.
+//!
+//! Everything is integer arithmetic over an owned [`SplitMix64`]
+//! stream, so a corpus is a pure function of its construction seed
+//! and the sequence of `select`/`observe`/`admit_foreign` calls —
+//! the determinism the sharded campaign and the cross-shard
+//! [`crate::hub::SeedHub`] build on.
+
+use crate::program::Program;
+use kgpt_vkernel::CoverageMap;
+
+/// One retained seed with its coverage key and productivity stats.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The program itself.
+    pub program: Program,
+    /// Coverage this entry contributed when admitted (its dedup key;
+    /// disjoint from every earlier entry's contribution).
+    pub contributed: CoverageMap,
+    /// Times this entry was selected as a mutation seed.
+    pub execs: u64,
+    /// Times a mutant of this entry was itself admitted.
+    pub hits: u64,
+}
+
+impl CorpusEntry {
+    /// Scheduling weight: productivity (contributed blocks, mutation
+    /// hits) decayed by how much the entry has already been fuzzed.
+    /// Always ≥ 1, so every entry stays reachable.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        let base = 1 + self.contributed.len() as u64 + 8 * self.hits;
+        let fatigue = 4 + self.execs.min(60);
+        (base * 16 / fatigue).max(1)
+    }
+}
+
+/// Counters over a corpus's lifetime (monotone; eviction does not
+/// roll them back).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Locally executed programs admitted for new coverage.
+    pub admitted: u64,
+    /// Seeds imported from the cross-shard hub.
+    pub imported: u64,
+    /// Entries evicted under the size cap.
+    pub evicted: u64,
+}
+
+/// A size-bounded, coverage-deduplicated seed corpus with weighted
+/// scheduling. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    /// Union of every block this corpus knows about — executed here
+    /// or imported from the hub. Admission is keyed against this map.
+    coverage: CoverageMap,
+    cap: usize,
+    rng: SplitMix64,
+    /// Sum of entry weights, maintained incrementally.
+    total_weight: u64,
+    stats: CorpusStats,
+}
+
+impl Corpus {
+    /// Empty corpus holding at most `cap` entries, with its own
+    /// deterministic selection stream seeded by `seed`.
+    #[must_use]
+    pub fn new(cap: usize, seed: u64) -> Corpus {
+        Corpus {
+            entries: Vec::new(),
+            coverage: CoverageMap::new(),
+            cap: cap.max(1),
+            rng: SplitMix64::new(seed),
+            total_weight: 0,
+            stats: CorpusStats::default(),
+        }
+    }
+
+    /// Number of retained entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus holds no entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Union of all coverage this corpus has observed (executed or
+    /// imported).
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.coverage
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> CorpusStats {
+        self.stats
+    }
+
+    /// The program of entry `idx`.
+    #[must_use]
+    pub fn program(&self, idx: usize) -> &Program {
+        &self.entries[idx].program
+    }
+
+    /// Entry `idx` (coverage key and stats included).
+    #[must_use]
+    pub fn entry(&self, idx: usize) -> &CorpusEntry {
+        &self.entries[idx]
+    }
+
+    /// Pick a mutation seed, weighted by entry productivity; `None`
+    /// on an empty corpus. Charges one exec against the picked entry
+    /// (the fatigue input of its weight).
+    pub fn select(&mut self) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut r = self.rng.bounded(self.total_weight);
+        let mut idx = self.entries.len() - 1;
+        for (i, e) in self.entries.iter().enumerate() {
+            let w = e.weight();
+            if r < w {
+                idx = i;
+                break;
+            }
+            r -= w;
+        }
+        let old = self.entries[idx].weight();
+        self.entries[idx].execs += 1;
+        self.total_weight = self.total_weight - old + self.entries[idx].weight();
+        Some(idx)
+    }
+
+    /// Record one execution outcome: merge `cov` into the corpus
+    /// coverage and admit `prog` if it contributed new blocks,
+    /// crediting `parent` (the mutation seed it came from, if any)
+    /// with a hit. Returns the number of newly covered blocks
+    /// (0 = nothing new, program dropped). Allocation-free on the
+    /// nothing-new path.
+    pub fn observe(&mut self, prog: Program, cov: &CoverageMap, parent: Option<usize>) -> usize {
+        if self.coverage.new_blocks_in(cov) == 0 {
+            return 0;
+        }
+        if let Some(p) = parent {
+            let old = self.entries[p].weight();
+            self.entries[p].hits += 1;
+            self.total_weight = self.total_weight - old + self.entries[p].weight();
+        }
+        let contributed = self.coverage.merge_diff(cov);
+        let new = contributed.len();
+        self.stats.admitted += 1;
+        self.push(CorpusEntry {
+            program: prog,
+            contributed,
+            execs: 0,
+            hits: 0,
+        });
+        new
+    }
+
+    /// Admit a seed published by another shard: if its claimed
+    /// contribution has blocks this corpus does not know, retain a
+    /// clone keyed by the unknown part. Returns whether the seed was
+    /// taken. Does not touch the selection stream, so an exchange
+    /// that imports nothing leaves the corpus bit-identical.
+    pub fn admit_foreign(&mut self, prog: &Program, claimed: &CoverageMap) -> bool {
+        if self.coverage.new_blocks_in(claimed) == 0 {
+            return false;
+        }
+        let contributed = self.coverage.merge_diff(claimed);
+        self.stats.imported += 1;
+        self.push(CorpusEntry {
+            program: prog.clone(),
+            contributed,
+            execs: 0,
+            hits: 0,
+        });
+        true
+    }
+
+    /// Indices of the `k` highest-weight entries, ordered by weight
+    /// descending with index ascending on ties (deterministic).
+    #[must_use]
+    pub fn top_indices(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.entries.len()).collect();
+        idx.sort_by_key(|&i| (std::cmp::Reverse(self.entries[i].weight()), i));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Decompose into the coverage union and the retained entry
+    /// count (the campaign-result view of a finished worker).
+    #[must_use]
+    pub fn into_coverage(self) -> (CoverageMap, usize) {
+        (self.coverage, self.entries.len())
+    }
+
+    fn push(&mut self, entry: CorpusEntry) {
+        self.total_weight += entry.weight();
+        self.entries.push(entry);
+        while self.entries.len() > self.cap {
+            self.evict_least_productive();
+        }
+    }
+
+    /// Drop the minimum-weight entry (oldest first on ties). The
+    /// corpus coverage keeps the evicted entry's blocks — eviction
+    /// bounds memory, it does not forget what was reached.
+    fn evict_least_productive(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, e)| (e.weight(), *i))
+            .map(|(i, _)| i)
+            .expect("evict on non-empty corpus");
+        let gone = self.entries.remove(victim);
+        self.total_weight -= gone.weight();
+        self.stats.evicted += 1;
+    }
+}
+
+/// SplitMix64: the corpus's owned deterministic word stream. Bounded
+/// sampling uses rejection (`bounded`), so picks are *exactly*
+/// uniform over `0..n` — no modulo bias, unlike the former
+/// `(rng >> 33) % len` corpus pick.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Stream seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Exactly uniform draw from `0..n` (n ≥ 1) by rejection: raw
+    /// words below `reject_threshold(n)` are discarded, leaving an
+    /// accepted range whose size is a multiple of `n`, so every
+    /// residue has the same number of preimages.
+    pub fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "bounded(0)");
+        let threshold = reject_threshold(n);
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % n;
+            }
+        }
+    }
+}
+
+/// `2^64 mod n`: the count of raw words that must be rejected so the
+/// accepted range `threshold..2^64` has a size divisible by `n`.
+#[must_use]
+pub(crate) fn reject_threshold(n: u64) -> u64 {
+    (u64::MAX % n).wrapping_add(1) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cov(blocks: &[u64]) -> CoverageMap {
+        blocks.iter().copied().collect()
+    }
+
+    fn prog() -> Program {
+        Program::default()
+    }
+
+    #[test]
+    fn admits_only_new_coverage_and_keys_entries_by_the_diff() {
+        let mut c = Corpus::new(64, 0);
+        assert_eq!(c.observe(prog(), &cov(&[1, 2, 3]), None), 3);
+        // Overlapping execution: only the delta is the entry's key.
+        assert_eq!(c.observe(prog(), &cov(&[2, 3, 4]), None), 1);
+        assert_eq!(c.entry(1).contributed, cov(&[4]));
+        // Fully covered execution is dropped.
+        assert_eq!(c.observe(prog(), &cov(&[1, 4]), None), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.coverage(), &cov(&[1, 2, 3, 4]));
+        assert_eq!(c.stats().admitted, 2);
+    }
+
+    #[test]
+    fn parent_hit_credit_raises_weight() {
+        let mut c = Corpus::new(64, 0);
+        c.observe(prog(), &cov(&[1]), None);
+        let before = c.entry(0).weight();
+        c.observe(prog(), &cov(&[2]), Some(0));
+        assert_eq!(c.entry(0).hits, 1);
+        assert!(c.entry(0).weight() > before);
+    }
+
+    #[test]
+    fn eviction_drops_the_least_productive_not_the_oldest() {
+        let mut c = Corpus::new(3, 0);
+        // Entry 0 is old but highly productive (many blocks).
+        c.observe(prog(), &cov(&[1, 2, 3, 4, 5, 6, 7, 8]), None);
+        // Entries 1 and 2 are single-block.
+        c.observe(prog(), &cov(&[100]), None);
+        c.observe(prog(), &cov(&[200]), None);
+        // Make entry 1 strictly weaker than entry 2 via fatigue.
+        c.entries[1].execs = 50;
+        let w: Vec<u64> = c.entries.iter().map(CorpusEntry::weight).collect();
+        c.total_weight = w.iter().sum();
+        assert!(w[1] < w[2] && w[1] < w[0]);
+        // Overflow the cap: the weakest (entry 1) goes, not entry 0.
+        c.observe(prog(), &cov(&[300]), None);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evicted, 1);
+        assert_eq!(c.entry(0).contributed, cov(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(c.entry(1).contributed, cov(&[200]));
+        // Evicted coverage is not forgotten: re-observing block 100
+        // contributes nothing.
+        assert_eq!(c.observe(prog(), &cov(&[100]), None), 0);
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_favors_productive_entries() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mut c = Corpus::new(64, seed);
+            c.observe(prog(), &cov(&(0..40).collect::<Vec<u64>>()), None);
+            c.observe(prog(), &cov(&[100]), None);
+            (0..50).map(|_| c.select().unwrap()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same pick sequence");
+        assert_ne!(run(7), run(8), "seed is part of the stream");
+        let picks = run(7);
+        let heavy = picks.iter().filter(|&&i| i == 0).count();
+        assert!(heavy > 25, "40-block entry picked only {heavy}/50");
+    }
+
+    #[test]
+    fn bounded_pick_is_bias_free() {
+        // Structural half: the rejection zone leaves an accepted
+        // range whose size is an exact multiple of n, so each residue
+        // has identical probability — the former `(rng >> 33) % len`
+        // pick had no such property. `threshold.wrapping_neg()` is
+        // `2^64 - threshold`, the accepted count.
+        for n in [1u64, 2, 3, 5, 6, 7, 10, 1000, 2048, (1 << 33) + 1] {
+            let threshold = reject_threshold(n);
+            assert!(threshold < n, "n={n}");
+            assert_eq!(
+                threshold.wrapping_neg() % n,
+                0,
+                "accepted range not a multiple of n={n}"
+            );
+        }
+        // Statistical half: equal-weight entries are picked uniformly.
+        let mut rng = SplitMix64::new(0xB1A5);
+        let n = 10u64;
+        let draws = 100_000u64;
+        let mut buckets = [0u64; 10];
+        for _ in 0..draws {
+            buckets[rng.bounded(n) as usize] += 1;
+        }
+        let expect = draws / n;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                b.abs_diff(expect) < expect / 10,
+                "bucket {i}: {b} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_admission_dedups_and_skips_the_selection_stream() {
+        let mut c = Corpus::new(64, 3);
+        c.observe(prog(), &cov(&[1, 2]), None);
+        let stream_probe = c.rng.clone().next_u64();
+        // Already-known claim: rejected, nothing imported.
+        assert!(!c.admit_foreign(&prog(), &cov(&[1])));
+        // Partially new claim: retained, keyed by the unknown part.
+        assert!(c.admit_foreign(&prog(), &cov(&[2, 3])));
+        assert_eq!(c.entry(1).contributed, cov(&[3]));
+        assert_eq!(c.stats().imported, 1);
+        assert_eq!(
+            c.rng.clone().next_u64(),
+            stream_probe,
+            "imports must not consume selection randomness"
+        );
+    }
+
+    #[test]
+    fn top_indices_order_by_weight_then_age() {
+        let mut c = Corpus::new(64, 0);
+        c.observe(prog(), &cov(&[1]), None);
+        c.observe(prog(), &cov(&[10, 11, 12]), None);
+        c.observe(prog(), &cov(&[20]), None);
+        // Entries 0 and 2 tie; the older index comes first.
+        assert_eq!(c.top_indices(3), vec![1, 0, 2]);
+        assert_eq!(c.top_indices(1), vec![1]);
+        assert_eq!(c.top_indices(0), Vec::<usize>::new());
+    }
+}

@@ -12,7 +12,9 @@
 //! so they compose with either an owned [`SpecDb`] or a shared
 //! [`kgpt_syzlang::SpecCache`] handle (`&Arc<SpecDb>` derefs to
 //! `&SpecDb`); campaigns hold the latter and pay compilation once per
-//! distinct suite.
+//! distinct suite. After a run, [`ExecScratch::coverage`] and
+//! [`ExecScratch::crash`] expose the outcome the campaign loop feeds
+//! into the shared [`crate::corpus::Corpus`].
 
 use crate::program::Program;
 use kgpt_syzlang::value::{MemBuilder, ResRef};
@@ -58,6 +60,20 @@ impl<'a> ExecScratch<'a> {
             mem: MemMap::new(),
             shuttle: Vec::new(),
         }
+    }
+
+    /// Coverage of the last executed program — what the campaign
+    /// loop feeds to [`crate::corpus::Corpus::observe`] (borrowed, so
+    /// the admission test allocates nothing on the nothing-new path).
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.state.coverage
+    }
+
+    /// Crash triggered by the last executed program, if any.
+    #[must_use]
+    pub fn crash(&self) -> Option<&CrashReport> {
+        self.state.crash.as_ref()
     }
 }
 

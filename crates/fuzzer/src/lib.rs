@@ -12,20 +12,32 @@
 //! * [`exec`] — lowers a program to registers + memory segments and
 //!   runs it against a [`kgpt_vkernel::VKernel`], reusing per-worker
 //!   [`exec::ExecScratch`] so the hot loop is allocation-free;
-//! * [`campaign`] — the coverage-guided loop: mutate/generate, keep
-//!   inputs that reach new blocks, deduplicate crashes by title;
+//! * [`corpus`] — the coverage-keyed seed corpus: entries keyed by
+//!   the coverage they contributed, weighted (bias-free) seed
+//!   scheduling, and least-productive eviction under the size cap;
+//! * [`campaign`] — the coverage-guided loop: mutate/generate, admit
+//!   inputs that reach new blocks into the [`corpus::Corpus`],
+//!   deduplicate crashes by title;
+//! * [`hub`] — deterministic cross-shard seed exchange: shards
+//!   publish their best seeds at fixed exec-epoch boundaries in
+//!   shard-id order and import what they have not seen;
 //! * [`shard`] — parallel campaigns: a fixed logical-shard
 //!   decomposition executed by N threads sharing the kernel by
-//!   reference, with a merge that is independent of thread count.
+//!   reference, with epoch-barrier hub exchange and a merge that are
+//!   both independent of thread count.
 
 pub mod campaign;
+pub mod corpus;
 pub mod exec;
 pub mod gen;
+pub mod hub;
 pub mod program;
 pub mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
+pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
 pub use gen::Generator;
+pub use hub::{HubSeed, SeedHub};
 pub use program::{ProgCall, Program};
 pub use shard::ShardedCampaign;

@@ -3,22 +3,31 @@
 //! A [`ShardedCampaign`] decomposes a campaign into a fixed number of
 //! **logical shards**. Shard `i` runs the standard coverage-guided
 //! worker loop over its slice of the execution budget, seeded
-//! `seed.wrapping_add(i)` with its own generator, corpus, and
-//! execution scratch;
+//! `seed.wrapping_add(i)` with its own generator, coverage-keyed
+//! [`crate::corpus::Corpus`], and execution scratch;
 //! the booted [`VKernel`] and the compiled [`SpecDb`] are shared by
 //! reference (`VKernel: Sync` is asserted at compile time in
 //! `kgpt-vkernel`).
 //!
+//! With `hub_epoch > 0` the shards no longer fuzz in isolation: the
+//! run proceeds **epoch-major** — every shard executes `hub_epoch`
+//! programs, then all shards exchange their best seeds through a
+//! [`SeedHub`] in shard-id order, then the next epoch starts. The
+//! exchange points are fixed exec boundaries, so they are part of the
+//! campaign's deterministic identity, not of its schedule.
+//!
 //! Determinism contract: the result is a pure function of
-//! `(config, shards)`. The **thread count is a pure throughput knob**
-//! — shards are distributed over `threads` OS threads, and because
-//! every shard is independent and the merge runs in shard-id order,
-//! `coverage`/`crashes` are identical for any thread count (and the
-//! merge itself is commutative, so merge order could not change the
-//! set either way). A one-shard campaign is bit-identical to
-//! [`Campaign::run`](crate::Campaign::run) with the same config.
+//! `(config, shards)` — `hub_epoch`/`hub_top_k` included. The
+//! **thread count is a pure throughput knob**: within an epoch every
+//! shard only reads shared immutable state, epochs are barriers, and
+//! both the exchange and the final merge run in shard-id order on the
+//! driving thread, so `coverage`/`crashes` are identical for any
+//! thread count. A one-shard campaign is bit-identical to
+//! [`Campaign::run`](crate::Campaign::run) with the same config
+//! (exchange on one shard is a no-op by construction).
 
-use crate::campaign::{run_worker, CampaignConfig, CampaignResult, CrashTally, WorkerResult};
+use crate::campaign::{CampaignConfig, CampaignResult, CrashTally, ShardState};
+use crate::hub::SeedHub;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -126,41 +135,49 @@ impl<'a> ShardedCampaign<'a> {
             t => t,
         }
         .clamp(1, shards);
+        let db: &SpecDb = &self.db;
 
-        let mut results: Vec<Option<WorkerResult>> = Vec::with_capacity(shards);
-        if threads <= 1 {
-            for i in 0..self.shards {
-                results.push(Some(self.run_shard(i)));
+        let mut states: Vec<ShardState<'_>> = (0..self.shards)
+            .map(|i| {
+                ShardState::new(
+                    db,
+                    self.consts,
+                    &self.config,
+                    i,
+                    self.shard_execs(i),
+                    self.config.seed.wrapping_add(u64::from(i)),
+                )
+            })
+            .collect();
+
+        // Epoch-major loop: run every shard for one epoch (in
+        // parallel), then — still on this thread, in shard-id order —
+        // exchange seeds through the hub. With the hub off the epoch
+        // is the whole budget and the loop body runs once.
+        let epoch = match self.config.hub_epoch {
+            0 => u64::MAX,
+            e => e,
+        };
+        let mut hub = SeedHub::new(self.config.hub_top_k);
+        loop {
+            self.run_chunk(&mut states, threads, epoch);
+            if states.iter().all(|s| s.remaining == 0) {
+                break;
             }
-        } else {
-            let slots: Vec<Mutex<Option<WorkerResult>>> =
-                (0..shards).map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= shards {
-                            break;
-                        }
-                        let r = self.run_shard(i as u32);
-                        *slots[i].lock().expect("shard slot poisoned") = Some(r);
-                    });
-                }
-            });
-            results.extend(
-                slots
-                    .into_iter()
-                    .map(|m| m.into_inner().expect("shard slot poisoned")),
-            );
+            for state in &mut states {
+                hub.publish(state.id, &state.corpus);
+            }
+            for state in &mut states {
+                hub.import_into(state.id, &mut state.corpus);
+            }
         }
 
         // Merge in shard-id order (deterministic; the merge is also
-        // commutative, so any order would produce the same result).
+        // commutative, so any order would produce the same set).
         let mut coverage = CoverageMap::new();
         let mut crashes: CrashTally = CrashTally::new();
         let mut corpus_size = 0usize;
-        for r in results.into_iter().map(|r| r.expect("shard ran")) {
+        for r in states.into_iter().map(ShardState::finish) {
             coverage.merge(&r.coverage);
             for (title, (count, cve)) in r.crashes {
                 let e = crashes.entry(title).or_insert((0, cve));
@@ -176,15 +193,34 @@ impl<'a> ShardedCampaign<'a> {
         }
     }
 
-    fn run_shard(&self, i: u32) -> WorkerResult {
-        run_worker(
-            self.kernel,
-            &self.db,
-            self.consts,
-            &self.config,
-            self.shard_execs(i),
-            self.config.seed.wrapping_add(u64::from(i)),
-        )
+    /// Advance every shard by up to `epoch` executions, distributing
+    /// shards over the worker threads. A barrier: returns only when
+    /// all shards reached the boundary. Each shard is advanced by
+    /// exactly one worker, so the per-shard state evolution is
+    /// schedule-independent.
+    fn run_chunk(&self, states: &mut [ShardState<'_>], threads: usize, epoch: u64) {
+        if threads <= 1 {
+            for state in states.iter_mut() {
+                state.run_epoch(self.kernel, epoch);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<&mut ShardState<'_>>> = states.iter_mut().map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    slots[i]
+                        .lock()
+                        .expect("shard slot poisoned")
+                        .run_epoch(self.kernel, epoch);
+                });
+            }
+        });
     }
 }
 
@@ -212,11 +248,34 @@ mod tests {
         }
     }
 
+    fn hub_cfg(execs: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            hub_epoch: 250,
+            hub_top_k: 4,
+            ..cfg(execs, seed)
+        }
+    }
+
     #[test]
     fn one_shard_is_bit_identical_to_sequential_campaign() {
         let (kernel, suite, consts) = dm_setup();
         let sequential = Campaign::new(&kernel, &suite, &consts, cfg(1500, 4)).run();
         let sharded = ShardedCampaign::new(&kernel, &suite, &consts, cfg(1500, 4))
+            .with_shards(1)
+            .run();
+        assert_eq!(sequential.coverage, sharded.coverage);
+        assert_eq!(sequential.crashes, sharded.crashes);
+        assert_eq!(sequential.corpus_size, sharded.corpus_size);
+    }
+
+    #[test]
+    fn one_shard_with_exchange_on_still_matches_sequential() {
+        // On one shard every exchange is a no-op (a shard never
+        // imports its own seeds), so the epoch-chunked hub run must
+        // be bit-identical to the straight sequential loop.
+        let (kernel, suite, consts) = dm_setup();
+        let sequential = Campaign::new(&kernel, &suite, &consts, cfg(1500, 4)).run();
+        let sharded = ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(1500, 4))
             .with_shards(1)
             .run();
         assert_eq!(sequential.coverage, sharded.coverage);
@@ -240,6 +299,50 @@ mod tests {
             assert_eq!(base.crashes, r.crashes, "threads={threads}");
             assert_eq!(base.corpus_size, r.corpus_size, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_result_with_exchange_on() {
+        // The hub exchanges seeds at epoch boundaries (8 exchanges
+        // here); publish/import order is shard-id order on the
+        // driving thread, so any thread count must produce the same
+        // result bit for bit.
+        let (kernel, suite, consts) = dm_setup();
+        let run = |threads: usize| {
+            ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(2000, 11))
+                .with_shards(8)
+                .with_threads(threads)
+                .run()
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(base.coverage, r.coverage, "threads={threads}");
+            assert_eq!(base.crashes, r.crashes, "threads={threads}");
+            assert_eq!(base.corpus_size, r.corpus_size, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exchange_never_loses_coverage_and_spreads_seeds() {
+        // The executed-coverage union can only be helped by seeing
+        // other shards' seeds earlier; at minimum nothing is lost,
+        // and shard corpora grow by imported entries.
+        let (kernel, suite, consts) = dm_setup();
+        let off = ShardedCampaign::new(&kernel, &suite, &consts, cfg(4000, 1)).run();
+        let on = ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(4000, 1)).run();
+        assert!(
+            on.blocks() >= off.blocks(),
+            "exchange on {} vs off {}",
+            on.blocks(),
+            off.blocks()
+        );
+        assert!(
+            on.corpus_size > off.corpus_size,
+            "no seeds were imported (on {} vs off {})",
+            on.corpus_size,
+            off.corpus_size
+        );
     }
 
     #[test]

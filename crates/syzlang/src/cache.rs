@@ -16,6 +16,14 @@
 //! is `Sync` — is safe by construction. [`SpecCache::global`] is the
 //! process-wide instance used by the `Campaign`/`ShardedCampaign`
 //! constructors and the merged-validation paths.
+//!
+//! A cache can be **size-bounded** ([`SpecCache::with_capacity`]):
+//! over capacity, the least-recently-used suite is evicted (recency
+//! is refreshed on every hit), so a long-lived service compiling
+//! unbounded distinct suites holds at most `capacity` databases —
+//! plus whatever outstanding `Arc`s its campaigns still pin. The
+//! global cache is bounded at [`GLOBAL_CACHE_CAPACITY`];
+//! hit/miss/eviction counters are exposed for monitoring.
 
 use crate::ast::SpecFile;
 use crate::db::SpecDb;
@@ -24,36 +32,70 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// Entry cap of the process-wide [`SpecCache::global`] cache: far
+/// above any sweep's distinct-suite count, but a hard bound so a
+/// long-lived service feeding unbounded distinct suites cannot grow
+/// the cache without limit.
+pub const GLOBAL_CACHE_CAPACITY: usize = 512;
+
 /// One cached compilation.
 struct CacheEntry {
     /// The exact input suite; compared on every lookup so fingerprint
     /// collisions degrade to misses, not wrong databases.
     files: Vec<SpecFile>,
     db: Arc<SpecDb>,
+    /// Recency stamp from the cache's monotone tick, for LRU
+    /// eviction; refreshed on every hit.
+    last_used: u64,
 }
 
 /// A memoizing wrapper over [`SpecDb::from_files`], keyed by suite
-/// content. Cheap to share by reference across threads.
+/// content. Cheap to share by reference across threads. Optionally
+/// size-bounded: over capacity, the least-recently-used suite is
+/// evicted (outstanding `Arc`s stay alive).
 #[derive(Default)]
 pub struct SpecCache {
     entries: Mutex<BTreeMap<u64, Vec<CacheEntry>>>,
+    /// Maximum retained suites; 0 = unbounded.
+    capacity: usize,
+    /// Monotone recency clock (bumped on every hit and insert).
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SpecCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     #[must_use]
     pub fn new() -> SpecCache {
         SpecCache::default()
     }
 
+    /// Empty cache retaining at most `capacity` compiled suites;
+    /// beyond that, lookups evict the least-recently-used suite.
+    /// `0` means unbounded.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> SpecCache {
+        SpecCache {
+            capacity,
+            ..SpecCache::default()
+        }
+    }
+
     /// The process-wide cache used by campaign constructors and
-    /// merged-validation paths.
+    /// merged-validation paths; LRU-bounded at
+    /// [`GLOBAL_CACHE_CAPACITY`] suites.
     #[must_use]
     pub fn global() -> &'static SpecCache {
         static GLOBAL: OnceLock<SpecCache> = OnceLock::new();
-        GLOBAL.get_or_init(SpecCache::new)
+        GLOBAL.get_or_init(|| SpecCache::with_capacity(GLOBAL_CACHE_CAPACITY))
+    }
+
+    /// Maximum retained suites (0 = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Structural content fingerprint of a suite: FNV-1a over the
@@ -76,9 +118,10 @@ impl SpecCache {
     pub fn get_or_build(&self, files: &[SpecFile]) -> Arc<SpecDb> {
         let key = SpecCache::fingerprint(files);
         {
-            let entries = self.entries.lock().expect("spec cache poisoned");
-            if let Some(bucket) = entries.get(&key) {
-                if let Some(e) = bucket.iter().find(|e| e.files == files) {
+            let mut entries = self.entries.lock().expect("spec cache poisoned");
+            if let Some(bucket) = entries.get_mut(&key) {
+                if let Some(e) = bucket.iter_mut().find(|e| e.files == files) {
+                    e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(&e.db);
                 }
@@ -89,15 +132,49 @@ impl SpecCache {
         let db = Arc::new(SpecDb::from_files(files.to_vec()));
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("spec cache poisoned");
-        let bucket = entries.entry(key).or_default();
-        if let Some(e) = bucket.iter().find(|e| e.files == files) {
+        if let Some(e) = entries
+            .get_mut(&key)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.files == files))
+        {
+            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(&e.db);
         }
-        bucket.push(CacheEntry {
+        entries.entry(key).or_default().push(CacheEntry {
             files: files.to_vec(),
             db: Arc::clone(&db),
+            last_used: self.tick.fetch_add(1, Ordering::Relaxed),
         });
+        self.evict_over_capacity(&mut entries);
         db
+    }
+
+    /// Drop least-recently-used suites until the entry count is back
+    /// under capacity. Called with the entries lock held.
+    fn evict_over_capacity(&self, entries: &mut BTreeMap<u64, Vec<CacheEntry>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        while entries.values().map(Vec::len).sum::<usize>() > self.capacity {
+            let Some((&key, idx)) = entries
+                .iter()
+                .flat_map(|(k, bucket)| {
+                    bucket
+                        .iter()
+                        .enumerate()
+                        .map(move |(i, e)| (k, i, e.last_used))
+                })
+                .min_by_key(|&(_, _, last_used)| last_used)
+                .map(|(k, i, _)| (k, i))
+            else {
+                return;
+            };
+            let bucket = entries.get_mut(&key).expect("victim bucket exists");
+            bucket.remove(idx);
+            if bucket.is_empty() {
+                entries.remove(&key);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Lookups served without compiling.
@@ -110,6 +187,12 @@ impl SpecCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Suites evicted under the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct suites currently cached.
@@ -130,11 +213,12 @@ impl SpecCache {
     }
 
     /// Drop every cached database (outstanding `Arc`s stay alive) and
-    /// reset the hit/miss counters.
+    /// reset the hit/miss/eviction counters.
     pub fn clear(&self) {
         self.entries.lock().expect("spec cache poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -255,6 +339,66 @@ mod tests {
         // The evicted Arc stays usable; the rebuild is a new pointer.
         assert!(!Arc::ptr_eq(&before, &after));
         assert!(before.resource("fd_c").is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_capacity_bound() {
+        let cache = SpecCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let a = suite("resource fd_la[fd]\n");
+        let b = suite("resource fd_lb[fd]\n");
+        let c = suite("resource fd_lc[fd]\n");
+        let _ = cache.get_or_build(&a);
+        let _ = cache.get_or_build(&b);
+        assert_eq!(cache.evictions(), 0);
+        // Touch `a` so `b` becomes the least recently used...
+        let _ = cache.get_or_build(&a);
+        // ...then overflow: `b` is evicted, `a` survives.
+        let _ = cache.get_or_build(&c);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let misses_before = cache.misses();
+        let _ = cache.get_or_build(&a);
+        let _ = cache.get_or_build(&c);
+        assert_eq!(cache.misses(), misses_before, "a and c must still hit");
+        let _ = cache.get_or_build(&b);
+        assert_eq!(cache.misses(), misses_before + 1, "b was evicted");
+        assert_eq!(cache.evictions(), 2, "rebuilding b evicts the next LRU");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicted_databases_stay_alive_through_outstanding_arcs() {
+        let cache = SpecCache::with_capacity(1);
+        let a = suite("resource fd_ea[fd]\n");
+        let held = cache.get_or_build(&a);
+        let _ = cache.get_or_build(&suite("resource fd_eb[fd]\n"));
+        assert_eq!(cache.evictions(), 1);
+        // The evicted Arc is still usable; a re-lookup recompiles.
+        assert!(held.resource("fd_ea").is_some());
+        assert!(!Arc::ptr_eq(&held, &cache.get_or_build(&a)));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = SpecCache::new();
+        assert_eq!(cache.capacity(), 0);
+        for i in 0..64 {
+            let _ = cache.get_or_build(&suite(&format!("resource fd_u{i}[fd]\n")));
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn clear_resets_eviction_counter() {
+        let cache = SpecCache::with_capacity(1);
+        let _ = cache.get_or_build(&suite("resource fd_ca[fd]\n"));
+        let _ = cache.get_or_build(&suite("resource fd_cb[fd]\n"));
+        assert_eq!(cache.evictions(), 1);
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -108,6 +108,42 @@ impl CoverageMap {
         n
     }
 
+    /// The blocks of `other` not covered by `self`, as a new map —
+    /// the per-entry "coverage contributed" key of a corpus seed.
+    /// Allocates; guard hot paths with [`CoverageMap::new_blocks_in`]
+    /// first when the diff is usually empty.
+    #[must_use]
+    pub fn diff_in(&self, other: &CoverageMap) -> CoverageMap {
+        let mut words = vec![0u64; other.words.len()];
+        let mut count = 0usize;
+        for (i, src) in other.words.iter().enumerate() {
+            let dst = self.words.get(i).copied().unwrap_or(0);
+            let add = src & !dst;
+            words[i] = add;
+            count += add.count_ones() as usize;
+        }
+        CoverageMap { words, count }
+    }
+
+    /// Union `other` into `self` and return the contributed delta as
+    /// its own map, in one pass. Equivalent to [`CoverageMap::diff_in`]
+    /// followed by [`CoverageMap::merge`].
+    pub fn merge_diff(&mut self, other: &CoverageMap) -> CoverageMap {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut words = vec![0u64; other.words.len()];
+        let mut count = 0usize;
+        for (i, src) in other.words.iter().enumerate() {
+            let add = src & !self.words[i];
+            words[i] = add;
+            count += add.count_ones() as usize;
+            self.words[i] |= add;
+        }
+        self.count += count;
+        CoverageMap { words, count }
+    }
+
     /// Whether the two maps share no block.
     #[must_use]
     pub fn is_disjoint(&self, other: &CoverageMap) -> bool {
@@ -302,6 +338,29 @@ mod tests {
         assert_eq!(m.to_btree_set(), want.iter().copied().collect());
         let owned: Vec<u64> = m.clone().into_iter().collect();
         assert_eq!(owned, want);
+    }
+
+    #[test]
+    fn diff_in_and_merge_diff_agree_with_set_difference() {
+        let a: CoverageMap = [1u64, 2, 3, 200].into_iter().collect();
+        let b: CoverageMap = [3u64, 4, 200, 9000].into_iter().collect();
+        let want: CoverageMap = [4u64, 9000].into_iter().collect();
+        // Non-mutating diff.
+        let d = a.diff_in(&b);
+        assert_eq!(d, want);
+        assert_eq!(d.len(), 2);
+        assert_eq!(a.len(), 4, "diff_in must not modify the receiver");
+        // One-pass merge + diff.
+        let mut m = a.clone();
+        let delta = m.merge_diff(&b);
+        assert_eq!(delta, want);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(m, merged);
+        // Re-merging contributes nothing.
+        assert!(m.merge_diff(&b).is_empty());
+        // Diff against an empty receiver is the whole input.
+        assert_eq!(CoverageMap::new().diff_in(&b), b);
     }
 
     #[test]

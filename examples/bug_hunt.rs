@@ -45,8 +45,7 @@ fn main() {
                 let cfg = CampaignConfig {
                     execs: 15_000,
                     seed,
-                    max_prog_len: 8,
-                    enabled: None,
+                    ..CampaignConfig::default()
                 };
                 let r = Campaign::new(&kernel, &suite, kc.consts(), cfg).run();
                 titles.extend(r.crashes.keys().cloned());

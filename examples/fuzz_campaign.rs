@@ -34,8 +34,14 @@ fn main() {
         let cfg = CampaignConfig {
             execs: 20_000,
             seed: 1,
-            max_prog_len: 8,
-            enabled: None,
+            // Cross-shard seed exchange: every 2048 execs per shard,
+            // each shard publishes its 4 best novel seeds to the hub
+            // and imports what it has not seen. Exchange happens at
+            // fixed exec boundaries in shard-id order, so the result
+            // is still independent of the thread count.
+            hub_epoch: 2_048,
+            hub_top_k: 4,
+            ..CampaignConfig::default()
         };
         // Sharded over all cores; the result is identical to a
         // sequential 8-shard run, just faster.

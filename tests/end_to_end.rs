@@ -24,8 +24,7 @@ fn kernelgpt_spec_finds_dm_cve() {
     let cfg = CampaignConfig {
         execs: 8_000,
         seed: 0,
-        max_prog_len: 8,
-        enabled: None,
+        ..CampaignConfig::default()
     };
     let result = Campaign::new(&kernel, &report.specs(), kc.consts(), cfg).run();
     assert!(
@@ -50,8 +49,11 @@ fn sharded_kernelgpt_campaign_finds_dm_cve_thread_invariantly() {
     let cfg = CampaignConfig {
         execs: 8_000,
         seed: 0,
-        max_prog_len: 8,
-        enabled: None,
+        // Exchange on: seeds flow between shards every 1000 execs, in
+        // shard-id order, so the result stays thread-count invariant.
+        hub_epoch: 1_000,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
     };
     let run = |threads: usize| {
         ShardedCampaign::new(&kernel, &report.specs(), kc.consts(), cfg.clone())
@@ -86,8 +88,7 @@ fn syzdescribe_spec_finds_nothing_on_dm() {
     let cfg = CampaignConfig {
         execs: 5_000,
         seed: 0,
-        max_prog_len: 8,
-        enabled: None,
+        ..CampaignConfig::default()
     };
     let result = Campaign::new(&kernel, &suite, kc.consts(), cfg).run();
     assert_eq!(result.blocks(), 0, "SyzDescribe should reach nothing on dm");
@@ -113,7 +114,7 @@ fn ground_truth_specs_cover_every_flagship() {
             execs: 600,
             seed: 7,
             max_prog_len: 6,
-            enabled: None,
+            ..CampaignConfig::default()
         };
         let r = Campaign::new(&kernel, &[bp.ground_truth_spec()], kc.consts(), cfg).run();
         assert!(
@@ -164,7 +165,7 @@ fn kvm_chain_coverage_spans_subhandlers() {
         execs: 12_000,
         seed: 3,
         max_prog_len: 10,
-        enabled: None,
+        ..CampaignConfig::default()
     };
     let r = Campaign::new(&kernel, &report.specs(), kc.consts(), cfg).run();
     // Handlers get disjoint 4096-block strata; seeing blocks in three

@@ -6,6 +6,7 @@
 //! be reproduced exactly.
 
 use kernelgpt::csrc::cmacro;
+use kernelgpt::fuzzer::{Corpus, Program, SeedHub};
 use kernelgpt::syzlang::ast::{
     ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef,
     Syscall, Type,
@@ -304,10 +305,21 @@ fn coverage_map_matches_btreeset() {
         for &b in &set_a {
             assert!(map_a.contains(b), "seed {seed}: missing {b}");
         }
+        // Diff helpers agree with set difference, without mutation.
+        let diff: BTreeSet<u64> = set_b.difference(&set_a).copied().collect();
+        assert_eq!(map_a.diff_in(&map_b).to_btree_set(), diff, "seed {seed}");
+        assert_eq!(map_a.to_btree_set(), set_a, "seed {seed}: diff_in mutated");
+        let mut merged = map_a.clone();
+        assert_eq!(
+            merged.merge_diff(&map_b).to_btree_set(),
+            diff,
+            "seed {seed}"
+        );
         // Merge = set union, and the return value counts new blocks.
         let old_len = map_a.len();
         let newly = map_a.merge(&map_b);
         let union: BTreeSet<u64> = set_a.union(&set_b).copied().collect();
+        assert_eq!(merged, map_a, "seed {seed}: merge_diff union differs");
         assert_eq!(map_a.len(), union.len(), "seed {seed}");
         assert_eq!(newly, union.len() - old_len, "seed {seed}");
         // Iteration is sorted and complete; the BTreeSet view matches.
@@ -318,6 +330,122 @@ fn coverage_map_matches_btreeset() {
         // Round trip through FromIterator preserves equality.
         let rebuilt: CoverageMap = union.iter().copied().collect();
         assert_eq!(rebuilt, map_a, "seed {seed}");
+    }
+}
+
+/// The seed hub's epoch-boundary exchange is pinned to shard-id
+/// order: on random shard corpora, hub contents match an independent
+/// `BTreeSet`-based first-publisher-wins fold over shards 0..n — and
+/// publishing in a different order attributes contested coverage
+/// differently, which is exactly why the sharded driver publishes in
+/// ascending shard-id order at every boundary.
+#[test]
+fn seed_hub_exchange_order_is_pinned() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x005E_ED4B));
+        let shards = rng.random_range(2..6u32);
+        // Random per-shard corpora. Entries within one corpus have
+        // disjoint contributions by construction; overlap across
+        // shards comes from the shared small block range.
+        let mut corpora: Vec<Corpus> = Vec::new();
+        let mut published_sets: Vec<Vec<BTreeSet<u64>>> = Vec::new();
+        let mut max_entries = 0usize;
+        for s in 0..shards {
+            let mut corpus = Corpus::new(64, u64::from(s));
+            let mut sets = Vec::new();
+            for _ in 0..rng.random_range(1..6u32) {
+                let blocks: BTreeSet<u64> = (0..rng.random_range(1..5u32))
+                    .map(|_| rng.random_range(0..24u64))
+                    .collect();
+                let cov = blocks.iter().copied().collect();
+                if corpus.observe(Program::default(), &cov, None) > 0 {
+                    sets.push(blocks);
+                }
+            }
+            max_entries = max_entries.max(corpus.len());
+            // The recorded per-entry claims are the corpus's own
+            // contribution keys, in admission order.
+            let recorded: Vec<BTreeSet<u64>> = (0..corpus.len())
+                .map(|i| corpus.entry(i).contributed.to_btree_set())
+                .collect();
+            corpora.push(corpus);
+            published_sets.push(recorded);
+        }
+        // top_k ≥ every corpus size: ranking only picks which seeds
+        // fill the k slots, so with all slots available the hub must
+        // retain exactly the first-publisher-wins claims.
+        let mut hub = SeedHub::new(max_entries.max(1));
+        for (s, corpus) in corpora.iter().enumerate() {
+            hub.publish(s as u32, corpus);
+        }
+        // Reference fold in shard-id order over BTreeSets. Claims
+        // within one shard are disjoint, so intra-shard order is
+        // irrelevant and only the shard order is load-bearing.
+        let mut reference: Vec<(u32, BTreeSet<u64>)> = Vec::new();
+        let mut claimed: BTreeSet<u64> = BTreeSet::new();
+        for (s, sets) in published_sets.iter().enumerate() {
+            for blocks in sets {
+                let novel: BTreeSet<u64> = blocks.difference(&claimed).copied().collect();
+                if !novel.is_empty() {
+                    claimed.extend(&novel);
+                    reference.push((s as u32, novel));
+                }
+            }
+        }
+        let mut got: Vec<(u32, BTreeSet<u64>)> = hub
+            .seeds()
+            .iter()
+            .map(|h| (h.shard, h.contributed.to_btree_set()))
+            .collect();
+        let mut want = reference.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "seed {seed}");
+        assert_eq!(hub.coverage().to_btree_set(), claimed, "seed {seed}");
+        // Publishing in reverse shard order attributes contested
+        // blocks to the *other* first publisher — matching the same
+        // reference fold run in reverse. The claimed union is order-
+        // independent, the attribution is not: that is why the driver
+        // pins ascending shard-id order at every boundary.
+        let mut reversed = SeedHub::new(max_entries.max(1));
+        for (s, corpus) in corpora.iter().enumerate().rev() {
+            reversed.publish(s as u32, corpus);
+        }
+        assert_eq!(
+            reversed.coverage().to_btree_set(),
+            claimed,
+            "seed {seed}: claimed union must be order-independent"
+        );
+        let mut rev_reference: Vec<(u32, BTreeSet<u64>)> = Vec::new();
+        let mut rev_claimed: BTreeSet<u64> = BTreeSet::new();
+        for (s, sets) in published_sets.iter().enumerate().rev() {
+            for blocks in sets {
+                let novel: BTreeSet<u64> = blocks.difference(&rev_claimed).copied().collect();
+                if !novel.is_empty() {
+                    rev_claimed.extend(&novel);
+                    rev_reference.push((s as u32, novel));
+                }
+            }
+        }
+        let mut rev_got: Vec<(u32, BTreeSet<u64>)> = reversed
+            .seeds()
+            .iter()
+            .map(|h| (h.shard, h.contributed.to_btree_set()))
+            .collect();
+        rev_got.sort();
+        rev_reference.sort();
+        assert_eq!(rev_got, rev_reference, "seed {seed} (reverse order)");
+        // After import, every shard knows the full claimed union.
+        for (s, corpus) in corpora.iter_mut().enumerate() {
+            let mut want_cov = corpus.coverage().to_btree_set();
+            want_cov.extend(&claimed);
+            hub.import_into(s as u32, corpus);
+            assert_eq!(
+                corpus.coverage().to_btree_set(),
+                want_cov,
+                "seed {seed}: shard {s} missing imported coverage"
+            );
+        }
     }
 }
 
