@@ -13,7 +13,12 @@
 //!   flagship corpus at 1, 2, 4 and 8 worker threads, verifying the
 //!   reports are bit-identical at every thread count;
 //! * cold-vs-warm compiled-spec construction time through
-//!   [`SpecCache`] (the warm path is an `Arc` clone).
+//!   [`SpecCache`] (the warm path is an `Arc` clone);
+//! * the lowering ablation: generation-only, end-to-end execution and
+//!   mutation throughput of the AST walk vs the lowered-IR hot path,
+//!   plus a `bit_identical` flag asserting the lowered path's program
+//!   streams and execution outcomes equal the AST walk's (hard gate
+//!   failure when false).
 //!
 //! The committed `BENCH_baseline.json` is this file's output at the
 //! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
@@ -25,7 +30,11 @@
 use kgpt_core::KernelGpt;
 use kgpt_csrc::KernelCorpus;
 use kgpt_extractor::find_handlers;
-use kgpt_fuzzer::{Campaign, CampaignConfig, CampaignResult, ShardedCampaign};
+use kgpt_fuzzer::reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
+use kgpt_fuzzer::{
+    execute_with, Campaign, CampaignConfig, CampaignResult, ExecScratch, Generator, Program,
+    ShardedCampaign,
+};
 use kgpt_llm::{ModelKind, OracleModel};
 use kgpt_syzlang::{SpecCache, SpecDb};
 use kgpt_vkernel::VKernel;
@@ -277,6 +286,111 @@ fn main() {
     );
     assert_eq!(cache.misses(), 1, "warm lookups must not recompile");
 
+    // ---- Lowering ablation: AST walk vs lowered-IR hot path ----
+    // Bit-identity first: program streams, mutation chains, and
+    // execution outcomes must be equal on both paths.
+    let (low_db, lowered) = SpecCache::global().get_or_build_lowered(&suite, kc.consts());
+    let mut bit = true;
+    {
+        let mut lg = Generator::from_lowered(std::sync::Arc::clone(&lowered), 1234);
+        let mut ag = AstGenerator::new(&low_db, kc.consts(), 1234);
+        let mut scratch = ExecScratch::from_lowered(std::sync::Arc::clone(&lowered));
+        let mut lp = Program::default();
+        let mut ap = Program::default();
+        for i in 0..2000u32 {
+            let (l, a) = if i % 4 == 0 {
+                (lg.gen_program(8), ag.gen_program(8))
+            } else {
+                (lg.mutate(&lp, 8), ag.mutate(&ap, 8))
+            };
+            if l != a {
+                bit = false;
+                eprintln!("LOWERED PROGRAM STREAM DIVERGED at step {i}");
+                break;
+            }
+            if i < 300 {
+                let ast = ast_execute(&kernel, &low_db, kc.consts(), &l);
+                execute_with(&kernel, &l, &mut scratch);
+                if scratch.rets != ast.rets
+                    || *scratch.coverage() != ast.coverage
+                    || scratch.crash() != ast.crash.as_ref()
+                {
+                    bit = false;
+                    eprintln!("LOWERED EXECUTION DIVERGED at step {i}");
+                    break;
+                }
+            }
+            lp = l;
+            ap = a;
+        }
+    }
+    let lowering_bit_identical = bit;
+    // Gen-only throughput, both paths, same seed and draw sequence.
+    let gen_n = execs.max(1);
+    let t0 = Instant::now();
+    let mut ag = AstGenerator::new(&low_db, kc.consts(), 42);
+    for _ in 0..gen_n {
+        std::hint::black_box(ag.gen_program(8));
+    }
+    let gen_ast_rate = gen_n as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut lg = Generator::from_lowered(std::sync::Arc::clone(&lowered), 42);
+    for _ in 0..gen_n {
+        std::hint::black_box(lg.gen_program(8));
+    }
+    let gen_low_rate = gen_n as f64 / t0.elapsed().as_secs_f64();
+    // End-to-end exec throughput over a fixed pre-generated ring.
+    let ring: Vec<Program> = {
+        let mut g = Generator::from_lowered(std::sync::Arc::clone(&lowered), 7);
+        (0..512).map(|_| g.gen_program(8)).collect()
+    };
+    let t0 = Instant::now();
+    let mut ast_scratch = AstScratch::new(&low_db, kc.consts());
+    for i in 0..execs {
+        ast_execute_with(&kernel, &ring[(i % 512) as usize], &mut ast_scratch);
+    }
+    let exec_ast_rate = execs as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut low_scratch = ExecScratch::from_lowered(std::sync::Arc::clone(&lowered));
+    for i in 0..execs {
+        execute_with(&kernel, &ring[(i % 512) as usize], &mut low_scratch);
+    }
+    let exec_low_rate = execs as f64 / t0.elapsed().as_secs_f64();
+    // Mutation throughput (chained, so the deep-clone cost of the AST
+    // path and the prefix-clone cost of the lowered path both show).
+    let t0 = Instant::now();
+    let mut ag = AstGenerator::new(&low_db, kc.consts(), 9);
+    let mut p = ring[0].clone();
+    for _ in 0..execs {
+        p = ag.mutate(&p, 8);
+    }
+    let mut_ast_rate = execs as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut lg = Generator::from_lowered(std::sync::Arc::clone(&lowered), 9);
+    let mut p = ring[0].clone();
+    for _ in 0..execs {
+        p = lg.mutate(&p, 8);
+    }
+    std::hint::black_box(p.len());
+    let mut_low_rate = execs as f64 / t0.elapsed().as_secs_f64();
+    println!(
+        "lowering gen     : ast {gen_ast_rate:>10.0} vs lowered {gen_low_rate:>10.0} progs/sec ({:.2}x)",
+        gen_low_rate / gen_ast_rate
+    );
+    println!(
+        "lowering exec    : ast {exec_ast_rate:>10.0} vs lowered {exec_low_rate:>10.0} execs/sec ({:.2}x)",
+        exec_low_rate / exec_ast_rate
+    );
+    println!(
+        "lowering mutate  : ast {mut_ast_rate:>10.0} vs lowered {mut_low_rate:>10.0} mutations/sec ({:.2}x, bit identical: {lowering_bit_identical})",
+        mut_low_rate / mut_ast_rate
+    );
+    // The gate hard-fails on a false flag; still write the JSON so CI
+    // reports a gate finding rather than a harness panic.
+    if !lowering_bit_identical {
+        eprintln!("LOWERED PATH NOT BIT-IDENTICAL (bench_gate will fail)");
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
@@ -369,6 +483,25 @@ fn main() {
     let _ = writeln!(json, "    \"cold_build_ms\": {cold_ms:.6},");
     let _ = writeln!(json, "    \"warm_lookup_ms\": {warm_ms:.6},");
     let _ = writeln!(json, "    \"warm_speedup\": {warm_speedup:.1}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"lowering\": {{");
+    let _ = writeln!(json, "    \"workload\": \"dm ground-truth suite\",");
+    let _ = writeln!(json, "    \"bit_identical\": {lowering_bit_identical},");
+    let _ = writeln!(
+        json,
+        "    \"gen\": {{ \"ast_progs_per_sec\": {gen_ast_rate:.1}, \"lowered_progs_per_sec\": {gen_low_rate:.1}, \"speedup\": {:.3} }},",
+        gen_low_rate / gen_ast_rate
+    );
+    let _ = writeln!(
+        json,
+        "    \"exec\": {{ \"ast_execs_per_sec\": {exec_ast_rate:.1}, \"lowered_execs_per_sec\": {exec_low_rate:.1}, \"speedup\": {:.3} }},",
+        exec_low_rate / exec_ast_rate
+    );
+    let _ = writeln!(
+        json,
+        "    \"mutation\": {{ \"ast_mutations_per_sec\": {mut_ast_rate:.1}, \"lowered_mutations_per_sec\": {mut_low_rate:.1}, \"speedup\": {:.3} }}",
+        mut_low_rate / mut_ast_rate
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");

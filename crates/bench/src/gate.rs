@@ -4,8 +4,15 @@
 //! committed `BENCH_baseline.json` and classifies the differences:
 //!
 //! * **determinism** — `merge_invariant`, the generation
-//!   `bit_identical` flag, and the seed-hub `thread_invariant` flag
-//!   must hold in the fresh run, full stop;
+//!   `bit_identical` flag, the seed-hub `thread_invariant` flag, and
+//!   the lowering `bit_identical` flag (lowered-IR program streams
+//!   and execution outcomes must equal the AST walk's) must hold in
+//!   the fresh run, full stop;
+//! * **baseline coverage of sections** — when the fresh run carries a
+//!   top-level section the committed baseline lacks, the bench grew
+//!   without its baseline: the gate fails with the exact action
+//!   ("regenerate `BENCH_baseline.json` in this PR"), naming the
+//!   section, instead of silently skipping the new numbers;
 //! * **coverage** — with an identical workload (`execs`, `shards`),
 //!   the campaign is a pure function of its config, so `blocks` and
 //!   `unique_crashes` (hub ablation sides included) must match the
@@ -65,6 +72,7 @@ pub fn check(fresh: &Json, baseline: &Json, max_regression_pct: f64) -> GateOutc
     let mut out = GateOutcome::default();
     check_determinism(fresh, &mut out);
     check_hub_yield(fresh, &mut out);
+    check_sections(fresh, baseline, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
         check_exact(fresh, baseline, "blocks", &mut out);
@@ -121,6 +129,52 @@ fn check_determinism(fresh: &Json, out: &mut GateOutcome) {
              (hub.thread_invariant is not true)"
                 .into(),
         );
+    }
+    // And for the lowering section: the lowered-IR hot path must be
+    // bit-identical to the AST walk (program streams, memory images,
+    // execution outcomes) — a falsy or missing flag inside a present
+    // section is a hard behaviour failure.
+    if fresh.get("lowering").is_some()
+        && fresh.path("lowering.bit_identical").and_then(Json::as_bool) != Some(true)
+    {
+        out.failures.push(
+            "determinism: lowered-IR output diverged from the AST walk \
+             (lowering.bit_identical is not true) — the lowering must be \
+             behaviour-preserving, only faster"
+                .into(),
+        );
+    }
+}
+
+/// Fail when the fresh run has a top-level section the committed
+/// baseline lacks: the bench grew in this change, so the baseline
+/// must be regenerated in the same PR — say so, naming the section,
+/// instead of producing a generic mismatch (or silently skipping the
+/// new numbers). The reverse direction (baseline has a section the
+/// fresh run dropped) stays a note: older baselines must not block
+/// benches that shed a section deliberately.
+fn check_sections(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
+    let (Json::Obj(fresh_members), Json::Obj(base_members)) = (fresh, baseline) else {
+        return;
+    };
+    // Any value shape counts as a section — a future array- or
+    // scalar-valued top-level metric must be gated the same way.
+    for (key, _) in fresh_members {
+        if baseline.get(key).is_none() {
+            out.failures.push(format!(
+                "baseline: the fresh run has a `{key}` section that BENCH_baseline.json \
+                 lacks — regenerate BENCH_baseline.json in this PR (rerun fuzz_bench at \
+                 the smoke workload and commit its output as the new baseline)"
+            ));
+        }
+    }
+    for (key, _) in base_members {
+        if fresh.get(key).is_none() {
+            out.notes.push(format!(
+                "baseline section `{key}` is absent from the fresh run — its checks \
+                 are skipped"
+            ));
+        }
     }
 }
 
@@ -267,6 +321,26 @@ fn rate_metrics(fresh: &Json, baseline: &Json) -> Vec<RateMetric> {
             .path("spec_cache.warm_speedup")
             .and_then(Json::as_f64),
     );
+    for (path, name) in [
+        (
+            "lowering.gen.lowered_progs_per_sec",
+            "lowered generation progs/sec",
+        ),
+        (
+            "lowering.exec.lowered_execs_per_sec",
+            "lowered end-to-end execs/sec",
+        ),
+        (
+            "lowering.mutation.lowered_mutations_per_sec",
+            "lowered mutations/sec",
+        ),
+    ] {
+        push(
+            name.into(),
+            fresh.path(path).and_then(Json::as_f64),
+            baseline.path(path).and_then(Json::as_f64),
+        );
+    }
     out
 }
 
@@ -467,28 +541,84 @@ mod tests {
     }
 
     #[test]
-    fn missing_hub_section_is_tolerated_on_either_side() {
-        // Old baseline without a hub section vs a fresh run with one.
+    fn fresh_section_missing_from_baseline_demands_regeneration() {
+        // A fresh run that grew sections (`hub`, `generation`,
+        // `spec_cache`) the committed baseline lacks must fail with
+        // the exact action, naming each section.
         let fresh = hub_doc(1000.0, 187, true, 187, true);
         let base = parse_json(
             r#"{ "execs": 20000, "shards": 8, "merge_invariant": true,
                  "sequential": { "execs_per_sec": 1000.0 }, "blocks": 187, "unique_crashes": 3 }"#,
         )
         .unwrap();
-        assert!(check(&fresh, &base, 25.0).passed());
-        // Old fresh run without a hub section: no hub checks fire.
-        assert!(check(&base, &fresh, 25.0).passed());
+        let r = check(&fresh, &base, 25.0);
+        assert!(!r.passed());
+        for section in ["`hub`", "`generation`", "`spec_cache`"] {
+            assert!(
+                r.failures
+                    .iter()
+                    .any(|f| f.contains(section) && f.contains("regenerate BENCH_baseline.json")),
+                "no actionable failure for {section}: {:?}",
+                r.failures
+            );
+        }
+        // The reverse direction — the baseline has sections the fresh
+        // run dropped — stays tolerated with a note.
+        let r = check(&base, &fresh, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.notes.iter().any(|n| n.contains("absent from the fresh")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    fn lowering_doc(bit_identical: bool, execs_per_sec: f64) -> Json {
+        let mut doc = bench_doc(1000.0, 187, true);
+        let lowering = parse_json(&format!(
+            r#"{{ "bit_identical": {bit_identical},
+                  "gen": {{ "lowered_progs_per_sec": 100000.0 }},
+                  "exec": {{ "lowered_execs_per_sec": {execs_per_sec} }},
+                  "mutation": {{ "lowered_mutations_per_sec": 50000.0 }} }}"#
+        ))
+        .unwrap();
+        let Json::Obj(members) = &mut doc else {
+            unreachable!("bench_doc is an object")
+        };
+        members.push(("lowering".into(), lowering));
+        doc
     }
 
     #[test]
-    fn missing_generation_section_in_baseline_is_tolerated() {
-        let fresh = bench_doc(1000.0, 187, true);
-        let base = parse_json(
-            r#"{ "execs": 20000, "shards": 8, "merge_invariant": true,
-                 "sequential": { "execs_per_sec": 1000.0 }, "blocks": 187, "unique_crashes": 3 }"#,
-        )
-        .unwrap();
+    fn lowering_divergence_is_a_hard_failure() {
+        let bad = lowering_doc(false, 100000.0);
+        let r = check(&bad, &bad, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("lowering.bit_identical")),
+            "{:?}",
+            r.failures
+        );
+        let good = lowering_doc(true, 100000.0);
+        assert!(check(&good, &good, 25.0).passed());
+    }
+
+    #[test]
+    fn lowering_rates_are_gated_like_any_throughput() {
+        let fresh = lowering_doc(true, 30000.0);
+        let base = lowering_doc(true, 100000.0);
         let r = check(&fresh, &base, 25.0);
-        assert!(r.passed(), "{:?}", r.failures);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("lowered end-to-end execs/sec")),
+            "{:?}",
+            r.failures
+        );
+        // Within threshold passes.
+        assert!(check(&lowering_doc(true, 90000.0), &base, 25.0).passed());
     }
 }

@@ -9,7 +9,7 @@
 //! the currently-gathered source, collect `UNKNOWN` targets from the
 //! completion, fetch their code with `ExtractCode`, and re-query until
 //! nothing is missing or `MAX_ITER` is reached. The facts are then
-//! assembled into a syzlang [`SpecFile`], validated with the
+//! assembled into a syzlang [`kgpt_syzlang::SpecFile`], validated with the
 //! `kgpt-syzlang` validator (the syz-extract/syz-generate analogue),
 //! and — if errors are reported — sent back to the LLM for one repair
 //! round together with the error messages (§3.2).

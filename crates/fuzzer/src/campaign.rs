@@ -1,6 +1,6 @@
 //! The coverage-guided fuzzing loop and campaign statistics.
 //!
-//! The loop itself lives in [`ShardState`]: one worker's generator,
+//! The loop itself lives in `ShardState`: one worker's generator,
 //! [`crate::corpus::Corpus`], and execution scratch, advanced in
 //! epochs so the sharded driver can interleave execution with
 //! cross-shard seed exchange (see [`crate::hub::SeedHub`]). A
@@ -9,6 +9,7 @@
 use crate::corpus::Corpus;
 use crate::exec::{execute_with, ExecScratch};
 use crate::gen::Generator;
+use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use serde::{Deserialize, Serialize};
@@ -92,10 +93,10 @@ pub(crate) const CORPUS_CAP: usize = 2048;
 /// shard at the same exec boundary for hub exchange; running the
 /// whole budget as one epoch is bit-identical to the epoch-chunked
 /// run with no-op exchanges.
-pub(crate) struct ShardState<'a> {
+pub(crate) struct ShardState {
     pub(crate) id: u32,
-    generator: Generator<'a>,
-    scratch: ExecScratch<'a>,
+    generator: Generator,
+    scratch: ExecScratch,
     pub(crate) corpus: Corpus,
     pub(crate) crashes: CrashTally,
     max_prog_len: usize,
@@ -103,25 +104,25 @@ pub(crate) struct ShardState<'a> {
     pub(crate) remaining: u64,
 }
 
-impl<'a> ShardState<'a> {
+impl ShardState {
     /// Fresh shard `id` with an execution budget of `execs`, seeded
-    /// with `seed` (generator and corpus scheduler share it).
+    /// with `seed` (generator and corpus scheduler share it). Every
+    /// shard shares the one lowered IR its campaign compiled.
     pub(crate) fn new(
-        db: &'a SpecDb,
-        consts: &'a ConstDb,
+        lowered: &Arc<LoweredDb>,
         config: &CampaignConfig,
         id: u32,
         execs: u64,
         seed: u64,
-    ) -> ShardState<'a> {
-        let mut generator = Generator::new(db, consts, seed);
+    ) -> ShardState {
+        let mut generator = Generator::from_lowered(Arc::clone(lowered), seed);
         if let Some(enabled) = &config.enabled {
             generator = generator.with_enabled(enabled.clone());
         }
         ShardState {
             id,
             generator,
-            scratch: ExecScratch::new(db, consts),
+            scratch: ExecScratch::from_lowered(Arc::clone(lowered)),
             corpus: Corpus::new(CORPUS_CAP, seed),
             crashes: BTreeMap::new(),
             max_prog_len: config.max_prog_len,
@@ -184,13 +185,12 @@ impl<'a> ShardState<'a> {
 /// is bit-identical to a sequential run.
 pub(crate) fn run_worker(
     kernel: &VKernel,
-    db: &SpecDb,
-    consts: &ConstDb,
+    lowered: &Arc<LoweredDb>,
     config: &CampaignConfig,
     execs: u64,
     seed: u64,
 ) -> WorkerResult {
-    let mut state = ShardState::new(db, consts, config, 0, execs, seed);
+    let mut state = ShardState::new(lowered, config, 0, execs, seed);
     state.run_epoch(kernel, u64::MAX);
     state.finish()
 }
@@ -207,21 +207,22 @@ pub(crate) struct WorkerResult {
 pub struct Campaign<'a> {
     kernel: &'a VKernel,
     db: Arc<SpecDb>,
-    consts: &'a ConstDb,
+    lowered: Arc<LoweredDb>,
     config: CampaignConfig,
 }
 
 impl<'a> Campaign<'a> {
-    /// Build a campaign from spec files. Compilation goes through the
-    /// global [`SpecCache`], so constructing repeated campaigns over
-    /// an identical suite (sweeps, repetitions over seeds) compiles
-    /// it exactly once — and the suite is only borrowed, so warm
-    /// construction does not even clone the input ASTs.
+    /// Build a campaign from spec files. Compilation *and lowering*
+    /// go through the global [`SpecCache`], so constructing repeated
+    /// campaigns over an identical suite (sweeps, repetitions over
+    /// seeds) compiles and lowers it exactly once — and the suite is
+    /// only borrowed, so warm construction does not even clone the
+    /// input ASTs.
     #[must_use]
     pub fn new(
         kernel: &'a VKernel,
         suite: &[SpecFile],
-        consts: &'a ConstDb,
+        consts: &ConstDb,
         config: CampaignConfig,
     ) -> Campaign<'a> {
         Campaign::with_db(
@@ -233,17 +234,21 @@ impl<'a> Campaign<'a> {
     }
 
     /// Build a campaign over an already-compiled (shared) database.
+    /// The lowered IR comes from the global [`SpecCache`] when `db`
+    /// was compiled by it (the common case), so this too lowers once
+    /// per distinct `(suite, consts)` pair.
     #[must_use]
     pub fn with_db(
         kernel: &'a VKernel,
         db: Arc<SpecDb>,
-        consts: &'a ConstDb,
+        consts: &ConstDb,
         config: CampaignConfig,
     ) -> Campaign<'a> {
+        let lowered = SpecCache::global().get_or_lower(&db, consts);
         Campaign {
             kernel,
             db,
-            consts,
+            lowered,
             config,
         }
     }
@@ -262,13 +267,19 @@ impl<'a> Campaign<'a> {
         Arc::clone(&self.db)
     }
 
+    /// The shared handle to the lowered IR every shard of this
+    /// campaign runs on.
+    #[must_use]
+    pub fn lowered_shared(&self) -> Arc<LoweredDb> {
+        Arc::clone(&self.lowered)
+    }
+
     /// Run the coverage-guided loop.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
         let w = run_worker(
             self.kernel,
-            &self.db,
-            self.consts,
+            &self.lowered,
             &self.config,
             self.config.execs,
             self.config.seed,

@@ -4,22 +4,27 @@
 //! against caller-owned [`ExecScratch`] — VM state, encoder, memory
 //! image and return-value buffer are all reused across executions, so
 //! a campaign's steady-state loop performs no per-program heap
-//! allocation beyond what the generated values themselves own. The
-//! [`execute`] convenience wrapper allocates a one-shot scratch and
-//! returns an owned [`ExecResult`].
+//! allocation beyond what the generated values themselves own.
 //!
-//! Both entry points take the compiled database by plain reference,
-//! so they compose with either an owned [`SpecDb`] or a shared
-//! [`kgpt_syzlang::SpecCache`] handle (`&Arc<SpecDb>` derefs to
-//! `&SpecDb`); campaigns hold the latter and pay compilation once per
-//! distinct suite. After a run, [`ExecScratch::coverage`] and
-//! [`ExecScratch::crash`] expose the outcome the campaign loop feeds
-//! into the shared [`crate::corpus::Corpus`].
+//! The scratch is built over a shared
+//! [`kgpt_syzlang::lowered::LoweredDb`]: argument encoding walks the
+//! flat arena through [`LoweredEncoder`] (no `struct_def` lookup, no
+//! constant resolution, no name-keyed `len` targets per call), and
+//! dispatch resolves each syscall's base name to a dense
+//! [`Sysno`] exactly once at construction — the per-exec path is
+//! string-free and AST-free. The pre-lowering walk survives in
+//! [`crate::reference`] as the differential oracle.
+//!
+//! After a run, [`ExecScratch::coverage`] and [`ExecScratch::crash`]
+//! expose the outcome the campaign loop feeds into the shared
+//! [`crate::corpus::Corpus`].
 
 use crate::program::Program;
-use kgpt_syzlang::value::{MemBuilder, ResRef};
+use kgpt_syzlang::lowered::{LoweredDb, LoweredEncoder};
+use kgpt_syzlang::value::ResRef;
 use kgpt_syzlang::{ConstDb, SpecDb};
-use kgpt_vkernel::{CoverageMap, CrashReport, MemMap, VKernel, VmState};
+use kgpt_vkernel::{CoverageMap, CrashReport, MemMap, Sysno, VKernel, VmState};
+use std::sync::Arc;
 
 /// Result of executing one program.
 #[derive(Debug, Clone)]
@@ -35,28 +40,48 @@ pub struct ExecResult {
 
 /// Reusable per-worker execution state. Create once per fuzzing
 /// thread; every [`execute_with`] call resets and reuses it.
-pub struct ExecScratch<'a> {
-    db: &'a SpecDb,
+pub struct ExecScratch {
+    lowered: Arc<LoweredDb>,
+    /// Per-syscall dense kernel dispatch number, resolved from the
+    /// lowered IR's interned base ops once at construction.
+    sysno: Vec<Sysno>,
     /// Per-program VM state; readable after `execute_with` returns.
     pub state: VmState,
     /// Per-call return values of the last executed program.
     pub rets: Vec<i64>,
-    mb: MemBuilder<'a>,
+    enc: LoweredEncoder,
     mem: MemMap,
     /// Segment vector shuttling between encoder and memory image so
     /// retired buffers flow back into the encoder's pool.
     shuttle: Vec<(u64, Vec<u8>)>,
 }
 
-impl<'a> ExecScratch<'a> {
-    /// Fresh scratch over a spec database and constant table.
+impl ExecScratch {
+    /// Fresh scratch over a spec database and constant table,
+    /// lowering them on the spot. Campaign code paths share one
+    /// pre-lowered IR via [`ExecScratch::from_lowered`] instead.
     #[must_use]
-    pub fn new(db: &'a SpecDb, consts: &'a ConstDb) -> ExecScratch<'a> {
+    pub fn new(db: &SpecDb, consts: &ConstDb) -> ExecScratch {
+        ExecScratch::from_lowered(Arc::new(LoweredDb::build(db, consts)))
+    }
+
+    /// Fresh scratch over a shared lowered IR.
+    #[must_use]
+    pub fn from_lowered(lowered: Arc<LoweredDb>) -> ExecScratch {
+        let ops: Vec<Sysno> = lowered
+            .base_ops()
+            .iter()
+            .map(|b| Sysno::from_base(b))
+            .collect();
+        let sysno = (0..lowered.syscall_count())
+            .map(|i| ops[lowered.syscall(i).op as usize])
+            .collect();
         ExecScratch {
-            db,
+            lowered,
+            sysno,
             state: VmState::new(),
             rets: Vec::new(),
-            mb: MemBuilder::new(db, consts),
+            enc: LoweredEncoder::new(),
             mem: MemMap::new(),
             shuttle: Vec::new(),
         }
@@ -79,6 +104,11 @@ impl<'a> ExecScratch<'a> {
 
 /// Execute a program against a fresh VM state (one-shot convenience
 /// wrapper over [`execute_with`]).
+///
+/// This compiles a fresh [`LoweredDb`] per call — fine for a handful
+/// of executions, wrong in a loop. Loops should build one scratch
+/// ([`ExecScratch::from_lowered`], or `new` once) and call
+/// [`execute_with`].
 #[must_use]
 pub fn execute(kernel: &VKernel, db: &SpecDb, consts: &ConstDb, prog: &Program) -> ExecResult {
     let mut scratch = ExecScratch::new(db, consts);
@@ -93,23 +123,32 @@ pub fn execute(kernel: &VKernel, db: &SpecDb, consts: &ConstDb, prog: &Program) 
 /// Execute a program, reusing `scratch` across calls. Afterwards,
 /// `scratch.state.coverage`, `scratch.state.crash` and `scratch.rets`
 /// hold the program's outcome until the next invocation.
-pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch<'_>) {
-    scratch.state.reset();
-    scratch.rets.clear();
-    let db = scratch.db;
+pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch) {
+    let ExecScratch {
+        lowered,
+        sysno,
+        state,
+        rets,
+        enc,
+        mem,
+        shuttle,
+    } = scratch;
+    let lowered: &LoweredDb = lowered;
+    state.reset();
+    rets.clear();
     for call in &prog.calls {
-        if scratch.state.crash.is_some() {
-            scratch.rets.push(-kgpt_vkernel::errno::EFAULT);
+        if state.crash.is_some() {
+            rets.push(-kgpt_vkernel::errno::EFAULT);
             continue;
         }
-        let sys = call.syscall(db);
+        let sys = lowered.syscall(call.sys as usize);
         // Restart the encoder's address space; any segments still in
         // it (from an aborted encode) are recycled into its pool.
-        scratch.mb.reset();
+        enc.reset();
         let mut regs = [0u64; 6];
         let mut ok = true;
         {
-            let rets = &scratch.rets;
+            let rets = &*rets;
             let resolve = |r: &ResRef| -> u64 {
                 match r.producer.and_then(|i| rets.get(i)) {
                     Some(v) if *v >= 0 => *v as u64,
@@ -120,7 +159,7 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch<
                 if i >= 6 {
                     break;
                 }
-                match scratch.mb.encode_arg(&param.ty, value, &resolve) {
+                match enc.encode_arg(lowered, param.ty, value, &resolve) {
                     Ok(v) => regs[i] = v,
                     Err(_) => {
                         ok = false;
@@ -130,40 +169,33 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch<
             }
         }
         if !ok {
-            scratch.rets.push(-kgpt_vkernel::errno::EINVAL);
+            rets.push(-kgpt_vkernel::errno::EINVAL);
             continue;
         }
         // Auto-fill top-level len/bytesize parameters from the encoded
         // sibling (`setsockopt(..., val, len)`): the encoder fills them
         // inside structs, but register-level lens refer to the pointee
-        // segment size. Segments are address-sorted, so the lookup is
-        // a binary search.
-        let segments = scratch.mb.segments();
+        // segment size. The sibling's index was resolved at lowering;
+        // segments are address-sorted, so the lookup is a binary search.
+        let segments = enc.segments();
         for (i, param) in sys.params.iter().enumerate().take(6) {
-            if let kgpt_syzlang::Type::Bytesize { target, .. }
-            | kgpt_syzlang::Type::Len { target, .. } = &param.ty
-            {
-                if let Some((ti, _)) = sys
-                    .params
-                    .iter()
-                    .enumerate()
-                    .find(|(_, p)| &p.name == target)
-                {
-                    let addr = regs[ti];
-                    if let Ok(si) = segments.binary_search_by_key(&addr, |s| s.0) {
-                        regs[i] = segments[si].1.len() as u64;
-                    }
+            // Targets past the register window cannot be fixed up
+            // (only reachable via unvalidated >6-ary specs).
+            if let Some(ti) = param.len_target.filter(|ti| (*ti as usize) < regs.len()) {
+                let addr = regs[ti as usize];
+                if let Ok(si) = segments.binary_search_by_key(&addr, |s| s.0) {
+                    regs[i] = segments[si].1.len() as u64;
                 }
             }
         }
         // Move the encoded segments into the memory image; the image's
         // previous segments land back in the encoder for recycling on
         // the next `reset`.
-        scratch.mb.swap_segments(&mut scratch.shuttle);
-        scratch.mem.load(&mut scratch.shuttle);
-        scratch.mb.recycle(&mut scratch.shuttle);
-        let ret = kernel.exec_call(&mut scratch.state, &sys.base, &regs, &scratch.mem);
-        scratch.rets.push(ret);
+        enc.swap_segments(shuttle);
+        mem.load(shuttle);
+        enc.recycle(shuttle);
+        let ret = kernel.exec_call(state, sysno[call.sys as usize], &regs, mem);
+        rets.push(ret);
     }
 }
 
@@ -171,6 +203,7 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch<
 mod tests {
     use super::*;
     use crate::gen::Generator;
+    use crate::reference::{ast_execute, AstGenerator};
     use kgpt_csrc::KernelCorpus;
     use kgpt_vkernel::VKernel;
     use std::collections::BTreeSet;
@@ -193,22 +226,43 @@ mod tests {
 
     #[test]
     fn scratch_reuse_matches_one_shot_execution() {
-        // The db arrives through the shared cache here: execution is
-        // oblivious to whether the database is owned or cached.
+        // The lowered IR arrives through the shared cache here:
+        // execution is oblivious to whether it is owned or cached.
         let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
-        let db = kgpt_syzlang::SpecCache::global()
-            .get_or_build(&[kc.blueprints()[0].ground_truth_spec()]);
+        let (db, lowered) = kgpt_syzlang::SpecCache::global()
+            .get_or_build_lowered(&[kc.blueprints()[0].ground_truth_spec()], kc.consts());
         let db = &*db;
         let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
         let mut g = Generator::new(db, kc.consts(), 23);
         let progs: Vec<Program> = (0..100).map(|_| g.gen_program(8)).collect();
-        let mut scratch = ExecScratch::new(db, kc.consts());
+        let mut scratch = ExecScratch::from_lowered(lowered);
         for p in &progs {
             let one_shot = execute(&kernel, db, kc.consts(), p);
             execute_with(&kernel, p, &mut scratch);
             assert_eq!(scratch.state.coverage, one_shot.coverage);
             assert_eq!(scratch.state.crash, one_shot.crash);
             assert_eq!(scratch.rets, one_shot.rets);
+        }
+    }
+
+    #[test]
+    fn lowered_execution_matches_ast_walk() {
+        // The full differential: AST-generated, AST-executed programs
+        // versus the lowered generate→encode→dispatch pipeline.
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let kernel = VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let mut g = Generator::new(&db, kc.consts(), 77);
+        let mut ag = AstGenerator::new(&db, kc.consts(), 77);
+        let mut scratch = ExecScratch::new(&db, kc.consts());
+        for i in 0..150 {
+            let p = g.gen_program(8);
+            assert_eq!(p, ag.gen_program(8), "program {i}");
+            let ast = ast_execute(&kernel, &db, kc.consts(), &p);
+            execute_with(&kernel, &p, &mut scratch);
+            assert_eq!(scratch.rets, ast.rets, "program {i}");
+            assert_eq!(scratch.state.coverage, ast.coverage, "program {i}");
+            assert_eq!(scratch.state.crash, ast.crash, "program {i}");
         }
     }
 

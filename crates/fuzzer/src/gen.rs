@@ -1,87 +1,59 @@
-//! Spec-driven program generation and mutation.
+//! Spec-driven program generation and mutation over the lowered IR.
 //!
-//! The generator is interning-based: syscalls are picked as dense
-//! [`SpecDb`] indices (no name `String` clone per pick), producer
-//! lists per resource are precomputed once at construction, and
-//! resource contexts are resolved by scanning the program under
-//! construction — the per-call path clones no specification AST.
+//! The generator walks the flat [`LoweredDb`] arena: flag sets are
+//! pre-resolved `u64` slices, struct fields are index tables, and
+//! resource producers are integer lists — the per-value path performs
+//! no name lookup, no `flags_def`/`struct_def` call, and no constant
+//! resolution. The RNG draw sequence is **identical** to the AST walk
+//! ([`crate::reference::AstGenerator`]), so program streams are
+//! bit-for-bit the same; `tests/properties.rs` and the `lowering`
+//! section of `fuzz_bench` pin that equivalence.
 
 use crate::program::{ProgCall, Program};
-use kgpt_syzlang::ast::{ArrayLen, Dir, Type};
+use crate::reference::INTERESTING;
+use kgpt_syzlang::ast::ArrayLen;
+use kgpt_syzlang::lowered::{LType, LoweredDb};
 use kgpt_syzlang::value::ResRef;
 use kgpt_syzlang::{ConstDb, SpecDb, Value};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Interesting scalar boundary values the generator favours.
-const INTERESTING: &[u64] = &[
-    0,
-    1,
-    2,
-    3,
-    7,
-    8,
-    16,
-    64,
-    127,
-    128,
-    255,
-    0x7fff,
-    0xffff,
-    0x7fff_ffff,
-    0xffff_ffff,
-    u64::MAX,
-];
-
-/// Generates and mutates programs from a specification database.
-pub struct Generator<'a> {
-    db: &'a SpecDb,
-    consts: &'a ConstDb,
+/// Generates and mutates programs from a lowered specification.
+pub struct Generator {
+    lowered: Arc<LoweredDb>,
     rng: StdRng,
     /// Enabled syscalls as dense database indices.
     enabled: Vec<u32>,
-    /// Resource name → producing syscall indices, precomputed once.
-    producers: BTreeMap<String, Vec<u32>>,
 }
 
-impl<'a> Generator<'a> {
-    /// Create a generator over all syscalls of the database.
+impl Generator {
+    /// Create a generator over all syscalls of a database, lowering
+    /// it on the spot. Campaign code paths share one pre-lowered IR
+    /// via [`Generator::from_lowered`] instead.
     #[must_use]
-    pub fn new(db: &'a SpecDb, consts: &'a ConstDb, seed: u64) -> Generator<'a> {
-        // Precompute producer index lists for every resource consumed
-        // by a top-level parameter — the only lookups generation does.
-        let mut producers: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-        for sys in db.syscalls() {
-            for p in &sys.params {
-                if let Type::Resource(r) = &p.ty {
-                    if !producers.contains_key(r) && db.resource(r).is_some() {
-                        let list = db
-                            .producers_of(r)
-                            .filter_map(|s| db.syscall_index(&s.name()))
-                            .map(|i| i as u32)
-                            .collect();
-                        producers.insert(r.clone(), list);
-                    }
-                }
-            }
-        }
+    pub fn new(db: &SpecDb, consts: &ConstDb, seed: u64) -> Generator {
+        Generator::from_lowered(Arc::new(LoweredDb::build(db, consts)), seed)
+    }
+
+    /// Create a generator over a shared lowered IR.
+    #[must_use]
+    pub fn from_lowered(lowered: Arc<LoweredDb>, seed: u64) -> Generator {
+        let enabled = (0..lowered.syscall_count() as u32).collect();
         Generator {
-            db,
-            consts,
+            lowered,
             rng: StdRng::seed_from_u64(seed),
-            enabled: (0..db.syscall_count() as u32).collect(),
-            producers,
+            enabled,
         }
     }
 
     /// Restrict generation to the given syscalls (per-driver runs).
     #[must_use]
-    pub fn with_enabled(mut self, enabled: Vec<String>) -> Generator<'a> {
+    pub fn with_enabled(mut self, enabled: Vec<String>) -> Generator {
         self.enabled = enabled
             .iter()
-            .filter_map(|n| self.db.syscall_index(n))
+            .filter_map(|n| self.lowered.syscall_index(n))
             .map(|i| i as u32)
             .collect();
         self
@@ -93,16 +65,27 @@ impl<'a> Generator<'a> {
         self.enabled.len()
     }
 
+    /// The shared lowered IR this generator draws from.
+    #[must_use]
+    pub fn lowered(&self) -> &Arc<LoweredDb> {
+        &self.lowered
+    }
+
     /// Generate a fresh program of at most `max_len` calls.
     pub fn gen_program(&mut self, max_len: usize) -> Program {
+        let Generator {
+            lowered,
+            rng,
+            enabled,
+        } = self;
         let mut prog = Program::default();
-        let want = self.rng.random_range(1..=max_len.max(1));
+        let want = rng.random_range(1..=max_len.max(1));
         for _ in 0..want {
-            if self.enabled.is_empty() {
+            if enabled.is_empty() {
                 break;
             }
-            let pick = self.enabled[self.rng.random_range(0..self.enabled.len())];
-            self.append_call(&mut prog, pick, 0);
+            let pick = enabled[rng.random_range(0..enabled.len())];
+            append_call(lowered, rng, &mut prog, pick, 0);
             if prog.len() >= max_len {
                 break;
             }
@@ -110,241 +93,289 @@ impl<'a> Generator<'a> {
         prog
     }
 
-    /// Index of the most recent call in `prog.calls[..upto]` whose
-    /// return value produces `resource`.
-    fn find_producer(&self, prog: &Program, upto: usize, resource: &str) -> Option<usize> {
-        let db = self.db;
-        prog.calls[..upto.min(prog.len())]
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, c)| c.syscall(db).ret.as_deref() == Some(resource))
-            .map(|(i, _)| i)
-    }
-
-    /// Append a call (prepending producers for its resources).
-    fn append_call(&mut self, prog: &mut Program, sys_idx: u32, depth: usize) -> Option<usize> {
-        if depth > 6 || prog.len() > 24 {
-            return None;
-        }
-        let db = self.db;
-        let sys = db.syscall_at(sys_idx as usize);
-        // Satisfy consumed resources.
-        for p in &sys.params {
-            if let Type::Resource(r) = &p.ty {
-                if self.find_producer(prog, prog.len(), r).is_none() {
-                    if let Some(pick) = self
-                        .producers
-                        .get(r)
-                        .and_then(|list| list.choose(&mut self.rng))
-                        .copied()
-                    {
-                        self.append_call(prog, pick, depth + 1);
-                    }
-                }
-            }
-        }
-        let args = sys
-            .params
-            .iter()
-            .map(|p| self.gen_value(&p.ty, prog, prog.len(), 0))
-            .collect();
-        prog.calls.push(ProgCall { sys: sys_idx, args });
-        Some(prog.len() - 1)
-    }
-
-    /// Generate a value for a type, resolving resource references
-    /// against the first `upto` calls of `prog`.
-    fn gen_value(&mut self, ty: &Type, prog: &Program, upto: usize, depth: usize) -> Value {
-        if depth > 12 {
-            return Value::Int(0);
-        }
-        match ty {
-            Type::Int { bits, range } => {
-                let v = match range {
-                    // Mostly respect declared ranges; occasionally probe
-                    // outside them (the kernel should EINVAL).
-                    Some((lo, hi)) if self.rng.random_bool(0.85) => {
-                        if hi > lo {
-                            lo + self.rng.random_range(0..=(hi - lo))
-                        } else {
-                            *lo
-                        }
-                    }
-                    _ => self.gen_int(),
-                };
-                Value::Int(bits.truncate(v))
-            }
-            Type::Const { .. } => Value::Int(0), // encoder substitutes
-            Type::Flags { set, bits } => {
-                let values: Vec<u64> = self
-                    .db
-                    .flags_def(set)
-                    .map(|fd| {
-                        fd.values
-                            .iter()
-                            .filter_map(|v| self.consts.resolve(v))
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                let mut acc = 0u64;
-                for v in &values {
-                    if self.rng.random_bool(0.4) {
-                        acc |= v;
-                    }
-                }
-                if values.is_empty() || self.rng.random_bool(0.05) {
-                    acc = self.gen_int();
-                }
-                Value::Int(bits.truncate(acc))
-            }
-            Type::StringLit { values } => {
-                let s = values.choose(&mut self.rng).cloned().unwrap_or_default();
-                Value::Bytes(s.into_bytes())
-            }
-            Type::Ptr { elem, .. } => {
-                if self.rng.random_bool(0.03) {
-                    Value::Ptr { pointee: None }
-                } else {
-                    Value::ptr_to(self.gen_value(elem, prog, upto, depth + 1))
-                }
-            }
-            Type::Array { elem, len } => {
-                let n = match len {
-                    ArrayLen::Fixed(n) => *n,
-                    ArrayLen::Range(lo, hi) => {
-                        if hi > lo {
-                            lo + self.rng.random_range(0..=(hi - lo).min(16))
-                        } else {
-                            *lo
-                        }
-                    }
-                    // Long-tailed sizes: mostly small, sometimes page-
-                    // scale (large payloads are how the sendmsg-path
-                    // bugs are reached).
-                    ArrayLen::Unsized => match self.rng.random_range(0..10u32) {
-                        0..=6 => self.rng.random_range(0..8),
-                        7 | 8 => self.rng.random_range(8..256),
-                        _ => self.rng.random_range(256..4096),
-                    },
-                };
-                // Byte arrays as raw buffers (cheaper, and what the
-                // kernel decodes anyway).
-                if matches!(
-                    elem.as_ref(),
-                    Type::Int {
-                        bits: kgpt_syzlang::IntBits::I8,
-                        ..
-                    }
-                ) {
-                    let mut bytes = vec![0u8; n as usize];
-                    for b in &mut bytes {
-                        *b = self.rng.random_range(0..=255u32) as u8;
-                    }
-                    return Value::Bytes(bytes);
-                }
-                let mut vs = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    vs.push(self.gen_value(elem, prog, upto, depth + 1));
-                }
-                Value::Group(vs)
-            }
-            Type::Len { .. } | Type::Bytesize { .. } => Value::Int(0), // auto-filled
-            Type::Resource(r) => Value::Res(ResRef {
-                producer: self.find_producer(prog, upto, r),
-                // Dangling references land on small fds/ids sometimes.
-                fallback: if self.rng.random_bool(0.5) {
-                    self.rng.random_range(0..6)
-                } else {
-                    u64::MAX
-                },
-            }),
-            Type::Named(n) => {
-                let db = self.db;
-                let Some(def) = db.struct_def(n) else {
-                    return Value::Int(0);
-                };
-                if def.is_union {
-                    let arm = self.rng.random_range(0..def.fields.len().max(1));
-                    let v = def
-                        .fields
-                        .get(arm)
-                        .map(|f| self.gen_value(&f.ty, prog, upto, depth + 1))
-                        .unwrap_or(Value::Int(0));
-                    Value::Union {
-                        arm,
-                        value: Box::new(v),
-                    }
-                } else {
-                    let vs = def
-                        .fields
-                        .iter()
-                        .map(|f| self.gen_value(&f.ty, prog, upto, depth + 1))
-                        .collect();
-                    Value::Group(vs)
-                }
-            }
-            Type::Proc { start, per, .. } => Value::Int(start + per),
-            Type::Void => Value::Group(Vec::new()),
-        }
-    }
-
-    fn gen_int(&mut self) -> u64 {
-        if self.rng.random_bool(0.7) {
-            *INTERESTING.choose(&mut self.rng).expect("non-empty")
-        } else {
-            self.rng.random()
-        }
-    }
-
     /// Mutate a program: regenerate an argument, append a call, or
-    /// truncate. Returns a fresh program (input untouched).
+    /// truncate. Returns a fresh program (input untouched), cloning
+    /// only what the result keeps: the truncate arm copies the kept
+    /// prefix, and the regenerate arm never clones the value tree it
+    /// replaces. Output and draws are bit-identical to the deep-clone
+    /// [`crate::reference::AstGenerator::mutate`].
     pub fn mutate(&mut self, prog: &Program, max_len: usize) -> Program {
-        let mut p = prog.clone();
-        if p.is_empty() {
+        if prog.is_empty() {
             return self.gen_program(max_len);
         }
-        match self.rng.random_range(0..10u32) {
+        let Generator {
+            lowered,
+            rng,
+            enabled,
+        } = self;
+        match rng.random_range(0..10u32) {
             // Regenerate one argument of one call.
             0..=5 => {
-                let ci = self.rng.random_range(0..p.calls.len());
-                let n_args = p.calls[ci].args.len();
-                if n_args > 0 {
-                    let ai = self.rng.random_range(0..n_args);
-                    let ty = &self.db.syscall_at(p.calls[ci].sys as usize).params[ai].ty;
-                    let v = self.gen_value(ty, &p, ci, 0);
-                    p.calls[ci].args[ai] = v;
-                }
+                let ci = rng.random_range(0..prog.calls.len());
+                let n_args = prog.calls[ci].args.len();
+                let mut fresh = if n_args > 0 {
+                    let ai = rng.random_range(0..n_args);
+                    let ty = lowered.syscall(prog.calls[ci].sys as usize).params[ai].ty;
+                    // Generation only reads calls before `ci`, which the
+                    // output shares with the input — so drawing against
+                    // the input is identical to drawing against a clone.
+                    Some((ai, gen_value(lowered, rng, ty, prog, ci, 0)))
+                } else {
+                    None
+                };
+                let calls = prog
+                    .calls
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| match &mut fresh {
+                        Some((ai, v)) if i == ci => ProgCall {
+                            sys: c.sys,
+                            args: c
+                                .args
+                                .iter()
+                                .enumerate()
+                                .map(|(j, a)| {
+                                    if j == *ai {
+                                        std::mem::take(v)
+                                    } else {
+                                        a.clone()
+                                    }
+                                })
+                                .collect(),
+                        },
+                        _ => c.clone(),
+                    })
+                    .collect();
+                Program { calls }
             }
             // Append a random enabled call.
             6..=8 => {
-                if !self.enabled.is_empty() && p.len() < max_len {
-                    let pick = self.enabled[self.rng.random_range(0..self.enabled.len())];
-                    self.append_call(&mut p, pick, 0);
+                let mut p = prog.clone();
+                if !enabled.is_empty() && p.len() < max_len {
+                    let pick = enabled[rng.random_range(0..enabled.len())];
+                    append_call(lowered, rng, &mut p, pick, 0);
+                }
+                p
+            }
+            // Truncate: clone only the kept prefix.
+            _ => {
+                let keep = rng.random_range(1..=prog.calls.len());
+                Program {
+                    calls: prog.calls[..keep].to_vec(),
                 }
             }
-            // Truncate.
-            _ => {
-                let keep = self.rng.random_range(1..=p.calls.len());
-                p.truncate(keep);
+        }
+    }
+}
+
+/// Index of the most recent call in `prog.calls[..upto]` whose return
+/// value produces `res` — a dense-id compare per call, where the AST
+/// walk compared name strings.
+fn find_producer(
+    lowered: &LoweredDb,
+    prog: &Program,
+    upto: usize,
+    res: kgpt_syzlang::lowered::ResourceId,
+) -> Option<usize> {
+    prog.calls[..upto.min(prog.len())]
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, c)| lowered.syscall(c.sys as usize).ret_resource == Some(res))
+        .map(|(i, _)| i)
+}
+
+/// Append a call (prepending producers for its resources).
+fn append_call(
+    lowered: &LoweredDb,
+    rng: &mut StdRng,
+    prog: &mut Program,
+    sys_idx: u32,
+    depth: usize,
+) -> Option<usize> {
+    if depth > 6 || prog.len() > 24 {
+        return None;
+    }
+    let sys = lowered.syscall(sys_idx as usize);
+    // Satisfy consumed resources.
+    for p in &sys.params {
+        if let LType::Resource { res } = lowered.ltype(p.ty) {
+            if find_producer(lowered, prog, prog.len(), res).is_none() {
+                if let Some(pick) = lowered
+                    .lresource(res)
+                    .producer_list()
+                    .and_then(|list| list.choose(rng))
+                    .copied()
+                {
+                    append_call(lowered, rng, prog, pick, depth + 1);
+                }
             }
         }
-        p
+    }
+    let args = sys
+        .params
+        .iter()
+        .map(|p| gen_value(lowered, rng, p.ty, prog, prog.len(), 0))
+        .collect();
+    prog.calls.push(ProgCall { sys: sys_idx, args });
+    Some(prog.len() - 1)
+}
+
+/// Generate a value for a lowered type, resolving resource references
+/// against the first `upto` calls of `prog`.
+fn gen_value(
+    lowered: &LoweredDb,
+    rng: &mut StdRng,
+    ty: kgpt_syzlang::lowered::TypeId,
+    prog: &Program,
+    upto: usize,
+    depth: usize,
+) -> Value {
+    if depth > 12 {
+        return Value::Int(0);
+    }
+    match lowered.ltype(ty) {
+        LType::Int { bits, range } => {
+            let v = match range {
+                // Mostly respect declared ranges; occasionally probe
+                // outside them (the kernel should EINVAL).
+                Some((lo, hi)) if rng.random_bool(0.85) => {
+                    if hi > lo {
+                        lo + rng.random_range(0..=(hi - lo))
+                    } else {
+                        lo
+                    }
+                }
+                _ => gen_int(rng),
+            };
+            Value::Int(bits.truncate(v))
+        }
+        LType::Const { .. } => Value::Int(0), // encoder substitutes
+        LType::Flags { values, bits } => {
+            let members = lowered.flag_values(values);
+            let mut acc = 0u64;
+            for v in members {
+                if rng.random_bool(0.4) {
+                    acc |= v;
+                }
+            }
+            if members.is_empty() || rng.random_bool(0.05) {
+                acc = gen_int(rng);
+            }
+            Value::Int(bits.truncate(acc))
+        }
+        LType::StringLit { strs } => {
+            let s = lowered
+                .strings(strs)
+                .choose(rng)
+                .cloned()
+                .unwrap_or_default();
+            Value::Bytes(s)
+        }
+        LType::Ptr { elem, .. } => {
+            if rng.random_bool(0.03) {
+                Value::Ptr { pointee: None }
+            } else {
+                Value::ptr_to(gen_value(lowered, rng, elem, prog, upto, depth + 1))
+            }
+        }
+        LType::Array {
+            elem,
+            len,
+            byte_elem,
+        } => {
+            let n = match len {
+                ArrayLen::Fixed(n) => n,
+                ArrayLen::Range(lo, hi) => {
+                    if hi > lo {
+                        lo + rng.random_range(0..=(hi - lo).min(16))
+                    } else {
+                        lo
+                    }
+                }
+                // Long-tailed sizes: mostly small, sometimes page-
+                // scale (large payloads are how the sendmsg-path
+                // bugs are reached).
+                ArrayLen::Unsized => match rng.random_range(0..10u32) {
+                    0..=6 => rng.random_range(0..8),
+                    7 | 8 => rng.random_range(8..256),
+                    _ => rng.random_range(256..4096),
+                },
+            };
+            // Byte arrays as raw buffers (cheaper, and what the
+            // kernel decodes anyway).
+            if byte_elem {
+                let mut bytes = vec![0u8; n as usize];
+                for b in &mut bytes {
+                    *b = rng.random_range(0..=255u32) as u8;
+                }
+                return Value::Bytes(bytes);
+            }
+            let mut vs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                vs.push(gen_value(lowered, rng, elem, prog, upto, depth + 1));
+            }
+            Value::Group(vs)
+        }
+        LType::Len { .. } | LType::Bytesize { .. } => Value::Int(0), // auto-filled
+        LType::Resource { res } => Value::Res(ResRef {
+            producer: find_producer(lowered, prog, upto, res),
+            // Dangling references land on small fds/ids sometimes.
+            fallback: if rng.random_bool(0.5) {
+                rng.random_range(0..6)
+            } else {
+                u64::MAX
+            },
+        }),
+        LType::Struct { id } => {
+            let def = lowered.lstruct(id);
+            if def.is_union {
+                let arm = rng.random_range(0..def.fields.len().max(1));
+                let v = def
+                    .fields
+                    .get(arm)
+                    .map(|f| gen_value(lowered, rng, f.ty, prog, upto, depth + 1))
+                    .unwrap_or(Value::Int(0));
+                Value::Union {
+                    arm,
+                    value: Box::new(v),
+                }
+            } else {
+                let vs = def
+                    .fields
+                    .iter()
+                    .map(|f| gen_value(lowered, rng, f.ty, prog, upto, depth + 1))
+                    .collect();
+                Value::Group(vs)
+            }
+        }
+        LType::UnknownNamed { .. } => Value::Int(0),
+        LType::Proc { start, per, .. } => Value::Int(start + per),
+        LType::Void => Value::Group(Vec::new()),
+    }
+}
+
+fn gen_int(rng: &mut StdRng) -> u64 {
+    if rng.random_bool(0.7) {
+        *INTERESTING.choose(rng).expect("non-empty")
+    } else {
+        rng.random()
     }
 }
 
 /// Direction of the pointer a value sits behind (needed by tests).
 #[must_use]
-pub fn top_dir(ty: &Type) -> Dir {
+pub fn top_dir(ty: &kgpt_syzlang::Type) -> kgpt_syzlang::Dir {
     match ty {
-        Type::Ptr { dir, .. } => *dir,
-        _ => Dir::In,
+        kgpt_syzlang::Type::Ptr { dir, .. } => *dir,
+        _ => kgpt_syzlang::Dir::In,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::AstGenerator;
     use kgpt_csrc::KernelCorpus;
 
     fn dm_db() -> (SpecDb, ConstDb) {
@@ -389,6 +420,31 @@ mod tests {
             (0..10).map(|_| g.gen_program(4)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_is_bit_identical_to_ast_walk() {
+        let (db, consts) = dm_db();
+        let mut lowered = Generator::new(&db, &consts, 42);
+        let mut ast = AstGenerator::new(&db, &consts, 42);
+        for i in 0..40 {
+            assert_eq!(lowered.gen_program(6), ast.gen_program(6), "program {i}");
+        }
+    }
+
+    #[test]
+    fn mutation_is_bit_identical_to_ast_walk() {
+        let (db, consts) = dm_db();
+        let mut lowered = Generator::new(&db, &consts, 5);
+        let mut ast = AstGenerator::new(&db, &consts, 5);
+        let mut lp = lowered.gen_program(5);
+        let mut ap = ast.gen_program(5);
+        assert_eq!(lp, ap);
+        for i in 0..200 {
+            lp = lowered.mutate(&lp, 8);
+            ap = ast.mutate(&ap, 8);
+            assert_eq!(lp, ap, "mutation {i}");
+        }
     }
 
     #[test]

@@ -5,13 +5,20 @@
 //! kernel.
 //!
 //! * [`program`] — syscall sequences with resource-threading;
-//! * [`gen`] — generation from a [`kgpt_syzlang::SpecDb`]: producers are
-//!   prepended to satisfy resource dependencies, values follow the
-//!   declared types (ranges, flags, strings, lengths auto-filled by the
-//!   encoder) with a small rate of deliberate violations;
+//! * [`gen`] — generation over the compiled
+//!   [`kgpt_syzlang::lowered::LoweredDb`] IR: producers are prepended
+//!   to satisfy resource dependencies, values follow the declared
+//!   types (ranges, flags, strings, lengths auto-filled by the
+//!   encoder) with a small rate of deliberate violations — with no
+//!   name lookup or AST walk per value;
 //! * [`exec`] — lowers a program to registers + memory segments and
 //!   runs it against a [`kgpt_vkernel::VKernel`], reusing per-worker
-//!   [`exec::ExecScratch`] so the hot loop is allocation-free;
+//!   [`exec::ExecScratch`] so the hot loop is allocation-free,
+//!   string-free (dense [`kgpt_vkernel::Sysno`] dispatch) and
+//!   AST-free;
+//! * [`mod@reference`] — the pre-lowering AST-walk generator/executor,
+//!   kept as the differential oracle: program streams and execution
+//!   outcomes are pinned bit-identical to the lowered path;
 //! * [`corpus`] — the coverage-keyed seed corpus: entries keyed by
 //!   the coverage they contributed, weighted (bias-free) seed
 //!   scheduling, and least-productive eviction under the size cap;
@@ -32,6 +39,7 @@ pub mod exec;
 pub mod gen;
 pub mod hub;
 pub mod program;
+pub mod reference;
 pub mod shard;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
@@ -40,4 +48,5 @@ pub use exec::{execute, execute_with, ExecResult, ExecScratch};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};
 pub use program::{ProgCall, Program};
+pub use reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 pub use shard::ShardedCampaign;

@@ -28,6 +28,7 @@
 
 use crate::campaign::{CampaignConfig, CampaignResult, CrashTally, ShardState};
 use crate::hub::SeedHub;
+use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_vkernel::{CoverageMap, VKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -42,7 +43,7 @@ pub const DEFAULT_SHARDS: u32 = 8;
 pub struct ShardedCampaign<'a> {
     kernel: &'a VKernel,
     db: Arc<SpecDb>,
-    consts: &'a ConstDb,
+    lowered: Arc<LoweredDb>,
     config: CampaignConfig,
     shards: u32,
     /// 0 = one thread per available CPU (capped at the shard count).
@@ -52,14 +53,14 @@ pub struct ShardedCampaign<'a> {
 impl<'a> ShardedCampaign<'a> {
     /// Build a sharded campaign from spec files. Defaults to
     /// [`DEFAULT_SHARDS`] logical shards and one thread per available
-    /// CPU. Compilation goes through the global [`SpecCache`]; the
-    /// thread-scaling sweep in `fuzz_bench` compiles its suite once,
-    /// not once per thread point.
+    /// CPU. Compilation and lowering go through the global
+    /// [`SpecCache`]; the thread-scaling sweep in `fuzz_bench`
+    /// compiles and lowers its suite once, not once per thread point.
     #[must_use]
     pub fn new(
         kernel: &'a VKernel,
         suite: &[SpecFile],
-        consts: &'a ConstDb,
+        consts: &ConstDb,
         config: CampaignConfig,
     ) -> ShardedCampaign<'a> {
         ShardedCampaign::with_db(
@@ -71,18 +72,20 @@ impl<'a> ShardedCampaign<'a> {
     }
 
     /// Build a sharded campaign over an already-compiled (shared)
-    /// database.
+    /// database (see [`crate::Campaign::with_db`] for the lowering
+    /// cache behaviour).
     #[must_use]
     pub fn with_db(
         kernel: &'a VKernel,
         db: Arc<SpecDb>,
-        consts: &'a ConstDb,
+        consts: &ConstDb,
         config: CampaignConfig,
     ) -> ShardedCampaign<'a> {
+        let lowered = SpecCache::global().get_or_lower(&db, consts);
         ShardedCampaign {
             kernel,
             db,
-            consts,
+            lowered,
             config,
             shards: DEFAULT_SHARDS,
             threads: 0,
@@ -135,13 +138,11 @@ impl<'a> ShardedCampaign<'a> {
             t => t,
         }
         .clamp(1, shards);
-        let db: &SpecDb = &self.db;
 
-        let mut states: Vec<ShardState<'_>> = (0..self.shards)
+        let mut states: Vec<ShardState> = (0..self.shards)
             .map(|i| {
                 ShardState::new(
-                    db,
-                    self.consts,
+                    &self.lowered,
                     &self.config,
                     i,
                     self.shard_execs(i),
@@ -198,14 +199,14 @@ impl<'a> ShardedCampaign<'a> {
     /// all shards reached the boundary. Each shard is advanced by
     /// exactly one worker, so the per-shard state evolution is
     /// schedule-independent.
-    fn run_chunk(&self, states: &mut [ShardState<'_>], threads: usize, epoch: u64) {
+    fn run_chunk(&self, states: &mut [ShardState], threads: usize, epoch: u64) {
         if threads <= 1 {
             for state in states.iter_mut() {
                 state.run_epoch(self.kernel, epoch);
             }
             return;
         }
-        let slots: Vec<Mutex<&mut ShardState<'_>>> = states.iter_mut().map(Mutex::new).collect();
+        let slots: Vec<Mutex<&mut ShardState>> = states.iter_mut().map(Mutex::new).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {

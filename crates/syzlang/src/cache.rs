@@ -26,7 +26,9 @@
 //! hit/miss/eviction counters are exposed for monitoring.
 
 use crate::ast::SpecFile;
+use crate::consts::ConstDb;
 use crate::db::SpecDb;
+use crate::lowered::LoweredDb;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,12 +40,27 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// the cache without limit.
 pub const GLOBAL_CACHE_CAPACITY: usize = 512;
 
+/// Lowered IRs retained per cached suite (one per distinct constant
+/// table); beyond this, the oldest lowering is dropped. One table per
+/// suite is the norm — the cap only bounds pathological sweeps.
+pub const MAX_LOWERED_PER_ENTRY: usize = 4;
+
 /// One cached compilation.
 struct CacheEntry {
     /// The exact input suite; compared on every lookup so fingerprint
     /// collisions degrade to misses, not wrong databases.
     files: Vec<SpecFile>,
     db: Arc<SpecDb>,
+    /// Lowered IRs compiled from this database, keyed by the
+    /// fingerprint *and* exact content of the [`ConstDb`] they were
+    /// resolved against (same convention as suite lookups: the
+    /// fingerprint is a fast path, never trusted alone). A suite is
+    /// almost always paired with exactly one constant table, so this
+    /// holds one entry in practice; it is capped at
+    /// [`MAX_LOWERED_PER_ENTRY`] (oldest dropped first) so a
+    /// long-lived process sweeping constant variants over one hot
+    /// suite cannot grow it without bound. Evicted with the entry.
+    lowered: Vec<(u64, ConstDb, Arc<LoweredDb>)>,
     /// Recency stamp from the cache's monotone tick, for LRU
     /// eviction; refreshed on every hit.
     last_used: u64,
@@ -101,7 +118,8 @@ impl SpecCache {
     /// Structural content fingerprint of a suite: FNV-1a over the
     /// [`Hash`] of every file (names and full ASTs), allocation-free.
     /// Equal suites always fingerprint equally; the cache never trusts
-    /// the converse — see [`CacheEntry::files`].
+    /// the converse — every hit compares the stored suite for full
+    /// equality.
     #[must_use]
     pub fn fingerprint(files: &[SpecFile]) -> u64 {
         let mut h = Fnv1a::default();
@@ -142,10 +160,82 @@ impl SpecCache {
         entries.entry(key).or_default().push(CacheEntry {
             files: files.to_vec(),
             db: Arc::clone(&db),
+            lowered: Vec::new(),
             last_used: self.tick.fetch_add(1, Ordering::Relaxed),
         });
         self.evict_over_capacity(&mut entries);
         db
+    }
+
+    /// The lowered IR for a cached compiled database: an `Arc` clone
+    /// when `(db, consts)` was lowered before, a fresh
+    /// [`LoweredDb::build`] otherwise. The database is matched by
+    /// pointer identity, so any `Arc` previously returned by
+    /// [`SpecCache::get_or_build`] hits; a foreign database (not in
+    /// this cache) is lowered without being retained.
+    ///
+    /// Campaign constructors call this once per construction, so a
+    /// sweep over one suite lowers it exactly once — the lowering
+    /// rides the same LRU entry as its `SpecDb`.
+    #[must_use]
+    pub fn get_or_lower(&self, db: &Arc<SpecDb>, consts: &ConstDb) -> Arc<LoweredDb> {
+        let ckey = consts_fingerprint(consts);
+        {
+            let mut entries = self.entries.lock().expect("spec cache poisoned");
+            for bucket in entries.values_mut() {
+                for e in bucket.iter_mut() {
+                    if Arc::ptr_eq(&e.db, db) {
+                        if let Some((_, _, l)) =
+                            e.lowered.iter().find(|(k, c, _)| *k == ckey && c == consts)
+                        {
+                            // A lowering hit keeps the whole entry hot:
+                            // `with_db`-style constructions never call
+                            // `get_or_build`, so this is their only
+                            // recency signal against LRU eviction.
+                            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Arc::clone(l);
+                        }
+                    }
+                }
+            }
+        }
+        // Lower outside the lock; first insertion wins on a race.
+        let lowered = Arc::new(LoweredDb::build(db, consts));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("spec cache poisoned");
+        for bucket in entries.values_mut() {
+            for e in bucket.iter_mut() {
+                if Arc::ptr_eq(&e.db, db) {
+                    e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    if let Some((_, _, l)) =
+                        e.lowered.iter().find(|(k, c, _)| *k == ckey && c == consts)
+                    {
+                        return Arc::clone(l);
+                    }
+                    if e.lowered.len() >= MAX_LOWERED_PER_ENTRY {
+                        e.lowered.remove(0);
+                    }
+                    e.lowered.push((ckey, consts.clone(), Arc::clone(&lowered)));
+                    return lowered;
+                }
+            }
+        }
+        lowered
+    }
+
+    /// Convenience over [`SpecCache::get_or_build`] +
+    /// [`SpecCache::get_or_lower`]: the compiled and lowered forms of
+    /// a suite in one call.
+    #[must_use]
+    pub fn get_or_build_lowered(
+        &self,
+        files: &[SpecFile],
+        consts: &ConstDb,
+    ) -> (Arc<SpecDb>, Arc<LoweredDb>) {
+        let db = self.get_or_build(files);
+        let lowered = self.get_or_lower(&db, consts);
+        (db, lowered)
     }
 
     /// Drop least-recently-used suites until the entry count is back
@@ -220,6 +310,20 @@ impl SpecCache {
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
+}
+
+/// Structural fingerprint of a constant table, for the per-entry
+/// lowered-IR cache: a fast path in front of the full equality check,
+/// exactly like suite fingerprints.
+fn consts_fingerprint(consts: &ConstDb) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write(b"consts-v1");
+    for (name, value) in consts.iter() {
+        h.write(name.as_bytes());
+        h.write(&[0xff]);
+        h.write(&value.to_le_bytes());
+    }
+    h.finish()
 }
 
 /// FNV-1a as a [`Hasher`], so suite fingerprints come straight from
@@ -399,6 +503,83 @@ mod tests {
         cache.clear();
         assert_eq!(cache.evictions(), 0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lowering_is_cached_per_db_and_consts() {
+        let cache = SpecCache::new();
+        let files = suite(
+            "resource fd_l[fd]\nioctl$L(fd fd_l, cmd const[CMD], arg ptr[in, array[int8]])\n",
+        );
+        let mut consts = ConstDb::new();
+        consts.define("CMD", 7);
+        let (db, l1) = cache.get_or_build_lowered(&files, &consts);
+        let l2 = cache.get_or_lower(&db, &consts);
+        assert!(Arc::ptr_eq(&l1, &l2), "same (db, consts) must share one IR");
+        // A different constant table is a different lowering.
+        let mut other = ConstDb::new();
+        other.define("CMD", 8);
+        let l3 = cache.get_or_lower(&db, &other);
+        assert!(!Arc::ptr_eq(&l1, &l3));
+        // A foreign database (never inserted) still lowers, uncached.
+        let foreign = Arc::new(SpecDb::from_files(files.clone()));
+        let f1 = cache.get_or_lower(&foreign, &consts);
+        let f2 = cache.get_or_lower(&foreign, &consts);
+        assert!(!Arc::ptr_eq(&f1, &f2));
+        assert_eq!(f1.syscall_count(), 1);
+    }
+
+    #[test]
+    fn lowerings_per_entry_are_capped() {
+        let cache = SpecCache::new();
+        let files = suite(
+            "resource fd_cap[fd]\nioctl$C(fd fd_cap, cmd const[K], arg ptr[in, array[int8]])\n",
+        );
+        let db = cache.get_or_build(&files);
+        let mut tables = Vec::new();
+        for i in 0..(MAX_LOWERED_PER_ENTRY as u64 + 2) {
+            let mut consts = ConstDb::new();
+            consts.define("K", i);
+            tables.push(consts);
+        }
+        let first = cache.get_or_lower(&db, &tables[0]);
+        for consts in &tables[1..] {
+            let _ = cache.get_or_lower(&db, consts);
+        }
+        // The oldest lowering was dropped: re-requesting it rebuilds.
+        let rebuilt = cache.get_or_lower(&db, &tables[0]);
+        assert!(!Arc::ptr_eq(&first, &rebuilt), "oldest lowering evicted");
+        // The newest is still cached.
+        let newest = cache.get_or_lower(&db, tables.last().unwrap());
+        let again = cache.get_or_lower(&db, tables.last().unwrap());
+        assert!(Arc::ptr_eq(&newest, &again));
+    }
+
+    #[test]
+    fn lowering_hits_refresh_lru_recency() {
+        // A suite used only through `get_or_lower` (the `with_db`
+        // construction path) must stay hot: its entry's recency is
+        // refreshed on lowering hits, so the LRU evicts idle suites
+        // first.
+        let cache = SpecCache::with_capacity(2);
+        let a_files = suite("resource fd_ra[fd]\n");
+        let b_files = suite("resource fd_rb[fd]\n");
+        let consts = ConstDb::new();
+        let a = cache.get_or_build(&a_files);
+        let _ = cache.get_or_build(&b_files);
+        // Touch `a` through the lowering path only.
+        let l1 = cache.get_or_lower(&a, &consts);
+        // Overflow: `b` (stale) is evicted, `a` and its lowering stay.
+        let _ = cache.get_or_build(&suite("resource fd_rc[fd]\n"));
+        assert_eq!(cache.evictions(), 1);
+        let l2 = cache.get_or_lower(&a, &consts);
+        assert!(
+            Arc::ptr_eq(&l1, &l2),
+            "a's cached lowering must survive the eviction"
+        );
+        let misses_before = cache.misses();
+        let _ = cache.get_or_build(&b_files);
+        assert_eq!(cache.misses(), misses_before + 1, "b was the LRU victim");
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   KernelGPT *specification repair* loop;
 //! * a [`cache`] module memoizing compiled [`SpecDb`]s behind `Arc`s,
 //!   keyed by suite content, so repeated campaign constructions and
-//!   sweep harnesses stop re-parsing identical suites.
+//!   sweep harnesses stop re-parsing identical suites;
+//! * a [`lowered`] module compiling a `(SpecDb, ConstDb)` pair once
+//!   into a flat, index-interned IR ([`LoweredDb`]) so the fuzzer's
+//!   per-exec generate→encode path is string-free and AST-free (the
+//!   arena-walking [`lowered::LoweredEncoder`] mirrors the reference
+//!   [`value::MemBuilder`] byte for byte).
 //!
 //! ## Example
 //!
@@ -56,6 +61,7 @@ pub mod cache;
 pub mod consts;
 pub mod db;
 pub mod layout;
+pub mod lowered;
 pub mod parser;
 pub mod printer;
 pub mod token;
@@ -69,6 +75,7 @@ pub use ast::{
 pub use cache::SpecCache;
 pub use consts::ConstDb;
 pub use db::SpecDb;
+pub use lowered::LoweredDb;
 pub use parser::parse;
 pub use printer::print_file;
 pub use validate::{SpecError, SpecErrorKind};

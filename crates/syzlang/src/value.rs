@@ -139,7 +139,7 @@ fn mismatch(ty: &Type, found: &'static str) -> EncodeError {
     }
 }
 
-fn value_kind(v: &Value) -> &'static str {
+pub(crate) fn value_kind(v: &Value) -> &'static str {
     match v {
         Value::Int(_) => "int",
         Value::Res(_) => "resource",
@@ -150,7 +150,13 @@ fn value_kind(v: &Value) -> &'static str {
     }
 }
 
-/// Builds the memory image for one syscall's arguments.
+/// Builds the memory image for one syscall's arguments by walking the
+/// type AST.
+///
+/// This is the *reference* encoder: the fuzzer's hot loop runs the
+/// arena-walking [`crate::lowered::LoweredEncoder`] instead, which
+/// mirrors this implementation decision for decision (differential
+/// tests pin the two byte-identical). Keep the two in sync.
 ///
 /// Designed for reuse across calls: [`MemBuilder::reset`] recycles
 /// every finished segment's byte buffer into an internal pool that
@@ -504,14 +510,14 @@ fn sibling_count(def: &StructDef, values: &[Value], target: &str, _db: &SpecDb) 
     }
 }
 
-fn deref_for_len(ty: &Type) -> Option<&Type> {
+pub(crate) fn deref_for_len(ty: &Type) -> Option<&Type> {
     match ty {
         Type::Ptr { elem, .. } => Some(elem),
         other => Some(other),
     }
 }
 
-fn deref_value_for_len(v: &Value) -> Option<&Value> {
+pub(crate) fn deref_value_for_len(v: &Value) -> Option<&Value> {
     match v {
         Value::Ptr { pointee } => pointee.as_deref(),
         other => Some(other),
@@ -531,7 +537,7 @@ fn scalar_bits(ty: &Type, db: &SpecDb) -> Option<IntBits> {
     }
 }
 
-fn push_int(buf: &mut Vec<u8>, v: u64, bits: IntBits) {
+pub(crate) fn push_int(buf: &mut Vec<u8>, v: u64, bits: IntBits) {
     buf.extend_from_slice(&v.to_le_bytes()[..bits.size() as usize]);
 }
 

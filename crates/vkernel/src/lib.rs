@@ -77,6 +77,75 @@ pub mod errno {
     pub const EAFNOSUPPORT: i64 = 97;
 }
 
+/// Dense syscall number for kernel dispatch — the virtual kernel's
+/// analogue of the syscall table. The fuzzer's lowered IR resolves
+/// each spec syscall's base name to a `Sysno` once at scratch
+/// construction ([`Sysno::from_base`]), so the per-exec
+/// [`VKernel::exec_call`] dispatch is a jump on a dense enum with no
+/// string comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sysno {
+    /// `openat(dirfd, path, flags, mode)`.
+    Openat,
+    /// `open(path, flags, mode)`.
+    Open,
+    /// `socket(family, type, proto)`.
+    Socket,
+    /// `ioctl(fd, cmd, arg)`.
+    Ioctl,
+    /// `setsockopt(fd, level, opt, val, len)`.
+    Setsockopt,
+    /// `getsockopt(fd, level, opt, val, len)`.
+    Getsockopt,
+    /// `bind(fd, addr, len)`.
+    Bind,
+    /// `connect(fd, addr, len)`.
+    Connect,
+    /// `accept(fd, ...)`.
+    Accept,
+    /// `sendto(fd, buf, len, ...)`.
+    Sendto,
+    /// `recvfrom(fd, ...)`.
+    Recvfrom,
+    /// `read(fd, ...)`.
+    Read,
+    /// `write(fd, ...)`.
+    Write,
+    /// `close(fd)`.
+    Close,
+    /// `mmap(...)` — returns a fixed mapping address.
+    Mmap,
+    /// Any base name the kernel does not implement (`-EINVAL`).
+    Unsupported,
+}
+
+impl Sysno {
+    /// Resolve a syscall base name (`"ioctl"`, `"openat"`, …) to its
+    /// dense number. Called once per spec syscall at construction
+    /// time, never on the execution path.
+    #[must_use]
+    pub fn from_base(base: &str) -> Sysno {
+        match base {
+            "openat" => Sysno::Openat,
+            "open" => Sysno::Open,
+            "socket" => Sysno::Socket,
+            "ioctl" => Sysno::Ioctl,
+            "setsockopt" => Sysno::Setsockopt,
+            "getsockopt" => Sysno::Getsockopt,
+            "bind" => Sysno::Bind,
+            "connect" => Sysno::Connect,
+            "accept" => Sysno::Accept,
+            "sendto" => Sysno::Sendto,
+            "recvfrom" => Sysno::Recvfrom,
+            "read" => Sysno::Read,
+            "write" => Sysno::Write,
+            "close" => Sysno::Close,
+            "mmap" => Sysno::Mmap,
+            _ => Sysno::Unsupported,
+        }
+    }
+}
+
 /// A crash detected by the sanitizers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashReport {
@@ -241,32 +310,36 @@ impl VKernel {
         self.targets.len()
     }
 
-    /// Execute one syscall. Returns the (Linux-convention) result:
-    /// ≥ 0 on success, `-errno` on failure. Updates coverage and may
-    /// set `state.crash`.
-    pub fn exec_call(&self, state: &mut VmState, base: &str, args: &[u64; 6], mem: &MemMap) -> i64 {
+    /// Execute one syscall, dispatching on its dense [`Sysno`].
+    /// Returns the (Linux-convention) result: ≥ 0 on success,
+    /// `-errno` on failure. Updates coverage and may set
+    /// `state.crash`. Callers resolve base names to numbers once at
+    /// construction time via [`Sysno::from_base`].
+    pub fn exec_call(&self, state: &mut VmState, no: Sysno, args: &[u64; 6], mem: &MemMap) -> i64 {
         if state.crash.is_some() {
             return -errno::EFAULT; // kernel already paniced
         }
-        match base {
-            "openat" => self.sys_open(state, args[1], mem),
-            "open" => self.sys_open(state, args[0], mem),
-            "socket" => self.sys_socket(state, args[0], args[1], args[2]),
-            "ioctl" => self.sys_ioctl(state, args[0], args[1], args[2], mem),
-            "setsockopt" | "getsockopt" => {
+        match no {
+            Sysno::Openat => self.sys_open(state, args[1], mem),
+            Sysno::Open => self.sys_open(state, args[0], mem),
+            Sysno::Socket => self.sys_socket(state, args[0], args[1], args[2]),
+            Sysno::Ioctl => self.sys_ioctl(state, args[0], args[1], args[2], mem),
+            Sysno::Setsockopt | Sysno::Getsockopt => {
                 self.sys_sockopt(state, args[0], args[1], args[2], args[3], args[4], mem)
             }
-            "bind" => self.sys_addr_call(state, SockCall::Bind, args[0], args[1], args[2], mem),
-            "connect" => {
+            Sysno::Bind => {
+                self.sys_addr_call(state, SockCall::Bind, args[0], args[1], args[2], mem)
+            }
+            Sysno::Connect => {
                 self.sys_addr_call(state, SockCall::Connect, args[0], args[1], args[2], mem)
             }
-            "accept" => self.sys_accept(state, args[0]),
-            "sendto" => self.sys_sendto(state, args, mem),
-            "recvfrom" => self.sys_recvfrom(state, args[0]),
-            "read" | "write" => self.sys_rw(state, args[0]),
-            "close" => self.sys_close(state, args[0]),
-            "mmap" => 0x7f00_0000_0000,
-            _ => -errno::EINVAL,
+            Sysno::Accept => self.sys_accept(state, args[0]),
+            Sysno::Sendto => self.sys_sendto(state, args, mem),
+            Sysno::Recvfrom => self.sys_recvfrom(state, args[0]),
+            Sysno::Read | Sysno::Write => self.sys_rw(state, args[0]),
+            Sysno::Close => self.sys_close(state, args[0]),
+            Sysno::Mmap => 0x7f00_0000_0000,
+            Sysno::Unsupported => -errno::EINVAL,
         }
     }
 
@@ -808,7 +881,7 @@ mod tests {
     fn open_dm(k: &VKernel, st: &mut VmState) -> u64 {
         let mut m = mem_with("/dev/mapper/control");
         m.write(ARG_BASE_ADDR + 20, vec![0]);
-        let fd = k.exec_call(st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        let fd = k.exec_call(st, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
         assert!(fd >= 3, "open failed: {fd}");
         fd as u64
     }
@@ -818,7 +891,7 @@ mod tests {
         let k = boot_dm();
         let mut st = VmState::new();
         let m = mem_with("/dev/device-mapper\0");
-        let r = k.exec_call(&mut st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        let r = k.exec_call(&mut st, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
         assert_eq!(r, -errno::ENOENT);
         assert!(st.coverage.is_empty());
     }
@@ -852,7 +925,7 @@ mod tests {
         let mut st = VmState::new();
         let fd = open_dm(&k, &mut st);
         // SyzDescribe-style raw nr: _IOC_NR only, magic missing.
-        let r = k.exec_call(&mut st, "ioctl", &[fd, 3, 0, 0, 0, 0], &MemMap::new());
+        let r = k.exec_call(&mut st, Sysno::Ioctl, &[fd, 3, 0, 0, 0, 0], &MemMap::new());
         assert_eq!(r, -errno::ENOTTY);
         // Correct full value.
         let bp = flagship::dm();
@@ -862,7 +935,7 @@ mod tests {
         let (size, _) = bp.arg_struct("dm_ioctl").unwrap().size_align(&bp.structs);
         m.write(0x2000_0000, vec![0u8; size as usize]);
         let before = st.coverage.len();
-        let r = k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
+        let r = k.exec_call(&mut st, Sysno::Ioctl, &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
         assert_eq!(r, 0, "valid DM_VERSION should succeed");
         assert!(st.coverage.len() > before);
     }
@@ -885,7 +958,7 @@ mod tests {
         assert_eq!(
             k.exec_call(
                 &mut st_one,
-                "ioctl",
+                Sysno::Ioctl,
                 &[fd, cmd, 0x2000_0000, 0, 0, 0],
                 &contiguous
             ),
@@ -901,7 +974,7 @@ mod tests {
         assert_eq!(
             k.exec_call(
                 &mut st_two,
-                "ioctl",
+                Sysno::Ioctl,
                 &[fd, cmd, 0x2000_0000, 0, 0, 0],
                 &split
             ),
@@ -917,7 +990,7 @@ mod tests {
         assert_eq!(
             k.exec_call(
                 &mut st_short,
-                "ioctl",
+                Sysno::Ioctl,
                 &[fd, cmd, 0x2000_0000, 0, 0, 0],
                 &short
             ),
@@ -943,7 +1016,12 @@ mod tests {
         let mut m = mem_with("/dev/mapper/control");
         m.write(0x2000_0000, vec![0u8; size as usize]);
         assert_eq!(
-            k.exec_call(&mut st_ok, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
+            k.exec_call(
+                &mut st_ok,
+                Sysno::Ioctl,
+                &[fd, cmd, 0x2000_0000, 0, 0, 0],
+                &m
+            ),
             0
         );
 
@@ -955,7 +1033,12 @@ mod tests {
         let mut m2 = mem_with("/dev/mapper/control");
         m2.write(0x2000_0000, bytes);
         assert_eq!(
-            k.exec_call(&mut st_bad, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m2),
+            k.exec_call(
+                &mut st_bad,
+                Sysno::Ioctl,
+                &[fd, cmd, 0x2000_0000, 0, 0, 0],
+                &m2
+            ),
             -errno::EINVAL
         );
         assert!(st_bad.coverage.len() < st_ok.coverage.len());
@@ -975,14 +1058,14 @@ mod tests {
         bytes[off..off + 4].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
         let mut m = mem_with("/dev/mapper/control");
         m.write(0x2000_0000, bytes);
-        let r = k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
+        let r = k.exec_call(&mut st, Sysno::Ioctl, &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
         assert!(r < 0);
         let crash = st.crash.clone().expect("crash");
         assert_eq!(crash.title, "kmalloc bug in ctl_ioctl");
         assert_eq!(crash.cve.as_deref(), Some("CVE-2024-23851"));
         // Further calls are dead.
         assert_eq!(
-            k.exec_call(&mut st, "ioctl", &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
+            k.exec_call(&mut st, Sysno::Ioctl, &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
             -errno::EFAULT
         );
     }
@@ -1003,7 +1086,7 @@ mod tests {
         assert_eq!(
             k.exec_call(
                 &mut st,
-                "ioctl",
+                Sysno::Ioctl,
                 &[fd, remove_all, 0x2000_0000, 0, 0, 0],
                 &m
             ),
@@ -1012,12 +1095,17 @@ mod tests {
         assert!(st.crash.is_none());
         // CREATE then REMOVE_ALL: CVE-2024-50277.
         assert_eq!(
-            k.exec_call(&mut st, "ioctl", &[fd, create, 0x2000_0000, 0, 0, 0], &m),
+            k.exec_call(
+                &mut st,
+                Sysno::Ioctl,
+                &[fd, create, 0x2000_0000, 0, 0, 0],
+                &m
+            ),
             0
         );
         let _ = k.exec_call(
             &mut st,
-            "ioctl",
+            Sysno::Ioctl,
             &[fd, remove_all, 0x2000_0000, 0, 0, 0],
             &m,
         );
@@ -1037,13 +1125,13 @@ mod tests {
         let mut st = VmState::new();
         let mut m = MemMap::new();
         m.write(ARG_BASE_ADDR, b"/dev/kvm\0".to_vec());
-        let kvm_fd = k.exec_call(&mut st, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        let kvm_fd = k.exec_call(&mut st, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
         assert!(kvm_fd >= 3);
         let kvm_bp = flagship::kvm();
         let create_vm = kvm_bp.cmd_value(kvm_bp.cmd("KVM_CREATE_VM").unwrap());
         let vm_fd = k.exec_call(
             &mut st,
-            "ioctl",
+            Sysno::Ioctl,
             &[kvm_fd as u64, create_vm, 0, 0, 0, 0],
             &m,
         );
@@ -1052,7 +1140,7 @@ mod tests {
         let create_vcpu = vm_bp.cmd_value(vm_bp.cmd("KVM_CREATE_VCPU").unwrap());
         let vcpu_fd = k.exec_call(
             &mut st,
-            "ioctl",
+            Sysno::Ioctl,
             &[vm_fd as u64, create_vcpu, 0, 0, 0, 0],
             &m,
         );
@@ -1061,7 +1149,12 @@ mod tests {
         let vcpu_bp = flagship::kvm_vcpu();
         let run = vcpu_bp.cmd_value(vcpu_bp.cmd("KVM_RUN").unwrap());
         assert_eq!(
-            k.exec_call(&mut st, "ioctl", &[vcpu_fd as u64, run, 0, 0, 0, 0], &m),
+            k.exec_call(
+                &mut st,
+                Sysno::Ioctl,
+                &[vcpu_fd as u64, run, 0, 0, 0, 0],
+                &m
+            ),
             -errno::EBUSY
         );
     }
@@ -1073,11 +1166,11 @@ mod tests {
         // overflow as EFAULT rather than panicking.
         let k = VKernel::boot(vec![flagship::caif_stream()]);
         let mut st = VmState::new();
-        let fd = k.exec_call(&mut st, "socket", &[37, 1, 0, 0, 0, 0], &MemMap::new());
+        let fd = k.exec_call(&mut st, Sysno::Socket, &[37, 1, 0, 0, 0, 0], &MemMap::new());
         assert!(fd >= 3);
         let r = k.exec_call(
             &mut st,
-            "bind",
+            Sysno::Bind,
             &[fd as u64, u64::MAX, 64, 0, 0, 0],
             &MemMap::new(),
         );
@@ -1090,18 +1183,18 @@ mod tests {
         let mut st = VmState::new();
         // Wrong family.
         assert_eq!(
-            k.exec_call(&mut st, "socket", &[9, 5, 0, 0, 0, 0], &MemMap::new()),
+            k.exec_call(&mut st, Sysno::Socket, &[9, 5, 0, 0, 0, 0], &MemMap::new()),
             -errno::EAFNOSUPPORT
         );
         // Right triple.
-        let fd = k.exec_call(&mut st, "socket", &[21, 5, 0, 0, 0, 0], &MemMap::new());
+        let fd = k.exec_call(&mut st, Sysno::Socket, &[21, 5, 0, 0, 0, 0], &MemMap::new());
         assert!(fd >= 3);
         // sendto with a big payload triggers CVE-2024-23849.
         let mut m = MemMap::new();
         m.write(0x3000_0000, vec![0u8; 128]);
         let r = k.exec_call(
             &mut st,
-            "sendto",
+            Sysno::Sendto,
             &[fd as u64, 0x3000_0000, 128, 0, 0, 0],
             &m,
         );
@@ -1116,16 +1209,26 @@ mod tests {
     fn sockopt_level_checked() {
         let k = VKernel::boot(vec![flagship::rds()]);
         let mut st = VmState::new();
-        let fd = k.exec_call(&mut st, "socket", &[21, 5, 0, 0, 0, 0], &MemMap::new()) as u64;
+        let fd = k.exec_call(&mut st, Sysno::Socket, &[21, 5, 0, 0, 0, 0], &MemMap::new()) as u64;
         let mut m = MemMap::new();
         m.write(0x3000_0000, vec![0u8; 64]);
         // Wrong level.
         assert_eq!(
-            k.exec_call(&mut st, "setsockopt", &[fd, 1, 5, 0x3000_0000, 8, 0], &m),
+            k.exec_call(
+                &mut st,
+                Sysno::Setsockopt,
+                &[fd, 1, 5, 0x3000_0000, 8, 0],
+                &m
+            ),
             -errno::ENOPROTOOPT
         );
         // Right level, RDS_RECVERR (int arg).
-        let r = k.exec_call(&mut st, "setsockopt", &[fd, 276, 5, 0x3000_0000, 8, 0], &m);
+        let r = k.exec_call(
+            &mut st,
+            Sysno::Setsockopt,
+            &[fd, 276, 5, 0x3000_0000, 8, 0],
+            &m,
+        );
         assert_eq!(r, 0);
     }
 
@@ -1135,11 +1238,11 @@ mod tests {
         let mut st = VmState::new();
         let fd = open_dm(&k, &mut st);
         assert_eq!(
-            k.exec_call(&mut st, "close", &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
+            k.exec_call(&mut st, Sysno::Close, &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
             0
         );
         assert_eq!(
-            k.exec_call(&mut st, "ioctl", &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
+            k.exec_call(&mut st, Sysno::Ioctl, &[fd, 0, 0, 0, 0, 0], &MemMap::new()),
             -errno::EBADF
         );
     }
@@ -1152,7 +1255,7 @@ mod tests {
         let mut st2 = VmState::new();
         let mut m = MemMap::new();
         m.write(ARG_BASE_ADDR, b"/dev/cec0\0".to_vec());
-        let r = k.exec_call(&mut st2, "openat", &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        let r = k.exec_call(&mut st2, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
         assert!(r >= 3);
         assert!(st1.coverage.is_disjoint(&st2.coverage));
     }

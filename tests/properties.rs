@@ -6,11 +6,15 @@
 //! be reproduced exactly.
 
 use kernelgpt::csrc::cmacro;
-use kernelgpt::fuzzer::{Corpus, Program, SeedHub};
+use kernelgpt::fuzzer::{
+    ast_execute_with, execute_with, AstGenerator, AstScratch, Corpus, ExecScratch, Generator,
+    Program, SeedHub,
+};
 use kernelgpt::syzlang::ast::{
     ArrayLen, ConstExpr, Dir, Field, FlagsDef, IntBits, Item, Param, Resource, SpecFile, StructDef,
     Syscall, Type,
 };
+use kernelgpt::syzlang::LoweredDb;
 use kernelgpt::syzlang::{parse, print_file, SpecDb};
 use kernelgpt::vkernel::CoverageMap;
 use rand::rngs::StdRng;
@@ -445,6 +449,83 @@ fn seed_hub_exchange_order_is_pinned() {
                 want_cov,
                 "seed {seed}: shard {s} missing imported coverage"
             );
+        }
+    }
+}
+
+/// The lowered-IR generator is bit-identical to the pre-lowering AST
+/// walk — same RNG draw sequence, same program streams, same mutation
+/// chains — across seeds, on both the dm ground-truth suite and a
+/// merged multi-blueprint suite (drivers and sockets, shared builtin
+/// resources, cross-file name spaces). Execution outcomes through the
+/// lowered encode→dispatch path match the AST executor on the same
+/// kernels.
+#[test]
+fn lowered_pipeline_is_bit_identical_to_ast_walk() {
+    use kernelgpt::csrc::{flagship, KernelCorpus};
+    use kernelgpt::syzlang::SpecDb;
+    use kernelgpt::vkernel::VKernel;
+
+    let suites: Vec<(&str, Vec<kernelgpt::csrc::blueprint::Blueprint>)> = vec![
+        ("dm ground truth", vec![flagship::dm()]),
+        (
+            "merged multi-blueprint",
+            vec![
+                flagship::dm(),
+                flagship::cec(),
+                flagship::rds(),
+                flagship::caif_stream(),
+            ],
+        ),
+    ];
+    for (label, blueprints) in suites {
+        let kc = KernelCorpus::from_blueprints(blueprints.clone());
+        let suite: Vec<_> = kc
+            .blueprints()
+            .iter()
+            .map(|bp| bp.ground_truth_spec())
+            .collect();
+        let db = SpecDb::from_files(suite);
+        let kernel = VKernel::boot(blueprints);
+        // Lower once per suite and execute through reused scratches,
+        // like the campaign loop does (the one-shot `execute` wrapper
+        // would re-lower per call).
+        let lowered_db = std::sync::Arc::new(LoweredDb::build(&db, kc.consts()));
+        let mut low_scratch = ExecScratch::from_lowered(std::sync::Arc::clone(&lowered_db));
+        let mut ast_scratch = AstScratch::new(&db, kc.consts());
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let mut lowered = Generator::from_lowered(std::sync::Arc::clone(&lowered_db), seed);
+            let mut ast = AstGenerator::new(&db, kc.consts(), seed);
+            let mut lp = Program::default();
+            let mut ap = Program::default();
+            for step in 0..120u32 {
+                // Interleave fresh generation and chained mutation,
+                // like the campaign loop does.
+                let (l, a) = if step % 4 == 0 {
+                    (lowered.gen_program(8), ast.gen_program(8))
+                } else {
+                    (lowered.mutate(&lp, 8), ast.mutate(&ap, 8))
+                };
+                assert_eq!(l, a, "{label}: seed {seed} step {step}");
+                if step % 3 == 0 {
+                    execute_with(&kernel, &l, &mut low_scratch);
+                    ast_execute_with(&kernel, &l, &mut ast_scratch);
+                    assert_eq!(
+                        low_scratch.rets, ast_scratch.rets,
+                        "{label}: seed {seed} step {step}"
+                    );
+                    assert_eq!(
+                        low_scratch.state.coverage, ast_scratch.state.coverage,
+                        "{label}: seed {seed} step {step}"
+                    );
+                    assert_eq!(
+                        low_scratch.state.crash, ast_scratch.state.crash,
+                        "{label}: seed {seed} step {step}"
+                    );
+                }
+                lp = l;
+                ap = a;
+            }
         }
     }
 }
