@@ -21,7 +21,15 @@
 //! * **hub yield** — the exchange-on coverage-per-exec of the fresh
 //!   run must not drop below exchange-off: the seed hub exists to
 //!   lift per-exec coverage yield, so a regression there is a hard
-//!   failure at any threshold;
+//!   failure at any threshold — and the same check runs for **every
+//!   entry of the `workloads` section** (the deep-chain suite, where
+//!   saturation no longer masks the lift), each of which must also be
+//!   thread-invariant;
+//! * **triage** — the crash-triage section must report
+//!   `thread_invariant` and `reproducible` as true (a minimized
+//!   reproducer that no longer triggers its signature is a hard
+//!   failure), and the mean raw→minimized shrink ratio must stay at
+//!   or above [`MIN_SHRINK_RATIO`];
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -34,6 +42,11 @@ use crate::json::Json;
 
 /// Default allowed throughput regression, percent.
 pub const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+/// Minimum acceptable mean raw→minimized shrink ratio of the triage
+/// section: minimization that fails to halve reproducers on the
+/// deep-chain workload is a behaviour regression, not noise.
+pub const MIN_SHRINK_RATIO: f64 = 2.0;
 
 /// Environment variable overriding the allowed regression percentage.
 pub const MAX_REGRESSION_ENV: &str = "BENCH_GATE_MAX_REGRESSION";
@@ -72,6 +85,8 @@ pub fn check(fresh: &Json, baseline: &Json, max_regression_pct: f64) -> GateOutc
     let mut out = GateOutcome::default();
     check_determinism(fresh, &mut out);
     check_hub_yield(fresh, &mut out);
+    check_workload_yields(fresh, &mut out);
+    check_triage(fresh, baseline, &mut out);
     check_sections(fresh, baseline, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
@@ -204,6 +219,129 @@ fn check_hub_yield(fresh: &Json, out: &mut GateOutcome) {
     }
 }
 
+/// The hub-yield and thread-invariance checks, applied to every
+/// entry of the `workloads` section: each named workload carries its
+/// own exchange-on/off ablation and must show `on.coverage_per_exec
+/// >= off.coverage_per_exec` and a truthy `thread_invariant`.
+fn check_workload_yields(fresh: &Json, out: &mut GateOutcome) {
+    let Some(Json::Obj(members)) = fresh.get("workloads") else {
+        return; // section absent (older bench) — nothing to check
+    };
+    for (name, w) in members {
+        if w.path("thread_invariant").and_then(Json::as_bool) != Some(true) {
+            out.failures.push(format!(
+                "determinism: workload `{name}` results differ across thread counts \
+                 (workloads.{name}.thread_invariant is not true)"
+            ));
+        }
+        let (Some(on), Some(off)) = (
+            w.path("on.coverage_per_exec").and_then(Json::as_f64),
+            w.path("off.coverage_per_exec").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if on < off {
+            out.failures.push(format!(
+                "hub yield: workload `{name}` exchange-on coverage-per-exec dropped below \
+                 exchange-off ({on:.8} vs {off:.8}) — this suite exists because the lift is \
+                 measurable here"
+            ));
+        } else {
+            out.notes.push(format!(
+                "hub yield: workload `{name}` exchange on {on:.8} vs off {off:.8} blocks/exec"
+            ));
+        }
+    }
+}
+
+/// Triage-section checks: a present section must be thread-invariant,
+/// every minimized reproducer must still trigger its signature, the
+/// mean shrink ratio must stay at or above [`MIN_SHRINK_RATIO`], and
+/// — when the triage workloads match — the signature and call counts
+/// are exact-compared against the baseline.
+fn check_triage(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
+    let Some(triage) = fresh.get("triage") else {
+        return; // section absent (older bench) — nothing to check
+    };
+    if triage.path("thread_invariant").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "determinism: triage reports differ across thread counts \
+             (triage.thread_invariant is not true)"
+                .into(),
+        );
+    }
+    if triage.path("reproducible").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "triage: a minimized reproducer no longer triggers its crash signature \
+             (triage.reproducible is not true) — minimization must preserve the crash"
+                .into(),
+        );
+    }
+    match triage.path("mean_shrink_ratio").and_then(Json::as_f64) {
+        Some(ratio) if ratio >= MIN_SHRINK_RATIO => out.notes.push(format!(
+            "triage: mean shrink ratio {ratio:.2}x over {} signatures",
+            triage
+                .path("signatures")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        )),
+        Some(ratio) => out.failures.push(format!(
+            "triage: mean shrink ratio {ratio:.2}x fell below the {MIN_SHRINK_RATIO}x floor — \
+             minimization stopped earning its keep on the deep-chain workload"
+        )),
+        None => out
+            .failures
+            .push("triage: fresh run's triage section is missing `mean_shrink_ratio`".into()),
+    }
+    // Exact baseline compares (triage is deterministic) when both
+    // sides ran the same deep-chain workload.
+    if baseline.get("triage").is_none() {
+        return; // section growth is handled by check_sections
+    }
+    if !deep_chain_workloads_match(fresh, baseline, out) {
+        return;
+    }
+    for key in [
+        "triage.signatures",
+        "triage.raw_calls",
+        "triage.minimized_calls",
+    ] {
+        check_exact(fresh, baseline, key, out);
+    }
+    for key in [
+        "workloads.deep_chain.off.blocks",
+        "workloads.deep_chain.off.corpus_size",
+        "workloads.deep_chain.on.blocks",
+        "workloads.deep_chain.on.unique_crashes",
+        "workloads.deep_chain.on.corpus_size",
+    ] {
+        check_exact(fresh, baseline, key, out);
+    }
+}
+
+/// `true` when both sides ran the deep-chain ablation with the same
+/// knobs, making its (deterministic) numbers exactly comparable; a
+/// deliberate retune skips them with a note, like the hub and
+/// campaign workload conventions.
+fn deep_chain_workloads_match(fresh: &Json, baseline: &Json, out: &mut GateOutcome) -> bool {
+    for key in [
+        "workloads.deep_chain.execs",
+        "workloads.deep_chain.shards",
+        "workloads.deep_chain.epoch",
+        "workloads.deep_chain.top_k",
+        "workloads.deep_chain.max_prog_len",
+    ] {
+        if fresh.path(key).and_then(Json::as_f64) != baseline.path(key).and_then(Json::as_f64) {
+            out.notes.push(format!(
+                "deep-chain comparison skipped: `{key}` differs — regenerate the baseline \
+                 for the new workload knobs"
+            ));
+            return false;
+        }
+    }
+    true
+}
+
 /// `true` when the hub ablations of both sides used the same
 /// exchange knobs (or at least one side has no hub section), making
 /// the hub coverage numbers directly comparable. A deliberate
@@ -313,6 +451,24 @@ fn rate_metrics(fresh: &Json, baseline: &Json) -> Vec<RateMetric> {
         "hub exchange-on execs/sec".into(),
         fresh.path("hub.on.execs_per_sec").and_then(Json::as_f64),
         baseline.path("hub.on.execs_per_sec").and_then(Json::as_f64),
+    );
+    push(
+        "deep-chain exchange-on execs/sec".into(),
+        fresh
+            .path("workloads.deep_chain.on.execs_per_sec")
+            .and_then(Json::as_f64),
+        baseline
+            .path("workloads.deep_chain.on.execs_per_sec")
+            .and_then(Json::as_f64),
+    );
+    push(
+        "triage minimization execs/sec".into(),
+        fresh
+            .path("triage.minimize_execs_per_sec")
+            .and_then(Json::as_f64),
+        baseline
+            .path("triage.minimize_execs_per_sec")
+            .and_then(Json::as_f64),
     );
     push(
         "spec-cache warm speedup".into(),
@@ -568,6 +724,146 @@ mod tests {
         assert!(r.passed(), "{:?}", r.failures);
         assert!(
             r.notes.iter().any(|n| n.contains("absent from the fresh")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    fn triage_doc(
+        on_blocks: u64,
+        off_blocks: u64,
+        invariant: bool,
+        reproducible: bool,
+        shrink: f64,
+        signatures: u64,
+    ) -> Json {
+        let mut doc = bench_doc(1000.0, 187, true);
+        let on_cpe = on_blocks as f64 / 20000.0;
+        let off_cpe = off_blocks as f64 / 20000.0;
+        let extra = parse_json(&format!(
+            r#"{{
+  "workloads": {{
+    "deep_chain": {{
+      "execs": 20000, "shards": 8, "max_prog_len": 12, "epoch": 128, "top_k": 4,
+      "thread_invariant": {invariant},
+      "off": {{ "blocks": {off_blocks}, "unique_crashes": 4, "corpus_size": 300, "coverage_per_exec": {off_cpe} }},
+      "on": {{ "blocks": {on_blocks}, "unique_crashes": 5, "corpus_size": 320, "coverage_per_exec": {on_cpe}, "execs_per_sec": 4000.0 }}
+    }}
+  }},
+  "triage": {{
+    "signatures": {signatures}, "thread_invariant": {invariant}, "reproducible": {reproducible},
+    "mean_shrink_ratio": {shrink}, "raw_calls": 50, "minimized_calls": 25,
+    "minimize_execs": 90, "minimize_execs_per_sec": 30000.0
+  }}
+}}"#
+        ))
+        .unwrap();
+        let Json::Obj(members) = &mut doc else {
+            unreachable!("bench_doc is an object")
+        };
+        let Json::Obj(extra_members) = extra else {
+            unreachable!("literal object")
+        };
+        members.extend(extra_members);
+        doc
+    }
+
+    #[test]
+    fn deep_chain_hub_yield_drop_is_a_hard_failure() {
+        let bad = triage_doc(180, 190, true, true, 2.5, 5);
+        let r = check(&bad, &bad, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("workload `deep_chain`") && f.contains("hub yield")),
+            "{:?}",
+            r.failures
+        );
+        // On >= off passes and is noted.
+        let good = triage_doc(200, 190, true, true, 2.5, 5);
+        let r = check(&good, &good, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(r.notes.iter().any(|n| n.contains("deep_chain")));
+    }
+
+    #[test]
+    fn triage_thread_variance_and_irreproducibility_are_hard_failures() {
+        let variant = triage_doc(200, 190, false, true, 2.5, 5);
+        let r = check(&variant, &variant, 1e9);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("triage.thread_invariant")));
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| f.contains("workloads.deep_chain.thread_invariant")));
+
+        let stale = triage_doc(200, 190, true, false, 2.5, 5);
+        let r = check(&stale, &stale, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("no longer triggers its crash signature")),
+            "{:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn shrink_ratio_below_floor_fails() {
+        let weak = triage_doc(200, 190, true, true, 1.4, 5);
+        let r = check(&weak, &weak, 1e9);
+        assert!(
+            r.failures.iter().any(|f| f.contains("shrink ratio")),
+            "{:?}",
+            r.failures
+        );
+        assert!(check(
+            &triage_doc(200, 190, true, true, 2.0, 5),
+            &triage_doc(200, 190, true, true, 2.0, 5),
+            25.0
+        )
+        .passed());
+    }
+
+    #[test]
+    fn triage_counts_are_compared_exactly_against_the_baseline() {
+        let fresh = triage_doc(200, 190, true, true, 2.5, 5);
+        let base = triage_doc(200, 190, true, true, 2.5, 6);
+        let r = check(&fresh, &base, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures.iter().any(|f| f.contains("triage.signatures")),
+            "{:?}",
+            r.failures
+        );
+        // A retuned deep-chain workload skips the exact compare with a
+        // note instead of failing.
+        let mut retuned = triage_doc(200, 190, true, true, 2.5, 5);
+        if let Json::Obj(members) = &mut retuned {
+            let w = members
+                .iter_mut()
+                .find(|(k, _)| k == "workloads")
+                .map(|(_, v)| v)
+                .unwrap();
+            let Json::Obj(wm) = w else { unreachable!() };
+            let Json::Obj(dc) = &mut wm[0].1 else {
+                unreachable!()
+            };
+            dc.iter_mut().find(|(k, _)| k == "execs").unwrap().1 = Json::Num(40000.0);
+        }
+        let r = check(&retuned, &base, 1e9);
+        assert!(
+            !r.failures.iter().any(|f| f.contains("triage.signatures")),
+            "{:?}",
+            r.failures
+        );
+        assert!(
+            r.notes
+                .iter()
+                .any(|n| n.contains("deep-chain comparison skipped")),
             "{:?}",
             r.notes
         );

@@ -1,0 +1,434 @@
+//! The deep-chain workload: a four-driver suite whose interesting
+//! behaviour sits behind **deep producer chains** — a resource handed
+//! across three or more calls before the crashing ioctl.
+//!
+//! The chain is `openat(/dev/dcroot)` → `DCROOT_MAKE_LINK` (link fd)
+//! → `DCLINK_OPEN_STREAM` (stream fd) → `DCSTREAM_MAP_RING` (buffer
+//! fd), with state machines and checked argument structs at every
+//! hop. Unlike the dm smoke workload — whose coverage surface
+//! saturates well inside the CI budget — most of this suite's blocks
+//! are `deep_blocks` gated on *valid* calls against fds three or four
+//! hops down the chain, so coverage accumulates slowly, rare seeds
+//! matter, and both the cross-shard seed hub's union lift and the
+//! crash-triage minimizer's shrink ratio are measurable
+//! (`fuzz_bench` gates both; see EXPERIMENTS.md).
+//!
+//! The five injected bugs triage to five distinct crash signatures
+//! (`CrashSignature` in `kgpt-vkernel`) spanning chain depths 1–4 and
+//! four sanitizer kinds:
+//!
+//! | bug | trigger | depth |
+//! |---|---|---|
+//! | `kmalloc bug in dcroot_audit` | oversized `budget` | 1 |
+//! | `KASAN: use-after-free in dclink_tune` | `RESET` then `TUNE` | 2 |
+//! | `general protection fault in dcstream_flush` | `ARM` then `FLUSH` (armed needs a valid `START`) | 3 |
+//! | `divide error in dcbuf_scale` | valid `SCALE` with `divisor == 0` | 4 |
+//! | `ODEBUG bug in dcbuf_commit` | 3 valid `COMMIT`s after `PIN` | 4 |
+//!
+//! A minimal reproducer for the deepest bugs is 5–8 calls; the raw
+//! programs a campaign captures are typically much longer, which is
+//! exactly what makes ddmin minimization meaningful on this suite.
+
+use crate::blueprint::{
+    ArgDir, ArgField, ArgKind, ArgStruct, Blueprint, BlueprintKind, BugBlueprint, CmdBlueprint,
+    CmdEffect, CmdEncoding, CmdTransform, DispatchStyle, DriverBlueprint, ExistingSpec, FieldRole,
+    FieldTy, RegStyle, Trigger,
+};
+
+fn drv(id: &str, path: &str, reg: RegStyle, magic: u64, file: &str) -> Blueprint {
+    Blueprint {
+        id: id.into(),
+        kind: BlueprintKind::Driver(DriverBlueprint {
+            reg,
+            dev_path: path.into(),
+            dispatch: DispatchStyle::Switch,
+            transform: CmdTransform::None,
+            magic,
+            open_blocks: 4,
+        }),
+        cmds: Vec::new(),
+        structs: Vec::new(),
+        flag_sets: Vec::new(),
+        bugs: Vec::new(),
+        loaded: true,
+        existing: ExistingSpec::None,
+        source_file: file.into(),
+        comment: None,
+    }
+}
+
+fn c(name: &str, nr: u64, arg: ArgKind, dir: ArgDir) -> CmdBlueprint {
+    CmdBlueprint::new(name, nr, arg, dir)
+}
+
+fn cio(name: &str, nr: u64) -> CmdBlueprint {
+    CmdBlueprint {
+        encoding: CmdEncoding::Ioc { dir: 0 },
+        ..CmdBlueprint::new(name, nr, ArgKind::None, ArgDir::In)
+    }
+}
+
+fn st(name: &str, fields: Vec<ArgField>) -> ArgStruct {
+    ArgStruct {
+        name: name.into(),
+        fields,
+        is_union: false,
+    }
+}
+
+fn p(name: &str, ty: FieldTy) -> ArgField {
+    ArgField::plain(name, ty)
+}
+
+fn r(name: &str, ty: FieldTy, role: FieldRole) -> ArgField {
+    ArgField::with_role(name, ty, role)
+}
+
+fn bug(title: &str, trigger: Trigger) -> BugBlueprint {
+    BugBlueprint {
+        title: title.into(),
+        cve: None,
+        trigger,
+    }
+}
+
+/// The registered root of the chain: `/dev/dcroot`. `DCROOT_MAKE_LINK`
+/// mints the depth-2 link fd; the shallow kmalloc bug lives here.
+#[must_use]
+pub fn dcroot() -> Blueprint {
+    let mut bp = drv(
+        "dcroot",
+        "/dev/dcroot",
+        RegStyle::MiscName,
+        0xd7,
+        "drivers/dc/dcroot.c",
+    );
+    bp.comment = Some("Deep-chain root control node; DCROOT_MAKE_LINK returns a link fd".into());
+    bp.structs = vec![st(
+        "dcroot_cfg",
+        vec![
+            r("magic", FieldTy::U32, FieldRole::MagicCheck(0x4443_5246)),
+            r("window", FieldTy::U32, FieldRole::CheckedRange(1, 64)),
+            r("budget", FieldTy::U32, FieldRole::SizeOfPayload),
+            r("reserved", FieldTy::U32, FieldRole::Reserved),
+        ],
+    )];
+    let cfg = || ArgKind::Struct("dcroot_cfg".into());
+    bp.cmds = vec![
+        cio("DCROOT_INFO", 0),
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            deep_blocks: 10,
+            ..c("DCROOT_CONFIGURE", 1, cfg(), ArgDir::In)
+        },
+        CmdBlueprint {
+            encoding: CmdEncoding::Ioc { dir: 0 },
+            effect: CmdEffect::CreatesFd {
+                handler: "dclink".into(),
+            },
+            blocks: 10,
+            ..c("DCROOT_MAKE_LINK", 2, ArgKind::Int, ArgDir::In)
+        },
+        CmdBlueprint {
+            deep_blocks: 12,
+            ..c("DCROOT_AUDIT", 3, cfg(), ArgDir::In)
+        },
+        c("DCROOT_STATS", 4, ArgKind::Int, ArgDir::In),
+    ];
+    bp.bugs = vec![bug(
+        "kmalloc bug in dcroot_audit",
+        Trigger::FieldAbove {
+            cmd: "DCROOT_AUDIT".into(),
+            field: "budget".into(),
+            min: 0x3fff_ffff,
+        },
+    )];
+    bp
+}
+
+/// Depth-2 link fd (minted by `DCROOT_MAKE_LINK`). `DCLINK_OPEN_STREAM`
+/// mints the depth-3 stream fd; a reset/tune sequence bug lives here.
+#[must_use]
+pub fn dclink() -> Blueprint {
+    let mut bp = drv("dclink", "", RegStyle::Anon, 0xd8, "drivers/dc/dclink.c");
+    bp.structs = vec![st(
+        "dclink_params",
+        vec![
+            r("channel", FieldTy::U32, FieldRole::CheckedRange(0, 15)),
+            r(
+                "mode",
+                FieldTy::U32,
+                FieldRole::Flags("dclink_modes".into()),
+            ),
+            p("cookie", FieldTy::U64),
+        ],
+    )];
+    bp.flag_sets = vec![(
+        "dclink_modes".into(),
+        vec![
+            ("DCLINK_M_RAW".into(), 1),
+            ("DCLINK_M_COOKED".into(), 2),
+            ("DCLINK_M_TURBO".into(), 4),
+        ],
+    )];
+    let params = || ArgKind::Struct("dclink_params".into());
+    bp.cmds = vec![
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            deep_blocks: 14,
+            ..c("DCLINK_BIND", 0, params(), ArgDir::In)
+        },
+        CmdBlueprint {
+            deep_blocks: 10,
+            ..c("DCLINK_TUNE", 1, params(), ArgDir::In)
+        },
+        CmdBlueprint {
+            encoding: CmdEncoding::Ioc { dir: 0 },
+            effect: CmdEffect::CreatesFd {
+                handler: "dcstream".into(),
+            },
+            blocks: 10,
+            ..c("DCLINK_OPEN_STREAM", 2, ArgKind::Int, ArgDir::In)
+        },
+        cio("DCLINK_RESET", 3),
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            deep_blocks: 16,
+            ..c("DCLINK_CALIBRATE", 4, params(), ArgDir::In)
+        },
+    ];
+    bp.bugs = vec![bug(
+        "KASAN: use-after-free in dclink_tune",
+        Trigger::Sequence {
+            first: "DCLINK_RESET".into(),
+            then: "DCLINK_TUNE".into(),
+        },
+    )];
+    bp
+}
+
+/// Depth-3 stream fd (minted by `DCLINK_OPEN_STREAM`).
+/// `DCSTREAM_MAP_RING` mints the depth-4 buffer fd; arming the stream
+/// (which itself needs a valid `START`) and flushing it faults.
+#[must_use]
+pub fn dcstream() -> Blueprint {
+    let mut bp = drv(
+        "dcstream",
+        "",
+        RegStyle::Anon,
+        0xd9,
+        "drivers/dc/dcstream.c",
+    );
+    bp.structs = vec![st(
+        "dcstream_req",
+        vec![
+            r("ring_slots", FieldTy::U32, FieldRole::CheckedRange(1, 8)),
+            r("prio", FieldTy::U32, FieldRole::CheckedRange(0, 3)),
+            r("pad", FieldTy::U32, FieldRole::Reserved),
+            p("label", FieldTy::CharArray(8)),
+        ],
+    )];
+    let req = || ArgKind::Struct("dcstream_req".into());
+    bp.cmds = vec![
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            deep_blocks: 14,
+            ..c("DCSTREAM_START", 0, req(), ArgDir::In)
+        },
+        CmdBlueprint {
+            encoding: CmdEncoding::Ioc { dir: 0 },
+            effect: CmdEffect::CreatesFd {
+                handler: "dcbuf".into(),
+            },
+            blocks: 10,
+            ..c("DCSTREAM_MAP_RING", 1, ArgKind::Int, ArgDir::In)
+        },
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            deep_blocks: 12,
+            ..cio("DCSTREAM_ARM", 2)
+        },
+        cio("DCSTREAM_FLUSH", 3),
+        CmdBlueprint {
+            deep_blocks: 10,
+            ..c("DCSTREAM_QUERY", 4, req(), ArgDir::InOut)
+        },
+    ];
+    bp.bugs = vec![bug(
+        "general protection fault in dcstream_flush",
+        Trigger::Sequence {
+            first: "DCSTREAM_ARM".into(),
+            then: "DCSTREAM_FLUSH".into(),
+        },
+    )];
+    bp
+}
+
+/// Depth-4 ring-buffer fd (minted by `DCSTREAM_MAP_RING`) — the end of
+/// the chain, hosting the two deepest bugs.
+#[must_use]
+pub fn dcbuf() -> Blueprint {
+    let mut bp = drv("dcbuf", "", RegStyle::Anon, 0xda, "drivers/dc/dcbuf.c");
+    bp.structs = vec![st(
+        "dcbuf_op",
+        vec![
+            p("divisor", FieldTy::U32),
+            r("scale", FieldTy::U32, FieldRole::CheckedRange(1, 128)),
+            r(
+                "flags",
+                FieldTy::U32,
+                FieldRole::Flags("dcbuf_flags".into()),
+            ),
+            r("pad", FieldTy::U32, FieldRole::Reserved),
+        ],
+    )];
+    bp.flag_sets = vec![(
+        "dcbuf_flags".into(),
+        vec![("DCBUF_F_SYNC".into(), 1), ("DCBUF_F_ASYNC".into(), 2)],
+    )];
+    let op = || ArgKind::Struct("dcbuf_op".into());
+    bp.cmds = vec![
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 1,
+                requires: 0,
+            },
+            deep_blocks: 12,
+            ..c("DCBUF_PIN", 0, op(), ArgDir::In)
+        },
+        CmdBlueprint {
+            deep_blocks: 14,
+            ..c("DCBUF_SCALE", 1, op(), ArgDir::In)
+        },
+        CmdBlueprint {
+            effect: CmdEffect::StateStep {
+                sets: 2,
+                requires: 1,
+            },
+            deep_blocks: 12,
+            ..cio("DCBUF_COMMIT", 2)
+        },
+        cio("DCBUF_UNPIN", 3),
+        CmdBlueprint {
+            deep_blocks: 10,
+            ..c("DCBUF_PROBE", 4, op(), ArgDir::InOut)
+        },
+    ];
+    bp.bugs = vec![
+        bug(
+            "divide error in dcbuf_scale",
+            Trigger::FieldZero {
+                cmd: "DCBUF_SCALE".into(),
+                field: "divisor".into(),
+            },
+        ),
+        bug(
+            "ODEBUG bug in dcbuf_commit",
+            Trigger::Repeat {
+                cmd: "DCBUF_COMMIT".into(),
+                times: 3,
+            },
+        ),
+    ];
+    bp
+}
+
+/// The whole four-driver suite, root first (kernel boot order is part
+/// of signature identity — see the signature-stability convention in
+/// ROADMAP.md).
+#[must_use]
+pub fn suite() -> Vec<Blueprint> {
+    vec![dcroot(), dclink(), dcstream(), dcbuf()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelCorpus;
+    use kgpt_syzlang::{validate::validate, SpecDb, Syscall};
+
+    #[test]
+    fn chain_is_wired_root_to_buf() {
+        let bps = suite();
+        assert_eq!(bps.len(), 4);
+        let creates = |bp: &Blueprint| -> Vec<String> {
+            bp.cmds
+                .iter()
+                .filter_map(|c| match &c.effect {
+                    CmdEffect::CreatesFd { handler } => Some(handler.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(creates(&bps[0]), vec!["dclink"]);
+        assert_eq!(creates(&bps[1]), vec!["dcstream"]);
+        assert_eq!(creates(&bps[2]), vec!["dcbuf"]);
+        assert_eq!(creates(&bps[3]), Vec::<String>::new());
+        // Only the root registers a device node.
+        assert!(!bps[0].driver().unwrap().dev_path.is_empty());
+        for bp in &bps[1..] {
+            assert!(matches!(bp.driver().unwrap().reg, RegStyle::Anon));
+        }
+    }
+
+    #[test]
+    fn ground_truth_suite_validates_merged() {
+        let kc = KernelCorpus::from_blueprints(suite());
+        let files: Vec<_> = kc
+            .blueprints()
+            .iter()
+            .map(Blueprint::ground_truth_spec)
+            .collect();
+        let db = SpecDb::from_files(files);
+        let errors = validate(&db, kc.consts());
+        assert!(errors.is_empty(), "{errors:?}");
+        // The producer chain is visible to the spec layer: each hop's
+        // minting ioctl returns the next hop's fd resource.
+        let names: Vec<String> = db.syscalls().map(Syscall::name).collect();
+        for n in [
+            "openat$dcroot",
+            "ioctl$DCROOT_MAKE_LINK",
+            "ioctl$DCLINK_OPEN_STREAM",
+            "ioctl$DCSTREAM_MAP_RING",
+            "ioctl$DCBUF_SCALE",
+        ] {
+            assert!(names.contains(&n.to_string()), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn emitted_c_round_trips_command_values() {
+        // The suite is a real corpus citizen: its C emits, parses,
+        // and evaluates every command macro to the blueprint value.
+        for bp in suite() {
+            let src = crate::emit::emit_blueprint(&bp);
+            let file = crate::parser::cparse("dc.c", &src)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", bp.id));
+            let corpus = crate::Corpus::build(vec![file]);
+            for cmd in &bp.cmds {
+                assert_eq!(
+                    crate::cmacro::eval_const(&corpus, &cmd.name),
+                    Some(bp.cmd_value(cmd)),
+                    "{}::{}",
+                    bp.id,
+                    cmd.name
+                );
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod ast;
 pub mod blueprint;
 pub mod cmacro;
 pub mod corpus;
+pub mod deepchain;
 pub mod emit;
 pub mod flagship;
 pub mod index;

@@ -9,8 +9,10 @@
 use crate::corpus::Corpus;
 use crate::exec::{execute_with, ExecScratch};
 use crate::gen::Generator;
+use crate::triage::{ShardTriage, TriageMinimizer};
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
+use kgpt_triage::TriageReport;
 use kgpt_vkernel::{CoverageMap, VKernel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -67,6 +69,10 @@ pub struct CampaignResult {
     pub execs: u64,
     /// Corpus size at the end (summed across shards when sharded).
     pub corpus_size: usize,
+    /// Per-signature triage: raw + 1-minimal reproducers, dedup
+    /// counts, first-seen epoch/shard — merged first-publisher-wins
+    /// across shards (see [`kgpt_triage`]).
+    pub triage: TriageReport,
 }
 
 impl CampaignResult {
@@ -99,6 +105,11 @@ pub(crate) struct ShardState {
     scratch: ExecScratch,
     pub(crate) corpus: Corpus,
     pub(crate) crashes: CrashTally,
+    /// Per-shard signature capture (drained by the driver at epoch
+    /// boundaries in shard-id order; see [`crate::triage`]).
+    pub(crate) triage: ShardTriage,
+    /// Epochs this shard has completed (the capture timestamp).
+    epoch: u64,
     max_prog_len: usize,
     rng_pick: u64,
     pub(crate) remaining: u64,
@@ -125,6 +136,8 @@ impl ShardState {
             scratch: ExecScratch::from_lowered(Arc::clone(lowered)),
             corpus: Corpus::new(CORPUS_CAP, seed),
             crashes: BTreeMap::new(),
+            triage: ShardTriage::default(),
+            epoch: 0,
             max_prog_len: config.max_prog_len,
             rng_pick: seed,
             remaining: execs,
@@ -160,13 +173,20 @@ impl ShardState {
                     .entry(c.title.clone())
                     .or_insert_with(|| (0, c.cve.clone()));
                 e.0 += 1;
+                // Capture the reproducer on the first local sighting
+                // of the signature (clones only then), count always.
+                self.triage.observe(c, &prog, self.epoch);
             }
             self.corpus.observe(prog, self.scratch.coverage(), parent);
         }
         self.remaining -= n;
+        self.epoch += 1;
     }
 
-    /// Fold the finished shard into a mergeable result.
+    /// Fold the finished shard into a mergeable result. The triage
+    /// report is filled in by the caller (sequential worker) or
+    /// accumulated externally by the sharded driver's boundary
+    /// drains.
     pub(crate) fn finish(self) -> WorkerResult {
         let crashes = self.crashes;
         let (coverage, corpus_size) = self.corpus.into_coverage();
@@ -174,13 +194,15 @@ impl ShardState {
             coverage,
             crashes,
             corpus_size,
+            triage: TriageReport::new(),
         }
     }
 }
 
 /// One worker's share of a campaign: the coverage-guided loop over
-/// `execs` executions seeded with `seed`, run as a single epoch.
-/// This is the single code path behind both [`Campaign`] and
+/// `execs` executions seeded with `seed`, run as a single epoch with
+/// a triage drain (capture → ddmin) at its end. This is the single
+/// code path behind both [`Campaign`] and
 /// [`crate::shard::ShardedCampaign`], so a sharded run with one shard
 /// is bit-identical to a sequential run.
 pub(crate) fn run_worker(
@@ -192,7 +214,11 @@ pub(crate) fn run_worker(
 ) -> WorkerResult {
     let mut state = ShardState::new(lowered, config, 0, execs, seed);
     state.run_epoch(kernel, u64::MAX);
-    state.finish()
+    let mut triage = TriageReport::new();
+    TriageMinimizer::new(lowered).drain(kernel, 0, &mut state.triage, &mut triage);
+    let mut w = state.finish();
+    w.triage = triage;
+    w
 }
 
 /// Mergeable result of one worker loop.
@@ -201,6 +227,7 @@ pub(crate) struct WorkerResult {
     pub(crate) coverage: CoverageMap,
     pub(crate) crashes: CrashTally,
     pub(crate) corpus_size: usize,
+    pub(crate) triage: TriageReport,
 }
 
 /// A configured campaign over one spec suite and one kernel.
@@ -289,6 +316,7 @@ impl<'a> Campaign<'a> {
             crashes: w.crashes,
             execs: self.config.execs,
             corpus_size: w.corpus_size,
+            triage: w.triage,
         }
     }
 }
@@ -358,6 +386,29 @@ mod tests {
             truth.blocks(),
             imprecise.blocks()
         );
+    }
+
+    #[test]
+    fn triage_minimized_reproducers_retrigger_their_signature() {
+        // Every minimized reproducer must still crash with its
+        // signature when replayed through the lowered dispatch path,
+        // and must be no longer than its raw capture.
+        let (kernel, suite, consts) = dm_setup();
+        let r = Campaign::new(&kernel, &suite, &consts, cfg(4000, 1)).run();
+        assert!(!r.triage.is_empty(), "dm campaign should triage crashes");
+        let db = kgpt_syzlang::SpecCache::global().get_or_build(&suite);
+        let lowered = kgpt_syzlang::SpecCache::global().get_or_lower(&db, &consts);
+        let mut scratch = ExecScratch::from_lowered(lowered);
+        for e in r.triage.entries() {
+            execute_with(&kernel, &e.minimized, &mut scratch);
+            assert_eq!(
+                scratch.crash().map(|c| c.signature),
+                Some(e.signature),
+                "{} no longer reproduces",
+                e.title
+            );
+            assert!(e.minimized.len() <= e.raw.len());
+        }
     }
 
     #[test]

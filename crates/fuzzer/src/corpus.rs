@@ -120,6 +120,15 @@ impl Corpus {
         self.stats
     }
 
+    /// The incrementally maintained sum of entry weights — the
+    /// scheduling denominator. Invariant (pinned by tests): always
+    /// equal to summing [`CorpusEntry::weight`] over the entries,
+    /// through selections, admissions, imports and evictions.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
     /// The program of entry `idx`.
     #[must_use]
     pub fn program(&self, idx: usize) -> &Program {

@@ -202,6 +202,59 @@ mod tests {
     }
 
     #[test]
+    fn imported_seeds_carry_no_publisher_productivity() {
+        // Regression guard against double-counting hub-imported
+        // seeds' productivity: a published seed's local exec/hit
+        // stats (its fatigue and earned weight in the publishing
+        // shard) must NOT travel through the hub. The importing
+        // corpus admits a fresh entry — zero execs, zero hits, weight
+        // derived only from the claimed-novel blocks — and a repeat
+        // import at the next boundary must change nothing.
+        let mut publisher = Corpus::new(64, 0);
+        assert!(publisher.observe(Program::default(), &cov(&[1, 2, 3]), None) > 0);
+        // Earn productivity in the publishing shard: fatigue from
+        // selections plus a mutation hit.
+        for _ in 0..10 {
+            let _ = publisher.select();
+        }
+        assert!(publisher.observe(Program::default(), &cov(&[9]), Some(0)) > 0);
+        assert_eq!(publisher.entry(0).execs, 10);
+        assert_eq!(publisher.entry(0).hits, 1);
+
+        let mut hub = SeedHub::new(4);
+        assert_eq!(hub.publish(0, &publisher), 2);
+
+        let mut importer = Corpus::new(64, 7);
+        assert!(importer.observe(Program::default(), &cov(&[100]), None) > 0);
+        assert_eq!(hub.import_into(1, &mut importer), 2);
+        assert_eq!(importer.len(), 3);
+        for idx in 1..importer.len() {
+            let e = importer.entry(idx);
+            assert_eq!((e.execs, e.hits), (0, 0), "entry {idx} inherited stats");
+        }
+        // The imported claim is counted once in the corpus coverage
+        // and once in `stats.imported` — a second boundary's import
+        // pass is a pure no-op (no new entries, no stat inflation).
+        let stats = importer.stats();
+        assert_eq!(stats.imported, 2);
+        assert_eq!(hub.import_into(1, &mut importer), 0);
+        assert_eq!(importer.len(), 3);
+        assert_eq!(importer.stats(), stats);
+        // Selection weights stay internally consistent: the
+        // incremental total equals the sum over entries (weights feed
+        // scheduling, so drift here would silently bias every later
+        // pick — the "double-counted productivity" failure mode).
+        let sum: u64 = (0..importer.len())
+            .map(|i| importer.entry(i).weight())
+            .sum();
+        assert_eq!(importer.total_weight(), sum);
+        let sum: u64 = (0..publisher.len())
+            .map(|i| publisher.entry(i).weight())
+            .sum();
+        assert_eq!(publisher.total_weight(), sum);
+    }
+
+    #[test]
     fn import_skips_own_seeds_and_is_idempotent() {
         let mut hub = SeedHub::new(4);
         let a = corpus_with(&[&[1, 2]]);

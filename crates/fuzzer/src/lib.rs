@@ -31,7 +31,13 @@
 //! * [`shard`] — parallel campaigns: a fixed logical-shard
 //!   decomposition executed by N threads sharing the kernel by
 //!   reference, with epoch-barrier hub exchange and a merge that are
-//!   both independent of thread count.
+//!   both independent of thread count;
+//! * crash triage (internal `triage` module over [`kgpt_triage`]) —
+//!   shards capture the first crashing `ProgCall` stream per
+//!   [`kgpt_vkernel::CrashSignature`]; the driver ddmin-minimizes new
+//!   signatures at epoch boundaries in shard-id order, so the
+//!   [`campaign::CampaignResult::triage`] report is bit-identical at
+//!   any worker thread count.
 
 pub mod campaign;
 pub mod corpus;
@@ -41,12 +47,14 @@ pub mod hub;
 pub mod program;
 pub mod reference;
 pub mod shard;
+mod triage;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};
+pub use kgpt_triage::{TriageEntry, TriageReport};
 pub use program::{ProgCall, Program};
 pub use reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 pub use shard::ShardedCampaign;

@@ -28,8 +28,10 @@
 
 use crate::campaign::{CampaignConfig, CampaignResult, CrashTally, ShardState};
 use crate::hub::SeedHub;
+use crate::triage::TriageMinimizer;
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
+use kgpt_triage::TriageReport;
 use kgpt_vkernel::{CoverageMap, VKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -153,15 +155,22 @@ impl<'a> ShardedCampaign<'a> {
 
         // Epoch-major loop: run every shard for one epoch (in
         // parallel), then — still on this thread, in shard-id order —
-        // exchange seeds through the hub. With the hub off the epoch
-        // is the whole budget and the loop body runs once.
+        // triage freshly captured crashes (first-publisher-wins,
+        // ddmin minimization) and exchange seeds through the hub.
+        // With the hub off the epoch is the whole budget and the loop
+        // body runs once.
         let epoch = match self.config.hub_epoch {
             0 => u64::MAX,
             e => e,
         };
         let mut hub = SeedHub::new(self.config.hub_top_k);
+        let mut triage = TriageReport::new();
+        let mut minimizer = TriageMinimizer::new(&self.lowered);
         loop {
             self.run_chunk(&mut states, threads, epoch);
+            for state in &mut states {
+                minimizer.drain(self.kernel, state.id, &mut state.triage, &mut triage);
+            }
             if states.iter().all(|s| s.remaining == 0) {
                 break;
             }
@@ -191,6 +200,7 @@ impl<'a> ShardedCampaign<'a> {
             crashes,
             execs: self.config.execs,
             corpus_size,
+            triage,
         }
     }
 
@@ -267,6 +277,9 @@ mod tests {
         assert_eq!(sequential.coverage, sharded.coverage);
         assert_eq!(sequential.crashes, sharded.crashes);
         assert_eq!(sequential.corpus_size, sharded.corpus_size);
+        // Both run one epoch with one triage drain, so the reports —
+        // reproducers, minimization, epochs — are bit-identical too.
+        assert_eq!(sequential.triage, sharded.triage);
     }
 
     #[test]
@@ -299,6 +312,7 @@ mod tests {
             assert_eq!(base.coverage, r.coverage, "threads={threads}");
             assert_eq!(base.crashes, r.crashes, "threads={threads}");
             assert_eq!(base.corpus_size, r.corpus_size, "threads={threads}");
+            assert_eq!(base.triage, r.triage, "threads={threads}");
         }
     }
 
@@ -321,6 +335,30 @@ mod tests {
             assert_eq!(base.coverage, r.coverage, "threads={threads}");
             assert_eq!(base.crashes, r.crashes, "threads={threads}");
             assert_eq!(base.corpus_size, r.corpus_size, "threads={threads}");
+            assert_eq!(base.triage, r.triage, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn triage_dedup_counts_match_the_crash_tally() {
+        // Signatures refine titles: the per-signature dedup counts
+        // must sum to the same total as the title tally, and every
+        // entry's first observation carries a consistent title.
+        let (kernel, suite, consts) = dm_setup();
+        let r = ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(4000, 1)).run();
+        assert!(!r.triage.is_empty());
+        let tally_total: u64 = r.crashes.values().map(|(n, _)| n).sum();
+        let triage_total: u64 = r.triage.entries().map(|e| e.count).sum();
+        assert_eq!(tally_total, triage_total);
+        for e in r.triage.entries() {
+            assert!(
+                r.crashes.contains_key(&e.title),
+                "unknown title {}",
+                e.title
+            );
+            assert!(e.count > 0);
+            assert!(!e.minimized.is_empty());
+            assert!(e.minimized.len() <= e.raw.len());
         }
     }
 

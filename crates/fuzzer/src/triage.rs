@@ -1,0 +1,120 @@
+//! Campaign-side crash triage: per-shard signature capture and the
+//! driving-thread minimization pass.
+//!
+//! The split mirrors the seed hub's discipline:
+//!
+//! * **capture** happens inside the shard loop ([`ShardTriage`]): the
+//!   first time a shard observes a [`CrashSignature`], it clones the
+//!   crashing `ProgCall` stream (a cold path — at most once per
+//!   signature per shard) and counts every further observation;
+//! * **minimization** happens on the driving thread at epoch
+//!   boundaries, draining shards **in shard-id order**
+//!   ([`TriageMinimizer::drain`]): a signature new to the campaign's
+//!   [`TriageReport`] is admitted first-publisher-wins and its raw
+//!   reproducer is ddmin-minimized by replaying candidate
+//!   subsequences through the shared lowered [`ExecScratch`] path —
+//!   so the report is a pure function of `(config, shards)` and the
+//!   worker thread count never changes it.
+
+use crate::exec::{execute_with, ExecScratch};
+use crate::program::Program;
+use kgpt_syzlang::lowered::LoweredDb;
+use kgpt_triage::{minimize, TriageEntry, TriageReport};
+use kgpt_vkernel::{CrashReport, CrashSignature, VKernel};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A first-seen signature capture waiting for the next boundary.
+pub(crate) struct TriageCapture {
+    signature: CrashSignature,
+    title: String,
+    cve: Option<String>,
+    program: Program,
+    epoch: u64,
+}
+
+/// Per-shard triage state: which signatures this shard has seen, the
+/// captures and observation counts accumulated since the last drain.
+#[derive(Default)]
+pub(crate) struct ShardTriage {
+    /// Signatures this shard has ever observed (capture-once guard).
+    seen: BTreeSet<CrashSignature>,
+    /// First-seen captures since the last drain.
+    fresh: Vec<TriageCapture>,
+    /// Observation counts since the last drain.
+    counts: BTreeMap<CrashSignature, u64>,
+}
+
+impl ShardTriage {
+    /// Record one crashing execution. `prog` is only cloned on the
+    /// first local observation of the signature.
+    pub(crate) fn observe(&mut self, crash: &CrashReport, prog: &Program, epoch: u64) {
+        let sig = crash.signature;
+        *self.counts.entry(sig).or_insert(0) += 1;
+        if self.seen.insert(sig) {
+            self.fresh.push(TriageCapture {
+                signature: sig,
+                title: crash.title.clone(),
+                cve: crash.cve.clone(),
+                program: prog.clone(),
+                epoch,
+            });
+        }
+    }
+}
+
+/// The driving thread's minimization engine: one reusable lowered
+/// execution scratch, shared by every shard's drain.
+pub(crate) struct TriageMinimizer {
+    scratch: ExecScratch,
+}
+
+impl TriageMinimizer {
+    pub(crate) fn new(lowered: &Arc<LoweredDb>) -> TriageMinimizer {
+        TriageMinimizer {
+            scratch: ExecScratch::from_lowered(Arc::clone(lowered)),
+        }
+    }
+
+    /// Drain one shard into the campaign report: admit fresh captures
+    /// (first-publisher-wins; only an admitted capture is minimized)
+    /// and fold observation counts. Callers must drain shards in
+    /// ascending id order at every boundary.
+    pub(crate) fn drain(
+        &mut self,
+        kernel: &VKernel,
+        shard_id: u32,
+        triage: &mut ShardTriage,
+        report: &mut TriageReport,
+    ) {
+        for cap in triage.fresh.drain(..) {
+            let sig = cap.signature;
+            if report.contains(&sig) {
+                // First-publisher-wins: an earlier shard (or epoch)
+                // already owns this signature; the duplicate capture
+                // is dropped and only its counts (below) fold in.
+                continue;
+            }
+            let scratch = &mut self.scratch;
+            let outcome = minimize(&cap.program, |candidate| {
+                execute_with(kernel, candidate, scratch);
+                scratch.crash().is_some_and(|c| c.signature == sig)
+            });
+            let taken = report.admit(TriageEntry {
+                signature: sig,
+                title: cap.title,
+                cve: cap.cve,
+                first_epoch: cap.epoch,
+                first_shard: shard_id,
+                count: 0,
+                raw: cap.program,
+                minimized: outcome.program,
+                minimize_execs: outcome.execs,
+            });
+            debug_assert!(taken, "signature admitted twice in one drain");
+        }
+        for (sig, n) in std::mem::take(&mut triage.counts) {
+            report.add_count(&sig, n);
+        }
+    }
+}

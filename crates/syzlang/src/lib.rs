@@ -23,6 +23,10 @@
 //! * a [`cache`] module memoizing compiled [`SpecDb`]s behind `Arc`s,
 //!   keyed by suite content, so repeated campaign constructions and
 //!   sweep harnesses stop re-parsing identical suites;
+//! * a [`prog`] module with the concrete [`Program`] representation
+//!   (dense syscall indices + argument [`Value`]s) shared by the
+//!   fuzzer's generation/execution loop and the crash-triage
+//!   minimizer;
 //! * a [`lowered`] module compiling a `(SpecDb, ConstDb)` pair once
 //!   into a flat, index-interned IR ([`LoweredDb`]) so the fuzzer's
 //!   per-exec generate→encode path is string-free and AST-free (the
@@ -64,6 +68,7 @@ pub mod layout;
 pub mod lowered;
 pub mod parser;
 pub mod printer;
+pub mod prog;
 pub mod token;
 pub mod validate;
 pub mod value;
@@ -78,5 +83,6 @@ pub use db::SpecDb;
 pub use lowered::LoweredDb;
 pub use parser::parse;
 pub use printer::print_file;
+pub use prog::{ProgCall, Program};
 pub use validate::{SpecError, SpecErrorKind};
 pub use value::Value;

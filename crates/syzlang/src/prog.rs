@@ -1,0 +1,103 @@
+//! Program representation: an ordered list of syscalls with concrete
+//! argument values and resource references into earlier calls.
+//!
+//! Calls reference their syscall description by dense [`SpecDb`]
+//! index (see [`SpecDb::syscall_index`]) instead of owning a cloned
+//! AST — a program is just indices plus argument values, so cloning
+//! and mutating corpus entries never copies specification text.
+//!
+//! The type lives in `kgpt-syzlang` (not the fuzzer) because a
+//! program is meaningful to every consumer of a compiled spec: the
+//! fuzzer generates and executes programs, and the crash-triage
+//! subsystem (`kgpt-triage`) projects and minimizes them without
+//! pulling in the whole fuzzing loop.
+
+use crate::db::SpecDb;
+use crate::{Syscall, Value};
+use serde::{Deserialize, Serialize};
+
+/// One call in a program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgCall {
+    /// Dense index of the syscall description in the [`SpecDb`] the
+    /// program was generated from.
+    pub sys: u32,
+    /// One value per parameter.
+    pub args: Vec<Value>,
+}
+
+impl ProgCall {
+    /// Resolve the syscall description against its database.
+    #[must_use]
+    pub fn syscall<'a>(&self, db: &'a SpecDb) -> &'a Syscall {
+        db.syscall_at(self.sys as usize)
+    }
+}
+
+/// A syscall sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Calls in execution order.
+    pub calls: Vec<ProgCall>,
+}
+
+impl Program {
+    /// Number of calls.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Drop trailing calls, keeping resource references valid (they
+    /// only ever point backwards).
+    pub fn truncate(&mut self, len: usize) {
+        self.calls.truncate(len);
+    }
+
+    /// Human-readable one-line-per-call rendering (for crash reports).
+    #[must_use]
+    pub fn display(&self, db: &SpecDb) -> String {
+        self.calls
+            .iter()
+            .map(|c| c.syscall(db).name())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_and_display() {
+        let db = SpecDb::from_files(vec![
+            crate::parse("t", "close$a(fd fd)\nclose$b(fd fd)\n").unwrap()
+        ]);
+        let a = db.syscall_index("close$a").unwrap() as u32;
+        let b = db.syscall_index("close$b").unwrap() as u32;
+        let mut p = Program {
+            calls: vec![
+                ProgCall {
+                    sys: b,
+                    args: vec![Value::Int(0)],
+                },
+                ProgCall {
+                    sys: a,
+                    args: vec![Value::Int(0)],
+                },
+            ],
+        };
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.calls[0].syscall(&db).name(), "close$b");
+        p.truncate(1);
+        assert_eq!(p.display(&db), "close$b");
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic ddmin-style reproducer minimization.
+//!
+//! The minimizer shrinks a crashing [`Program`] to a **1-minimal**
+//! call sequence: removing any single remaining call loses the crash.
+//! It owns no execution machinery — candidates are judged by a caller
+//! supplied oracle (`FnMut(&Program) -> bool`, "does this still
+//! trigger the target signature?"), so the fuzzer can replay through
+//! its allocation-reusing lowered `ExecScratch` path while this crate
+//! stays independent of the fuzzing loop.
+//!
+//! Dropping calls invalidates the [`ResRef`] producer indices of the
+//! survivors; [`project`] remaps every reference against the kept
+//! index set (references to removed producers become dangling and
+//! fall back to their recorded fallback value, exactly like a
+//! generated dangling reference). The whole pass is a pure function
+//! of `(program, oracle)` — no randomness, no clocks — which is what
+//! lets the sharded campaign run it at epoch boundaries in shard-id
+//! order and stay bit-identical at any thread count.
+
+use kgpt_syzlang::prog::{ProgCall, Program};
+use kgpt_syzlang::value::ResRef;
+use kgpt_syzlang::Value;
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeOutcome {
+    /// The 1-minimal program (still triggers the oracle).
+    pub program: Program,
+    /// Oracle invocations (candidate replays) the search spent.
+    pub execs: u64,
+}
+
+/// Keep only the calls at `keep` (ascending indices into
+/// `prog.calls`), remapping every [`ResRef`] producer index of the
+/// survivors: a reference to a kept call follows it to its new
+/// position, a reference to a removed call becomes dangling (its
+/// fallback value is preserved).
+#[must_use]
+pub fn project(prog: &Program, keep: &[usize]) -> Program {
+    let mut map: Vec<Option<usize>> = vec![None; prog.len()];
+    for (new_idx, &old_idx) in keep.iter().enumerate() {
+        map[old_idx] = Some(new_idx);
+    }
+    let calls = keep
+        .iter()
+        .map(|&i| {
+            let c = &prog.calls[i];
+            ProgCall {
+                sys: c.sys,
+                args: c.args.iter().map(|v| remap_value(v, &map)).collect(),
+            }
+        })
+        .collect();
+    Program { calls }
+}
+
+/// The program with call `idx` removed (references remapped) — the
+/// single-removal probe 1-minimality is defined by.
+#[must_use]
+pub fn without_call(prog: &Program, idx: usize) -> Program {
+    let keep: Vec<usize> = (0..prog.len()).filter(|&i| i != idx).collect();
+    project(prog, &keep)
+}
+
+fn remap_value(v: &Value, map: &[Option<usize>]) -> Value {
+    match v {
+        Value::Res(r) => Value::Res(ResRef {
+            producer: r.producer.and_then(|i| map.get(i).copied().flatten()),
+            fallback: r.fallback,
+        }),
+        Value::Group(vs) => Value::Group(vs.iter().map(|v| remap_value(v, map)).collect()),
+        Value::Union { arm, value } => Value::Union {
+            arm: *arm,
+            value: Box::new(remap_value(value, map)),
+        },
+        Value::Ptr { pointee } => Value::Ptr {
+            pointee: pointee.as_ref().map(|p| Box::new(remap_value(p, map))),
+        },
+        Value::Int(_) | Value::Bytes(_) => v.clone(),
+    }
+}
+
+/// Minimize `prog` to a 1-minimal reproducer under `reproduces`.
+///
+/// `reproduces` must hold for `prog` itself (the captured reproducer
+/// crashed when it was observed); if it does not — e.g. an oracle
+/// judging a different signature — the input is returned unchanged
+/// after one probe.
+///
+/// The search is the classic two-phase delta debugging shape:
+///
+/// 1. **chunk phase** — try removing contiguous chunks, halving the
+///    chunk size from `len/2` down to 1; every successful removal
+///    restarts scanning at the same granularity;
+/// 2. **fixpoint phase** — at granularity 1, keep sweeping single
+///    removals until a full sweep removes nothing.
+///
+/// Termination of phase 2 is the 1-minimality proof: the final sweep
+/// witnessed every single-call removal failing to reproduce.
+pub fn minimize<F>(prog: &Program, mut reproduces: F) -> MinimizeOutcome
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut execs = 0u64;
+    {
+        execs += 1;
+        if !reproduces(prog) {
+            return MinimizeOutcome {
+                program: prog.clone(),
+                execs,
+            };
+        }
+    }
+    let mut current = prog.clone();
+    // Chunk phase.
+    let mut chunk = current.len().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut start = 0usize;
+        while start < current.len() && current.len() > 1 {
+            let end = (start + chunk).min(current.len());
+            let keep: Vec<usize> = (0..current.len())
+                .filter(|&i| i < start || i >= end)
+                .collect();
+            let candidate = project(&current, &keep);
+            execs += 1;
+            if !candidate.is_empty() && reproduces(&candidate) {
+                current = candidate;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Fixpoint phase: sweep single removals until nothing shrinks.
+    loop {
+        let mut shrunk = false;
+        let mut i = 0usize;
+        while i < current.len() && current.len() > 1 {
+            let candidate = without_call(&current, i);
+            execs += 1;
+            if reproduces(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // The call that slid into position `i` is probed next.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    MinimizeOutcome {
+        program: current,
+        execs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn call(sys: u32, args: Vec<Value>) -> ProgCall {
+        ProgCall { sys, args }
+    }
+
+    fn prog_of(sys: &[u32]) -> Program {
+        Program {
+            calls: sys.iter().map(|&s| call(s, vec![])).collect(),
+        }
+    }
+
+    /// Oracle: reproduces iff the call stream contains every syscall
+    /// id in `need` (in any order).
+    fn contains_all(need: &[u32]) -> impl Fn(&Program) -> bool + '_ {
+        move |p: &Program| {
+            let have: BTreeSet<u32> = p.calls.iter().map(|c| c.sys).collect();
+            need.iter().all(|n| have.contains(n))
+        }
+    }
+
+    #[test]
+    fn minimizes_to_exactly_the_needed_calls() {
+        let p = prog_of(&[9, 1, 8, 2, 7, 3, 6, 5, 4, 1, 2]);
+        let need = [1u32, 2, 3];
+        let out = minimize(&p, contains_all(&need));
+        let got: Vec<u32> = out.program.calls.iter().map(|c| c.sys).collect();
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert!(contains_all(&need)(&out.program));
+        assert!(out.execs > 0);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Every single-call removal of the minimized program must lose
+        // the crash — the definition the fixpoint phase enforces.
+        let p = prog_of(&[5, 1, 5, 2, 5, 3, 5, 4, 5]);
+        let need = [1u32, 2, 3, 4];
+        let out = minimize(&p, contains_all(&need));
+        assert_eq!(out.program.len(), 4);
+        for i in 0..out.program.len() {
+            let probe = without_call(&out.program, i);
+            assert!(
+                !contains_all(&need)(&probe),
+                "removing call {i} should lose the crash"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_style_oracles_keep_every_copy() {
+        // An oracle needing three copies of call 7 (the Repeat-trigger
+        // shape) must keep exactly three.
+        let oracle = |p: &Program| p.calls.iter().filter(|c| c.sys == 7).count() >= 3;
+        let p = prog_of(&[7, 0, 7, 0, 0, 7, 7, 7, 0]);
+        let out = minimize(&p, oracle);
+        assert_eq!(out.program.len(), 3);
+        assert!(out.program.calls.iter().all(|c| c.sys == 7));
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged() {
+        let p = prog_of(&[1, 2, 3]);
+        let out = minimize(&p, |_| false);
+        assert_eq!(out.program, p);
+        assert_eq!(out.execs, 1);
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let p = prog_of(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]);
+        let a = minimize(&p, contains_all(&[1, 5]));
+        let b = minimize(&p, contains_all(&[1, 5]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn projection_remaps_producers_and_dangles_removed_ones() {
+        // prog: [open(0), ioctl(1)->res 0, ioctl(2)->res 0]
+        let res = |producer| {
+            Value::Res(ResRef {
+                producer,
+                fallback: 42,
+            })
+        };
+        let p = Program {
+            calls: vec![
+                call(0, vec![]),
+                call(1, vec![res(Some(0))]),
+                call(
+                    2,
+                    vec![Value::ptr_to(Value::Group(vec![
+                        res(Some(0)),
+                        res(Some(1)),
+                    ]))],
+                ),
+            ],
+        };
+        // Keep calls 0 and 2: the ref to call 0 follows it to index 0,
+        // the ref to removed call 1 dangles (fallback preserved).
+        let q = project(&p, &[0, 2]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.calls[1].sys, 2);
+        let refs = q.calls[1].args[0].res_refs();
+        assert_eq!(refs[0].producer, Some(0));
+        assert_eq!(refs[1].producer, None);
+        assert_eq!(refs[1].fallback, 42);
+        // Dropping the producer instead: the surviving ref dangles.
+        let q = project(&p, &[1, 2]);
+        assert_eq!(q.calls[0].args[0].res_refs()[0].producer, None);
+        assert_eq!(q.calls[1].args[0].res_refs()[1].producer, Some(0));
+    }
+}

@@ -18,7 +18,10 @@
 //!   [`CoverageMap`], deeper blocks gated on semantic validity — so
 //!   better specs measurably reach more blocks;
 //! * the 24 injected bugs of Table 4 fire on their trigger conditions
-//!   and produce crash reports with the paper's titles.
+//!   and produce crash reports with the paper's titles, each carrying
+//!   a dense, spec-independent [`CrashSignature`] (faulting [`Sysno`],
+//!   resource-chain depth of the fd, [`SanitizerKind`], faulting
+//!   block) that the crash-triage subsystem dedups and minimizes on.
 //!
 //! The kernel itself is immutable after [`VKernel::boot`] and carries
 //! no interior mutability, so one booted instance can be shared by
@@ -82,8 +85,10 @@ pub mod errno {
 /// each spec syscall's base name to a `Sysno` once at scratch
 /// construction ([`Sysno::from_base`]), so the per-exec
 /// [`VKernel::exec_call`] dispatch is a jump on a dense enum with no
-/// string comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// string comparison. `Ord` follows declaration order; it exists so
+/// [`CrashSignature`]s (which embed the faulting `Sysno`) can key
+/// sorted triage maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Sysno {
     /// `openat(dirfd, path, flags, mode)`.
     Openat,
@@ -146,6 +151,73 @@ impl Sysno {
     }
 }
 
+/// Sanitizer family that detected a crash — the dense analogue of the
+/// report's first line (`KASAN:`, `UBSAN:`, `divide error:`, …).
+/// Derived from the injected bug's [`Trigger`] shape, so it is a pure
+/// integer on the crash path: no title parsing, no strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SanitizerKind {
+    /// Oversized allocation request (`WARNING: kmalloc bug …`).
+    Kmalloc,
+    /// Division by a zero field (`divide error: …`).
+    DivideError,
+    /// Use-after-free / GPF from a command sequence (`KASAN:`/`general
+    /// protection fault …`).
+    UseAfterFree,
+    /// Resource-leak style bug from repeated valid commands
+    /// (`ODEBUG:`/memory-leak reports).
+    Odebug,
+    /// Out-of-bounds on a payload path (`UBSAN: array-index-out-of-bounds`).
+    OutOfBounds,
+}
+
+impl SanitizerKind {
+    /// The sanitizer family a trigger shape reports under.
+    #[must_use]
+    pub fn of_trigger(trigger: &Trigger) -> SanitizerKind {
+        match trigger {
+            Trigger::FieldAbove { .. } => SanitizerKind::Kmalloc,
+            Trigger::FieldZero { .. } => SanitizerKind::DivideError,
+            Trigger::Sequence { .. } => SanitizerKind::UseAfterFree,
+            Trigger::Repeat { .. } => SanitizerKind::Odebug,
+            Trigger::PayloadLen { .. } => SanitizerKind::OutOfBounds,
+        }
+    }
+}
+
+/// A stable, spec-independent crash signature: what crash triage
+/// dedups on. Built entirely from dense integers already at hand on
+/// the crash path (per the dense-dispatch convention — no name lookup,
+/// no string formatting):
+///
+/// * the [`Sysno`] of the faulting call — which syscall table entry
+///   was on the stack;
+/// * the **resource-chain depth** of the fd the call used: `1` for a
+///   directly opened device or socket, `+1` for every
+///   `CreatesFd`/`accept` hop (a crash on a KVM vCPU fd is depth 3:
+///   `/dev/kvm` → VM fd → vCPU fd), so the same sanitizer firing at a
+///   different point of a deep producer chain triages separately;
+/// * the [`SanitizerKind`];
+/// * the faulting basic-block id (`site`) — the bug's coverage block,
+///   fixed by kernel boot order, independent of whichever spec suite
+///   reached it.
+///
+/// Two campaigns over different spec suites against the same booted
+/// kernel therefore produce identical signatures for the same
+/// underlying bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CrashSignature {
+    /// Dense number of the faulting syscall.
+    pub sysno: Sysno,
+    /// Resource-chain depth of the fd the faulting call operated on
+    /// (0 when the call had no live fd, e.g. a payload crash probe).
+    pub chain_depth: u8,
+    /// Sanitizer family of the report.
+    pub sanitizer: SanitizerKind,
+    /// Faulting basic-block id (the bug's coverage block).
+    pub site: u64,
+}
+
 /// A crash detected by the sanitizers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrashReport {
@@ -155,6 +227,8 @@ pub struct CrashReport {
     pub cve: Option<String>,
     /// Blueprint that crashed.
     pub handler: String,
+    /// Dense, spec-independent dedup key (see [`CrashSignature`]).
+    pub signature: CrashSignature,
 }
 
 /// Per-fd kernel object state. Handler and command history are kept
@@ -164,6 +238,10 @@ struct FdState {
     /// Index into `VKernel::targets`.
     target: u32,
     state: u8,
+    /// Resource-chain depth: 1 for a directly opened device/socket,
+    /// parent + 1 for fds minted by `CreatesFd` commands or `accept`.
+    /// Feeds the crash signature's `chain_depth`.
+    depth: u8,
     /// Index into the target's `cmds` of the last *valid* command.
     last_cmd: Option<u32>,
     /// Per-command valid-invocation counts, indexed like `cmds`.
@@ -175,10 +253,11 @@ struct FdState {
 }
 
 impl FdState {
-    fn fresh(target: u32, n_cmds: usize) -> FdState {
+    fn fresh(target: u32, n_cmds: usize, depth: u8) -> FdState {
         FdState {
             target,
             state: 0,
+            depth,
             last_cmd: None,
             cmd_counts: vec![0; n_cmds],
             next_id: 1,
@@ -325,7 +404,7 @@ impl VKernel {
             Sysno::Socket => self.sys_socket(state, args[0], args[1], args[2]),
             Sysno::Ioctl => self.sys_ioctl(state, args[0], args[1], args[2], mem),
             Sysno::Setsockopt | Sysno::Getsockopt => {
-                self.sys_sockopt(state, args[0], args[1], args[2], args[3], args[4], mem)
+                self.sys_sockopt(state, no, args[0], args[1], args[2], args[3], args[4], mem)
             }
             Sysno::Bind => {
                 self.sys_addr_call(state, SockCall::Bind, args[0], args[1], args[2], mem)
@@ -363,7 +442,7 @@ impl VKernel {
         let t = self.target(tidx);
         let open_blocks = t.bp.driver().map_or(2, |d| d.open_blocks);
         self.cover(state, t.block_base, 0, open_blocks);
-        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
+        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len(), 1))
     }
 
     fn sys_socket(&self, state: &mut VmState, family: u64, ty: u64, proto: u64) -> i64 {
@@ -384,7 +463,7 @@ impl VKernel {
         let t = self.target(tidx);
         let blocks = t.bp.socket().map_or(2, |s| s.socket_blocks);
         self.cover(state, t.block_base, 0, blocks);
-        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
+        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len(), 1))
     }
 
     fn sys_ioctl(&self, state: &mut VmState, fd: u64, cmd: u64, arg: u64, mem: &MemMap) -> i64 {
@@ -415,13 +494,14 @@ impl VKernel {
         let Some((idx, cb)) = matched else {
             return -errno::ENOTTY;
         };
-        self.run_cmd(state, t, idx, cb, fd, arg, None, mem)
+        self.run_cmd(state, Sysno::Ioctl, t, idx, cb, fd, arg, None, mem)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn sys_sockopt(
         &self,
         state: &mut VmState,
+        no: Sysno,
         fd: u64,
         level: u64,
         opt: u64,
@@ -447,7 +527,7 @@ impl VKernel {
         else {
             return -errno::ENOPROTOOPT;
         };
-        self.run_cmd(state, t, idx, cb, fd, valp, Some(len), mem)
+        self.run_cmd(state, no, t, idx, cb, fd, valp, Some(len), mem)
     }
 
     /// Common command execution: coverage, argument decoding, field
@@ -457,6 +537,7 @@ impl VKernel {
     fn run_cmd(
         &self,
         state: &mut VmState,
+        no: Sysno,
         t: &Target,
         idx: usize,
         cb: &CmdBlueprint,
@@ -466,7 +547,7 @@ impl VKernel {
         mem: &MemMap,
     ) -> i64 {
         let mut fields = std::mem::take(&mut state.field_buf);
-        let ret = self.run_cmd_inner(state, t, idx, cb, fd, arg, optlen, mem, &mut fields);
+        let ret = self.run_cmd_inner(state, no, t, idx, cb, fd, arg, optlen, mem, &mut fields);
         state.field_buf = fields;
         ret
     }
@@ -475,6 +556,7 @@ impl VKernel {
     fn run_cmd_inner(
         &self,
         state: &mut VmState,
+        no: Sysno,
         t: &Target,
         idx: usize,
         cb: &CmdBlueprint,
@@ -575,7 +657,10 @@ impl VKernel {
             cmd_base + 1,
             cb.blocks.saturating_sub(1),
         );
-        let reached_state = state.fd_mut(fd).expect("fd checked").state;
+        let (reached_state, chain_depth) = {
+            let f = state.fd_mut(fd).expect("fd checked");
+            (f.state, f.depth)
+        };
         // Semantic field checks (EINVAL on violation).
         let mut valid = true;
         if let Some(sdef) = sdef {
@@ -657,11 +742,18 @@ impl VKernel {
                 Trigger::PayloadLen { .. } => false, // sendto-path only
             };
             if fire {
+                let site = t.block_base + 4000 + bug_idx as u64;
                 self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
                 state.crash = Some(CrashReport {
                     title: bug.title.clone(),
                     cve: bug.cve.clone(),
                     handler: t.bp.id.clone(),
+                    signature: CrashSignature {
+                        sysno: no,
+                        chain_depth,
+                        sanitizer: SanitizerKind::of_trigger(&bug.trigger),
+                        site,
+                    },
                 });
                 crashed = true;
                 break;
@@ -688,8 +780,14 @@ impl VKernel {
                 if let Some(&sub) = self.by_id.get(handler) {
                     let sub_t = self.target(sub);
                     // Creating the sub-object covers its init path.
+                    // The minted fd sits one hop deeper in the
+                    // resource chain than the fd that created it.
                     self.cover(state, sub_t.block_base, 0, 2);
-                    return state.alloc_fd(FdState::fresh(sub, sub_t.bp.cmds.len()));
+                    return state.alloc_fd(FdState::fresh(
+                        sub,
+                        sub_t.bp.cmds.len(),
+                        chain_depth.saturating_add(1),
+                    ));
                 }
             }
             CmdEffect::StateStep { sets, .. } => {
@@ -762,7 +860,7 @@ impl VKernel {
 
     fn sys_sendto(&self, state: &mut VmState, args: &[u64; 6], mem: &MemMap) -> i64 {
         let (fd, _buf, len) = (args[0], args[1], args[2]);
-        let Some(tidx) = state.fd_target(fd) else {
+        let Some((chain_depth, tidx)) = state.fd_mut(fd).map(|f| (f.depth, f.target)) else {
             return -errno::EBADF;
         };
         let t = self.target(tidx);
@@ -786,11 +884,18 @@ impl VKernel {
         for (bug_idx, bug) in t.bp.bugs.iter().enumerate() {
             if let Trigger::PayloadLen { min_len } = &bug.trigger {
                 if len >= *min_len {
+                    let site = t.block_base + 4000 + bug_idx as u64;
                     self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
                     state.crash = Some(CrashReport {
                         title: bug.title.clone(),
                         cve: bug.cve.clone(),
                         handler: t.bp.id.clone(),
+                        signature: CrashSignature {
+                            sysno: Sysno::Sendto,
+                            chain_depth,
+                            sanitizer: SanitizerKind::of_trigger(&bug.trigger),
+                            site,
+                        },
                     });
                     return -errno::EFAULT;
                 }
@@ -825,6 +930,7 @@ impl VKernel {
         };
         let tidx = f.target;
         let bound = f.state >= 1;
+        let depth = f.depth;
         let t = self.target(tidx);
         let Some(s) = t.bp.socket() else {
             return -errno::ENOTTY;
@@ -838,7 +944,11 @@ impl VKernel {
             Self::sock_call_offset(SockCall::Accept),
             2,
         );
-        state.alloc_fd(FdState::fresh(tidx, t.bp.cmds.len()))
+        state.alloc_fd(FdState::fresh(
+            tidx,
+            t.bp.cmds.len(),
+            depth.saturating_add(1),
+        ))
     }
 
     fn sys_rw(&self, state: &mut VmState, fd: u64) -> i64 {
@@ -1068,6 +1178,53 @@ mod tests {
             k.exec_call(&mut st, Sysno::Ioctl, &[fd, cmd, 0x2000_0000, 0, 0, 0], &m),
             -errno::EFAULT
         );
+    }
+
+    #[test]
+    fn crash_signature_is_dense_and_depth_aware() {
+        // dm kmalloc bug: faulting call is an ioctl on a directly
+        // opened fd (chain depth 1), detected by the allocation-size
+        // sanitizer, at the bug's own coverage block.
+        let k = boot_dm();
+        let bp = flagship::dm();
+        let mut st = VmState::new();
+        let fd = open_dm(&k, &mut st);
+        let cmd = bp.cmd_value(bp.cmd("DM_DEV_CREATE").unwrap());
+        let sdef = bp.arg_struct("dm_ioctl").unwrap();
+        let (size, _) = sdef.size_align(&bp.structs);
+        let off = sdef.offset_of("data_size", &bp.structs).unwrap() as usize;
+        let mut bytes = vec![0u8; size as usize];
+        bytes[off..off + 4].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
+        let mut m = mem_with("/dev/mapper/control");
+        m.write(0x2000_0000, bytes);
+        let _ = k.exec_call(&mut st, Sysno::Ioctl, &[fd, cmd, 0x2000_0000, 0, 0, 0], &m);
+        let sig = st.crash.clone().expect("crash").signature;
+        assert_eq!(sig.sysno, Sysno::Ioctl);
+        assert_eq!(sig.chain_depth, 1);
+        assert_eq!(sig.sanitizer, SanitizerKind::Kmalloc);
+        assert!(
+            st.coverage.contains(sig.site),
+            "site must be the covered faulting block"
+        );
+
+        // The rds payload bug reports under sendto at depth 1 with the
+        // out-of-bounds sanitizer — a different signature entirely.
+        let k = VKernel::boot(vec![flagship::rds()]);
+        let mut st = VmState::new();
+        let fd = k.exec_call(&mut st, Sysno::Socket, &[21, 5, 0, 0, 0, 0], &MemMap::new());
+        let mut m = MemMap::new();
+        m.write(0x3000_0000, vec![0u8; 128]);
+        let _ = k.exec_call(
+            &mut st,
+            Sysno::Sendto,
+            &[fd as u64, 0x3000_0000, 128, 0, 0, 0],
+            &m,
+        );
+        let rds_sig = st.crash.clone().expect("crash").signature;
+        assert_eq!(rds_sig.sysno, Sysno::Sendto);
+        assert_eq!(rds_sig.chain_depth, 1);
+        assert_eq!(rds_sig.sanitizer, SanitizerKind::OutOfBounds);
+        assert_ne!(rds_sig, sig);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Crash triage on the deep-chain workload: run a sharded campaign
+//! over the four-driver deep-chain suite (resources handed across up
+//! to four calls before the crashing ioctl), then print the triage
+//! report — per crash signature: first-seen epoch/shard, dedup count,
+//! and the raw vs ddmin-minimized reproducer.
+//!
+//! Run with: `cargo run --release --example deep_chain_triage`
+
+use kernelgpt::csrc::{deepchain, KernelCorpus};
+use kernelgpt::fuzzer::{CampaignConfig, ShardedCampaign};
+use kernelgpt::vkernel::VKernel;
+
+fn main() {
+    let kc = KernelCorpus::from_blueprints(deepchain::suite());
+    let suite: Vec<_> = kc
+        .blueprints()
+        .iter()
+        .map(|bp| bp.ground_truth_spec())
+        .collect();
+    let kernel = VKernel::boot(deepchain::suite());
+    let cfg = CampaignConfig {
+        execs: 40_000,
+        seed: 1,
+        max_prog_len: 12,
+        hub_epoch: 128,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    };
+    let result = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg).run();
+    let db = kernelgpt::syzlang::SpecCache::global().get_or_build(&suite);
+
+    println!(
+        "deep-chain campaign: {} blocks, {} crash titles, {} triaged signatures over {} execs\n",
+        result.blocks(),
+        result.unique_crashes(),
+        result.triage.len(),
+        result.execs,
+    );
+    for entry in result.triage.entries() {
+        let sig = entry.signature;
+        println!(
+            "{} (depth {}, {:?}, site {})",
+            entry.title, sig.chain_depth, sig.sanitizer, sig.site
+        );
+        println!(
+            "    first seen epoch {} shard {}, {} crashing execs",
+            entry.first_epoch, entry.first_shard, entry.count
+        );
+        println!(
+            "    reproducer: {} calls raw -> {} calls minimized ({:.1}x, {} replays)",
+            entry.raw.len(),
+            entry.minimized.len(),
+            entry.shrink_ratio(),
+            entry.minimize_execs,
+        );
+        for line in entry.minimized.display(&db).lines() {
+            println!("        {line}");
+        }
+    }
+    println!(
+        "\nmean shrink ratio {:.2}x over {} signatures",
+        result.triage.mean_shrink_ratio(),
+        result.triage.len()
+    );
+}

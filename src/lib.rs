@@ -14,7 +14,9 @@
 //!   validation + repair);
 //! * [`syzdescribe`] — the rule-based static baseline;
 //! * [`vkernel`] — the virtual kernel under test (coverage, bugs);
-//! * [`fuzzer`] — the spec-guided coverage-directed fuzzer.
+//! * [`fuzzer`] — the spec-guided coverage-directed fuzzer;
+//! * [`triage`] — crash triage: signature dedup, reproducer capture,
+//!   deterministic ddmin minimization.
 
 pub use kgpt_core as core;
 pub use kgpt_csrc as csrc;
@@ -23,4 +25,5 @@ pub use kgpt_fuzzer as fuzzer;
 pub use kgpt_llm as llm;
 pub use kgpt_syzdescribe as syzdescribe;
 pub use kgpt_syzlang as syzlang;
+pub use kgpt_triage as triage;
 pub use kgpt_vkernel as vkernel;

@@ -530,6 +530,114 @@ fn lowered_pipeline_is_bit_identical_to_ast_walk() {
     }
 }
 
+/// The crash-triage report of a sharded campaign is a pure function
+/// of `(config, shards)`: on the deep-chain suite — whose crashes sit
+/// behind 3-4-call producer chains, so shards genuinely race to
+/// discover them — the full [`TriageReport`] (signatures, first-seen
+/// epoch/shard, dedup counts, raw and ddmin-minimized reproducers) is
+/// bit-identical at 1/2/4/8 worker threads, across seeds. Capture
+/// happens inside the deterministic shard loops; minimization runs at
+/// epoch boundaries in shard-id order on the driving thread — the
+/// same discipline the seed hub is pinned to above.
+#[test]
+fn triage_report_is_bit_identical_at_any_thread_count() {
+    use kernelgpt::csrc::{deepchain, KernelCorpus};
+    use kernelgpt::fuzzer::{CampaignConfig, ShardedCampaign};
+    use kernelgpt::vkernel::VKernel;
+
+    let kc = KernelCorpus::from_blueprints(deepchain::suite());
+    let suite: Vec<_> = kc
+        .blueprints()
+        .iter()
+        .map(|bp| bp.ground_truth_spec())
+        .collect();
+    let kernel = VKernel::boot(deepchain::suite());
+    for seed in [1u64, 7, 0xDEAD_BEEF] {
+        let cfg = CampaignConfig {
+            execs: 3000,
+            seed,
+            max_prog_len: 10,
+            hub_epoch: 125,
+            hub_top_k: 4,
+            ..CampaignConfig::default()
+        };
+        let run = |threads: usize| {
+            ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg.clone())
+                .with_shards(8)
+                .with_threads(threads)
+                .run()
+        };
+        let base = run(1);
+        assert!(
+            !base.triage.is_empty(),
+            "seed {seed}: no crash triaged on the deep-chain suite"
+        );
+        for threads in [2usize, 4, 8] {
+            let r = run(threads);
+            assert_eq!(base.coverage, r.coverage, "seed {seed} threads {threads}");
+            assert_eq!(base.crashes, r.crashes, "seed {seed} threads {threads}");
+            assert_eq!(base.triage, r.triage, "seed {seed} threads {threads}");
+        }
+    }
+}
+
+/// Campaign-produced minimized reproducers are 1-minimal against the
+/// real kernel: each still triggers its signature through the lowered
+/// dispatch path, and removing **any single call** (with resource
+/// references remapped) loses the crash.
+#[test]
+fn triage_minimized_reproducers_are_one_minimal() {
+    use kernelgpt::csrc::{deepchain, KernelCorpus};
+    use kernelgpt::fuzzer::{CampaignConfig, ShardedCampaign};
+    use kernelgpt::triage::without_call;
+    use kernelgpt::vkernel::VKernel;
+
+    let kc = KernelCorpus::from_blueprints(deepchain::suite());
+    let suite: Vec<_> = kc
+        .blueprints()
+        .iter()
+        .map(|bp| bp.ground_truth_spec())
+        .collect();
+    let kernel = VKernel::boot(deepchain::suite());
+    let cfg = CampaignConfig {
+        execs: 8000,
+        seed: 1,
+        max_prog_len: 12,
+        hub_epoch: 250,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    };
+    let r = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg).run();
+    assert!(
+        r.triage.len() >= 2,
+        "expected several signatures, got {}",
+        r.triage.len()
+    );
+    let (db, lowered) =
+        kernelgpt::syzlang::SpecCache::global().get_or_build_lowered(&suite, kc.consts());
+    let _ = db;
+    let mut scratch = ExecScratch::from_lowered(lowered);
+    for e in r.triage.entries() {
+        execute_with(&kernel, &e.minimized, &mut scratch);
+        assert_eq!(
+            scratch.crash().map(|c| c.signature),
+            Some(e.signature),
+            "{}: minimized reproducer lost its crash",
+            e.title
+        );
+        for i in 0..e.minimized.len() {
+            let probe = without_call(&e.minimized, i);
+            execute_with(&kernel, &probe, &mut scratch);
+            assert_ne!(
+                scratch.crash().map(|c| c.signature),
+                Some(e.signature),
+                "{}: still crashes without call {i} — not 1-minimal",
+                e.title
+            );
+        }
+    }
+}
+
 /// Synthetic blueprints always emit parseable C whose macros agree
 /// with the blueprint's command values.
 #[test]
