@@ -8,7 +8,11 @@
 //!
 //! Usage: `cargo run --release -p kgpt-bench --bin bench_gate --
 //! [--fresh BENCH_fuzzing.json] [--baseline BENCH_baseline.json]
-//! [--max-regression PCT]`
+//! [--max-regression PCT] [--max-checkpoint-overhead PCT]`
+//!
+//! A gate environment variable that is set but unparseable is a hard
+//! error naming the variable — misconfigured CI must not silently
+//! gate at the defaults.
 
 use kgpt_bench::gate;
 use kgpt_bench::json::parse_json;
@@ -22,17 +26,29 @@ fn load(path: &str) -> Result<kgpt_bench::json::Json, String> {
 fn main() -> ExitCode {
     let mut fresh_path = String::from("BENCH_fuzzing.json");
     let mut baseline_path = String::from("BENCH_baseline.json");
-    let mut max_regression = gate::max_regression_pct();
+    let mut thresholds = match gate::Thresholds::from_env() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fresh" => fresh_path = args.next().expect("--fresh PATH"),
             "--baseline" => baseline_path = args.next().expect("--baseline PATH"),
             "--max-regression" => {
-                max_regression = args
+                thresholds.max_regression_pct = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--max-regression PCT");
+            }
+            "--max-checkpoint-overhead" => {
+                thresholds.max_checkpoint_overhead_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-checkpoint-overhead PCT");
             }
             other => panic!("unknown argument {other}"),
         }
@@ -48,9 +64,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let outcome = gate::check(&fresh, &baseline, max_regression);
+    let outcome = gate::check(&fresh, &baseline, &thresholds);
     println!(
-        "bench_gate: {fresh_path} vs {baseline_path} (allowed regression {max_regression:.0}%)"
+        "bench_gate: {fresh_path} vs {baseline_path} (allowed regression {:.0}%, \
+         checkpoint overhead {:.0}%)",
+        thresholds.max_regression_pct, thresholds.max_checkpoint_overhead_pct
     );
     for n in &outcome.notes {
         println!("  note: {n}");

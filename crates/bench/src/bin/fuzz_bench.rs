@@ -29,7 +29,14 @@
 //!   mutation throughput of the AST walk vs the lowered-IR hot path,
 //!   plus a `bit_identical` flag asserting the lowered path's program
 //!   streams and execution outcomes equal the AST walk's (hard gate
-//!   failure when false).
+//!   failure when false);
+//! * campaign durability (`durability`): snapshot size, per-checkpoint
+//!   write and restore latency, the wall-clock overhead of per-epoch
+//!   checkpointing, a `resume_identical` flag asserting that
+//!   interrupt-at-a-boundary + resume — under a seed-derived fault
+//!   plan — reproduces the uninterrupted campaign bit for bit, and
+//!   the exec fuel watchdog (`fuel_exhausted` starved-run count plus a
+//!   `fuel_deterministic` flag; both gated).
 //!
 //! The committed `BENCH_baseline.json` is this file's output at the
 //! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
@@ -43,8 +50,8 @@ use kgpt_csrc::{deepchain, KernelCorpus};
 use kgpt_extractor::find_handlers;
 use kgpt_fuzzer::reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 use kgpt_fuzzer::{
-    execute_with, Campaign, CampaignConfig, CampaignResult, ExecScratch, Generator, Program,
-    ShardedCampaign,
+    execute_with, Campaign, CampaignConfig, CampaignResult, CampaignSnapshot, ExecScratch,
+    FaultPlan, Generator, Program, ShardedCampaign,
 };
 use kgpt_llm::{ModelKind, OracleModel};
 use kgpt_syzlang::{SpecCache, SpecDb, SpecFile};
@@ -524,6 +531,115 @@ fn main() {
         eprintln!("LOWERED PATH NOT BIT-IDENTICAL (bench_gate will fail)");
     }
 
+    // ---- Durability: checkpoint/resume + exec fuel watchdog ----
+    // Overhead is plain vs per-epoch-checkpointed wall clock over the
+    // deep-chain exchange-on campaign, measured back to back so runner
+    // noise hits both sides alike. Resume identity is checked under a
+    // seed-derived fault plan (write retries, torn writes, bitrot and
+    // a shard abort stacked on the first boundary; later boundaries
+    // stay clean so recovery always has an intact generation).
+    let same_result = |a: &CampaignResult, b: &CampaignResult| {
+        a.coverage == b.coverage
+            && a.crashes == b.crashes
+            && a.corpus_size == b.corpus_size
+            && a.triage == b.triage
+            && a.fuel_exhausted == b.fuel_exhausted
+            && a.execs == b.execs
+    };
+    let ckpt_path = std::env::temp_dir().join(format!("kgpt-bench-{}.ckpt", std::process::id()));
+    // Best-of-3 on both sides: one epoch of virtual-kernel compute is
+    // only a few ms, so a single scheduler hiccup would swamp the
+    // ratio. The minimum is the least-noisy estimate of true cost.
+    const OVERHEAD_ROUNDS: u32 = 3;
+    let mut plain_secs = f64::INFINITY;
+    let mut ckpt_secs = f64::INFINITY;
+    let mut plain = None;
+    let mut ckpt_full = None;
+    for _ in 0..OVERHEAD_ROUNDS {
+        let t0 = Instant::now();
+        plain = Some(dc_run(DC_EPOCH, 1));
+        plain_secs = plain_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        ckpt_full = Some(
+            ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), dc_cfg(DC_EPOCH))
+                .with_shards(8)
+                .with_threads(1)
+                .with_checkpoint(&ckpt_path)
+                .run(),
+        );
+        ckpt_secs = ckpt_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let (plain, ckpt_full) = (plain.expect("rounds > 0"), ckpt_full.expect("rounds > 0"));
+    let overhead_pct = ((ckpt_secs / plain_secs.max(1e-9) - 1.0) * 100.0).max(0.0);
+    let ckpt_bytes = std::fs::metadata(&ckpt_path).map_or(0, |m| m.len());
+    // Per-checkpoint write/restore latency, timed standalone over the
+    // final (largest) snapshot so the window spans milliseconds.
+    const CKPT_IO_REPS: u32 = 100;
+    let snap = CampaignSnapshot::load(&ckpt_path).expect("load final checkpoint");
+    let io_path = ckpt_path.with_extension("io");
+    let t0 = Instant::now();
+    for _ in 0..CKPT_IO_REPS {
+        snap.save(&io_path).expect("save checkpoint");
+    }
+    let write_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(CKPT_IO_REPS);
+    let t0 = Instant::now();
+    for _ in 0..CKPT_IO_REPS {
+        std::hint::black_box(CampaignSnapshot::load(&io_path).expect("reload checkpoint"));
+    }
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(CKPT_IO_REPS);
+    // Interrupt after the second surviving checkpoint under the fault
+    // plan, resume from disk, and demand the uninterrupted result.
+    let faulted = ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), dc_cfg(DC_EPOCH))
+        .with_shards(8)
+        .with_threads(1)
+        .with_checkpoint(&ckpt_path)
+        .with_faults(FaultPlan::from_seed(0xC0FFEE, 1, 8))
+        .with_halt_after(2)
+        .run();
+    let _ = faulted;
+    let resumed = ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), dc_cfg(DC_EPOCH))
+        .with_shards(8)
+        .with_threads(1)
+        .resume(&ckpt_path)
+        .expect("resume from checkpoint");
+    let resume_identical = same_result(&dc_on, &plain)
+        && same_result(&dc_on, &ckpt_full)
+        && same_result(&dc_on, &resumed);
+    let _ = std::fs::remove_file(&ckpt_path);
+    let _ = std::fs::remove_file(ckpt_path.with_extension("ckpt.prev"));
+    let _ = std::fs::remove_file(&io_path);
+    let _ = std::fs::remove_file(io_path.with_extension("io.prev"));
+    println!(
+        "durability       : snapshot {ckpt_bytes} bytes, write {write_ms:.3}ms, restore {restore_ms:.3}ms, checkpoint overhead {overhead_pct:.1}% (resume identical: {resume_identical})"
+    );
+    if !resume_identical {
+        eprintln!("INTERRUPT+RESUME DIVERGED FROM THE UNINTERRUPTED RUN (bench_gate will fail)");
+    }
+    // Fuel watchdog: a starved budget must terminate programs
+    // gracefully and count exhaustions as a pure function of the
+    // config — identical across runs and thread counts.
+    const FUEL_BUDGET: u64 = 64;
+    let starved_cfg = CampaignConfig {
+        exec_fuel: FUEL_BUDGET,
+        ..dc_cfg(DC_EPOCH)
+    };
+    let starved_run = |threads: usize| {
+        ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), starved_cfg.clone())
+            .with_shards(8)
+            .with_threads(threads)
+            .run()
+    };
+    let starved = starved_run(1);
+    let starved_again = starved_run(4);
+    let fuel_exhausted = starved.fuel_exhausted;
+    let fuel_deterministic = fuel_exhausted > 0 && same_result(&starved, &starved_again);
+    println!(
+        "fuel watchdog    : {fuel_exhausted} exhaustions at a {FUEL_BUDGET}-unit budget (deterministic: {fuel_deterministic})"
+    );
+    if !fuel_deterministic {
+        eprintln!("FUEL EXHAUSTION NONDETERMINISTIC OR NEVER TRIPPED (bench_gate will fail)");
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
@@ -681,6 +797,20 @@ fn main() {
         "    \"mutation\": {{ \"ast_mutations_per_sec\": {mut_ast_rate:.1}, \"lowered_mutations_per_sec\": {mut_low_rate:.1}, \"speedup\": {:.3} }}",
         mut_low_rate / mut_ast_rate
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"durability\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"deep-chain exchange-on campaign\","
+    );
+    let _ = writeln!(json, "    \"resume_identical\": {resume_identical},");
+    let _ = writeln!(json, "    \"checkpoint_bytes\": {ckpt_bytes},");
+    let _ = writeln!(json, "    \"write_ms\": {write_ms:.6},");
+    let _ = writeln!(json, "    \"restore_ms\": {restore_ms:.6},");
+    let _ = writeln!(json, "    \"checkpoint_overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(json, "    \"fuel_budget\": {FUEL_BUDGET},");
+    let _ = writeln!(json, "    \"fuel_exhausted\": {fuel_exhausted},");
+    let _ = writeln!(json, "    \"fuel_deterministic\": {fuel_deterministic}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");

@@ -75,16 +75,22 @@ impl Json {
     }
 }
 
+/// Maximum container nesting the parser accepts. Recursive descent
+/// recurses once per `[`/`{`, so adversarial input like 100k `[`s
+/// would otherwise overflow the stack; every document the harness
+/// actually reads nests 3–4 deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse a JSON document. Errors carry a byte offset and message.
 ///
 /// # Errors
 ///
-/// Returns a message and byte offset on malformed input or trailing
-/// garbage.
+/// Returns a message and byte offset on malformed input, trailing
+/// garbage, or containers nested deeper than [`MAX_DEPTH`].
 pub fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let v = parse_value(bytes, &mut pos)?;
+    let v = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
@@ -107,11 +113,14 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
     match b.get(*pos) {
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
+        Some(b'{') => parse_obj(b, pos, depth),
+        Some(b'[') => parse_arr(b, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
         Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
@@ -188,7 +197,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -197,7 +206,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(b, pos)?);
+        items.push(parse_value(b, pos, depth + 1)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -210,7 +219,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(b, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(b, pos);
@@ -223,7 +232,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
+        let value = parse_value(b, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
@@ -288,5 +297,37 @@ mod tests {
         assert!(parse_json("12 34").is_err());
         assert!(parse_json("\"unterminated").is_err());
         assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // Fuzz-style adversarial inputs: unclosed and closed deep
+        // arrays, deep objects, and mixed nesting far past MAX_DEPTH
+        // must all return Err — the recursion is bounded, so none of
+        // them can blow the stack.
+        let deep_open = "[".repeat(100_000);
+        let err = parse_json(&deep_open).unwrap_err();
+        assert!(err.contains("nesting"), "got: {err}");
+
+        let deep_closed = format!("{}{}", "[".repeat(50_000), "]".repeat(50_000));
+        assert!(parse_json(&deep_closed).is_err());
+
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse_json(&deep_obj).is_err());
+
+        let mixed: String = (0..50_000)
+            .map(|i| if i % 2 == 0 { "[" } else { "{\"k\":" })
+            .collect();
+        assert!(parse_json(&mixed).is_err());
+
+        // At and just under the limit parsing still works.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse_json(&too_deep).is_err());
     }
 }

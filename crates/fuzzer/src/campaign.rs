@@ -39,6 +39,15 @@ pub struct CampaignConfig {
     /// Seeds each shard publishes to the hub per exchange
     /// (0 = publish nothing, making every exchange a no-op).
     pub hub_top_k: usize,
+    /// Per-exec fuel budget in work units (blocks retired plus
+    /// argument bytes decoded; see `VmState::set_fuel_limit`), so a
+    /// pathological program terminates gracefully instead of wedging
+    /// its worker. 0 = unlimited. Exhaustion is counted
+    /// ([`CampaignResult::fuel_exhausted`]), never treated as a crash,
+    /// and the partial coverage of a cut-off exec still merges. Like
+    /// every config field this is part of the campaign's deterministic
+    /// identity.
+    pub exec_fuel: u64,
 }
 
 impl Default for CampaignConfig {
@@ -50,6 +59,9 @@ impl Default for CampaignConfig {
             enabled: None,
             hub_epoch: 0,
             hub_top_k: 4,
+            // Generous: orders of magnitude above what any spec-typed
+            // program burns, so the watchdog only trips on runaways.
+            exec_fuel: 1 << 20,
         }
     }
 }
@@ -73,6 +85,9 @@ pub struct CampaignResult {
     /// counts, first-seen epoch/shard — merged first-publisher-wins
     /// across shards (see [`kgpt_triage`]).
     pub triage: TriageReport,
+    /// Executions cut off by the per-exec fuel watchdog
+    /// ([`CampaignConfig::exec_fuel`]), summed across shards.
+    pub fuel_exhausted: u64,
 }
 
 impl CampaignResult {
@@ -113,6 +128,29 @@ pub(crate) struct ShardState {
     max_prog_len: usize,
     rng_pick: u64,
     pub(crate) remaining: u64,
+    /// Executions cut off by the fuel watchdog.
+    pub(crate) fuel_exhausted: u64,
+}
+
+/// Everything a [`ShardState`] needs persisted to continue exactly
+/// where it left off — the serializable projection the checkpoint
+/// layer (see [`crate::checkpoint`]) encodes per shard. Derived state
+/// (the lowered IR, the execution scratch, the enabled-syscall list)
+/// is rebuilt from `(lowered, config)` on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardSnapshot {
+    pub(crate) id: u32,
+    pub(crate) gen_rng: [u64; 4],
+    pub(crate) corpus_rng: u64,
+    pub(crate) corpus_coverage: kgpt_vkernel::CoverageMap,
+    pub(crate) corpus_entries: Vec<crate::corpus::CorpusEntry>,
+    pub(crate) corpus_stats: crate::corpus::CorpusStats,
+    pub(crate) crashes: CrashTally,
+    pub(crate) triage_seen: std::collections::BTreeSet<kgpt_vkernel::CrashSignature>,
+    pub(crate) epoch: u64,
+    pub(crate) rng_pick: u64,
+    pub(crate) remaining: u64,
+    pub(crate) fuel_exhausted: u64,
 }
 
 impl ShardState {
@@ -130,10 +168,12 @@ impl ShardState {
         if let Some(enabled) = &config.enabled {
             generator = generator.with_enabled(enabled.clone());
         }
+        let mut scratch = ExecScratch::from_lowered(Arc::clone(lowered));
+        scratch.state.set_fuel_limit(config.exec_fuel);
         ShardState {
             id,
             generator,
-            scratch: ExecScratch::from_lowered(Arc::clone(lowered)),
+            scratch,
             corpus: Corpus::new(CORPUS_CAP, seed),
             crashes: BTreeMap::new(),
             triage: ShardTriage::default(),
@@ -141,7 +181,52 @@ impl ShardState {
             max_prog_len: config.max_prog_len,
             rng_pick: seed,
             remaining: execs,
+            fuel_exhausted: 0,
         }
+    }
+
+    /// Serializable projection of this shard's live state (see
+    /// [`ShardSnapshot`]). Pure read: the shard is untouched.
+    pub(crate) fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            id: self.id,
+            gen_rng: self.generator.rng_state(),
+            corpus_rng: self.corpus.rng_state(),
+            corpus_coverage: self.corpus.coverage().clone(),
+            corpus_entries: self.corpus.entries().to_vec(),
+            corpus_stats: self.corpus.stats(),
+            crashes: self.crashes.clone(),
+            triage_seen: self.triage.seen().clone(),
+            epoch: self.epoch,
+            rng_pick: self.rng_pick,
+            remaining: self.remaining,
+            fuel_exhausted: self.fuel_exhausted,
+        }
+    }
+
+    /// Rebuild a live shard from a snapshot, sharing the campaign's
+    /// lowered IR. Inverse of [`ShardState::snapshot`]: continuing the
+    /// restored shard is bit-identical to continuing the original.
+    pub(crate) fn restore(
+        lowered: &Arc<LoweredDb>,
+        config: &CampaignConfig,
+        snap: &ShardSnapshot,
+    ) -> ShardState {
+        let mut state = ShardState::new(lowered, config, snap.id, snap.remaining, 0);
+        state.generator.restore_rng(snap.gen_rng);
+        state.corpus = Corpus::from_parts(
+            CORPUS_CAP,
+            snap.corpus_rng,
+            snap.corpus_coverage.clone(),
+            snap.corpus_entries.clone(),
+            snap.corpus_stats,
+        );
+        state.crashes = snap.crashes.clone();
+        state.triage = ShardTriage::from_seen(snap.triage_seen.clone());
+        state.epoch = snap.epoch;
+        state.rng_pick = snap.rng_pick;
+        state.fuel_exhausted = snap.fuel_exhausted;
+        state
     }
 
     /// Run up to `budget` executions (less if the shard's remaining
@@ -167,6 +252,9 @@ impl ShardState {
                 )
             };
             execute_with(kernel, &prog, &mut self.scratch);
+            if self.scratch.state.fuel_exhausted() {
+                self.fuel_exhausted += 1;
+            }
             if let Some(c) = self.scratch.crash() {
                 let e = self
                     .crashes
@@ -189,12 +277,14 @@ impl ShardState {
     /// drains.
     pub(crate) fn finish(self) -> WorkerResult {
         let crashes = self.crashes;
+        let fuel_exhausted = self.fuel_exhausted;
         let (coverage, corpus_size) = self.corpus.into_coverage();
         WorkerResult {
             coverage,
             crashes,
             corpus_size,
             triage: TriageReport::new(),
+            fuel_exhausted,
         }
     }
 }
@@ -228,6 +318,7 @@ pub(crate) struct WorkerResult {
     pub(crate) crashes: CrashTally,
     pub(crate) corpus_size: usize,
     pub(crate) triage: TriageReport,
+    pub(crate) fuel_exhausted: u64,
 }
 
 /// A configured campaign over one spec suite and one kernel.
@@ -317,7 +408,35 @@ impl<'a> Campaign<'a> {
             execs: self.config.execs,
             corpus_size: w.corpus_size,
             triage: w.triage,
+            fuel_exhausted: w.fuel_exhausted,
         }
+    }
+
+    /// Resume a previously checkpointed single-shard campaign from
+    /// `path` and run it to completion. A sequential campaign is
+    /// bit-identical to a one-shard [`crate::ShardedCampaign`] (pinned
+    /// by tests), so resumption goes through the sharded driver on one
+    /// shard and one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::checkpoint::CheckpointError`] when no intact
+    /// snapshot can be read from `path` (or its previous-good
+    /// rotation), or when the snapshot's config/spec fingerprints do
+    /// not match this campaign.
+    pub fn resume(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<CampaignResult, crate::checkpoint::CheckpointError> {
+        crate::shard::ShardedCampaign::from_parts(
+            self.kernel,
+            Arc::clone(&self.db),
+            Arc::clone(&self.lowered),
+            self.config.clone(),
+        )
+        .with_shards(1)
+        .with_threads(1)
+        .resume(path)
     }
 }
 

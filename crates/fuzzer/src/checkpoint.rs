@@ -1,0 +1,860 @@
+//! Crash-safe campaign checkpointing.
+//!
+//! A [`CampaignSnapshot`] is the complete serializable identity of a
+//! paused [`crate::ShardedCampaign`] at an epoch boundary: config and
+//! spec fingerprints, every shard's RNG streams / corpus / crash
+//! tally / triage seen-set in shard-id order, the cross-shard
+//! [`crate::hub::SeedHub`] contents, and the campaign
+//! [`TriageReport`]. Restoring it and continuing is **bit-identical**
+//! to never having stopped (pinned by `tests/durability.rs`).
+//!
+//! The encoding is a dense little-endian binary format written by
+//! hand — the vendored `serde` derives are no-ops, and `kgpt_bench`
+//! depends on this crate, so neither an external codec nor the bench
+//! JSON writer is available here. The on-disk layout is:
+//!
+//! ```text
+//! magic "KGPTCKPT" | version u32 | checksum u64 (FNV-1a of payload) | payload
+//! ```
+//!
+//! Writes are atomic and keep one generation of history: the payload
+//! goes to `<path>.tmp`, the current snapshot (if any) rotates to
+//! `<path>.prev`, and the temp file renames over `<path>`.
+//! [`CampaignSnapshot::load`] verifies magic, version and checksum,
+//! and falls back to the previous-good rotation when the current file
+//! is truncated or corrupt — a torn write costs one epoch of
+//! progress, never the campaign.
+
+use crate::campaign::{CampaignConfig, CrashTally, ShardSnapshot};
+use crate::corpus::{CorpusEntry, CorpusStats};
+use crate::hub::{HubSeed, SeedHub};
+use crate::program::Program;
+use kgpt_triage::{TriageEntry, TriageReport};
+use kgpt_vkernel::{CoverageMap, CrashSignature, SanitizerKind, Sysno};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a campaign checkpoint.
+const MAGIC: &[u8; 8] = b"KGPTCKPT";
+
+/// Current snapshot format version. Bumped on any layout change; a
+/// reader never guesses at an unknown version.
+const VERSION: u32 = 1;
+
+/// Error reading, writing, or validating a campaign snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// What went wrong (always names the failing stage).
+    pub message: String,
+}
+
+impl CheckpointError {
+    fn new(message: impl Into<String>) -> CheckpointError {
+        CheckpointError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<kgpt_syzlang::prog::DecodeError> for CheckpointError {
+    fn from(e: kgpt_syzlang::prog::DecodeError) -> CheckpointError {
+        CheckpointError::new(format!("program decode failed: {e}"))
+    }
+}
+
+/// FNV-1a over a byte slice — the payload checksum. Deterministic,
+/// dependency-free, and strong enough to catch truncation and bitrot
+/// (the threat model; this is not a cryptographic seal).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of a campaign's deterministic identity: every
+/// [`CampaignConfig`] field plus the shard count. Two campaigns with
+/// equal fingerprints produce bit-identical results, so resume
+/// refuses a snapshot whose fingerprint differs.
+#[must_use]
+pub fn config_fingerprint(config: &CampaignConfig, shards: u32) -> u64 {
+    let mut bytes = Vec::new();
+    put_u64(&mut bytes, config.execs);
+    put_u64(&mut bytes, config.seed);
+    put_u64(&mut bytes, config.max_prog_len as u64);
+    match &config.enabled {
+        None => bytes.push(0),
+        Some(names) => {
+            bytes.push(1);
+            put_u32(&mut bytes, u32::try_from(names.len()).unwrap_or(u32::MAX));
+            for n in names {
+                put_str(&mut bytes, n);
+            }
+        }
+    }
+    put_u64(&mut bytes, config.hub_epoch);
+    put_u64(&mut bytes, config.hub_top_k as u64);
+    put_u64(&mut bytes, config.exec_fuel);
+    put_u32(&mut bytes, shards);
+    fnv1a(&bytes)
+}
+
+/// The complete persisted state of a paused campaign. See the module
+/// docs for the durability contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSnapshot {
+    /// [`config_fingerprint`] of the writing campaign.
+    pub(crate) config_fingerprint: u64,
+    /// Spec-suite fingerprint ([`kgpt_syzlang::SpecCache::fingerprint`]).
+    pub(crate) spec_fingerprint: u64,
+    /// Driver epochs completed when the snapshot was taken.
+    pub(crate) epochs_done: u64,
+    /// Per-shard state, in shard-id order.
+    pub(crate) shards: Vec<ShardSnapshot>,
+    /// Hub publication budget.
+    pub(crate) hub_top_k: usize,
+    /// Hub publish-attempt counter.
+    pub(crate) hub_published: u64,
+    /// Hub claimed-coverage union.
+    pub(crate) hub_coverage: CoverageMap,
+    /// Retained hub seeds, in publication order.
+    pub(crate) hub_seeds: Vec<HubSeed>,
+    /// The campaign triage report so far.
+    pub(crate) triage: TriageReport,
+}
+
+impl CampaignSnapshot {
+    /// Driver epochs completed when this snapshot was taken.
+    #[must_use]
+    pub fn epochs_done(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// Capture a paused campaign (shard states given in id order).
+    pub(crate) fn capture(
+        config_fp: u64,
+        spec_fp: u64,
+        epochs_done: u64,
+        shards: Vec<ShardSnapshot>,
+        hub: &SeedHub,
+        triage: &TriageReport,
+    ) -> CampaignSnapshot {
+        CampaignSnapshot {
+            config_fingerprint: config_fp,
+            spec_fingerprint: spec_fp,
+            epochs_done,
+            shards,
+            hub_top_k: hub.top_k(),
+            hub_published: hub.published(),
+            hub_coverage: hub.coverage().clone(),
+            hub_seeds: hub.seeds().to_vec(),
+            triage: triage.clone(),
+        }
+    }
+
+    /// Serialize to the versioned, checksummed on-disk format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.config_fingerprint);
+        put_u64(&mut payload, self.spec_fingerprint);
+        put_u64(&mut payload, self.epochs_done);
+        put_u32(
+            &mut payload,
+            u32::try_from(self.shards.len()).unwrap_or(u32::MAX),
+        );
+        for s in &self.shards {
+            encode_shard(s, &mut payload);
+        }
+        put_u64(&mut payload, self.hub_top_k as u64);
+        put_u64(&mut payload, self.hub_published);
+        put_coverage(&mut payload, &self.hub_coverage);
+        put_u32(
+            &mut payload,
+            u32::try_from(self.hub_seeds.len()).unwrap_or(u32::MAX),
+        );
+        for seed in &self.hub_seeds {
+            put_u32(&mut payload, seed.shard);
+            seed.program.encode_into(&mut payload);
+            put_coverage(&mut payload, &seed.contributed);
+        }
+        let entries: Vec<&TriageEntry> = self.triage.entries().collect();
+        put_u32(
+            &mut payload,
+            u32::try_from(entries.len()).unwrap_or(u32::MAX),
+        );
+        for e in entries {
+            encode_triage_entry(e, &mut payload);
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 20);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, fnv1a(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse a snapshot from bytes previously produced by
+    /// [`CampaignSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on wrong magic, unknown version,
+    /// checksum mismatch (truncation/bitrot), or any malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CampaignSnapshot, CheckpointError> {
+        if bytes.len() < MAGIC.len() + 12 {
+            return Err(CheckpointError::new(format!(
+                "snapshot too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(CheckpointError::new("bad snapshot magic"));
+        }
+        let mut pos = 8usize;
+        let version = take_u32(bytes, &mut pos)?;
+        if version != VERSION {
+            return Err(CheckpointError::new(format!(
+                "unsupported snapshot version {version} (expected {VERSION})"
+            )));
+        }
+        let checksum = take_u64(bytes, &mut pos)?;
+        let payload = &bytes[pos..];
+        if fnv1a(payload) != checksum {
+            return Err(CheckpointError::new("snapshot checksum mismatch"));
+        }
+
+        let bytes = payload;
+        let mut pos = 0usize;
+        let config_fingerprint = take_u64(bytes, &mut pos)?;
+        let spec_fingerprint = take_u64(bytes, &mut pos)?;
+        let epochs_done = take_u64(bytes, &mut pos)?;
+        let n_shards = take_u32(bytes, &mut pos)? as usize;
+        let mut shards = Vec::new();
+        for _ in 0..n_shards {
+            shards.push(decode_shard(bytes, &mut pos)?);
+        }
+        let hub_top_k = usize::try_from(take_u64(bytes, &mut pos)?)
+            .map_err(|_| CheckpointError::new("hub top_k out of range"))?;
+        let hub_published = take_u64(bytes, &mut pos)?;
+        let hub_coverage = take_coverage(bytes, &mut pos)?;
+        let n_seeds = take_u32(bytes, &mut pos)? as usize;
+        let mut hub_seeds = Vec::new();
+        for _ in 0..n_seeds {
+            let shard = take_u32(bytes, &mut pos)?;
+            let program = Program::decode_from(bytes, &mut pos)?;
+            let contributed = take_coverage(bytes, &mut pos)?;
+            hub_seeds.push(HubSeed {
+                shard,
+                program,
+                contributed,
+            });
+        }
+        let n_triage = take_u32(bytes, &mut pos)? as usize;
+        let mut triage = TriageReport::new();
+        for _ in 0..n_triage {
+            let entry = decode_triage_entry(bytes, &mut pos)?;
+            if !triage.admit(entry) {
+                return Err(CheckpointError::new("duplicate triage signature"));
+            }
+        }
+        if pos != bytes.len() {
+            return Err(CheckpointError::new(format!(
+                "{} trailing bytes after snapshot payload",
+                bytes.len() - pos
+            )));
+        }
+        Ok(CampaignSnapshot {
+            config_fingerprint,
+            spec_fingerprint,
+            epochs_done,
+            shards,
+            hub_top_k,
+            hub_published,
+            hub_coverage,
+            hub_seeds,
+            triage,
+        })
+    }
+
+    /// Write atomically to `path`: serialize to `<path>.tmp`, rotate
+    /// any current snapshot to `<path>.prev` (the previous-good
+    /// fallback), then rename the temp file into place. A crash at any
+    /// point leaves either the old snapshot or the new one intact —
+    /// never a torn file under `path` alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the filesystem rejects the
+    /// temp-file write or a rename.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = sibling(path, "tmp");
+        std::fs::write(&tmp, self.to_bytes())
+            .map_err(|e| CheckpointError::new(format!("write {} failed: {e}", tmp.display())))?;
+        if path.exists() {
+            std::fs::rename(path, sibling(path, "prev")).map_err(|e| {
+                CheckpointError::new(format!("rotate {} failed: {e}", path.display()))
+            })?;
+        }
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::new(format!("install {} failed: {e}", path.display())))
+    }
+
+    /// Load the snapshot at `path`, falling back to the previous-good
+    /// rotation (`<path>.prev`) when the current file is missing,
+    /// truncated, or corrupt. Falling back costs the epochs between
+    /// the two snapshots — they are simply re-executed on resume — and
+    /// never determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] describing both failures when
+    /// neither generation parses.
+    pub fn load(path: &Path) -> Result<CampaignSnapshot, CheckpointError> {
+        let current = read_and_parse(path);
+        match current {
+            Ok(snap) => Ok(snap),
+            Err(e) => match read_and_parse(&sibling(path, "prev")) {
+                Ok(snap) => Ok(snap),
+                Err(e2) => Err(CheckpointError::new(format!(
+                    "no intact snapshot: current: {e}; previous: {e2}"
+                ))),
+            },
+        }
+    }
+
+    /// Validate that this snapshot belongs to a campaign with the
+    /// given fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] naming the mismatched fingerprint.
+    pub fn validate(&self, config_fp: u64, spec_fp: u64) -> Result<(), CheckpointError> {
+        if self.config_fingerprint != config_fp {
+            return Err(CheckpointError::new(format!(
+                "config fingerprint mismatch: snapshot {:#x}, campaign {:#x}",
+                self.config_fingerprint, config_fp
+            )));
+        }
+        if self.spec_fingerprint != spec_fp {
+            return Err(CheckpointError::new(format!(
+                "spec fingerprint mismatch: snapshot {:#x}, campaign {:#x}",
+                self.spec_fingerprint, spec_fp
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_and_parse(path: &Path) -> Result<CampaignSnapshot, CheckpointError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CheckpointError::new(format!("read {} failed: {e}", path.display())))?;
+    CampaignSnapshot::from_bytes(&bytes)
+}
+
+/// `<path>.<ext>` with the extension appended (not substituted), so
+/// `campaign.ckpt` rotates to `campaign.ckpt.prev`.
+fn sibling(path: &Path, ext: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".");
+    s.push(ext);
+    PathBuf::from(s)
+}
+
+// ---- primitive writers/readers ------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).unwrap_or(u32::MAX));
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_coverage(out: &mut Vec<u8>, cov: &CoverageMap) {
+    let words = cov.words();
+    put_u32(out, u32::try_from(words.len()).unwrap_or(u32::MAX));
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CheckpointError> {
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(CheckpointError::new(format!("truncated byte at {pos}")));
+    };
+    *pos += 1;
+    Ok(b)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CheckpointError> {
+    let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(CheckpointError::new(format!("truncated u32 at {pos}")));
+    };
+    let v = u32::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CheckpointError> {
+    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(CheckpointError::new(format!("truncated u64 at {pos}")));
+    };
+    let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, CheckpointError> {
+    let len = take_u32(bytes, pos)? as usize;
+    let end = pos.checked_add(len).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(CheckpointError::new(format!("truncated string at {pos}")));
+    };
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| CheckpointError::new(format!("invalid utf-8 string at {pos}")))?
+        .to_owned();
+    *pos = end;
+    Ok(s)
+}
+
+fn take_opt_str(bytes: &[u8], pos: &mut usize) -> Result<Option<String>, CheckpointError> {
+    match take_u8(bytes, pos)? {
+        0 => Ok(None),
+        1 => Ok(Some(take_str(bytes, pos)?)),
+        t => Err(CheckpointError::new(format!("bad option tag {t} at {pos}"))),
+    }
+}
+
+fn take_coverage(bytes: &[u8], pos: &mut usize) -> Result<CoverageMap, CheckpointError> {
+    let n = take_u32(bytes, pos)? as usize;
+    let mut words = Vec::new();
+    for _ in 0..n {
+        words.push(take_u64(bytes, pos)?);
+    }
+    Ok(CoverageMap::from_words(words))
+}
+
+fn put_signature(out: &mut Vec<u8>, sig: &CrashSignature) {
+    out.push(sig.sysno.as_index());
+    out.push(sig.chain_depth);
+    out.push(sig.sanitizer.as_index());
+    put_u64(out, sig.site);
+}
+
+fn take_signature(bytes: &[u8], pos: &mut usize) -> Result<CrashSignature, CheckpointError> {
+    let sysno = Sysno::from_index(take_u8(bytes, pos)?)
+        .ok_or_else(|| CheckpointError::new(format!("bad sysno index at {pos}")))?;
+    let chain_depth = take_u8(bytes, pos)?;
+    let sanitizer = SanitizerKind::from_index(take_u8(bytes, pos)?)
+        .ok_or_else(|| CheckpointError::new(format!("bad sanitizer index at {pos}")))?;
+    let site = take_u64(bytes, pos)?;
+    Ok(CrashSignature {
+        sysno,
+        chain_depth,
+        sanitizer,
+        site,
+    })
+}
+
+// ---- aggregate encoders/decoders ----------------------------------------
+
+fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
+    put_u32(out, s.id);
+    put_u64(out, s.epoch);
+    put_u64(out, s.rng_pick);
+    put_u64(out, s.remaining);
+    put_u64(out, s.fuel_exhausted);
+    for w in s.gen_rng {
+        put_u64(out, w);
+    }
+    put_u64(out, s.corpus_rng);
+    put_coverage(out, &s.corpus_coverage);
+    put_u64(out, s.corpus_stats.admitted);
+    put_u64(out, s.corpus_stats.imported);
+    put_u64(out, s.corpus_stats.evicted);
+    put_u32(
+        out,
+        u32::try_from(s.corpus_entries.len()).unwrap_or(u32::MAX),
+    );
+    for e in &s.corpus_entries {
+        e.program.encode_into(out);
+        put_coverage(out, &e.contributed);
+        put_u64(out, e.execs);
+        put_u64(out, e.hits);
+    }
+    put_u32(out, u32::try_from(s.crashes.len()).unwrap_or(u32::MAX));
+    for (title, (count, cve)) in &s.crashes {
+        put_str(out, title);
+        put_u64(out, *count);
+        put_opt_str(out, cve.as_deref());
+    }
+    put_u32(out, u32::try_from(s.triage_seen.len()).unwrap_or(u32::MAX));
+    for sig in &s.triage_seen {
+        put_signature(out, sig);
+    }
+}
+
+fn decode_shard(bytes: &[u8], pos: &mut usize) -> Result<ShardSnapshot, CheckpointError> {
+    let id = take_u32(bytes, pos)?;
+    let epoch = take_u64(bytes, pos)?;
+    let rng_pick = take_u64(bytes, pos)?;
+    let remaining = take_u64(bytes, pos)?;
+    let fuel_exhausted = take_u64(bytes, pos)?;
+    let mut gen_rng = [0u64; 4];
+    for w in &mut gen_rng {
+        *w = take_u64(bytes, pos)?;
+    }
+    let corpus_rng = take_u64(bytes, pos)?;
+    let corpus_coverage = take_coverage(bytes, pos)?;
+    let corpus_stats = CorpusStats {
+        admitted: take_u64(bytes, pos)?,
+        imported: take_u64(bytes, pos)?,
+        evicted: take_u64(bytes, pos)?,
+    };
+    let n_entries = take_u32(bytes, pos)? as usize;
+    let mut corpus_entries = Vec::new();
+    for _ in 0..n_entries {
+        let program = Program::decode_from(bytes, pos)?;
+        let contributed = take_coverage(bytes, pos)?;
+        let execs = take_u64(bytes, pos)?;
+        let hits = take_u64(bytes, pos)?;
+        corpus_entries.push(CorpusEntry {
+            program,
+            contributed,
+            execs,
+            hits,
+        });
+    }
+    let n_crashes = take_u32(bytes, pos)? as usize;
+    let mut crashes = CrashTally::new();
+    for _ in 0..n_crashes {
+        let title = take_str(bytes, pos)?;
+        let count = take_u64(bytes, pos)?;
+        let cve = take_opt_str(bytes, pos)?;
+        crashes.insert(title, (count, cve));
+    }
+    let n_seen = take_u32(bytes, pos)? as usize;
+    let mut triage_seen = BTreeSet::new();
+    for _ in 0..n_seen {
+        triage_seen.insert(take_signature(bytes, pos)?);
+    }
+    Ok(ShardSnapshot {
+        id,
+        gen_rng,
+        corpus_rng,
+        corpus_coverage,
+        corpus_entries,
+        corpus_stats,
+        crashes,
+        triage_seen,
+        epoch,
+        rng_pick,
+        remaining,
+        fuel_exhausted,
+    })
+}
+
+fn encode_triage_entry(e: &TriageEntry, out: &mut Vec<u8>) {
+    put_signature(out, &e.signature);
+    put_str(out, &e.title);
+    put_opt_str(out, e.cve.as_deref());
+    put_u64(out, e.first_epoch);
+    put_u32(out, e.first_shard);
+    put_u64(out, e.count);
+    e.raw.encode_into(out);
+    e.minimized.encode_into(out);
+    put_u64(out, e.minimize_execs);
+    out.push(u8::from(e.reproducible));
+}
+
+fn decode_triage_entry(bytes: &[u8], pos: &mut usize) -> Result<TriageEntry, CheckpointError> {
+    let signature = take_signature(bytes, pos)?;
+    let title = take_str(bytes, pos)?;
+    let cve = take_opt_str(bytes, pos)?;
+    let first_epoch = take_u64(bytes, pos)?;
+    let first_shard = take_u32(bytes, pos)?;
+    let count = take_u64(bytes, pos)?;
+    let raw = Program::decode_from(bytes, pos)?;
+    let minimized = Program::decode_from(bytes, pos)?;
+    let minimize_execs = take_u64(bytes, pos)?;
+    let reproducible = match take_u8(bytes, pos)? {
+        0 => false,
+        1 => true,
+        t => {
+            return Err(CheckpointError::new(format!(
+                "bad reproducible flag {t} at {pos}"
+            )))
+        }
+    };
+    Ok(TriageEntry {
+        signature,
+        title,
+        cve,
+        first_epoch,
+        first_shard,
+        count,
+        raw,
+        minimized,
+        minimize_execs,
+        reproducible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgCall, Program};
+    use kgpt_syzlang::Value;
+
+    fn cov(blocks: &[u64]) -> CoverageMap {
+        blocks.iter().copied().collect()
+    }
+
+    fn prog(sys: u32) -> Program {
+        Program {
+            calls: vec![ProgCall {
+                sys,
+                args: vec![Value::Int(7), Value::Bytes(vec![1, 2, 3])],
+            }],
+        }
+    }
+
+    fn sig(site: u64) -> CrashSignature {
+        CrashSignature {
+            sysno: Sysno::Ioctl,
+            chain_depth: 2,
+            sanitizer: SanitizerKind::UseAfterFree,
+            site,
+        }
+    }
+
+    fn sample() -> CampaignSnapshot {
+        let mut crashes = CrashTally::new();
+        crashes.insert("bug a".into(), (3, Some("CVE-2023-0001".into())));
+        crashes.insert("bug b".into(), (1, None));
+        let mut seen = BTreeSet::new();
+        seen.insert(sig(5));
+        seen.insert(sig(9));
+        let mut triage = TriageReport::new();
+        triage.admit(TriageEntry {
+            signature: sig(5),
+            title: "bug a".into(),
+            cve: Some("CVE-2023-0001".into()),
+            first_epoch: 2,
+            first_shard: 1,
+            count: 4,
+            raw: prog(3),
+            minimized: prog(3),
+            minimize_execs: 11,
+            reproducible: true,
+        });
+        CampaignSnapshot {
+            config_fingerprint: 0xDEAD_BEEF,
+            spec_fingerprint: 0xFEED_FACE,
+            epochs_done: 7,
+            shards: vec![ShardSnapshot {
+                id: 0,
+                gen_rng: [1, 2, 3, 4],
+                corpus_rng: 99,
+                corpus_coverage: cov(&[1, 2, 64, 500]),
+                corpus_entries: vec![CorpusEntry {
+                    program: prog(1),
+                    contributed: cov(&[64]),
+                    execs: 12,
+                    hits: 2,
+                }],
+                corpus_stats: CorpusStats {
+                    admitted: 5,
+                    imported: 1,
+                    evicted: 2,
+                },
+                crashes,
+                triage_seen: seen,
+                epoch: 7,
+                rng_pick: 0x1234,
+                remaining: 1000,
+                fuel_exhausted: 3,
+            }],
+            hub_top_k: 4,
+            hub_published: 17,
+            hub_coverage: cov(&[1, 2]),
+            hub_seeds: vec![HubSeed {
+                shard: 0,
+                program: prog(2),
+                contributed: cov(&[2]),
+            }],
+            triage,
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kgpt-ckpt-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn byte_round_trip_is_lossless() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        assert_eq!(CampaignSnapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicking() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CampaignSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_checksum_are_distinct_errors() {
+        let good = sample().to_bytes();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        let e = CampaignSnapshot::from_bytes(&bad).unwrap_err();
+        assert!(e.message.contains("magic"), "{e}");
+
+        let mut bad = good.clone();
+        bad[8] = 0xFF; // version LE low byte
+        let e = CampaignSnapshot::from_bytes(&bad).unwrap_err();
+        assert!(e.message.contains("version"), "{e}");
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40; // flip a payload bit
+        let e = CampaignSnapshot::from_bytes(&bad).unwrap_err();
+        assert!(e.message.contains("checksum"), "{e}");
+
+        assert!(CampaignSnapshot::from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn save_rotates_previous_good_and_load_falls_back() {
+        let dir = scratch_dir("rotate");
+        let path = dir.join("campaign.ckpt");
+
+        let mut first = sample();
+        first.epochs_done = 1;
+        first.save(&path).unwrap();
+        assert_eq!(CampaignSnapshot::load(&path).unwrap().epochs_done, 1);
+
+        let mut second = sample();
+        second.epochs_done = 2;
+        second.save(&path).unwrap();
+        assert_eq!(CampaignSnapshot::load(&path).unwrap().epochs_done, 2);
+        // The rotation holds the previous generation.
+        assert_eq!(
+            CampaignSnapshot::from_bytes(&std::fs::read(sibling(&path, "prev")).unwrap())
+                .unwrap()
+                .epochs_done,
+            1
+        );
+
+        // Corrupt the current file: load falls back to previous-good.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(CampaignSnapshot::load(&path).unwrap().epochs_done, 1);
+
+        // Truncate the current file: same fallback.
+        std::fs::write(&path, &second.to_bytes()[..40]).unwrap();
+        assert_eq!(CampaignSnapshot::load(&path).unwrap().epochs_done, 1);
+
+        // Both generations gone: a descriptive error, not a panic.
+        std::fs::write(&path, b"junk").unwrap();
+        std::fs::write(sibling(&path, "prev"), b"junk").unwrap();
+        let e = CampaignSnapshot::load(&path).unwrap_err();
+        assert!(e.message.contains("current"), "{e}");
+        assert!(e.message.contains("previous"), "{e}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_names_the_mismatched_fingerprint() {
+        let snap = sample();
+        snap.validate(0xDEAD_BEEF, 0xFEED_FACE).unwrap();
+        let e = snap.validate(1, 0xFEED_FACE).unwrap_err();
+        assert!(e.message.contains("config fingerprint"), "{e}");
+        let e = snap.validate(0xDEAD_BEEF, 1).unwrap_err();
+        assert!(e.message.contains("spec fingerprint"), "{e}");
+    }
+
+    #[test]
+    fn config_fingerprint_covers_every_identity_field() {
+        let base = CampaignConfig::default();
+        let fp = |c: &CampaignConfig, shards: u32| config_fingerprint(c, shards);
+        let b = fp(&base, 8);
+        assert_eq!(b, fp(&base.clone(), 8), "fingerprint is stable");
+        assert_ne!(b, fp(&base, 4), "shard count is identity");
+        for tweak in [
+            CampaignConfig {
+                execs: base.execs + 1,
+                ..base.clone()
+            },
+            CampaignConfig {
+                seed: base.seed + 1,
+                ..base.clone()
+            },
+            CampaignConfig {
+                max_prog_len: base.max_prog_len + 1,
+                ..base.clone()
+            },
+            CampaignConfig {
+                enabled: Some(vec!["ioctl$dm".into()]),
+                ..base.clone()
+            },
+            CampaignConfig {
+                hub_epoch: base.hub_epoch + 1,
+                ..base.clone()
+            },
+            CampaignConfig {
+                hub_top_k: base.hub_top_k + 1,
+                ..base.clone()
+            },
+            CampaignConfig {
+                exec_fuel: base.exec_fuel + 1,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(b, fp(&tweak, 8), "{tweak:?}");
+        }
+    }
+}

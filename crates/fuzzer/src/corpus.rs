@@ -28,7 +28,7 @@ use crate::program::Program;
 use kgpt_vkernel::CoverageMap;
 
 /// One retained seed with its coverage key and productivity stats.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusEntry {
     /// The program itself.
     pub program: Program,
@@ -139,6 +139,44 @@ impl Corpus {
     #[must_use]
     pub fn entry(&self, idx: usize) -> &CorpusEntry {
         &self.entries[idx]
+    }
+
+    /// All retained entries in admission order (checkpointing view).
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// The selection stream's raw state, for checkpointing. Restoring
+    /// it via [`Corpus::from_parts`] continues the exact pick
+    /// sequence.
+    #[must_use]
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Rebuild a corpus from checkpointed parts. `total_weight` is
+    /// recomputed from the entries (it is derived state), so a
+    /// restored corpus upholds the incremental-sum invariant by
+    /// construction. Continuing the result is bit-identical to
+    /// continuing the corpus the parts were captured from.
+    #[must_use]
+    pub fn from_parts(
+        cap: usize,
+        rng_state: u64,
+        coverage: CoverageMap,
+        entries: Vec<CorpusEntry>,
+        stats: CorpusStats,
+    ) -> Corpus {
+        let total_weight = entries.iter().map(CorpusEntry::weight).sum();
+        Corpus {
+            entries,
+            coverage,
+            cap: cap.max(1),
+            rng: SplitMix64::from_state(rng_state),
+            total_weight,
+            stats,
+        }
     }
 
     /// Pick a mutation seed, weighted by entry productivity; `None`
@@ -265,6 +303,21 @@ impl SplitMix64 {
     #[must_use]
     pub fn new(seed: u64) -> SplitMix64 {
         SplitMix64(seed)
+    }
+
+    /// The raw stream state (SplitMix64's state is its last counter
+    /// value, so this doubles as a seed for [`SplitMix64::from_state`]).
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Continue a stream from a state captured with
+    /// [`SplitMix64::state`] — restore, not reseeding: the next draws
+    /// are bit-identical to continuing the original.
+    #[must_use]
+    pub fn from_state(state: u64) -> SplitMix64 {
+        SplitMix64(state)
     }
 
     /// Next raw 64-bit word.

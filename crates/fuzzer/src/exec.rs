@@ -141,6 +141,13 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch)
             rets.push(-kgpt_vkernel::errno::EFAULT);
             continue;
         }
+        if state.fuel_exhausted() {
+            // The fuel watchdog tripped: skip the remaining calls
+            // without decoding them (decode itself burns fuel), the
+            // same way a crash short-circuits the rest of a program.
+            rets.push(-kgpt_vkernel::errno::ENOMEM);
+            continue;
+        }
         let sys = lowered.syscall(call.sys as usize);
         // Restart the encoder's address space; any segments still in
         // it (from an aborted encode) are recycled into its pool.

@@ -1,0 +1,211 @@
+//! Deterministic fault injection for campaign durability testing.
+//!
+//! A [`FaultPlan`] is a fixed list of faults the campaign driver
+//! injects at chosen epoch boundaries: checkpoint-write failures
+//! (exercising retry-with-backoff and the keep-previous-good path),
+//! post-write snapshot truncation/corruption (exercising
+//! [`crate::checkpoint::CampaignSnapshot::load`]'s previous-good
+//! fallback), and mid-epoch shard aborts (exercising quarantine and
+//! sequential re-execution of the poisoned shard). Plans are either
+//! built explicitly or derived from a seed ([`FaultPlan::from_seed`]),
+//! so every recovery path runs deterministically in CI instead of
+//! waiting for real crashes — and the durability invariant (resume is
+//! bit-identical) is asserted *under* every fault, not just the happy
+//! path.
+
+use crate::corpus::SplitMix64;
+
+/// One injected fault, pinned to a driver epoch (the boundary counter
+/// that starts at 0 and increments after every chunk+drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The first `attempts` attempts to write the checkpoint at
+    /// `epoch` fail; the driver retries with deterministic backoff up
+    /// to its attempt cap and, if all fail, skips the boundary keeping
+    /// the previous-good snapshot.
+    WriteFail {
+        /// Boundary at which writes fail.
+        epoch: u64,
+        /// How many leading attempts fail.
+        attempts: u32,
+    },
+    /// The snapshot written at `epoch` is truncated on disk afterwards
+    /// (a torn write): a later resume must fall back to the
+    /// previous-good rotation.
+    TruncateSnapshot {
+        /// Boundary whose snapshot gets torn.
+        epoch: u64,
+    },
+    /// One byte of the snapshot written at `epoch` is flipped on disk
+    /// afterwards (bitrot): the checksum must reject it and resume
+    /// falls back to the previous-good rotation.
+    CorruptSnapshot {
+        /// Boundary whose snapshot rots.
+        epoch: u64,
+        /// Payload byte index to flip (wrapped into range).
+        byte: usize,
+    },
+    /// Shard `shard`'s in-memory state is poisoned mid-epoch at
+    /// `epoch`: the driver quarantines it (discards the poisoned
+    /// state), restores the shard from its boundary snapshot, and
+    /// re-runs its epoch sequentially — the merged result is
+    /// bit-identical to an undisturbed run.
+    ShardAbort {
+        /// Boundary whose chunk the abort hits.
+        epoch: u64,
+        /// Victim shard id.
+        shard: u32,
+    },
+}
+
+/// A deterministic set of faults to inject into one campaign run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults (the production default).
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add one fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Derive a plan covering every fault kind from a seed: one
+    /// write-failure burst, one truncation, one corruption, and one
+    /// shard abort, at seed-chosen epochs in `0..epochs` against
+    /// `shards` shards. A pure function of its inputs — the same seed
+    /// always injects the same faults at the same boundaries.
+    #[must_use]
+    pub fn from_seed(seed: u64, epochs: u64, shards: u32) -> FaultPlan {
+        let epochs = epochs.max(1);
+        let mut rng = SplitMix64::new(seed);
+        FaultPlan::none()
+            .with(Fault::WriteFail {
+                epoch: rng.bounded(epochs),
+                attempts: 1 + u32::try_from(rng.bounded(2)).unwrap_or(0),
+            })
+            .with(Fault::TruncateSnapshot {
+                epoch: rng.bounded(epochs),
+            })
+            .with(Fault::CorruptSnapshot {
+                epoch: rng.bounded(epochs),
+                byte: usize::try_from(rng.bounded(4096)).unwrap_or(0),
+            })
+            .with(Fault::ShardAbort {
+                epoch: rng.bounded(epochs),
+                shard: u32::try_from(rng.bounded(u64::from(shards.max(1)))).unwrap_or(0),
+            })
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in injection order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// How many leading write attempts fail at `epoch` (summed over
+    /// matching faults).
+    pub(crate) fn write_fail_attempts(&self, epoch: u64) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::WriteFail { epoch: e, attempts } if *e == epoch => *attempts,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The shard to abort mid-epoch at `epoch`, if any (first match
+    /// wins).
+    pub(crate) fn shard_abort(&self, epoch: u64) -> Option<u32> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ShardAbort { epoch: e, shard } if *e == epoch => Some(*shard),
+            _ => None,
+        })
+    }
+
+    /// Post-write damage to apply to the snapshot written at `epoch`:
+    /// `Some(None)` truncates, `Some(Some(byte))` flips that payload
+    /// byte (first match wins).
+    pub(crate) fn post_write_damage(&self, epoch: u64) -> Option<Option<usize>> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::TruncateSnapshot { epoch: e } if *e == epoch => Some(None),
+            Fault::CorruptSnapshot { epoch: e, byte } if *e == epoch => Some(Some(*byte)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_every_kind() {
+        let a = FaultPlan::from_seed(42, 10, 8);
+        assert_eq!(a, FaultPlan::from_seed(42, 10, 8));
+        assert_ne!(a, FaultPlan::from_seed(43, 10, 8));
+        assert_eq!(a.faults().len(), 4);
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::WriteFail { .. })));
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::TruncateSnapshot { .. })));
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::CorruptSnapshot { .. })));
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::ShardAbort { .. })));
+        for f in a.faults() {
+            match *f {
+                Fault::WriteFail { epoch, attempts } => {
+                    assert!(epoch < 10 && (1..=2).contains(&attempts));
+                }
+                Fault::TruncateSnapshot { epoch } => assert!(epoch < 10),
+                Fault::CorruptSnapshot { epoch, .. } => assert!(epoch < 10),
+                Fault::ShardAbort { epoch, shard } => assert!(epoch < 10 && shard < 8),
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_match_only_their_epoch() {
+        let plan = FaultPlan::none()
+            .with(Fault::WriteFail {
+                epoch: 3,
+                attempts: 2,
+            })
+            .with(Fault::ShardAbort { epoch: 5, shard: 1 })
+            .with(Fault::TruncateSnapshot { epoch: 6 })
+            .with(Fault::CorruptSnapshot { epoch: 7, byte: 40 });
+        assert_eq!(plan.write_fail_attempts(3), 2);
+        assert_eq!(plan.write_fail_attempts(4), 0);
+        assert_eq!(plan.shard_abort(5), Some(1));
+        assert_eq!(plan.shard_abort(3), None);
+        assert_eq!(plan.post_write_damage(6), Some(None));
+        assert_eq!(plan.post_write_damage(7), Some(Some(40)));
+        assert_eq!(plan.post_write_damage(5), None);
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
+    }
+}

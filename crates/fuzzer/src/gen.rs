@@ -71,6 +71,20 @@ impl Generator {
         &self.lowered
     }
 
+    /// The raw RNG state words, for checkpointing mid-campaign.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Continue the draw stream from state captured with
+    /// [`Generator::rng_state`]: restore, not reseeding — subsequent
+    /// programs are bit-identical to continuing the original
+    /// generator.
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Generate a fresh program of at most `max_len` calls.
     pub fn gen_program(&mut self, max_len: usize) -> Program {
         let Generator {

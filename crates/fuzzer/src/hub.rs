@@ -27,7 +27,7 @@ use crate::program::Program;
 use kgpt_vkernel::CoverageMap;
 
 /// One seed retained by the hub.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HubSeed {
     /// Shard that published it.
     pub shard: u32,
@@ -79,6 +79,30 @@ impl SeedHub {
     #[must_use]
     pub fn published(&self) -> u64 {
         self.published
+    }
+
+    /// Per-shard publication budget this hub was built with.
+    #[must_use]
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Rebuild a hub from checkpointed parts. Continuing the result
+    /// (publish/import at later boundaries) is bit-identical to
+    /// continuing the hub the parts were captured from.
+    #[must_use]
+    pub fn from_parts(
+        top_k: usize,
+        seeds: Vec<HubSeed>,
+        coverage: CoverageMap,
+        published: u64,
+    ) -> SeedHub {
+        SeedHub {
+            seeds,
+            coverage,
+            top_k,
+            published,
+        }
     }
 
     /// Publish up to `top_k` of `shard`'s seeds: entries are offered

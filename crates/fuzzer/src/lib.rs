@@ -32,6 +32,15 @@
 //!   decomposition executed by N threads sharing the kernel by
 //!   reference, with epoch-barrier hub exchange and a merge that are
 //!   both independent of thread count;
+//! * [`checkpoint`] — crash-safe campaign durability: a
+//!   [`checkpoint::CampaignSnapshot`] of the whole boundary state
+//!   (RNGs, corpora, coverage, hub, triage) written atomically with a
+//!   previous-good rotation, such that interrupt-plus-resume is
+//!   bit-identical to an uninterrupted run at any thread count;
+//! * [`faults`] — deterministic fault injection
+//!   ([`faults::FaultPlan`]): checkpoint-write failures, torn/corrupt
+//!   snapshots, and mid-epoch shard aborts, so every recovery path is
+//!   exercised in CI instead of waiting for real crashes;
 //! * crash triage (internal `triage` module over [`kgpt_triage`]) —
 //!   shards capture the first crashing `ProgCall` stream per
 //!   [`kgpt_vkernel::CrashSignature`]; the driver ddmin-minimizes new
@@ -40,8 +49,10 @@
 //!   any worker thread count.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod corpus;
 pub mod exec;
+pub mod faults;
 pub mod gen;
 pub mod hub;
 pub mod program;
@@ -50,8 +61,10 @@ pub mod shard;
 mod triage;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
+pub use checkpoint::{CampaignSnapshot, CheckpointError};
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
+pub use faults::{Fault, FaultPlan};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};
 pub use kgpt_triage::{TriageEntry, TriageReport};

@@ -27,18 +27,26 @@
 //! (exchange on one shard is a no-op by construction).
 
 use crate::campaign::{CampaignConfig, CampaignResult, CrashTally, ShardState};
+use crate::checkpoint::{config_fingerprint, CampaignSnapshot, CheckpointError};
+use crate::faults::FaultPlan;
 use crate::hub::SeedHub;
 use crate::triage::TriageMinimizer;
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
 use kgpt_triage::TriageReport;
 use kgpt_vkernel::{CoverageMap, VKernel};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default logical shard count (the paper-benchmark scaling curve is
 /// measured at 1–8 worker threads over this decomposition).
 pub const DEFAULT_SHARDS: u32 = 8;
+
+/// Checkpoint-write attempt cap: an injected or real write failure is
+/// retried with deterministic linear backoff this many times before
+/// the boundary is skipped (keeping the previous-good snapshot).
+const MAX_WRITE_ATTEMPTS: u32 = 3;
 
 /// A campaign split across logical shards and executed by a pool of
 /// worker threads.
@@ -50,6 +58,14 @@ pub struct ShardedCampaign<'a> {
     shards: u32,
     /// 0 = one thread per available CPU (capped at the shard count).
     threads: usize,
+    /// Snapshot path; `Some` enables checkpointing at epoch
+    /// boundaries.
+    checkpoint: Option<PathBuf>,
+    /// Injected faults (empty in production).
+    faults: FaultPlan,
+    /// Stop after this many checkpoints were written (test/bench
+    /// hook simulating an interrupt at an epoch boundary).
+    halt_after: Option<u64>,
 }
 
 impl<'a> ShardedCampaign<'a> {
@@ -84,6 +100,17 @@ impl<'a> ShardedCampaign<'a> {
         config: CampaignConfig,
     ) -> ShardedCampaign<'a> {
         let lowered = SpecCache::global().get_or_lower(&db, consts);
+        ShardedCampaign::from_parts(kernel, db, lowered, config)
+    }
+
+    /// Build from already-shared compiled parts (the path
+    /// [`crate::Campaign::resume`] uses to reuse its own handles).
+    pub(crate) fn from_parts(
+        kernel: &'a VKernel,
+        db: Arc<SpecDb>,
+        lowered: Arc<LoweredDb>,
+        config: CampaignConfig,
+    ) -> ShardedCampaign<'a> {
         ShardedCampaign {
             kernel,
             db,
@@ -91,6 +118,9 @@ impl<'a> ShardedCampaign<'a> {
             config,
             shards: DEFAULT_SHARDS,
             threads: 0,
+            checkpoint: None,
+            faults: FaultPlan::none(),
+            halt_after: None,
         }
     }
 
@@ -108,6 +138,35 @@ impl<'a> ShardedCampaign<'a> {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> ShardedCampaign<'a> {
         self.threads = threads;
+        self
+    }
+
+    /// Write a [`CampaignSnapshot`] to `path` at every epoch boundary
+    /// (post-exchange, shard-id order — the loop-top state of the next
+    /// epoch). Checkpointing never changes the campaign result: it
+    /// only reads state the boundary already fixed.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> ShardedCampaign<'a> {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] (durability tests/CI; the
+    /// default is no faults). The campaign *result* stays bit-identical
+    /// under any plan — only the recovery paths taken differ.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> ShardedCampaign<'a> {
+        self.faults = faults;
+        self
+    }
+
+    /// Stop the run right after the `n`-th successful checkpoint write
+    /// (test/bench hook: simulates an interrupt at an epoch boundary;
+    /// the returned result is the partial merge at the halt). Only
+    /// meaningful together with [`ShardedCampaign::with_checkpoint`].
+    #[must_use]
+    pub fn with_halt_after(mut self, n: u64) -> ShardedCampaign<'a> {
+        self.halt_after = Some(n);
         self
     }
 
@@ -130,18 +189,22 @@ impl<'a> ShardedCampaign<'a> {
         self.config.execs / n + u64::from(u64::from(i) < self.config.execs % n)
     }
 
+    /// Fingerprint of this campaign's deterministic identity (config
+    /// fields plus shard count) — what resume validates.
+    fn config_fp(&self) -> u64 {
+        config_fingerprint(&self.config, self.shards)
+    }
+
+    /// Fingerprint of the compiled spec suite — what resume validates.
+    fn spec_fp(&self) -> u64 {
+        SpecCache::fingerprint(self.db.files())
+    }
+
     /// Run all shards and merge. See the module docs for the
     /// determinism contract.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
-        let shards = self.shards as usize;
-        let threads = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
-            t => t,
-        }
-        .clamp(1, shards);
-
-        let mut states: Vec<ShardState> = (0..self.shards)
+        let states: Vec<ShardState> = (0..self.shards)
             .map(|i| {
                 ShardState::new(
                     &self.lowered,
@@ -152,25 +215,109 @@ impl<'a> ShardedCampaign<'a> {
                 )
             })
             .collect();
+        self.run_from(
+            states,
+            SeedHub::new(self.config.hub_top_k),
+            TriageReport::new(),
+            0,
+        )
+    }
 
-        // Epoch-major loop: run every shard for one epoch (in
-        // parallel), then — still on this thread, in shard-id order —
-        // triage freshly captured crashes (first-publisher-wins,
-        // ddmin minimization) and exchange seeds through the hub.
-        // With the hub off the epoch is the whole budget and the loop
-        // body runs once.
+    /// Resume a checkpointed campaign from `path` and run it to
+    /// completion. The final [`CampaignResult`] is **bit-identical**
+    /// to an uninterrupted [`ShardedCampaign::run`] with the same
+    /// config, at any thread count (pinned by `tests/durability.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when no intact snapshot can be
+    /// read from `path` (or its previous-good rotation), when the
+    /// snapshot's config/spec fingerprints do not match this campaign,
+    /// or when its shard list is inconsistent.
+    pub fn resume(&self, path: &Path) -> Result<CampaignResult, CheckpointError> {
+        let snap = CampaignSnapshot::load(path)?;
+        snap.validate(self.config_fp(), self.spec_fp())?;
+        if snap.shards.len() != self.shards as usize
+            || snap
+                .shards
+                .iter()
+                .enumerate()
+                .any(|(i, s)| s.id as usize != i)
+        {
+            return Err(CheckpointError {
+                message: format!(
+                    "snapshot shard list inconsistent: {} shards in snapshot, {} configured",
+                    snap.shards.len(),
+                    self.shards
+                ),
+            });
+        }
+        let states: Vec<ShardState> = snap
+            .shards
+            .iter()
+            .map(|s| ShardState::restore(&self.lowered, &self.config, s))
+            .collect();
+        let hub = SeedHub::from_parts(
+            snap.hub_top_k,
+            snap.hub_seeds,
+            snap.hub_coverage,
+            snap.hub_published,
+        );
+        Ok(self.run_from(states, hub, snap.triage, snap.epochs_done))
+    }
+
+    /// The epoch-major loop from an arbitrary boundary: run every
+    /// shard for one epoch (in parallel), then — still on this thread,
+    /// in shard-id order — triage freshly captured crashes
+    /// (first-publisher-wins, ddmin minimization), exchange seeds
+    /// through the hub, and checkpoint. With the hub off the epoch is
+    /// the whole budget and the loop body runs once. `epochs_done` is
+    /// the driver boundary counter (0 for a fresh run) — fault
+    /// injection and checkpoints key off it, so a resumed run
+    /// continues the same epoch numbering.
+    fn run_from(
+        &self,
+        mut states: Vec<ShardState>,
+        mut hub: SeedHub,
+        mut triage: TriageReport,
+        mut epochs_done: u64,
+    ) -> CampaignResult {
+        let shards = self.shards as usize;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+        .clamp(1, shards);
         let epoch = match self.config.hub_epoch {
             0 => u64::MAX,
             e => e,
         };
-        let mut hub = SeedHub::new(self.config.hub_top_k);
-        let mut triage = TriageReport::new();
         let mut minimizer = TriageMinimizer::new(&self.lowered);
+        let mut checkpoints_written = 0u64;
         loop {
+            let iter = epochs_done;
+            // Injected mid-epoch shard abort: remember the victim's
+            // boundary state before the chunk so the recovery path can
+            // quarantine the poisoned state and re-run from it.
+            let abort = self.faults.shard_abort(iter);
+            let pre_abort =
+                abort.and_then(|sid| states.get(sid as usize).map(ShardState::snapshot));
             self.run_chunk(&mut states, threads, epoch);
+            if let (Some(sid), Some(snap)) = (abort, pre_abort) {
+                // The shard died mid-epoch: discard its (by assumption
+                // poisoned) state, restore the boundary snapshot, and
+                // re-run the epoch sequentially on the driving thread.
+                // Shard evolution is schedule-independent, so the
+                // re-run is bit-identical to the undisturbed epoch and
+                // the merge proceeds with no quarantine hole.
+                let idx = sid as usize;
+                states[idx] = ShardState::restore(&self.lowered, &self.config, &snap);
+                states[idx].run_epoch(self.kernel, epoch);
+            }
             for state in &mut states {
                 minimizer.drain(self.kernel, state.id, &mut state.triage, &mut triage);
             }
+            epochs_done = iter + 1;
             if states.iter().all(|s| s.remaining == 0) {
                 break;
             }
@@ -180,13 +327,65 @@ impl<'a> ShardedCampaign<'a> {
             for state in &mut states {
                 hub.import_into(state.id, &mut state.corpus);
             }
+            // Checkpoint after the exchange: the snapshot is exactly
+            // the loop-top state of the next iteration, so resume
+            // re-enters here with nothing replayed and nothing lost.
+            if let Some(path) = &self.checkpoint {
+                let snap = CampaignSnapshot::capture(
+                    self.config_fp(),
+                    self.spec_fp(),
+                    epochs_done,
+                    states.iter().map(ShardState::snapshot).collect(),
+                    &hub,
+                    &triage,
+                );
+                if self.write_checkpoint(&snap, path, iter) {
+                    checkpoints_written += 1;
+                    if self.halt_after == Some(checkpoints_written) {
+                        // Simulated interrupt: return the partial
+                        // merge (tests discard it and resume from the
+                        // snapshot just written).
+                        return self.merge(states, triage);
+                    }
+                }
+            }
         }
+        self.merge(states, triage)
+    }
 
-        // Merge in shard-id order (deterministic; the merge is also
-        // commutative, so any order would produce the same set).
+    /// Write one checkpoint with the fault plan applied: injected (or
+    /// real) write failures retry with deterministic linear backoff up
+    /// to [`MAX_WRITE_ATTEMPTS`]; exhausting the attempts skips the
+    /// boundary — the previous-good snapshot stays in place and the
+    /// campaign continues. Post-write damage faults (torn write,
+    /// bitrot) are applied to the installed file so a later resume
+    /// exercises the previous-good fallback. Returns whether a
+    /// snapshot was installed.
+    fn write_checkpoint(&self, snap: &CampaignSnapshot, path: &Path, iter: u64) -> bool {
+        let injected_failures = self.faults.write_fail_attempts(iter);
+        for attempt in 1..=MAX_WRITE_ATTEMPTS {
+            let failed = attempt <= injected_failures || snap.save(path).is_err();
+            if !failed {
+                if let Some(damage) = self.faults.post_write_damage(iter) {
+                    apply_damage(path, damage);
+                }
+                return true;
+            }
+            // Deterministic linear backoff; wall-clock only, never
+            // part of the campaign's result.
+            std::thread::sleep(std::time::Duration::from_millis(u64::from(attempt)));
+        }
+        false
+    }
+
+    /// Merge finished (or halted) shard states in shard-id order
+    /// (deterministic; the merge is also commutative, so any order
+    /// would produce the same set).
+    fn merge(&self, states: Vec<ShardState>, triage: TriageReport) -> CampaignResult {
         let mut coverage = CoverageMap::new();
         let mut crashes: CrashTally = CrashTally::new();
         let mut corpus_size = 0usize;
+        let mut fuel_exhausted = 0u64;
         for r in states.into_iter().map(ShardState::finish) {
             coverage.merge(&r.coverage);
             for (title, (count, cve)) in r.crashes {
@@ -194,6 +393,7 @@ impl<'a> ShardedCampaign<'a> {
                 e.0 += count;
             }
             corpus_size += r.corpus_size;
+            fuel_exhausted += r.fuel_exhausted;
         }
         CampaignResult {
             coverage,
@@ -201,6 +401,7 @@ impl<'a> ShardedCampaign<'a> {
             execs: self.config.execs,
             corpus_size,
             triage,
+            fuel_exhausted,
         }
     }
 
@@ -233,6 +434,29 @@ impl<'a> ShardedCampaign<'a> {
             }
         });
     }
+}
+
+/// Damage an installed snapshot in place (fault injection only):
+/// `None` truncates the file to half its length (a torn write),
+/// `Some(byte)` flips one payload byte (bitrot), wrapped past the
+/// 20-byte header so the checksum — not the magic/version check —
+/// is what trips. Deliberately a direct, non-atomic rewrite: it
+/// simulates damage that happens *after* the atomic install.
+fn apply_damage(path: &Path, damage: Option<usize>) {
+    let Ok(mut bytes) = std::fs::read(path) else {
+        return;
+    };
+    match damage {
+        None => bytes.truncate(bytes.len() / 2),
+        Some(byte) => {
+            const HEADER: usize = 20;
+            if bytes.len() > HEADER {
+                let idx = HEADER + byte % (bytes.len() - HEADER);
+                bytes[idx] ^= 0xFF;
+            }
+        }
+    }
+    let _ = std::fs::write(path, bytes);
 }
 
 #[cfg(test)]

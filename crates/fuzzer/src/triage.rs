@@ -46,6 +46,25 @@ pub(crate) struct ShardTriage {
 }
 
 impl ShardTriage {
+    /// Signatures this shard has ever observed. At epoch boundaries
+    /// (post-drain) this is the shard's *entire* triage state —
+    /// `fresh` and `counts` are empty — so it is what the checkpoint
+    /// layer persists.
+    pub(crate) fn seen(&self) -> &BTreeSet<CrashSignature> {
+        &self.seen
+    }
+
+    /// Rebuild boundary-state triage from a checkpointed seen-set
+    /// (fresh captures and pending counts are empty at boundaries by
+    /// construction).
+    pub(crate) fn from_seen(seen: BTreeSet<CrashSignature>) -> ShardTriage {
+        ShardTriage {
+            seen,
+            fresh: Vec::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
     /// Record one crashing execution. `prog` is only cloned on the
     /// first local observation of the signature.
     pub(crate) fn observe(&mut self, crash: &CrashReport, prog: &Program, epoch: u64) {
@@ -96,10 +115,25 @@ impl TriageMinimizer {
                 continue;
             }
             let scratch = &mut self.scratch;
-            let outcome = minimize(&cap.program, |candidate| {
-                execute_with(kernel, candidate, scratch);
-                scratch.crash().is_some_and(|c| c.signature == sig)
-            });
+            // Probe the raw capture once before minimizing: if it no
+            // longer triggers its signature (stale capture), report it
+            // as non-reproducible unchanged rather than ddmin-ing
+            // against a predicate that can never hold. The probe runs
+            // on the boundary scratch and draws no campaign
+            // randomness, so it never perturbs the shard streams.
+            execute_with(kernel, &cap.program, scratch);
+            let reproducible = scratch.crash().is_some_and(|c| c.signature == sig);
+            let (minimized, minimize_execs) = if reproducible {
+                let outcome = minimize(&cap.program, |candidate| {
+                    execute_with(kernel, candidate, scratch);
+                    scratch.crash().is_some_and(|c| c.signature == sig)
+                });
+                (outcome.program, outcome.execs)
+            } else {
+                // Mirrors `minimize`'s non-reproducing contract: the
+                // program comes back unchanged at a cost of one probe.
+                (cap.program.clone(), 1)
+            };
             let taken = report.admit(TriageEntry {
                 signature: sig,
                 title: cap.title,
@@ -108,13 +142,80 @@ impl TriageMinimizer {
                 first_shard: shard_id,
                 count: 0,
                 raw: cap.program,
-                minimized: outcome.program,
-                minimize_execs: outcome.execs,
+                minimized,
+                minimize_execs,
+                reproducible,
             });
             debug_assert!(taken, "signature admitted twice in one drain");
         }
         for (sig, n) in std::mem::take(&mut triage.counts) {
             report.add_count(&sig, n);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpt_syzlang::lowered::LoweredDb;
+    use kgpt_syzlang::SpecDb;
+    use kgpt_vkernel::{SanitizerKind, Sysno};
+
+    #[test]
+    fn stale_capture_is_reported_non_reproducible_without_panicking() {
+        // A capture whose program no longer triggers its signature
+        // (oracle returns false on the boundary replay): the drain
+        // must admit it unchanged, flag it non-reproducible, and keep
+        // going — not panic or loop in the minimizer. Fabricated by
+        // observing a signature against a benign (empty) program.
+        let kc = kgpt_csrc::KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let db = SpecDb::from_files(vec![kc.blueprints()[0].ground_truth_spec()]);
+        let kernel = kgpt_vkernel::VKernel::boot(vec![kgpt_csrc::flagship::dm()]);
+        let lowered = std::sync::Arc::new(LoweredDb::build(&db, kc.consts()));
+
+        let sig = kgpt_vkernel::CrashSignature {
+            sysno: Sysno::Ioctl,
+            chain_depth: 1,
+            sanitizer: SanitizerKind::Kmalloc,
+            site: 42,
+        };
+        let crash = kgpt_vkernel::CrashReport {
+            title: "stale capture".into(),
+            cve: None,
+            handler: "dm".into(),
+            signature: sig,
+        };
+        let mut shard = ShardTriage::default();
+        shard.observe(&crash, &Program::default(), 3);
+        shard.observe(&crash, &Program::default(), 3);
+
+        let mut report = TriageReport::new();
+        TriageMinimizer::new(&lowered).drain(&kernel, 0, &mut shard, &mut report);
+
+        let e = report.get(&sig).expect("stale capture still reported");
+        assert!(!e.reproducible);
+        assert_eq!(e.minimized, e.raw, "non-reproducing capture kept as-is");
+        assert_eq!(e.minimize_execs, 1, "one probe, no ddmin");
+        assert_eq!(e.count, 2);
+        // The drained shard state is reusable: the campaign continues.
+        assert!(shard.fresh.is_empty());
+        assert!(shard.counts.is_empty());
+        assert!(shard.seen().contains(&sig));
+    }
+
+    #[test]
+    fn seen_round_trip_restores_boundary_state() {
+        let sig = kgpt_vkernel::CrashSignature {
+            sysno: Sysno::Close,
+            chain_depth: 2,
+            sanitizer: SanitizerKind::Odebug,
+            site: 9,
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(sig);
+        let restored = ShardTriage::from_seen(seen.clone());
+        assert_eq!(restored.seen(), &seen);
+        assert!(restored.fresh.is_empty());
+        assert!(restored.counts.is_empty());
     }
 }

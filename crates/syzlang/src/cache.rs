@@ -583,6 +583,51 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_thrash_rebuilds_correct_databases_every_time() {
+        // Regression guard for the pathological LRU shape: a
+        // capacity-1 cache fed two suites alternately must evict on
+        // every other lookup, yet every returned `Arc<SpecDb>` /
+        // `Arc<LoweredDb>` must belong to the suite that was asked
+        // for — thrashing may cost compiles, never correctness.
+        let cache = SpecCache::with_capacity(1);
+        let a_files = suite(
+            "resource fd_ta[fd]\nioctl$TA(fd fd_ta, cmd const[K], arg ptr[in, array[int8]])\n",
+        );
+        let b_files = suite(
+            "resource fd_tb[fd]\nioctl$TB(fd fd_tb, cmd const[K], arg ptr[in, array[int8]])\n",
+        );
+        let mut consts = ConstDb::new();
+        consts.define("K", 9);
+        for round in 0..4u64 {
+            let (a_db, a_low) = cache.get_or_build_lowered(&a_files, &consts);
+            assert!(a_db.resource("fd_ta").is_some(), "round {round}");
+            assert!(a_db.resource("fd_tb").is_none(), "round {round}");
+            assert_eq!(a_low.syscall_count(), 1, "round {round}");
+            // Within the round the lowering lookup hits the entry the
+            // build just (re)inserted — pointer-equal on re-request.
+            assert!(Arc::ptr_eq(&a_low, &cache.get_or_lower(&a_db, &consts)));
+            assert_eq!(cache.len(), 1, "capacity bound violated");
+
+            let (b_db, b_low) = cache.get_or_build_lowered(&b_files, &consts);
+            assert!(b_db.resource("fd_tb").is_some(), "round {round}");
+            assert!(b_db.resource("fd_ta").is_none(), "round {round}");
+            assert!(!Arc::ptr_eq(&a_db, &b_db));
+            assert!(Arc::ptr_eq(&b_low, &cache.get_or_lower(&b_db, &consts)));
+            assert_eq!(cache.len(), 1, "capacity bound violated");
+        }
+        // Counter arithmetic of the thrash: every get_or_build after
+        // the first insertion of each suite misses (the other suite
+        // evicted it), and each build-miss round also re-lowers; the
+        // same-round get_or_lower re-requests above all hit.
+        // Per round: 2 build misses + 2 lower misses, and 2 lowering
+        // hits from the pointer-equality re-requests.
+        assert_eq!(cache.misses(), 16, "4 rounds x (2 builds + 2 lowerings)");
+        assert_eq!(cache.hits(), 8, "4 rounds x 2 same-round lowering hits");
+        // Every insertion past the very first evicts the other suite.
+        assert_eq!(cache.evictions(), 7);
+    }
+
+    #[test]
     fn global_cache_is_shared_and_warm() {
         let files = suite("resource fd_g[fd]\n");
         let a = SpecCache::global().get_or_build(&files);

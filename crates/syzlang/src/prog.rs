@@ -13,8 +13,34 @@
 //! pulling in the whole fuzzing loop.
 
 use crate::db::SpecDb;
+use crate::value::ResRef;
 use crate::{Syscall, Value};
 use serde::{Deserialize, Serialize};
+
+/// Maximum value-tree nesting accepted by [`Program::decode_from`].
+/// Generated values are shallow (a handful of levels); the bound
+/// exists so a corrupt snapshot cannot recurse the decoder off the
+/// stack.
+pub const MAX_VALUE_DEPTH: usize = 64;
+
+/// Error decoding a serialized program (see
+/// [`Program::decode_from`]): truncated input, an unknown value tag,
+/// or nesting beyond [`MAX_VALUE_DEPTH`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub message: &'static str,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// One call in a program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +95,199 @@ impl Program {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Append a dense little-endian binary encoding of the program to
+    /// `out`. The format is self-delimiting, so multiple programs can
+    /// be concatenated and read back with [`Program::decode_from`].
+    /// This is the serialization hook for campaign checkpoints; the
+    /// vendored `serde` derives are no-ops, so the wire format lives
+    /// here.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, u32::try_from(self.calls.len()).unwrap_or(u32::MAX));
+        for call in &self.calls {
+            put_u32(out, call.sys);
+            put_u32(out, u32::try_from(call.args.len()).unwrap_or(u32::MAX));
+            for arg in &call.args {
+                encode_value(arg, out);
+            }
+        }
+    }
+
+    /// Decode a program previously written by [`Program::encode_into`],
+    /// starting at `*pos` and advancing it past the consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated input, an unknown value
+    /// tag, or value nesting deeper than the decoder's fixed bound —
+    /// without panicking or recursing unboundedly, so a corrupt
+    /// snapshot is a recoverable condition.
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<Program, DecodeError> {
+        let n_calls = take_u32(bytes, pos)? as usize;
+        let mut calls = Vec::new();
+        for _ in 0..n_calls {
+            let sys = take_u32(bytes, pos)?;
+            let n_args = take_u32(bytes, pos)? as usize;
+            let mut args = Vec::new();
+            for _ in 0..n_args {
+                args.push(decode_value(bytes, pos, 0)?);
+            }
+            calls.push(ProgCall { sys, args });
+        }
+        Ok(Program { calls })
+    }
+}
+
+// ---- binary value codec -------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_RES: u8 = 1;
+const TAG_BYTES: u8 = 2;
+const TAG_GROUP: u8 = 3;
+const TAG_UNION: u8 = 4;
+const TAG_PTR_NULL: u8 = 5;
+const TAG_PTR: u8 = 6;
+
+/// `Option<usize>` producer indices are encoded as a u64 with
+/// `u64::MAX` standing in for `None`; real indices are call positions
+/// and never approach that value.
+const NO_PRODUCER: u64 = u64::MAX;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(DecodeError {
+            message: "truncated u32",
+            offset: *pos,
+        });
+    };
+    let v = u32::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(DecodeError {
+            message: "truncated u64",
+            offset: *pos,
+        });
+    };
+    let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, DecodeError> {
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(DecodeError {
+            message: "truncated tag",
+            offset: *pos,
+        });
+    };
+    *pos += 1;
+    Ok(b)
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(n) => {
+            out.push(TAG_INT);
+            put_u64(out, *n);
+        }
+        Value::Res(r) => {
+            out.push(TAG_RES);
+            put_u64(out, r.producer.map_or(NO_PRODUCER, |p| p as u64));
+            put_u64(out, r.fallback);
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            put_u32(out, u32::try_from(b.len()).unwrap_or(u32::MAX));
+            out.extend_from_slice(b);
+        }
+        Value::Group(vs) => {
+            out.push(TAG_GROUP);
+            put_u32(out, u32::try_from(vs.len()).unwrap_or(u32::MAX));
+            for v in vs {
+                encode_value(v, out);
+            }
+        }
+        Value::Union { arm, value } => {
+            out.push(TAG_UNION);
+            put_u32(out, u32::try_from(*arm).unwrap_or(u32::MAX));
+            encode_value(value, out);
+        }
+        Value::Ptr { pointee: None } => out.push(TAG_PTR_NULL),
+        Value::Ptr { pointee: Some(p) } => {
+            out.push(TAG_PTR);
+            encode_value(p, out);
+        }
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn decode_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, DecodeError> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(DecodeError {
+            message: "value nesting too deep",
+            offset: *pos,
+        });
+    }
+    let tag = take_u8(bytes, pos)?;
+    match tag {
+        TAG_INT => Ok(Value::Int(take_u64(bytes, pos)?)),
+        TAG_RES => {
+            let producer = take_u64(bytes, pos)?;
+            let fallback = take_u64(bytes, pos)?;
+            Ok(Value::Res(ResRef {
+                producer: (producer != NO_PRODUCER).then_some(producer as usize),
+                fallback,
+            }))
+        }
+        TAG_BYTES => {
+            let len = take_u32(bytes, pos)? as usize;
+            let end = pos.checked_add(len).filter(|&e| e <= bytes.len());
+            let Some(end) = end else {
+                return Err(DecodeError {
+                    message: "truncated byte blob",
+                    offset: *pos,
+                });
+            };
+            let b = bytes[*pos..end].to_vec();
+            *pos = end;
+            Ok(Value::Bytes(b))
+        }
+        TAG_GROUP => {
+            let len = take_u32(bytes, pos)? as usize;
+            let mut vs = Vec::new();
+            for _ in 0..len {
+                vs.push(decode_value(bytes, pos, depth + 1)?);
+            }
+            Ok(Value::Group(vs))
+        }
+        TAG_UNION => {
+            let arm = take_u32(bytes, pos)? as usize;
+            let value = Box::new(decode_value(bytes, pos, depth + 1)?);
+            Ok(Value::Union { arm, value })
+        }
+        TAG_PTR_NULL => Ok(Value::Ptr { pointee: None }),
+        TAG_PTR => Ok(Value::Ptr {
+            pointee: Some(Box::new(decode_value(bytes, pos, depth + 1)?)),
+        }),
+        _ => Err(DecodeError {
+            message: "unknown value tag",
+            offset: *pos - 1,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +318,87 @@ mod tests {
         p.truncate(1);
         assert_eq!(p.display(&db), "close$b");
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_every_value_shape() {
+        let p = Program {
+            calls: vec![
+                ProgCall {
+                    sys: 3,
+                    args: vec![
+                        Value::Int(u64::MAX),
+                        Value::Res(ResRef {
+                            producer: Some(0),
+                            fallback: 7,
+                        }),
+                        Value::Res(ResRef {
+                            producer: None,
+                            fallback: 0xFFFF_FFFF_FFFF,
+                        }),
+                    ],
+                },
+                ProgCall {
+                    sys: 0,
+                    args: vec![
+                        Value::Bytes(vec![0, 1, 255]),
+                        Value::Group(vec![
+                            Value::Int(1),
+                            Value::Union {
+                                arm: 2,
+                                value: Box::new(Value::Ptr {
+                                    pointee: Some(Box::new(Value::Bytes(Vec::new()))),
+                                }),
+                            },
+                        ]),
+                        Value::Ptr { pointee: None },
+                    ],
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        p.encode_into(&mut buf);
+        // Self-delimiting: a second program concatenates cleanly.
+        Program::default().encode_into(&mut buf);
+        let mut pos = 0;
+        assert_eq!(Program::decode_from(&buf, &mut pos).unwrap(), p);
+        assert_eq!(
+            Program::decode_from(&buf, &mut pos).unwrap(),
+            Program::default()
+        );
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decoder_rejects_corruption_without_panicking() {
+        let p = Program {
+            calls: vec![ProgCall {
+                sys: 1,
+                args: vec![Value::Int(5)],
+            }],
+        };
+        let mut buf = Vec::new();
+        p.encode_into(&mut buf);
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(Program::decode_from(&buf[..cut], &mut pos).is_err());
+        }
+        // Unknown tag.
+        let mut bad = buf.clone();
+        let tag_at = 4 + 4 + 4; // n_calls, sys, n_args
+        bad[tag_at] = 0xEE;
+        let mut pos = 0;
+        assert!(Program::decode_from(&bad, &mut pos).is_err());
+        // Nesting past the depth bound: a chain of Ptr tags.
+        let mut deep = Vec::new();
+        super::put_u32(&mut deep, 1); // one call
+        super::put_u32(&mut deep, 0); // sys
+        super::put_u32(&mut deep, 1); // one arg
+        deep.extend(std::iter::repeat_n(super::TAG_PTR, 200));
+        deep.push(super::TAG_PTR_NULL);
+        let mut pos = 0;
+        let err = Program::decode_from(&deep, &mut pos).unwrap_err();
+        assert_eq!(err.message, "value nesting too deep");
     }
 }

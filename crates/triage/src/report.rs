@@ -38,6 +38,12 @@ pub struct TriageEntry {
     pub minimized: Program,
     /// Replays the minimizer spent shrinking `raw`.
     pub minimize_execs: u64,
+    /// Whether the raw capture still triggered its signature when
+    /// replayed at the triage boundary. Kernel state can drift between
+    /// capture and drain in principle; a stale capture is reported
+    /// as-is (`minimized == raw`) instead of being minimized against a
+    /// signature it no longer reaches — and never aborts the campaign.
+    pub reproducible: bool,
 }
 
 impl TriageEntry {
@@ -181,6 +187,7 @@ mod tests {
                 calls: vec![call; raw_len.div_ceil(2)],
             },
             minimize_execs: 10,
+            reproducible: true,
         }
     }
 

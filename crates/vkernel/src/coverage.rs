@@ -165,6 +165,25 @@ impl CoverageMap {
     pub fn to_btree_set(&self) -> BTreeSet<u64> {
         self.iter().collect()
     }
+
+    /// The raw bitmap words (bit `b` of word `w` set ⇔ block
+    /// `w * 64 + b` covered) — the checkpoint serialization view.
+    /// Trailing zero words may be present; they are representation
+    /// noise (equality ignores them) and may be dropped by writers.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a map from raw bitmap words previously obtained via
+    /// [`CoverageMap::words`]. The distinct-block count is recomputed
+    /// from the words, so a writer that trimmed (or kept) trailing
+    /// zero words restores to a map equal to the original.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>) -> CoverageMap {
+        let count = words.iter().map(|w| w.count_ones() as usize).sum();
+        CoverageMap { words, count }
+    }
 }
 
 impl PartialEq for CoverageMap {
@@ -361,6 +380,19 @@ mod tests {
         assert!(m.merge_diff(&b).is_empty());
         // Diff against an empty receiver is the whole input.
         assert_eq!(CoverageMap::new().diff_in(&b), b);
+    }
+
+    #[test]
+    fn words_round_trip_restores_equal_maps() {
+        let m: CoverageMap = [0u64, 63, 64, 4096, 12345].into_iter().collect();
+        let restored = CoverageMap::from_words(m.words().to_vec());
+        assert_eq!(m, restored);
+        assert_eq!(m.len(), restored.len());
+        // Trailing zero words survive the round trip as noise only.
+        let mut padded = m.words().to_vec();
+        padded.extend([0u64; 7]);
+        assert_eq!(CoverageMap::from_words(padded), m);
+        assert_eq!(CoverageMap::from_words(Vec::new()), CoverageMap::new());
     }
 
     #[test]

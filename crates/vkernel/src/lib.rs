@@ -64,6 +64,9 @@ pub mod errno {
     pub const EBADF: i64 = 9;
     /// Bad address.
     pub const EFAULT: i64 = 14;
+    /// Out of memory (returned for fuel-exhausted executions: the
+    /// virtual analogue of the kernel refusing further work).
+    pub const ENOMEM: i64 = 12;
     /// Device or resource busy.
     pub const EBUSY: i64 = 16;
     /// Invalid argument.
@@ -149,6 +152,37 @@ impl Sysno {
             _ => Sysno::Unsupported,
         }
     }
+
+    /// Stable dense index for serialization (declaration order).
+    #[must_use]
+    pub fn as_index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Sysno::as_index`]; `None` for an out-of-range
+    /// index (e.g. from a corrupt snapshot).
+    #[must_use]
+    pub fn from_index(idx: u8) -> Option<Sysno> {
+        const ALL: [Sysno; 16] = [
+            Sysno::Openat,
+            Sysno::Open,
+            Sysno::Socket,
+            Sysno::Ioctl,
+            Sysno::Setsockopt,
+            Sysno::Getsockopt,
+            Sysno::Bind,
+            Sysno::Connect,
+            Sysno::Accept,
+            Sysno::Sendto,
+            Sysno::Recvfrom,
+            Sysno::Read,
+            Sysno::Write,
+            Sysno::Close,
+            Sysno::Mmap,
+            Sysno::Unsupported,
+        ];
+        ALL.get(idx as usize).copied()
+    }
 }
 
 /// Sanitizer family that detected a crash — the dense analogue of the
@@ -182,6 +216,26 @@ impl SanitizerKind {
             Trigger::Repeat { .. } => SanitizerKind::Odebug,
             Trigger::PayloadLen { .. } => SanitizerKind::OutOfBounds,
         }
+    }
+
+    /// Stable dense index for serialization (declaration order).
+    #[must_use]
+    pub fn as_index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`SanitizerKind::as_index`]; `None` for an
+    /// out-of-range index (e.g. from a corrupt snapshot).
+    #[must_use]
+    pub fn from_index(idx: u8) -> Option<SanitizerKind> {
+        const ALL: [SanitizerKind; 5] = [
+            SanitizerKind::Kmalloc,
+            SanitizerKind::DivideError,
+            SanitizerKind::UseAfterFree,
+            SanitizerKind::Odebug,
+            SanitizerKind::OutOfBounds,
+        ];
+        ALL.get(idx as usize).copied()
     }
 }
 
@@ -284,6 +338,15 @@ pub struct VmState {
     /// Reusable decoded-field scratch, aligned with the argument
     /// struct's fields (`None` = field not decodable at its offset).
     field_buf: Vec<Option<u64>>,
+    /// Per-exec fuel budget in work units (blocks retired + argument
+    /// bytes decoded); 0 = unlimited. Survives [`VmState::reset`] —
+    /// it is a property of the worker, not of one program.
+    fuel_limit: u64,
+    /// Work units charged so far in the current execution.
+    fuel_spent: u64,
+    /// Whether the current execution ran out of fuel. Once set, every
+    /// further call returns `-ENOMEM` until the next reset.
+    fuel_exhausted: bool,
 }
 
 impl VmState {
@@ -293,12 +356,54 @@ impl VmState {
         VmState::default()
     }
 
-    /// Clear fd table, coverage and crash for the next program while
-    /// keeping allocations.
+    /// Clear fd table, coverage, crash and spent fuel for the next
+    /// program while keeping allocations (and the fuel limit).
     pub fn reset(&mut self) {
         self.fds.clear();
         self.coverage.clear();
         self.crash = None;
+        self.fuel_spent = 0;
+        self.fuel_exhausted = false;
+    }
+
+    /// Set the per-exec fuel budget (work units: blocks retired +
+    /// argument bytes decoded). `0` disables the watchdog. The limit
+    /// persists across [`VmState::reset`].
+    pub fn set_fuel_limit(&mut self, limit: u64) {
+        self.fuel_limit = limit;
+    }
+
+    /// The configured per-exec fuel budget (0 = unlimited).
+    #[must_use]
+    pub fn fuel_limit(&self) -> u64 {
+        self.fuel_limit
+    }
+
+    /// Work units charged in the current execution.
+    #[must_use]
+    pub fn fuel_spent(&self) -> u64 {
+        self.fuel_spent
+    }
+
+    /// Whether the current execution exhausted its fuel budget — a
+    /// counted outcome, not a crash: `crash` stays `None` and the
+    /// coverage retired before exhaustion remains mergeable.
+    #[must_use]
+    pub fn fuel_exhausted(&self) -> bool {
+        self.fuel_exhausted
+    }
+
+    /// Charge `units` of work against the fuel budget. Deterministic:
+    /// exhaustion depends only on the executed program, never on wall
+    /// clock or scheduling.
+    fn charge_fuel(&mut self, units: u64) {
+        if self.fuel_limit == 0 {
+            return;
+        }
+        self.fuel_spent = self.fuel_spent.saturating_add(units);
+        if self.fuel_spent > self.fuel_limit {
+            self.fuel_exhausted = true;
+        }
     }
 
     fn alloc_fd(&mut self, st: FdState) -> i64 {
@@ -398,6 +503,9 @@ impl VKernel {
         if state.crash.is_some() {
             return -errno::EFAULT; // kernel already paniced
         }
+        if state.fuel_exhausted {
+            return -errno::ENOMEM; // fuel watchdog tripped
+        }
         match no {
             Sysno::Openat => self.sys_open(state, args[1], mem),
             Sysno::Open => self.sys_open(state, args[0], mem),
@@ -427,6 +535,7 @@ impl VKernel {
     }
 
     fn cover(&self, state: &mut VmState, base: u64, offset: u64, count: u32) {
+        state.charge_fuel(u64::from(count));
         for i in 0..u64::from(count) {
             state.coverage.insert(base + offset + i);
         }
@@ -584,6 +693,7 @@ impl VKernel {
                         return -errno::EINVAL;
                     }
                 }
+                state.charge_fuel(size);
                 // Borrow the argument bytes straight out of the memory
                 // image when they sit in one segment (the encoder's
                 // normal layout) — the per-ioctl `copy_from_user` copy
@@ -615,6 +725,7 @@ impl VKernel {
                 state.decode_buf = owned;
             }
             ArgKind::IdPtr(_) => {
+                state.charge_fuel(4);
                 let mut owned = std::mem::take(&mut state.decode_buf);
                 let bytes: &[u8] = match mem.slice_at(arg, 4) {
                     Some(s) => s,
@@ -1387,6 +1498,43 @@ mod tests {
             &m,
         );
         assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_counted_not_crashed() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        // Two units cover the first two open blocks, then the
+        // watchdog trips; no crash, and the retired coverage stays.
+        st.set_fuel_limit(2);
+        let _ = open_dm(&k, &mut st);
+        assert!(st.fuel_exhausted());
+        assert!(st.crash.is_none());
+        assert!(!st.coverage.is_empty());
+        let covered = st.coverage.clone();
+        // Every further call is refused without touching coverage.
+        let m = mem_with("/dev/mapper/control");
+        let r = k.exec_call(&mut st, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
+        assert_eq!(r, -errno::ENOMEM);
+        assert_eq!(st.coverage, covered);
+        // Reset clears the spent fuel but keeps the limit.
+        st.reset();
+        assert!(!st.fuel_exhausted());
+        assert_eq!(st.fuel_spent(), 0);
+        assert_eq!(st.fuel_limit(), 2);
+    }
+
+    #[test]
+    fn generous_fuel_limit_changes_nothing() {
+        let k = boot_dm();
+        let mut unlimited = VmState::new();
+        let mut fueled = VmState::new();
+        fueled.set_fuel_limit(1 << 20);
+        let _ = open_dm(&k, &mut unlimited);
+        let _ = open_dm(&k, &mut fueled);
+        assert_eq!(unlimited.coverage, fueled.coverage);
+        assert!(!fueled.fuel_exhausted());
+        assert!(fueled.fuel_spent() > 0, "covered blocks must be charged");
     }
 
     #[test]

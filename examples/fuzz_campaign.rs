@@ -4,6 +4,17 @@
 //! pre-existing (partial) Syzkaller specs.
 //!
 //! Run with: `cargo run --release --example fuzz_campaign`
+//!
+//! Environment knobs (all optional; used by the CI kill-and-resume
+//! smoke, which SIGKILLs a checkpointing run mid-campaign and demands
+//! that resume reproduce the uninterrupted `RESULT` lines exactly):
+//!
+//! * `FUZZ_EXECS` — per-campaign exec budget (default 20000);
+//! * `FUZZ_CHECKPOINT` — base path for crash-safe per-epoch campaign
+//!   snapshots (each suite checkpoints to `<base>.suiteN.ckpt`);
+//! * `FUZZ_RESUME` — when set, resume each campaign from its snapshot
+//!   instead of starting fresh, falling back to a fresh run when no
+//!   usable snapshot exists (e.g. killed before the first boundary).
 
 use kernelgpt::core::KernelGpt;
 use kernelgpt::csrc::{flagship, KernelCorpus};
@@ -11,8 +22,20 @@ use kernelgpt::extractor::find_handlers;
 use kernelgpt::fuzzer::{CampaignConfig, ShardedCampaign};
 use kernelgpt::llm::{ModelKind, OracleModel};
 use kernelgpt::vkernel::VKernel;
+use std::path::PathBuf;
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
+    let execs = env_u64("FUZZ_EXECS", 20_000);
+    let checkpoint = std::env::var_os("FUZZ_CHECKPOINT").map(PathBuf::from);
+    let resume = std::env::var_os("FUZZ_RESUME").is_some();
+
     let blueprints = vec![flagship::dm(), flagship::cec(), flagship::sg()];
     let kc = KernelCorpus::from_blueprints(blueprints.clone());
     let kernel = VKernel::boot(blueprints);
@@ -26,13 +49,16 @@ fn main() {
     let mut augmented = existing.clone();
     augmented.extend(report.specs());
 
-    for (name, suite) in [("existing", existing), ("existing+KernelGPT", augmented)] {
+    for (i, (name, suite)) in [("existing", existing), ("existing+KernelGPT", augmented)]
+        .into_iter()
+        .enumerate()
+    {
         if suite.is_empty() {
             println!("{name:<20}: no specs, skipping");
             continue;
         }
         let cfg = CampaignConfig {
-            execs: 20_000,
+            execs,
             seed: 1,
             // Cross-shard seed exchange: every 2048 execs per shard,
             // each shard publishes its 4 best novel seeds to the hub
@@ -45,7 +71,26 @@ fn main() {
         };
         // Sharded over all cores; the result is identical to a
         // sequential 8-shard run, just faster.
-        let result = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg).run();
+        let mut campaign = ShardedCampaign::new(&kernel, &suite, kc.consts(), cfg);
+        let ckpt = checkpoint
+            .as_ref()
+            .map(|base| base.with_extension(format!("suite{i}.ckpt")));
+        if let Some(path) = &ckpt {
+            campaign = campaign.with_checkpoint(path);
+        }
+        let result = match (&ckpt, resume) {
+            (Some(path), true) => match campaign.resume(path) {
+                Ok(r) => {
+                    println!("{name:<20}: resumed from {}", path.display());
+                    r
+                }
+                Err(e) => {
+                    println!("{name:<20}: no usable snapshot ({e}); running fresh");
+                    campaign.run()
+                }
+            },
+            _ => campaign.run(),
+        };
         println!(
             "{name:<20}: {:>5} blocks, {} unique crashes over {} execs (corpus {})",
             result.blocks(),
@@ -61,5 +106,17 @@ fn main() {
                     .unwrap_or_default()
             );
         }
+        // Stable machine-checkable line: the kill-and-resume smoke
+        // diffs these between an uninterrupted reference run and an
+        // interrupted-then-resumed run.
+        println!(
+            "RESULT {name}: blocks={} unique_crashes={} corpus={} execs={} fuel_exhausted={} triage={}",
+            result.blocks(),
+            result.unique_crashes(),
+            result.corpus_size,
+            result.execs,
+            result.fuel_exhausted,
+            result.triage.len(),
+        );
     }
 }

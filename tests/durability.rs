@@ -1,0 +1,308 @@
+//! Campaign durability properties: crash-safe checkpoint/resume,
+//! deterministic fault injection, and the exec fuel watchdog.
+//!
+//! The central invariant (the reason checkpoints snapshot *boundary*
+//! state and nothing else): **interrupting a campaign at any epoch
+//! boundary and resuming it is bit-identical to the uninterrupted
+//! run, at any thread count, under any injected fault plan.**
+
+use kernelgpt::csrc::{deepchain, KernelCorpus};
+use kernelgpt::fuzzer::{
+    Campaign, CampaignConfig, CampaignResult, Fault, FaultPlan, ShardedCampaign,
+};
+use kernelgpt::syzlang::{ConstDb, SpecFile};
+use kernelgpt::vkernel::VKernel;
+use std::path::PathBuf;
+
+fn deepchain_setup() -> (VKernel, Vec<SpecFile>, ConstDb) {
+    let kc = KernelCorpus::from_blueprints(deepchain::suite());
+    let suite: Vec<_> = kc
+        .blueprints()
+        .iter()
+        .map(|bp| bp.ground_truth_spec())
+        .collect();
+    (
+        VKernel::boot(deepchain::suite()),
+        suite,
+        kc.consts().clone(),
+    )
+}
+
+fn cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        execs: 3000,
+        seed,
+        max_prog_len: 10,
+        hub_epoch: 125,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Fresh per-test scratch path for a checkpoint file.
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kgpt-durability-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{tag}.ckpt"))
+}
+
+fn assert_same(a: &CampaignResult, b: &CampaignResult, label: &str) {
+    assert_eq!(a.coverage, b.coverage, "{label}: coverage");
+    assert_eq!(a.crashes, b.crashes, "{label}: crashes");
+    assert_eq!(a.corpus_size, b.corpus_size, "{label}: corpus_size");
+    assert_eq!(a.triage, b.triage, "{label}: triage");
+    assert_eq!(
+        a.fuel_exhausted, b.fuel_exhausted,
+        "{label}: fuel_exhausted"
+    );
+    assert_eq!(a.execs, b.execs, "{label}: execs");
+}
+
+/// Interrupt-at-a-boundary + resume is bit-identical to the
+/// uninterrupted run at 1/2/4/8 worker threads across three seeds.
+/// With `execs = 3000` over 8 shards and `hub_epoch = 125` each shard
+/// runs 3 epochs, so checkpoints land at boundaries 1 and 2 — the run
+/// is interrupted at both (alternating with thread count) to prove
+/// resume works from *any* boundary, not just the first.
+#[test]
+fn interrupt_plus_resume_is_bit_identical_at_any_thread_count() {
+    let (kernel, suite, consts) = deepchain_setup();
+    for seed in [1u64, 7, 0xDEAD_BEEF] {
+        let reference = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+            .with_shards(8)
+            .run();
+        assert!(
+            !reference.triage.is_empty(),
+            "seed {seed}: no crash triaged on the deep-chain suite"
+        );
+        for (i, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let halt_after = 1 + (i as u64 % 2);
+            let path = ckpt_path(&format!("resume-{seed}-{threads}"));
+            let partial = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+                .with_shards(8)
+                .with_threads(threads)
+                .with_checkpoint(&path)
+                .with_halt_after(halt_after)
+                .run();
+            // The halt really interrupted the campaign mid-flight.
+            assert!(
+                partial.coverage != reference.coverage || partial.triage != reference.triage,
+                "seed {seed} threads {threads}: halt_after={halt_after} did not interrupt"
+            );
+            let resumed = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+                .with_shards(8)
+                .with_threads(threads)
+                .resume(&path)
+                .expect("resume");
+            assert_same(
+                &reference,
+                &resumed,
+                &format!("seed {seed} threads {threads} halt {halt_after}"),
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+/// Every fault kind — write failures (both recoverable and
+/// boundary-skipping), torn writes, bitrot, mid-epoch shard aborts,
+/// and a seed-derived composite plan — leaves the campaign result
+/// bit-identical, and interrupt+resume still holds underneath it.
+#[test]
+fn resume_is_bit_identical_under_every_fault_plan() {
+    let (kernel, suite, consts) = deepchain_setup();
+    let seed = 7u64;
+    let reference = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+        .with_shards(8)
+        .run();
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        (
+            "write-fail-recoverable",
+            FaultPlan::none().with(Fault::WriteFail {
+                epoch: 0,
+                attempts: 2,
+            }),
+        ),
+        (
+            // All attempts fail at boundary 0: that boundary is
+            // skipped, the boundary-1 checkpoint is the first one
+            // written, and the halt lands there instead.
+            "write-fail-skips-boundary",
+            FaultPlan::none().with(Fault::WriteFail {
+                epoch: 0,
+                attempts: 3,
+            }),
+        ),
+        (
+            // The boundary-1 snapshot is torn after install; resume
+            // must fall back to the boundary-0 previous-good rotation.
+            "torn-write-falls-back",
+            FaultPlan::none().with(Fault::TruncateSnapshot { epoch: 1 }),
+        ),
+        (
+            "bitrot-falls-back",
+            FaultPlan::none().with(Fault::CorruptSnapshot { epoch: 1, byte: 97 }),
+        ),
+        (
+            "shard-abort-requarantined",
+            FaultPlan::none().with(Fault::ShardAbort { epoch: 1, shard: 3 }),
+        ),
+        (
+            // All four fault kinds stacked on boundary 0 (write
+            // retries, then damage on the installed snapshot, plus a
+            // shard abort); boundary 1 stays clean so resume has a
+            // good generation to land on. (Spreading damage faults
+            // over *every* boundary before the halt is the one plan
+            // that legitimately cannot be survived — there is no
+            // intact generation left by construction.)
+            "seeded-composite",
+            FaultPlan::from_seed(0xC0FFEE, 1, 8),
+        ),
+    ];
+    for (tag, plan) in plans {
+        // The faulted run, uninterrupted, matches the clean reference.
+        let path = ckpt_path(&format!("fault-{tag}-full"));
+        let full = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+            .with_shards(8)
+            .with_checkpoint(&path)
+            .with_faults(plan.clone())
+            .run();
+        assert_same(&reference, &full, &format!("{tag}: faulted full run"));
+        let _ = std::fs::remove_file(&path);
+
+        // Interrupt at the *last* checkpoint the plan lets through,
+        // then resume: still bit-identical.
+        let path = ckpt_path(&format!("fault-{tag}-halt"));
+        let halt_after = if plan
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::WriteFail { attempts: 3, .. }))
+        {
+            1 // boundary 0 is skipped; the 1st successful write is at boundary 1
+        } else {
+            2
+        };
+        let _partial = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+            .with_shards(8)
+            .with_checkpoint(&path)
+            .with_faults(plan)
+            .with_halt_after(halt_after)
+            .run();
+        let resumed = ShardedCampaign::new(&kernel, &suite, &consts, cfg(seed))
+            .with_shards(8)
+            .resume(&path)
+            .unwrap_or_else(|e| panic!("{tag}: resume under faults: {e}"));
+        assert_same(&reference, &resumed, &format!("{tag}: resumed run"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("ckpt.prev"));
+    }
+}
+
+/// A one-shard checkpoint written by [`ShardedCampaign`] resumes
+/// through [`Campaign::resume`] — the sequential front-end — and the
+/// result is bit-identical to the uninterrupted one-shard run. (The
+/// reference is the one-shard *sharded* run: with the hub on, triage
+/// drains at epoch boundaries, so first-seen epochs legitimately
+/// differ from the single-drain `Campaign::run` loop.)
+#[test]
+fn sequential_campaign_resumes_a_one_shard_checkpoint() {
+    let (kernel, suite, consts) = deepchain_setup();
+    let config = CampaignConfig {
+        execs: 1000,
+        seed: 3,
+        max_prog_len: 10,
+        hub_epoch: 250,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    };
+    let reference = ShardedCampaign::new(&kernel, &suite, &consts, config.clone())
+        .with_shards(1)
+        .run();
+    let path = ckpt_path("sequential-resume");
+    let _partial = ShardedCampaign::new(&kernel, &suite, &consts, config.clone())
+        .with_shards(1)
+        .with_checkpoint(&path)
+        .with_halt_after(1)
+        .run();
+    let resumed = Campaign::new(&kernel, &suite, &consts, config)
+        .resume(&path)
+        .expect("sequential resume");
+    assert_same(&reference, &resumed, "sequential resume");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resume refuses snapshots from a different campaign identity: a
+/// changed config (fingerprint mismatch) and a changed spec suite are
+/// both named errors, not silent divergence.
+#[test]
+fn resume_rejects_mismatched_config_and_spec() {
+    let (kernel, suite, consts) = deepchain_setup();
+    let path = ckpt_path("mismatch");
+    let _ = ShardedCampaign::new(&kernel, &suite, &consts, cfg(1))
+        .with_shards(8)
+        .with_checkpoint(&path)
+        .with_halt_after(1)
+        .run();
+
+    let other_cfg = CampaignConfig { seed: 2, ..cfg(1) };
+    let err = ShardedCampaign::new(&kernel, &suite, &consts, other_cfg)
+        .with_shards(8)
+        .resume(&path)
+        .expect_err("config mismatch must be rejected");
+    assert!(err.to_string().contains("config"), "got: {err}");
+
+    let err = ShardedCampaign::new(&kernel, &suite[..1], &consts, cfg(1))
+        .with_shards(8)
+        .resume(&path)
+        .expect_err("spec mismatch must be rejected");
+    assert!(err.to_string().contains("spec"), "got: {err}");
+
+    let err = ShardedCampaign::new(&kernel, &suite, &consts, cfg(1))
+        .with_shards(8)
+        .resume(&path.with_extension("missing"))
+        .expect_err("missing snapshot must be rejected");
+    assert!(err.to_string().contains("read"), "got: {err}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The exec fuel watchdog: a starved budget terminates programs
+/// gracefully (counted in `fuel_exhausted`, never a crash or a hang),
+/// the count is a pure function of the config, and thread count stays
+/// a pure throughput knob even with the watchdog tripping constantly.
+#[test]
+fn fuel_exhaustion_is_deterministic_and_never_corrupts_the_merge() {
+    let (kernel, suite, consts) = deepchain_setup();
+    let starved = CampaignConfig {
+        exec_fuel: 48,
+        ..cfg(5)
+    };
+    let run = |threads: usize| {
+        ShardedCampaign::new(&kernel, &suite, &consts, starved.clone())
+            .with_shards(8)
+            .with_threads(threads)
+            .run()
+    };
+    let base = run(1);
+    assert!(
+        base.fuel_exhausted > 0,
+        "a 48-unit budget must starve some programs"
+    );
+    for threads in [2usize, 4, 8] {
+        let r = run(threads);
+        assert_same(&base, &r, &format!("starved run, threads {threads}"));
+    }
+    // An unlimited budget never trips the watchdog.
+    let unlimited = ShardedCampaign::new(
+        &kernel,
+        &suite,
+        &consts,
+        CampaignConfig {
+            exec_fuel: 0,
+            ..cfg(5)
+        },
+    )
+    .with_shards(8)
+    .run();
+    assert_eq!(unlimited.fuel_exhausted, 0);
+}

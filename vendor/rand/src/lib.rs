@@ -36,6 +36,26 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words, for checkpointing a
+        /// campaign mid-stream. Restoring via [`StdRng::from_state`]
+        /// continues the exact stream from this point.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously
+        /// captured with [`StdRng::state`]. The generator itself is
+        /// unchanged (this is restore, not reseeding): the stream
+        /// after `from_state(r.state())` is bit-identical to
+        /// continuing `r`.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl crate::SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> StdRng {
             let mut x = seed;
@@ -231,6 +251,18 @@ mod tests {
     fn deterministic_across_instances() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..37 {
+            let _ = a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
         for _ in 0..100 {
             assert_eq!(a.random::<u64>(), b.random::<u64>());
         }
