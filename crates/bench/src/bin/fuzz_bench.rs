@@ -36,7 +36,15 @@
 //!   interrupt-at-a-boundary + resume — under a seed-derived fault
 //!   plan — reproduces the uninterrupted campaign bit for bit, and
 //!   the exec fuel watchdog (`fuel_exhausted` starved-run count plus a
-//!   `fuel_deterministic` flag; both gated).
+//!   `fuel_deterministic` flag; both gated);
+//! * the distributed fabric (`fabric`): the deep-chain exchange-on
+//!   campaign run through the full coordinator/worker protocol stack
+//!   (leases, delta frames, boundary-synchronized merge) over
+//!   in-memory channel transports at 1, 2 and 4 workers — a
+//!   `worker_invariant` flag asserting the merged result is
+//!   bit-identical to the single-process campaign at every worker
+//!   count (gated), plus delta bytes shipped per epoch boundary and
+//!   the coordinator's merge time.
 //!
 //! The committed `BENCH_baseline.json` is this file's output at the
 //! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
@@ -48,6 +56,9 @@
 use kgpt_core::KernelGpt;
 use kgpt_csrc::{deepchain, KernelCorpus};
 use kgpt_extractor::find_handlers;
+use kgpt_fabric::{
+    run_worker, ChannelTransport, Coordinator, CoordinatorOpts, FabricStats, Transport, WorkerOpts,
+};
 use kgpt_fuzzer::reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 use kgpt_fuzzer::{
     execute_with, Campaign, CampaignConfig, CampaignResult, CampaignSnapshot, ExecScratch,
@@ -58,7 +69,7 @@ use kgpt_syzlang::{SpecCache, SpecDb, SpecFile};
 use kgpt_triage::minimize;
 use kgpt_vkernel::VKernel;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const THREAD_POINTS: &[usize] = &[1, 2, 4, 8];
 
@@ -640,6 +651,92 @@ fn main() {
         eprintln!("FUEL EXHAUSTION NONDETERMINISTIC OR NEVER TRIPPED (bench_gate will fail)");
     }
 
+    // ---- Distributed fabric: the same campaign across workers ----
+    // The deep-chain exchange-on campaign again, but through the full
+    // fabric protocol stack: a coordinator handing out shard-range
+    // leases and merging per-epoch worker deltas over in-memory
+    // channel transports. The merged result must be bit-identical to
+    // the single-process `dc_on` at every worker count (gated), and
+    // the wire cost — delta bytes shipped per epoch boundary, time
+    // inside the merge — is recorded.
+    let fabric_fp = SpecCache::fingerprint(&dc_suite);
+    let fabric_run = |workers: u32| {
+        std::thread::scope(|scope| {
+            let coordinator = Coordinator::new(
+                dc_cfg(DC_EPOCH),
+                CoordinatorOpts {
+                    shards: 8,
+                    workers,
+                    lease_timeout: Duration::from_secs(60),
+                    spec_fp: fabric_fp,
+                },
+            );
+            let dc_kernel = &dc_kernel;
+            let dc_lowered = &dc_lowered;
+            let mut accept = || -> Option<Box<dyn Transport>> {
+                let (coord_end, worker_end) = ChannelTransport::pair();
+                let lowered = std::sync::Arc::clone(dc_lowered);
+                scope.spawn(move || {
+                    run_worker(Box::new(worker_end), WorkerOpts::default(), |fp| {
+                        (fp == fabric_fp).then_some((dc_kernel, lowered))
+                    })
+                    .expect("fabric worker");
+                });
+                Some(Box::new(coord_end))
+            };
+            coordinator.run(&mut accept).expect("fabric coordinator")
+        })
+    };
+    struct FabricPoint {
+        workers: u32,
+        secs: f64,
+        stats: FabricStats,
+    }
+    let mut fabric_points: Vec<FabricPoint> = Vec::new();
+    let mut fabric_invariant = true;
+    for workers in [1u32, 2, 4] {
+        let t0 = Instant::now();
+        let (result, stats) = fabric_run(workers);
+        let secs = t0.elapsed().as_secs_f64();
+        if !same_result(&dc_on, &result) {
+            fabric_invariant = false;
+            eprintln!(
+                "FABRIC RESULT DIVERGED FROM THE SINGLE-PROCESS CAMPAIGN AT {workers} WORKERS \
+                 (bench_gate will fail)"
+            );
+        }
+        fabric_points.push(FabricPoint {
+            workers,
+            secs,
+            stats,
+        });
+    }
+    // The single-worker run is the canonical wire-cost measurement:
+    // more workers split the same per-shard deltas over more frames,
+    // changing only the per-frame header overhead.
+    let fabric_ref = &fabric_points[0].stats;
+    let fabric_boundaries = fabric_ref.boundaries;
+    let fabric_delta_per_epoch = fabric_ref.delta_bytes / fabric_ref.boundaries.max(1);
+    let fabric_merge_ms = fabric_ref.merge_nanos as f64 / 1e6;
+    let fabric_expired: u64 = fabric_points.iter().map(|p| p.stats.expired_leases).sum();
+    if fabric_expired > 0 {
+        eprintln!("FABRIC LEASES EXPIRED IN A CLEAN RUN (bench_gate will fail)");
+    }
+    println!(
+        "fabric           : {fabric_boundaries} boundaries, {fabric_delta_per_epoch} delta bytes/epoch, merge {fabric_merge_ms:.3}ms, worker invariant: {fabric_invariant}"
+    );
+    for p in &fabric_points {
+        println!(
+            "fabric x{:<8} : {:.3}s wall, {} delta bytes, merge {:.3}ms ({} redelivered, {} rejected)",
+            p.workers,
+            p.secs,
+            p.stats.delta_bytes,
+            p.stats.merge_nanos as f64 / 1e6,
+            p.stats.redelivered_frames,
+            p.stats.rejected_frames,
+        );
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
@@ -811,6 +908,36 @@ fn main() {
     let _ = writeln!(json, "    \"fuel_budget\": {FUEL_BUDGET},");
     let _ = writeln!(json, "    \"fuel_exhausted\": {fuel_exhausted},");
     let _ = writeln!(json, "    \"fuel_deterministic\": {fuel_deterministic}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fabric\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"deep-chain exchange-on campaign\","
+    );
+    let _ = writeln!(json, "    \"execs\": {execs},");
+    let _ = writeln!(json, "    \"shards\": 8,");
+    let _ = writeln!(json, "    \"epoch\": {DC_EPOCH},");
+    let _ = writeln!(json, "    \"worker_invariant\": {fabric_invariant},");
+    let _ = writeln!(json, "    \"boundaries\": {fabric_boundaries},");
+    let _ = writeln!(
+        json,
+        "    \"delta_bytes_per_epoch\": {fabric_delta_per_epoch},"
+    );
+    let _ = writeln!(json, "    \"merge_ms\": {fabric_merge_ms:.3},");
+    let _ = writeln!(json, "    \"expired_leases\": {fabric_expired},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, p) in fabric_points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"workers\": {}, \"secs\": {:.6}, \"delta_bytes\": {}, \"merge_ms\": {:.3} }}{}",
+            p.workers,
+            p.secs,
+            p.stats.delta_bytes,
+            p.stats.merge_nanos as f64 / 1e6,
+            if i + 1 < fabric_points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");

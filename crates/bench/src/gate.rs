@@ -40,6 +40,15 @@
 //!   `BENCH_GATE_MAX_CHECKPOINT_OVERHEAD`); with an identical
 //!   workload the fuel-exhaustion count is exact-compared against the
 //!   baseline;
+//! * **fabric** — a present `fabric` section must report
+//!   `worker_invariant` as true (the coordinator-merged distributed
+//!   result is bit-identical to the single-process campaign at every
+//!   worker count) and zero `expired_leases` (no worker may fall
+//!   behind its lease deadline in a clean in-memory run); with an
+//!   identical workload the boundary count and per-epoch delta
+//!   volume are exact-compared against the baseline (the wire format
+//!   is deterministic, so drift is a behaviour change), while the
+//!   merge time stays informational;
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -161,6 +170,7 @@ pub fn check(fresh: &Json, baseline: &Json, thresholds: &Thresholds) -> GateOutc
     check_workload_yields(fresh, &mut out);
     check_triage(fresh, baseline, &mut out);
     check_durability(fresh, thresholds.max_checkpoint_overhead_pct, &mut out);
+    check_fabric(fresh, baseline, &mut out);
     check_sections(fresh, baseline, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
@@ -444,6 +454,63 @@ fn check_durability(fresh: &Json, max_overhead_pct: f64, out: &mut GateOutcome) 
                 .into(),
         ),
     }
+}
+
+/// Fabric-section checks: the distributed coordinator/worker merge
+/// must be worker-count invariant (bit-identical to the
+/// single-process campaign — a falsy or missing flag inside a
+/// present section is a hard behaviour failure) with no lease
+/// expiring in a clean in-memory run; when both sides ran the same
+/// workload, the boundary count and per-epoch delta volume are
+/// exact-compared (the protocol is deterministic, so drift is a wire
+/// format or scheduling change, not noise). Merge time is wall-clock
+/// and stays a note.
+fn check_fabric(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
+    let Some(fabric) = fresh.get("fabric") else {
+        return; // section absent (older bench) — nothing to check
+    };
+    if fabric.path("worker_invariant").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "fabric: the coordinator-merged result diverged from the single-process \
+             campaign (fabric.worker_invariant is not true) — the fabric must be \
+             bit-identical at every worker count"
+                .into(),
+        );
+    }
+    match fabric.path("expired_leases").and_then(Json::as_f64) {
+        Some(0.0) => {}
+        Some(n) => out.failures.push(format!(
+            "fabric: {n} lease(s) expired in a clean in-memory run — a worker fell \
+             behind its lease deadline without any injected fault"
+        )),
+        None => out
+            .failures
+            .push("fabric: fresh run's fabric section is missing `expired_leases`".into()),
+    }
+    if let (Some(ms), Some(bytes), Some(boundaries)) = (
+        fabric.path("merge_ms").and_then(Json::as_f64),
+        fabric.path("delta_bytes_per_epoch").and_then(Json::as_f64),
+        fabric.path("boundaries").and_then(Json::as_f64),
+    ) {
+        out.notes.push(format!(
+            "fabric: merge cost {ms:.3}ms per campaign, {bytes:.0} delta bytes/epoch \
+             over {boundaries:.0} boundaries"
+        ));
+    }
+    if baseline.get("fabric").is_none() {
+        return; // section growth is handled by check_sections
+    }
+    for key in ["fabric.execs", "fabric.shards", "fabric.epoch"] {
+        if fresh.path(key).and_then(Json::as_f64) != baseline.path(key).and_then(Json::as_f64) {
+            out.notes.push(format!(
+                "fabric comparison skipped: `{key}` differs — regenerate the baseline \
+                 for the new workload knobs"
+            ));
+            return;
+        }
+    }
+    check_exact(fresh, baseline, "fabric.boundaries", out);
+    check_exact(fresh, baseline, "fabric.delta_bytes_per_epoch", out);
 }
 
 /// `true` when both sides ran the deep-chain ablation with the same
@@ -1122,6 +1189,91 @@ mod tests {
             r.failures
         );
         assert!(check(&fresh, &fresh, 25.0).passed());
+    }
+
+    fn fabric_doc(worker_invariant: bool, expired: u64, delta_bytes_per_epoch: u64) -> Json {
+        let mut doc = bench_doc(1000.0, 187, true);
+        let fabric = parse_json(&format!(
+            r#"{{ "execs": 20000, "shards": 8, "epoch": 128,
+                  "worker_invariant": {worker_invariant},
+                  "boundaries": 19, "delta_bytes_per_epoch": {delta_bytes_per_epoch},
+                  "merge_ms": 1.5, "expired_leases": {expired},
+                  "points": [ {{ "workers": 1, "secs": 1.0, "delta_bytes": 190000, "merge_ms": 1.5 }} ] }}"#
+        ))
+        .unwrap();
+        let Json::Obj(members) = &mut doc else {
+            unreachable!("bench_doc is an object")
+        };
+        members.push(("fabric".into(), fabric));
+        doc
+    }
+
+    #[test]
+    fn fabric_worker_variance_and_expired_leases_are_hard_failures() {
+        let variant = fabric_doc(false, 0, 10000);
+        let r = check(&variant, &variant, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("fabric.worker_invariant")),
+            "{:?}",
+            r.failures
+        );
+        let lapsed = fabric_doc(true, 2, 10000);
+        let r = check(&lapsed, &lapsed, 1e9);
+        assert!(
+            r.failures.iter().any(|f| f.contains("lease(s) expired")),
+            "{:?}",
+            r.failures
+        );
+        let good = fabric_doc(true, 0, 10000);
+        let r = check(&good, &good, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(r.notes.iter().any(|n| n.contains("fabric: merge cost")));
+    }
+
+    #[test]
+    fn fabric_delta_volume_is_compared_exactly_against_the_baseline() {
+        let fresh = fabric_doc(true, 0, 10000);
+        let base = fabric_doc(true, 0, 10500);
+        let r = check(&fresh, &base, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("fabric.delta_bytes_per_epoch")),
+            "{:?}",
+            r.failures
+        );
+        // A retuned fabric workload skips the exact compare with a
+        // note instead of failing.
+        let mut retuned = fabric_doc(true, 0, 10000);
+        if let Json::Obj(members) = &mut retuned {
+            let fabric = members
+                .iter_mut()
+                .find(|(k, _)| k == "fabric")
+                .map(|(_, v)| v)
+                .unwrap();
+            let Json::Obj(fm) = fabric else {
+                unreachable!()
+            };
+            fm.iter_mut().find(|(k, _)| k == "epoch").unwrap().1 = Json::Num(256.0);
+        }
+        let r = check(&retuned, &base, 1e9);
+        assert!(
+            !r.failures
+                .iter()
+                .any(|f| f.contains("fabric.delta_bytes_per_epoch")),
+            "{:?}",
+            r.failures
+        );
+        assert!(
+            r.notes
+                .iter()
+                .any(|n| n.contains("fabric comparison skipped")),
+            "{:?}",
+            r.notes
+        );
     }
 
     #[test]

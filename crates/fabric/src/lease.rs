@@ -1,0 +1,200 @@
+//! Lease bookkeeping: contiguous shard ranges, deadlines, expiry.
+//!
+//! The coordinator splits the campaign's shards into `workers`
+//! contiguous ranges up front — range order *is* shard order, and
+//! because grants go out in registration order, worker-id order is
+//! shard-id order too, which is what makes the merge deterministic
+//! regardless of which worker process ends up holding which range.
+//!
+//! A lease binds one range to one live connection until its deadline.
+//! Deadlines advance on observed progress (a fresh delta, a boundary
+//! reply); an expired or surrendered lease returns the range to the
+//! pool, to be granted to the next registrant **with the last
+//! committed boundary snapshots** — the epochs the previous holder
+//! never committed are simply re-run, bit-identically.
+
+use std::time::{Duration, Instant};
+
+/// One active lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Unique (per coordinator) lease id, echoed in every delta.
+    pub id: u64,
+    /// When the lease lapses unless progress is observed first.
+    pub deadline: Instant,
+}
+
+#[derive(Debug, Clone)]
+struct RangeSlot {
+    lo: u32,
+    hi: u32,
+    lease: Option<Lease>,
+}
+
+/// The coordinator's range/lease table.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    slots: Vec<RangeSlot>,
+    next_id: u64,
+    expired: u64,
+}
+
+impl LeaseTable {
+    /// Split `shards` into `workers` contiguous ranges, as evenly as
+    /// possible, all initially vacant. `workers` is clamped to
+    /// `1..=shards` (a range must hold at least one shard).
+    #[must_use]
+    pub fn new(shards: u32, workers: u32) -> LeaseTable {
+        let shards = shards.max(1);
+        let workers = workers.clamp(1, shards);
+        let slots = (0..workers)
+            .map(|w| RangeSlot {
+                lo: shards * w / workers,
+                hi: shards * (w + 1) / workers,
+                lease: None,
+            })
+            .collect();
+        LeaseTable {
+            slots,
+            next_id: 0,
+            expired: 0,
+        }
+    }
+
+    /// Number of range slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false: the table holds at least one range.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The shard range `[lo, hi)` of `slot`.
+    #[must_use]
+    pub fn range(&self, slot: usize) -> (u32, u32) {
+        (self.slots[slot].lo, self.slots[slot].hi)
+    }
+
+    /// The first slot without an active lease, lowest first.
+    #[must_use]
+    pub fn vacant_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.lease.is_none())
+    }
+
+    /// Lease `slot` until `now + timeout`; returns the new lease id.
+    /// The slot must be vacant.
+    pub fn grant(&mut self, slot: usize, now: Instant, timeout: Duration) -> u64 {
+        debug_assert!(
+            self.slots[slot].lease.is_none(),
+            "slot {slot} already leased"
+        );
+        self.next_id += 1;
+        self.slots[slot].lease = Some(Lease {
+            id: self.next_id,
+            deadline: now + timeout,
+        });
+        self.next_id
+    }
+
+    /// The active lease on `slot`, if any.
+    #[must_use]
+    pub fn lease(&self, slot: usize) -> Option<Lease> {
+        self.slots[slot].lease
+    }
+
+    /// Push `slot`'s deadline out to `now + timeout` (progress was
+    /// observed). No-op on a vacant slot.
+    pub fn renew(&mut self, slot: usize, now: Instant, timeout: Duration) {
+        if let Some(lease) = &mut self.slots[slot].lease {
+            lease.deadline = now + timeout;
+        }
+    }
+
+    /// Drop `slot`'s lease (expiry, disconnect, or surrender) and
+    /// count it; the range returns to the pool for the next
+    /// registrant.
+    pub fn revoke(&mut self, slot: usize) {
+        if self.slots[slot].lease.take().is_some() {
+            self.expired += 1;
+        }
+    }
+
+    /// The first slot whose lease deadline has passed, if any.
+    #[must_use]
+    pub fn expired_slot(&self, now: Instant) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.lease.is_some_and(|l| l.deadline <= now))
+    }
+
+    /// Leases revoked over the table's lifetime.
+    #[must_use]
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_contiguous_even_and_cover_all_shards() {
+        for (shards, workers) in [(8u32, 1u32), (8, 2), (8, 3), (8, 4), (8, 8), (3, 5), (1, 4)] {
+            let table = LeaseTable::new(shards, workers);
+            let mut next = 0u32;
+            let mut sizes = Vec::new();
+            for slot in 0..table.len() {
+                let (lo, hi) = table.range(slot);
+                assert_eq!(lo, next, "{shards}/{workers}: ranges must be contiguous");
+                assert!(hi > lo, "{shards}/{workers}: empty range");
+                sizes.push(hi - lo);
+                next = hi;
+            }
+            assert_eq!(
+                next, shards,
+                "{shards}/{workers}: ranges must cover all shards"
+            );
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{shards}/{workers}: uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn lease_lifecycle_grants_expires_and_reassigns() {
+        let mut table = LeaseTable::new(4, 2);
+        let now = Instant::now();
+        let timeout = Duration::from_millis(100);
+
+        assert_eq!(table.vacant_slot(), Some(0));
+        let id0 = table.grant(0, now, timeout);
+        assert_eq!(table.vacant_slot(), Some(1));
+        let id1 = table.grant(1, now, timeout);
+        assert_ne!(id0, id1, "lease ids are unique");
+        assert_eq!(table.vacant_slot(), None);
+
+        // Nothing expired yet; renewal pushes the deadline out.
+        assert_eq!(table.expired_slot(now), None);
+        table.renew(0, now + timeout, timeout);
+
+        // Slot 1 lapses first (its deadline was never renewed).
+        let later = now + timeout + Duration::from_millis(1);
+        assert_eq!(table.expired_slot(later), Some(1));
+        table.revoke(1);
+        assert_eq!(table.expired(), 1);
+        assert_eq!(table.vacant_slot(), Some(1));
+
+        // The replacement gets a fresh id on the same range.
+        let id2 = table.grant(1, later, timeout);
+        assert!(id2 > id1);
+        assert_eq!(table.range(1), (2, 4));
+        // Revoking a vacant slot is a no-op, not a double count.
+        table.revoke(0);
+        table.revoke(0);
+        assert_eq!(table.expired(), 2);
+    }
+}

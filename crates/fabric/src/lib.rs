@@ -1,0 +1,100 @@
+//! # kgpt-fabric
+//!
+//! The distributed campaign fabric: one **coordinator** process hands
+//! out shard-range leases to worker processes, collects their
+//! per-epoch deltas, and merges them — in shard-id order, at
+//! lockstep epoch boundaries — into a
+//! [`kgpt_fuzzer::CampaignResult`] that is **bit-identical** to a
+//! single-process [`kgpt_fuzzer::ShardedCampaign`] run of the same
+//! config, across process boundaries.
+//!
+//! The deterministic halves (the epoch stepper a worker drives and
+//! the order-preserving merge the coordinator applies) live in
+//! [`kgpt_fuzzer::fabric`]; this crate adds the protocol around
+//! them:
+//!
+//! * [`wire`] — the message set ([`wire::Message`]) and its framing:
+//!   version + FNV-1a checksum per frame, bodies in the
+//!   `CampaignSnapshot` dense codec, so a delta is literally a
+//!   checkpoint fragment;
+//! * [`transport`] — a pluggable byte-frame [`transport::Transport`]:
+//!   in-memory channels for tests, length-prefixed localhost TCP for
+//!   real workers, and a fault-injecting wrapper
+//!   ([`transport::FaultyTransport`]) that drops or duplicates the
+//!   n-th outbound frame from a [`kgpt_fuzzer::FaultPlan`];
+//! * [`lease`] — the coordinator's range bookkeeping
+//!   ([`lease::LeaseTable`]): contiguous shard ranges in
+//!   registration order (worker-id order *is* shard-id order),
+//!   deadlines, expiry counters;
+//! * [`coordinator`] — the single-threaded coordinator loop:
+//!   register → grant → collect deltas → barrier-merge → reply,
+//!   with deterministic failure handling (lease expiry reassigns the
+//!   range to the next registrant with the last *committed* boundary
+//!   snapshots; duplicate deltas re-ack without re-merging; corrupt
+//!   frames are rejected by checksum and recovered by sender resend);
+//! * [`worker`] — the thin worker loop around
+//!   [`kgpt_fuzzer::LeaseRunner`]: claim lease → run epoch → ship
+//!   delta → await ack (resending on timeout) → import seeds →
+//!   repeat until `Finish`.
+//!
+//! Because committed state only advances at full boundaries, a worker
+//! killed mid-lease loses exactly its uncommitted epochs: the
+//! replacement re-runs them from the committed boundary and the
+//! campaign result does not change — the failure matrix is part of
+//! the determinism contract, not an exception to it.
+
+pub mod coordinator;
+pub mod lease;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorOpts, FabricStats};
+pub use lease::LeaseTable;
+pub use transport::{ChannelTransport, FaultyTransport, TcpTransport, Transport};
+pub use wire::{Grant, Message};
+pub use worker::{run_worker, GrantHook, WorkerOpts, WorkerSummary};
+
+use kgpt_fuzzer::CheckpointError;
+use std::fmt;
+
+/// Errors surfaced by the fabric protocol.
+///
+/// Transient wire damage (a corrupt frame, a dropped delta) is *not*
+/// an error — it is absorbed by checksum rejection and resend. An
+/// error here means the protocol itself was violated or the
+/// underlying transport failed unrecoverably.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The underlying transport failed (socket error, channel gone).
+    Io(std::io::Error),
+    /// A peer violated the protocol (wrong message, bad fingerprint,
+    /// reply never arrived within the resend budget).
+    Protocol(String),
+    /// A message body failed to decode under the checkpoint codec.
+    Codec(CheckpointError),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Io(e) => write!(f, "fabric transport error: {e}"),
+            FabricError::Protocol(m) => write!(f, "fabric protocol error: {m}"),
+            FabricError::Codec(e) => write!(f, "fabric codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> FabricError {
+        FabricError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for FabricError {
+    fn from(e: CheckpointError) -> FabricError {
+        FabricError::Codec(e)
+    }
+}

@@ -1,0 +1,320 @@
+//! Message set and frame codec.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! version: u32 LE | checksum: u64 LE (FNV-1a of everything after) | tag: u8 | body
+//! ```
+//!
+//! Bodies reuse the `CampaignSnapshot` dense little-endian codec via
+//! the public [`kgpt_fuzzer::fabric`] encode/decode functions, so the
+//! delta wire format *is* the checkpoint framing. Stream transports
+//! add their own length prefix (see [`crate::transport`]); the frame
+//! itself is self-validating — a flipped bit anywhere fails the
+//! checksum and the frame is discarded, to be recovered by the
+//! sender's resend loop.
+
+use crate::FabricError;
+use kgpt_fuzzer::checkpoint::fnv1a;
+use kgpt_fuzzer::fabric::{
+    decode_config, decode_deltas, decode_seeds, decode_snapshots, encode_config, encode_deltas,
+    encode_seeds, encode_snapshots, EpochDelta,
+};
+use kgpt_fuzzer::{CampaignConfig, HubSeed, ShardSnapshot};
+
+/// Frame format version. Bump on any layout change.
+pub const FRAME_VERSION: u32 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, FabricError> {
+    let end = pos
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| FabricError::Protocol(format!("truncated u32 at {pos}")))?;
+    let v = u32::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, FabricError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| FabricError::Protocol(format!("truncated u64 at {pos}")))?;
+    let v = u64::from_le_bytes(bytes[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+/// A granted lease: everything a worker needs to run its shard range
+/// deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    /// Coordinator-assigned lease id; echoed back in every delta.
+    pub lease_id: u64,
+    /// Range slot index (== registration order == range order).
+    pub slot: u32,
+    /// First shard of the range (inclusive).
+    pub shard_lo: u32,
+    /// One past the last shard of the range.
+    pub shard_hi: u32,
+    /// Total shard count of the campaign.
+    pub shards_total: u32,
+    /// Boundaries already committed; the worker's first delta is for
+    /// `boundary + 1`.
+    pub boundary: u64,
+    /// Lease deadline budget, for the worker's stall pacing.
+    pub lease_timeout_ms: u64,
+    /// Fingerprint of the spec suite the campaign runs against; the
+    /// worker must resolve it to the same compiled suite.
+    pub spec_fp: u64,
+    /// The campaign config (the deterministic identity, with
+    /// `shards_total`, of the whole run).
+    pub config: CampaignConfig,
+    /// Committed boundary state of the range; empty for a fresh
+    /// campaign (the worker builds fresh shard states itself).
+    pub snapshots: Vec<ShardSnapshot>,
+}
+
+/// The fabric protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator: "I exist, lease me a range." Resent
+    /// periodically until a [`Message::Grant`] arrives, so a dropped
+    /// registration self-heals.
+    Register,
+    /// Coordinator → worker: a range lease.
+    Grant(Grant),
+    /// Worker → coordinator: one epoch's deltas for the whole range,
+    /// at `boundary` (= grant boundary + epochs run since).
+    Delta {
+        /// Lease the deltas belong to.
+        lease_id: u64,
+        /// The boundary these deltas complete.
+        boundary: u64,
+        /// One delta per shard of the range, ascending shard id.
+        deltas: Vec<EpochDelta>,
+    },
+    /// Coordinator → worker: boundary `boundary` merged; import
+    /// `seeds` (the hub's newly retained seeds) and run the next
+    /// epoch.
+    Proceed {
+        /// The boundary just merged.
+        boundary: u64,
+        /// Hub seeds retained at this boundary, in publication order.
+        seeds: Vec<HubSeed>,
+    },
+    /// Coordinator → worker: the final boundary merged; the campaign
+    /// is complete and the worker may exit.
+    Finish {
+        /// The final boundary.
+        boundary: u64,
+    },
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_GRANT: u8 = 2;
+const TAG_DELTA: u8 = 3;
+const TAG_PROCEED: u8 = 4;
+const TAG_FINISH: u8 = 5;
+
+impl Message {
+    /// Encode to a self-validating frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Message::Register => body.push(TAG_REGISTER),
+            Message::Grant(g) => {
+                body.push(TAG_GRANT);
+                put_u64(&mut body, g.lease_id);
+                put_u32(&mut body, g.slot);
+                put_u32(&mut body, g.shard_lo);
+                put_u32(&mut body, g.shard_hi);
+                put_u32(&mut body, g.shards_total);
+                put_u64(&mut body, g.boundary);
+                put_u64(&mut body, g.lease_timeout_ms);
+                put_u64(&mut body, g.spec_fp);
+                encode_config(&g.config, &mut body);
+                encode_snapshots(&g.snapshots, &mut body);
+            }
+            Message::Delta {
+                lease_id,
+                boundary,
+                deltas,
+            } => {
+                body.push(TAG_DELTA);
+                put_u64(&mut body, *lease_id);
+                put_u64(&mut body, *boundary);
+                encode_deltas(deltas, &mut body);
+            }
+            Message::Proceed { boundary, seeds } => {
+                body.push(TAG_PROCEED);
+                put_u64(&mut body, *boundary);
+                encode_seeds(seeds, &mut body);
+            }
+            Message::Finish { boundary } => {
+                body.push(TAG_FINISH);
+                put_u64(&mut body, *boundary);
+            }
+        }
+        let mut frame = Vec::with_capacity(12 + body.len());
+        put_u32(&mut frame, FRAME_VERSION);
+        put_u64(&mut frame, fnv1a(&body));
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Decode and validate a frame (inverse of [`Message::to_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Protocol`] on a bad version, checksum,
+    /// tag, or trailing bytes, and [`FabricError::Codec`] when a body
+    /// fails the checkpoint codec. Receivers treat any error as a
+    /// dropped frame: the sender's resend loop recovers it.
+    pub fn from_frame(frame: &[u8]) -> Result<Message, FabricError> {
+        let mut pos = 0usize;
+        let version = take_u32(frame, &mut pos)?;
+        if version != FRAME_VERSION {
+            return Err(FabricError::Protocol(format!(
+                "frame version {version}, expected {FRAME_VERSION}"
+            )));
+        }
+        let checksum = take_u64(frame, &mut pos)?;
+        let body = &frame[pos..];
+        if fnv1a(body) != checksum {
+            return Err(FabricError::Protocol("frame checksum mismatch".into()));
+        }
+        if body.is_empty() {
+            return Err(FabricError::Protocol("empty frame body".into()));
+        }
+        let tag = body[0];
+        let bytes = body;
+        let mut pos = 1usize;
+        let msg = match tag {
+            TAG_REGISTER => Message::Register,
+            TAG_GRANT => {
+                let lease_id = take_u64(bytes, &mut pos)?;
+                let slot = take_u32(bytes, &mut pos)?;
+                let shard_lo = take_u32(bytes, &mut pos)?;
+                let shard_hi = take_u32(bytes, &mut pos)?;
+                let shards_total = take_u32(bytes, &mut pos)?;
+                let boundary = take_u64(bytes, &mut pos)?;
+                let lease_timeout_ms = take_u64(bytes, &mut pos)?;
+                let spec_fp = take_u64(bytes, &mut pos)?;
+                let config = decode_config(bytes, &mut pos)?;
+                let snapshots = decode_snapshots(bytes, &mut pos)?;
+                Message::Grant(Grant {
+                    lease_id,
+                    slot,
+                    shard_lo,
+                    shard_hi,
+                    shards_total,
+                    boundary,
+                    lease_timeout_ms,
+                    spec_fp,
+                    config,
+                    snapshots,
+                })
+            }
+            TAG_DELTA => {
+                let lease_id = take_u64(bytes, &mut pos)?;
+                let boundary = take_u64(bytes, &mut pos)?;
+                let deltas = decode_deltas(bytes, &mut pos)?;
+                Message::Delta {
+                    lease_id,
+                    boundary,
+                    deltas,
+                }
+            }
+            TAG_PROCEED => {
+                let boundary = take_u64(bytes, &mut pos)?;
+                let seeds = decode_seeds(bytes, &mut pos)?;
+                Message::Proceed { boundary, seeds }
+            }
+            TAG_FINISH => {
+                let boundary = take_u64(bytes, &mut pos)?;
+                Message::Finish { boundary }
+            }
+            t => return Err(FabricError::Protocol(format!("unknown frame tag {t}"))),
+        };
+        if pos != bytes.len() {
+            return Err(FabricError::Protocol(format!(
+                "{} trailing bytes after frame body",
+                bytes.len() - pos
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            Message::Register,
+            Message::Proceed {
+                boundary: 9,
+                seeds: Vec::new(),
+            },
+            Message::Finish { boundary: 17 },
+            Message::Delta {
+                lease_id: 3,
+                boundary: 4,
+                deltas: Vec::new(),
+            },
+            Message::Grant(Grant {
+                lease_id: 1,
+                slot: 0,
+                shard_lo: 0,
+                shard_hi: 4,
+                shards_total: 8,
+                boundary: 0,
+                lease_timeout_ms: 5000,
+                spec_fp: 0xfeed,
+                config: CampaignConfig::default(),
+                snapshots: Vec::new(),
+            }),
+        ] {
+            let frame = msg.to_frame();
+            assert_eq!(Message::from_frame(&frame).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let frame = Message::Finish { boundary: 42 }.to_frame();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut damaged = frame.clone();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    Message::from_frame(&damaged).is_err(),
+                    "flip byte {byte} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let frame = Message::Register.to_frame();
+        for len in 0..frame.len() {
+            assert!(Message::from_frame(&frame[..len]).is_err(), "len {len}");
+        }
+        let mut padded = frame;
+        padded.push(0);
+        assert!(Message::from_frame(&padded).is_err(), "trailing byte");
+    }
+}

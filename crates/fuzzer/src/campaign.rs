@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 /// Campaign parameters. Wall-clock budgets from the paper are scaled
 /// to execution counts (documented in EXPERIMENTS.md).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Number of program executions.
     pub execs: u64,
@@ -132,13 +132,20 @@ pub(crate) struct ShardState {
     pub(crate) fuel_exhausted: u64,
 }
 
-/// Everything a [`ShardState`] needs persisted to continue exactly
+/// Everything a shard's in-memory state (`ShardState`) needs
+/// persisted to continue exactly
 /// where it left off — the serializable projection the checkpoint
 /// layer (see [`crate::checkpoint`]) encodes per shard. Derived state
 /// (the lowered IR, the execution scratch, the enabled-syscall list)
 /// is rebuilt from `(lowered, config)` on restore.
+///
+/// Public as an *opaque* token: the campaign fabric
+/// ([`crate::fabric`]) hands committed boundary snapshots across
+/// process boundaries (encoded with the checkpoint framing), but the
+/// fields stay crate-private — outside code can only obtain one from
+/// the fabric codecs and pass it back in.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct ShardSnapshot {
+pub struct ShardSnapshot {
     pub(crate) id: u32,
     pub(crate) gen_rng: [u64; 4],
     pub(crate) corpus_rng: u64,

@@ -49,7 +49,7 @@ pub struct CheckpointError {
 }
 
 impl CheckpointError {
-    fn new(message: impl Into<String>) -> CheckpointError {
+    pub(crate) fn new(message: impl Into<String>) -> CheckpointError {
         CheckpointError {
             message: message.into(),
         }
@@ -375,20 +375,20 @@ fn sibling(path: &Path, ext: &str) -> PathBuf {
 
 // ---- primitive writers/readers ------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, u32::try_from(s.len()).unwrap_or(u32::MAX));
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+pub(crate) fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
     match s {
         None => out.push(0),
         Some(s) => {
@@ -398,7 +398,7 @@ fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
     }
 }
 
-fn put_coverage(out: &mut Vec<u8>, cov: &CoverageMap) {
+pub(crate) fn put_coverage(out: &mut Vec<u8>, cov: &CoverageMap) {
     let words = cov.words();
     put_u32(out, u32::try_from(words.len()).unwrap_or(u32::MAX));
     for &w in words {
@@ -406,7 +406,7 @@ fn put_coverage(out: &mut Vec<u8>, cov: &CoverageMap) {
     }
 }
 
-fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CheckpointError> {
+pub(crate) fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CheckpointError> {
     let Some(&b) = bytes.get(*pos) else {
         return Err(CheckpointError::new(format!("truncated byte at {pos}")));
     };
@@ -414,7 +414,7 @@ fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CheckpointError> {
     Ok(b)
 }
 
-fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CheckpointError> {
+pub(crate) fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CheckpointError> {
     let end = pos.checked_add(4).filter(|&e| e <= bytes.len());
     let Some(end) = end else {
         return Err(CheckpointError::new(format!("truncated u32 at {pos}")));
@@ -424,7 +424,7 @@ fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, CheckpointError> {
     Ok(v)
 }
 
-fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CheckpointError> {
+pub(crate) fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CheckpointError> {
     let end = pos.checked_add(8).filter(|&e| e <= bytes.len());
     let Some(end) = end else {
         return Err(CheckpointError::new(format!("truncated u64 at {pos}")));
@@ -434,7 +434,7 @@ fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, CheckpointError> {
     Ok(v)
 }
 
-fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, CheckpointError> {
+pub(crate) fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, CheckpointError> {
     let len = take_u32(bytes, pos)? as usize;
     let end = pos.checked_add(len).filter(|&e| e <= bytes.len());
     let Some(end) = end else {
@@ -447,7 +447,10 @@ fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, CheckpointError> {
     Ok(s)
 }
 
-fn take_opt_str(bytes: &[u8], pos: &mut usize) -> Result<Option<String>, CheckpointError> {
+pub(crate) fn take_opt_str(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Option<String>, CheckpointError> {
     match take_u8(bytes, pos)? {
         0 => Ok(None),
         1 => Ok(Some(take_str(bytes, pos)?)),
@@ -455,7 +458,7 @@ fn take_opt_str(bytes: &[u8], pos: &mut usize) -> Result<Option<String>, Checkpo
     }
 }
 
-fn take_coverage(bytes: &[u8], pos: &mut usize) -> Result<CoverageMap, CheckpointError> {
+pub(crate) fn take_coverage(bytes: &[u8], pos: &mut usize) -> Result<CoverageMap, CheckpointError> {
     let n = take_u32(bytes, pos)? as usize;
     let mut words = Vec::new();
     for _ in 0..n {
@@ -464,14 +467,17 @@ fn take_coverage(bytes: &[u8], pos: &mut usize) -> Result<CoverageMap, Checkpoin
     Ok(CoverageMap::from_words(words))
 }
 
-fn put_signature(out: &mut Vec<u8>, sig: &CrashSignature) {
+pub(crate) fn put_signature(out: &mut Vec<u8>, sig: &CrashSignature) {
     out.push(sig.sysno.as_index());
     out.push(sig.chain_depth);
     out.push(sig.sanitizer.as_index());
     put_u64(out, sig.site);
 }
 
-fn take_signature(bytes: &[u8], pos: &mut usize) -> Result<CrashSignature, CheckpointError> {
+pub(crate) fn take_signature(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<CrashSignature, CheckpointError> {
     let sysno = Sysno::from_index(take_u8(bytes, pos)?)
         .ok_or_else(|| CheckpointError::new(format!("bad sysno index at {pos}")))?;
     let chain_depth = take_u8(bytes, pos)?;
@@ -488,7 +494,7 @@ fn take_signature(bytes: &[u8], pos: &mut usize) -> Result<CrashSignature, Check
 
 // ---- aggregate encoders/decoders ----------------------------------------
 
-fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
+pub(crate) fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
     put_u32(out, s.id);
     put_u64(out, s.epoch);
     put_u64(out, s.rng_pick);
@@ -524,7 +530,10 @@ fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_shard(bytes: &[u8], pos: &mut usize) -> Result<ShardSnapshot, CheckpointError> {
+pub(crate) fn decode_shard(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<ShardSnapshot, CheckpointError> {
     let id = take_u32(bytes, pos)?;
     let epoch = take_u64(bytes, pos)?;
     let rng_pick = take_u64(bytes, pos)?;
@@ -584,7 +593,7 @@ fn decode_shard(bytes: &[u8], pos: &mut usize) -> Result<ShardSnapshot, Checkpoi
     })
 }
 
-fn encode_triage_entry(e: &TriageEntry, out: &mut Vec<u8>) {
+pub(crate) fn encode_triage_entry(e: &TriageEntry, out: &mut Vec<u8>) {
     put_signature(out, &e.signature);
     put_str(out, &e.title);
     put_opt_str(out, e.cve.as_deref());
@@ -597,7 +606,10 @@ fn encode_triage_entry(e: &TriageEntry, out: &mut Vec<u8>) {
     out.push(u8::from(e.reproducible));
 }
 
-fn decode_triage_entry(bytes: &[u8], pos: &mut usize) -> Result<TriageEntry, CheckpointError> {
+pub(crate) fn decode_triage_entry(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<TriageEntry, CheckpointError> {
     let signature = take_signature(bytes, pos)?;
     let title = take_str(bytes, pos)?;
     let cve = take_opt_str(bytes, pos)?;

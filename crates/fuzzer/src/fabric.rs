@@ -1,0 +1,880 @@
+//! Process-fabric building blocks: worker-side lease running and
+//! coordinator-side delta merging for distributed campaigns.
+//!
+//! A [`crate::ShardedCampaign`] is already a pure function of
+//! `(config, shards)`; this module splits its epoch-major loop across
+//! process boundaries **without changing the result**. The protocol
+//! (leases, transports, frames) lives in the `kgpt-fabric` crate —
+//! here live the two deterministic halves it moves bytes between:
+//!
+//! * [`LeaseRunner`] — the worker half: a contiguous shard range
+//!   stepped one epoch at a time by the existing
+//!   [`crate::campaign`] shard stepper. After each epoch it drains
+//!   its shards' fresh crash captures through the *same* ddmin
+//!   minimizer the driving thread would use
+//!   (worker-local minimization is a pure function of
+//!   `(capture, kernel, lowered)`) and emits one [`EpochDelta`] per
+//!   shard: the full boundary [`ShardSnapshot`] plus minimized triage
+//!   candidates and observation counts.
+//! * [`CampaignMerge`] — the coordinator half: collects one delta per
+//!   shard at every boundary and replays, **in shard-id order**,
+//!   exactly what `ShardedCampaign::run_from` does on the driving
+//!   thread: triage admission (first-publisher-wins) and count
+//!   folding, then hub publish, then hub import, then commit of the
+//!   post-import snapshots. The coordinator never executes a program
+//!   — it needs no kernel and no lowered IR — yet its
+//!   [`CampaignMerge::finish`] result is bit-identical to the
+//!   single-process run because every state transition it applies is
+//!   the same pure function applied in the same order.
+//!
+//! The wire encodings here reuse the [`crate::checkpoint`] framing
+//! (the same dense little-endian codec, the same per-shard layout),
+//! so a delta is literally a checkpoint fragment: anything that can
+//! round-trip through a `CampaignSnapshot` can round-trip through the
+//! fabric.
+//!
+//! Failure semantics (driven by the `kgpt-fabric` coordinator):
+//! committed state only ever advances at full-boundary barriers, so a
+//! worker that dies mid-lease loses only uncommitted epochs — the
+//! replacement restores the last committed [`ShardSnapshot`]s via
+//! [`LeaseRunner::restore`] and re-runs from that boundary,
+//! bit-identically. Duplicate deltas are not re-merged (the caller
+//! re-acks instead), keeping the merge idempotent.
+
+use crate::campaign::{
+    CampaignConfig, CampaignResult, CrashTally, ShardSnapshot, ShardState, CORPUS_CAP,
+};
+use crate::checkpoint::{
+    config_fingerprint, decode_shard, decode_triage_entry, encode_shard, encode_triage_entry,
+    put_coverage, put_opt_str, put_signature, put_str, put_u32, put_u64, take_coverage,
+    take_opt_str, take_signature, take_str, take_u32, take_u64, take_u8, CheckpointError,
+};
+use crate::corpus::Corpus;
+use crate::hub::{HubSeed, SeedHub};
+use crate::program::Program;
+use crate::triage::TriageMinimizer;
+use kgpt_syzlang::lowered::LoweredDb;
+use kgpt_triage::{TriageEntry, TriageReport};
+use kgpt_vkernel::{CoverageMap, CrashSignature, VKernel};
+use std::sync::Arc;
+
+/// Execution budget of shard `i` in a campaign split over `shards`
+/// shards: `execs` divided as evenly as possible, earlier shards
+/// taking the remainder. The same split [`crate::ShardedCampaign`]
+/// uses, exposed so fabric workers reconstruct identical budgets.
+#[must_use]
+pub fn shard_execs(config: &CampaignConfig, shards: u32, i: u32) -> u64 {
+    let n = u64::from(shards.max(1));
+    config.execs / n + u64::from(u64::from(i) < config.execs % n)
+}
+
+/// One shard's contribution to an epoch boundary: its complete
+/// boundary state (the checkpoint-framed [`ShardSnapshot`]) plus the
+/// locally minimized triage candidates and observation counts the
+/// driving-thread drain would have produced for this boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochDelta {
+    pub(crate) snapshot: ShardSnapshot,
+    /// Fresh captures, minimized worker-side, in capture order.
+    pub(crate) candidates: Vec<TriageEntry>,
+    /// Observation counts since the last boundary, in signature order.
+    pub(crate) counts: Vec<(CrashSignature, u64)>,
+}
+
+impl EpochDelta {
+    /// The shard this delta belongs to.
+    #[must_use]
+    pub fn shard_id(&self) -> u32 {
+        self.snapshot.id
+    }
+
+    /// Executions the shard still owes after this boundary.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.snapshot.remaining
+    }
+
+    /// Append the checkpoint-framed encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        encode_shard(&self.snapshot, out);
+        put_u32(
+            out,
+            u32::try_from(self.candidates.len()).unwrap_or(u32::MAX),
+        );
+        for e in &self.candidates {
+            encode_triage_entry(e, out);
+        }
+        put_u32(out, u32::try_from(self.counts.len()).unwrap_or(u32::MAX));
+        for (sig, n) in &self.counts {
+            put_signature(out, sig);
+            put_u64(out, *n);
+        }
+    }
+
+    /// Decode one delta from `bytes` at `pos` (inverse of
+    /// [`EpochDelta::encode_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on any malformed field.
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<EpochDelta, CheckpointError> {
+        let snapshot = decode_shard(bytes, pos)?;
+        let n_candidates = take_u32(bytes, pos)? as usize;
+        let mut candidates = Vec::new();
+        for _ in 0..n_candidates {
+            candidates.push(decode_triage_entry(bytes, pos)?);
+        }
+        let n_counts = take_u32(bytes, pos)? as usize;
+        let mut counts = Vec::new();
+        for _ in 0..n_counts {
+            let sig = take_signature(bytes, pos)?;
+            let n = take_u64(bytes, pos)?;
+            counts.push((sig, n));
+        }
+        Ok(EpochDelta {
+            snapshot,
+            candidates,
+            counts,
+        })
+    }
+}
+
+// ---- wire codecs shared with the kgpt-fabric protocol --------------------
+
+/// Append a [`CampaignConfig`] in the checkpoint framing.
+pub fn encode_config(config: &CampaignConfig, out: &mut Vec<u8>) {
+    put_u64(out, config.execs);
+    put_u64(out, config.seed);
+    put_u64(out, config.max_prog_len as u64);
+    match &config.enabled {
+        None => out.push(0),
+        Some(names) => {
+            out.push(1);
+            put_u32(out, u32::try_from(names.len()).unwrap_or(u32::MAX));
+            for n in names {
+                put_str(out, n);
+            }
+        }
+    }
+    put_u64(out, config.hub_epoch);
+    put_u64(out, config.hub_top_k as u64);
+    put_u64(out, config.exec_fuel);
+}
+
+/// Decode a [`CampaignConfig`] (inverse of [`encode_config`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on any malformed field.
+pub fn decode_config(bytes: &[u8], pos: &mut usize) -> Result<CampaignConfig, CheckpointError> {
+    let execs = take_u64(bytes, pos)?;
+    let seed = take_u64(bytes, pos)?;
+    let max_prog_len = usize::try_from(take_u64(bytes, pos)?)
+        .map_err(|_| CheckpointError::new("max_prog_len out of range"))?;
+    let enabled = match take_u8(bytes, pos)? {
+        0 => None,
+        1 => {
+            let n = take_u32(bytes, pos)? as usize;
+            let mut names = Vec::new();
+            for _ in 0..n {
+                names.push(take_str(bytes, pos)?);
+            }
+            Some(names)
+        }
+        t => {
+            return Err(CheckpointError::new(format!(
+                "bad enabled tag {t} at {pos}"
+            )))
+        }
+    };
+    let hub_epoch = take_u64(bytes, pos)?;
+    let hub_top_k = usize::try_from(take_u64(bytes, pos)?)
+        .map_err(|_| CheckpointError::new("hub top_k out of range"))?;
+    let exec_fuel = take_u64(bytes, pos)?;
+    Ok(CampaignConfig {
+        execs,
+        seed,
+        max_prog_len,
+        enabled,
+        hub_epoch,
+        hub_top_k,
+        exec_fuel,
+    })
+}
+
+/// Append a list of committed [`ShardSnapshot`]s (lease grants carry
+/// the restore state of a reassigned range this way).
+pub fn encode_snapshots(snaps: &[ShardSnapshot], out: &mut Vec<u8>) {
+    put_u32(out, u32::try_from(snaps.len()).unwrap_or(u32::MAX));
+    for s in snaps {
+        encode_shard(s, out);
+    }
+}
+
+/// Decode a list of [`ShardSnapshot`]s (inverse of
+/// [`encode_snapshots`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on any malformed field.
+pub fn decode_snapshots(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Vec<ShardSnapshot>, CheckpointError> {
+    let n = take_u32(bytes, pos)? as usize;
+    let mut snaps = Vec::new();
+    for _ in 0..n {
+        snaps.push(decode_shard(bytes, pos)?);
+    }
+    Ok(snaps)
+}
+
+/// Append a list of [`HubSeed`]s (the boundary reply carries the
+/// seeds newly retained by the hub this way).
+pub fn encode_seeds(seeds: &[HubSeed], out: &mut Vec<u8>) {
+    put_u32(out, u32::try_from(seeds.len()).unwrap_or(u32::MAX));
+    for seed in seeds {
+        put_u32(out, seed.shard);
+        seed.program.encode_into(out);
+        put_coverage(out, &seed.contributed);
+    }
+}
+
+/// Decode a list of [`HubSeed`]s (inverse of [`encode_seeds`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on any malformed field.
+pub fn decode_seeds(bytes: &[u8], pos: &mut usize) -> Result<Vec<HubSeed>, CheckpointError> {
+    let n = take_u32(bytes, pos)? as usize;
+    let mut seeds = Vec::new();
+    for _ in 0..n {
+        let shard = take_u32(bytes, pos)?;
+        let program = Program::decode_from(bytes, pos)?;
+        let contributed = take_coverage(bytes, pos)?;
+        seeds.push(HubSeed {
+            shard,
+            program,
+            contributed,
+        });
+    }
+    Ok(seeds)
+}
+
+/// Append a list of [`EpochDelta`]s (one worker delta frame carries
+/// its whole range this way).
+pub fn encode_deltas(deltas: &[EpochDelta], out: &mut Vec<u8>) {
+    put_u32(out, u32::try_from(deltas.len()).unwrap_or(u32::MAX));
+    for d in deltas {
+        d.encode_into(out);
+    }
+}
+
+/// Decode a list of [`EpochDelta`]s (inverse of [`encode_deltas`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on any malformed field.
+pub fn decode_deltas(bytes: &[u8], pos: &mut usize) -> Result<Vec<EpochDelta>, CheckpointError> {
+    let n = take_u32(bytes, pos)? as usize;
+    let mut deltas = Vec::new();
+    for _ in 0..n {
+        deltas.push(EpochDelta::decode_from(bytes, pos)?);
+    }
+    Ok(deltas)
+}
+
+/// Re-export of the crash-tally/option codec used for crash maps in
+/// shard snapshots — the protocol crate never needs it directly, but
+/// tests exercising the framing do.
+#[doc(hidden)]
+pub fn crash_tally_roundtrip(tally: &CrashTally) -> CrashTally {
+    let mut out = Vec::new();
+    put_u32(&mut out, u32::try_from(tally.len()).unwrap_or(u32::MAX));
+    for (title, (count, cve)) in tally {
+        put_str(&mut out, title);
+        put_u64(&mut out, *count);
+        put_opt_str(&mut out, cve.as_deref());
+    }
+    let mut pos = 0usize;
+    let n = take_u32(&out, &mut pos).unwrap() as usize;
+    let mut back = CrashTally::new();
+    for _ in 0..n {
+        let title = take_str(&out, &mut pos).unwrap();
+        let count = take_u64(&out, &mut pos).unwrap();
+        let cve = take_opt_str(&out, &mut pos).unwrap();
+        back.insert(title, (count, cve));
+    }
+    back
+}
+
+// ---- worker half ---------------------------------------------------------
+
+/// The worker half of a distributed campaign: a contiguous range of
+/// shards stepped one epoch at a time, with worker-local triage
+/// minimization. Thin wrapper over the exact shard stepper
+/// [`crate::ShardedCampaign`] drives — the per-shard state evolution
+/// is byte-for-byte the same.
+pub struct LeaseRunner {
+    config: CampaignConfig,
+    epoch_budget: u64,
+    states: Vec<ShardState>,
+    minimizer: TriageMinimizer,
+}
+
+impl LeaseRunner {
+    /// Fresh lease over shards `lo..hi` of a `shards_total`-shard
+    /// campaign (boundary 0): each shard gets the budget and seed the
+    /// single-process campaign would give it.
+    #[must_use]
+    pub fn fresh(
+        lowered: &Arc<LoweredDb>,
+        config: &CampaignConfig,
+        shards_total: u32,
+        lo: u32,
+        hi: u32,
+    ) -> LeaseRunner {
+        let states = (lo..hi)
+            .map(|i| {
+                ShardState::new(
+                    lowered,
+                    config,
+                    i,
+                    shard_execs(config, shards_total, i),
+                    config.seed.wrapping_add(u64::from(i)),
+                )
+            })
+            .collect();
+        LeaseRunner::from_states(lowered, config, states)
+    }
+
+    /// Reassigned lease: restore the range from its last committed
+    /// boundary snapshots (in shard-id order). Continuing the restored
+    /// range is bit-identical to continuing the original worker —
+    /// the epochs it never committed are simply re-run.
+    #[must_use]
+    pub fn restore(
+        lowered: &Arc<LoweredDb>,
+        config: &CampaignConfig,
+        snapshots: &[ShardSnapshot],
+    ) -> LeaseRunner {
+        let states = snapshots
+            .iter()
+            .map(|s| ShardState::restore(lowered, config, s))
+            .collect();
+        LeaseRunner::from_states(lowered, config, states)
+    }
+
+    fn from_states(
+        lowered: &Arc<LoweredDb>,
+        config: &CampaignConfig,
+        states: Vec<ShardState>,
+    ) -> LeaseRunner {
+        LeaseRunner {
+            config: config.clone(),
+            epoch_budget: match config.hub_epoch {
+                0 => u64::MAX,
+                e => e,
+            },
+            states,
+            minimizer: TriageMinimizer::new(lowered),
+        }
+    }
+
+    /// The campaign config this lease runs under.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Shard ids this lease covers, ascending.
+    #[must_use]
+    pub fn shard_ids(&self) -> Vec<u32> {
+        self.states.iter().map(|s| s.id).collect()
+    }
+
+    /// Executions the range still owes (summed over its shards).
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.states.iter().map(|s| s.remaining).sum()
+    }
+
+    /// Run one epoch on every shard of the range (ascending id order)
+    /// and return one [`EpochDelta`] per shard. Shards are independent
+    /// between boundaries, so stepping them here is bit-identical to
+    /// the single-process chunk run; the triage drain is the
+    /// worker-local half of the driving-thread drain (the crate's
+    /// internal `triage` module).
+    #[must_use]
+    pub fn run_epoch(&mut self, kernel: &VKernel) -> Vec<EpochDelta> {
+        self.states
+            .iter_mut()
+            .map(|state| {
+                state.run_epoch(kernel, self.epoch_budget);
+                let (candidates, counts) =
+                    self.minimizer
+                        .drain_to_candidates(kernel, state.id, &mut state.triage);
+                EpochDelta {
+                    snapshot: state.snapshot(),
+                    candidates,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    /// Apply the boundary reply: admit every hub seed newly retained
+    /// this boundary into each shard of the range (skipping a shard's
+    /// own publications), exactly as `SeedHub::import_into` would.
+    /// Seeds retained at *earlier* boundaries are provably no-ops for
+    /// a corpus that already processed them (their claims are a subset
+    /// of its seen coverage), so shipping only the new ones keeps the
+    /// worker bit-identical to the single-process import pass.
+    pub fn import(&mut self, seeds: &[HubSeed]) {
+        for state in &mut self.states {
+            for seed in seeds {
+                if seed.shard == state.id {
+                    continue;
+                }
+                let _ = state.corpus.admit_foreign(&seed.program, &seed.contributed);
+            }
+        }
+    }
+}
+
+// ---- coordinator half ----------------------------------------------------
+
+/// What a boundary merge produced: whether the campaign is finished,
+/// and the hub seeds newly retained this boundary (to ship back to
+/// every worker for their import pass; empty on the final boundary,
+/// which — like the single-process loop — skips the exchange).
+#[derive(Debug, Clone)]
+pub struct BoundaryOutcome {
+    /// All shards exhausted their budgets at this boundary.
+    pub finished: bool,
+    /// Hub seeds retained by this boundary's publish pass, in
+    /// publication order.
+    pub seeds: Vec<HubSeed>,
+}
+
+/// The coordinator half of a distributed campaign: the deterministic
+/// merge of per-shard [`EpochDelta`]s into hub, triage report, and
+/// committed boundary state. Replays exactly the driving-thread
+/// boundary sequence of [`crate::ShardedCampaign`] — drain, publish,
+/// import, commit, all in shard-id order — without ever executing a
+/// program (no kernel, no lowered IR).
+pub struct CampaignMerge {
+    config: CampaignConfig,
+    shards_total: u32,
+    hub: SeedHub,
+    triage: TriageReport,
+    /// Last committed boundary state per shard, in shard-id order
+    /// (empty until the first boundary commits).
+    committed: Vec<ShardSnapshot>,
+    epochs_done: u64,
+    finished: bool,
+}
+
+impl CampaignMerge {
+    /// Fresh merge state for a campaign of `shards_total` shards.
+    #[must_use]
+    pub fn new(config: CampaignConfig, shards_total: u32) -> CampaignMerge {
+        let hub = SeedHub::new(config.hub_top_k);
+        CampaignMerge {
+            config,
+            shards_total: shards_total.max(1),
+            hub,
+            triage: TriageReport::new(),
+            committed: Vec::new(),
+            epochs_done: 0,
+            finished: false,
+        }
+    }
+
+    /// The campaign config this merge was built for.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Total shard count.
+    #[must_use]
+    pub fn shards_total(&self) -> u32 {
+        self.shards_total
+    }
+
+    /// Fingerprint of the campaign's deterministic identity (what
+    /// grants advertise and what a resume-style check would validate).
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        config_fingerprint(&self.config, self.shards_total)
+    }
+
+    /// Boundaries fully merged so far.
+    #[must_use]
+    pub fn epochs_done(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// Whether the final boundary has been merged.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Committed boundary snapshots for shards `lo..hi` — what a
+    /// grant for a reassigned range carries. Empty before the first
+    /// boundary commits (a fresh grant: the worker builds fresh
+    /// states itself).
+    #[must_use]
+    pub fn snapshots(&self, lo: u32, hi: u32) -> Vec<ShardSnapshot> {
+        if self.committed.is_empty() {
+            return Vec::new();
+        }
+        self.committed[lo as usize..hi as usize].to_vec()
+    }
+
+    /// Merge one full boundary: exactly one delta per shard, in
+    /// ascending shard-id order, all at boundary `epochs_done + 1`.
+    /// Replays the driving-thread sequence: per shard, admit triage
+    /// candidates (first-publisher-wins) and fold counts; then, unless
+    /// every shard is out of budget, publish every shard's corpus to
+    /// the hub and import back, both in shard-id order; finally commit
+    /// the post-import snapshots as the new boundary state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the delta set does not cover
+    /// exactly the configured shards in order (a protocol violation —
+    /// the caller should drop the offending lease, not the campaign).
+    pub fn apply_boundary(
+        &mut self,
+        deltas: Vec<EpochDelta>,
+    ) -> Result<BoundaryOutcome, CheckpointError> {
+        if self.finished {
+            return Err(CheckpointError::new("merge already finished"));
+        }
+        if deltas.len() != self.shards_total as usize
+            || deltas
+                .iter()
+                .enumerate()
+                .any(|(i, d)| d.snapshot.id as usize != i)
+        {
+            return Err(CheckpointError::new(format!(
+                "boundary delta set inconsistent: {} deltas for {} shards",
+                deltas.len(),
+                self.shards_total
+            )));
+        }
+        let mut deltas = deltas;
+        // Triage drain, shard-id order: candidates first (an earlier
+        // shard's admission wins), then counts (which may reference a
+        // signature admitted by any earlier drain — same invariant as
+        // the driving-thread loop).
+        for d in &mut deltas {
+            for cand in d.candidates.drain(..) {
+                if !self.triage.contains(&cand.signature) {
+                    let taken = self.triage.admit(cand);
+                    debug_assert!(taken, "signature admitted twice in one boundary");
+                }
+            }
+            for (sig, n) in d.counts.drain(..) {
+                self.triage.add_count(&sig, n);
+            }
+        }
+        self.epochs_done += 1;
+        // Final boundary: like the single-process loop, break *before*
+        // the exchange — the last drain happens, the last publish does
+        // not.
+        if deltas.iter().all(|d| d.snapshot.remaining == 0) {
+            self.committed = deltas.into_iter().map(|d| d.snapshot).collect();
+            self.finished = true;
+            return Ok(BoundaryOutcome {
+                finished: true,
+                seeds: Vec::new(),
+            });
+        }
+        // Exchange: rebuild each shard's corpus from its snapshot
+        // (Corpus::from_parts is the checkpoint-restore path), then
+        // publish all, then import all — shard-id order throughout,
+        // including the hub's `published` offer counter.
+        let mut corpora: Vec<Corpus> = deltas
+            .iter()
+            .map(|d| {
+                Corpus::from_parts(
+                    CORPUS_CAP,
+                    d.snapshot.corpus_rng,
+                    d.snapshot.corpus_coverage.clone(),
+                    d.snapshot.corpus_entries.clone(),
+                    d.snapshot.corpus_stats,
+                )
+            })
+            .collect();
+        let seeds_before = self.hub.seeds().len();
+        for (d, corpus) in deltas.iter().zip(&corpora) {
+            let _ = self.hub.publish(d.snapshot.id, corpus);
+        }
+        let seeds = self.hub.seeds()[seeds_before..].to_vec();
+        for (d, corpus) in deltas.iter().zip(&mut corpora) {
+            let _ = self.hub.import_into(d.snapshot.id, corpus);
+        }
+        // Commit the post-import state — the same capture point the
+        // single-process checkpoint uses, so a reassigned range
+        // restored from here re-enters the loop with nothing replayed
+        // and nothing lost.
+        self.committed = deltas
+            .into_iter()
+            .zip(corpora)
+            .map(|(d, corpus)| {
+                let mut snap = d.snapshot;
+                snap.corpus_rng = corpus.rng_state();
+                snap.corpus_stats = corpus.stats();
+                snap.corpus_coverage = corpus.coverage().clone();
+                snap.corpus_entries = corpus.entries().to_vec();
+                snap
+            })
+            .collect();
+        Ok(BoundaryOutcome {
+            finished: false,
+            seeds,
+        })
+    }
+
+    /// Fold the finished campaign into its result — the same merge,
+    /// in the same shard-id order, as the single-process
+    /// `ShardedCampaign`, so the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when called before the final
+    /// boundary was merged.
+    pub fn finish(self) -> Result<CampaignResult, CheckpointError> {
+        if !self.finished {
+            return Err(CheckpointError::new(format!(
+                "campaign not finished: {} boundaries merged",
+                self.epochs_done
+            )));
+        }
+        let mut coverage = CoverageMap::new();
+        let mut crashes = CrashTally::new();
+        let mut corpus_size = 0usize;
+        let mut fuel_exhausted = 0u64;
+        for s in self.committed {
+            coverage.merge(&s.corpus_coverage);
+            for (title, (count, cve)) in s.crashes {
+                let e = crashes.entry(title).or_insert((0, cve));
+                e.0 += count;
+            }
+            corpus_size += s.corpus_entries.len();
+            fuel_exhausted += s.fuel_exhausted;
+        }
+        Ok(CampaignResult {
+            coverage,
+            crashes,
+            execs: self.config.execs,
+            corpus_size,
+            triage: self.triage,
+            fuel_exhausted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgpt_csrc::KernelCorpus;
+    use kgpt_syzlang::{ConstDb, SpecCache, SpecFile};
+
+    fn dm_setup() -> (VKernel, Vec<SpecFile>, ConstDb) {
+        let kc = KernelCorpus::from_blueprints(vec![kgpt_csrc::flagship::dm()]);
+        let suite = vec![kc.blueprints()[0].ground_truth_spec()];
+        (
+            VKernel::boot(vec![kgpt_csrc::flagship::dm()]),
+            suite,
+            kc.consts().clone(),
+        )
+    }
+
+    fn cfg(execs: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            execs,
+            seed,
+            hub_epoch: 250,
+            hub_top_k: 4,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Drive a whole campaign through LeaseRunner + CampaignMerge in
+    /// one process, `ranges` leases wide.
+    fn fabric_inline(
+        kernel: &VKernel,
+        suite: &[SpecFile],
+        consts: &ConstDb,
+        config: &CampaignConfig,
+        shards: u32,
+        ranges: &[(u32, u32)],
+    ) -> CampaignResult {
+        let db = SpecCache::global().get_or_build(suite);
+        let lowered = SpecCache::global().get_or_lower(&db, consts);
+        let mut merge = CampaignMerge::new(config.clone(), shards);
+        let mut runners: Vec<LeaseRunner> = ranges
+            .iter()
+            .map(|&(lo, hi)| LeaseRunner::fresh(&lowered, config, shards, lo, hi))
+            .collect();
+        loop {
+            let mut deltas = Vec::new();
+            for r in &mut runners {
+                deltas.extend(r.run_epoch(kernel));
+            }
+            let outcome = merge.apply_boundary(deltas).expect("boundary");
+            if outcome.finished {
+                break;
+            }
+            for r in &mut runners {
+                r.import(&outcome.seeds);
+            }
+        }
+        merge.finish().expect("finished")
+    }
+
+    #[test]
+    fn inline_fabric_matches_sharded_campaign_at_any_range_split() {
+        let (kernel, suite, consts) = dm_setup();
+        let config = cfg(2000, 11);
+        let reference = crate::ShardedCampaign::new(&kernel, &suite, &consts, config.clone())
+            .with_shards(4)
+            .run();
+        for ranges in [
+            vec![(0u32, 4u32)],
+            vec![(0, 2), (2, 4)],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+        ] {
+            let r = fabric_inline(&kernel, &suite, &consts, &config, 4, &ranges);
+            assert_eq!(reference.coverage, r.coverage, "{ranges:?}");
+            assert_eq!(reference.crashes, r.crashes, "{ranges:?}");
+            assert_eq!(reference.corpus_size, r.corpus_size, "{ranges:?}");
+            assert_eq!(reference.triage, r.triage, "{ranges:?}");
+            assert_eq!(reference.fuel_exhausted, r.fuel_exhausted, "{ranges:?}");
+        }
+    }
+
+    #[test]
+    fn restored_lease_rerun_is_bit_identical() {
+        // Run 2 ranges; at every boundary, throw away range 1's live
+        // runner and restore it from the committed snapshots — the
+        // "worker died, replacement re-runs from the last committed
+        // boundary" path — and the result must not change.
+        let (kernel, suite, consts) = dm_setup();
+        let config = cfg(2000, 7);
+        let reference = fabric_inline(&kernel, &suite, &consts, &config, 4, &[(0, 2), (2, 4)]);
+
+        let db = SpecCache::global().get_or_build(&suite);
+        let lowered = SpecCache::global().get_or_lower(&db, &consts);
+        let mut merge = CampaignMerge::new(config.clone(), 4);
+        let mut left = LeaseRunner::fresh(&lowered, &config, 4, 0, 2);
+        loop {
+            // Range 1 is rebuilt every boundary: fresh at boundary 0,
+            // restored from committed state afterwards — replaying the
+            // epoch its predecessor "lost".
+            let mut right = if merge.epochs_done() == 0 {
+                LeaseRunner::fresh(&lowered, &config, 4, 2, 4)
+            } else {
+                LeaseRunner::restore(&lowered, &config, &merge.snapshots(2, 4))
+            };
+            let mut deltas = left.run_epoch(&kernel);
+            deltas.extend(right.run_epoch(&kernel));
+            let outcome = merge.apply_boundary(deltas).expect("boundary");
+            if outcome.finished {
+                break;
+            }
+            left.import(&outcome.seeds);
+            // `right` is dropped here *before* importing: its
+            // replacement restores the committed post-import state.
+        }
+        let r = merge.finish().expect("finished");
+        assert_eq!(reference.coverage, r.coverage);
+        assert_eq!(reference.crashes, r.crashes);
+        assert_eq!(reference.corpus_size, r.corpus_size);
+        assert_eq!(reference.triage, r.triage);
+    }
+
+    #[test]
+    fn delta_and_grant_codecs_round_trip() {
+        let (kernel, suite, consts) = dm_setup();
+        let config = CampaignConfig {
+            enabled: Some(vec!["ioctl$dm".into(), "openat$dm".into()]),
+            ..cfg(600, 3)
+        };
+        let db = SpecCache::global().get_or_build(&suite);
+        let lowered = SpecCache::global().get_or_lower(&db, &consts);
+        let mut runner = LeaseRunner::fresh(&lowered, &config, 2, 0, 2);
+        let deltas = runner.run_epoch(&kernel);
+        assert_eq!(deltas.len(), 2);
+
+        let mut out = Vec::new();
+        encode_deltas(&deltas, &mut out);
+        let mut pos = 0usize;
+        let back = decode_deltas(&out, &mut pos).expect("deltas decode");
+        assert_eq!(pos, out.len());
+        assert_eq!(deltas, back);
+
+        let mut out = Vec::new();
+        encode_config(&config, &mut out);
+        let mut pos = 0usize;
+        let back = decode_config(&out, &mut pos).expect("config decode");
+        assert_eq!(pos, out.len());
+        assert_eq!(
+            config_fingerprint(&config, 2),
+            config_fingerprint(&back, 2),
+            "config round-trip must preserve the fingerprint"
+        );
+
+        let snaps: Vec<ShardSnapshot> = deltas.iter().map(|d| d.snapshot.clone()).collect();
+        let mut out = Vec::new();
+        encode_snapshots(&snaps, &mut out);
+        let mut pos = 0usize;
+        assert_eq!(decode_snapshots(&out, &mut pos).expect("snaps"), snaps);
+
+        let seeds = vec![HubSeed {
+            shard: 1,
+            program: Program::default(),
+            contributed: [7u64, 9].iter().copied().collect(),
+        }];
+        let mut out = Vec::new();
+        encode_seeds(&seeds, &mut out);
+        let mut pos = 0usize;
+        assert_eq!(decode_seeds(&out, &mut pos).expect("seeds"), seeds);
+    }
+
+    #[test]
+    fn merge_rejects_malformed_boundaries() {
+        let (kernel, suite, consts) = dm_setup();
+        let config = cfg(500, 1);
+        let db = SpecCache::global().get_or_build(&suite);
+        let lowered = SpecCache::global().get_or_lower(&db, &consts);
+        let mut runner = LeaseRunner::fresh(&lowered, &config, 2, 0, 2);
+        let deltas = runner.run_epoch(&kernel);
+
+        // Too few deltas.
+        let mut merge = CampaignMerge::new(config.clone(), 2);
+        assert!(merge.apply_boundary(deltas[..1].to_vec()).is_err());
+        // Wrong order.
+        let mut swapped = deltas.clone();
+        swapped.swap(0, 1);
+        assert!(merge.apply_boundary(swapped).is_err());
+        // Finish before the final boundary.
+        assert!(CampaignMerge::new(config, 2).finish().is_err());
+    }
+
+    #[test]
+    fn shard_execs_matches_the_sharded_split() {
+        let config = CampaignConfig {
+            execs: 1003,
+            ..CampaignConfig::default()
+        };
+        let total: u64 = (0..8).map(|i| shard_execs(&config, 8, i)).sum();
+        assert_eq!(total, 1003);
+        assert!((0..8).all(|i| [125u64, 126].contains(&shard_execs(&config, 8, i))));
+    }
+}

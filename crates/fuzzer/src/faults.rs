@@ -56,6 +56,44 @@ pub enum Fault {
         /// Victim shard id.
         shard: u32,
     },
+    /// Fabric: the `nth` frame (0-based, counted per faulty transport
+    /// end) vanishes in transit. The receiver sees nothing; the
+    /// sender's retry-on-timeout recovers, and the campaign result is
+    /// unchanged.
+    DropFrame {
+        /// Which outbound frame to drop.
+        nth: u64,
+    },
+    /// Fabric: the `nth` frame is delivered twice. Duplicate delta
+    /// delivery is idempotent (the coordinator re-acks without
+    /// re-merging) and duplicate replies are ignored by the worker, so
+    /// the campaign result is unchanged.
+    DuplicateFrame {
+        /// Which outbound frame to duplicate.
+        nth: u64,
+    },
+    /// Fabric: the worker holding lease slot `worker` dies silently
+    /// (as if SIGKILLed) instead of shipping its delta for `boundary`.
+    /// Its uncommitted epoch is lost; the coordinator expires the
+    /// lease and the next registrant re-runs the range from the last
+    /// committed boundary — bit-identically.
+    WorkerKill {
+        /// Lease slot (range index) of the victim.
+        worker: u32,
+        /// Boundary whose delta is never shipped (1-based: the first
+        /// epoch a fresh lease runs completes boundary 1).
+        boundary: u64,
+    },
+    /// Fabric: the worker holding lease slot `worker` stalls past its
+    /// lease deadline before shipping its delta for `boundary`. The
+    /// coordinator expires the lease and reassigns the range; the
+    /// late delta lands on a closed transport and is discarded.
+    StallLease {
+        /// Lease slot (range index) of the stalled worker.
+        worker: u32,
+        /// Boundary whose delta is delayed past the deadline.
+        boundary: u64,
+    },
 }
 
 /// A deterministic set of faults to inject into one campaign run.
@@ -148,6 +186,71 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Whether the `nth` outbound frame of a faulty fabric transport
+    /// should be dropped.
+    #[must_use]
+    pub fn drop_frame(&self, nth: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DropFrame { nth: n } if *n == nth))
+    }
+
+    /// Whether the `nth` outbound frame of a faulty fabric transport
+    /// should be delivered twice.
+    #[must_use]
+    pub fn duplicate_frame(&self, nth: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DuplicateFrame { nth: n } if *n == nth))
+    }
+
+    /// Whether the worker on lease slot `worker` dies silently instead
+    /// of shipping its delta for `boundary`.
+    #[must_use]
+    pub fn worker_kill(&self, worker: u32, boundary: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::WorkerKill { worker: w, boundary: b }
+                if *w == worker && *b == boundary)
+        })
+    }
+
+    /// Whether the worker on lease slot `worker` stalls past its lease
+    /// deadline before shipping its delta for `boundary`.
+    #[must_use]
+    pub fn stall_lease(&self, worker: u32, boundary: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::StallLease { worker: w, boundary: b }
+                if *w == worker && *b == boundary)
+        })
+    }
+
+    /// Derive a fabric plan covering the whole distributed failure
+    /// matrix from a seed: one dropped frame, one duplicated frame,
+    /// one worker kill, and one stalled lease, at seed-chosen
+    /// boundaries in `1..=boundaries` against `workers` lease slots.
+    /// A pure function of its inputs, like [`FaultPlan::from_seed`].
+    #[must_use]
+    pub fn fabric_from_seed(seed: u64, boundaries: u64, workers: u32) -> FaultPlan {
+        let boundaries = boundaries.max(1);
+        let workers = u64::from(workers.max(1));
+        let mut rng = SplitMix64::new(seed);
+        FaultPlan::none()
+            .with(Fault::DropFrame {
+                nth: rng.bounded(8),
+            })
+            .with(Fault::DuplicateFrame {
+                nth: rng.bounded(8),
+            })
+            .with(Fault::WorkerKill {
+                worker: u32::try_from(rng.bounded(workers)).unwrap_or(0),
+                boundary: 1 + rng.bounded(boundaries),
+            })
+            .with(Fault::StallLease {
+                worker: u32::try_from(rng.bounded(workers)).unwrap_or(0),
+                boundary: 1 + rng.bounded(boundaries),
+            })
+    }
 }
 
 #[cfg(test)]
@@ -184,8 +287,42 @@ mod tests {
                 Fault::TruncateSnapshot { epoch } => assert!(epoch < 10),
                 Fault::CorruptSnapshot { epoch, .. } => assert!(epoch < 10),
                 Fault::ShardAbort { epoch, shard } => assert!(epoch < 10 && shard < 8),
+                f => panic!("from_seed injected a fabric fault: {f:?}"),
             }
         }
+    }
+
+    #[test]
+    fn seeded_fabric_plans_cover_the_distributed_failure_matrix() {
+        let a = FaultPlan::fabric_from_seed(42, 6, 2);
+        assert_eq!(a, FaultPlan::fabric_from_seed(42, 6, 2));
+        assert_ne!(a, FaultPlan::fabric_from_seed(43, 6, 2));
+        assert_eq!(a.faults().len(), 4);
+        for f in a.faults() {
+            match *f {
+                Fault::DropFrame { nth } | Fault::DuplicateFrame { nth } => assert!(nth < 8),
+                Fault::WorkerKill { worker, boundary } | Fault::StallLease { worker, boundary } => {
+                    assert!(worker < 2 && (1..=6).contains(&boundary));
+                }
+                f => panic!("fabric_from_seed injected a durability fault: {f:?}"),
+            }
+        }
+        // The accessors hit exactly their injected coordinates.
+        let plan = FaultPlan::none()
+            .with(Fault::DropFrame { nth: 3 })
+            .with(Fault::DuplicateFrame { nth: 5 })
+            .with(Fault::WorkerKill {
+                worker: 1,
+                boundary: 2,
+            })
+            .with(Fault::StallLease {
+                worker: 0,
+                boundary: 4,
+            });
+        assert!(plan.drop_frame(3) && !plan.drop_frame(4));
+        assert!(plan.duplicate_frame(5) && !plan.duplicate_frame(3));
+        assert!(plan.worker_kill(1, 2) && !plan.worker_kill(0, 2) && !plan.worker_kill(1, 3));
+        assert!(plan.stall_lease(0, 4) && !plan.stall_lease(1, 4) && !plan.stall_lease(0, 2));
     }
 
     #[test]

@@ -39,8 +39,17 @@
 //!   bit-identical to an uninterrupted run at any thread count;
 //! * [`faults`] — deterministic fault injection
 //!   ([`faults::FaultPlan`]): checkpoint-write failures, torn/corrupt
-//!   snapshots, and mid-epoch shard aborts, so every recovery path is
-//!   exercised in CI instead of waiting for real crashes;
+//!   snapshots, mid-epoch shard aborts, and fabric faults (dropped or
+//!   duplicated frames, worker kills, stalled leases), so every
+//!   recovery path is exercised in CI instead of waiting for real
+//!   crashes;
+//! * [`fabric`] — the deterministic halves of a distributed campaign:
+//!   [`fabric::LeaseRunner`] steps a contiguous shard range on a
+//!   worker and [`fabric::CampaignMerge`] folds per-shard
+//!   [`fabric::EpochDelta`]s in shard-id order on a coordinator, so
+//!   the merged result is bit-identical to a single-process
+//!   [`ShardedCampaign`] (the `kgpt-fabric` crate adds the protocol:
+//!   leases, transports, framing);
 //! * crash triage (internal `triage` module over [`kgpt_triage`]) —
 //!   shards capture the first crashing `ProgCall` stream per
 //!   [`kgpt_vkernel::CrashSignature`]; the driver ddmin-minimizes new
@@ -52,6 +61,7 @@ pub mod campaign;
 pub mod checkpoint;
 pub mod corpus;
 pub mod exec;
+pub mod fabric;
 pub mod faults;
 pub mod gen;
 pub mod hub;
@@ -60,10 +70,11 @@ pub mod reference;
 pub mod shard;
 mod triage;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally, ShardSnapshot};
 pub use checkpoint::{CampaignSnapshot, CheckpointError};
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
+pub use fabric::{BoundaryOutcome, CampaignMerge, EpochDelta, LeaseRunner};
 pub use faults::{Fault, FaultPlan};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};

@@ -66,6 +66,10 @@ pub struct ShardedCampaign<'a> {
     /// Stop after this many checkpoints were written (test/bench
     /// hook simulating an interrupt at an epoch boundary).
     halt_after: Option<u64>,
+    /// Observer called with the running install count after every
+    /// successful checkpoint install (`Sync` because `&self` is
+    /// shared with the worker threads during chunks).
+    on_checkpoint: Option<Box<dyn Fn(u64) + Sync + 'a>>,
 }
 
 impl<'a> ShardedCampaign<'a> {
@@ -121,6 +125,7 @@ impl<'a> ShardedCampaign<'a> {
             checkpoint: None,
             faults: FaultPlan::none(),
             halt_after: None,
+            on_checkpoint: None,
         }
     }
 
@@ -167,6 +172,18 @@ impl<'a> ShardedCampaign<'a> {
     #[must_use]
     pub fn with_halt_after(mut self, n: u64) -> ShardedCampaign<'a> {
         self.halt_after = Some(n);
+        self
+    }
+
+    /// Observe successful checkpoint installs: `hook` is called on
+    /// the driving thread with the total number installed so far
+    /// (1-based), right after each atomic install. Lets a harness
+    /// wait for "a resumable snapshot exists" instead of sleeping —
+    /// the CI kill-and-resume job kills the process only after the
+    /// first `CHECKPOINT` line this hook prints.
+    #[must_use]
+    pub fn with_on_checkpoint(mut self, hook: impl Fn(u64) + Sync + 'a) -> ShardedCampaign<'a> {
+        self.on_checkpoint = Some(Box::new(hook));
         self
     }
 
@@ -341,6 +358,9 @@ impl<'a> ShardedCampaign<'a> {
                 );
                 if self.write_checkpoint(&snap, path, iter) {
                     checkpoints_written += 1;
+                    if let Some(hook) = &self.on_checkpoint {
+                        hook(checkpoints_written);
+                    }
                     if self.halt_after == Some(checkpoints_written) {
                         // Simulated interrupt: return the partial
                         // merge (tests discard it and resume from the

@@ -107,49 +107,91 @@ impl TriageMinimizer {
         report: &mut TriageReport,
     ) {
         for cap in triage.fresh.drain(..) {
-            let sig = cap.signature;
-            if report.contains(&sig) {
+            if report.contains(&cap.signature) {
                 // First-publisher-wins: an earlier shard (or epoch)
                 // already owns this signature; the duplicate capture
                 // is dropped and only its counts (below) fold in.
                 continue;
             }
-            let scratch = &mut self.scratch;
-            // Probe the raw capture once before minimizing: if it no
-            // longer triggers its signature (stale capture), report it
-            // as non-reproducible unchanged rather than ddmin-ing
-            // against a predicate that can never hold. The probe runs
-            // on the boundary scratch and draws no campaign
-            // randomness, so it never perturbs the shard streams.
-            execute_with(kernel, &cap.program, scratch);
-            let reproducible = scratch.crash().is_some_and(|c| c.signature == sig);
-            let (minimized, minimize_execs) = if reproducible {
-                let outcome = minimize(&cap.program, |candidate| {
-                    execute_with(kernel, candidate, scratch);
-                    scratch.crash().is_some_and(|c| c.signature == sig)
-                });
-                (outcome.program, outcome.execs)
-            } else {
-                // Mirrors `minimize`'s non-reproducing contract: the
-                // program comes back unchanged at a cost of one probe.
-                (cap.program.clone(), 1)
-            };
-            let taken = report.admit(TriageEntry {
-                signature: sig,
-                title: cap.title,
-                cve: cap.cve,
-                first_epoch: cap.epoch,
-                first_shard: shard_id,
-                count: 0,
-                raw: cap.program,
-                minimized,
-                minimize_execs,
-                reproducible,
-            });
+            let entry = self.minimize_capture(kernel, shard_id, cap);
+            let taken = report.admit(entry);
             debug_assert!(taken, "signature admitted twice in one drain");
         }
         for (sig, n) in std::mem::take(&mut triage.counts) {
             report.add_count(&sig, n);
+        }
+    }
+
+    /// Drain one shard into *candidate* entries instead of a shared
+    /// report — the worker half of the distributed drain (see
+    /// [`crate::fabric`]). Every fresh capture is minimized locally
+    /// (the coordinator cannot replay programs; it only merges), and
+    /// the coordinator applies the same first-publisher-wins admission
+    /// in shard-id order, so the merged report is bit-identical to
+    /// [`TriageMinimizer::drain`] on a driving thread. A capture whose
+    /// signature another shard already owns globally costs a wasted
+    /// local minimization here; it is dropped at admission, never
+    /// changing the result. Counts are returned in signature order
+    /// (the same order `drain`'s `BTreeMap` iteration folds them).
+    pub(crate) fn drain_to_candidates(
+        &mut self,
+        kernel: &VKernel,
+        shard_id: u32,
+        triage: &mut ShardTriage,
+    ) -> (Vec<TriageEntry>, Vec<(CrashSignature, u64)>) {
+        let candidates = triage
+            .fresh
+            .drain(..)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|cap| self.minimize_capture(kernel, shard_id, cap))
+            .collect();
+        let counts = std::mem::take(&mut triage.counts).into_iter().collect();
+        (candidates, counts)
+    }
+
+    /// Minimize one fresh capture into a report entry (`count` 0; the
+    /// caller folds observation counts separately). Pure function of
+    /// `(capture, kernel, lowered)`: the probe and every ddmin replay
+    /// run on this boundary scratch and draw no campaign randomness,
+    /// so both the driving-thread drain and the worker-local fabric
+    /// drain produce the same entry for the same capture.
+    fn minimize_capture(
+        &mut self,
+        kernel: &VKernel,
+        shard_id: u32,
+        cap: TriageCapture,
+    ) -> TriageEntry {
+        let sig = cap.signature;
+        let scratch = &mut self.scratch;
+        // Probe the raw capture once before minimizing: if it no
+        // longer triggers its signature (stale capture), report it
+        // as non-reproducible unchanged rather than ddmin-ing
+        // against a predicate that can never hold.
+        execute_with(kernel, &cap.program, scratch);
+        let reproducible = scratch.crash().is_some_and(|c| c.signature == sig);
+        let (minimized, minimize_execs) = if reproducible {
+            let outcome = minimize(&cap.program, |candidate| {
+                execute_with(kernel, candidate, scratch);
+                scratch.crash().is_some_and(|c| c.signature == sig)
+            });
+            (outcome.program, outcome.execs)
+        } else {
+            // Mirrors `minimize`'s non-reproducing contract: the
+            // program comes back unchanged at a cost of one probe.
+            (cap.program.clone(), 1)
+        };
+        TriageEntry {
+            signature: sig,
+            title: cap.title,
+            cve: cap.cve,
+            first_epoch: cap.epoch,
+            first_shard: shard_id,
+            count: 0,
+            raw: cap.program,
+            minimized,
+            minimize_execs,
+            reproducible,
         }
     }
 }

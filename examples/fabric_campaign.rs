@@ -1,0 +1,229 @@
+//! The distributed campaign fabric, end to end: the same two-suite
+//! comparison as `fuzz_campaign`, but split across a coordinator
+//! process and N worker processes over localhost TCP — with the
+//! merged `RESULT` lines **bit-identical** to the single-process run.
+//!
+//! Run as either role (positional arg or `FABRIC_ROLE`):
+//!
+//! ```text
+//! cargo run --release --example fabric_campaign -- coordinator &
+//! cargo run --release --example fabric_campaign -- worker &
+//! cargo run --release --example fabric_campaign -- worker
+//! ```
+//!
+//! Both roles rebuild the identical spec suites from the same
+//! deterministic oracle; the wire carries only config, snapshots, and
+//! deltas — never specs. Workers may be killed (`SIGKILL`) mid-lease
+//! and replaced at any time: the coordinator reassigns the range from
+//! the last committed boundary and the result does not change, which
+//! is exactly what the CI `fabric-smoke` job does to this binary.
+//!
+//! Environment knobs:
+//!
+//! * `FABRIC_ADDR` — coordinator listen / worker connect address
+//!   (default `127.0.0.1:45117`);
+//! * `FABRIC_WORKERS` — worker range slots (default 2);
+//! * `FUZZ_EXECS` — per-campaign exec budget (default 20000), same
+//!   meaning as in `fuzz_campaign`.
+
+use kernelgpt::core::KernelGpt;
+use kernelgpt::csrc::{flagship, KernelCorpus};
+use kernelgpt::extractor::find_handlers;
+use kernelgpt::fabric::{
+    run_worker, Coordinator, CoordinatorOpts, TcpTransport, Transport, WorkerOpts,
+};
+use kernelgpt::fuzzer::CampaignConfig;
+use kernelgpt::llm::{ModelKind, OracleModel};
+use kernelgpt::syzlang::{lowered::LoweredDb, ConstDb, SpecCache, SpecFile};
+use kernelgpt::vkernel::VKernel;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: u32 = 8;
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn addr() -> String {
+    std::env::var("FABRIC_ADDR").unwrap_or_else(|_| "127.0.0.1:45117".into())
+}
+
+fn campaign_config(execs: u64) -> CampaignConfig {
+    // Must match `fuzz_campaign` exactly: the CI smoke diffs this
+    // binary's RESULT lines against that one's.
+    CampaignConfig {
+        execs,
+        seed: 1,
+        hub_epoch: 2_048,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Both roles derive the identical suites from the same deterministic
+/// oracle — the wire never carries specs, only their fingerprint.
+fn build_suites() -> (VKernel, ConstDb, Vec<(&'static str, Vec<SpecFile>)>) {
+    let blueprints = vec![flagship::dm(), flagship::cec(), flagship::sg()];
+    let kc = KernelCorpus::from_blueprints(blueprints.clone());
+    let kernel = VKernel::boot(blueprints);
+    let handlers = find_handlers(kc.corpus());
+    let existing = kc.existing_suite();
+    let model = OracleModel::new(ModelKind::Gpt4, 0);
+    let report = KernelGpt::new(&model, kc.corpus()).generate_all(&handlers, kc.consts());
+    let mut augmented = existing.clone();
+    augmented.extend(report.specs());
+    (
+        kernel,
+        kc.consts().clone(),
+        vec![("existing", existing), ("existing+KernelGPT", augmented)],
+    )
+}
+
+fn run_coordinator() {
+    let execs = env_u64("FUZZ_EXECS", 20_000);
+    let workers = u32::try_from(env_u64("FABRIC_WORKERS", 2)).unwrap_or(2);
+    let listener = TcpListener::bind(addr()).expect("bind coordinator address");
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    println!("COORDINATOR listening on {}", addr());
+    let (_kernel, _consts, suites) = build_suites();
+    for (name, suite) in suites {
+        if suite.is_empty() {
+            println!("{name:<20}: no specs, skipping");
+            continue;
+        }
+        let spec_fp = SpecCache::fingerprint(&suite);
+        let coordinator = Coordinator::new(
+            campaign_config(execs),
+            CoordinatorOpts {
+                shards: SHARDS,
+                workers,
+                lease_timeout: Duration::from_secs(30),
+                spec_fp,
+            },
+        );
+        // One campaign per suite over the same listener: connections
+        // arriving between campaigns wait in the backlog until the
+        // next campaign's coordinator wants a registrant.
+        let mut accept = || -> Option<Box<dyn Transport>> {
+            match listener.accept() {
+                Ok((stream, _)) => Some(Box::new(TcpTransport::new(stream)) as Box<dyn Transport>),
+                Err(_) => None,
+            }
+        };
+        let (result, stats) = coordinator.run(&mut accept).expect("coordinator failed");
+        println!(
+            "{name:<20}: {:>5} blocks, {} unique crashes over {} execs (corpus {})",
+            result.blocks(),
+            result.unique_crashes(),
+            result.execs,
+            result.corpus_size,
+        );
+        println!(
+            "FABRIC {name}: boundaries={} delta_bytes={} merge_ms={} expired_leases={} \
+             redelivered={} rejected={}",
+            stats.boundaries,
+            stats.delta_bytes,
+            stats.merge_nanos / 1_000_000,
+            stats.expired_leases,
+            stats.redelivered_frames,
+            stats.rejected_frames,
+        );
+        // The same stable machine-checkable line as `fuzz_campaign`:
+        // the fabric-smoke CI job diffs the two.
+        println!(
+            "RESULT {name}: blocks={} unique_crashes={} corpus={} execs={} fuel_exhausted={} triage={}",
+            result.blocks(),
+            result.unique_crashes(),
+            result.corpus_size,
+            result.execs,
+            result.fuel_exhausted,
+            result.triage.len(),
+        );
+    }
+}
+
+fn run_worker_role() {
+    let (kernel, consts, suites) = build_suites();
+    // Compile + lower every suite up front; the grant picks one by
+    // fingerprint.
+    let lowered: Vec<(u64, Arc<LoweredDb>)> = suites
+        .iter()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(_, suite)| {
+            let db = SpecCache::global().get_or_build(suite);
+            (
+                SpecCache::fingerprint(suite),
+                SpecCache::global().get_or_lower(&db, &consts),
+            )
+        })
+        .collect();
+    let mut sessions = 0u64;
+    let mut refused = 0u32;
+    loop {
+        let transport = match TcpTransport::connect(addr()) {
+            Ok(t) => t,
+            Err(_) if sessions == 0 && refused < 240 => {
+                // Startup grace: the coordinator may not be up yet.
+                refused += 1;
+                std::thread::sleep(Duration::from_millis(250));
+                continue;
+            }
+            Err(_) if refused < 20 => {
+                // Between campaigns the listener still accepts; a few
+                // refusals in a row mean the coordinator is done.
+                refused += 1;
+                std::thread::sleep(Duration::from_millis(250));
+                continue;
+            }
+            Err(_) => break,
+        };
+        refused = 0;
+        let opts = WorkerOpts {
+            reply_timeout: Duration::from_secs(2),
+            on_grant: Some(Box::new(|slot, lo, hi, boundary| {
+                println!("LEASE slot={slot} shards={lo}..{hi} from_boundary={boundary}");
+            })),
+            on_boundary: Some(Box::new(|boundary| {
+                println!("DELTA boundary={boundary}");
+            })),
+            ..WorkerOpts::default()
+        };
+        let kernel = &kernel;
+        let lowered = &lowered;
+        let summary = run_worker(Box::new(transport), opts, move |fp| {
+            lowered
+                .iter()
+                .find(|(have, _)| *have == fp)
+                .map(|(_, l)| (kernel, Arc::clone(l)))
+        })
+        .expect("worker protocol violation");
+        sessions += 1;
+        println!(
+            "SESSION {} slot={:?} boundaries={} completed={}",
+            sessions, summary.slot, summary.boundaries, summary.completed
+        );
+    }
+    println!("WORKER done after {sessions} sessions");
+}
+
+fn main() {
+    let role = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("FABRIC_ROLE").ok())
+        .unwrap_or_else(|| "coordinator".into());
+    match role.as_str() {
+        "coordinator" => run_coordinator(),
+        "worker" => run_worker_role(),
+        other => {
+            eprintln!("unknown role {other:?}: use `coordinator` or `worker`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -76,7 +76,13 @@ fn main() {
             .as_ref()
             .map(|base| base.with_extension(format!("suite{i}.ckpt")));
         if let Some(path) = &ckpt {
-            campaign = campaign.with_checkpoint(path);
+            // Announce every installed snapshot on stdout: harnesses
+            // (the CI kill-and-resume job) wait for the first
+            // CHECKPOINT line before killing the process, instead of
+            // sleeping and hoping a snapshot exists by then.
+            campaign = campaign
+                .with_checkpoint(path)
+                .with_on_checkpoint(move |n| println!("CHECKPOINT {i}.{n}"));
         }
         let result = match (&ckpt, resume) {
             (Some(path), true) => match campaign.resume(path) {

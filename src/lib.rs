@@ -15,12 +15,15 @@
 //! * [`syzdescribe`] — the rule-based static baseline;
 //! * [`vkernel`] — the virtual kernel under test (coverage, bugs);
 //! * [`fuzzer`] — the spec-guided coverage-directed fuzzer;
+//! * [`fabric`] — the distributed campaign fabric (coordinator,
+//!   worker leases, delta wire protocol);
 //! * [`triage`] — crash triage: signature dedup, reproducer capture,
 //!   deterministic ddmin minimization.
 
 pub use kgpt_core as core;
 pub use kgpt_csrc as csrc;
 pub use kgpt_extractor as extractor;
+pub use kgpt_fabric as fabric;
 pub use kgpt_fuzzer as fuzzer;
 pub use kgpt_llm as llm;
 pub use kgpt_syzdescribe as syzdescribe;
