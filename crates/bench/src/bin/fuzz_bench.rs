@@ -660,7 +660,7 @@ fn main() {
     // the wire cost — delta bytes shipped per epoch boundary, time
     // inside the merge — is recorded.
     let fabric_fp = SpecCache::fingerprint(&dc_suite);
-    let fabric_run = |workers: u32| {
+    let fabric_run = |workers: u32, force_full: bool| {
         std::thread::scope(|scope| {
             let coordinator = Coordinator::new(
                 dc_cfg(DC_EPOCH),
@@ -677,7 +677,11 @@ fn main() {
                 let (coord_end, worker_end) = ChannelTransport::pair();
                 let lowered = std::sync::Arc::clone(dc_lowered);
                 scope.spawn(move || {
-                    run_worker(Box::new(worker_end), WorkerOpts::default(), |fp| {
+                    let opts = WorkerOpts {
+                        force_full_deltas: force_full,
+                        ..WorkerOpts::default()
+                    };
+                    run_worker(Box::new(worker_end), opts, |fp| {
                         (fp == fabric_fp).then_some((dc_kernel, lowered))
                     })
                     .expect("fabric worker");
@@ -696,7 +700,7 @@ fn main() {
     let mut fabric_invariant = true;
     for workers in [1u32, 2, 4] {
         let t0 = Instant::now();
-        let (result, stats) = fabric_run(workers);
+        let (result, stats) = fabric_run(workers, false);
         let secs = t0.elapsed().as_secs_f64();
         if !same_result(&dc_on, &result) {
             fabric_invariant = false;
@@ -711,19 +715,37 @@ fn main() {
             stats,
         });
     }
+    // The forced-full run measures what every boundary cost before
+    // true delta frames: the same campaign, every delta a complete
+    // snapshot frame. Its result must be identical too (same merge,
+    // fatter wire).
+    let (full_result, full_stats) = fabric_run(1, true);
+    if !same_result(&dc_on, &full_result) {
+        fabric_invariant = false;
+        eprintln!(
+            "FABRIC FORCED-FULL RESULT DIVERGED FROM THE SINGLE-PROCESS CAMPAIGN \
+             (bench_gate will fail)"
+        );
+    }
     // The single-worker run is the canonical wire-cost measurement:
     // more workers split the same per-shard deltas over more frames,
     // changing only the per-frame header overhead.
     let fabric_ref = &fabric_points[0].stats;
     let fabric_boundaries = fabric_ref.boundaries;
     let fabric_delta_per_epoch = fabric_ref.delta_bytes / fabric_ref.boundaries.max(1);
+    let fabric_full_per_epoch = full_stats.delta_bytes / full_stats.boundaries.max(1);
+    let fabric_shrink = fabric_full_per_epoch as f64 / fabric_delta_per_epoch.max(1) as f64;
     let fabric_merge_ms = fabric_ref.merge_nanos as f64 / 1e6;
-    let fabric_expired: u64 = fabric_points.iter().map(|p| p.stats.expired_leases).sum();
+    let fabric_expired: u64 = fabric_points
+        .iter()
+        .map(|p| p.stats.expired_leases)
+        .chain(std::iter::once(full_stats.expired_leases))
+        .sum();
     if fabric_expired > 0 {
         eprintln!("FABRIC LEASES EXPIRED IN A CLEAN RUN (bench_gate will fail)");
     }
     println!(
-        "fabric           : {fabric_boundaries} boundaries, {fabric_delta_per_epoch} delta bytes/epoch, merge {fabric_merge_ms:.3}ms, worker invariant: {fabric_invariant}"
+        "fabric           : {fabric_boundaries} boundaries, {fabric_delta_per_epoch} delta bytes/epoch (full: {fabric_full_per_epoch}, shrink {fabric_shrink:.1}x), merge {fabric_merge_ms:.3}ms, worker invariant: {fabric_invariant}"
     );
     for p in &fabric_points {
         println!(
@@ -923,6 +945,11 @@ fn main() {
         json,
         "    \"delta_bytes_per_epoch\": {fabric_delta_per_epoch},"
     );
+    let _ = writeln!(
+        json,
+        "    \"delta_full_bytes_per_epoch\": {fabric_full_per_epoch},"
+    );
+    let _ = writeln!(json, "    \"delta_shrink\": {fabric_shrink:.3},");
     let _ = writeln!(json, "    \"merge_ms\": {fabric_merge_ms:.3},");
     let _ = writeln!(json, "    \"expired_leases\": {fabric_expired},");
     let _ = writeln!(json, "    \"points\": [");

@@ -43,12 +43,15 @@
 //! * **fabric** — a present `fabric` section must report
 //!   `worker_invariant` as true (the coordinator-merged distributed
 //!   result is bit-identical to the single-process campaign at every
-//!   worker count) and zero `expired_leases` (no worker may fall
-//!   behind its lease deadline in a clean in-memory run); with an
+//!   worker count, with both incremental and forced-full frames),
+//!   zero `expired_leases` (no worker may fall behind its lease
+//!   deadline in a clean in-memory run), and a `delta_shrink` of at
+//!   least [`MIN_DELTA_SHRINK`]x (incremental frames that cost as
+//!   much as full snapshots mean the diff codec degenerated); with an
 //!   identical workload the boundary count and per-epoch delta
-//!   volume are exact-compared against the baseline (the wire format
-//!   is deterministic, so drift is a behaviour change), while the
-//!   merge time stays informational;
+//!   volumes (incremental and full) are exact-compared against the
+//!   baseline (the wire format is deterministic, so drift is a
+//!   behaviour change), while the merge time stays informational;
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -497,6 +500,24 @@ fn check_fabric(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
              over {boundaries:.0} boundaries"
         ));
     }
+    // Incremental frames exist to save bandwidth; a run where they
+    // cost as much as full snapshots means the diff codec degenerated
+    // into its fallback (or worse). The 5x floor is the shipped
+    // claim — the smoke workload measures well above it, so tripping
+    // this means the codec regressed, not that the workload is noisy.
+    match fabric.path("delta_shrink").and_then(Json::as_f64) {
+        Some(shrink) if shrink < MIN_DELTA_SHRINK => out.failures.push(format!(
+            "fabric: incremental frames shrink delta volume only {shrink:.2}x vs full \
+             snapshots (floor {MIN_DELTA_SHRINK:.0}x) — the word-diff / increment codec \
+             has degenerated"
+        )),
+        Some(shrink) => out
+            .notes
+            .push(format!("fabric: incremental frames are {shrink:.2}x smaller than full")),
+        None => out
+            .failures
+            .push("fabric: fresh run's fabric section is missing `delta_shrink`".into()),
+    }
     if baseline.get("fabric").is_none() {
         return; // section growth is handled by check_sections
     }
@@ -511,7 +532,16 @@ fn check_fabric(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
     }
     check_exact(fresh, baseline, "fabric.boundaries", out);
     check_exact(fresh, baseline, "fabric.delta_bytes_per_epoch", out);
+    // The baseline may predate the incremental codec; only
+    // exact-compare the full-frame volume once both sides report it.
+    if baseline.path("fabric.delta_full_bytes_per_epoch").is_some() {
+        check_exact(fresh, baseline, "fabric.delta_full_bytes_per_epoch", out);
+    }
 }
+
+/// Minimum acceptable `fabric.delta_shrink` (full-frame bytes per
+/// epoch over incremental bytes per epoch). See `check_fabric`.
+const MIN_DELTA_SHRINK: f64 = 5.0;
 
 /// `true` when both sides ran the deep-chain ablation with the same
 /// knobs, making its (deterministic) numbers exactly comparable; a
@@ -1193,10 +1223,12 @@ mod tests {
 
     fn fabric_doc(worker_invariant: bool, expired: u64, delta_bytes_per_epoch: u64) -> Json {
         let mut doc = bench_doc(1000.0, 187, true);
+        let full = delta_bytes_per_epoch * 10;
         let fabric = parse_json(&format!(
             r#"{{ "execs": 20000, "shards": 8, "epoch": 128,
                   "worker_invariant": {worker_invariant},
                   "boundaries": 19, "delta_bytes_per_epoch": {delta_bytes_per_epoch},
+                  "delta_full_bytes_per_epoch": {full}, "delta_shrink": 10.0,
                   "merge_ms": 1.5, "expired_leases": {expired},
                   "points": [ {{ "workers": 1, "secs": 1.0, "delta_bytes": 190000, "merge_ms": 1.5 }} ] }}"#
         ))
@@ -1273,6 +1305,95 @@ mod tests {
                 .any(|n| n.contains("fabric comparison skipped")),
             "{:?}",
             r.notes
+        );
+    }
+
+    fn set_fabric_field(doc: &mut Json, key: &str, value: Json) {
+        let Json::Obj(members) = doc else {
+            unreachable!()
+        };
+        let fabric = members
+            .iter_mut()
+            .find(|(k, _)| k == "fabric")
+            .map(|(_, v)| v)
+            .unwrap();
+        let Json::Obj(fm) = fabric else { unreachable!() };
+        match fm.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => fm.push((key.into(), value)),
+        }
+    }
+
+    fn drop_fabric_field(doc: &mut Json, key: &str) {
+        let Json::Obj(members) = doc else {
+            unreachable!()
+        };
+        let fabric = members
+            .iter_mut()
+            .find(|(k, _)| k == "fabric")
+            .map(|(_, v)| v)
+            .unwrap();
+        let Json::Obj(fm) = fabric else { unreachable!() };
+        fm.retain(|(k, _)| k != key);
+    }
+
+    #[test]
+    fn fabric_delta_shrink_below_the_floor_is_a_hard_failure() {
+        // Incremental frames costing nearly as much as full snapshots
+        // means the diff codec degenerated — hard failure, even when
+        // every exact compare matches.
+        let mut degenerate = fabric_doc(true, 0, 10000);
+        set_fabric_field(&mut degenerate, "delta_shrink", Json::Num(1.2));
+        let r = check(&degenerate, &degenerate, 1e9);
+        assert!(
+            r.failures.iter().any(|f| f.contains("shrink")),
+            "{:?}",
+            r.failures
+        );
+        // A fabric section that stopped reporting the ratio is a
+        // bench regression, not a pass.
+        let mut silent = fabric_doc(true, 0, 10000);
+        drop_fabric_field(&mut silent, "delta_shrink");
+        let r = check(&silent, &silent, 1e9);
+        assert!(
+            r.failures.iter().any(|f| f.contains("delta_shrink")),
+            "{:?}",
+            r.failures
+        );
+        // At or above the floor it is a note.
+        let good = fabric_doc(true, 0, 10000);
+        let r = check(&good, &good, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.notes.iter().any(|n| n.contains("smaller than full")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn fabric_full_frame_volume_is_compared_when_the_baseline_has_it() {
+        let fresh = fabric_doc(true, 0, 10000);
+        let mut base = fabric_doc(true, 0, 10000);
+        set_fabric_field(&mut base, "delta_full_bytes_per_epoch", Json::Num(90000.0));
+        let r = check(&fresh, &base, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("fabric.delta_full_bytes_per_epoch")),
+            "{:?}",
+            r.failures
+        );
+        // A pre-incremental baseline without the key skips the compare.
+        let mut old_base = fabric_doc(true, 0, 10000);
+        drop_fabric_field(&mut old_base, "delta_full_bytes_per_epoch");
+        let r = check(&fresh, &old_base, 1e9);
+        assert!(
+            !r.failures
+                .iter()
+                .any(|f| f.contains("delta_full_bytes_per_epoch")),
+            "{:?}",
+            r.failures
         );
     }
 

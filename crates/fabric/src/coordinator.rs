@@ -22,9 +22,9 @@
 
 use crate::lease::LeaseTable;
 use crate::transport::Transport;
-use crate::wire::{Grant, Message};
+use crate::wire::{DeltaPayload, Grant, Message};
 use crate::FabricError;
-use kgpt_fuzzer::fabric::{CampaignMerge, EpochDelta};
+use kgpt_fuzzer::fabric::{apply_patches, CampaignMerge, EpochDelta};
 use kgpt_fuzzer::{CampaignConfig, CampaignResult};
 use std::time::{Duration, Instant};
 
@@ -313,7 +313,11 @@ impl Coordinator {
                     } else if boundary == target {
                         let (lo, hi) = self.table.range(slot);
                         let covers_range = deltas.len() == (hi - lo) as usize
-                            && deltas.iter().zip(lo..hi).all(|(d, id)| d.shard_id() == id);
+                            && deltas
+                                .shard_ids()
+                                .into_iter()
+                                .zip(lo..hi)
+                                .all(|(d, id)| d == id);
                         if !covers_range {
                             // A delta set for the wrong range is a
                             // protocol violation by this worker:
@@ -323,8 +327,37 @@ impl Coordinator {
                             continue;
                         }
                         if stash[slot].is_none() {
+                            // Resolve the payload to full deltas *at
+                            // stash time*: an increment is only valid
+                            // against the committed state of the
+                            // previous boundary (`target - 1`), which
+                            // is exactly what `merge.snapshots` holds
+                            // right now. The lease-id check above
+                            // already guarantees the sender was acked
+                            // at that boundary — a reassigned lease
+                            // has a new id and must open with a full
+                            // frame.
+                            let resolved = match deltas {
+                                DeltaPayload::Full(d) => d,
+                                DeltaPayload::Incremental(patches) => {
+                                    let base = self.merge.snapshots(lo, hi);
+                                    match apply_patches(&base, patches) {
+                                        Ok(d) => d,
+                                        Err(_) => {
+                                            // An increment with no (or
+                                            // the wrong) baseline is a
+                                            // protocol violation: drop
+                                            // the lease, keep the
+                                            // campaign.
+                                            self.table.revoke(slot);
+                                            conns[slot] = None;
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
                             self.stats.delta_bytes += frame.len() as u64;
-                            stash[slot] = Some(deltas);
+                            stash[slot] = Some(resolved);
                         } else {
                             self.stats.redelivered_frames += 1;
                         }

@@ -16,7 +16,12 @@
 //! * [`wire`] — the message set ([`wire::Message`]) and its framing:
 //!   version + FNV-1a checksum per frame, bodies in the
 //!   `CampaignSnapshot` dense codec, so a delta is literally a
-//!   checkpoint fragment;
+//!   checkpoint fragment; boundary frames are tagged
+//!   [`wire::DeltaKind::Full`] (complete per-shard snapshots — the
+//!   mandatory first frame of every lease) or
+//!   [`wire::DeltaKind::Incremental`] (sparse
+//!   [`kgpt_fuzzer::EpochPatch`] diffs against the last acked
+//!   boundary, roughly an order of magnitude smaller);
 //! * [`transport`] — a pluggable byte-frame [`transport::Transport`]:
 //!   in-memory channels for tests, length-prefixed localhost TCP for
 //!   real workers, and a fault-injecting wrapper
@@ -52,7 +57,7 @@ pub mod worker;
 pub use coordinator::{Coordinator, CoordinatorOpts, FabricStats};
 pub use lease::LeaseTable;
 pub use transport::{ChannelTransport, FaultyTransport, TcpTransport, Transport};
-pub use wire::{Grant, Message};
+pub use wire::{DeltaKind, DeltaPayload, Grant, Message};
 pub use worker::{run_worker, GrantHook, WorkerOpts, WorkerSummary};
 
 use kgpt_fuzzer::CheckpointError;

@@ -121,9 +121,41 @@ impl TcpTransport {
     /// # Errors
     ///
     /// Returns the connection error (e.g. refused while the
-    /// coordinator is still starting — callers retry).
+    /// coordinator is still starting — callers retry, or use
+    /// [`TcpTransport::connect_with_backoff`]).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
         Ok(TcpTransport::new(TcpStream::connect(addr)?))
+    }
+
+    /// Connect to a coordinator, retrying failed attempts with
+    /// bounded deterministic backoff: `base` doubles per attempt up
+    /// to `cap`, for at most `attempts` tries. No jitter — the
+    /// schedule is a pure function of the arguments, so a machine-
+    /// spanning launch script behaves the same on every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *last* connection error once the attempt budget is
+    /// exhausted.
+    pub fn connect_with_backoff(
+        addr: impl ToSocketAddrs,
+        attempts: u32,
+        base: Duration,
+        cap: Duration,
+    ) -> io::Result<TcpTransport> {
+        let mut delay = base.min(cap);
+        let mut last = io::Error::new(io::ErrorKind::InvalidInput, "zero connection attempts");
+        for attempt in 0..attempts.max(1) {
+            match TcpTransport::connect(&addr) {
+                Ok(t) => return Ok(t),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts.max(1) {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2).min(cap);
+            }
+        }
+        Err(last)
     }
 
     fn buffered_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
@@ -295,6 +327,51 @@ mod tests {
         assert_eq!(t.recv_timeout(Duration::from_millis(50)).unwrap(), None);
         drop(client);
         assert!(t.recv_timeout(Duration::from_millis(500)).is_err());
+    }
+
+    #[test]
+    fn connect_with_backoff_rides_out_a_late_coordinator() {
+        // Reserve a port, release it, and only rebind it after a
+        // delay — the worker's early attempts get refused and the
+        // backoff schedule must carry it to the late listener.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            let listener = TcpListener::bind(addr).unwrap();
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream);
+            let frame = t.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(frame, b"late");
+        });
+        let mut t = TcpTransport::connect_with_backoff(
+            addr,
+            10,
+            Duration::from_millis(20),
+            Duration::from_millis(200),
+        )
+        .expect("backoff must outlast the coordinator's startup");
+        t.send(b"late").unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_with_backoff_reports_the_last_refusal() {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let started = Instant::now();
+        let err = TcpTransport::connect_with_backoff(
+            addr,
+            3,
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+        );
+        assert!(err.is_err(), "no listener ever appears");
+        // 3 attempts sleep 5ms + 10ms between them; well under a
+        // second even on a loaded machine.
+        assert!(started.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -17,13 +17,14 @@
 use crate::FabricError;
 use kgpt_fuzzer::checkpoint::fnv1a;
 use kgpt_fuzzer::fabric::{
-    decode_config, decode_deltas, decode_seeds, decode_snapshots, encode_config, encode_deltas,
-    encode_seeds, encode_snapshots, EpochDelta,
+    decode_config, decode_deltas, decode_patches, decode_seeds, decode_snapshots, encode_config,
+    encode_deltas, encode_patches, encode_seeds, encode_snapshots, EpochDelta, EpochPatch,
 };
 use kgpt_fuzzer::{CampaignConfig, HubSeed, ShardSnapshot};
 
 /// Frame format version. Bump on any layout change.
-pub const FRAME_VERSION: u32 = 1;
+/// v2: delta frames carry a [`DeltaKind`] tag (full vs incremental).
+pub const FRAME_VERSION: u32 = 2;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -83,6 +84,69 @@ pub struct Grant {
     pub snapshots: Vec<ShardSnapshot>,
 }
 
+/// How a [`Message::Delta`] frame encodes its boundary state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Complete per-shard boundary snapshots.
+    Full,
+    /// Increments against the last acked boundary's committed state.
+    Incremental,
+}
+
+/// The payload of a [`Message::Delta`] frame.
+///
+/// A full payload is always valid and is **mandatory** on a worker's
+/// first boundary after a grant — fresh campaign or lease
+/// reassignment alike — because no baseline has been agreed yet. The
+/// grant's `boundary`/`snapshots` fields tell the worker exactly
+/// which committed state the coordinator holds; every boundary the
+/// worker gets acked after that establishes a shared baseline (the
+/// post-import snapshots both sides hold byte-identically), against
+/// which the next boundary may ship as increments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaPayload {
+    /// One full [`EpochDelta`] per shard of the range, ascending id.
+    Full(Vec<EpochDelta>),
+    /// One [`EpochPatch`] per shard of the range, ascending id,
+    /// diffed against the previous acked boundary.
+    Incremental(Vec<EpochPatch>),
+}
+
+impl DeltaPayload {
+    /// Which kind of payload this is.
+    #[must_use]
+    pub fn kind(&self) -> DeltaKind {
+        match self {
+            DeltaPayload::Full(_) => DeltaKind::Full,
+            DeltaPayload::Incremental(_) => DeltaKind::Incremental,
+        }
+    }
+
+    /// Number of per-shard records carried.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            DeltaPayload::Full(d) => d.len(),
+            DeltaPayload::Incremental(p) => p.len(),
+        }
+    }
+
+    /// Whether the payload carries no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard ids of the carried records, in payload order.
+    #[must_use]
+    pub fn shard_ids(&self) -> Vec<u32> {
+        match self {
+            DeltaPayload::Full(d) => d.iter().map(EpochDelta::shard_id).collect(),
+            DeltaPayload::Incremental(p) => p.iter().map(EpochPatch::shard_id).collect(),
+        }
+    }
+}
+
 /// The fabric protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -99,8 +163,8 @@ pub enum Message {
         lease_id: u64,
         /// The boundary these deltas complete.
         boundary: u64,
-        /// One delta per shard of the range, ascending shard id.
-        deltas: Vec<EpochDelta>,
+        /// The boundary state, full or incremental.
+        deltas: DeltaPayload,
     },
     /// Coordinator → worker: boundary `boundary` merged; import
     /// `seeds` (the hub's newly retained seeds) and run the next
@@ -124,6 +188,9 @@ const TAG_GRANT: u8 = 2;
 const TAG_DELTA: u8 = 3;
 const TAG_PROCEED: u8 = 4;
 const TAG_FINISH: u8 = 5;
+
+const KIND_FULL: u8 = 0;
+const KIND_INCREMENTAL: u8 = 1;
 
 impl Message {
     /// Encode to a self-validating frame.
@@ -153,7 +220,16 @@ impl Message {
                 body.push(TAG_DELTA);
                 put_u64(&mut body, *lease_id);
                 put_u64(&mut body, *boundary);
-                encode_deltas(deltas, &mut body);
+                match deltas {
+                    DeltaPayload::Full(d) => {
+                        body.push(KIND_FULL);
+                        encode_deltas(d, &mut body);
+                    }
+                    DeltaPayload::Incremental(p) => {
+                        body.push(KIND_INCREMENTAL);
+                        encode_patches(p, &mut body);
+                    }
+                }
             }
             Message::Proceed { boundary, seeds } => {
                 body.push(TAG_PROCEED);
@@ -228,7 +304,19 @@ impl Message {
             TAG_DELTA => {
                 let lease_id = take_u64(bytes, &mut pos)?;
                 let boundary = take_u64(bytes, &mut pos)?;
-                let deltas = decode_deltas(bytes, &mut pos)?;
+                let kind = *bytes
+                    .get(pos)
+                    .ok_or_else(|| FabricError::Protocol("truncated delta kind".into()))?;
+                pos += 1;
+                let deltas = match kind {
+                    KIND_FULL => DeltaPayload::Full(decode_deltas(bytes, &mut pos)?),
+                    KIND_INCREMENTAL => {
+                        DeltaPayload::Incremental(decode_patches(bytes, &mut pos)?)
+                    }
+                    k => {
+                        return Err(FabricError::Protocol(format!("unknown delta kind {k}")));
+                    }
+                };
                 Message::Delta {
                     lease_id,
                     boundary,
@@ -259,6 +347,26 @@ impl Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kgpt_fuzzer::fabric::{diff_boundary, sample_boundary};
+
+    /// Meaty full + incremental delta frames built from the fuzzer
+    /// crate's boundary fixture.
+    fn sample_delta_frames() -> [Message; 2] {
+        let (base, deltas) = sample_boundary();
+        let patches = diff_boundary(&base, deltas.clone()).expect("diffable fixture");
+        [
+            Message::Delta {
+                lease_id: 5,
+                boundary: 2,
+                deltas: DeltaPayload::Full(deltas),
+            },
+            Message::Delta {
+                lease_id: 5,
+                boundary: 2,
+                deltas: DeltaPayload::Incremental(patches),
+            },
+        ]
+    }
 
     #[test]
     fn control_messages_round_trip() {
@@ -272,7 +380,12 @@ mod tests {
             Message::Delta {
                 lease_id: 3,
                 boundary: 4,
-                deltas: Vec::new(),
+                deltas: DeltaPayload::Full(Vec::new()),
+            },
+            Message::Delta {
+                lease_id: 3,
+                boundary: 4,
+                deltas: DeltaPayload::Incremental(Vec::new()),
             },
             Message::Grant(Grant {
                 lease_id: 1,
@@ -289,6 +402,18 @@ mod tests {
         ] {
             let frame = msg.to_frame();
             assert_eq!(Message::from_frame(&frame).expect("round trip"), msg);
+        }
+    }
+
+    #[test]
+    fn delta_payloads_round_trip_both_kinds() {
+        for msg in sample_delta_frames() {
+            let frame = msg.to_frame();
+            let back = Message::from_frame(&frame).expect("round trip");
+            assert_eq!(back, msg);
+            if let Message::Delta { deltas, .. } = &back {
+                assert_eq!(deltas.shard_ids(), vec![0, 1]);
+            }
         }
     }
 
@@ -316,5 +441,61 @@ mod tests {
         let mut padded = frame;
         padded.push(0);
         assert!(Message::from_frame(&padded).is_err(), "trailing byte");
+    }
+
+    /// Fuzz-style robustness over both delta kinds: every truncation,
+    /// every single bit flip, and seeded random garbage (corrupted
+    /// suffixes, garbage prefixes, pure noise) must return `Err` —
+    /// never panic, and never decode to a different message.
+    #[test]
+    fn mangled_delta_frames_never_panic_or_misdecode() {
+        let mut rng = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            // xorshift64* — deterministic, no external RNG dep.
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for msg in sample_delta_frames() {
+            let frame = msg.to_frame();
+            for len in 0..frame.len() {
+                assert!(Message::from_frame(&frame[..len]).is_err(), "len {len}");
+            }
+            for byte in 0..frame.len() {
+                for bit in 0..8 {
+                    let mut damaged = frame.clone();
+                    damaged[byte] ^= 1 << bit;
+                    assert!(
+                        Message::from_frame(&damaged).is_err(),
+                        "flip byte {byte} bit {bit} must be rejected"
+                    );
+                }
+            }
+            for _ in 0..500 {
+                // Corrupt a random run of bytes somewhere in the frame.
+                let mut damaged = frame.clone();
+                let start = (next() as usize) % damaged.len();
+                let run = 1 + (next() as usize) % 32;
+                for b in damaged.iter_mut().skip(start).take(run) {
+                    *b ^= (next() & 0xFF) as u8;
+                }
+                // A run of zero xor bytes leaves the frame intact, so
+                // Ok is tolerated iff it decodes to the same message.
+                match Message::from_frame(&damaged) {
+                    Err(_) => {}
+                    Ok(back) => assert_eq!(back, msg, "corruption must not mis-decode"),
+                }
+                // Garbage prefix ahead of a valid frame.
+                let mut prefixed = vec![(next() & 0xFF) as u8; 1 + (next() as usize) % 16];
+                prefixed.extend_from_slice(&frame);
+                assert!(Message::from_frame(&prefixed).is_err(), "garbage prefix");
+                // Pure noise of a plausible length.
+                let noise: Vec<u8> = (0..13 + (next() as usize) % 64)
+                    .map(|_| (next() & 0xFF) as u8)
+                    .collect();
+                assert!(Message::from_frame(&noise).is_err(), "pure noise");
+            }
+        }
     }
 }

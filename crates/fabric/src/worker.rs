@@ -19,10 +19,10 @@
 //! shipping).
 
 use crate::transport::{FaultyTransport, Transport};
-use crate::wire::{Grant, Message};
+use crate::wire::{DeltaPayload, Grant, Message};
 use crate::FabricError;
-use kgpt_fuzzer::fabric::LeaseRunner;
-use kgpt_fuzzer::FaultPlan;
+use kgpt_fuzzer::fabric::{diff_boundary, LeaseRunner};
+use kgpt_fuzzer::{FaultPlan, ShardSnapshot};
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_vkernel::VKernel;
 use std::sync::Arc;
@@ -51,6 +51,11 @@ pub struct WorkerOpts {
     pub on_grant: Option<GrantHook>,
     /// Observer called after every acknowledged boundary.
     pub on_boundary: Option<Box<dyn FnMut(u64)>>,
+    /// Ship every boundary as a full snapshot frame instead of
+    /// diffing against the last acked baseline. The results are
+    /// identical — this exists to measure the bandwidth win and as an
+    /// escape hatch.
+    pub force_full_deltas: bool,
 }
 
 impl Default for WorkerOpts {
@@ -62,6 +67,7 @@ impl Default for WorkerOpts {
             register_interval: Duration::from_millis(100),
             on_grant: None,
             on_boundary: None,
+            force_full_deltas: false,
         }
     }
 }
@@ -153,6 +159,13 @@ where
     let slot = Some(grant.slot);
     let mut boundary = grant.boundary;
     let mut boundaries_run = 0u64;
+    // The committed boundary state both sides hold, from which the
+    // next boundary may ship as increments. A fresh grant (first
+    // boundary of a campaign *or* a reassignment after expiry) has no
+    // acked baseline yet, so the first frame is always full — the
+    // mandatory fallback that makes re-basing safe: an increment is
+    // only ever diffed against state the coordinator confirmed.
+    let mut baseline: Option<Vec<ShardSnapshot>> = None;
     loop {
         let deltas = runner.run_epoch(kernel);
         boundary += 1;
@@ -174,10 +187,22 @@ where
             );
         }
 
+        // Incremental when a baseline is agreed; full otherwise (and
+        // full again if the diff is ever unexpressible — it never is
+        // for real shard evolution, but the fallback is mandatory,
+        // not best-effort). Resends reuse the same frame, so a
+        // dropped incremental is re-sent against the same baseline.
+        let payload = match baseline.take() {
+            Some(base) if !opts.force_full_deltas => match diff_boundary(&base, deltas) {
+                Ok(patches) => DeltaPayload::Incremental(patches),
+                Err(deltas) => DeltaPayload::Full(deltas),
+            },
+            _ => DeltaPayload::Full(deltas),
+        };
         let delta_frame = Message::Delta {
             lease_id: grant.lease_id,
             boundary,
-            deltas,
+            deltas: payload,
         }
         .to_frame();
         if t.send(&delta_frame).is_err() {
@@ -219,6 +244,11 @@ where
             }
         };
         runner.import(&seeds);
+        // The ack means the coordinator committed this boundary; its
+        // committed snapshots are the post-import state, which the
+        // runner now holds byte-identically — the agreed baseline for
+        // the next boundary's increments.
+        baseline = Some(runner.snapshots());
         if let Some(cb) = opts.on_boundary.as_mut() {
             cb(boundary);
         }

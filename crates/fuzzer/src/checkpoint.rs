@@ -30,7 +30,7 @@ use crate::corpus::{CorpusEntry, CorpusStats};
 use crate::hub::{HubSeed, SeedHub};
 use crate::program::Program;
 use kgpt_triage::{TriageEntry, TriageReport};
-use kgpt_vkernel::{CoverageMap, CrashSignature, SanitizerKind, Sysno};
+use kgpt_vkernel::{CoverageMap, CoverageWordDiff, CrashSignature, SanitizerKind, Sysno};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -467,6 +467,76 @@ pub(crate) fn take_coverage(bytes: &[u8], pos: &mut usize) -> Result<CoverageMap
     Ok(CoverageMap::from_words(words))
 }
 
+/// Tag bytes of the two [`CoverageWordDiff`] shapes on the wire.
+const DIFF_SPARSE: u8 = 0;
+const DIFF_DENSE: u8 = 1;
+
+pub(crate) fn put_word_diff(out: &mut Vec<u8>, diff: &CoverageWordDiff) {
+    match diff {
+        CoverageWordDiff::Sparse(runs) => {
+            out.push(DIFF_SPARSE);
+            put_u32(out, u32::try_from(runs.len()).unwrap_or(u32::MAX));
+            for (start, words) in runs {
+                put_u32(out, *start);
+                put_u32(out, u32::try_from(words.len()).unwrap_or(u32::MAX));
+                for &w in words {
+                    put_u64(out, w);
+                }
+            }
+        }
+        CoverageWordDiff::Dense(words) => {
+            out.push(DIFF_DENSE);
+            put_u32(out, u32::try_from(words.len()).unwrap_or(u32::MAX));
+            for &w in words {
+                put_u64(out, w);
+            }
+        }
+    }
+}
+
+pub(crate) fn take_word_diff(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<CoverageWordDiff, CheckpointError> {
+    match take_u8(bytes, pos)? {
+        DIFF_SPARSE => {
+            let n_runs = take_u32(bytes, pos)? as usize;
+            let mut runs = Vec::new();
+            let mut next_free = 0u64;
+            for _ in 0..n_runs {
+                let start = take_u32(bytes, pos)?;
+                if u64::from(start) < next_free {
+                    return Err(CheckpointError::new(format!(
+                        "word-diff runs out of order at {pos}"
+                    )));
+                }
+                let len = take_u32(bytes, pos)? as usize;
+                if len == 0 {
+                    return Err(CheckpointError::new(format!("empty word-diff run at {pos}")));
+                }
+                let mut words = Vec::new();
+                for _ in 0..len {
+                    words.push(take_u64(bytes, pos)?);
+                }
+                next_free = u64::from(start) + words.len() as u64;
+                runs.push((start, words));
+            }
+            Ok(CoverageWordDiff::Sparse(runs))
+        }
+        DIFF_DENSE => {
+            let n = take_u32(bytes, pos)? as usize;
+            let mut words = Vec::new();
+            for _ in 0..n {
+                words.push(take_u64(bytes, pos)?);
+            }
+            Ok(CoverageWordDiff::Dense(words))
+        }
+        t => Err(CheckpointError::new(format!(
+            "bad word-diff tag {t} at {pos}"
+        ))),
+    }
+}
+
 pub(crate) fn put_signature(out: &mut Vec<u8>, sig: &CrashSignature) {
     out.push(sig.sysno.as_index());
     out.push(sig.chain_depth);
@@ -494,6 +564,29 @@ pub(crate) fn take_signature(
 
 // ---- aggregate encoders/decoders ----------------------------------------
 
+pub(crate) fn encode_corpus_entry(e: &CorpusEntry, out: &mut Vec<u8>) {
+    e.program.encode_into(out);
+    put_coverage(out, &e.contributed);
+    put_u64(out, e.execs);
+    put_u64(out, e.hits);
+}
+
+pub(crate) fn decode_corpus_entry(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<CorpusEntry, CheckpointError> {
+    let program = Program::decode_from(bytes, pos)?;
+    let contributed = take_coverage(bytes, pos)?;
+    let execs = take_u64(bytes, pos)?;
+    let hits = take_u64(bytes, pos)?;
+    Ok(CorpusEntry {
+        program,
+        contributed,
+        execs,
+        hits,
+    })
+}
+
 pub(crate) fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
     put_u32(out, s.id);
     put_u64(out, s.epoch);
@@ -513,10 +606,7 @@ pub(crate) fn encode_shard(s: &ShardSnapshot, out: &mut Vec<u8>) {
         u32::try_from(s.corpus_entries.len()).unwrap_or(u32::MAX),
     );
     for e in &s.corpus_entries {
-        e.program.encode_into(out);
-        put_coverage(out, &e.contributed);
-        put_u64(out, e.execs);
-        put_u64(out, e.hits);
+        encode_corpus_entry(e, out);
     }
     put_u32(out, u32::try_from(s.crashes.len()).unwrap_or(u32::MAX));
     for (title, (count, cve)) in &s.crashes {
@@ -553,16 +643,7 @@ pub(crate) fn decode_shard(
     let n_entries = take_u32(bytes, pos)? as usize;
     let mut corpus_entries = Vec::new();
     for _ in 0..n_entries {
-        let program = Program::decode_from(bytes, pos)?;
-        let contributed = take_coverage(bytes, pos)?;
-        let execs = take_u64(bytes, pos)?;
-        let hits = take_u64(bytes, pos)?;
-        corpus_entries.push(CorpusEntry {
-            program,
-            contributed,
-            execs,
-            hits,
-        });
+        corpus_entries.push(decode_corpus_entry(bytes, pos)?);
     }
     let n_crashes = take_u32(bytes, pos)? as usize;
     let mut crashes = CrashTally::new();

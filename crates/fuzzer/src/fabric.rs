@@ -45,17 +45,18 @@ use crate::campaign::{
     CampaignConfig, CampaignResult, CrashTally, ShardSnapshot, ShardState, CORPUS_CAP,
 };
 use crate::checkpoint::{
-    config_fingerprint, decode_shard, decode_triage_entry, encode_shard, encode_triage_entry,
-    put_coverage, put_opt_str, put_signature, put_str, put_u32, put_u64, take_coverage,
-    take_opt_str, take_signature, take_str, take_u32, take_u64, take_u8, CheckpointError,
+    config_fingerprint, decode_corpus_entry, decode_shard, decode_triage_entry,
+    encode_corpus_entry, encode_shard, encode_triage_entry, put_coverage, put_opt_str,
+    put_signature, put_str, put_u32, put_u64, put_word_diff, take_coverage, take_opt_str,
+    take_signature, take_str, take_u32, take_u64, take_u8, take_word_diff, CheckpointError,
 };
-use crate::corpus::Corpus;
+use crate::corpus::{Corpus, CorpusEntry, CorpusStats};
 use crate::hub::{HubSeed, SeedHub};
 use crate::program::Program;
 use crate::triage::TriageMinimizer;
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_triage::{TriageEntry, TriageReport};
-use kgpt_vkernel::{CoverageMap, CrashSignature, VKernel};
+use kgpt_vkernel::{CoverageMap, CoverageWordDiff, CrashSignature, VKernel};
 use std::sync::Arc;
 
 /// Execution budget of shard `i` in a campaign split over `shards`
@@ -284,6 +285,542 @@ pub fn decode_deltas(bytes: &[u8], pos: &mut usize) -> Result<Vec<EpochDelta>, C
     Ok(deltas)
 }
 
+// ---- incremental boundary frames -----------------------------------------
+
+/// A baseline corpus entry that survived an epoch, identified by its
+/// position in the baseline entry list, with its refreshed scheduler
+/// counters. The program and contributed coverage of a surviving
+/// entry never change, so the patch ships 20 bytes instead of the
+/// whole entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeptEntry {
+    /// Index into the baseline snapshot's entry list.
+    pub index: u32,
+    /// Times the entry was picked as a mutation seed, post-epoch.
+    pub execs: u64,
+    /// Times a mutant of the entry was itself admitted, post-epoch.
+    pub hits: u64,
+}
+
+/// One shard's epoch boundary as an increment against the shard's
+/// last *committed* snapshot: scalar boundary state verbatim (RNGs,
+/// budgets, stats — a few dozen bytes), everything bulky as a diff.
+///
+/// * corpus — [`KeptEntry`] records for baseline survivors (eviction
+///   is implicit: a baseline entry with no record is gone) plus the
+///   full bodies of newly admitted entries. Entry identity is stable
+///   because the corpus preserves survivor order and appends new
+///   admissions, and an entry's `(program, contributed)` pair is
+///   unique within a shard (contributions are pairwise disjoint).
+/// * coverage — a [`CoverageWordDiff`] against the baseline map.
+/// * crashes / triage-seen — only new or changed records; both maps
+///   grow monotonically between boundaries.
+/// * triage candidates / counts — already per-boundary increments in
+///   [`EpochDelta`]; carried verbatim.
+///
+/// A patch only means something relative to the snapshot it was
+/// diffed against, so the fabric protocol must guarantee baseline
+/// agreement: patches are diffed by the worker against its post-ack
+/// import state, which the barrier commit makes byte-identical to
+/// the coordinator's committed snapshot for that boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPatch {
+    pub shard_id: u32,
+    pub epoch: u64,
+    pub rng_pick: u64,
+    pub remaining: u64,
+    pub fuel_exhausted: u64,
+    pub gen_rng: [u64; 4],
+    pub corpus_rng: u64,
+    pub corpus_stats: CorpusStats,
+    /// Coverage words that changed since the baseline.
+    pub cov_diff: CoverageWordDiff,
+    /// Baseline survivors, in (strictly ascending) baseline order.
+    pub kept: Vec<KeptEntry>,
+    /// Newly admitted entries, appended after the survivors.
+    pub added: Vec<CorpusEntry>,
+    /// Crash-tally records that are new or changed since the baseline.
+    pub crashes: Vec<(String, u64, Option<String>)>,
+    /// Triage signatures seen for the first time since the baseline.
+    pub seen: Vec<CrashSignature>,
+    /// Fresh minimized captures, verbatim from the [`EpochDelta`].
+    pub candidates: Vec<TriageEntry>,
+    /// Observation counts, verbatim from the [`EpochDelta`].
+    pub counts: Vec<(CrashSignature, u64)>,
+}
+
+impl EpochPatch {
+    /// Whether `delta` can be expressed as an increment against
+    /// `base`. False only on id misalignment or if a monotonic map
+    /// shrank (impossible for real shard evolution, but diffing is
+    /// fallible by construction — the caller falls back to a full
+    /// frame rather than ship a lossy patch).
+    fn diffable(base: &ShardSnapshot, delta: &EpochDelta) -> bool {
+        base.id == delta.snapshot.id
+            && base
+                .crashes
+                .keys()
+                .all(|t| delta.snapshot.crashes.contains_key(t))
+            && base.triage_seen.is_subset(&delta.snapshot.triage_seen)
+    }
+
+    /// Diff `delta` against `base` (requires [`EpochPatch::diffable`]).
+    ///
+    /// Survivor matching is a greedy two-pointer scan: the corpus
+    /// preserves survivor order, so each new entry either matches the
+    /// next unconsumed baseline entry with the same
+    /// `(program, contributed)` pair, or it (and everything after it)
+    /// is a new admission. A mismatch can only cost bytes, never
+    /// correctness — unmatched entries ship in full, and
+    /// [`EpochPatch::apply`] reconstructs the identical entry list
+    /// either way.
+    fn diff(base: &ShardSnapshot, delta: EpochDelta) -> EpochPatch {
+        let EpochDelta {
+            snapshot,
+            candidates,
+            counts,
+        } = delta;
+        let mut kept = Vec::new();
+        let mut added = Vec::new();
+        let mut next = 0usize;
+        for e in snapshot.corpus_entries {
+            let survivor = if added.is_empty() {
+                base.corpus_entries[next..]
+                    .iter()
+                    .position(|b| b.program == e.program && b.contributed == e.contributed)
+                    .map(|off| next + off)
+            } else {
+                // Admissions append; once one is seen, the rest of
+                // the list is admissions too.
+                None
+            };
+            match survivor {
+                Some(idx) => {
+                    kept.push(KeptEntry {
+                        index: u32::try_from(idx).unwrap_or(u32::MAX),
+                        execs: e.execs,
+                        hits: e.hits,
+                    });
+                    next = idx + 1;
+                }
+                None => added.push(e),
+            }
+        }
+        let crashes = snapshot
+            .crashes
+            .iter()
+            .filter(|(title, record)| base.crashes.get(*title) != Some(record))
+            .map(|(t, (c, cve))| (t.clone(), *c, cve.clone()))
+            .collect();
+        let seen = snapshot
+            .triage_seen
+            .difference(&base.triage_seen)
+            .copied()
+            .collect();
+        EpochPatch {
+            shard_id: snapshot.id,
+            epoch: snapshot.epoch,
+            rng_pick: snapshot.rng_pick,
+            remaining: snapshot.remaining,
+            fuel_exhausted: snapshot.fuel_exhausted,
+            gen_rng: snapshot.gen_rng,
+            corpus_rng: snapshot.corpus_rng,
+            corpus_stats: snapshot.corpus_stats,
+            cov_diff: snapshot.corpus_coverage.diff_words_since(&base.corpus_coverage),
+            kept,
+            added,
+            crashes,
+            seen,
+            candidates,
+            counts,
+        }
+    }
+
+    /// The shard this patch belongs to.
+    #[must_use]
+    pub fn shard_id(&self) -> u32 {
+        self.shard_id
+    }
+
+    /// Reconstruct the full [`EpochDelta`] this patch encodes,
+    /// against the baseline snapshot it was diffed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the patch does not fit the
+    /// baseline (wrong shard id, kept index out of range or out of
+    /// order) — the coordinator treats that as a protocol violation,
+    /// exactly like a delta frame for the wrong shard range.
+    pub fn apply(self, base: &ShardSnapshot) -> Result<EpochDelta, CheckpointError> {
+        if base.id != self.shard_id {
+            return Err(CheckpointError::new(format!(
+                "patch for shard {} applied to baseline of shard {}",
+                self.shard_id, base.id
+            )));
+        }
+        let mut entries = Vec::with_capacity(self.kept.len() + self.added.len());
+        let mut min_next = 0u64;
+        for k in &self.kept {
+            if u64::from(k.index) < min_next {
+                return Err(CheckpointError::new(format!(
+                    "kept index {} out of order in shard {} patch",
+                    k.index, self.shard_id
+                )));
+            }
+            let Some(b) = base.corpus_entries.get(k.index as usize) else {
+                return Err(CheckpointError::new(format!(
+                    "kept index {} out of range (baseline of shard {} has {} entries)",
+                    k.index,
+                    self.shard_id,
+                    base.corpus_entries.len()
+                )));
+            };
+            min_next = u64::from(k.index) + 1;
+            entries.push(CorpusEntry {
+                program: b.program.clone(),
+                contributed: b.contributed.clone(),
+                execs: k.execs,
+                hits: k.hits,
+            });
+        }
+        entries.extend(self.added);
+        let corpus_coverage = base.corpus_coverage.apply_word_diff(&self.cov_diff);
+        let mut crashes = base.crashes.clone();
+        for (title, count, cve) in self.crashes {
+            crashes.insert(title, (count, cve));
+        }
+        let mut triage_seen = base.triage_seen.clone();
+        triage_seen.extend(self.seen);
+        Ok(EpochDelta {
+            snapshot: ShardSnapshot {
+                id: self.shard_id,
+                gen_rng: self.gen_rng,
+                corpus_rng: self.corpus_rng,
+                corpus_coverage,
+                corpus_entries: entries,
+                corpus_stats: self.corpus_stats,
+                crashes,
+                triage_seen,
+                epoch: self.epoch,
+                rng_pick: self.rng_pick,
+                remaining: self.remaining,
+                fuel_exhausted: self.fuel_exhausted,
+            },
+            candidates: self.candidates,
+            counts: self.counts,
+        })
+    }
+
+    /// Append the checkpoint-framed encoding to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.shard_id);
+        put_u64(out, self.epoch);
+        put_u64(out, self.rng_pick);
+        put_u64(out, self.remaining);
+        put_u64(out, self.fuel_exhausted);
+        for w in self.gen_rng {
+            put_u64(out, w);
+        }
+        put_u64(out, self.corpus_rng);
+        put_u64(out, self.corpus_stats.admitted);
+        put_u64(out, self.corpus_stats.imported);
+        put_u64(out, self.corpus_stats.evicted);
+        put_word_diff(out, &self.cov_diff);
+        put_u32(out, u32::try_from(self.kept.len()).unwrap_or(u32::MAX));
+        for k in &self.kept {
+            put_u32(out, k.index);
+            put_u64(out, k.execs);
+            put_u64(out, k.hits);
+        }
+        put_u32(out, u32::try_from(self.added.len()).unwrap_or(u32::MAX));
+        for e in &self.added {
+            encode_corpus_entry(e, out);
+        }
+        put_u32(out, u32::try_from(self.crashes.len()).unwrap_or(u32::MAX));
+        for (title, count, cve) in &self.crashes {
+            put_str(out, title);
+            put_u64(out, *count);
+            put_opt_str(out, cve.as_deref());
+        }
+        put_u32(out, u32::try_from(self.seen.len()).unwrap_or(u32::MAX));
+        for sig in &self.seen {
+            put_signature(out, sig);
+        }
+        put_u32(
+            out,
+            u32::try_from(self.candidates.len()).unwrap_or(u32::MAX),
+        );
+        for e in &self.candidates {
+            encode_triage_entry(e, out);
+        }
+        put_u32(out, u32::try_from(self.counts.len()).unwrap_or(u32::MAX));
+        for (sig, n) in &self.counts {
+            put_signature(out, sig);
+            put_u64(out, *n);
+        }
+    }
+
+    /// Decode one patch from `bytes` at `pos` (inverse of
+    /// [`EpochPatch::encode_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on any malformed field.
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<EpochPatch, CheckpointError> {
+        let shard_id = take_u32(bytes, pos)?;
+        let epoch = take_u64(bytes, pos)?;
+        let rng_pick = take_u64(bytes, pos)?;
+        let remaining = take_u64(bytes, pos)?;
+        let fuel_exhausted = take_u64(bytes, pos)?;
+        let mut gen_rng = [0u64; 4];
+        for w in &mut gen_rng {
+            *w = take_u64(bytes, pos)?;
+        }
+        let corpus_rng = take_u64(bytes, pos)?;
+        let corpus_stats = CorpusStats {
+            admitted: take_u64(bytes, pos)?,
+            imported: take_u64(bytes, pos)?,
+            evicted: take_u64(bytes, pos)?,
+        };
+        let cov_diff = take_word_diff(bytes, pos)?;
+        let n_kept = take_u32(bytes, pos)? as usize;
+        let mut kept = Vec::new();
+        for _ in 0..n_kept {
+            kept.push(KeptEntry {
+                index: take_u32(bytes, pos)?,
+                execs: take_u64(bytes, pos)?,
+                hits: take_u64(bytes, pos)?,
+            });
+        }
+        let n_added = take_u32(bytes, pos)? as usize;
+        let mut added = Vec::new();
+        for _ in 0..n_added {
+            added.push(decode_corpus_entry(bytes, pos)?);
+        }
+        let n_crashes = take_u32(bytes, pos)? as usize;
+        let mut crashes = Vec::new();
+        for _ in 0..n_crashes {
+            let title = take_str(bytes, pos)?;
+            let count = take_u64(bytes, pos)?;
+            let cve = take_opt_str(bytes, pos)?;
+            crashes.push((title, count, cve));
+        }
+        let n_seen = take_u32(bytes, pos)? as usize;
+        let mut seen = Vec::new();
+        for _ in 0..n_seen {
+            seen.push(take_signature(bytes, pos)?);
+        }
+        let n_candidates = take_u32(bytes, pos)? as usize;
+        let mut candidates = Vec::new();
+        for _ in 0..n_candidates {
+            candidates.push(decode_triage_entry(bytes, pos)?);
+        }
+        let n_counts = take_u32(bytes, pos)? as usize;
+        let mut counts = Vec::new();
+        for _ in 0..n_counts {
+            let sig = take_signature(bytes, pos)?;
+            let n = take_u64(bytes, pos)?;
+            counts.push((sig, n));
+        }
+        Ok(EpochPatch {
+            shard_id,
+            epoch,
+            rng_pick,
+            remaining,
+            fuel_exhausted,
+            gen_rng,
+            corpus_rng,
+            corpus_stats,
+            cov_diff,
+            kept,
+            added,
+            crashes,
+            seen,
+            candidates,
+            counts,
+        })
+    }
+}
+
+/// Diff a boundary's [`EpochDelta`]s against the matching baseline
+/// snapshots (both in shard-id order), or hand the deltas back when
+/// they cannot be expressed as increments — the caller then sends a
+/// full frame instead. A worker's first boundary after a grant has no
+/// agreed baseline, so it always takes the `Err` path.
+///
+/// # Errors
+///
+/// Returns the deltas unchanged when `base` does not align with them
+/// shard-for-shard.
+pub fn diff_boundary(
+    base: &[ShardSnapshot],
+    deltas: Vec<EpochDelta>,
+) -> Result<Vec<EpochPatch>, Vec<EpochDelta>> {
+    if base.len() != deltas.len()
+        || !base
+            .iter()
+            .zip(&deltas)
+            .all(|(b, d)| EpochPatch::diffable(b, d))
+    {
+        return Err(deltas);
+    }
+    Ok(base
+        .iter()
+        .zip(deltas)
+        .map(|(b, d)| EpochPatch::diff(b, d))
+        .collect())
+}
+
+/// Reconstruct a boundary's [`EpochDelta`]s from patches and the
+/// baseline snapshots they were diffed against (both in shard-id
+/// order).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] if the patches do not fit the
+/// baseline shard-for-shard.
+pub fn apply_patches(
+    base: &[ShardSnapshot],
+    patches: Vec<EpochPatch>,
+) -> Result<Vec<EpochDelta>, CheckpointError> {
+    if base.len() != patches.len() {
+        return Err(CheckpointError::new(format!(
+            "{} patches against {} baseline snapshots",
+            patches.len(),
+            base.len()
+        )));
+    }
+    base.iter()
+        .zip(patches)
+        .map(|(b, p)| p.apply(b))
+        .collect()
+}
+
+/// Append a list of [`EpochPatch`]es (one incremental worker delta
+/// frame carries its whole range this way).
+pub fn encode_patches(patches: &[EpochPatch], out: &mut Vec<u8>) {
+    put_u32(out, u32::try_from(patches.len()).unwrap_or(u32::MAX));
+    for p in patches {
+        p.encode_into(out);
+    }
+}
+
+/// Decode a list of [`EpochPatch`]es (inverse of [`encode_patches`]).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on any malformed field.
+pub fn decode_patches(bytes: &[u8], pos: &mut usize) -> Result<Vec<EpochPatch>, CheckpointError> {
+    let n = take_u32(bytes, pos)? as usize;
+    let mut patches = Vec::new();
+    for _ in 0..n {
+        patches.push(EpochPatch::decode_from(bytes, pos)?);
+    }
+    Ok(patches)
+}
+
+/// Hand-rolled two-shard boundary fixture — baseline snapshots plus
+/// the deltas of the next boundary, wired so [`diff_boundary`]
+/// produces nontrivial patches (kept + added entries, coverage runs,
+/// a changed crash record, a fresh triage signature). The snapshot
+/// fields are crate-private on purpose; protocol-crate tests and
+/// benches build realistic frames through this instead.
+#[doc(hidden)]
+#[must_use]
+pub fn sample_boundary() -> (Vec<ShardSnapshot>, Vec<EpochDelta>) {
+    let sig = |site: u64| CrashSignature {
+        sysno: kgpt_vkernel::Sysno::Ioctl,
+        chain_depth: 1,
+        sanitizer: kgpt_vkernel::SanitizerKind::UseAfterFree,
+        site,
+    };
+    let entry = |sys: u32, word: usize, bit: u64, execs: u64, hits: u64| {
+        let mut words = vec![0u64; word + 1];
+        words[word] = bit;
+        CorpusEntry {
+            program: Program {
+                calls: vec![crate::program::ProgCall {
+                    sys,
+                    args: Vec::new(),
+                }],
+            },
+            contributed: CoverageMap::from_words(words),
+            execs,
+            hits,
+        }
+    };
+    let snap = |id: u32, epoch: u64, words: Vec<u64>, entries: Vec<CorpusEntry>| ShardSnapshot {
+        id,
+        gen_rng: [
+            0x9E37_79B9_7F4A_7C15 ^ u64::from(id),
+            2,
+            3,
+            4 + epoch,
+        ],
+        corpus_rng: 0xD1B5_4A32_D192_ED03 ^ epoch,
+        corpus_coverage: CoverageMap::from_words(words),
+        corpus_entries: entries,
+        corpus_stats: CorpusStats {
+            admitted: epoch * 3,
+            imported: epoch,
+            evicted: 0,
+        },
+        crashes: [(
+            format!("KASAN: use-after-free in shard {id}"),
+            (epoch + 1, Some("CVE-2023-0001".to_string())),
+        )]
+        .into_iter()
+        .collect(),
+        triage_seen: (0..=epoch).map(|i| sig(100 + i)).collect(),
+        epoch,
+        rng_pick: epoch * 17,
+        remaining: 1000 - epoch * 128,
+        fuel_exhausted: 0,
+    };
+    let base = vec![
+        snap(
+            0,
+            1,
+            vec![0xFF, 0, 0x10],
+            vec![
+                entry(1, 0, 0x01, 10, 2),
+                entry(2, 0, 0x02, 7, 0),
+                entry(3, 1, 0x04, 4, 1),
+            ],
+        ),
+        snap(1, 1, vec![0x0F], vec![entry(4, 0, 0x08, 3, 0)]),
+    ];
+    // Shard 0 evicts its middle entry, refreshes the survivors'
+    // counters, and admits one new entry; shard 1 only admits.
+    let next = vec![
+        snap(
+            0,
+            2,
+            vec![0xFF, 0x01, 0x10, 0x800],
+            vec![
+                entry(1, 0, 0x01, 12, 2),
+                entry(3, 1, 0x04, 5, 1),
+                entry(5, 3, 0x800, 0, 0),
+            ],
+        ),
+        snap(
+            1,
+            2,
+            vec![0x0F, 0, 0, 0x22],
+            vec![entry(4, 0, 0x08, 6, 1), entry(6, 3, 0x22, 0, 0)],
+        ),
+    ];
+    let deltas = next
+        .into_iter()
+        .map(|snapshot| EpochDelta {
+            snapshot,
+            candidates: Vec::new(),
+            counts: vec![(sig(101), 3)],
+        })
+        .collect();
+    (base, deltas)
+}
+
 /// Re-export of the crash-tally/option codec used for crash maps in
 /// shard snapshots — the protocol crate never needs it directly, but
 /// tests exercising the framing do.
@@ -397,6 +934,16 @@ impl LeaseRunner {
     #[must_use]
     pub fn remaining(&self) -> u64 {
         self.states.iter().map(|s| s.remaining).sum()
+    }
+
+    /// Current boundary snapshots of the range, in shard-id order.
+    /// Captured right after the import pass of an acked boundary,
+    /// these are byte-identical to the snapshots the coordinator
+    /// committed for that boundary — the baseline agreement that
+    /// makes [`diff_boundary`] increments safe to ship.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.states.iter().map(ShardState::snapshot).collect()
     }
 
     /// Run one epoch on every shard of the range (ascending id order)
@@ -845,6 +1392,109 @@ mod tests {
         encode_seeds(&seeds, &mut out);
         let mut pos = 0usize;
         assert_eq!(decode_seeds(&out, &mut pos).expect("seeds"), seeds);
+    }
+
+    #[test]
+    fn sample_boundary_patches_round_trip_and_shrink() {
+        let (base, deltas) = sample_boundary();
+        let patches = diff_boundary(&base, deltas.clone()).expect("diffable fixture");
+        // The fixture is wired to exercise every increment kind.
+        assert_eq!(patches[0].kept.len(), 2, "two shard-0 survivors");
+        assert_eq!(patches[0].added.len(), 1, "one shard-0 admission");
+        assert_eq!(patches[0].kept[0].index, 0);
+        assert_eq!(patches[0].kept[1].index, 2, "middle entry evicted");
+        assert_eq!(patches[1].kept.len(), 1);
+        assert_eq!(patches[1].added.len(), 1);
+        assert!(!patches[0].cov_diff.is_empty());
+        assert_eq!(patches[0].crashes.len(), 1, "crash count changed");
+        assert_eq!(patches[0].seen.len(), 1, "one fresh signature");
+
+        let mut incr = Vec::new();
+        encode_patches(&patches, &mut incr);
+        let mut pos = 0usize;
+        let back = decode_patches(&incr, &mut pos).expect("patches decode");
+        assert_eq!(pos, incr.len());
+        assert_eq!(patches, back);
+        assert_eq!(apply_patches(&base, back).expect("apply"), deltas);
+
+        let mut full = Vec::new();
+        encode_deltas(&deltas, &mut full);
+        assert!(
+            incr.len() < full.len(),
+            "incremental ({}) must be smaller than full ({})",
+            incr.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn real_epoch_patches_reconstruct_deltas_exactly() {
+        let (kernel, suite, consts) = dm_setup();
+        let config = cfg(1500, 5);
+        let db = SpecCache::global().get_or_build(&suite);
+        let lowered = SpecCache::global().get_or_lower(&db, &consts);
+        let mut merge = CampaignMerge::new(config.clone(), 2);
+        let mut runner = LeaseRunner::fresh(&lowered, &config, 2, 0, 2);
+
+        // Boundary 1 has no agreed baseline yet — it ships full.
+        let deltas = runner.run_epoch(&kernel);
+        let outcome = merge.apply_boundary(deltas).expect("boundary 1");
+        assert!(!outcome.finished);
+        runner.import(&outcome.seeds);
+
+        // Baseline agreement: the worker's post-import snapshots are
+        // byte-identical to what the coordinator committed.
+        let baseline = runner.snapshots();
+        assert_eq!(baseline, merge.snapshots(0, 2));
+
+        // Boundary 2 diffs against that baseline; the patches must
+        // reconstruct the deltas exactly and cost fewer bytes.
+        let deltas = runner.run_epoch(&kernel);
+        let patches =
+            diff_boundary(&baseline, deltas.clone()).expect("committed baseline is diffable");
+        let mut incr = Vec::new();
+        encode_patches(&patches, &mut incr);
+        let mut pos = 0usize;
+        let back = decode_patches(&incr, &mut pos).expect("decode");
+        assert_eq!(apply_patches(&baseline, back).expect("apply"), deltas);
+
+        let mut full = Vec::new();
+        encode_deltas(&deltas, &mut full);
+        assert!(
+            incr.len() < full.len(),
+            "incremental ({}) must be smaller than full ({})",
+            incr.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn patch_apply_rejects_bad_fits() {
+        let (base, deltas) = sample_boundary();
+        let patches = diff_boundary(&base, deltas).expect("diffable fixture");
+
+        // Wrong baseline order ⇒ shard-id mismatch.
+        let swapped: Vec<ShardSnapshot> = vec![base[1].clone(), base[0].clone()];
+        assert!(apply_patches(&swapped, patches.clone()).is_err());
+
+        // Kept index past the end of the baseline entry list.
+        let mut bad = patches.clone();
+        bad[0].kept[0].index = 999;
+        assert!(apply_patches(&base, bad).is_err());
+
+        // Kept indices out of order (decode accepts them — the fit
+        // check is the applier's job).
+        let mut bad = patches.clone();
+        bad[0].kept.swap(0, 1);
+        assert!(apply_patches(&base, bad).is_err());
+
+        // Count mismatch.
+        assert!(apply_patches(&base[..1], patches).is_err());
+
+        // A fresh grant has no baseline: diffing against an empty
+        // baseline must hand the deltas back for a full frame.
+        let (_, deltas) = sample_boundary();
+        assert!(diff_boundary(&[], deltas).is_err());
     }
 
     #[test]

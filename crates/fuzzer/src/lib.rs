@@ -74,7 +74,7 @@ pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally, ShardSn
 pub use checkpoint::{CampaignSnapshot, CheckpointError};
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
-pub use fabric::{BoundaryOutcome, CampaignMerge, EpochDelta, LeaseRunner};
+pub use fabric::{BoundaryOutcome, CampaignMerge, EpochDelta, EpochPatch, KeptEntry, LeaseRunner};
 pub use faults::{Fault, FaultPlan};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};

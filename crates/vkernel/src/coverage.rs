@@ -184,6 +184,104 @@ impl CoverageMap {
         let count = words.iter().map(|w| w.count_ones() as usize).sum();
         CoverageMap { words, count }
     }
+
+    /// Word-level diff of `self` against `base`: the instructions that
+    /// turn `base` into a map equal to `self`. Changed words are
+    /// collected into runs of consecutive indices (the run-length fast
+    /// path — fresh coverage clusters inside a handler's block
+    /// stratum); when the sparse form would serialize larger than the
+    /// full bitmap, the diff falls back to [`CoverageWordDiff::Dense`].
+    #[must_use]
+    pub fn diff_words_since(&self, base: &CoverageMap) -> CoverageWordDiff {
+        let len = self.words.len().max(base.words.len());
+        let mut runs: Vec<(u32, Vec<u64>)> = Vec::new();
+        for i in 0..len {
+            let new = self.words.get(i).copied().unwrap_or(0);
+            let old = base.words.get(i).copied().unwrap_or(0);
+            if new == old {
+                continue;
+            }
+            match runs.last_mut() {
+                Some((start, words)) if *start as usize + words.len() == i => words.push(new),
+                _ => runs.push((u32::try_from(i).unwrap_or(u32::MAX), vec![new])),
+            }
+        }
+        let sparse = CoverageWordDiff::Sparse(runs);
+        if sparse.encoded_bytes() < CoverageWordDiff::dense_bytes(self.words.len()) {
+            sparse
+        } else {
+            CoverageWordDiff::Dense(self.words.clone())
+        }
+    }
+
+    /// Apply a diff produced by [`CoverageMap::diff_words_since`] to
+    /// `self` (the base the diff was taken against) and return the
+    /// reconstructed map. Inverse property:
+    /// `base.apply_word_diff(&new.diff_words_since(&base)) == new`.
+    #[must_use]
+    pub fn apply_word_diff(&self, diff: &CoverageWordDiff) -> CoverageMap {
+        match diff {
+            CoverageWordDiff::Dense(words) => CoverageMap::from_words(words.clone()),
+            CoverageWordDiff::Sparse(runs) => {
+                let mut words = self.words.clone();
+                for (start, run) in runs {
+                    let start = *start as usize;
+                    if start + run.len() > words.len() {
+                        words.resize(start + run.len(), 0);
+                    }
+                    words[start..start + run.len()].copy_from_slice(run);
+                }
+                CoverageMap::from_words(words)
+            }
+        }
+    }
+}
+
+/// A word-granular coverage diff: how to rebuild a newer
+/// [`CoverageMap`] from an agreed base. Produced by
+/// [`CoverageMap::diff_words_since`], consumed by
+/// [`CoverageMap::apply_word_diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageWordDiff {
+    /// Runs of consecutive changed words: `(first word index,
+    /// replacement words)`. An empty run list means the maps are
+    /// equal (up to trailing-zero representation noise).
+    Sparse(Vec<(u32, Vec<u64>)>),
+    /// The newer map's full bitmap — chosen when the sparse form
+    /// would serialize larger than simply resending every word.
+    Dense(Vec<u64>),
+}
+
+impl CoverageWordDiff {
+    /// Whether applying this diff is a no-op (the maps were equal).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            CoverageWordDiff::Sparse(runs) => runs.is_empty(),
+            CoverageWordDiff::Dense(_) => false,
+        }
+    }
+
+    /// Serialized size of this diff in the checkpoint codec: a u32
+    /// count plus, per sparse run, a u32 start + u32 length header
+    /// and 8 bytes per word (dense pays the header once). The
+    /// dense-fallback decision in [`CoverageMap::diff_words_since`]
+    /// compares exactly these numbers.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            CoverageWordDiff::Sparse(runs) => {
+                4 + runs.iter().map(|(_, w)| 8 + 8 * w.len()).sum::<usize>()
+            }
+            CoverageWordDiff::Dense(words) => CoverageWordDiff::dense_bytes(words.len()),
+        }
+    }
+
+    /// Serialized size of a dense diff over `words` bitmap words.
+    #[must_use]
+    pub fn dense_bytes(words: usize) -> usize {
+        4 + 8 * words
+    }
 }
 
 impl PartialEq for CoverageMap {
@@ -403,6 +501,113 @@ mod tests {
         assert!(a.is_disjoint(&b));
         assert!(!a.is_disjoint(&c));
         assert!(a.is_disjoint(&CoverageMap::new()));
+    }
+
+    /// Tiny deterministic word stream for the randomized diff tests
+    /// (xorshift64*; no external RNG dependency in this crate).
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn random_map(rng: &mut TestRng, blocks: usize, universe: u64) -> CoverageMap {
+        (0..blocks).map(|_| rng.next() % universe).collect()
+    }
+
+    #[test]
+    fn word_diff_round_trips_on_random_maps() {
+        let mut rng = TestRng(0x5EED);
+        for case in 0..50 {
+            let base = random_map(&mut rng, 40, 4096);
+            let mut new = base.clone();
+            new.merge(&random_map(&mut rng, (case % 7) * 3, 4096));
+            let diff = new.diff_words_since(&base);
+            assert_eq!(base.apply_word_diff(&diff), new, "case {case}");
+        }
+        // Shrinkage (base has blocks the new map lacks) is also
+        // representable: the diff writes the vanished words back to
+        // zero (or falls back to dense).
+        let base = random_map(&mut rng, 60, 4096);
+        let new = random_map(&mut rng, 10, 4096);
+        assert_eq!(base.apply_word_diff(&new.diff_words_since(&base)), new);
+    }
+
+    #[test]
+    fn word_diff_of_equal_maps_is_empty() {
+        let m = random_map(&mut TestRng(7), 30, 2048);
+        let diff = m.diff_words_since(&m);
+        assert!(diff.is_empty());
+        assert_eq!(diff, CoverageWordDiff::Sparse(Vec::new()));
+        assert_eq!(m.apply_word_diff(&diff), m);
+        // Trailing zero words are representation noise, not a diff.
+        let mut padded_words = m.words().to_vec();
+        padded_words.extend([0u64; 9]);
+        let padded = CoverageMap::from_words(padded_words);
+        assert!(m.diff_words_since(&padded).is_empty());
+        assert!(padded.diff_words_since(&m).is_empty());
+    }
+
+    #[test]
+    fn word_diff_falls_back_to_dense_when_the_diff_is_large() {
+        // Every word changes: sparse would pay a run header on top of
+        // the words, so the diff must be the dense bitmap.
+        let base = CoverageMap::new();
+        let new: CoverageMap = (0..4096u64).step_by(64).collect(); // one bit per word
+        let diff = new.diff_words_since(&base);
+        assert!(matches!(diff, CoverageWordDiff::Dense(_)), "{diff:?}");
+        assert_eq!(base.apply_word_diff(&diff), new);
+        // A handful of changed words in a big map stays sparse, and a
+        // consecutive cluster collapses into one run.
+        let big: CoverageMap = (0..100_000u64).step_by(64).collect();
+        let mut grown = big.clone();
+        grown.insert(640_001);
+        grown.insert(640_070);
+        grown.insert(640_130);
+        let diff = grown.diff_words_since(&big);
+        match &diff {
+            CoverageWordDiff::Sparse(runs) => {
+                assert_eq!(runs.len(), 1, "consecutive words must share a run");
+                assert_eq!(runs[0].0, 10_000);
+                assert_eq!(runs[0].1.len(), 3);
+            }
+            CoverageWordDiff::Dense(_) => panic!("small diff must stay sparse"),
+        }
+        assert!(diff.encoded_bytes() < CoverageWordDiff::dense_bytes(grown.words().len()));
+        assert_eq!(big.apply_word_diff(&diff), grown);
+    }
+
+    #[test]
+    fn word_diff_agrees_with_diff_in_and_merge_diff_on_random_maps() {
+        let mut rng = TestRng(0xD1FF);
+        for case in 0..30 {
+            let base = random_map(&mut rng, 50, 8192);
+            let observed = random_map(&mut rng, 25, 8192);
+            // The campaign's two growth paths: diff_in + merge, and
+            // one-pass merge_diff. Both must land on the same map the
+            // word diff reconstructs.
+            let contributed = base.diff_in(&observed);
+            let mut via_merge = base.clone();
+            via_merge.merge(&contributed);
+            let mut via_merge_diff = base.clone();
+            let contributed2 = via_merge_diff.merge_diff(&observed);
+            assert_eq!(contributed, contributed2, "case {case}");
+            assert_eq!(via_merge, via_merge_diff, "case {case}");
+            let diff = via_merge.diff_words_since(&base);
+            assert_eq!(base.apply_word_diff(&diff), via_merge, "case {case}");
+            assert_eq!(
+                base.apply_word_diff(&diff).len(),
+                base.len() + contributed.len(),
+                "case {case}: grown count must be base plus contribution"
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@
 pub mod coverage;
 pub mod mem;
 
-pub use coverage::CoverageMap;
+pub use coverage::{CoverageMap, CoverageWordDiff};
 pub use mem::MemMap;
 
 use kgpt_csrc::blueprint::{

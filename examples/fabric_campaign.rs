@@ -11,12 +11,32 @@
 //! cargo run --release --example fabric_campaign -- worker
 //! ```
 //!
+//! For a machine-spanning run, bind the coordinator to a reachable
+//! interface with `--listen` and point the workers' `FABRIC_ADDR` at
+//! it (workers retry refused connections with bounded deterministic
+//! backoff, so start order does not matter):
+//!
+//! ```text
+//! host-a$ cargo run --release --example fabric_campaign -- coordinator --listen 0.0.0.0:45117
+//! host-b$ FABRIC_ADDR=host-a:45117 cargo run --release --example fabric_campaign -- worker
+//! ```
+//!
 //! Both roles rebuild the identical spec suites from the same
 //! deterministic oracle; the wire carries only config, snapshots, and
-//! deltas — never specs. Workers may be killed (`SIGKILL`) mid-lease
-//! and replaced at any time: the coordinator reassigns the range from
-//! the last committed boundary and the result does not change, which
-//! is exactly what the CI `fabric-smoke` job does to this binary.
+//! deltas — never specs. After a worker's first acked boundary its
+//! deltas ship as *increments* against the agreed baseline (see the
+//! `FABRIC` line's `delta_bytes`); the first boundary of any lease —
+//! fresh or reassigned — is always a full frame. Workers may be
+//! killed (`SIGKILL`) mid-lease and replaced at any time: the
+//! coordinator reassigns the range from the last committed boundary
+//! and the result does not change, which is exactly what the CI
+//! `fabric-smoke` job does to this binary.
+//!
+//! Flags (after the role):
+//!
+//! * `--listen <addr>` (coordinator) — bind address, overriding
+//!   `FABRIC_ADDR`; use `0.0.0.0:<port>` to accept non-loopback
+//!   workers.
 //!
 //! Environment knobs:
 //!
@@ -84,14 +104,15 @@ fn build_suites() -> (VKernel, ConstDb, Vec<(&'static str, Vec<SpecFile>)>) {
     )
 }
 
-fn run_coordinator() {
+fn run_coordinator(listen: Option<String>) {
     let execs = env_u64("FUZZ_EXECS", 20_000);
     let workers = u32::try_from(env_u64("FABRIC_WORKERS", 2)).unwrap_or(2);
-    let listener = TcpListener::bind(addr()).expect("bind coordinator address");
+    let listen = listen.unwrap_or_else(addr);
+    let listener = TcpListener::bind(&listen).expect("bind coordinator address");
     listener
         .set_nonblocking(true)
         .expect("nonblocking listener");
-    println!("COORDINATOR listening on {}", addr());
+    println!("COORDINATOR listening on {listen}");
     let (_kernel, _consts, suites) = build_suites();
     for (name, suite) in suites {
         if suite.is_empty() {
@@ -165,26 +186,21 @@ fn run_worker_role() {
         })
         .collect();
     let mut sessions = 0u64;
-    let mut refused = 0u32;
     loop {
-        let transport = match TcpTransport::connect(addr()) {
-            Ok(t) => t,
-            Err(_) if sessions == 0 && refused < 240 => {
-                // Startup grace: the coordinator may not be up yet.
-                refused += 1;
-                std::thread::sleep(Duration::from_millis(250));
-                continue;
-            }
-            Err(_) if refused < 20 => {
-                // Between campaigns the listener still accepts; a few
-                // refusals in a row mean the coordinator is done.
-                refused += 1;
-                std::thread::sleep(Duration::from_millis(250));
-                continue;
-            }
-            Err(_) => break,
+        // Bounded deterministic backoff on refused connections: a
+        // generous budget before the first session (the coordinator
+        // may still be compiling its suites), a short one between
+        // campaigns (a few refusals in a row mean it is done).
+        let (attempts, base) = if sessions == 0 {
+            (40, Duration::from_millis(100))
+        } else {
+            (8, Duration::from_millis(100))
         };
-        refused = 0;
+        let Ok(transport) =
+            TcpTransport::connect_with_backoff(addr(), attempts, base, Duration::from_secs(2))
+        else {
+            break;
+        };
         let opts = WorkerOpts {
             reply_timeout: Duration::from_secs(2),
             on_grant: Some(Box::new(|slot, lo, hi, boundary| {
@@ -214,13 +230,36 @@ fn run_worker_role() {
 }
 
 fn main() {
-    let role = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let role = args
+        .next()
         .or_else(|| std::env::var("FABRIC_ROLE").ok())
         .unwrap_or_else(|| "coordinator".into());
+    let mut listen: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--listen" => match args.next() {
+                Some(a) => listen = Some(a),
+                None => {
+                    eprintln!("--listen requires an address, e.g. --listen 0.0.0.0:45117");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?}: only `--listen <addr>` is supported");
+                std::process::exit(2);
+            }
+        }
+    }
     match role.as_str() {
-        "coordinator" => run_coordinator(),
-        "worker" => run_worker_role(),
+        "coordinator" => run_coordinator(listen),
+        "worker" => {
+            if listen.is_some() {
+                eprintln!("--listen is a coordinator flag; workers use FABRIC_ADDR");
+                std::process::exit(2);
+            }
+            run_worker_role();
+        }
         other => {
             eprintln!("unknown role {other:?}: use `coordinator` or `worker`");
             std::process::exit(2);

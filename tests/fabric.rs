@@ -61,6 +61,9 @@ struct Harness {
     /// the list run clean (so an injected fault cannot cascade into a
     /// livelock of its own replacement).
     plans: Vec<FaultPlan>,
+    /// Ship every boundary as a full snapshot frame (the measurement
+    /// baseline for the incremental-delta bandwidth win).
+    force_full: bool,
 }
 
 impl Default for Harness {
@@ -69,6 +72,7 @@ impl Default for Harness {
             lease_timeout: Duration::from_secs(60),
             reply_timeout: Duration::from_millis(250),
             plans: Vec::new(),
+            force_full: false,
         }
     }
 }
@@ -110,6 +114,7 @@ fn run_fabric(
                 let opts = WorkerOpts {
                     faults: plan,
                     reply_timeout: harness.reply_timeout,
+                    force_full_deltas: harness.force_full,
                     ..WorkerOpts::default()
                 };
                 let summary = run_worker(Box::new(worker_end), opts, |fp| {
@@ -159,6 +164,46 @@ fn fabric_result_is_bit_identical_at_1_2_4_workers_across_seeds() {
             assert!(summaries.iter().all(|s| s.completed));
         }
     }
+}
+
+/// Incremental frames (the default) and forced-full frames merge to
+/// the identical result, and the incremental wire cost is a small
+/// fraction of the full cost — the whole point of true delta frames.
+#[test]
+fn incremental_frames_match_full_frames_and_cost_far_fewer_bytes() {
+    let (kernel, suite, consts) = deepchain_setup();
+    let config = cfg(7);
+    let reference = ShardedCampaign::new(&kernel, &suite, &consts, config.clone())
+        .with_shards(SHARDS)
+        .run();
+    let run = |force_full: bool| {
+        run_fabric(
+            &kernel,
+            &suite,
+            &consts,
+            &config,
+            2,
+            Harness {
+                force_full,
+                ..Harness::default()
+            },
+        )
+    };
+    let (full_result, full_stats, _) = run(true);
+    let (incr_result, incr_stats, _) = run(false);
+    assert_same(&reference, &full_result, "forced-full");
+    assert_same(&reference, &incr_result, "incremental");
+    assert_eq!(full_stats.boundaries, incr_stats.boundaries);
+    // Boundary 1 is full either way (no agreed baseline yet), so the
+    // whole-campaign ratio understates the per-boundary win; even so,
+    // increments must cut the accepted delta bytes at least in half
+    // on this 3-boundary workload.
+    assert!(
+        incr_stats.delta_bytes * 2 < full_stats.delta_bytes,
+        "incremental {} bytes vs full {} bytes",
+        incr_stats.delta_bytes,
+        full_stats.delta_bytes
+    );
 }
 
 /// A worker killed mid-lease (dies without shipping its boundary)
@@ -358,6 +403,7 @@ fn seeded_fabric_fault_plans_never_change_the_result() {
                 FaultPlan::fabric_from_seed(fault_seed, 3, 2),
                 FaultPlan::fabric_from_seed(fault_seed.wrapping_mul(31), 3, 2),
             ],
+            ..Harness::default()
         };
         let (result, _stats, _summaries) =
             run_fabric(&kernel, &suite, &consts, &config, 2, harness);
