@@ -44,7 +44,15 @@
 //!   `worker_invariant` flag asserting the merged result is
 //!   bit-identical to the single-process campaign at every worker
 //!   count (gated), plus delta bytes shipped per epoch boundary and
-//!   the coordinator's merge time.
+//!   the coordinator's merge time;
+//! * the multi-tenant service (`tenancy`): three deep-chain tenants
+//!   sharing one [`TenantService`] and one worker pool, one of them
+//!   declaring an exec quota of half the campaign — a
+//!   `tenant_invariant` flag asserting every tenant's merged result
+//!   (the budget-cut one included) is bit-identical to its
+//!   single-process reference (gated), plus per-tenant exec,
+//!   coverage, corpus and grant accounting (exact-compared by the
+//!   gate) and the starved tenant's cut boundary.
 //!
 //! The committed `BENCH_baseline.json` is this file's output at the
 //! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
@@ -57,12 +65,13 @@ use kgpt_core::KernelGpt;
 use kgpt_csrc::{deepchain, KernelCorpus};
 use kgpt_extractor::find_handlers;
 use kgpt_fabric::{
-    run_worker, ChannelTransport, Coordinator, CoordinatorOpts, FabricStats, Transport, WorkerOpts,
+    run_worker, ChannelTransport, Coordinator, CoordinatorOpts, FabricStats, HealthOpts,
+    ServiceOpts, TenantQuota, TenantService, TenantSpec, Transport, WorkerOpts,
 };
 use kgpt_fuzzer::reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 use kgpt_fuzzer::{
-    execute_with, Campaign, CampaignConfig, CampaignResult, CampaignSnapshot, ExecScratch,
-    FaultPlan, Generator, Program, ShardedCampaign,
+    execute_with, reference_run, Campaign, CampaignConfig, CampaignResult, CampaignSnapshot,
+    ExecScratch, FaultPlan, Generator, Program, ShardedCampaign,
 };
 use kgpt_llm::{ModelKind, OracleModel};
 use kgpt_syzlang::{SpecCache, SpecDb, SpecFile};
@@ -759,6 +768,86 @@ fn main() {
         );
     }
 
+    // ---- Multi-tenant service: budgets, fairness, accounting ----
+    // Three deep-chain tenants (seeds 1..3) share one `TenantService`
+    // and one worker pool at two slots each; tenant 1 declares an
+    // exec quota of half the campaign and must be cut gracefully at a
+    // boundary, bit-identical to an unlimited run halted there. The
+    // per-tenant accounting is exact-compared by the gate.
+    let tenancy_quota = execs / 2;
+    let tenancy_cfgs: Vec<CampaignConfig> = (1..=3u64)
+        .map(|seed| CampaignConfig {
+            seed,
+            ..dc_cfg(DC_EPOCH)
+        })
+        .collect();
+    let tenancy_refs: Vec<_> = tenancy_cfgs
+        .iter()
+        .enumerate()
+        .map(|(i, config)| {
+            let quota = (i == 1).then_some(tenancy_quota);
+            reference_run(&dc_kernel, &dc_lowered, config, 8, quota)
+        })
+        .collect();
+    let tenancy_t0 = Instant::now();
+    let (tenant_results, tenancy_stats) = std::thread::scope(|scope| {
+        let mut service = TenantService::new(ServiceOpts {
+            lease_timeout: Duration::from_secs(60),
+            health: HealthOpts::default(),
+        });
+        for (i, config) in tenancy_cfgs.iter().enumerate() {
+            service.admit(TenantSpec {
+                name: format!("tenant-{i}"),
+                config: config.clone(),
+                shards: 8,
+                workers: 2,
+                spec_fp: fabric_fp,
+                quota: if i == 1 {
+                    TenantQuota::execs(tenancy_quota)
+                } else {
+                    TenantQuota::unlimited()
+                },
+            });
+        }
+        let dc_kernel = &dc_kernel;
+        let dc_lowered = &dc_lowered;
+        let mut accept = || -> Option<Box<dyn Transport>> {
+            let (service_end, worker_end) = ChannelTransport::pair();
+            let lowered = std::sync::Arc::clone(dc_lowered);
+            scope.spawn(move || {
+                run_worker(Box::new(worker_end), WorkerOpts::default(), |fp| {
+                    (fp == fabric_fp).then_some((dc_kernel, lowered))
+                })
+                .expect("tenant worker");
+            });
+            Some(Box::new(service_end))
+        };
+        service.run(&mut accept).expect("tenant service")
+    });
+    let tenancy_secs = tenancy_t0.elapsed().as_secs_f64();
+    let mut tenancy_invariant = true;
+    for (i, (reference, tenant)) in tenancy_refs.iter().zip(&tenant_results).enumerate() {
+        if !same_result(&reference.result, &tenant.result)
+            || tenant.boundaries != reference.boundaries
+            || tenant.budget_exhausted != reference.budget_exhausted
+        {
+            tenancy_invariant = false;
+            eprintln!(
+                "TENANT {i} DIVERGED FROM ITS SINGLE-PROCESS REFERENCE (bench_gate will fail)"
+            );
+        }
+    }
+    if !tenant_results[1].budget_exhausted {
+        tenancy_invariant = false;
+        eprintln!("STARVED TENANT WAS NOT BUDGET-TERMINATED (bench_gate will fail)");
+    }
+    let starved = &tenant_results[1];
+    println!(
+        "tenancy          : 3 tenants over one pool, invariant: {tenancy_invariant}, starved \
+         tenant cut at boundary {} ({} of {} exec quota), grants {:?}",
+        starved.boundaries, starved.usage.execs, tenancy_quota, tenancy_stats.grants_per_tenant,
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
@@ -965,6 +1054,39 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tenancy\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"deep-chain exchange-on campaign, three tenants\","
+    );
+    let _ = writeln!(json, "    \"execs\": {execs},");
+    let _ = writeln!(json, "    \"shards\": 8,");
+    let _ = writeln!(json, "    \"workers_per_tenant\": 2,");
+    let _ = writeln!(json, "    \"tenant_invariant\": {tenancy_invariant},");
+    let _ = writeln!(json, "    \"starved_quota\": {tenancy_quota},");
+    let _ = writeln!(json, "    \"starved_execs\": {},", starved.usage.execs);
+    let _ = writeln!(json, "    \"starved_boundaries\": {},", starved.boundaries);
+    let _ = writeln!(
+        json,
+        "    \"budget_exhausted\": {},",
+        starved.budget_exhausted
+    );
+    let _ = writeln!(json, "    \"grants\": {},", tenancy_stats.grants);
+    let _ = writeln!(json, "    \"secs\": {tenancy_secs:.6},");
+    for (i, tenant) in tenant_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"tenant_{i}\": {{ \"execs\": {}, \"blocks\": {}, \"unique_crashes\": {}, \"corpus\": {}, \"boundaries\": {}, \"grants\": {} }}{}",
+            tenant.result.execs,
+            tenant.result.blocks(),
+            tenant.result.unique_crashes(),
+            tenant.result.corpus_size,
+            tenant.boundaries,
+            tenancy_stats.grants_per_tenant[i],
+            if i + 1 < tenant_results.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");

@@ -46,12 +46,21 @@
 //!   worker count, with both incremental and forced-full frames),
 //!   zero `expired_leases` (no worker may fall behind its lease
 //!   deadline in a clean in-memory run), and a `delta_shrink` of at
-//!   least [`MIN_DELTA_SHRINK`]x (incremental frames that cost as
+//!   least `MIN_DELTA_SHRINK`x (incremental frames that cost as
 //!   much as full snapshots mean the diff codec degenerated); with an
 //!   identical workload the boundary count and per-epoch delta
 //!   volumes (incremental and full) are exact-compared against the
 //!   baseline (the wire format is deterministic, so drift is a
 //!   behaviour change), while the merge time stays informational;
+//! * **tenancy** — a present `tenancy` section must report
+//!   `tenant_invariant` as true (every tenant of the shared service —
+//!   the budget-cut one included — merged bit-identical to its
+//!   single-process reference) and `budget_exhausted` as true (the
+//!   quota-declaring tenant was actually cut at a boundary); with an
+//!   identical workload the per-tenant exec / coverage / corpus /
+//!   grant accounting and the starved tenant's cut point are
+//!   exact-compared against the baseline, while wall time stays
+//!   informational;
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -174,6 +183,7 @@ pub fn check(fresh: &Json, baseline: &Json, thresholds: &Thresholds) -> GateOutc
     check_triage(fresh, baseline, &mut out);
     check_durability(fresh, thresholds.max_checkpoint_overhead_pct, &mut out);
     check_fabric(fresh, baseline, &mut out);
+    check_tenancy(fresh, baseline, &mut out);
     check_sections(fresh, baseline, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
@@ -511,9 +521,9 @@ fn check_fabric(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
              snapshots (floor {MIN_DELTA_SHRINK:.0}x) — the word-diff / increment codec \
              has degenerated"
         )),
-        Some(shrink) => out
-            .notes
-            .push(format!("fabric: incremental frames are {shrink:.2}x smaller than full")),
+        Some(shrink) => out.notes.push(format!(
+            "fabric: incremental frames are {shrink:.2}x smaller than full"
+        )),
         None => out
             .failures
             .push("fabric: fresh run's fabric section is missing `delta_shrink`".into()),
@@ -542,6 +552,78 @@ fn check_fabric(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
 /// Minimum acceptable `fabric.delta_shrink` (full-frame bytes per
 /// epoch over incremental bytes per epoch). See `check_fabric`.
 const MIN_DELTA_SHRINK: f64 = 5.0;
+
+/// Tenancy-section checks: every tenant of the shared service — the
+/// budget-cut one included — must have merged bit-identical to its
+/// single-process reference (`tenant_invariant`, hard), the
+/// quota-declaring tenant must actually have been budget-terminated,
+/// and when both sides ran the same workload the per-tenant exec /
+/// coverage / corpus / grant accounting is exact-compared (the
+/// service's scheduling and budget arithmetic are deterministic, so
+/// drift is a behaviour change, not noise). Wall time stays a note.
+fn check_tenancy(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
+    let Some(tenancy) = fresh.get("tenancy") else {
+        return; // section absent (older bench) — nothing to check
+    };
+    if tenancy.path("tenant_invariant").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "tenancy: a tenant's merged result diverged from its single-process \
+             reference (tenancy.tenant_invariant is not true) — every tenant of the \
+             shared service must be bit-identical, the budget-cut one included"
+                .into(),
+        );
+    }
+    if tenancy.path("budget_exhausted").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "tenancy: the quota-declaring tenant was not budget-terminated \
+             (tenancy.budget_exhausted is not true) — the budget tracker never tripped \
+             at a boundary"
+                .into(),
+        );
+    }
+    if let (Some(boundary), Some(used), Some(quota)) = (
+        tenancy.path("starved_boundaries").and_then(Json::as_f64),
+        tenancy.path("starved_execs").and_then(Json::as_f64),
+        tenancy.path("starved_quota").and_then(Json::as_f64),
+    ) {
+        out.notes.push(format!(
+            "tenancy: starved tenant cut at boundary {boundary:.0} with {used:.0} execs \
+             charged against a {quota:.0} quota"
+        ));
+    }
+    if baseline.get("tenancy").is_none() {
+        return; // section growth is handled by check_sections
+    }
+    for key in [
+        "tenancy.execs",
+        "tenancy.shards",
+        "tenancy.workers_per_tenant",
+        "tenancy.starved_quota",
+    ] {
+        if fresh.path(key).and_then(Json::as_f64) != baseline.path(key).and_then(Json::as_f64) {
+            out.notes.push(format!(
+                "tenancy comparison skipped: `{key}` differs — regenerate the baseline \
+                 for the new workload knobs"
+            ));
+            return;
+        }
+    }
+    check_exact(fresh, baseline, "tenancy.starved_execs", out);
+    check_exact(fresh, baseline, "tenancy.starved_boundaries", out);
+    check_exact(fresh, baseline, "tenancy.grants", out);
+    for tenant in ["tenant_0", "tenant_1", "tenant_2"] {
+        for field in [
+            "execs",
+            "blocks",
+            "unique_crashes",
+            "corpus",
+            "boundaries",
+            "grants",
+        ] {
+            check_exact(fresh, baseline, &format!("tenancy.{tenant}.{field}"), out);
+        }
+    }
+}
 
 /// `true` when both sides ran the deep-chain ablation with the same
 /// knobs, making its (deterministic) numbers exactly comparable; a
@@ -1317,7 +1399,9 @@ mod tests {
             .find(|(k, _)| k == "fabric")
             .map(|(_, v)| v)
             .unwrap();
-        let Json::Obj(fm) = fabric else { unreachable!() };
+        let Json::Obj(fm) = fabric else {
+            unreachable!()
+        };
         match fm.iter_mut().find(|(k, _)| k == key) {
             Some(slot) => slot.1 = value,
             None => fm.push((key.into(), value)),
@@ -1333,7 +1417,9 @@ mod tests {
             .find(|(k, _)| k == "fabric")
             .map(|(_, v)| v)
             .unwrap();
-        let Json::Obj(fm) = fabric else { unreachable!() };
+        let Json::Obj(fm) = fabric else {
+            unreachable!()
+        };
         fm.retain(|(k, _)| k != key);
     }
 
@@ -1394,6 +1480,105 @@ mod tests {
                 .any(|f| f.contains("delta_full_bytes_per_epoch")),
             "{:?}",
             r.failures
+        );
+    }
+
+    fn tenancy_doc(tenant_invariant: bool, budget_exhausted: bool, starved_execs: u64) -> Json {
+        let mut doc = bench_doc(1000.0, 187, true);
+        let tenancy = parse_json(&format!(
+            r#"{{ "execs": 20000, "shards": 8, "workers_per_tenant": 2,
+                  "tenant_invariant": {tenant_invariant},
+                  "starved_quota": 10000, "starved_execs": {starved_execs},
+                  "starved_boundaries": 10, "budget_exhausted": {budget_exhausted},
+                  "grants": 6, "secs": 2.0,
+                  "tenant_0": {{ "execs": 20000, "blocks": 450, "unique_crashes": 4, "corpus": 260, "boundaries": 20, "grants": 2 }},
+                  "tenant_1": {{ "execs": {starved_execs}, "blocks": 440, "unique_crashes": 4, "corpus": 250, "boundaries": 10, "grants": 2 }},
+                  "tenant_2": {{ "execs": 20000, "blocks": 452, "unique_crashes": 4, "corpus": 262, "boundaries": 20, "grants": 2 }} }}"#
+        ))
+        .unwrap();
+        let Json::Obj(members) = &mut doc else {
+            unreachable!("bench_doc is an object")
+        };
+        members.push(("tenancy".into(), tenancy));
+        doc
+    }
+
+    #[test]
+    fn tenant_variance_and_a_missed_budget_cut_are_hard_failures() {
+        let variant = tenancy_doc(false, true, 10000);
+        let r = check(&variant, &variant, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("tenancy.tenant_invariant")),
+            "{:?}",
+            r.failures
+        );
+        let uncut = tenancy_doc(true, false, 10000);
+        let r = check(&uncut, &uncut, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("tenancy.budget_exhausted")),
+            "{:?}",
+            r.failures
+        );
+        let good = tenancy_doc(true, true, 10000);
+        let r = check(&good, &good, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.notes.iter().any(|n| n.contains("starved tenant cut")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn tenant_accounting_is_compared_exactly_against_the_baseline() {
+        let fresh = tenancy_doc(true, true, 10000);
+        let base = tenancy_doc(true, true, 12000);
+        let r = check(&fresh, &base, 1e9);
+        assert!(!r.passed());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("tenancy.starved_execs")),
+            "{:?}",
+            r.failures
+        );
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("tenancy.tenant_1.execs")),
+            "{:?}",
+            r.failures
+        );
+        // A retuned quota skips the exact compare with a note instead
+        // of failing.
+        let mut retuned = tenancy_doc(true, true, 10000);
+        if let Json::Obj(members) = &mut retuned {
+            let tenancy = members
+                .iter_mut()
+                .find(|(k, _)| k == "tenancy")
+                .map(|(_, v)| v)
+                .unwrap();
+            let Json::Obj(tm) = tenancy else {
+                unreachable!()
+            };
+            tm.iter_mut().find(|(k, _)| k == "starved_quota").unwrap().1 = Json::Num(5000.0);
+        }
+        let r = check(&retuned, &base, 1e9);
+        assert!(
+            !r.failures.iter().any(|f| f.contains("tenancy.")),
+            "{:?}",
+            r.failures
+        );
+        assert!(
+            r.notes
+                .iter()
+                .any(|n| n.contains("tenancy comparison skipped")),
+            "{:?}",
+            r.notes
         );
     }
 

@@ -154,9 +154,13 @@ impl Coordinator {
                 self.stats.boundaries += 1;
                 let boundary = self.merge.epochs_done();
                 let reply = if outcome.finished {
-                    Message::Finish { boundary }
+                    Message::Finish {
+                        tenant: 0,
+                        boundary,
+                    }
                 } else {
                     Message::Proceed {
+                        tenant: 0,
                         boundary,
                         seeds: outcome.seeds,
                     }
@@ -197,7 +201,7 @@ impl Coordinator {
             while i < arrivals.len() {
                 match arrivals[i].recv_timeout(POLL) {
                     Ok(Some(frame)) => match Message::from_frame(&frame) {
-                        Ok(Message::Register) => {
+                        Ok(Message::Register { .. }) => {
                             let transport = arrivals.remove(i);
                             self.grant(slot, transport, conns);
                             seated = true;
@@ -245,6 +249,7 @@ impl Coordinator {
         let now = Instant::now();
         let lease_id = self.table.grant(slot, now, self.opts.lease_timeout);
         let frame = Message::Grant(Grant {
+            tenant: 0,
             lease_id,
             slot: u32::try_from(slot).expect("slot fits u32"),
             shard_lo: lo,
@@ -291,6 +296,7 @@ impl Coordinator {
             };
             match Message::from_frame(&frame) {
                 Ok(Message::Delta {
+                    tenant: _,
                     lease_id,
                     boundary,
                     deltas,
@@ -367,7 +373,7 @@ impl Coordinator {
                     // boundary > target cannot happen (the worker
                     // cannot outrun its own unacked boundary); ignore.
                 }
-                Ok(Message::Register) => {
+                Ok(Message::Register { .. }) => {
                     // The grant (or a reply) never arrived: resend
                     // the cached frame.
                     self.stats.redelivered_frames += 1;

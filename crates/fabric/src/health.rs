@@ -1,0 +1,258 @@
+//! Worker-health supervision: strike counters, deterministic
+//! quarantine, and overload shedding.
+//!
+//! The multi-tenant service keys a [`HealthTable`] on the stable
+//! `worker_id` a worker sends in `Register` (0 = anonymous, never
+//! tracked). Three behaviours earn a **strike**: a checksum-rejected
+//! frame, a revoked patch (wrong-range delta or an increment that
+//! does not fit the committed base), and a lease expiry (including
+//! disconnecting with an active lease — the flapping pattern). At
+//! [`HealthOpts::strike_limit`] strikes the worker is **quarantined**:
+//! its re-registrations are refused with a `Retry` until
+//! [`HealthOpts::quarantine_grants`] further grant cycles have been
+//! issued — a deterministic cooldown measured in protocol progress,
+//! not wall time, so tests and CI observe the exact same refusals.
+//! Registrations beyond [`HealthOpts::worker_cap`] seated workers are
+//! **parked** with a retry-after, not dropped.
+//!
+//! None of this touches merge state: quarantine only changes *who*
+//! re-runs a range, and every range re-runs from committed boundary
+//! snapshots, so the campaign result is identical with or without a
+//! byzantine worker in the mix.
+
+use std::collections::BTreeMap;
+
+/// Supervision thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthOpts {
+    /// Strikes at which a worker is quarantined.
+    pub strike_limit: u32,
+    /// Quarantine cooldown, measured in grant cycles issued by the
+    /// service after the quarantine began.
+    pub quarantine_grants: u64,
+    /// Maximum simultaneously seated workers (0 = unlimited);
+    /// registrations beyond it are parked with a retry-after.
+    pub worker_cap: usize,
+    /// Retry-after handed to parked (overload-shed) registrants,
+    /// in grant cycles.
+    pub park_grants: u64,
+}
+
+impl Default for HealthOpts {
+    fn default() -> HealthOpts {
+        HealthOpts {
+            strike_limit: 3,
+            quarantine_grants: 8,
+            worker_cap: 0,
+            park_grants: 2,
+        }
+    }
+}
+
+/// What earned a strike — kept for accounting symmetry with the
+/// protocol's failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrikeKind {
+    /// A frame from this worker failed checksum/decode.
+    RejectedFrame,
+    /// A delta/patch from this worker was revoked (wrong range, or an
+    /// increment that does not fit the committed base).
+    RevokedPatch,
+    /// The worker's lease expired or it disconnected mid-lease.
+    LeaseExpiry,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerRecord {
+    strikes: u32,
+    /// Grant-cycle count until which the worker is refused, if
+    /// quarantined.
+    quarantined_until: Option<u64>,
+}
+
+/// Per-worker strike and quarantine bookkeeping. Grant cycles — the
+/// table's clock — advance via [`HealthTable::note_grant`] every time
+/// the service issues a lease grant.
+#[derive(Debug, Default)]
+pub struct HealthTable {
+    opts: HealthOpts,
+    records: BTreeMap<u64, WorkerRecord>,
+    grant_cycles: u64,
+    quarantines: u64,
+}
+
+/// The admission decision for a registering worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Seat the worker.
+    Admit,
+    /// Refuse: quarantined for this many more grant cycles.
+    Quarantined {
+        /// Grant cycles left on the cooldown.
+        remaining: u64,
+    },
+    /// Refuse: over the worker cap; retry after this many grant
+    /// cycles.
+    Parked {
+        /// The configured park retry-after.
+        retry_after: u64,
+    },
+}
+
+impl HealthTable {
+    /// A fresh table under `opts`.
+    #[must_use]
+    pub fn new(opts: HealthOpts) -> HealthTable {
+        HealthTable {
+            opts,
+            ..HealthTable::default()
+        }
+    }
+
+    /// Admission decision for `worker_id` when `seated` workers
+    /// currently hold connections. Quarantine outranks the cap.
+    #[must_use]
+    pub fn admit(&self, worker_id: u64, seated: usize) -> Admission {
+        if let Some(remaining) = self.quarantine_remaining(worker_id) {
+            return Admission::Quarantined { remaining };
+        }
+        if self.opts.worker_cap > 0 && seated >= self.opts.worker_cap {
+            return Admission::Parked {
+                retry_after: self.opts.park_grants,
+            };
+        }
+        Admission::Admit
+    }
+
+    /// Grant cycles left on `worker_id`'s quarantine, if any. A
+    /// cooldown that has lapsed reads as `None` (the expiry is
+    /// implicit — no sweep needed).
+    #[must_use]
+    pub fn quarantine_remaining(&self, worker_id: u64) -> Option<u64> {
+        let until = self.records.get(&worker_id)?.quarantined_until?;
+        until.checked_sub(self.grant_cycles).filter(|r| *r > 0)
+    }
+
+    /// Record one issued grant — the table's clock tick.
+    pub fn note_grant(&mut self) {
+        self.grant_cycles += 1;
+    }
+
+    /// Record a strike against `worker_id`. Anonymous workers (id 0)
+    /// are never tracked — they cannot be re-identified across
+    /// reconnects, so quarantining them would only punish whichever
+    /// honest worker connects next. Returns true when this strike
+    /// tripped the limit and the worker is now quarantined.
+    pub fn strike(&mut self, worker_id: u64, _kind: StrikeKind) -> bool {
+        if worker_id == 0 {
+            return false;
+        }
+        let grant_cycles = self.grant_cycles;
+        let rec = self.records.entry(worker_id).or_default();
+        if rec
+            .quarantined_until
+            .is_some_and(|until| until <= grant_cycles)
+        {
+            rec.quarantined_until = None;
+        }
+        rec.strikes += 1;
+        if rec.strikes >= self.opts.strike_limit && rec.quarantined_until.is_none() {
+            rec.quarantined_until = Some(self.grant_cycles + self.opts.quarantine_grants);
+            rec.strikes = 0;
+            self.quarantines += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Total quarantines imposed so far.
+    #[must_use]
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Grant cycles issued so far.
+    #[must_use]
+    pub fn grant_cycles(&self) -> u64 {
+        self.grant_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> HealthOpts {
+        HealthOpts {
+            strike_limit: 3,
+            quarantine_grants: 4,
+            worker_cap: 2,
+            park_grants: 5,
+        }
+    }
+
+    #[test]
+    fn strikes_at_the_limit_quarantine_for_exactly_the_cooldown() {
+        let mut t = HealthTable::new(opts());
+        assert!(!t.strike(7, StrikeKind::RejectedFrame));
+        assert!(!t.strike(7, StrikeKind::RevokedPatch));
+        assert_eq!(t.admit(7, 0), Admission::Admit);
+        assert!(t.strike(7, StrikeKind::LeaseExpiry));
+        assert_eq!(t.quarantines(), 1);
+        // Refused for exactly 4 grant cycles, counting down per grant.
+        for remaining in (1..=4u64).rev() {
+            assert_eq!(t.admit(7, 0), Admission::Quarantined { remaining });
+            t.note_grant();
+        }
+        assert_eq!(t.admit(7, 0), Admission::Admit, "cooldown lapsed");
+    }
+
+    #[test]
+    fn anonymous_workers_are_never_quarantined() {
+        let mut t = HealthTable::new(opts());
+        for _ in 0..10 {
+            assert!(!t.strike(0, StrikeKind::RejectedFrame));
+        }
+        assert_eq!(t.admit(0, 0), Admission::Admit);
+        assert_eq!(t.quarantines(), 0);
+    }
+
+    #[test]
+    fn registrations_beyond_the_cap_are_parked_not_dropped() {
+        let t = HealthTable::new(opts());
+        assert_eq!(t.admit(1, 1), Admission::Admit);
+        assert_eq!(t.admit(1, 2), Admission::Parked { retry_after: 5 });
+        // Cap 0 = unlimited.
+        let unlimited = HealthTable::new(HealthOpts {
+            worker_cap: 0,
+            ..opts()
+        });
+        assert_eq!(unlimited.admit(1, 10_000), Admission::Admit);
+    }
+
+    #[test]
+    fn quarantine_outranks_the_worker_cap() {
+        let mut t = HealthTable::new(opts());
+        for _ in 0..3 {
+            t.strike(9, StrikeKind::LeaseExpiry);
+        }
+        assert_eq!(t.admit(9, 2), Admission::Quarantined { remaining: 4 });
+    }
+
+    #[test]
+    fn strikes_reaccumulate_after_a_lapsed_quarantine() {
+        let mut t = HealthTable::new(opts());
+        for _ in 0..3 {
+            t.strike(5, StrikeKind::RejectedFrame);
+        }
+        for _ in 0..4 {
+            t.note_grant();
+        }
+        assert_eq!(t.admit(5, 0), Admission::Admit);
+        // The counter restarted: three fresh strikes re-quarantine.
+        assert!(!t.strike(5, StrikeKind::RejectedFrame));
+        assert!(!t.strike(5, StrikeKind::RejectedFrame));
+        assert!(t.strike(5, StrikeKind::RejectedFrame));
+        assert_eq!(t.quarantines(), 2);
+    }
+}

@@ -40,7 +40,44 @@
 //! * [`worker`] — the thin worker loop around
 //!   [`kgpt_fuzzer::LeaseRunner`]: claim lease → run epoch → ship
 //!   delta → await ack (resending on timeout) → import seeds →
-//!   repeat until `Finish`.
+//!   repeat until `Finish`;
+//! * [`service`] — the multi-tenant layer ([`service::TenantService`])
+//!   over the same wire: several named campaigns share one
+//!   coordinator process and one worker pool, each with its own
+//!   config, spec fingerprint, and [`budget::TenantQuota`];
+//! * [`budget`] — per-tenant resource budgets
+//!   ([`budget::BudgetTracker`]): execs / wall-time / delta-byte
+//!   quotas checked only at epoch boundaries, so overflow triggers
+//!   graceful termination, never a mid-epoch abort;
+//! * [`health`] — worker supervision ([`health::HealthTable`]):
+//!   strike counters per stable worker id, deterministic quarantine
+//!   measured in grant cycles, and overload shedding (parked, not
+//!   dropped) past the worker cap.
+//!
+//! ## Protocol v3: tenant tagging, retry, quarantine
+//!
+//! Frame layout is unchanged from v2 (`version | checksum | tag |
+//! body`), but the version byte is now **3** and the message set
+//! grew multi-tenant coordinates:
+//!
+//! * `Register` carries a stable `worker_id` (0 = anonymous) — the
+//!   key the service's health table tracks strikes and quarantine by;
+//! * `Grant`, `Delta`, `Proceed`, and `Finish` carry the `tenant` id
+//!   that scoped them, so one connection is always pinned to exactly
+//!   one tenant's campaign and a misrouted delta is a protocol
+//!   violation, not a merge hazard;
+//! * `Retry` (new) is the service's refusal: `after_grants` tells the
+//!   worker when to re-register (a deadline in *grant cycles*, the
+//!   service's deterministic clock), `quarantined` says whether the
+//!   refusal was earned (strikes) or circumstantial (worker cap).
+//!
+//! A quarantined worker is refused re-registration until the cooldown
+//! lapses; its range re-runs elsewhere from committed snapshots, so
+//! byzantine workers cost bandwidth, never correctness. Tenant
+//! budgets are enforced at the same boundaries the merge commits at:
+//! an exhausted tenant finishes its current boundary, folds what was
+//! committed, and releases its leases — bit-identical to an unlimited
+//! run halted at the same boundary.
 //!
 //! Because committed state only advances at full boundaries, a worker
 //! killed mid-lease loses exactly its uncommitted epochs: the
@@ -48,17 +85,25 @@
 //! campaign result does not change — the failure matrix is part of
 //! the determinism contract, not an exception to it.
 
+pub mod budget;
 pub mod coordinator;
+pub mod health;
 pub mod lease;
+pub mod service;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use budget::{BudgetTracker, BudgetUsage, OverflowKind, TenantQuota};
 pub use coordinator::{Coordinator, CoordinatorOpts, FabricStats};
+pub use health::{Admission, HealthOpts, HealthTable, StrikeKind};
 pub use lease::LeaseTable;
+pub use service::{ServiceOpts, ServiceStats, TenantResult, TenantService, TenantSpec};
 pub use transport::{ChannelTransport, FaultyTransport, TcpTransport, Transport};
 pub use wire::{DeltaKind, DeltaPayload, Grant, Message};
-pub use worker::{run_worker, GrantHook, WorkerOpts, WorkerSummary};
+pub use worker::{
+    flap_worker, run_worker, FlapOutcome, GrantHook, RetryAdvice, WorkerOpts, WorkerSummary,
+};
 
 use kgpt_fuzzer::CheckpointError;
 use std::fmt;

@@ -1,0 +1,651 @@
+//! The multi-tenant campaign service: several named campaigns share
+//! one coordinator process and one worker pool.
+//!
+//! [`TenantService`] runs N admitted [`TenantSpec`]s concurrently.
+//! Each tenant is a full, independent campaign — its own
+//! [`CampaignConfig`], spec fingerprint, [`LeaseTable`], barrier
+//! stash, and [`CampaignMerge`] — multiplexed over tenant-tagged v3
+//! wire frames, so each tenant's merged result stays **bit-identical**
+//! to its own single-process reference run no matter how workers come
+//! and go or how the pool is shared.
+//!
+//! Three service-level policies sit on top of the per-tenant protocol:
+//!
+//! * **budgets** ([`BudgetTracker`]) — exec / wall-time / delta-byte
+//!   quotas are charged at every boundary commit and checked *only*
+//!   there: an exhausted tenant finishes the boundary it is on, folds
+//!   the committed state ([`CampaignMerge::finish_early`]), sends its
+//!   workers `Finish`, and releases its leases — graceful
+//!   termination, never a mid-epoch abort, and the truncated result
+//!   is bit-identical to an unlimited run halted at the same
+//!   boundary;
+//! * **fair-share scheduling** — vacant range slots are offered to
+//!   registrants by deterministic round-robin over tenants in
+//!   tenant-id order, so one greedy tenant cannot starve another of
+//!   workers;
+//! * **worker supervision** ([`HealthTable`]) — rejected frames,
+//!   revoked patches, and lease expiries (including disconnecting
+//!   mid-lease, the flapping pattern) earn strikes against the stable
+//!   `worker_id`; at the strike limit the worker is quarantined and
+//!   refused re-registration (`Retry { quarantined: true }`) for a
+//!   cooldown measured in grant cycles; registrations beyond the
+//!   worker cap are parked (`Retry { quarantined: false }`), not
+//!   dropped.
+
+use crate::budget::{BudgetTracker, BudgetUsage, TenantQuota};
+use crate::coordinator::FabricStats;
+use crate::health::{Admission, HealthOpts, HealthTable, StrikeKind};
+use crate::lease::LeaseTable;
+use crate::transport::Transport;
+use crate::wire::{DeltaPayload, Grant, Message};
+use crate::FabricError;
+use kgpt_fuzzer::fabric::{apply_patches, CampaignMerge, EpochDelta};
+use kgpt_fuzzer::{CampaignConfig, CampaignResult};
+use std::time::{Duration, Instant};
+
+/// One tenant's admission request: a named campaign with its own
+/// config, shard split, spec fingerprint, and declared quota.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Human-readable campaign name (reporting only — the wire
+    /// carries the numeric tenant id).
+    pub name: String,
+    /// The campaign config (the deterministic identity).
+    pub config: CampaignConfig,
+    /// Logical shard count; must match the single-process reference.
+    pub shards: u32,
+    /// Worker range slots to split the shards into.
+    pub workers: u32,
+    /// Spec fingerprint workers must resolve for this tenant.
+    pub spec_fp: u64,
+    /// Declared resource quota; default is unlimited.
+    pub quota: TenantQuota,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOpts {
+    /// Lease deadline budget, shared by every tenant's table.
+    pub lease_timeout: Duration,
+    /// Worker supervision thresholds.
+    pub health: HealthOpts,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> ServiceOpts {
+        ServiceOpts {
+            lease_timeout: Duration::from_secs(5),
+            health: HealthOpts::default(),
+        }
+    }
+}
+
+/// One tenant's final accounting.
+#[derive(Debug, Clone)]
+pub struct TenantResult {
+    /// The tenant id (admission order).
+    pub tenant: u32,
+    /// The campaign name from the spec.
+    pub name: String,
+    /// The merged campaign result — bit-identical to the tenant's
+    /// single-process reference halted at the same boundary.
+    pub result: CampaignResult,
+    /// True when the campaign was terminated by budget overflow
+    /// rather than running its config to completion.
+    pub budget_exhausted: bool,
+    /// Boundaries committed for this tenant.
+    pub boundaries: u64,
+    /// Final budget usage vs declared quota.
+    pub usage: BudgetUsage,
+    /// The tenant's wire/merge counters.
+    pub stats: FabricStats,
+}
+
+/// Service-wide scheduling and supervision counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Lease grants issued across all tenants.
+    pub grants: u64,
+    /// Grants per tenant, indexed by tenant id — the fairness
+    /// evidence (round-robin keeps these within each tenant's demand
+    /// of one another).
+    pub grants_per_tenant: Vec<u64>,
+    /// Registrations parked over the worker cap (`Retry` sent).
+    pub parked: u64,
+    /// Registrations refused because the worker was quarantined.
+    pub quarantine_refusals: u64,
+    /// Quarantines imposed by the health table.
+    pub quarantines: u64,
+}
+
+struct Conn {
+    transport: Box<dyn Transport>,
+    /// The last frame this connection must be able to receive again
+    /// (grant, then latest `Proceed`/`Finish`); re-sent verbatim on
+    /// duplicate deliveries.
+    last_reply: Vec<u8>,
+    /// The stable worker id from `Register` (0 = anonymous).
+    worker_id: u64,
+}
+
+struct Arrival {
+    transport: Box<dyn Transport>,
+    /// Grant-cycle count until which this parked arrival is not
+    /// re-considered (avoids re-refusing it every poll).
+    parked_until: Option<u64>,
+}
+
+struct Tenant {
+    name: String,
+    spec_fp: u64,
+    budget: BudgetTracker,
+    /// `Some` while the campaign runs; taken at fold time.
+    merge: Option<CampaignMerge>,
+    table: LeaseTable,
+    conns: Vec<Option<Conn>>,
+    stash: Vec<Option<Vec<EpochDelta>>>,
+    stats: FabricStats,
+    started: Instant,
+    done: Option<TenantResult>,
+}
+
+/// Per-connection receive poll (kept short so one slow worker cannot
+/// starve another tenant's frames).
+const POLL: Duration = Duration::from_millis(2);
+
+impl Tenant {
+    fn new(spec: TenantSpec) -> Tenant {
+        let merge = CampaignMerge::new(spec.config, spec.shards);
+        let table = LeaseTable::new(spec.shards, spec.workers);
+        let slots = table.len();
+        Tenant {
+            name: spec.name,
+            spec_fp: spec.spec_fp,
+            budget: BudgetTracker::new(spec.quota),
+            merge: Some(merge),
+            table,
+            conns: (0..slots).map(|_| None).collect(),
+            stash: (0..slots).map(|_| None).collect(),
+            stats: FabricStats::default(),
+            started: Instant::now(),
+            done: None,
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.done.is_none()
+    }
+
+    fn seated(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Revoke lapsed leases; a disconnect-with-lease and a silent
+    /// stall both land here, and both are strikes.
+    fn expire_leases(&mut self, now: Instant, health: &mut HealthTable) {
+        while let Some(slot) = self.table.expired_slot(now) {
+            self.table.revoke(slot);
+            if let Some(conn) = self.conns[slot].take() {
+                health.strike(conn.worker_id, StrikeKind::LeaseExpiry);
+            }
+        }
+    }
+
+    /// Poll every leased connection for one frame and route it —
+    /// the tenant-scoped version of the coordinator's delta loop,
+    /// with strikes on every protocol violation.
+    fn poll_deltas(&mut self, tenant: u32, lease_timeout: Duration, health: &mut HealthTable) {
+        let Some(target) = self.merge.as_ref().map(|m| m.epochs_done() + 1) else {
+            return;
+        };
+        for slot in 0..self.conns.len() {
+            let Some(conn) = &mut self.conns[slot] else {
+                continue;
+            };
+            let worker_id = conn.worker_id;
+            let frame = match conn.transport.recv_timeout(POLL) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => continue,
+                Err(_) => {
+                    // Disconnect mid-lease: the flapping pattern. The
+                    // range returns to the pool; the worker id earns
+                    // a strike.
+                    self.table.revoke(slot);
+                    self.conns[slot] = None;
+                    health.strike(worker_id, StrikeKind::LeaseExpiry);
+                    continue;
+                }
+            };
+            match Message::from_frame(&frame) {
+                Ok(Message::Delta {
+                    tenant: echoed,
+                    lease_id,
+                    boundary,
+                    deltas,
+                }) => {
+                    if echoed != tenant {
+                        // A delta for another tenant on this tenant's
+                        // connection is a protocol violation: drop the
+                        // lease, strike the worker, keep the campaign.
+                        self.stats.rejected_frames += 1;
+                        self.table.revoke(slot);
+                        self.conns[slot] = None;
+                        health.strike(worker_id, StrikeKind::RevokedPatch);
+                        continue;
+                    }
+                    if self.table.lease(slot).map(|l| l.id) != Some(lease_id) {
+                        continue; // stale lease echo
+                    }
+                    if boundary < target {
+                        // Already merged: idempotent re-ack.
+                        self.stats.redelivered_frames += 1;
+                        let reply = conn.last_reply.clone();
+                        if conn.transport.send(&reply).is_err() {
+                            self.table.revoke(slot);
+                            self.conns[slot] = None;
+                            health.strike(worker_id, StrikeKind::LeaseExpiry);
+                            continue;
+                        }
+                        self.table.renew(slot, Instant::now(), lease_timeout);
+                    } else if boundary == target {
+                        let (lo, hi) = self.table.range(slot);
+                        let covers_range = deltas.len() == (hi - lo) as usize
+                            && deltas
+                                .shard_ids()
+                                .into_iter()
+                                .zip(lo..hi)
+                                .all(|(d, id)| d == id);
+                        if !covers_range {
+                            self.stats.rejected_frames += 1;
+                            self.table.revoke(slot);
+                            self.conns[slot] = None;
+                            health.strike(worker_id, StrikeKind::RevokedPatch);
+                            continue;
+                        }
+                        if self.stash[slot].is_none() {
+                            // Resolve increments against the committed
+                            // previous boundary at stash time — same
+                            // contract as the single-tenant
+                            // coordinator.
+                            let resolved = match deltas {
+                                DeltaPayload::Full(d) => d,
+                                DeltaPayload::Incremental(patches) => {
+                                    let base = self
+                                        .merge
+                                        .as_ref()
+                                        .expect("active tenant has merge")
+                                        .snapshots(lo, hi);
+                                    match apply_patches(&base, patches) {
+                                        Ok(d) => d,
+                                        Err(_) => {
+                                            self.stats.rejected_frames += 1;
+                                            self.table.revoke(slot);
+                                            self.conns[slot] = None;
+                                            health.strike(worker_id, StrikeKind::RevokedPatch);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            };
+                            self.stats.delta_bytes += frame.len() as u64;
+                            self.budget.charge_delta_bytes(frame.len() as u64);
+                            self.stash[slot] = Some(resolved);
+                        } else {
+                            self.stats.redelivered_frames += 1;
+                        }
+                        self.table.renew(slot, Instant::now(), lease_timeout);
+                    }
+                }
+                Ok(Message::Register { .. }) => {
+                    // The grant (or a reply) never arrived: resend the
+                    // cached frame.
+                    self.stats.redelivered_frames += 1;
+                    let reply = conn.last_reply.clone();
+                    if conn.transport.send(&reply).is_err() {
+                        self.table.revoke(slot);
+                        self.conns[slot] = None;
+                        health.strike(worker_id, StrikeKind::LeaseExpiry);
+                        continue;
+                    }
+                    self.table.renew(slot, Instant::now(), lease_timeout);
+                }
+                Ok(_) => {} // coordinator-bound messages only
+                Err(_) => {
+                    // Checksum/decode failure: a byzantine (or
+                    // damaged) frame. Count it, strike the sender; if
+                    // this strike quarantined the worker, cut the
+                    // connection so the range re-runs on a healthy
+                    // one.
+                    self.stats.rejected_frames += 1;
+                    if health.strike(worker_id, StrikeKind::RejectedFrame) {
+                        self.table.revoke(slot);
+                        self.conns[slot] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// If every range delivered its boundary delta, commit: merge in
+    /// shard-id order, charge the budget, and either proceed,
+    /// finish naturally, or terminate gracefully on overflow.
+    fn try_commit(&mut self, tenant: u32, lease_timeout: Duration) -> Result<(), FabricError> {
+        if !self.stash.iter().all(Option::is_some) {
+            return Ok(());
+        }
+        let deltas: Vec<EpochDelta> = self
+            .stash
+            .iter_mut()
+            .flat_map(|s| s.take().expect("stash checked full"))
+            .collect();
+        let merge = self.merge.as_mut().expect("active tenant has merge");
+        let merged_at = Instant::now();
+        let outcome = merge.apply_boundary(deltas)?;
+        self.stats.merge_nanos = self
+            .stats
+            .merge_nanos
+            .saturating_add(u64::try_from(merged_at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.stats.boundaries += 1;
+        let boundary = merge.epochs_done();
+        // Charge the budget at the boundary — the only place overflow
+        // is ever observed, so termination is always boundary-aligned.
+        self.budget.record_execs(merge.execs_done());
+        self.budget
+            .record_wall_ms(u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX));
+        let exhausted = !outcome.finished && self.budget.overflow().is_some();
+        if outcome.finished || exhausted {
+            // Natural finish and graceful budget termination share
+            // one path: every worker is barrier-waiting on this
+            // boundary's ack, so `Finish` releases them all cleanly.
+            let frame = Message::Finish { tenant, boundary }.to_frame();
+            for entry in &mut self.conns {
+                if let Some(conn) = entry {
+                    let _ = conn.transport.send(&frame);
+                }
+                *entry = None;
+            }
+            self.stats.expired_leases = self.table.expired();
+            let merge = self.merge.take().expect("active tenant has merge");
+            let result = if outcome.finished {
+                merge.finish()?
+            } else {
+                merge.finish_early()?
+            };
+            self.done = Some(TenantResult {
+                tenant,
+                name: self.name.clone(),
+                result,
+                budget_exhausted: exhausted,
+                boundaries: boundary,
+                usage: self.budget.usage(),
+                stats: self.stats,
+            });
+        } else {
+            let frame = Message::Proceed {
+                tenant,
+                boundary,
+                seeds: outcome.seeds,
+            }
+            .to_frame();
+            for (slot, entry) in self.conns.iter_mut().enumerate() {
+                let Some(conn) = entry else { continue };
+                if conn.transport.send(&frame).is_err() {
+                    self.table.revoke(slot);
+                    *entry = None;
+                    continue;
+                }
+                conn.last_reply.clone_from(&frame);
+                self.table.renew(slot, Instant::now(), lease_timeout);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The multi-tenant campaign service. Admit tenants with
+/// [`TenantService::admit`], then drive every campaign to completion
+/// with [`TenantService::run`].
+pub struct TenantService {
+    opts: ServiceOpts,
+    tenants: Vec<Tenant>,
+    health: HealthTable,
+    stats: ServiceStats,
+    /// Round-robin cursor: the tenant id the next vacant-slot search
+    /// starts from.
+    rr_next: usize,
+}
+
+impl TenantService {
+    /// A fresh service with no tenants.
+    #[must_use]
+    pub fn new(opts: ServiceOpts) -> TenantService {
+        TenantService {
+            opts,
+            tenants: Vec::new(),
+            health: HealthTable::new(opts.health),
+            stats: ServiceStats::default(),
+            rr_next: 0,
+        }
+    }
+
+    /// Admit a tenant; returns its id (admission order, and the
+    /// `tenant` tag on every frame it owns).
+    pub fn admit(&mut self, spec: TenantSpec) -> u32 {
+        let id = u32::try_from(self.tenants.len()).expect("tenant id fits u32");
+        self.tenants.push(Tenant::new(spec));
+        self.stats.grants_per_tenant.push(0);
+        id
+    }
+
+    /// Admitted tenant count.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Drive every admitted campaign to completion. `accept` is
+    /// polled for a new worker connection only while some active
+    /// tenant has a vacant range slot (same backlog discipline as the
+    /// single-tenant [`crate::Coordinator`]).
+    ///
+    /// Returns every tenant's [`TenantResult`] in tenant-id order,
+    /// plus the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FabricError`] only on an unrecoverable protocol
+    /// violation; wire damage, worker loss, and byzantine workers are
+    /// absorbed by the lease + supervision machinery.
+    pub fn run(
+        mut self,
+        accept: &mut dyn FnMut() -> Option<Box<dyn Transport>>,
+    ) -> Result<(Vec<TenantResult>, ServiceStats), FabricError> {
+        if self.tenants.is_empty() {
+            return Ok((Vec::new(), self.stats));
+        }
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        loop {
+            let now = Instant::now();
+            for t in &mut self.tenants {
+                if t.active() {
+                    t.expire_leases(now, &mut self.health);
+                }
+            }
+            self.seat_registrants(&mut arrivals, accept);
+            for tid in 0..self.tenants.len() {
+                if !self.tenants[tid].active() {
+                    continue;
+                }
+                let tenant = u32::try_from(tid).expect("tenant id fits u32");
+                self.tenants[tid].poll_deltas(tenant, self.opts.lease_timeout, &mut self.health);
+                self.tenants[tid].try_commit(tenant, self.opts.lease_timeout)?;
+            }
+            if self.tenants.iter().all(|t| t.done.is_some()) {
+                let mut stats = self.stats;
+                stats.quarantines = self.health.quarantines();
+                let results = self
+                    .tenants
+                    .into_iter()
+                    .map(|t| t.done.expect("all tenants done"))
+                    .collect();
+                return Ok((results, stats));
+            }
+        }
+    }
+
+    /// Workers holding a connection across all tenants — the seated
+    /// count the worker cap is enforced against.
+    fn seated_total(&self) -> usize {
+        self.tenants.iter().map(Tenant::seated).sum()
+    }
+
+    /// The next tenant owed a worker: round-robin from the cursor
+    /// over active tenants with a vacant slot, in tenant-id order —
+    /// deterministic and starvation-free.
+    fn next_vacancy(&self) -> Option<usize> {
+        let n = self.tenants.len();
+        for off in 0..n {
+            let tid = (self.rr_next + off) % n;
+            let t = &self.tenants[tid];
+            if t.active() && t.table.vacant_slot().is_some() {
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    /// Fill vacant range slots fairly: drain `Register`s from queued
+    /// arrivals through admission control, pulling new connections
+    /// from `accept` only while a slot still wants one.
+    fn seat_registrants(
+        &mut self,
+        arrivals: &mut Vec<Arrival>,
+        accept: &mut dyn FnMut() -> Option<Box<dyn Transport>>,
+    ) {
+        while let Some(tid) = self.next_vacancy() {
+            let mut seated = false;
+            let mut i = 0;
+            while i < arrivals.len() {
+                if arrivals[i]
+                    .parked_until
+                    .is_some_and(|until| self.health.grant_cycles() < until)
+                {
+                    i += 1; // still cooling down from its park
+                    continue;
+                }
+                match arrivals[i].transport.recv_timeout(POLL) {
+                    Ok(Some(frame)) => match Message::from_frame(&frame) {
+                        Ok(Message::Register { worker_id }) => {
+                            match self.health.admit(worker_id, self.seated_total()) {
+                                Admission::Admit => {
+                                    let arrival = arrivals.remove(i);
+                                    self.grant(tid, worker_id, arrival.transport);
+                                    seated = true;
+                                    break;
+                                }
+                                Admission::Quarantined { remaining } => {
+                                    // Refused for the cooldown: tell
+                                    // the worker when to come back,
+                                    // then cut the connection.
+                                    self.stats.quarantine_refusals += 1;
+                                    let refusal = Message::Retry {
+                                        after_grants: remaining,
+                                        quarantined: true,
+                                    }
+                                    .to_frame();
+                                    let mut arrival = arrivals.remove(i);
+                                    let _ = arrival.transport.send(&refusal);
+                                }
+                                Admission::Parked { retry_after } => {
+                                    // Over the worker cap: shed load
+                                    // by parking, not dropping — the
+                                    // connection stays queued and is
+                                    // reconsidered once the retry-
+                                    // after lapses.
+                                    self.stats.parked += 1;
+                                    let parked = Message::Retry {
+                                        after_grants: retry_after,
+                                        quarantined: false,
+                                    }
+                                    .to_frame();
+                                    if arrivals[i].transport.send(&parked).is_err() {
+                                        arrivals.remove(i);
+                                    } else {
+                                        arrivals[i].parked_until =
+                                            Some(self.health.grant_cycles() + retry_after);
+                                        i += 1;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(_) => i += 1,
+                        Err(_) => i += 1, // pre-registration damage: ignore
+                    },
+                    Ok(None) => i += 1,
+                    Err(_) => {
+                        arrivals.remove(i);
+                    }
+                }
+            }
+            if seated {
+                continue;
+            }
+            // Give a pending (non-parked) arrival time to register
+            // before racing another accept against it.
+            if arrivals.iter().any(|a| {
+                a.parked_until
+                    .is_none_or(|until| self.health.grant_cycles() >= until)
+            }) {
+                break;
+            }
+            match accept() {
+                Some(transport) => arrivals.push(Arrival {
+                    transport,
+                    parked_until: None,
+                }),
+                None => break,
+            }
+        }
+    }
+
+    /// Grant `tid`'s first vacant slot to `transport`: lease it, send
+    /// the tenant-tagged grant, install the connection, tick the
+    /// grant-cycle clock, and advance the round-robin cursor.
+    fn grant(&mut self, tid: usize, worker_id: u64, mut transport: Box<dyn Transport>) {
+        let tenant = u32::try_from(tid).expect("tenant id fits u32");
+        let lease_timeout = self.opts.lease_timeout;
+        let t = &mut self.tenants[tid];
+        let slot = t.table.vacant_slot().expect("caller checked vacancy");
+        let (lo, hi) = t.table.range(slot);
+        let lease_id = t.table.grant(slot, Instant::now(), lease_timeout);
+        let merge = t.merge.as_ref().expect("active tenant has merge");
+        let frame = Message::Grant(Grant {
+            tenant,
+            lease_id,
+            slot: u32::try_from(slot).expect("slot fits u32"),
+            shard_lo: lo,
+            shard_hi: hi,
+            shards_total: merge.shards_total(),
+            boundary: merge.epochs_done(),
+            lease_timeout_ms: u64::try_from(lease_timeout.as_millis()).unwrap_or(u64::MAX),
+            spec_fp: t.spec_fp,
+            config: merge.config().clone(),
+            snapshots: merge.snapshots(lo, hi),
+        })
+        .to_frame();
+        if transport.send(&frame).is_ok() {
+            t.conns[slot] = Some(Conn {
+                transport,
+                last_reply: frame,
+                worker_id,
+            });
+            self.health.note_grant();
+            self.stats.grants += 1;
+            self.stats.grants_per_tenant[tid] += 1;
+            self.rr_next = (tid + 1) % self.tenants.len();
+        } else {
+            // Dead before the grant ever left: back to the pool.
+            t.table.revoke(slot);
+        }
+    }
+}

@@ -229,9 +229,11 @@ impl Transport for TcpTransport {
 /// Wraps a transport and applies a [`FaultPlan`]'s wire faults to the
 /// **outbound** direction: the n-th outbound frame (0-based, counted
 /// across the connection's lifetime) can be silently dropped
-/// (`Fault::DropFrame`) or sent twice (`Fault::DuplicateFrame`).
-/// Inbound frames pass through untouched — a peer's losses are
-/// modeled by that peer's own plan.
+/// (`Fault::DropFrame`), sent twice (`Fault::DuplicateFrame`), or
+/// sent with a flipped byte (`Fault::ByzantineFrames` — the receiver's
+/// wire checksum must reject it and the sender's resend loop must
+/// recover). Inbound frames pass through untouched — a peer's losses
+/// are modeled by that peer's own plan.
 pub struct FaultyTransport<T: Transport> {
     inner: T,
     plan: FaultPlan,
@@ -255,6 +257,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         let nth = self.sent;
         self.sent += 1;
         if self.plan.drop_frame(nth) {
+            return Ok(());
+        }
+        if self.plan.byzantine_frame(nth) && !frame.is_empty() {
+            // Flip one bit mid-frame: the checksum no longer matches,
+            // so the receiver must reject the frame (and, in the
+            // multi-tenant service, score a strike).
+            let mut corrupt = frame.to_vec();
+            let mid = corrupt.len() / 2;
+            corrupt[mid] ^= 0x40;
+            self.inner.send(&corrupt)?;
+            if self.plan.duplicate_frame(nth) {
+                self.inner.send(&corrupt)?;
+            }
             return Ok(());
         }
         self.inner.send(frame)?;
@@ -372,6 +387,121 @@ mod tests {
         // 3 attempts sleep 5ms + 10ms between them; well under a
         // second even on a loaded machine.
         assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn tcp_rejects_an_oversized_length_prefix_before_allocating() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // Path 1: the poisoned prefix is the very first thing on the
+        // stream.
+        let client = std::thread::spawn(move || {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let huge = u32::try_from(MAX_FRAME + 1).unwrap();
+            raw.write_all(&huge.to_le_bytes()).unwrap();
+            raw.flush().unwrap();
+            // Keep the stream open so the server error is the length
+            // check, not a disconnect.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream);
+        let err = t
+            .recv_timeout(Duration::from_secs(5))
+            .expect_err("oversized prefix must be rejected, not allocated");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        client.join().unwrap();
+
+        // Path 2: the poisoned prefix rides the buffer *behind* a
+        // valid frame (coalesced into one segment), so it is seen by
+        // the buffered continuation, not the initial read.
+        let client = std::thread::spawn(move || {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&2u32.to_le_bytes());
+            bytes.extend_from_slice(b"ok");
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+            raw.write_all(&bytes).unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::new(stream);
+        let good = t.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(good, b"ok");
+        let err = t
+            .recv_timeout(Duration::from_secs(5))
+            .expect_err("buffered oversized prefix must be rejected too");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn connect_with_backoff_follows_the_deterministic_schedule() {
+        // A port with no listener refuses instantly, so the elapsed
+        // time is dominated by the between-attempt sleeps: base
+        // doubling under the cap gives 10 + 15 + 15 = 40ms for four
+        // attempts (three sleeps).
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let started = Instant::now();
+        let err = TcpTransport::connect_with_backoff(
+            addr,
+            4,
+            Duration::from_millis(10),
+            Duration::from_millis(15),
+        );
+        let elapsed = started.elapsed();
+        assert!(err.is_err(), "no listener ever appears");
+        assert!(
+            elapsed >= Duration::from_millis(40),
+            "schedule floor (3 sleeps summing 40ms) not honored: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "schedule must stay bounded: {elapsed:?}"
+        );
+
+        // A single attempt never sleeps: the refusal comes back well
+        // under the base delay.
+        let started = Instant::now();
+        let err = TcpTransport::connect_with_backoff(
+            addr,
+            1,
+            Duration::from_secs(10),
+            Duration::from_secs(10),
+        );
+        assert!(err.is_err());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "one attempt must not enter the backoff sleep"
+        );
+    }
+
+    #[test]
+    fn faulty_transport_corrupts_the_planned_byzantine_frames() {
+        let (a, mut b) = ChannelTransport::pair();
+        let plan = FaultPlan::none().with(Fault::ByzantineFrames {
+            from_nth: 1,
+            count: 1,
+        });
+        let mut faulty = FaultyTransport::new(a, plan);
+        faulty.send(b"clean-0").unwrap();
+        faulty.send(b"clean-1").unwrap(); // corrupted in flight
+        faulty.send(b"clean-2").unwrap();
+        let f0 = b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap();
+        let f1 = b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap();
+        let f2 = b.recv_timeout(Duration::from_millis(50)).unwrap().unwrap();
+        assert_eq!(f0, b"clean-0");
+        assert_ne!(f1, b"clean-1", "planned frame must arrive damaged");
+        assert_eq!(
+            f1.len(),
+            b"clean-1".len(),
+            "corruption flips, never truncates"
+        );
+        assert_eq!(f2, b"clean-2");
     }
 
     #[test]

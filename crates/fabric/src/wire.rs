@@ -24,7 +24,11 @@ use kgpt_fuzzer::{CampaignConfig, HubSeed, ShardSnapshot};
 
 /// Frame format version. Bump on any layout change.
 /// v2: delta frames carry a [`DeltaKind`] tag (full vs incremental).
-pub const FRAME_VERSION: u32 = 2;
+/// v3: multi-tenant service — `Register` carries a stable worker id,
+/// grants/deltas/replies are tenant-tagged, and a new [`Message::Retry`]
+/// refuses a registration (quarantine or overload shedding) with a
+/// retry-after measured in grant cycles.
+pub const FRAME_VERSION: u32 = 3;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -58,6 +62,9 @@ fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, FabricError> {
 /// deterministically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Grant {
+    /// Tenant (campaign) this lease belongs to — admission order on
+    /// the service; always 0 under the single-tenant coordinator.
+    pub tenant: u32,
     /// Coordinator-assigned lease id; echoed back in every delta.
     pub lease_id: u64,
     /// Range slot index (== registration order == range order).
@@ -153,12 +160,31 @@ pub enum Message {
     /// Worker → coordinator: "I exist, lease me a range." Resent
     /// periodically until a [`Message::Grant`] arrives, so a dropped
     /// registration self-heals.
-    Register,
+    Register {
+        /// Stable worker identity across reconnects, chosen by the
+        /// worker (0 = anonymous). The multi-tenant service keys its
+        /// strike counters and quarantine on it; anonymous workers
+        /// are never quarantined (they cannot be re-identified).
+        worker_id: u64,
+    },
     /// Coordinator → worker: a range lease.
     Grant(Grant),
+    /// Coordinator → worker: registration refused for now — quarantine
+    /// cooldown or overload shedding. The worker is *parked*, not
+    /// dropped: it may re-register after `after_grants` further grant
+    /// cycles have been issued by the service.
+    Retry {
+        /// Grant cycles to wait before re-registering.
+        after_grants: u64,
+        /// True when the refusal is a quarantine (strike limit
+        /// reached); false when it is overload shedding (worker cap).
+        quarantined: bool,
+    },
     /// Worker → coordinator: one epoch's deltas for the whole range,
     /// at `boundary` (= grant boundary + epochs run since).
     Delta {
+        /// Tenant the lease belongs to (echoed from the grant).
+        tenant: u32,
         /// Lease the deltas belong to.
         lease_id: u64,
         /// The boundary these deltas complete.
@@ -170,14 +196,19 @@ pub enum Message {
     /// `seeds` (the hub's newly retained seeds) and run the next
     /// epoch.
     Proceed {
+        /// Tenant whose boundary merged.
+        tenant: u32,
         /// The boundary just merged.
         boundary: u64,
         /// Hub seeds retained at this boundary, in publication order.
         seeds: Vec<HubSeed>,
     },
-    /// Coordinator → worker: the final boundary merged; the campaign
-    /// is complete and the worker may exit.
+    /// Coordinator → worker: the final boundary merged — naturally or
+    /// by graceful budget exhaustion; the campaign is complete for
+    /// this tenant and the worker may exit.
     Finish {
+        /// Tenant whose campaign completed.
+        tenant: u32,
         /// The final boundary.
         boundary: u64,
     },
@@ -188,6 +219,7 @@ const TAG_GRANT: u8 = 2;
 const TAG_DELTA: u8 = 3;
 const TAG_PROCEED: u8 = 4;
 const TAG_FINISH: u8 = 5;
+const TAG_RETRY: u8 = 6;
 
 const KIND_FULL: u8 = 0;
 const KIND_INCREMENTAL: u8 = 1;
@@ -198,9 +230,13 @@ impl Message {
     pub fn to_frame(&self) -> Vec<u8> {
         let mut body = Vec::new();
         match self {
-            Message::Register => body.push(TAG_REGISTER),
+            Message::Register { worker_id } => {
+                body.push(TAG_REGISTER);
+                put_u64(&mut body, *worker_id);
+            }
             Message::Grant(g) => {
                 body.push(TAG_GRANT);
+                put_u32(&mut body, g.tenant);
                 put_u64(&mut body, g.lease_id);
                 put_u32(&mut body, g.slot);
                 put_u32(&mut body, g.shard_lo);
@@ -212,12 +248,22 @@ impl Message {
                 encode_config(&g.config, &mut body);
                 encode_snapshots(&g.snapshots, &mut body);
             }
+            Message::Retry {
+                after_grants,
+                quarantined,
+            } => {
+                body.push(TAG_RETRY);
+                put_u64(&mut body, *after_grants);
+                body.push(u8::from(*quarantined));
+            }
             Message::Delta {
+                tenant,
                 lease_id,
                 boundary,
                 deltas,
             } => {
                 body.push(TAG_DELTA);
+                put_u32(&mut body, *tenant);
                 put_u64(&mut body, *lease_id);
                 put_u64(&mut body, *boundary);
                 match deltas {
@@ -231,13 +277,19 @@ impl Message {
                     }
                 }
             }
-            Message::Proceed { boundary, seeds } => {
+            Message::Proceed {
+                tenant,
+                boundary,
+                seeds,
+            } => {
                 body.push(TAG_PROCEED);
+                put_u32(&mut body, *tenant);
                 put_u64(&mut body, *boundary);
                 encode_seeds(seeds, &mut body);
             }
-            Message::Finish { boundary } => {
+            Message::Finish { tenant, boundary } => {
                 body.push(TAG_FINISH);
+                put_u32(&mut body, *tenant);
                 put_u64(&mut body, *boundary);
             }
         }
@@ -276,8 +328,12 @@ impl Message {
         let bytes = body;
         let mut pos = 1usize;
         let msg = match tag {
-            TAG_REGISTER => Message::Register,
+            TAG_REGISTER => {
+                let worker_id = take_u64(bytes, &mut pos)?;
+                Message::Register { worker_id }
+            }
             TAG_GRANT => {
+                let tenant = take_u32(bytes, &mut pos)?;
                 let lease_id = take_u64(bytes, &mut pos)?;
                 let slot = take_u32(bytes, &mut pos)?;
                 let shard_lo = take_u32(bytes, &mut pos)?;
@@ -289,6 +345,7 @@ impl Message {
                 let config = decode_config(bytes, &mut pos)?;
                 let snapshots = decode_snapshots(bytes, &mut pos)?;
                 Message::Grant(Grant {
+                    tenant,
                     lease_id,
                     slot,
                     shard_lo,
@@ -301,7 +358,24 @@ impl Message {
                     snapshots,
                 })
             }
+            TAG_RETRY => {
+                let after_grants = take_u64(bytes, &mut pos)?;
+                let quarantined = *bytes
+                    .get(pos)
+                    .ok_or_else(|| FabricError::Protocol("truncated retry flag".into()))?;
+                pos += 1;
+                if quarantined > 1 {
+                    return Err(FabricError::Protocol(format!(
+                        "bad retry flag {quarantined}"
+                    )));
+                }
+                Message::Retry {
+                    after_grants,
+                    quarantined: quarantined == 1,
+                }
+            }
             TAG_DELTA => {
+                let tenant = take_u32(bytes, &mut pos)?;
                 let lease_id = take_u64(bytes, &mut pos)?;
                 let boundary = take_u64(bytes, &mut pos)?;
                 let kind = *bytes
@@ -310,27 +384,32 @@ impl Message {
                 pos += 1;
                 let deltas = match kind {
                     KIND_FULL => DeltaPayload::Full(decode_deltas(bytes, &mut pos)?),
-                    KIND_INCREMENTAL => {
-                        DeltaPayload::Incremental(decode_patches(bytes, &mut pos)?)
-                    }
+                    KIND_INCREMENTAL => DeltaPayload::Incremental(decode_patches(bytes, &mut pos)?),
                     k => {
                         return Err(FabricError::Protocol(format!("unknown delta kind {k}")));
                     }
                 };
                 Message::Delta {
+                    tenant,
                     lease_id,
                     boundary,
                     deltas,
                 }
             }
             TAG_PROCEED => {
+                let tenant = take_u32(bytes, &mut pos)?;
                 let boundary = take_u64(bytes, &mut pos)?;
                 let seeds = decode_seeds(bytes, &mut pos)?;
-                Message::Proceed { boundary, seeds }
+                Message::Proceed {
+                    tenant,
+                    boundary,
+                    seeds,
+                }
             }
             TAG_FINISH => {
+                let tenant = take_u32(bytes, &mut pos)?;
                 let boundary = take_u64(bytes, &mut pos)?;
-                Message::Finish { boundary }
+                Message::Finish { tenant, boundary }
             }
             t => return Err(FabricError::Protocol(format!("unknown frame tag {t}"))),
         };
@@ -356,11 +435,13 @@ mod tests {
         let patches = diff_boundary(&base, deltas.clone()).expect("diffable fixture");
         [
             Message::Delta {
+                tenant: 1,
                 lease_id: 5,
                 boundary: 2,
                 deltas: DeltaPayload::Full(deltas),
             },
             Message::Delta {
+                tenant: 1,
                 lease_id: 5,
                 boundary: 2,
                 deltas: DeltaPayload::Incremental(patches),
@@ -371,23 +452,41 @@ mod tests {
     #[test]
     fn control_messages_round_trip() {
         for msg in [
-            Message::Register,
+            Message::Register { worker_id: 0 },
+            Message::Register {
+                worker_id: 0xC0FFEE,
+            },
+            Message::Retry {
+                after_grants: 12,
+                quarantined: true,
+            },
+            Message::Retry {
+                after_grants: 3,
+                quarantined: false,
+            },
             Message::Proceed {
+                tenant: 2,
                 boundary: 9,
                 seeds: Vec::new(),
             },
-            Message::Finish { boundary: 17 },
+            Message::Finish {
+                tenant: 2,
+                boundary: 17,
+            },
             Message::Delta {
+                tenant: 0,
                 lease_id: 3,
                 boundary: 4,
                 deltas: DeltaPayload::Full(Vec::new()),
             },
             Message::Delta {
+                tenant: 0,
                 lease_id: 3,
                 boundary: 4,
                 deltas: DeltaPayload::Incremental(Vec::new()),
             },
             Message::Grant(Grant {
+                tenant: 7,
                 lease_id: 1,
                 slot: 0,
                 shard_lo: 0,
@@ -419,7 +518,11 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_rejected() {
-        let frame = Message::Finish { boundary: 42 }.to_frame();
+        let frame = Message::Finish {
+            tenant: 1,
+            boundary: 42,
+        }
+        .to_frame();
         for byte in 0..frame.len() {
             for bit in 0..8 {
                 let mut damaged = frame.clone();
@@ -434,7 +537,7 @@ mod tests {
 
     #[test]
     fn truncated_and_oversized_frames_are_rejected() {
-        let frame = Message::Register.to_frame();
+        let frame = Message::Register { worker_id: 9 }.to_frame();
         for len in 0..frame.len() {
             assert!(Message::from_frame(&frame[..len]).is_err(), "len {len}");
         }

@@ -34,6 +34,10 @@ pub type GrantHook = Box<dyn FnMut(u32, u32, u32, u64)>;
 
 /// Worker tuning and fault injection.
 pub struct WorkerOpts {
+    /// Stable worker identity echoed in `Register`, keyed by the
+    /// multi-tenant service's health table (strikes, quarantine).
+    /// 0 = anonymous: never tracked, never quarantined.
+    pub worker_id: u64,
     /// Faults to inject (wire faults wrap the transport; kill/stall
     /// faults hook the epoch loop).
     pub faults: FaultPlan,
@@ -61,6 +65,7 @@ pub struct WorkerOpts {
 impl Default for WorkerOpts {
     fn default() -> WorkerOpts {
         WorkerOpts {
+            worker_id: 0,
             faults: FaultPlan::none(),
             reply_timeout: Duration::from_secs(1),
             max_resends: 240,
@@ -70,6 +75,18 @@ impl Default for WorkerOpts {
             force_full_deltas: false,
         }
     }
+}
+
+/// The service's refusal advice, lifted from a `Retry` frame: when to
+/// come back (in grant cycles) and whether the refusal was a
+/// quarantine (strikes) rather than overload shedding (worker cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAdvice {
+    /// Re-register after this many further grant cycles.
+    pub after_grants: u64,
+    /// True when refused by quarantine; false when parked over the
+    /// worker cap.
+    pub quarantined: bool,
 }
 
 /// How a worker's session ended.
@@ -83,6 +100,9 @@ pub struct WorkerSummary {
     pub slot: Option<u32>,
     /// Boundaries this worker ran epochs for (acknowledged or not).
     pub boundaries: u64,
+    /// Set when registration was refused with a `Retry` frame
+    /// (quarantine or overload shedding) instead of a grant.
+    pub retry: Option<RetryAdvice>,
 }
 
 fn surrender(slot: Option<u32>, boundaries: u64) -> WorkerSummary {
@@ -90,6 +110,7 @@ fn surrender(slot: Option<u32>, boundaries: u64) -> WorkerSummary {
         completed: false,
         slot,
         boundaries,
+        retry: None,
     }
 }
 
@@ -119,7 +140,10 @@ where
     // Register until granted: a dropped Register or a dropped Grant
     // both resolve through the resend (the coordinator re-sends the
     // cached grant to a re-registering connection).
-    let register = Message::Register.to_frame();
+    let register = Message::Register {
+        worker_id: opts.worker_id,
+    }
+    .to_frame();
     let grant: Grant = loop {
         if t.send(&register).is_err() {
             return Ok(surrender(None, 0));
@@ -128,6 +152,23 @@ where
             Ok(Some(frame)) => match Message::from_frame(&frame) {
                 Ok(Message::Grant(g)) => break g,
                 Ok(Message::Finish { .. }) => return Ok(surrender(None, 0)),
+                Ok(Message::Retry {
+                    after_grants,
+                    quarantined,
+                }) => {
+                    // Refused (quarantine or overload shedding): not
+                    // an error and not a surrender — report the advice
+                    // so the caller can back off and re-register.
+                    return Ok(WorkerSummary {
+                        completed: false,
+                        slot: None,
+                        boundaries: 0,
+                        retry: Some(RetryAdvice {
+                            after_grants,
+                            quarantined,
+                        }),
+                    });
+                }
                 Ok(_) | Err(_) => {} // corrupt or stray: resend recovers
             },
             Ok(None) => {}
@@ -200,6 +241,7 @@ where
             _ => DeltaPayload::Full(deltas),
         };
         let delta_frame = Message::Delta {
+            tenant: grant.tenant,
             lease_id: grant.lease_id,
             boundary,
             deltas: payload,
@@ -213,14 +255,19 @@ where
             match t.recv_timeout(opts.reply_timeout) {
                 Ok(Some(frame)) => match Message::from_frame(&frame) {
                     Ok(Message::Proceed {
+                        tenant,
                         boundary: acked,
                         seeds,
-                    }) if acked == boundary => break seeds,
-                    Ok(Message::Finish { boundary: acked }) if acked >= boundary => {
+                    }) if tenant == grant.tenant && acked == boundary => break seeds,
+                    Ok(Message::Finish {
+                        tenant,
+                        boundary: acked,
+                    }) if tenant == grant.tenant && acked >= boundary => {
                         return Ok(WorkerSummary {
                             completed: true,
                             slot,
                             boundaries: boundaries_run,
+                            retry: None,
                         })
                     }
                     // Stale duplicates (an earlier boundary's re-ack),
@@ -251,6 +298,64 @@ where
         baseline = Some(runner.snapshots());
         if let Some(cb) = opts.on_boundary.as_mut() {
             cb(boundary);
+        }
+    }
+}
+
+/// Outcome of one deliberate flap cycle (see [`flap_worker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlapOutcome {
+    /// A lease was granted on `slot` for `tenant` — and is about to
+    /// be abandoned without a single delta.
+    Granted {
+        /// The tenant the grant belonged to.
+        tenant: u32,
+        /// The granted range slot.
+        slot: u32,
+    },
+    /// Registration was refused with retry advice.
+    Refused(RetryAdvice),
+    /// The transport died (or timed out) before any reply.
+    Disconnected,
+}
+
+/// One **flap** cycle: register on `transport` under `worker_id`,
+/// wait up to `reply_timeout` for the service's reply, then drop the
+/// connection. A granted lease is abandoned without a single delta —
+/// which the service must score as a lease expiry (a strike), and
+/// enough of which must quarantine the worker id. Used by the chaos
+/// soak and the quarantine tests to drive the flapping-worker failure
+/// mode deterministically.
+pub fn flap_worker(
+    mut transport: Box<dyn Transport>,
+    worker_id: u64,
+    reply_timeout: Duration,
+) -> FlapOutcome {
+    let register = Message::Register { worker_id }.to_frame();
+    if transport.send(&register).is_err() {
+        return FlapOutcome::Disconnected;
+    }
+    loop {
+        match transport.recv_timeout(reply_timeout) {
+            Ok(Some(frame)) => match Message::from_frame(&frame) {
+                Ok(Message::Grant(g)) => {
+                    return FlapOutcome::Granted {
+                        tenant: g.tenant,
+                        slot: g.slot,
+                    }
+                }
+                Ok(Message::Retry {
+                    after_grants,
+                    quarantined,
+                }) => {
+                    return FlapOutcome::Refused(RetryAdvice {
+                        after_grants,
+                        quarantined,
+                    })
+                }
+                Ok(_) | Err(_) => {} // stray or corrupt: keep waiting
+            },
+            Ok(None) | Err(_) => return FlapOutcome::Disconnected,
         }
     }
 }

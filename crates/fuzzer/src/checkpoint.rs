@@ -512,7 +512,9 @@ pub(crate) fn take_word_diff(
                 }
                 let len = take_u32(bytes, pos)? as usize;
                 if len == 0 {
-                    return Err(CheckpointError::new(format!("empty word-diff run at {pos}")));
+                    return Err(CheckpointError::new(format!(
+                        "empty word-diff run at {pos}"
+                    )));
                 }
                 let mut words = Vec::new();
                 for _ in 0..len {

@@ -426,7 +426,9 @@ impl EpochPatch {
             gen_rng: snapshot.gen_rng,
             corpus_rng: snapshot.corpus_rng,
             corpus_stats: snapshot.corpus_stats,
-            cov_diff: snapshot.corpus_coverage.diff_words_since(&base.corpus_coverage),
+            cov_diff: snapshot
+                .corpus_coverage
+                .diff_words_since(&base.corpus_coverage),
             kept,
             added,
             crashes,
@@ -690,10 +692,7 @@ pub fn apply_patches(
             base.len()
         )));
     }
-    base.iter()
-        .zip(patches)
-        .map(|(b, p)| p.apply(b))
-        .collect()
+    base.iter().zip(patches).map(|(b, p)| p.apply(b)).collect()
 }
 
 /// Append a list of [`EpochPatch`]es (one incremental worker delta
@@ -751,12 +750,7 @@ pub fn sample_boundary() -> (Vec<ShardSnapshot>, Vec<EpochDelta>) {
     };
     let snap = |id: u32, epoch: u64, words: Vec<u64>, entries: Vec<CorpusEntry>| ShardSnapshot {
         id,
-        gen_rng: [
-            0x9E37_79B9_7F4A_7C15 ^ u64::from(id),
-            2,
-            3,
-            4 + epoch,
-        ],
+        gen_rng: [0x9E37_79B9_7F4A_7C15 ^ u64::from(id), 2, 3, 4 + epoch],
         corpus_rng: 0xD1B5_4A32_D192_ED03 ^ epoch,
         corpus_coverage: CoverageMap::from_words(words),
         corpus_entries: entries,
@@ -1069,6 +1063,22 @@ impl CampaignMerge {
         self.finished
     }
 
+    /// Executions the committed boundaries account for: the
+    /// campaign's total exec budget minus what the committed shard
+    /// snapshots still have remaining. Zero before the first boundary
+    /// commits; equal to `config.execs` once finished. A pure
+    /// function of `(config, shards, boundaries merged)` — identical
+    /// at any worker count — which makes it the deterministic coin a
+    /// per-tenant exec budget charges.
+    #[must_use]
+    pub fn execs_done(&self) -> u64 {
+        if self.committed.is_empty() {
+            return 0;
+        }
+        let remaining: u64 = self.committed.iter().map(|s| s.remaining).sum();
+        self.config.execs.saturating_sub(remaining)
+    }
+
     /// Committed boundary snapshots for shards `lo..hi` — what a
     /// grant for a reassigned range carries. Empty before the first
     /// boundary commits (a fresh grant: the worker builds fresh
@@ -1202,6 +1212,41 @@ impl CampaignMerge {
                 self.epochs_done
             )));
         }
+        let execs = self.config.execs;
+        Ok(self.fold(execs))
+    }
+
+    /// Fold the campaign at its **current committed boundary** —
+    /// graceful budget termination. The result is bit-identical to an
+    /// unlimited run of the same config halted at the same boundary
+    /// (same fold of the same committed snapshots), with `execs` set
+    /// to [`CampaignMerge::execs_done`]. Delegates to
+    /// [`CampaignMerge::finish`] when the final boundary has already
+    /// merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when no boundary has committed
+    /// yet — there is no state to fold, and terminating a tenant
+    /// before its first boundary would not be a boundary-aligned
+    /// truncation.
+    pub fn finish_early(self) -> Result<CampaignResult, CheckpointError> {
+        if self.finished {
+            return self.finish();
+        }
+        if self.committed.is_empty() {
+            return Err(CheckpointError::new(
+                "no boundary committed: nothing to fold early",
+            ));
+        }
+        let execs = self.execs_done();
+        Ok(self.fold(execs))
+    }
+
+    /// The shared result fold: merge the committed snapshots in
+    /// shard-id order — the same fold, in the same order, as the
+    /// single-process `ShardedCampaign`.
+    fn fold(self, execs: u64) -> CampaignResult {
         let mut coverage = CoverageMap::new();
         let mut crashes = CrashTally::new();
         let mut corpus_size = 0usize;
@@ -1215,14 +1260,72 @@ impl CampaignMerge {
             corpus_size += s.corpus_entries.len();
             fuel_exhausted += s.fuel_exhausted;
         }
-        Ok(CampaignResult {
+        CampaignResult {
             coverage,
             crashes,
-            execs: self.config.execs,
+            execs,
             corpus_size,
             triage: self.triage,
             fuel_exhausted,
-        })
+        }
+    }
+}
+
+/// What [`reference_run`] produced: the single-process reference a
+/// distributed (possibly budget-truncated) campaign is compared
+/// against bit-for-bit.
+#[derive(Debug)]
+pub struct ReferenceRun {
+    /// The merged result.
+    pub result: CampaignResult,
+    /// Boundaries merged before the run stopped.
+    pub boundaries: u64,
+    /// Whether an exec quota stopped the run before its natural final
+    /// boundary.
+    pub budget_exhausted: bool,
+}
+
+/// Drive a whole campaign through [`LeaseRunner`] + [`CampaignMerge`]
+/// in one process — the reference that any fabric execution of the
+/// same config must reproduce bit-identically at any worker count.
+///
+/// `exec_quota` is a per-campaign exec budget (`None` = unlimited):
+/// after each merged boundary, if the committed
+/// [`CampaignMerge::execs_done`] has reached the quota the run stops
+/// *at that boundary* and folds early — exactly the graceful
+/// budget-exhaustion termination the multi-tenant fabric service
+/// performs, so a starved tenant can be checked against this
+/// reference too.
+#[must_use]
+pub fn reference_run(
+    kernel: &VKernel,
+    lowered: &Arc<LoweredDb>,
+    config: &CampaignConfig,
+    shards: u32,
+    exec_quota: Option<u64>,
+) -> ReferenceRun {
+    let mut merge = CampaignMerge::new(config.clone(), shards);
+    let mut runner = LeaseRunner::fresh(lowered, config, shards, 0, shards);
+    loop {
+        let deltas = runner.run_epoch(kernel);
+        let outcome = merge.apply_boundary(deltas).expect("reference boundary");
+        if outcome.finished {
+            let boundaries = merge.epochs_done();
+            return ReferenceRun {
+                result: merge.finish().expect("reference finished"),
+                boundaries,
+                budget_exhausted: false,
+            };
+        }
+        if exec_quota.is_some_and(|quota| merge.execs_done() >= quota) {
+            let boundaries = merge.epochs_done();
+            return ReferenceRun {
+                result: merge.finish_early().expect("reference early fold"),
+                boundaries,
+                budget_exhausted: true,
+            };
+        }
+        runner.import(&outcome.seeds);
     }
 }
 

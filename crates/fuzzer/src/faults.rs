@@ -94,6 +94,38 @@ pub enum Fault {
         /// Boundary whose delta is delayed past the deadline.
         boundary: u64,
     },
+    /// Tenancy: tenant `tenant`'s exec quota is slashed so its budget
+    /// exhausts at boundary `boundary`. The service must finish that
+    /// boundary, emit a `budget_exhausted` result bit-identical to an
+    /// unlimited run halted at the same boundary, and release the
+    /// tenant's leases — never a mid-epoch abort.
+    BudgetStarve {
+        /// Victim tenant id (admission order).
+        tenant: u32,
+        /// Boundary at which the exec quota runs dry (1-based, like
+        /// the fabric boundary counter).
+        boundary: u64,
+    },
+    /// Tenancy: the faulty transport corrupts a run of outbound
+    /// frames (`from_nth..from_nth + count`, 0-based) by flipping one
+    /// byte in each — a byzantine worker. Every corrupt frame is
+    /// checksum-rejected and counted as a strike; enough strikes
+    /// quarantine the worker and reassign its range.
+    ByzantineFrames {
+        /// First outbound frame to corrupt.
+        from_nth: u64,
+        /// How many consecutive frames to corrupt.
+        count: u32,
+    },
+    /// Tenancy: a flapping worker registers, takes a grant, and
+    /// disconnects without running — `flaps` times in a row. Each
+    /// flap revokes a lease (a strike); at the strike limit the
+    /// worker is quarantined and its re-registrations refused for the
+    /// cooldown.
+    WorkerFlap {
+        /// How many register-then-disconnect cycles to perform.
+        flaps: u32,
+    },
 }
 
 /// A deterministic set of faults to inject into one campaign run.
@@ -225,6 +257,43 @@ impl FaultPlan {
         })
     }
 
+    /// The boundary at which tenant `tenant`'s exec budget runs dry,
+    /// if a [`Fault::BudgetStarve`] targets it (first match wins).
+    #[must_use]
+    pub fn budget_starve(&self, tenant: u32) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::BudgetStarve {
+                tenant: t,
+                boundary,
+            } if *t == tenant => Some(*boundary),
+            _ => None,
+        })
+    }
+
+    /// Whether the `nth` outbound frame of a faulty fabric transport
+    /// should be corrupted (one byte flipped) — byzantine behaviour
+    /// the receiver must checksum-reject and strike.
+    #[must_use]
+    pub fn byzantine_frame(&self, nth: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::ByzantineFrames { from_nth, count }
+                if (*from_nth..from_nth.saturating_add(u64::from(*count))).contains(&nth))
+        })
+    }
+
+    /// How many register-then-disconnect cycles a flapping worker
+    /// under this plan performs (summed over matching faults).
+    #[must_use]
+    pub fn worker_flaps(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::WorkerFlap { flaps } => *flaps,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Derive a fabric plan covering the whole distributed failure
     /// matrix from a seed: one dropped frame, one duplicated frame,
     /// one worker kill, and one stalled lease, at seed-chosen
@@ -249,6 +318,33 @@ impl FaultPlan {
             .with(Fault::StallLease {
                 worker: u32::try_from(rng.bounded(workers)).unwrap_or(0),
                 boundary: 1 + rng.bounded(boundaries),
+            })
+    }
+
+    /// Derive a multi-tenant **chaos plan** from a seed: the whole
+    /// fabric failure matrix of [`FaultPlan::fabric_from_seed`] plus
+    /// the tenancy faults — one budget-starved tenant (quota dry at a
+    /// seed-chosen non-final boundary), one byzantine frame burst,
+    /// and one flapping worker. A pure function of its inputs: the
+    /// same seed always composes the same chaos.
+    #[must_use]
+    pub fn chaos_from_seed(seed: u64, tenants: u32, boundaries: u64, workers: u32) -> FaultPlan {
+        let boundaries = boundaries.max(1);
+        let tenants = u64::from(tenants.max(1));
+        let mut rng = SplitMix64::new(seed ^ 0x43_48_41_4F_53); // "CHAOS"
+        FaultPlan::fabric_from_seed(seed, boundaries, workers)
+            .with(Fault::BudgetStarve {
+                tenant: u32::try_from(rng.bounded(tenants)).unwrap_or(0),
+                // Strictly before the natural final boundary, so the
+                // starved tenant really is truncated.
+                boundary: 1 + rng.bounded(boundaries.saturating_sub(1).max(1)),
+            })
+            .with(Fault::ByzantineFrames {
+                from_nth: 1 + rng.bounded(4),
+                count: 1 + u32::try_from(rng.bounded(3)).unwrap_or(0),
+            })
+            .with(Fault::WorkerFlap {
+                flaps: 1 + u32::try_from(rng.bounded(3)).unwrap_or(0),
             })
     }
 }
@@ -323,6 +419,58 @@ mod tests {
         assert!(plan.duplicate_frame(5) && !plan.duplicate_frame(3));
         assert!(plan.worker_kill(1, 2) && !plan.worker_kill(0, 2) && !plan.worker_kill(1, 3));
         assert!(plan.stall_lease(0, 4) && !plan.stall_lease(1, 4) && !plan.stall_lease(0, 2));
+    }
+
+    #[test]
+    fn seeded_chaos_plans_cover_the_tenancy_fault_matrix() {
+        let a = FaultPlan::chaos_from_seed(42, 3, 6, 2);
+        assert_eq!(a, FaultPlan::chaos_from_seed(42, 3, 6, 2));
+        assert_ne!(a, FaultPlan::chaos_from_seed(43, 3, 6, 2));
+        // The fabric matrix plus the three tenancy faults.
+        assert_eq!(a.faults().len(), 7);
+        let starved: Vec<u32> = a
+            .faults()
+            .iter()
+            .filter_map(|f| match f {
+                Fault::BudgetStarve { tenant, boundary } => {
+                    assert!(
+                        (1..6).contains(boundary),
+                        "starve before the final boundary"
+                    );
+                    Some(*tenant)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starved.len(), 1);
+        assert!(starved[0] < 3);
+        assert!(a.budget_starve(starved[0]).is_some());
+        assert!(a.worker_flaps() >= 1);
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::ByzantineFrames { .. })));
+    }
+
+    #[test]
+    fn tenancy_accessors_match_only_their_coordinates() {
+        let plan = FaultPlan::none()
+            .with(Fault::BudgetStarve {
+                tenant: 2,
+                boundary: 3,
+            })
+            .with(Fault::ByzantineFrames {
+                from_nth: 4,
+                count: 2,
+            })
+            .with(Fault::WorkerFlap { flaps: 3 });
+        assert_eq!(plan.budget_starve(2), Some(3));
+        assert_eq!(plan.budget_starve(1), None);
+        assert!(!plan.byzantine_frame(3));
+        assert!(plan.byzantine_frame(4) && plan.byzantine_frame(5));
+        assert!(!plan.byzantine_frame(6));
+        assert_eq!(plan.worker_flaps(), 3);
+        assert_eq!(FaultPlan::none().worker_flaps(), 0);
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub use campaign::{Campaign, CampaignConfig, CampaignResult, CrashTally, ShardSn
 pub use checkpoint::{CampaignSnapshot, CheckpointError};
 pub use corpus::{Corpus, CorpusEntry, CorpusStats};
 pub use exec::{execute, execute_with, ExecResult, ExecScratch};
-pub use fabric::{BoundaryOutcome, CampaignMerge, EpochDelta, EpochPatch, KeptEntry, LeaseRunner};
+pub use fabric::{
+    reference_run, BoundaryOutcome, CampaignMerge, EpochDelta, EpochPatch, KeptEntry, LeaseRunner,
+    ReferenceRun,
+};
 pub use faults::{Fault, FaultPlan};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};

@@ -32,6 +32,23 @@
 //! and the result does not change, which is exactly what the CI
 //! `fabric-smoke` job does to this binary.
 //!
+//! A worker that never reaches a coordinator at all exits with
+//! status 1 and a named `FABRIC_UNREACHABLE` error once its
+//! connection-attempt budget is spent — a dead address is an
+//! operator error, not a finished campaign.
+//!
+//! The third role, `soak`, is the multi-tenant chaos soak: three
+//! tenants (one budget-starved) share one in-process
+//! `TenantService` and a worker pool that is flapped, fed byzantine
+//! frames, starved of frames, and killed mid-lease. It prints one
+//! `REFERENCE` and one `RESULT` line per tenant with the identical
+//! field set — the CI `chaos-soak` job diffs the two — and exits
+//! nonzero if any tenant diverges from its single-process reference:
+//!
+//! ```text
+//! SOAK_SEED=41 cargo run --release --example fabric_campaign -- soak
+//! ```
+//!
 //! Flags (after the role):
 //!
 //! * `--listen <addr>` (coordinator) — bind address, overriding
@@ -42,17 +59,21 @@
 //!
 //! * `FABRIC_ADDR` — coordinator listen / worker connect address
 //!   (default `127.0.0.1:45117`);
-//! * `FABRIC_WORKERS` — worker range slots (default 2);
+//! * `FABRIC_WORKERS` — worker range slots (default 2); in the soak,
+//!   worker slots per tenant;
 //! * `FUZZ_EXECS` — per-campaign exec budget (default 20000), same
-//!   meaning as in `fuzz_campaign`.
+//!   meaning as in `fuzz_campaign`;
+//! * `SOAK_SEED` (soak) — base campaign seed for the three tenants
+//!   (default 41).
 
 use kernelgpt::core::KernelGpt;
 use kernelgpt::csrc::{flagship, KernelCorpus};
 use kernelgpt::extractor::find_handlers;
 use kernelgpt::fabric::{
-    run_worker, Coordinator, CoordinatorOpts, TcpTransport, Transport, WorkerOpts,
+    flap_worker, run_worker, ChannelTransport, Coordinator, CoordinatorOpts, HealthOpts,
+    ServiceOpts, TcpTransport, TenantQuota, TenantService, TenantSpec, Transport, WorkerOpts,
 };
-use kernelgpt::fuzzer::CampaignConfig;
+use kernelgpt::fuzzer::{reference_run, CampaignConfig, CampaignResult, Fault, FaultPlan};
 use kernelgpt::llm::{ModelKind, OracleModel};
 use kernelgpt::syzlang::{lowered::LoweredDb, ConstDb, SpecCache, SpecFile};
 use kernelgpt::vkernel::VKernel;
@@ -199,6 +220,15 @@ fn run_worker_role() {
         let Ok(transport) =
             TcpTransport::connect_with_backoff(addr(), attempts, base, Duration::from_secs(2))
         else {
+            if sessions == 0 {
+                // Never reached a coordinator at all: a dead address
+                // is an operator error, not a finished campaign.
+                eprintln!(
+                    "FABRIC_UNREACHABLE: no coordinator at {} after {attempts} connection attempts",
+                    addr()
+                );
+                std::process::exit(1);
+            }
             break;
         };
         let opts = WorkerOpts {
@@ -227,6 +257,216 @@ fn run_worker_role() {
         );
     }
     println!("WORKER done after {sessions} sessions");
+}
+
+/// What the n-th accepted connection in the soak runs.
+#[derive(Clone)]
+enum Spawn {
+    /// A real worker session under this fault plan.
+    Worker(FaultPlan),
+    /// One flap cycle under this worker id: register, take whatever
+    /// reply comes, drop the connection.
+    Flap(u64),
+}
+
+/// The soak's boundary cadence scales with the exec budget so the
+/// chaos always spans ~4 boundaries, whether CI runs it at smoke
+/// scale or a full 20k-exec campaign.
+fn soak_config(execs: u64, seed: u64) -> CampaignConfig {
+    let hub_epoch = (execs / (u64::from(SHARDS) * 4)).clamp(16, 2_048);
+    CampaignConfig {
+        execs,
+        seed,
+        hub_epoch,
+        hub_top_k: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+/// One machine-checkable line per tenant. `REFERENCE` and `RESULT`
+/// lines use the identical field set so CI can diff them with a
+/// plain text substitution.
+fn tenant_line(
+    tag: &str,
+    name: &str,
+    result: &CampaignResult,
+    boundaries: u64,
+    budget_exhausted: bool,
+) -> String {
+    format!(
+        "{tag} {name}: blocks={} unique_crashes={} corpus={} execs={} fuel_exhausted={} \
+         triage={} boundaries={} budget_exhausted={}",
+        result.blocks(),
+        result.unique_crashes(),
+        result.corpus_size,
+        result.execs,
+        result.fuel_exhausted,
+        result.triage.len(),
+        boundaries,
+        budget_exhausted,
+    )
+}
+
+/// The in-process multi-tenant chaos soak: three tenants (one
+/// budget-starved) share a `TenantService` and a worker pool that is
+/// flapped, fed byzantine frames, starved of frames, and killed
+/// mid-lease — then every tenant's merged result is compared against
+/// its single-process reference. Exits nonzero on any divergence.
+fn run_soak() {
+    let execs = env_u64("FUZZ_EXECS", 20_000);
+    let seed0 = env_u64("SOAK_SEED", 41);
+    let workers = u32::try_from(env_u64("FABRIC_WORKERS", 2))
+        .unwrap_or(2)
+        .max(1);
+    println!("SOAK seed={seed0} execs={execs} workers_per_tenant={workers}");
+    let (kernel, consts, mut suites) = build_suites();
+    let (_, suite) = suites.pop().expect("augmented suite");
+    let db = SpecCache::global().get_or_build(&suite);
+    let lowered = SpecCache::global().get_or_lower(&db, &consts);
+    let spec_fp = SpecCache::fingerprint(&suite);
+    let starve_quota = execs / 2;
+    let configs: Vec<CampaignConfig> = (0..3u64).map(|i| soak_config(execs, seed0 + i)).collect();
+    let references: Vec<_> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, config)| {
+            let quota = (i == 1).then_some(starve_quota);
+            reference_run(&kernel, &lowered, config, SHARDS, quota)
+        })
+        .collect();
+    for (i, r) in references.iter().enumerate() {
+        println!(
+            "{}",
+            tenant_line(
+                "REFERENCE",
+                &format!("tenant-{i}"),
+                &r.result,
+                r.boundaries,
+                r.budget_exhausted,
+            )
+        );
+    }
+
+    // The fault matrix: one flapper striking every tenant into a
+    // quarantine, one byzantine worker, one lossy/duplicating worker,
+    // and one worker killed at boundary 2 wherever it is seated.
+    // Spawns beyond the script are clean replacements.
+    let kill_everywhere = (0..workers).fold(FaultPlan::none(), |plan, slot| {
+        plan.with(Fault::WorkerKill {
+            worker: slot,
+            boundary: 2,
+        })
+    });
+    let script = [
+        Spawn::Flap(77),
+        Spawn::Flap(77),
+        Spawn::Flap(77),
+        Spawn::Worker(FaultPlan::none().with(Fault::ByzantineFrames {
+            from_nth: 1,
+            count: 1,
+        })),
+        Spawn::Worker(
+            FaultPlan::none()
+                .with(Fault::DropFrame { nth: 1 })
+                .with(Fault::DuplicateFrame { nth: 2 }),
+        ),
+        Spawn::Worker(kill_everywhere),
+    ];
+
+    let (results, stats) = std::thread::scope(|scope| {
+        let mut service = TenantService::new(ServiceOpts {
+            lease_timeout: Duration::from_secs(10),
+            health: HealthOpts {
+                strike_limit: 3,
+                quarantine_grants: 64,
+                worker_cap: 0,
+                park_grants: 2,
+            },
+        });
+        for (i, config) in configs.iter().enumerate() {
+            service.admit(TenantSpec {
+                name: format!("tenant-{i}"),
+                config: config.clone(),
+                shards: SHARDS,
+                workers,
+                spec_fp,
+                quota: if i == 1 {
+                    TenantQuota::execs(starve_quota)
+                } else {
+                    TenantQuota::unlimited()
+                },
+            });
+        }
+        let mut spawned = 0usize;
+        let mut accept = || -> Option<Box<dyn Transport>> {
+            let spawn = script
+                .get(spawned)
+                .cloned()
+                .unwrap_or_else(|| Spawn::Worker(FaultPlan::none()));
+            spawned += 1;
+            let (service_end, worker_end) = ChannelTransport::pair();
+            let kernel = &kernel;
+            let lowered = Arc::clone(&lowered);
+            scope.spawn(move || match spawn {
+                Spawn::Worker(plan) => {
+                    let opts = WorkerOpts {
+                        faults: plan,
+                        reply_timeout: Duration::from_millis(500),
+                        ..WorkerOpts::default()
+                    };
+                    run_worker(Box::new(worker_end), opts, |fp| {
+                        (fp == spec_fp).then_some((kernel, lowered))
+                    })
+                    .expect("worker protocol violation");
+                }
+                Spawn::Flap(worker_id) => {
+                    flap_worker(Box::new(worker_end), worker_id, Duration::from_secs(10));
+                }
+            });
+            Some(Box::new(service_end))
+        };
+        service.run(&mut accept).expect("tenant service failed")
+    });
+
+    println!(
+        "TENANCY grants={} parked={} quarantines={} refusals={} grants_per_tenant={:?}",
+        stats.grants,
+        stats.parked,
+        stats.quarantines,
+        stats.quarantine_refusals,
+        stats.grants_per_tenant,
+    );
+    let mut mismatches = 0u32;
+    for (i, (reference, tenant)) in references.iter().zip(&results).enumerate() {
+        let name = format!("tenant-{i}");
+        let line = tenant_line(
+            "RESULT",
+            &name,
+            &tenant.result,
+            tenant.boundaries,
+            tenant.budget_exhausted,
+        );
+        println!("{line}");
+        let want = tenant_line(
+            "RESULT",
+            &name,
+            &reference.result,
+            reference.boundaries,
+            reference.budget_exhausted,
+        );
+        if line != want {
+            eprintln!("SOAK MISMATCH {name}:\n  want {want}\n  got  {line}");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("SOAK FAILED: {mismatches} tenant(s) diverged from their reference");
+        std::process::exit(1);
+    }
+    println!(
+        "SOAK ok: {} tenants bit-identical under chaos (seed={seed0})",
+        results.len()
+    );
 }
 
 fn main() {
@@ -260,8 +500,15 @@ fn main() {
             }
             run_worker_role();
         }
+        "soak" => {
+            if listen.is_some() {
+                eprintln!("--listen is a coordinator flag; the soak runs in-process");
+                std::process::exit(2);
+            }
+            run_soak();
+        }
         other => {
-            eprintln!("unknown role {other:?}: use `coordinator` or `worker`");
+            eprintln!("unknown role {other:?}: use `coordinator`, `worker`, or `soak`");
             std::process::exit(2);
         }
     }
