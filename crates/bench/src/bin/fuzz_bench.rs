@@ -52,7 +52,18 @@
 //!   (the budget-cut one included) is bit-identical to its
 //!   single-process reference (gated), plus per-tenant exec,
 //!   coverage, corpus and grant accounting (exact-compared by the
-//!   gate) and the starved tenant's cut boundary.
+//!   gate) and the starved tenant's cut boundary;
+//! * the flight recorder (`trace`): the deep-chain exchange-on
+//!   campaign with per-exec tracing on (the default ring of 32) vs
+//!   off, best-of-3 wall clock on both sides → `capture_overhead_pct`
+//!   (gated); the retained trace volume as amortized bits per
+//!   campaign exec (gated at 16), mean encoded bits per traced exec,
+//!   and bits per retired block (the cbp reference point is 0.1–1.2
+//!   bits/branch); and a `replay_identical` flag (gated, hard)
+//!   asserting that tracing did not change the campaign result, that
+//!   every retained trace re-executed bit-identically from its
+//!   header, and that every crash signature of the traced run has a
+//!   pinned trace replaying to the same signature.
 //!
 //! The committed `BENCH_baseline.json` is this file's output at the
 //! CI smoke workload (`--execs 20000`); `bench_gate` compares a fresh
@@ -70,12 +81,12 @@ use kgpt_fabric::{
 };
 use kgpt_fuzzer::reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 use kgpt_fuzzer::{
-    execute_with, reference_run, Campaign, CampaignConfig, CampaignResult, CampaignSnapshot,
-    ExecScratch, FaultPlan, Generator, Program, ShardedCampaign,
+    cfg_successors, execute_with, minimize_program, reference_run, replay_trace, Campaign,
+    CampaignConfig, CampaignResult, CampaignSnapshot, ExecScratch, FaultPlan, Generator, Program,
+    ShardedCampaign, TraceStore,
 };
 use kgpt_llm::{ModelKind, OracleModel};
 use kgpt_syzlang::{SpecCache, SpecDb, SpecFile};
-use kgpt_triage::minimize;
 use kgpt_vkernel::VKernel;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -352,14 +363,9 @@ fn main() {
     let mut min_execs = 0u64;
     for _ in 0..MIN_TIMING_REPS {
         for e in dc_on.triage.entries() {
-            let sig = e.signature;
-            let scratch = &mut dc_scratch;
-            let kernel = &dc_kernel;
-            let out = minimize(&e.raw, |candidate| {
-                execute_with(kernel, candidate, scratch);
-                scratch.crash().is_some_and(|c| c.signature == sig)
-            });
+            let (out, repro) = minimize_program(&dc_kernel, &mut dc_scratch, &e.raw, e.signature);
             min_execs += out.execs;
+            assert!(repro, "campaign reproducer went stale standalone");
             assert_eq!(
                 out.program, e.minimized,
                 "standalone minimization diverged from the campaign's"
@@ -848,6 +854,118 @@ fn main() {
         starved.boundaries, starved.usage.execs, tenancy_quota, tenancy_stats.grants_per_tenant,
     );
 
+    // ---- Flight recorder: capture overhead + time-travel replay ----
+    // The deep-chain exchange-on campaign with the default per-shard
+    // trace ring vs a `trace_ring: 0` ablation, best-of-3 wall clock
+    // back to back so runner noise hits both sides alike. Tracing
+    // must not change the result; every retained trace must replay
+    // bit-identically from its header; and every crash signature the
+    // traced campaign found must have a pinned trace replaying to the
+    // same signature.
+    let trace_ring = CampaignConfig::default().trace_ring;
+    let untraced_cfg = CampaignConfig {
+        trace_ring: 0,
+        ..dc_cfg(DC_EPOCH)
+    };
+    let mut traced_secs = f64::INFINITY;
+    let mut untraced_secs = f64::INFINITY;
+    let mut traced: Option<(CampaignResult, Vec<TraceStore>)> = None;
+    let mut untraced: Option<CampaignResult> = None;
+    for _ in 0..OVERHEAD_ROUNDS {
+        let t0 = Instant::now();
+        untraced = Some(
+            ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), untraced_cfg.clone())
+                .with_shards(8)
+                .with_threads(1)
+                .run(),
+        );
+        untraced_secs = untraced_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        traced = Some(
+            ShardedCampaign::new(&dc_kernel, &dc_suite, dc_kc.consts(), dc_cfg(DC_EPOCH))
+                .with_shards(8)
+                .with_threads(1)
+                .run_traced(),
+        );
+        traced_secs = traced_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let (traced_result, trace_stores) = traced.expect("rounds > 0");
+    let untraced_result = untraced.expect("rounds > 0");
+    let capture_overhead_pct = ((traced_secs / untraced_secs.max(1e-9) - 1.0) * 100.0).max(0.0);
+    let mut replay_identical = true;
+    if !same_result(&traced_result, &untraced_result) {
+        replay_identical = false;
+        eprintln!("TRACING CHANGED THE CAMPAIGN RESULT (bench_gate will fail)");
+    }
+    let trace_tables = cfg_successors(&dc_kernel);
+    let mut traces_replayed = 0u64;
+    let mut replay_blocks = 0u64;
+    let mut trace_retained = 0u64;
+    let mut trace_pinned = 0u64;
+    let mut trace_stream_bytes = 0u64;
+    let mut trace_stream_bits = 0u64;
+    let replay_t0 = Instant::now();
+    for store in &trace_stores {
+        trace_retained += store.retained() as u64;
+        trace_pinned += store.pinned_len() as u64;
+        trace_stream_bytes += store.stream_bytes();
+        trace_stream_bits += store.stream_bits();
+        for trace in store.iter() {
+            match replay_trace(&dc_kernel, &mut dc_scratch, &trace_tables, trace, fabric_fp) {
+                Ok(o) if o.identical => {
+                    traces_replayed += 1;
+                    replay_blocks += o.blocks;
+                }
+                Ok(_) => {
+                    replay_identical = false;
+                    eprintln!(
+                        "TRACE REPLAY DIVERGED: shard {} exec {} (bench_gate will fail)",
+                        trace.shard, trace.exec
+                    );
+                }
+                Err(e) => {
+                    replay_identical = false;
+                    eprintln!(
+                        "TRACE REPLAY FAILED: shard {} exec {}: {e} (bench_gate will fail)",
+                        trace.shard, trace.exec
+                    );
+                }
+            }
+        }
+    }
+    let replay_secs = replay_t0.elapsed().as_secs_f64();
+    let trace_crash_sigs = traced_result.triage.len() as u64;
+    for e in traced_result.triage.entries() {
+        let pinned = trace_stores.iter().find_map(|s| s.pinned_for(&e.signature));
+        let Some(trace) = pinned else {
+            replay_identical = false;
+            eprintln!(
+                "CRASH SIGNATURE WITHOUT A PINNED TRACE: {} (bench_gate will fail)",
+                e.title
+            );
+            continue;
+        };
+        let replays_to_sig =
+            replay_trace(&dc_kernel, &mut dc_scratch, &trace_tables, trace, fabric_fp)
+                .is_ok_and(|o| o.identical && o.live_crash == Some(e.signature));
+        if !replays_to_sig {
+            replay_identical = false;
+            eprintln!(
+                "PINNED TRACE DID NOT REPLAY TO ITS SIGNATURE: {} (bench_gate will fail)",
+                e.title
+            );
+        }
+    }
+    let trace_bits_per_exec = trace_stream_bytes as f64 * 8.0 / execs as f64;
+    let trace_bits_per_traced = trace_stream_bits as f64 / trace_retained.max(1) as f64;
+    let trace_bits_per_block = trace_stream_bits as f64 / replay_blocks.max(1) as f64;
+    println!(
+        "trace            : {trace_retained} retained ({trace_pinned} pinned), {trace_stream_bytes} stream bytes = {trace_bits_per_exec:.3} bits/exec amortized ({trace_bits_per_traced:.1} bits/traced exec, {trace_bits_per_block:.3} bits/block), capture overhead {capture_overhead_pct:.1}%, replay identical: {replay_identical}"
+    );
+    println!(
+        "trace replay     : {traces_replayed} traces ({replay_blocks} blocks) in {replay_secs:.3}s"
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"fuzzing\",");
@@ -1087,6 +1205,32 @@ fn main() {
             if i + 1 < tenant_results.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"trace\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workload\": \"deep-chain exchange-on campaign\","
+    );
+    let _ = writeln!(json, "    \"execs\": {execs},");
+    let _ = writeln!(json, "    \"shards\": 8,");
+    let _ = writeln!(json, "    \"ring\": {trace_ring},");
+    let _ = writeln!(json, "    \"retained\": {trace_retained},");
+    let _ = writeln!(json, "    \"pinned\": {trace_pinned},");
+    let _ = writeln!(json, "    \"stream_bytes\": {trace_stream_bytes},");
+    let _ = writeln!(json, "    \"bits_per_exec\": {trace_bits_per_exec:.4},");
+    let _ = writeln!(
+        json,
+        "    \"stream_bits_per_exec\": {trace_bits_per_traced:.4},"
+    );
+    let _ = writeln!(json, "    \"bits_per_block\": {trace_bits_per_block:.4},");
+    let _ = writeln!(
+        json,
+        "    \"capture_overhead_pct\": {capture_overhead_pct:.3},"
+    );
+    let _ = writeln!(json, "    \"replay_identical\": {replay_identical},");
+    let _ = writeln!(json, "    \"crash_sigs\": {trace_crash_sigs},");
+    let _ = writeln!(json, "    \"traces_replayed\": {traces_replayed},");
+    let _ = writeln!(json, "    \"replay_secs\": {replay_secs:.6}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out, json).expect("write bench json");

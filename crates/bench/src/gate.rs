@@ -61,6 +61,21 @@
 //!   grant accounting and the starved tenant's cut point are
 //!   exact-compared against the baseline, while wall time stays
 //!   informational;
+//! * **trace** — a present `trace` section must report
+//!   `replay_identical` as true (every retained flight-recorder trace
+//!   re-executed bit-identically — same block stream, same crash,
+//!   same fuel verdict — and every crash signature of the traced run
+//!   had a pinned trace replaying to the same signature), the
+//!   amortized trace volume must stay at or below
+//!   [`MAX_TRACE_BITS_PER_EXEC`] bits per campaign exec, and the
+//!   capture overhead (traced vs tracing-off wall clock) must stay at
+//!   or below a threshold (default
+//!   [`DEFAULT_MAX_TRACE_OVERHEAD_PCT`]%, overridable via
+//!   `BENCH_GATE_MAX_TRACE_OVERHEAD`); with an identical trace
+//!   workload the retained-trace count, encoded stream volume and
+//!   crash-signature count are exact-compared against the baseline
+//!   (capture and retention are deterministic, so drift is a recorder
+//!   behaviour change);
 //! * **throughput** — rate metrics (execs/sec, handlers/sec, the
 //!   warm-cache speedup) may regress by at most a threshold
 //!   (default [`DEFAULT_MAX_REGRESSION_PCT`]%, overridable via the
@@ -89,6 +104,27 @@ pub const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
 /// gone accidentally quadratic), not to police that inherent ratio.
 pub const DEFAULT_MAX_CHECKPOINT_OVERHEAD_PCT: f64 = 150.0;
 
+/// Default allowed flight-recorder capture overhead (wall-clock cost
+/// of running the campaign with per-exec tracing vs tracing off),
+/// percent.
+///
+/// Calibration note: a virtual-kernel exec is microseconds of work,
+/// so the fixed per-exec cost of delta-coding the block stream shows
+/// up as tens of percent — far larger than it would be against a real
+/// kernel's syscall latency. Like the checkpoint threshold, this one
+/// exists to catch order-of-magnitude regressions (an encoder gone
+/// accidentally quadratic), not to police the inherent ratio.
+pub const DEFAULT_MAX_TRACE_OVERHEAD_PCT: f64 = 100.0;
+
+/// Maximum acceptable amortized trace volume, in encoded bits of
+/// retained trace per campaign exec. The recorder delta-codes block
+/// ids against the lowered CFG's successor tables, so the common
+/// fall-through path costs ~1 bit per retired run; a campaign-wide
+/// average above this bound means the codec (or the retention policy)
+/// degenerated, as the reference point is conditional branch
+/// predictors shipping 0.1–1.2 bits of state per branch.
+pub const MAX_TRACE_BITS_PER_EXEC: f64 = 16.0;
+
 /// Minimum acceptable mean raw→minimized shrink ratio of the triage
 /// section: minimization that fails to halve reproducers on the
 /// deep-chain workload is a behaviour regression, not noise.
@@ -100,6 +136,10 @@ pub const MAX_REGRESSION_ENV: &str = "BENCH_GATE_MAX_REGRESSION";
 /// Environment variable overriding the allowed checkpoint overhead
 /// percentage.
 pub const MAX_CHECKPOINT_OVERHEAD_ENV: &str = "BENCH_GATE_MAX_CHECKPOINT_OVERHEAD";
+
+/// Environment variable overriding the allowed flight-recorder
+/// capture overhead percentage.
+pub const MAX_TRACE_OVERHEAD_ENV: &str = "BENCH_GATE_MAX_TRACE_OVERHEAD";
 
 /// Outcome of a gate run.
 #[derive(Debug, Default)]
@@ -125,6 +165,8 @@ pub struct Thresholds {
     pub max_regression_pct: f64,
     /// Allowed checkpointing overhead, percent.
     pub max_checkpoint_overhead_pct: f64,
+    /// Allowed flight-recorder capture overhead, percent.
+    pub max_trace_overhead_pct: f64,
 }
 
 impl Default for Thresholds {
@@ -132,6 +174,7 @@ impl Default for Thresholds {
         Thresholds {
             max_regression_pct: DEFAULT_MAX_REGRESSION_PCT,
             max_checkpoint_overhead_pct: DEFAULT_MAX_CHECKPOINT_OVERHEAD_PCT,
+            max_trace_overhead_pct: DEFAULT_MAX_TRACE_OVERHEAD_PCT,
         }
     }
 }
@@ -151,6 +194,10 @@ impl Thresholds {
             max_checkpoint_overhead_pct: env_pct(
                 MAX_CHECKPOINT_OVERHEAD_ENV,
                 DEFAULT_MAX_CHECKPOINT_OVERHEAD_PCT,
+            )?,
+            max_trace_overhead_pct: env_pct(
+                MAX_TRACE_OVERHEAD_ENV,
+                DEFAULT_MAX_TRACE_OVERHEAD_PCT,
             )?,
         })
     }
@@ -184,6 +231,7 @@ pub fn check(fresh: &Json, baseline: &Json, thresholds: &Thresholds) -> GateOutc
     check_durability(fresh, thresholds.max_checkpoint_overhead_pct, &mut out);
     check_fabric(fresh, baseline, &mut out);
     check_tenancy(fresh, baseline, &mut out);
+    check_trace(fresh, baseline, thresholds.max_trace_overhead_pct, &mut out);
     check_sections(fresh, baseline, &mut out);
     let same_workload = check_workload(fresh, baseline, &mut out);
     if same_workload {
@@ -623,6 +671,75 @@ fn check_tenancy(fresh: &Json, baseline: &Json, out: &mut GateOutcome) {
             check_exact(fresh, baseline, &format!("tenancy.{tenant}.{field}"), out);
         }
     }
+}
+
+/// Trace-section checks: every retained flight-recorder trace must
+/// have replayed bit-identically (`replay_identical`, hard — the flag
+/// also covers crash coverage: every crash signature of the traced
+/// run must have had a pinned trace replaying to the same signature),
+/// the amortized trace volume must stay under
+/// [`MAX_TRACE_BITS_PER_EXEC`] bits per campaign exec, and the
+/// capture overhead must stay under the allowed percentage. With an
+/// identical trace workload the retained count, encoded stream
+/// volume, and crash-signature count are exact-compared against the
+/// baseline — capture and retention are deterministic, so drift is a
+/// recorder behaviour change, not noise.
+fn check_trace(fresh: &Json, baseline: &Json, max_overhead_pct: f64, out: &mut GateOutcome) {
+    let Some(trace) = fresh.get("trace") else {
+        return; // section absent (older bench) — nothing to check
+    };
+    if trace.path("replay_identical").and_then(Json::as_bool) != Some(true) {
+        out.failures.push(
+            "trace: a retained trace did not replay bit-identically, or a crash \
+             signature lacked a pinned trace replaying to the same signature \
+             (trace.replay_identical is not true) — the flight recorder's replay \
+             contract is broken"
+                .into(),
+        );
+    }
+    match trace.path("bits_per_exec").and_then(Json::as_f64) {
+        Some(bits) if bits <= MAX_TRACE_BITS_PER_EXEC => out.notes.push(format!(
+            "trace: {bits:.3} retained bits/exec (allowed {MAX_TRACE_BITS_PER_EXEC:.0}), \
+             {:.0} retained traces",
+            trace.path("retained").and_then(Json::as_f64).unwrap_or(0.0)
+        )),
+        Some(bits) => out.failures.push(format!(
+            "trace: {bits:.3} retained bits per campaign exec exceeds the \
+             {MAX_TRACE_BITS_PER_EXEC:.0}-bit budget — the delta codec or the \
+             retention policy degenerated"
+        )),
+        None => out
+            .failures
+            .push("trace: fresh run's trace section is missing `bits_per_exec`".into()),
+    }
+    match trace.path("capture_overhead_pct").and_then(Json::as_f64) {
+        Some(pct) if pct <= max_overhead_pct => out.notes.push(format!(
+            "trace: capture overhead {pct:.1}% (allowed {max_overhead_pct:.0}%)"
+        )),
+        Some(pct) => out.failures.push(format!(
+            "trace: capture overhead {pct:.1}% exceeds the allowed {max_overhead_pct:.0}% — \
+             per-exec recording is too expensive to leave enabled \
+             (override with {MAX_TRACE_OVERHEAD_ENV} only for known-noisy runners)"
+        )),
+        None => out
+            .failures
+            .push("trace: fresh run's trace section is missing `capture_overhead_pct`".into()),
+    }
+    if baseline.get("trace").is_none() {
+        return; // section growth is handled by check_sections
+    }
+    for key in ["trace.execs", "trace.shards", "trace.ring"] {
+        if fresh.path(key).and_then(Json::as_f64) != baseline.path(key).and_then(Json::as_f64) {
+            out.notes.push(format!(
+                "trace comparison skipped: `{key}` differs — regenerate the baseline \
+                 for the new workload knobs"
+            ));
+            return;
+        }
+    }
+    check_exact(fresh, baseline, "trace.retained", out);
+    check_exact(fresh, baseline, "trace.stream_bytes", out);
+    check_exact(fresh, baseline, "trace.crash_sigs", out);
 }
 
 /// `true` when both sides ran the deep-chain ablation with the same
@@ -1283,6 +1400,7 @@ mod tests {
             &Thresholds {
                 max_regression_pct: 25.0,
                 max_checkpoint_overhead_pct: 500.0,
+                ..Thresholds::default()
             },
         );
         assert!(r.passed(), "{:?}", r.failures);
@@ -1577,6 +1695,125 @@ mod tests {
             r.notes
                 .iter()
                 .any(|n| n.contains("tenancy comparison skipped")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    fn trace_doc(replay_identical: bool, bits_per_exec: f64, overhead_pct: f64) -> Json {
+        let mut doc = bench_doc(1000.0, 187, true);
+        let trace = parse_json(&format!(
+            r#"{{ "execs": 20000, "shards": 8, "ring": 32,
+                  "retained": 266, "pinned": 10, "stream_bytes": 9200,
+                  "bits_per_exec": {bits_per_exec},
+                  "stream_bits_per_exec": 240.0, "bits_per_block": 1.1,
+                  "capture_overhead_pct": {overhead_pct},
+                  "replay_identical": {replay_identical},
+                  "crash_sigs": 10, "traces_replayed": 266 }}"#
+        ))
+        .unwrap();
+        let Json::Obj(members) = &mut doc else {
+            unreachable!("bench_doc is an object")
+        };
+        members.push(("trace".into(), trace));
+        doc
+    }
+
+    #[test]
+    fn replay_divergence_and_oversized_traces_are_hard_failures() {
+        let diverged = trace_doc(false, 4.0, 10.0);
+        let r = check(&diverged, &diverged, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("trace.replay_identical")),
+            "{:?}",
+            r.failures
+        );
+        let bloated = trace_doc(true, 40.0, 10.0);
+        let r = check(&bloated, &bloated, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("bits per campaign exec")),
+            "{:?}",
+            r.failures
+        );
+        let good = trace_doc(true, 4.0, 10.0);
+        let r = check(&good, &good, 25.0);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert!(
+            r.notes.iter().any(|n| n.contains("retained bits/exec")),
+            "{:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn trace_capture_overhead_threshold_is_enforced_and_tunable() {
+        let costly = trace_doc(true, 4.0, 170.0);
+        let r = check(&costly, &costly, 1e9);
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("capture overhead") && f.contains("170.0%")),
+            "{:?}",
+            r.failures
+        );
+        // A raised threshold (noisy runner) lets the same number pass.
+        let r = super::check(
+            &costly,
+            &costly,
+            &Thresholds {
+                max_regression_pct: 25.0,
+                max_trace_overhead_pct: 200.0,
+                ..Thresholds::default()
+            },
+        );
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn trace_volume_is_compared_exactly_against_the_baseline() {
+        let fresh = trace_doc(true, 4.0, 10.0);
+        let mut base = trace_doc(true, 4.0, 10.0);
+        if let Json::Obj(members) = &mut base {
+            let trace = members
+                .iter_mut()
+                .find(|(k, _)| k == "trace")
+                .map(|(_, v)| v)
+                .unwrap();
+            let Json::Obj(tm) = trace else { unreachable!() };
+            tm.iter_mut().find(|(k, _)| k == "stream_bytes").unwrap().1 = Json::Num(9999.0);
+        }
+        let r = check(&fresh, &base, 1e9);
+        assert!(
+            r.failures.iter().any(|f| f.contains("trace.stream_bytes")),
+            "{:?}",
+            r.failures
+        );
+        // A retuned ring skips the exact compare with a note instead
+        // of failing.
+        let mut retuned = trace_doc(true, 4.0, 10.0);
+        if let Json::Obj(members) = &mut retuned {
+            let trace = members
+                .iter_mut()
+                .find(|(k, _)| k == "trace")
+                .map(|(_, v)| v)
+                .unwrap();
+            let Json::Obj(tm) = trace else { unreachable!() };
+            tm.iter_mut().find(|(k, _)| k == "ring").unwrap().1 = Json::Num(64.0);
+        }
+        let r = check(&retuned, &base, 1e9);
+        assert!(
+            !r.failures.iter().any(|f| f.contains("trace.")),
+            "{:?}",
+            r.failures
+        );
+        assert!(
+            r.notes
+                .iter()
+                .any(|n| n.contains("trace comparison skipped")),
             "{:?}",
             r.notes
         );

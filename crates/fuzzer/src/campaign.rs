@@ -48,6 +48,14 @@ pub struct CampaignConfig {
     /// every config field this is part of the campaign's deterministic
     /// identity.
     pub exec_fuel: u64,
+    /// Flight-recorder ring capacity: how many of the most recent
+    /// non-crashing exec traces each shard retains (crash traces are
+    /// pinned separately and never evicted; see [`kgpt_trace`]).
+    /// 0 disables capture. Tracing never changes execution results —
+    /// coverage, crashes and triage are identical at any setting —
+    /// but the field is still part of the campaign's deterministic
+    /// identity because checkpoints carry the retained traces.
+    pub trace_ring: usize,
 }
 
 impl Default for CampaignConfig {
@@ -62,6 +70,9 @@ impl Default for CampaignConfig {
             // Generous: orders of magnitude above what any spec-typed
             // program burns, so the watchdog only trips on runaways.
             exec_fuel: 1 << 20,
+            // Cheap enough to leave on: ~32 traces × tens of stream
+            // bytes per shard (see the `trace` bench section).
+            trace_ring: 32,
         }
     }
 }
@@ -130,6 +141,13 @@ pub(crate) struct ShardState {
     pub(crate) remaining: u64,
     /// Executions cut off by the fuel watchdog.
     pub(crate) fuel_exhausted: u64,
+    /// Flight recorder, when the campaign runs traced
+    /// ([`CampaignConfig::trace_ring`] > 0 under the sharded driver).
+    /// `None` leaves the exec path one never-taken branch per cover
+    /// call. Not part of the snapshot: the sharded driver re-attaches
+    /// tracers on restore and carries the stores in the checkpoint's
+    /// own trace section.
+    tracer: Option<crate::flight::ShardTracer>,
 }
 
 /// Everything a shard's in-memory state (`ShardState`) needs
@@ -189,7 +207,43 @@ impl ShardState {
             rng_pick: seed,
             remaining: execs,
             fuel_exhausted: 0,
+            tracer: None,
         }
+    }
+
+    /// Attach a flight recorder and switch the VM's trace log on.
+    pub(crate) fn attach_tracer(&mut self, tracer: crate::flight::ShardTracer) {
+        self.scratch.state.trace_mut().set_enabled(true);
+        self.tracer = Some(tracer);
+    }
+
+    /// Clone of the attached recorder (with its retained traces), for
+    /// the fault-injection driver's pre-abort snapshots.
+    pub(crate) fn clone_tracer(&self) -> Option<crate::flight::ShardTracer> {
+        self.tracer.clone()
+    }
+
+    /// Replace the attached recorder's retained traces (checkpoint
+    /// resume). No-op when the shard runs untraced.
+    pub(crate) fn set_trace_store(&mut self, store: kgpt_trace::TraceStore) {
+        if let Some(t) = &mut self.tracer {
+            t.set_store(store);
+        }
+    }
+
+    /// The shard id and serialized trace store, when traced — what
+    /// the checkpoint layer persists per shard.
+    pub(crate) fn trace_store_bytes(&self) -> Option<(u32, Vec<u8>)> {
+        self.tracer
+            .as_ref()
+            .map(|t| (self.id, t.store().to_bytes()))
+    }
+
+    /// Detach the recorder, surrendering the shard's retained traces.
+    pub(crate) fn take_store(&mut self) -> Option<kgpt_trace::TraceStore> {
+        self.tracer
+            .take()
+            .map(crate::flight::ShardTracer::into_store)
     }
 
     /// Serializable projection of this shard's live state (see
@@ -271,6 +325,9 @@ impl ShardState {
                 // Capture the reproducer on the first local sighting
                 // of the signature (clones only then), count always.
                 self.triage.observe(c, &prog, self.epoch);
+            }
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(&self.scratch, &prog, self.epoch);
             }
             self.corpus.observe(prog, self.scratch.coverage(), parent);
         }

@@ -38,8 +38,11 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 8] = b"KGPTCKPT";
 
 /// Current snapshot format version. Bumped on any layout change; a
-/// reader never guesses at an unknown version.
-const VERSION: u32 = 1;
+/// reader never guesses at an unknown version. Version 2 appended the
+/// flight recorder's per-shard trace stores; version-1 snapshots are
+/// still read (their trace section is simply empty — resume starts
+/// with fresh rings, losing no campaign state).
+const VERSION: u32 = 2;
 
 /// Error reading, writing, or validating a campaign snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,6 +109,7 @@ pub fn config_fingerprint(config: &CampaignConfig, shards: u32) -> u64 {
     put_u64(&mut bytes, config.hub_epoch);
     put_u64(&mut bytes, config.hub_top_k as u64);
     put_u64(&mut bytes, config.exec_fuel);
+    put_u64(&mut bytes, config.trace_ring as u64);
     put_u32(&mut bytes, shards);
     fnv1a(&bytes)
 }
@@ -132,6 +136,12 @@ pub struct CampaignSnapshot {
     pub(crate) hub_seeds: Vec<HubSeed>,
     /// The campaign triage report so far.
     pub(crate) triage: TriageReport,
+    /// The flight recorder's serialized per-shard trace stores
+    /// (`(shard id, kgpt_trace::TraceStore::to_bytes)`), in shard-id
+    /// order; empty when the campaign runs untraced or the snapshot
+    /// predates version 2. Kept opaque here — the store bytes carry
+    /// their own framing and are validated by the resume path.
+    pub(crate) traces: Vec<(u32, Vec<u8>)>,
 }
 
 impl CampaignSnapshot {
@@ -149,6 +159,7 @@ impl CampaignSnapshot {
         shards: Vec<ShardSnapshot>,
         hub: &SeedHub,
         triage: &TriageReport,
+        traces: Vec<(u32, Vec<u8>)>,
     ) -> CampaignSnapshot {
         CampaignSnapshot {
             config_fingerprint: config_fp,
@@ -160,6 +171,7 @@ impl CampaignSnapshot {
             hub_coverage: hub.coverage().clone(),
             hub_seeds: hub.seeds().to_vec(),
             triage: triage.clone(),
+            traces,
         }
     }
 
@@ -197,6 +209,15 @@ impl CampaignSnapshot {
         for e in entries {
             encode_triage_entry(e, &mut payload);
         }
+        put_u32(
+            &mut payload,
+            u32::try_from(self.traces.len()).unwrap_or(u32::MAX),
+        );
+        for (id, store) in &self.traces {
+            put_u32(&mut payload, *id);
+            put_u32(&mut payload, u32::try_from(store.len()).unwrap_or(u32::MAX));
+            payload.extend_from_slice(store);
+        }
 
         let mut out = Vec::with_capacity(payload.len() + 20);
         out.extend_from_slice(MAGIC);
@@ -225,7 +246,7 @@ impl CampaignSnapshot {
         }
         let mut pos = 8usize;
         let version = take_u32(bytes, &mut pos)?;
-        if version != VERSION {
+        if version != VERSION && version != 1 {
             return Err(CheckpointError::new(format!(
                 "unsupported snapshot version {version} (expected {VERSION})"
             )));
@@ -270,6 +291,24 @@ impl CampaignSnapshot {
                 return Err(CheckpointError::new("duplicate triage signature"));
             }
         }
+        // The trace section arrived with version 2; version-1
+        // snapshots simply have none.
+        let mut traces = Vec::new();
+        if version >= 2 {
+            let n_traces = take_u32(bytes, &mut pos)? as usize;
+            for _ in 0..n_traces {
+                let id = take_u32(bytes, &mut pos)?;
+                let len = take_u32(bytes, &mut pos)? as usize;
+                let end = pos
+                    .checked_add(len)
+                    .filter(|&e| e <= bytes.len())
+                    .ok_or_else(|| {
+                        CheckpointError::new(format!("truncated trace store at {pos}"))
+                    })?;
+                traces.push((id, bytes[pos..end].to_vec()));
+                pos = end;
+            }
+        }
         if pos != bytes.len() {
             return Err(CheckpointError::new(format!(
                 "{} trailing bytes after snapshot payload",
@@ -286,6 +325,7 @@ impl CampaignSnapshot {
             hub_coverage,
             hub_seeds,
             triage,
+            traces,
         })
     }
 
@@ -809,6 +849,8 @@ mod tests {
                 contributed: cov(&[2]),
             }],
             triage,
+            // Opaque to the checkpoint layer: any bytes round-trip.
+            traces: vec![(0, vec![0xAB, 0xCD, 0xEF])],
         }
     }
 
@@ -948,8 +990,33 @@ mod tests {
                 exec_fuel: base.exec_fuel + 1,
                 ..base.clone()
             },
+            CampaignConfig {
+                trace_ring: base.trace_ring + 1,
+                ..base.clone()
+            },
         ] {
             assert_ne!(b, fp(&tweak, 8), "{tweak:?}");
         }
+    }
+
+    #[test]
+    fn version_one_snapshots_without_traces_still_load() {
+        // A pre-flight-recorder snapshot is the same payload minus
+        // the trailing trace section, under version 1. Reconstruct
+        // one from the current encoder and check it reads back with
+        // an empty trace list.
+        let mut snap = sample();
+        snap.traces.clear();
+        let v2 = snap.to_bytes();
+        // Strip the 4-byte empty trace section and re-frame as v1.
+        let payload = &v2[20..v2.len() - 4];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        put_u32(&mut v1, 1);
+        put_u64(&mut v1, fnv1a(payload));
+        v1.extend_from_slice(payload);
+        let decoded = CampaignSnapshot::from_bytes(&v1).unwrap();
+        assert_eq!(decoded, snap);
+        assert!(decoded.traces.is_empty());
     }
 }

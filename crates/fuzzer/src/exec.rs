@@ -136,7 +136,7 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch)
     let lowered: &LoweredDb = lowered;
     state.reset();
     rets.clear();
-    for call in &prog.calls {
+    for (call_index, call) in prog.calls.iter().enumerate() {
         if state.crash.is_some() {
             rets.push(-kgpt_vkernel::errno::EFAULT);
             continue;
@@ -201,6 +201,11 @@ pub fn execute_with(kernel: &VKernel, prog: &Program, scratch: &mut ExecScratch)
         enc.swap_segments(shuttle);
         mem.load(shuttle);
         enc.recycle(shuttle);
+        // Syscall-boundary marker for the flight recorder: calls that
+        // were skipped (crash, fuel, encode failure) emit no marker,
+        // so the trace's call indices name exactly the calls that
+        // reached the kernel. One branch when tracing is off.
+        state.trace_mut().call(call_index as u32);
         let ret = kernel.exec_call(state, sysno[call.sys as usize], &regs, mem);
         rets.push(ret);
     }

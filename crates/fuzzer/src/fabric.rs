@@ -160,6 +160,7 @@ pub fn encode_config(config: &CampaignConfig, out: &mut Vec<u8>) {
     put_u64(out, config.hub_epoch);
     put_u64(out, config.hub_top_k as u64);
     put_u64(out, config.exec_fuel);
+    put_u64(out, config.trace_ring as u64);
 }
 
 /// Decode a [`CampaignConfig`] (inverse of [`encode_config`]).
@@ -192,6 +193,8 @@ pub fn decode_config(bytes: &[u8], pos: &mut usize) -> Result<CampaignConfig, Ch
     let hub_top_k = usize::try_from(take_u64(bytes, pos)?)
         .map_err(|_| CheckpointError::new("hub top_k out of range"))?;
     let exec_fuel = take_u64(bytes, pos)?;
+    let trace_ring = usize::try_from(take_u64(bytes, pos)?)
+        .map_err(|_| CheckpointError::new("trace_ring out of range"))?;
     Ok(CampaignConfig {
         execs,
         seed,
@@ -200,6 +203,7 @@ pub fn decode_config(bytes: &[u8], pos: &mut usize) -> Result<CampaignConfig, Ch
         hub_epoch,
         hub_top_k,
         exec_fuel,
+        trace_ring,
     })
 }
 

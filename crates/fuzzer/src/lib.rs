@@ -50,6 +50,12 @@
 //!   the merged result is bit-identical to a single-process
 //!   [`ShardedCampaign`] (the `kgpt-fabric` crate adds the protocol:
 //!   leases, transports, framing);
+//! * [`flight`] — the flight recorder: per-shard capture of compact
+//!   delta-coded exec traces ([`kgpt_trace`]) during sharded
+//!   campaigns, pinned crash traces that survive checkpoints, and
+//!   [`flight::replay_trace`] — deterministic time-travel replay of
+//!   any recorded exec, cross-checked byte-for-byte against its
+//!   recorded block stream;
 //! * crash triage (internal `triage` module over [`kgpt_triage`]) —
 //!   shards capture the first crashing `ProgCall` stream per
 //!   [`kgpt_vkernel::CrashSignature`]; the driver ddmin-minimizes new
@@ -63,6 +69,7 @@ pub mod corpus;
 pub mod exec;
 pub mod fabric;
 pub mod faults;
+pub mod flight;
 pub mod gen;
 pub mod hub;
 pub mod program;
@@ -79,9 +86,12 @@ pub use fabric::{
     ReferenceRun,
 };
 pub use faults::{Fault, FaultPlan};
+pub use flight::{cfg_successors, replay_trace, ReplayOutcome};
 pub use gen::Generator;
 pub use hub::{HubSeed, SeedHub};
+pub use kgpt_trace::{ExecTrace, TraceError, TraceStore};
 pub use kgpt_triage::{TriageEntry, TriageReport};
 pub use program::{ProgCall, Program};
 pub use reference::{ast_execute, ast_execute_with, AstGenerator, AstScratch};
 pub use shard::ShardedCampaign;
+pub use triage::minimize_program;

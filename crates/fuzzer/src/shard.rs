@@ -29,10 +29,12 @@
 use crate::campaign::{CampaignConfig, CampaignResult, CrashTally, ShardState};
 use crate::checkpoint::{config_fingerprint, CampaignSnapshot, CheckpointError};
 use crate::faults::FaultPlan;
+use crate::flight::{self, ShardTracer};
 use crate::hub::SeedHub;
 use crate::triage::TriageMinimizer;
 use kgpt_syzlang::lowered::LoweredDb;
 use kgpt_syzlang::{ConstDb, SpecCache, SpecDb, SpecFile};
+use kgpt_trace::TraceStore;
 use kgpt_triage::TriageReport;
 use kgpt_vkernel::{CoverageMap, VKernel};
 use std::path::{Path, PathBuf};
@@ -199,6 +201,13 @@ impl<'a> ShardedCampaign<'a> {
         Arc::clone(&self.db)
     }
 
+    /// The shared handle to the lowered IR every shard runs on (what
+    /// an offline replayer builds its [`crate::ExecScratch`] from).
+    #[must_use]
+    pub fn lowered_shared(&self) -> Arc<LoweredDb> {
+        Arc::clone(&self.lowered)
+    }
+
     /// Execution budget of shard `i`: `execs` split as evenly as
     /// possible, earlier shards taking the remainder.
     fn shard_execs(&self, i: u32) -> u64 {
@@ -221,7 +230,17 @@ impl<'a> ShardedCampaign<'a> {
     /// determinism contract.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
-        let states: Vec<ShardState> = (0..self.shards)
+        self.run_traced().0
+    }
+
+    /// [`ShardedCampaign::run`], also returning the flight recorder's
+    /// per-shard [`TraceStore`]s in shard-id order (empty when
+    /// [`CampaignConfig::trace_ring`] is 0). Like the result, the
+    /// stores are a pure function of `(config, shards)`: the thread
+    /// count never changes a recorded byte.
+    #[must_use]
+    pub fn run_traced(&self) -> (CampaignResult, Vec<TraceStore>) {
+        let mut states: Vec<ShardState> = (0..self.shards)
             .map(|i| {
                 ShardState::new(
                     &self.lowered,
@@ -232,12 +251,33 @@ impl<'a> ShardedCampaign<'a> {
                 )
             })
             .collect();
+        self.attach_tracers(&mut states);
         self.run_from(
             states,
             SeedHub::new(self.config.hub_top_k),
             TriageReport::new(),
             0,
         )
+    }
+
+    /// Attach a flight recorder to every shard (no-op with the ring
+    /// off). All shards share one prediction table; the spec
+    /// fingerprint stamped into every trace is the one resume and
+    /// replay validate.
+    fn attach_tracers(&self, states: &mut [ShardState]) {
+        if self.config.trace_ring == 0 {
+            return;
+        }
+        let cfg = Arc::new(flight::cfg_successors(self.kernel));
+        let spec_fp = self.spec_fp();
+        for state in states.iter_mut() {
+            state.attach_tracer(ShardTracer::new(
+                Arc::clone(&cfg),
+                spec_fp,
+                state.id,
+                self.config.trace_ring,
+            ));
+        }
     }
 
     /// Resume a checkpointed campaign from `path` and run it to
@@ -252,6 +292,24 @@ impl<'a> ShardedCampaign<'a> {
     /// snapshot's config/spec fingerprints do not match this campaign,
     /// or when its shard list is inconsistent.
     pub fn resume(&self, path: &Path) -> Result<CampaignResult, CheckpointError> {
+        Ok(self.resume_traced(path)?.0)
+    }
+
+    /// [`ShardedCampaign::resume`], also returning the flight
+    /// recorder's per-shard [`TraceStore`]s. The snapshot carries the
+    /// traces retained at the checkpointed boundary, so the returned
+    /// stores are bit-identical to an uninterrupted
+    /// [`ShardedCampaign::run_traced`] (pinned by tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] under the same conditions as
+    /// [`ShardedCampaign::resume`], plus when the snapshot's trace
+    /// section fails strict decoding or names an unknown shard.
+    pub fn resume_traced(
+        &self,
+        path: &Path,
+    ) -> Result<(CampaignResult, Vec<TraceStore>), CheckpointError> {
         let snap = CampaignSnapshot::load(path)?;
         snap.validate(self.config_fp(), self.spec_fp())?;
         if snap.shards.len() != self.shards as usize
@@ -269,11 +327,23 @@ impl<'a> ShardedCampaign<'a> {
                 ),
             });
         }
-        let states: Vec<ShardState> = snap
+        let mut states: Vec<ShardState> = snap
             .shards
             .iter()
             .map(|s| ShardState::restore(&self.lowered, &self.config, s))
             .collect();
+        self.attach_tracers(&mut states);
+        for (id, bytes) in &snap.traces {
+            let store = TraceStore::from_bytes(bytes).map_err(|e| CheckpointError {
+                message: format!("snapshot trace store for shard {id}: {e}"),
+            })?;
+            let state = states
+                .get_mut(*id as usize)
+                .ok_or_else(|| CheckpointError {
+                    message: format!("snapshot trace store names unknown shard {id}"),
+                })?;
+            state.set_trace_store(store);
+        }
         let hub = SeedHub::from_parts(
             snap.hub_top_k,
             snap.hub_seeds,
@@ -298,7 +368,7 @@ impl<'a> ShardedCampaign<'a> {
         mut hub: SeedHub,
         mut triage: TriageReport,
         mut epochs_done: u64,
-    ) -> CampaignResult {
+    ) -> (CampaignResult, Vec<TraceStore>) {
         let shards = self.shards as usize;
         let threads = match self.threads {
             0 => std::thread::available_parallelism().map_or(1, usize::from),
@@ -317,18 +387,28 @@ impl<'a> ShardedCampaign<'a> {
             // boundary state before the chunk so the recovery path can
             // quarantine the poisoned state and re-run from it.
             let abort = self.faults.shard_abort(iter);
-            let pre_abort =
-                abort.and_then(|sid| states.get(sid as usize).map(ShardState::snapshot));
+            let pre_abort = abort.and_then(|sid| {
+                states
+                    .get(sid as usize)
+                    .map(|s| (s.snapshot(), s.clone_tracer()))
+            });
             self.run_chunk(&mut states, threads, epoch);
-            if let (Some(sid), Some(snap)) = (abort, pre_abort) {
+            if let (Some(sid), Some((snap, tracer))) = (abort, pre_abort) {
                 // The shard died mid-epoch: discard its (by assumption
                 // poisoned) state, restore the boundary snapshot, and
                 // re-run the epoch sequentially on the driving thread.
                 // Shard evolution is schedule-independent, so the
                 // re-run is bit-identical to the undisturbed epoch and
-                // the merge proceeds with no quarantine hole.
+                // the merge proceeds with no quarantine hole. The
+                // flight recorder gets the same treatment: the
+                // boundary clone replaces the poisoned store before
+                // the re-run, so retained traces stay bit-identical
+                // to an undisturbed campaign too.
                 let idx = sid as usize;
                 states[idx] = ShardState::restore(&self.lowered, &self.config, &snap);
+                if let Some(t) = tracer {
+                    states[idx].attach_tracer(t);
+                }
                 states[idx].run_epoch(self.kernel, epoch);
             }
             for state in &mut states {
@@ -355,6 +435,10 @@ impl<'a> ShardedCampaign<'a> {
                     states.iter().map(ShardState::snapshot).collect(),
                     &hub,
                     &triage,
+                    states
+                        .iter()
+                        .filter_map(ShardState::trace_store_bytes)
+                        .collect(),
                 );
                 if self.write_checkpoint(&snap, path, iter) {
                     checkpoints_written += 1;
@@ -400,8 +484,17 @@ impl<'a> ShardedCampaign<'a> {
 
     /// Merge finished (or halted) shard states in shard-id order
     /// (deterministic; the merge is also commutative, so any order
-    /// would produce the same set).
-    fn merge(&self, states: Vec<ShardState>, triage: TriageReport) -> CampaignResult {
+    /// would produce the same set). The flight recorder's stores come
+    /// back alongside, also in shard-id order.
+    fn merge(
+        &self,
+        mut states: Vec<ShardState>,
+        triage: TriageReport,
+    ) -> (CampaignResult, Vec<TraceStore>) {
+        let stores: Vec<TraceStore> = states
+            .iter_mut()
+            .filter_map(ShardState::take_store)
+            .collect();
         let mut coverage = CoverageMap::new();
         let mut crashes: CrashTally = CrashTally::new();
         let mut corpus_size = 0usize;
@@ -415,14 +508,17 @@ impl<'a> ShardedCampaign<'a> {
             corpus_size += r.corpus_size;
             fuel_exhausted += r.fuel_exhausted;
         }
-        CampaignResult {
-            coverage,
-            crashes,
-            execs: self.config.execs,
-            corpus_size,
-            triage,
-            fuel_exhausted,
-        }
+        (
+            CampaignResult {
+                coverage,
+                crashes,
+                execs: self.config.execs,
+                corpus_size,
+                triage,
+                fuel_exhausted,
+            },
+            stores,
+        )
     }
 
     /// Advance every shard by up to `epoch` executions, distributing
@@ -679,6 +775,98 @@ mod tests {
             .run();
         assert_eq!(r.execs, 400);
         assert!(r.blocks() > 0);
+    }
+
+    #[test]
+    fn traces_are_bit_identical_across_thread_counts_and_replay() {
+        // The flight recorder inherits the determinism contract: the
+        // retained stores — ring contents, pinned crash traces, every
+        // encoded stream byte — are a pure function of (config,
+        // shards), and each trace replays bit-identically.
+        let (kernel, suite, consts) = dm_setup();
+        let run = |threads: usize| {
+            ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(2000, 11))
+                .with_shards(8)
+                .with_threads(threads)
+                .run_traced()
+        };
+        let (base_result, base_stores) = run(1);
+        assert_eq!(base_stores.len(), 8);
+        for threads in [2, 4, 8] {
+            let (r, stores) = run(threads);
+            assert_eq!(base_result.coverage, r.coverage, "threads={threads}");
+            assert_eq!(base_stores, stores, "threads={threads}");
+        }
+        let campaign = ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(2000, 11));
+        let spec_fp = SpecCache::fingerprint(campaign.db().files());
+        let cfg_table = flight::cfg_successors(&kernel);
+        let mut scratch = crate::exec::ExecScratch::from_lowered(campaign.lowered_shared());
+        let mut replayed = 0usize;
+        for store in &base_stores {
+            for t in store.iter() {
+                let out = flight::replay_trace(&kernel, &mut scratch, &cfg_table, t, spec_fp)
+                    .expect("well-formed trace");
+                assert!(out.identical, "shard {} exec {} diverged", t.shard, t.exec);
+                replayed += 1;
+            }
+        }
+        assert!(replayed > 0, "no traces retained");
+    }
+
+    #[test]
+    fn traces_survive_checkpoint_and_resume() {
+        // Interrupt-plus-resume must also be invisible to the flight
+        // recorder: the resumed campaign's stores equal the
+        // uninterrupted run's bit for bit (the checkpoint carries the
+        // retained traces of the boundary).
+        let (kernel, suite, consts) = dm_setup();
+        let dir = std::env::temp_dir().join(format!("kgpt_trace_resume_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.ckpt");
+        let campaign = |threads: usize| {
+            ShardedCampaign::new(&kernel, &suite, &consts, hub_cfg(2000, 7))
+                .with_shards(4)
+                .with_threads(threads)
+        };
+        let (full_result, full_stores) = campaign(1).run_traced();
+        let _ = campaign(1)
+            .with_checkpoint(&path)
+            .with_halt_after(2)
+            .run_traced();
+        let (resumed_result, resumed_stores) = campaign(2)
+            .with_checkpoint(&path)
+            .resume_traced(&path)
+            .unwrap();
+        assert_eq!(full_result.coverage, resumed_result.coverage);
+        assert_eq!(full_result.triage, resumed_result.triage);
+        assert_eq!(full_stores, resumed_stores);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracing_never_changes_the_campaign_result() {
+        // trace_ring is a pure observability knob for the merged
+        // result: coverage, crashes, corpus and triage are identical
+        // with the recorder on, off, or at a different capacity.
+        let (kernel, suite, consts) = dm_setup();
+        let run = |ring: usize| {
+            let config = CampaignConfig {
+                trace_ring: ring,
+                ..hub_cfg(2000, 3)
+            };
+            ShardedCampaign::new(&kernel, &suite, &consts, config)
+                .with_shards(4)
+                .run()
+        };
+        let on = run(32);
+        let off = run(0);
+        let big = run(512);
+        for other in [&off, &big] {
+            assert_eq!(on.coverage, other.coverage);
+            assert_eq!(on.crashes, other.crashes);
+            assert_eq!(on.corpus_size, other.corpus_size);
+            assert_eq!(on.triage, other.triage);
+        }
     }
 
     #[test]

@@ -19,8 +19,8 @@
 use crate::exec::{execute_with, ExecScratch};
 use crate::program::Program;
 use kgpt_syzlang::lowered::LoweredDb;
-use kgpt_triage::{minimize, TriageEntry, TriageReport};
-use kgpt_vkernel::{CrashReport, CrashSignature, VKernel};
+use kgpt_triage::{minimize_guided, MinimizeOutcome, TraceGuide, TriageEntry, TriageReport};
+use kgpt_vkernel::{CrashReport, CrashSignature, TraceEvent, VKernel};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -163,24 +163,8 @@ impl TriageMinimizer {
         cap: TriageCapture,
     ) -> TriageEntry {
         let sig = cap.signature;
-        let scratch = &mut self.scratch;
-        // Probe the raw capture once before minimizing: if it no
-        // longer triggers its signature (stale capture), report it
-        // as non-reproducible unchanged rather than ddmin-ing
-        // against a predicate that can never hold.
-        execute_with(kernel, &cap.program, scratch);
-        let reproducible = scratch.crash().is_some_and(|c| c.signature == sig);
-        let (minimized, minimize_execs) = if reproducible {
-            let outcome = minimize(&cap.program, |candidate| {
-                execute_with(kernel, candidate, scratch);
-                scratch.crash().is_some_and(|c| c.signature == sig)
-            });
-            (outcome.program, outcome.execs)
-        } else {
-            // Mirrors `minimize`'s non-reproducing contract: the
-            // program comes back unchanged at a cost of one probe.
-            (cap.program.clone(), 1)
-        };
+        let (outcome, reproducible) =
+            minimize_program(kernel, &mut self.scratch, &cap.program, sig);
         TriageEntry {
             signature: sig,
             title: cap.title,
@@ -189,11 +173,88 @@ impl TriageMinimizer {
             first_shard: shard_id,
             count: 0,
             raw: cap.program,
-            minimized,
-            minimize_execs,
+            minimized: outcome.program,
+            minimize_execs: outcome.execs,
             reproducible,
         }
     }
+}
+
+/// Minimize a crashing program against its [`CrashSignature`], guided
+/// by the flight-recorder trace of a single probe execution.
+///
+/// The probe runs `raw` once with tracing temporarily enabled on
+/// `scratch` (the caller's enabled flag is restored before any ddmin
+/// replay, so minimization probes pay no tracing cost). If the probe
+/// no longer triggers `sig` — a stale capture — the program comes
+/// back unchanged, non-reproducible, at a cost of one recorded exec.
+/// Otherwise the probe's trace becomes a [`TraceGuide`]: the crashing
+/// call index, per-call retired block counts, and per-call error
+/// returns, which [`minimize_guided`] uses to attempt one verified
+/// prune before running plain ddmin.
+///
+/// Guidance never changes the result — a pruned candidate must replay
+/// to the same signature before it is used, so the outcome is exactly
+/// as 1-minimal as unguided [`fn@kgpt_triage::minimize`], and bad or
+/// stale hints only cost probes. Returns the minimization outcome and
+/// whether the capture reproduced. The outcome's `execs` counts the
+/// ddmin replays (and the guided prune probe, if attempted), not the
+/// initial reproduction probe.
+pub fn minimize_program(
+    kernel: &VKernel,
+    scratch: &mut ExecScratch,
+    raw: &Program,
+    sig: CrashSignature,
+) -> (MinimizeOutcome, bool) {
+    let was_tracing = scratch.state.trace().enabled();
+    scratch.state.trace_mut().set_enabled(true);
+    execute_with(kernel, raw, scratch);
+    let reproducible = scratch.crash().is_some_and(|c| c.signature == sig);
+    let guide = guide_from_scratch(scratch, raw.len());
+    scratch.state.trace_mut().set_enabled(was_tracing);
+    if !reproducible {
+        // Mirrors `minimize`'s non-reproducing contract: the program
+        // comes back unchanged at a cost of one probe.
+        let outcome = MinimizeOutcome {
+            program: raw.clone(),
+            execs: 1,
+        };
+        return (outcome, false);
+    }
+    let outcome = minimize_guided(raw, &guide, |candidate| {
+        execute_with(kernel, candidate, scratch);
+        scratch.crash().is_some_and(|c| c.signature == sig)
+    });
+    (outcome, true)
+}
+
+/// Distil the last execution's trace (and return values) on `scratch`
+/// into a [`TraceGuide`] for a `prog_len`-call program.
+///
+/// Call markers in the trace name exactly the calls that reached the
+/// kernel (skipped calls emit none — see [`execute_with`]), so block
+/// events are attributed to the most recent marker. `rets` holds one
+/// entry per call on every path, which keeps the error vector aligned
+/// with the program even when a crash short-circuits the tail.
+fn guide_from_scratch(scratch: &ExecScratch, prog_len: usize) -> TraceGuide {
+    let mut guide = TraceGuide {
+        crash_call: None,
+        call_blocks: vec![0u64; prog_len],
+        call_errs: scratch.rets.iter().map(|r| *r < 0).collect(),
+    };
+    let mut cur: Option<usize> = None;
+    for ev in scratch.state.trace().events() {
+        match *ev {
+            TraceEvent::Call { index } => cur = Some(index as usize),
+            TraceEvent::Block { len, .. } => {
+                if let Some(c) = cur.filter(|c| *c < guide.call_blocks.len()) {
+                    guide.call_blocks[c] += u64::from(len);
+                }
+            }
+            TraceEvent::Crash { .. } => guide.crash_call = cur,
+        }
+    }
+    guide
 }
 
 #[cfg(test)]

@@ -1021,6 +1021,88 @@ fn sibling_count(values: &[Value], target: Option<u32>) -> u64 {
     }
 }
 
+/// One contiguous straight-line run of basic-block ids with an
+/// optional fall-through successor — a row of the static control-flow
+/// table the flight recorder's delta coder predicts against (see
+/// `kgpt-trace`).
+///
+/// Blocks inside the run retire in id order, so within a run the
+/// predicted successor of block `b` is `b + 1`. At the run's last
+/// block the predicted successor is `next` when present (the branch a
+/// structurally-valid execution takes, e.g. a command body falling
+/// through into its deep-path blocks), else the numerically next id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfgRun {
+    /// First block id of the run.
+    pub start: u64,
+    /// Number of consecutive block ids in the run (rows with `len == 0`
+    /// are dropped at [`CfgSuccessors::build`]).
+    pub len: u64,
+    /// Predicted successor of the run's *last* block, when the lowered
+    /// layout fixes one (`None` = predict `last + 1`).
+    pub next: Option<u64>,
+}
+
+/// The static successor-prediction table for trace delta coding:
+/// sorted [`CfgRun`] rows queried by predecessor block id.
+///
+/// The table is *advisory*: a misprediction only costs the trace
+/// encoder a wider `DIVERGE` token, never correctness — so the rows
+/// are a best-effort projection of the executor's block layout (the
+/// virtual kernel exports its layout as `(start, len, next)` triples;
+/// the fuzzer assembles them into this table). Both the recorder and
+/// the replayer must use the same table for a trace's bit stream to
+/// compare byte-for-byte, which holds because the table is a pure
+/// function of the booted kernel.
+#[derive(Debug, Clone, Default)]
+pub struct CfgSuccessors {
+    /// Rows sorted by `start`; disjoint by construction of the block
+    /// namespace (each handler owns a disjoint stratum).
+    runs: Vec<CfgRun>,
+}
+
+impl CfgSuccessors {
+    /// Build the table from unordered rows: empty runs are dropped,
+    /// the rest sorted by start block.
+    #[must_use]
+    pub fn build(mut runs: Vec<CfgRun>) -> CfgSuccessors {
+        runs.retain(|r| r.len > 0);
+        runs.sort_by_key(|r| r.start);
+        CfgSuccessors { runs }
+    }
+
+    /// Number of rows in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the table has no rows (prediction degrades to `prev+1`
+    /// everywhere).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Predicted successor of block `prev`: `prev + 1` inside a run,
+    /// the run's `next` at its last block (when fixed), and `prev + 1`
+    /// outside any run. Total — an unknown `prev` is not an error,
+    /// just a likely misprediction.
+    #[must_use]
+    pub fn predict(&self, prev: u64) -> u64 {
+        let i = self.runs.partition_point(|r| r.start <= prev);
+        if i > 0 {
+            let r = &self.runs[i - 1];
+            if prev < r.start + r.len && prev + 1 == r.start + r.len {
+                if let Some(next) = r.next {
+                    return next;
+                }
+            }
+        }
+        prev.wrapping_add(1)
+    }
+}
+
 fn scalar_bits(db: &LoweredDb, lt: LType) -> Option<IntBits> {
     match lt {
         LType::Int { bits, .. }
@@ -1328,5 +1410,46 @@ ioctl$X(fd fd_v, cmd const[1], arg ptr[in, s])
         );
         assert_eq!(a, b);
         assert!(matches!(a, Err(EncodeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn cfg_successors_predict_inside_at_end_and_outside_runs() {
+        let table = CfgSuccessors::build(vec![
+            // Out of order and with an empty row on purpose.
+            CfgRun {
+                start: 100,
+                len: 4,
+                next: Some(132),
+            },
+            CfgRun {
+                start: 0,
+                len: 0,
+                next: Some(999),
+            },
+            CfgRun {
+                start: 132,
+                len: 2,
+                next: None,
+            },
+        ]);
+        assert_eq!(table.len(), 2, "empty rows dropped");
+        // Inside a run: fall through.
+        assert_eq!(table.predict(100), 101);
+        assert_eq!(table.predict(102), 103);
+        // Last block of a run with a fixed successor.
+        assert_eq!(table.predict(103), 132);
+        // Last block of a run without one: numerically next.
+        assert_eq!(table.predict(133), 134);
+        // Outside any run: numerically next (total function).
+        assert_eq!(table.predict(50), 51);
+        assert_eq!(table.predict(4096), 4097);
+        assert_eq!(table.predict(u64::MAX), 0, "wraps instead of panicking");
+    }
+
+    #[test]
+    fn cfg_successors_empty_table_predicts_next_id() {
+        let table = CfgSuccessors::build(Vec::new());
+        assert!(table.is_empty());
+        assert_eq!(table.predict(7), 8);
     }
 }

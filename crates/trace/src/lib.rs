@@ -1,0 +1,1121 @@
+//! # kgpt-trace — the flight recorder
+//!
+//! Compact per-exec trace capture and offline storage: every
+//! execution a campaign shard runs can leave behind a self-contained
+//! [`ExecTrace`] — small enough (tens of bytes of stream per exec,
+//! see the `trace` section of `fuzz_bench`) that recording stays on
+//! during campaigns — from which the deterministic replayer in
+//! `kgpt-fuzzer` re-executes the exec bit-identically and
+//! cross-checks the recorded block stream against the live run.
+//!
+//! ## Protocol overview
+//!
+//! The recorder is layered; each layer is independently testable and
+//! strictly validated on the way back in:
+//!
+//! 1. **Event capture** (`kgpt-vkernel`): with tracing enabled, the
+//!    kernel's exec path appends [`TraceEvent`]s to the per-VM
+//!    [`kgpt_vkernel::TraceLog`] — merged `Block {start, len}` runs
+//!    for every coverage retirement, executor-injected `Call {index}`
+//!    markers at syscall boundaries, and a `Crash {site}` marker when
+//!    a sanitizer fires. Capture never changes execution results.
+//!
+//! 2. **Delta coding** ([`encode_events`]/[`decode_events`]): the
+//!    event list is bit-packed against a static prediction table
+//!    ([`CfgSuccessors`], built from the booted kernel's block
+//!    layout). Tokens are prefix-free, LSB-first within bytes:
+//!
+//!    ```text
+//!    0                         PRED    + varint(len-1)
+//!    10                        CALL    + varint(index delta)
+//!    110                       DIVERGE + svarint(start - predicted) + varint(len-1)
+//!    1110                      CRASH   + svarint(site - prev_block)
+//!    1111                      END
+//!    ```
+//!
+//!    A `PRED` block starts exactly where the table predicts from the
+//!    previous block, so the common straight-line case costs one bit
+//!    plus a short length. `varint` is a 5-bit-chunk little-endian
+//!    code (`[more:1][data:4]`, at most 16 chunks); `svarint` zigzags
+//!    a signed delta through it. Both the recorder and the replayer
+//!    must use the same table for streams to compare byte-for-byte —
+//!    which holds because the table is a pure function of the booted
+//!    kernel.
+//!
+//! 3. **Trace framing** ([`ExecTrace`]): the stream plus everything
+//!    replay needs — shard, epoch, per-shard exec ordinal, fuel
+//!    budget, spec fingerprint, crash signature, and the encoded
+//!    [`Program`] — in the workspace's dense little-endian framing.
+//!
+//! 4. **Storage** ([`TraceStore`]): a per-shard ring of the last N
+//!    non-crashing traces plus a **pinned** map of crash traces
+//!    (first trace per [`CrashSignature`] is kept forever; later
+//!    execs can never evict it). Stores serialize with the standard
+//!    `magic | version | FNV-1a checksum | payload` framing, so they
+//!    ride inside campaign checkpoints (traces survive resume) and in
+//!    standalone trace files ([`write_trace_file`]).
+//!
+//! Decoding is strict at every layer: truncation, bit flips and
+//! garbage return [`TraceError`], never panic — pinned by the
+//! robustness tests below, mirroring the checkpoint and fabric-wire
+//! codecs.
+//!
+//! ## Replay contract
+//!
+//! An [`ExecTrace`] identifies its execution completely: the encoded
+//! program, the spec fingerprint (refusing replay against the wrong
+//! suite), and the fuel budget. Re-executing the program on the same
+//! booted kernel with the same fuel limit reproduces the recorded
+//! event stream bit-for-bit — the campaign loop is deterministic and
+//! an exec's events depend only on (program, kernel, fuel). The
+//! replayer (`kgpt-fuzzer`'s `flight` module) re-encodes the live
+//! events with the same table and demands byte equality plus matching
+//! crash signatures.
+
+use kgpt_syzlang::lowered::CfgSuccessors;
+use kgpt_syzlang::prog::Program;
+use kgpt_vkernel::{CrashSignature, SanitizerKind, Sysno, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+
+pub use kgpt_syzlang::lowered::CfgRun;
+
+/// File magic of a serialized [`TraceStore`].
+const STORE_MAGIC: &[u8; 8] = b"KGPTTRCE";
+
+/// File magic of a multi-store trace file ([`write_trace_file`]).
+const FILE_MAGIC: &[u8; 8] = b"KGPTTRCF";
+
+/// Current trace format version (store and file framing). Bumped on
+/// any layout change; a reader never guesses at an unknown version.
+const VERSION: u32 = 1;
+
+/// Error decoding or validating trace data (truncation, bitrot,
+/// malformed fields, fingerprint mismatches). Always names the
+/// failing stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TraceError {
+    /// Build an error from any displayable message (consumers layering
+    /// their own checks — e.g. the replayer's fingerprint validation —
+    /// report through the same type).
+    pub fn new(message: impl Into<String>) -> TraceError {
+        TraceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// FNV-1a over a byte slice — the payload checksum (same constants as
+/// the checkpoint layer's; this crate sits below `kgpt-fuzzer` so it
+/// carries its own copy). Catches truncation and bitrot — the threat
+/// model; not a cryptographic seal.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---- bit-level coding -----------------------------------------------------
+
+/// LSB-first bit writer for the token stream.
+#[derive(Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bits: u32,
+}
+
+impl BitWriter {
+    fn bit(&mut self, b: bool) {
+        let idx = (self.bits / 8) as usize;
+        if idx == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if b {
+            self.bytes[idx] |= 1 << (self.bits % 8);
+        }
+        self.bits += 1;
+    }
+
+    /// Little-endian variable-length code: 5-bit chunks of
+    /// `[more:1][data:4]`, low data bits first, at most 16 chunks.
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let chunk = (v & 0xF) as u8;
+            v >>= 4;
+            let more = v != 0;
+            self.bit(more);
+            for i in 0..4 {
+                self.bit(chunk >> i & 1 == 1);
+            }
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// Zigzag a signed delta through [`BitWriter::varint`].
+    fn svarint(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn finish(self) -> (Vec<u8>, u32) {
+        (self.bytes, self.bits)
+    }
+}
+
+/// LSB-first bit reader; every read is bounds-checked against the
+/// declared bit length.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bits: u32,
+    pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8], bits: u32) -> Result<BitReader<'a>, TraceError> {
+        if (bits as usize).div_ceil(8) != bytes.len() {
+            return Err(TraceError::new(format!(
+                "trace stream length mismatch: {} bits declared, {} bytes present",
+                bits,
+                bytes.len()
+            )));
+        }
+        BitReader {
+            bytes,
+            bits,
+            pos: 0,
+        }
+        .check_padding()
+    }
+
+    /// The writer zero-fills the final partial byte; any set padding
+    /// bit means the stream was not produced by the encoder.
+    fn check_padding(self) -> Result<BitReader<'a>, TraceError> {
+        if let Some(&last) = self.bytes.last() {
+            let used = self.bits % 8;
+            if used != 0 && last >> used != 0 {
+                return Err(TraceError::new("nonzero padding bits in trace stream"));
+            }
+        }
+        Ok(self)
+    }
+
+    fn bit(&mut self) -> Result<bool, TraceError> {
+        if self.pos >= self.bits {
+            return Err(TraceError::new("trace stream ended mid-token"));
+        }
+        let b = self.bytes[(self.pos / 8) as usize] >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v = 0u64;
+        for chunk in 0..16 {
+            let more = self.bit()?;
+            let mut data = 0u64;
+            for i in 0..4 {
+                data |= u64::from(self.bit()?) << i;
+            }
+            v |= data << (4 * chunk);
+            if !more {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::new("varint longer than 16 chunks"))
+    }
+
+    fn svarint(&mut self) -> Result<i64, TraceError> {
+        let z = self.varint()?;
+        Ok((z >> 1) as i64 ^ -((z & 1) as i64))
+    }
+}
+
+// ---- event-stream coding --------------------------------------------------
+
+/// Delta-code an event list into a bit-packed token stream (see the
+/// crate docs for the token grammar). Returns the packed bytes and
+/// the exact bit length. Pure: the same `(table, events)` pair always
+/// produces the same bytes, which is what lets the replayer compare
+/// streams byte-for-byte.
+#[must_use]
+pub fn encode_events(cfg: &CfgSuccessors, events: &[TraceEvent]) -> (Vec<u8>, u32) {
+    let mut w = BitWriter::default();
+    let mut prev_block = 0u64;
+    let mut next_call = 0u32;
+    for ev in events {
+        match *ev {
+            TraceEvent::Block { start, len } => {
+                if len == 0 {
+                    continue;
+                }
+                let predicted = cfg.predict(prev_block);
+                if start == predicted {
+                    w.bit(false);
+                } else {
+                    w.bit(true);
+                    w.bit(true);
+                    w.bit(false);
+                    w.svarint((start as i64).wrapping_sub(predicted as i64));
+                }
+                w.varint(u64::from(len - 1));
+                prev_block = start + u64::from(len) - 1;
+            }
+            TraceEvent::Call { index } => {
+                w.bit(true);
+                w.bit(false);
+                w.varint(u64::from(index.wrapping_sub(next_call)));
+                next_call = index.wrapping_add(1);
+            }
+            TraceEvent::Crash { site } => {
+                w.bit(true);
+                w.bit(true);
+                w.bit(true);
+                w.bit(false);
+                w.svarint((site as i64).wrapping_sub(prev_block as i64));
+            }
+        }
+    }
+    w.bit(true);
+    w.bit(true);
+    w.bit(true);
+    w.bit(true);
+    w.finish()
+}
+
+/// Decode a token stream produced by [`encode_events`] back into the
+/// event list, using the same prediction table.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on truncation (stream ends before `END`),
+/// length mismatches, nonzero padding, out-of-range deltas, or
+/// trailing bits after `END` — strict, never a panic or a silent
+/// partial decode.
+pub fn decode_events(
+    cfg: &CfgSuccessors,
+    stream: &[u8],
+    bits: u32,
+) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut r = BitReader::new(stream, bits)?;
+    let mut events = Vec::new();
+    let mut prev_block = 0u64;
+    let mut next_call = 0u32;
+    loop {
+        if !r.bit()? {
+            // PRED: the block run starts where the table predicts.
+            let start = cfg.predict(prev_block);
+            let len = take_len(&mut r)?;
+            prev_block = end_of_run(start, len)?;
+            events.push(TraceEvent::Block { start, len });
+            continue;
+        }
+        if !r.bit()? {
+            // CALL
+            let delta = r.varint()?;
+            let delta = u32::try_from(delta)
+                .map_err(|_| TraceError::new("call-index delta out of range"))?;
+            let index = next_call.wrapping_add(delta);
+            next_call = index.wrapping_add(1);
+            events.push(TraceEvent::Call { index });
+            continue;
+        }
+        if !r.bit()? {
+            // DIVERGE
+            let delta = r.svarint()?;
+            let predicted = cfg.predict(prev_block);
+            let start = offset_block(predicted, delta)?;
+            let len = take_len(&mut r)?;
+            prev_block = end_of_run(start, len)?;
+            events.push(TraceEvent::Block { start, len });
+        } else if !r.bit()? {
+            // CRASH
+            let delta = r.svarint()?;
+            let site = offset_block(prev_block, delta)?;
+            events.push(TraceEvent::Crash { site });
+        } else {
+            // END
+            break;
+        }
+    }
+    if r.pos != r.bits {
+        return Err(TraceError::new(format!(
+            "{} trailing bits after trace END token",
+            r.bits - r.pos
+        )));
+    }
+    Ok(events)
+}
+
+/// Read a `len-1` varint and return the run length as `u32`.
+fn take_len(r: &mut BitReader<'_>) -> Result<u32, TraceError> {
+    let v = r.varint()?;
+    v.checked_add(1)
+        .and_then(|l| u32::try_from(l).ok())
+        .ok_or_else(|| TraceError::new("block-run length out of range"))
+}
+
+/// Apply a signed delta to a block id, rejecting wraparound.
+fn offset_block(base: u64, delta: i64) -> Result<u64, TraceError> {
+    let v = i128::from(base) + i128::from(delta);
+    u64::try_from(v).map_err(|_| TraceError::new("block id out of range"))
+}
+
+/// Last block id of a run, rejecting wraparound.
+fn end_of_run(start: u64, len: u32) -> Result<u64, TraceError> {
+    start
+        .checked_add(u64::from(len) - 1)
+        .ok_or_else(|| TraceError::new("block run past the id space"))
+}
+
+// ---- trace framing --------------------------------------------------------
+
+/// One recorded execution: the delta-coded event stream plus the
+/// complete replay header (see the crate docs' replay contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Shard that ran the exec.
+    pub shard: u32,
+    /// Shard epoch the exec ran in.
+    pub epoch: u64,
+    /// Shard-local exec ordinal (0-based over the shard's lifetime).
+    pub exec: u64,
+    /// Per-exec fuel budget the exec ran under (0 = unlimited);
+    /// replay must reuse it for exhaustion to reproduce.
+    pub exec_fuel: u64,
+    /// Fingerprint of the compiled spec suite the program was
+    /// generated against; replay refuses a mismatch.
+    pub spec_fingerprint: u64,
+    /// Whether the exec exhausted its fuel budget.
+    pub fuel_exhausted: bool,
+    /// Crash signature, when the exec crashed.
+    pub crash: Option<CrashSignature>,
+    /// The executed [`Program`], encoded with
+    /// [`Program::encode_into`].
+    pub program: Vec<u8>,
+    /// Delta-coded event stream ([`encode_events`]).
+    pub stream: Vec<u8>,
+    /// Exact bit length of `stream`.
+    pub stream_bits: u32,
+}
+
+impl ExecTrace {
+    /// Decode the recorded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] when the embedded program bytes are
+    /// malformed or carry trailing garbage.
+    pub fn decode_program(&self) -> Result<Program, TraceError> {
+        let mut pos = 0usize;
+        let prog = Program::decode_from(&self.program, &mut pos)
+            .map_err(|e| TraceError::new(format!("trace program decode failed: {e}")))?;
+        if pos != self.program.len() {
+            return Err(TraceError::new(format!(
+                "{} trailing bytes after trace program",
+                self.program.len() - pos
+            )));
+        }
+        Ok(prog)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.shard);
+        put_u64(out, self.epoch);
+        put_u64(out, self.exec);
+        put_u64(out, self.exec_fuel);
+        put_u64(out, self.spec_fingerprint);
+        let mut flags = 0u8;
+        if self.fuel_exhausted {
+            flags |= 1;
+        }
+        if self.crash.is_some() {
+            flags |= 2;
+        }
+        out.push(flags);
+        if let Some(sig) = &self.crash {
+            out.push(sig.sysno.as_index());
+            out.push(sig.chain_depth);
+            out.push(sig.sanitizer.as_index());
+            put_u64(out, sig.site);
+        }
+        put_u32(out, u32::try_from(self.program.len()).unwrap_or(u32::MAX));
+        out.extend_from_slice(&self.program);
+        put_u32(out, self.stream_bits);
+        put_u32(out, u32::try_from(self.stream.len()).unwrap_or(u32::MAX));
+        out.extend_from_slice(&self.stream);
+    }
+
+    fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<ExecTrace, TraceError> {
+        let shard = take_u32(bytes, pos)?;
+        let epoch = take_u64(bytes, pos)?;
+        let exec = take_u64(bytes, pos)?;
+        let exec_fuel = take_u64(bytes, pos)?;
+        let spec_fingerprint = take_u64(bytes, pos)?;
+        let flags = take_u8(bytes, pos)?;
+        if flags & !3 != 0 {
+            return Err(TraceError::new(format!("unknown trace flags {flags:#x}")));
+        }
+        let fuel_exhausted = flags & 1 != 0;
+        let crash = if flags & 2 != 0 {
+            let sysno = Sysno::from_index(take_u8(bytes, pos)?)
+                .ok_or_else(|| TraceError::new("trace crash sysno out of range"))?;
+            let chain_depth = take_u8(bytes, pos)?;
+            let sanitizer = SanitizerKind::from_index(take_u8(bytes, pos)?)
+                .ok_or_else(|| TraceError::new("trace crash sanitizer out of range"))?;
+            let site = take_u64(bytes, pos)?;
+            Some(CrashSignature {
+                sysno,
+                chain_depth,
+                sanitizer,
+                site,
+            })
+        } else {
+            None
+        };
+        let program = take_bytes(bytes, pos)?;
+        let stream_bits = take_u32(bytes, pos)?;
+        let stream = take_bytes(bytes, pos)?;
+        if (stream_bits as usize).div_ceil(8) != stream.len() {
+            return Err(TraceError::new(format!(
+                "trace stream length mismatch: {} bits declared, {} bytes present",
+                stream_bits,
+                stream.len()
+            )));
+        }
+        Ok(ExecTrace {
+            shard,
+            epoch,
+            exec,
+            exec_fuel,
+            spec_fingerprint,
+            fuel_exhausted,
+            crash,
+            program,
+            stream,
+            stream_bits,
+        })
+    }
+}
+
+// ---- storage --------------------------------------------------------------
+
+/// Per-shard trace retention: a bounded ring of the most recent
+/// non-crashing traces plus a pinned map of crash traces.
+///
+/// Crash-path execs are **always retained**: the first trace per
+/// [`CrashSignature`] goes into the pinned map and later execs can
+/// never overwrite or evict it, regardless of ring churn — the fix
+/// the crash-replay CI smoke relies on. Non-crashing traces share the
+/// ring; when full, the oldest is dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStore {
+    /// Ring capacity (non-crash traces retained).
+    cap: usize,
+    /// Total executions recorded into this store over its lifetime.
+    execs_seen: u64,
+    /// Most recent non-crashing traces, oldest first.
+    ring: VecDeque<ExecTrace>,
+    /// First trace per crash signature, pinned forever.
+    pinned: BTreeMap<CrashSignature, ExecTrace>,
+}
+
+impl TraceStore {
+    /// Empty store retaining up to `cap` non-crash traces.
+    #[must_use]
+    pub fn new(cap: usize) -> TraceStore {
+        TraceStore {
+            cap,
+            execs_seen: 0,
+            ring: VecDeque::new(),
+            pinned: BTreeMap::new(),
+        }
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total executions recorded over the store's lifetime (including
+    /// every trace the ring has since dropped).
+    #[must_use]
+    pub fn execs_seen(&self) -> u64 {
+        self.execs_seen
+    }
+
+    /// Record one exec's trace: crash traces are pinned
+    /// (first-per-signature wins, never evicted), the rest rotate
+    /// through the ring.
+    pub fn record(&mut self, trace: ExecTrace) {
+        self.execs_seen += 1;
+        if let Some(sig) = trace.crash {
+            self.pinned.entry(sig).or_insert(trace);
+            return;
+        }
+        if self.cap == 0 {
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(trace);
+    }
+
+    /// The ring of retained non-crash traces, oldest first.
+    pub fn ring(&self) -> impl Iterator<Item = &ExecTrace> {
+        self.ring.iter()
+    }
+
+    /// The pinned crash traces, in signature order.
+    pub fn pinned(&self) -> impl Iterator<Item = (&CrashSignature, &ExecTrace)> {
+        self.pinned.iter()
+    }
+
+    /// The pinned trace for `sig`, if this store saw the crash.
+    #[must_use]
+    pub fn pinned_for(&self, sig: &CrashSignature) -> Option<&ExecTrace> {
+        self.pinned.get(sig)
+    }
+
+    /// Every retained trace: the ring (oldest first) then the pinned
+    /// crash traces (signature order).
+    pub fn iter(&self) -> impl Iterator<Item = &ExecTrace> {
+        self.ring.iter().chain(self.pinned.values())
+    }
+
+    /// Number of retained traces (ring + pinned).
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.ring.len() + self.pinned.len()
+    }
+
+    /// Number of pinned crash traces.
+    #[must_use]
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Total encoded-stream bytes across retained traces (what the
+    /// bits-per-exec bench metric amortizes over the campaign).
+    #[must_use]
+    pub fn stream_bytes(&self) -> u64 {
+        self.iter().map(|t| t.stream.len() as u64).sum()
+    }
+
+    /// Total encoded-stream bits across retained traces.
+    #[must_use]
+    pub fn stream_bits(&self) -> u64 {
+        self.iter().map(|t| u64::from(t.stream_bits)).sum()
+    }
+
+    /// Serialize with the standard framing
+    /// (`magic | version | checksum | payload`).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.cap as u64);
+        put_u64(&mut payload, self.execs_seen);
+        put_u32(
+            &mut payload,
+            u32::try_from(self.ring.len()).unwrap_or(u32::MAX),
+        );
+        for t in &self.ring {
+            t.encode_into(&mut payload);
+        }
+        put_u32(
+            &mut payload,
+            u32::try_from(self.pinned.len()).unwrap_or(u32::MAX),
+        );
+        for t in self.pinned.values() {
+            t.encode_into(&mut payload);
+        }
+        frame(STORE_MAGIC, &payload)
+    }
+
+    /// Parse a store previously produced by [`TraceStore::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] on wrong magic, unknown version,
+    /// checksum mismatch (truncation/bitrot), malformed fields,
+    /// ring traces carrying a crash, pinned traces missing one, or
+    /// trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TraceStore, TraceError> {
+        let payload = unframe(STORE_MAGIC, "trace store", bytes)?;
+        let bytes = payload;
+        let mut pos = 0usize;
+        let cap = usize::try_from(take_u64(bytes, &mut pos)?)
+            .map_err(|_| TraceError::new("trace ring capacity out of range"))?;
+        let execs_seen = take_u64(bytes, &mut pos)?;
+        let n_ring = take_u32(bytes, &mut pos)? as usize;
+        let mut ring = VecDeque::new();
+        for _ in 0..n_ring {
+            let t = ExecTrace::decode_from(bytes, &mut pos)?;
+            if t.crash.is_some() {
+                return Err(TraceError::new("crash trace in the non-crash ring"));
+            }
+            ring.push_back(t);
+        }
+        if ring.len() > cap {
+            return Err(TraceError::new("trace ring larger than its capacity"));
+        }
+        let n_pinned = take_u32(bytes, &mut pos)? as usize;
+        let mut pinned = BTreeMap::new();
+        for _ in 0..n_pinned {
+            let t = ExecTrace::decode_from(bytes, &mut pos)?;
+            let Some(sig) = t.crash else {
+                return Err(TraceError::new("pinned trace without a crash signature"));
+            };
+            if pinned.insert(sig, t).is_some() {
+                return Err(TraceError::new("duplicate pinned crash signature"));
+            }
+        }
+        if pos != bytes.len() {
+            return Err(TraceError::new(format!(
+                "{} trailing bytes after trace store payload",
+                bytes.len() - pos
+            )));
+        }
+        Ok(TraceStore {
+            cap,
+            execs_seen,
+            ring,
+            pinned,
+        })
+    }
+}
+
+/// Write one trace file holding the per-shard stores of a campaign
+/// (shard-id order), with the standard outer framing.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] when the filesystem rejects the write.
+pub fn write_trace_file(path: &Path, stores: &[TraceStore]) -> Result<(), TraceError> {
+    let mut payload = Vec::new();
+    put_u32(
+        &mut payload,
+        u32::try_from(stores.len()).unwrap_or(u32::MAX),
+    );
+    for s in stores {
+        let bytes = s.to_bytes();
+        put_u32(&mut payload, u32::try_from(bytes.len()).unwrap_or(u32::MAX));
+        payload.extend_from_slice(&bytes);
+    }
+    std::fs::write(path, frame(FILE_MAGIC, &payload))
+        .map_err(|e| TraceError::new(format!("write {} failed: {e}", path.display())))
+}
+
+/// Read a trace file written by [`write_trace_file`].
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] when the file cannot be read or any
+/// framing/store layer fails validation.
+pub fn read_trace_file(path: &Path) -> Result<Vec<TraceStore>, TraceError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| TraceError::new(format!("read {} failed: {e}", path.display())))?;
+    let payload = unframe(FILE_MAGIC, "trace file", &bytes)?;
+    let mut pos = 0usize;
+    let n = take_u32(payload, &mut pos)? as usize;
+    let mut stores = Vec::new();
+    for _ in 0..n {
+        let store_bytes = take_bytes(payload, &mut pos)?;
+        stores.push(TraceStore::from_bytes(&store_bytes)?);
+    }
+    if pos != payload.len() {
+        return Err(TraceError::new(format!(
+            "{} trailing bytes after trace file payload",
+            payload.len() - pos
+        )));
+    }
+    Ok(stores)
+}
+
+/// Wrap a payload in `magic | version | checksum | payload`.
+fn frame(magic: &[u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(magic);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, fnv1a(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate and strip the outer framing, returning the payload.
+fn unframe<'a>(magic: &[u8; 8], what: &str, bytes: &'a [u8]) -> Result<&'a [u8], TraceError> {
+    if bytes.len() < magic.len() + 12 {
+        return Err(TraceError::new(format!(
+            "{what} too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != magic {
+        return Err(TraceError::new(format!("bad {what} magic")));
+    }
+    let mut pos = 8usize;
+    let version = take_u32(bytes, &mut pos)?;
+    if version != VERSION {
+        return Err(TraceError::new(format!(
+            "unsupported {what} version {version} (expected {VERSION})"
+        )));
+    }
+    let checksum = take_u64(bytes, &mut pos)?;
+    let payload = &bytes[pos..];
+    if fnv1a(payload) != checksum {
+        return Err(TraceError::new(format!("{what} checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+// ---- primitive writers/readers --------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, TraceError> {
+    let b = bytes
+        .get(*pos)
+        .copied()
+        .ok_or_else(|| TraceError::new("trace data truncated reading u8"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TraceError> {
+    let end = pos
+        .checked_add(4)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| TraceError::new("trace data truncated reading u32"))?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| TraceError::new("trace data truncated reading u64"))?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn take_bytes(bytes: &[u8], pos: &mut usize) -> Result<Vec<u8>, TraceError> {
+    let len = take_u32(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| TraceError::new("trace data truncated reading bytes"))?;
+    let out = bytes[*pos..end].to_vec();
+    *pos = end;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CfgSuccessors {
+        CfgSuccessors::build(vec![
+            CfgRun {
+                start: 4096,
+                len: 4,
+                next: None,
+            },
+            CfgRun {
+                start: 4196,
+                len: 3,
+                next: Some(4228),
+            },
+            CfgRun {
+                start: 4228,
+                len: 2,
+                next: None,
+            },
+        ])
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Call { index: 0 },
+            TraceEvent::Block {
+                start: 4096,
+                len: 4,
+            },
+            TraceEvent::Call { index: 1 },
+            TraceEvent::Block {
+                start: 4196,
+                len: 3,
+            },
+            TraceEvent::Block {
+                start: 4228,
+                len: 2,
+            },
+            TraceEvent::Call { index: 3 },
+            TraceEvent::Crash { site: 8096 },
+        ]
+    }
+
+    fn sig() -> CrashSignature {
+        CrashSignature {
+            sysno: Sysno::Ioctl,
+            chain_depth: 1,
+            sanitizer: SanitizerKind::Kmalloc,
+            site: 8096,
+        }
+    }
+
+    fn trace_with(crash: Option<CrashSignature>, exec: u64) -> ExecTrace {
+        let (stream, stream_bits) = encode_events(&table(), &sample_events());
+        ExecTrace {
+            shard: 2,
+            epoch: 5,
+            exec,
+            exec_fuel: 1 << 20,
+            spec_fingerprint: 0xFEED_F00D,
+            fuel_exhausted: false,
+            crash,
+            program: vec![0, 0, 0, 0], // empty Program encoding
+            stream,
+            stream_bits,
+        }
+    }
+
+    #[test]
+    fn varints_round_trip_at_extremes() {
+        for v in [0u64, 1, 15, 16, 255, 4096, u64::from(u32::MAX), u64::MAX] {
+            let mut w = BitWriter::default();
+            w.varint(v);
+            let (bytes, bits) = w.finish();
+            let mut r = BitReader::new(&bytes, bits).unwrap();
+            assert_eq!(r.varint().unwrap(), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut w = BitWriter::default();
+            w.svarint(v);
+            let (bytes, bits) = w.finish();
+            let mut r = BitReader::new(&bytes, bits).unwrap();
+            assert_eq!(r.svarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn event_streams_round_trip() {
+        let cfg = table();
+        let events = sample_events();
+        let (stream, bits) = encode_events(&cfg, &events);
+        assert_eq!(decode_events(&cfg, &stream, bits).unwrap(), events);
+        // Empty stream: just the END token.
+        let (stream, bits) = encode_events(&cfg, &[]);
+        assert_eq!(bits, 4);
+        assert_eq!(decode_events(&cfg, &stream, bits).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn predicted_successors_compress_the_stream() {
+        let cfg = table();
+        // 4196..=4198 falls through to 4228 per the table: the second
+        // block run costs a 1-bit PRED token instead of a DIVERGE.
+        let predicted = [
+            TraceEvent::Block {
+                start: 4196,
+                len: 3,
+            },
+            TraceEvent::Block {
+                start: 4228,
+                len: 2,
+            },
+        ];
+        let diverging = [
+            TraceEvent::Block {
+                start: 4196,
+                len: 3,
+            },
+            TraceEvent::Block {
+                start: 5000,
+                len: 2,
+            },
+        ];
+        let (_, predicted_bits) = encode_events(&cfg, &predicted);
+        let (_, diverging_bits) = encode_events(&cfg, &diverging);
+        assert!(
+            predicted_bits < diverging_bits,
+            "PRED {predicted_bits} bits vs DIVERGE {diverging_bits} bits"
+        );
+    }
+
+    #[test]
+    fn truncated_streams_error_at_every_cut() {
+        let cfg = table();
+        let (stream, bits) = encode_events(&cfg, &sample_events());
+        for cut in 0..bits {
+            let bytes = &stream[..(cut as usize).div_ceil(8)];
+            // Mask padding so only the truncation itself can trip.
+            let mut owned = bytes.to_vec();
+            if cut % 8 != 0 {
+                if let Some(last) = owned.last_mut() {
+                    *last &= (1u16 << (cut % 8)) as u8 - 1;
+                }
+            }
+            assert!(
+                decode_events(&cfg, &owned, cut).is_err(),
+                "cut at bit {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_streams_never_panic() {
+        let cfg = table();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for _ in 0..256 {
+            let len = (rng % 32) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                bytes.push((rng >> 33) as u8);
+            }
+            let bits = (len * 8) as u32;
+            // Any outcome but a panic is acceptable for raw garbage…
+            let _ = decode_events(&cfg, &bytes, bits);
+            // …and a wrong declared length must error.
+            assert!(decode_events(&cfg, &bytes, bits + 8).is_err());
+        }
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected() {
+        let cfg = table();
+        let (mut stream, bits) = encode_events(&cfg, &sample_events());
+        if bits % 8 != 0 {
+            *stream.last_mut().unwrap() |= 0x80;
+            let err = decode_events(&cfg, &stream, bits).unwrap_err();
+            assert!(err.message.contains("padding"), "{err}");
+        }
+    }
+
+    #[test]
+    fn stores_round_trip_and_reject_corruption() {
+        let mut store = TraceStore::new(2);
+        store.record(trace_with(None, 0));
+        store.record(trace_with(Some(sig()), 1));
+        store.record(trace_with(None, 2));
+        let bytes = store.to_bytes();
+        assert_eq!(TraceStore::from_bytes(&bytes).unwrap(), store);
+        // Truncation at every prefix is rejected, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                TraceStore::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} parsed"
+            );
+        }
+        // Any single-byte flip is rejected (header checks or checksum).
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(TraceStore::from_bytes(&bad).is_err(), "flip at {i} parsed");
+        }
+    }
+
+    #[test]
+    fn garbage_store_bytes_never_panic() {
+        let mut rng = 0x0bad_cafe_dead_beefu64;
+        for _ in 0..256 {
+            let len = (rng % 64) as usize;
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                bytes.push((rng >> 33) as u8);
+            }
+            assert!(TraceStore::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn crash_traces_are_pinned_and_never_evicted() {
+        let mut store = TraceStore::new(2);
+        store.record(trace_with(Some(sig()), 7));
+        // Churn the ring far past its capacity: the crash trace must
+        // survive untouched, first capture wins.
+        for i in 0..100 {
+            store.record(trace_with(None, 100 + i));
+        }
+        store.record(trace_with(Some(sig()), 999));
+        assert_eq!(store.pinned_len(), 1);
+        let pinned = store.pinned_for(&sig()).unwrap();
+        assert_eq!(pinned.exec, 7, "first crash capture wins");
+        assert_eq!(store.ring().count(), 2);
+        assert_eq!(store.execs_seen(), 102);
+        // Ring keeps the most recent non-crash traces.
+        let execs: Vec<u64> = store.ring().map(|t| t.exec).collect();
+        assert_eq!(execs, vec![198, 199]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_pins_crashes() {
+        let mut store = TraceStore::new(0);
+        store.record(trace_with(None, 0));
+        store.record(trace_with(Some(sig()), 1));
+        assert_eq!(store.ring().count(), 0);
+        assert_eq!(store.pinned_len(), 1);
+        assert_eq!(store.retained(), 1);
+    }
+
+    #[test]
+    fn trace_files_round_trip() {
+        let mut a = TraceStore::new(4);
+        a.record(trace_with(None, 0));
+        let mut b = TraceStore::new(4);
+        b.record(trace_with(Some(sig()), 3));
+        let path = std::env::temp_dir().join(format!("kgpt_trace_file_{}.trc", std::process::id()));
+        write_trace_file(&path, &[a.clone(), b.clone()]).unwrap();
+        let stores = read_trace_file(&path).unwrap();
+        assert_eq!(stores, vec![a, b]);
+        // Corrupt one payload byte: the file no longer reads.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_trace_file(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exec_trace_program_round_trips_through_the_store() {
+        let t = trace_with(Some(sig()), 1);
+        let prog = t.decode_program().unwrap();
+        assert!(prog.is_empty());
+        // Trailing garbage after the program is rejected.
+        let mut bad = t.clone();
+        bad.program.push(0);
+        assert!(bad.decode_program().is_err());
+    }
+}

@@ -35,5 +35,5 @@
 pub mod minimize;
 pub mod report;
 
-pub use minimize::{minimize, project, without_call, MinimizeOutcome};
+pub use minimize::{minimize, minimize_guided, project, without_call, MinimizeOutcome, TraceGuide};
 pub use report::{TriageEntry, TriageReport};

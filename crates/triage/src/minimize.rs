@@ -160,6 +160,66 @@ where
     }
 }
 
+/// Per-call execution profile distilled from a flight-recorder trace
+/// of the crashing execution — the hints [`minimize_guided`] prunes
+/// with before falling back to the blind ddmin search.
+///
+/// All hints are advisory: the guided search verifies every pruned
+/// candidate through the caller's oracle before trusting it, so a
+/// stale or mismatched guide can only cost probes, never correctness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceGuide {
+    /// Index of the call the crash fired under, when the trace
+    /// recorded one.
+    pub crash_call: Option<usize>,
+    /// Blocks each call retired (0 = the call touched no kernel code
+    /// the recorder saw — skipped, mis-encoded, or a no-coverage
+    /// error path).
+    pub call_blocks: Vec<u64>,
+    /// Whether each call returned an error (`ret < 0`).
+    pub call_errs: Vec<bool>,
+}
+
+/// [`minimize`] with a flight-recorder head start: before the ddmin
+/// phases, build one pruned candidate dropping every call *after* the
+/// crashing call plus every earlier call whose trace shows it both
+/// retired zero blocks and failed — calls that provably contributed
+/// nothing to the state the crash depends on. The candidate is
+/// verified through `reproduces`; if it does not reproduce (the guide
+/// was stale or mismatched) the search simply starts from the
+/// original program, so the result is exactly as 1-minimal as the
+/// unguided search — the guide only saves oracle probes.
+///
+/// A guide whose vectors do not match `prog.len()` (or with no
+/// recorded crash call) is ignored.
+pub fn minimize_guided<F>(prog: &Program, guide: &TraceGuide, mut reproduces: F) -> MinimizeOutcome
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut execs = 0u64;
+    let mut base = prog.clone();
+    if let Some(cc) = guide.crash_call {
+        if cc < prog.len()
+            && guide.call_blocks.len() == prog.len()
+            && guide.call_errs.len() == prog.len()
+        {
+            let keep: Vec<usize> = (0..=cc)
+                .filter(|&i| i == cc || guide.call_blocks[i] > 0 || !guide.call_errs[i])
+                .collect();
+            if keep.len() < prog.len() {
+                let candidate = project(prog, &keep);
+                execs += 1;
+                if !candidate.is_empty() && reproduces(&candidate) {
+                    base = candidate;
+                }
+            }
+        }
+    }
+    let mut out = minimize(&base, reproduces);
+    out.execs += execs;
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +297,75 @@ mod tests {
         let a = minimize(&p, contains_all(&[1, 5]));
         let b = minimize(&p, contains_all(&[1, 5]));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn guided_minimization_prunes_with_a_correct_trace() {
+        // Crash under call 6; calls 1, 3 and 5 retired no blocks and
+        // errored — the guide prunes them (and everything past the
+        // crash) in a single verified probe before ddmin runs.
+        let p = prog_of(&[1, 0, 2, 0, 3, 0, 4, 9, 9]);
+        let need = [1u32, 2, 3, 4];
+        let guide = TraceGuide {
+            crash_call: Some(6),
+            call_blocks: vec![5, 0, 5, 0, 5, 0, 5, 0, 0],
+            call_errs: vec![false, true, false, true, false, true, false, true, true],
+        };
+        let guided = minimize_guided(&p, &guide, contains_all(&need));
+        let blind = minimize(&p, contains_all(&need));
+        assert_eq!(guided.program, blind.program, "same 1-minimal result");
+        assert!(
+            guided.execs < blind.execs,
+            "guide saved nothing: {} vs {}",
+            guided.execs,
+            blind.execs
+        );
+    }
+
+    #[test]
+    fn guided_minimization_survives_a_wrong_guide() {
+        // A guide claiming the needed calls are inert: the pruned
+        // candidate fails the oracle, the search falls back to the
+        // original program, and the result is still 1-minimal.
+        let p = prog_of(&[9, 1, 8, 2, 7, 3]);
+        let need = [1u32, 2, 3];
+        let guide = TraceGuide {
+            crash_call: Some(5),
+            call_blocks: vec![9, 0, 9, 0, 9, 9],
+            call_errs: vec![false, true, false, true, false, false],
+        };
+        let out = minimize_guided(&p, &guide, contains_all(&need));
+        assert!(contains_all(&need)(&out.program));
+        assert_eq!(out.program.len(), 3);
+        for i in 0..out.program.len() {
+            assert!(!contains_all(&need)(&without_call(&out.program, i)));
+        }
+    }
+
+    #[test]
+    fn mismatched_or_empty_guides_are_ignored() {
+        let p = prog_of(&[9, 1, 8, 2]);
+        let need = [1u32, 2];
+        let blind = minimize(&p, contains_all(&need));
+        // Wrong vector lengths.
+        let bad = TraceGuide {
+            crash_call: Some(3),
+            call_blocks: vec![1],
+            call_errs: vec![false],
+        };
+        assert_eq!(minimize_guided(&p, &bad, contains_all(&need)), blind);
+        // No crash call recorded.
+        assert_eq!(
+            minimize_guided(&p, &TraceGuide::default(), contains_all(&need)),
+            blind
+        );
+        // Crash call out of range.
+        let oob = TraceGuide {
+            crash_call: Some(99),
+            call_blocks: vec![1, 1, 1, 1],
+            call_errs: vec![false; 4],
+        };
+        assert_eq!(minimize_guided(&p, &oob, contains_all(&need)), blind);
     }
 
     #[test]

@@ -320,6 +320,110 @@ impl FdState {
     }
 }
 
+/// One event of a per-exec execution trace, in retirement order — the
+/// raw material the flight recorder (`kgpt-trace`) delta-codes into a
+/// compact bit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `len` consecutive basic blocks retired starting at id `start`
+    /// (contiguous retirements are merged as they are recorded).
+    Block {
+        /// First block id of the run.
+        start: u64,
+        /// Consecutive blocks retired (always ≥ 1).
+        len: u32,
+    },
+    /// Syscall boundary: the executor is about to dispatch program
+    /// call `index` (skipped calls get no marker).
+    Call {
+        /// Zero-based index of the call in its program.
+        index: u32,
+    },
+    /// A sanitizer fired at block `site` (the crash signature's site).
+    Crash {
+        /// Faulting block id.
+        site: u64,
+    },
+}
+
+/// The per-exec trace log the kernel's exec path appends to when
+/// tracing is enabled — a plain event buffer; compact encoding is the
+/// flight recorder's job (`kgpt-trace`), not the hot path's.
+///
+/// Disabled (the default) it costs the exec path one predictable
+/// branch per coverage retirement, in keeping with the dense-dispatch
+/// convention. The enabled flag survives [`VmState::reset`] — like
+/// the fuel limit it is a property of the worker, not of one program
+/// — while the buffered events are cleared (allocation retained).
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Turn recording on or off. Tracing never changes execution
+    /// results — coverage, returns and crashes are identical either
+    /// way — only whether events are buffered.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Events of the current execution, in retirement order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Record `len` blocks retired from `start`, merging with an
+    /// immediately preceding contiguous retirement.
+    #[inline]
+    pub fn block(&mut self, start: u64, len: u32) {
+        if !self.enabled || len == 0 {
+            return;
+        }
+        if let Some(TraceEvent::Block {
+            start: prev_start,
+            len: prev_len,
+        }) = self.events.last_mut()
+        {
+            if *prev_start + u64::from(*prev_len) == start {
+                *prev_len += len;
+                return;
+            }
+        }
+        self.events.push(TraceEvent::Block { start, len });
+    }
+
+    /// Record a syscall-boundary marker for program call `index`.
+    #[inline]
+    pub fn call(&mut self, index: u32) {
+        if self.enabled {
+            self.events.push(TraceEvent::Call { index });
+        }
+    }
+
+    /// Record a crash marker at the faulting block `site`.
+    #[inline]
+    pub fn crash(&mut self, site: u64) {
+        if self.enabled {
+            self.events.push(TraceEvent::Crash { site });
+        }
+    }
+
+    /// Drop the buffered events (allocation retained); the enabled
+    /// flag is untouched.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
 /// Per-program ("per-VM") execution state: fd table, coverage, crash.
 ///
 /// Designed for reuse across executions: [`VmState::reset`] clears
@@ -333,6 +437,8 @@ pub struct VmState {
     pub coverage: CoverageMap,
     /// First crash, if any (execution should stop).
     pub crash: Option<CrashReport>,
+    /// Flight-recorder event log (off by default; see [`TraceLog`]).
+    trace: TraceLog,
     /// Reusable argument-decode buffer (`copy_from_user` target).
     decode_buf: Vec<u8>,
     /// Reusable decoded-field scratch, aligned with the argument
@@ -356,14 +462,29 @@ impl VmState {
         VmState::default()
     }
 
-    /// Clear fd table, coverage, crash and spent fuel for the next
-    /// program while keeping allocations (and the fuel limit).
+    /// Clear fd table, coverage, crash, spent fuel and buffered trace
+    /// events for the next program while keeping allocations (and the
+    /// fuel limit and trace-enabled flag).
     pub fn reset(&mut self) {
         self.fds.clear();
         self.coverage.clear();
         self.crash = None;
+        self.trace.clear();
         self.fuel_spent = 0;
         self.fuel_exhausted = false;
+    }
+
+    /// The flight-recorder event log of the current execution.
+    #[must_use]
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable access to the flight-recorder log (enable/disable
+    /// recording, inject executor-side markers like syscall
+    /// boundaries).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
     }
 
     /// Set the per-exec fuel budget (work units: blocks retired +
@@ -494,6 +615,60 @@ impl VKernel {
         self.targets.len()
     }
 
+    /// The booted kernel's static block layout as `(start, len, next)`
+    /// straight-line runs — the prediction table the flight recorder's
+    /// delta coder is built from (the fuzzer assembles these triples
+    /// into `kgpt_syzlang::lowered::CfgSuccessors`; this crate sits
+    /// below `kgpt-syzlang` and cannot name that type).
+    ///
+    /// `next` is the successor of the run's *last* block when the
+    /// layout fixes one (a command body falling through into its
+    /// deep-path blocks); `None` means "predict the numerically next
+    /// id". The table is advisory: a misprediction costs the trace
+    /// encoder a wider token, never correctness — so the rows describe
+    /// the common structurally-valid paths, not every reachable
+    /// interleaving.
+    #[must_use]
+    pub fn cfg_runs(&self) -> Vec<(u64, u64, Option<u64>)> {
+        let mut runs = Vec::new();
+        for t in &self.targets {
+            let base = t.block_base;
+            // Entry path: open blocks for drivers, socket() blocks for
+            // sockets (the defaults mirror sys_open/sys_socket).
+            let entry = match &t.bp.kind {
+                BlueprintKind::Driver(d) => d.open_blocks,
+                BlueprintKind::Socket(s) => s.socket_blocks,
+            };
+            runs.push((base, u64::from(entry), None));
+            // Command strata: entry block + body blocks are contiguous;
+            // a command with deep blocks falls through into them.
+            for (idx, cb) in t.bp.cmds.iter().enumerate() {
+                let cmd_base = base + 100 + (idx as u64) * 64;
+                let next = (cb.deep_blocks > 0).then_some(cmd_base + 32);
+                runs.push((cmd_base, u64::from(cb.blocks.max(1)), next));
+                if cb.deep_blocks > 0 {
+                    runs.push((cmd_base + 32, u64::from(cb.deep_blocks), None));
+                }
+            }
+            // Socket-call strata (sys_addr_call/sendto/recvfrom/accept
+            // cover contiguous spans at fixed offsets).
+            if t.bp.socket().is_some() {
+                runs.push((base + Self::sock_call_offset(SockCall::Bind), 4, None));
+                runs.push((base + Self::sock_call_offset(SockCall::Connect), 4, None));
+                runs.push((base + Self::sock_call_offset(SockCall::Sendto), 5, None));
+                runs.push((base + Self::sock_call_offset(SockCall::Recvfrom), 2, None));
+                runs.push((base + Self::sock_call_offset(SockCall::Accept), 2, None));
+            }
+            // read/write stratum (reachable on any live fd).
+            runs.push((base + 60, 2, None));
+            // Bug sites are isolated single blocks.
+            for bug_idx in 0..t.bp.bugs.len() {
+                runs.push((base + 4000 + bug_idx as u64, 1, None));
+            }
+        }
+        runs
+    }
+
     /// Execute one syscall, dispatching on its dense [`Sysno`].
     /// Returns the (Linux-convention) result: ≥ 0 on success,
     /// `-errno` on failure. Updates coverage and may set
@@ -536,6 +711,7 @@ impl VKernel {
 
     fn cover(&self, state: &mut VmState, base: u64, offset: u64, count: u32) {
         state.charge_fuel(u64::from(count));
+        state.trace.block(base + offset, count);
         for i in 0..u64::from(count) {
             state.coverage.insert(base + offset + i);
         }
@@ -855,6 +1031,7 @@ impl VKernel {
             if fire {
                 let site = t.block_base + 4000 + bug_idx as u64;
                 self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
+                state.trace.crash(site);
                 state.crash = Some(CrashReport {
                     title: bug.title.clone(),
                     cve: bug.cve.clone(),
@@ -997,6 +1174,7 @@ impl VKernel {
                 if len >= *min_len {
                     let site = t.block_base + 4000 + bug_idx as u64;
                     self.cover(state, t.block_base, 4000 + bug_idx as u64, 1);
+                    state.trace.crash(site);
                     state.crash = Some(CrashReport {
                         title: bug.title.clone(),
                         cve: bug.cve.clone(),
@@ -1563,5 +1741,84 @@ mod tests {
         let r = k.exec_call(&mut st2, Sysno::Openat, &[0, ARG_BASE_ADDR, 2, 0, 0, 0], &m);
         assert!(r >= 3);
         assert!(st1.coverage.is_disjoint(&st2.coverage));
+    }
+
+    #[test]
+    fn trace_log_records_merged_block_runs() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        st.trace_mut().set_enabled(true);
+        let _ = open_dm(&k, &mut st);
+        // dm's 4 open blocks are contiguous: one merged Block event.
+        assert_eq!(
+            st.trace().events(),
+            &[TraceEvent::Block {
+                start: BLOCK_STRIDE,
+                len: 4
+            }]
+        );
+        // The event stream retires exactly the covered blocks, in
+        // order — the invariant the replayer's cross-check rests on.
+        let mut from_trace = std::collections::BTreeSet::new();
+        for ev in st.trace().events() {
+            if let TraceEvent::Block { start, len } = ev {
+                from_trace.extend((0..u64::from(*len)).map(|i| start + i));
+            }
+        }
+        assert_eq!(from_trace, st.coverage.to_btree_set());
+    }
+
+    #[test]
+    fn tracing_never_changes_execution_results() {
+        let k = boot_dm();
+        let run = |traced: bool| {
+            let mut st = VmState::new();
+            st.trace_mut().set_enabled(traced);
+            let fd = open_dm(&k, &mut st);
+            let r = k.exec_call(&mut st, Sysno::Read, &[fd, 0, 0, 0, 0, 0], &MemMap::new());
+            (st.coverage.clone(), st.crash.clone(), r)
+        };
+        let (cov_off, crash_off, ret_off) = run(false);
+        let (cov_on, crash_on, ret_on) = run(true);
+        assert_eq!(cov_off, cov_on);
+        assert_eq!(crash_off, crash_on);
+        assert_eq!(ret_off, ret_on);
+    }
+
+    #[test]
+    fn reset_clears_events_but_keeps_tracing_enabled() {
+        let k = boot_dm();
+        let mut st = VmState::new();
+        st.trace_mut().set_enabled(true);
+        let _ = open_dm(&k, &mut st);
+        assert!(!st.trace().events().is_empty());
+        st.reset();
+        assert!(st.trace().events().is_empty());
+        assert!(st.trace().enabled());
+        // Disabled by default: nothing is buffered.
+        let mut off = VmState::new();
+        let _ = open_dm(&k, &mut off);
+        assert!(off.trace().events().is_empty());
+    }
+
+    #[test]
+    fn cfg_runs_cover_every_coverable_block() {
+        // Every block the kernel can retire must belong to exactly one
+        // run (runs are disjoint), so the prediction table never
+        // contradicts itself.
+        let k = VKernel::boot(vec![flagship::dm(), flagship::cec(), flagship::sg()]);
+        let runs = k.cfg_runs();
+        let mut seen = std::collections::BTreeSet::new();
+        for (start, len, _) in &runs {
+            for b in 0..*len {
+                assert!(seen.insert(start + b), "block {} in two runs", start + b);
+            }
+        }
+        // Observed open-path coverage sits inside the advertised runs.
+        let mut st = VmState::new();
+        let _ = open_dm(&k, &mut st);
+        for b in st.coverage.to_btree_set() {
+            assert!(seen.contains(&b), "covered block {b} missing from cfg_runs");
+        }
     }
 }

@@ -18,7 +18,9 @@
 //! * [`fabric`] — the distributed campaign fabric (coordinator,
 //!   worker leases, delta wire protocol);
 //! * [`triage`] — crash triage: signature dedup, reproducer capture,
-//!   deterministic ddmin minimization.
+//!   deterministic ddmin minimization;
+//! * [`trace`] — the flight recorder: compact per-exec trace capture,
+//!   pinned crash rings, and offline trace stores.
 
 pub use kgpt_core as core;
 pub use kgpt_csrc as csrc;
@@ -28,5 +30,6 @@ pub use kgpt_fuzzer as fuzzer;
 pub use kgpt_llm as llm;
 pub use kgpt_syzdescribe as syzdescribe;
 pub use kgpt_syzlang as syzlang;
+pub use kgpt_trace as trace;
 pub use kgpt_triage as triage;
 pub use kgpt_vkernel as vkernel;
